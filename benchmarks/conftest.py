@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark/figure-reproduction suite.
+
+The benchmarks run the paper's experiments at a reduced (but
+shape-preserving) scale and assert the paper's qualitative results --
+who wins, by roughly what factor, where the crossovers fall.  One shared
+runner memoises simulations so each (app, variant, line size) is
+simulated once per session.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+#: Scale used by the benchmark suite: large enough that working sets
+#: exceed the scaled caches (the regime every paper shape depends on).
+BENCH_SCALE = 0.6
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def full_runner():
+    """Full-scale runner for the shapes that need the complete workload."""
+    return ExperimentRunner(scale=1.0)

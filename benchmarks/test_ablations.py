@@ -1,0 +1,52 @@
+"""Benchmarks for the design-choice ablations (beyond the paper's figures)."""
+
+from repro.experiments import ablations
+
+
+def test_hop_limit_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.hop_limit_sweep(scale=0.5), rounds=1, iterations=1
+    )
+    rows = {row[0]: row for row in result.rows}
+    # A hop limit of 1 triggers false-alarm cycle checks (every 1-hop
+    # chain overflows the counter); sane limits never do.
+    assert rows[1][2] > 0
+    assert rows[16][2] == 0
+    # No genuine cycles exist in real workloads.
+    assert all(row[3] == 0 for row in result.rows)
+    # Performance is limit-insensitive: checks are cheap and rare.
+    cycles = [float(row[1]) for row in result.rows]
+    assert max(cycles) < min(cycles) * 1.05
+
+
+def test_speculation_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.speculation_ablation(scale=0.5), rounds=1, iterations=1
+    )
+    # Section 3.2's observation: misspeculation almost never occurs --
+    # in this workload, never.
+    assert all(row[4] == 0 for row in result.rows)
+
+
+def test_linearize_threshold_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.linearize_threshold_sweep(scale=0.5), rounds=1, iterations=1
+    )
+    linearizations = [row[2] for row in result.rows]
+    # Monotone: lower thresholds linearize at least as often.
+    assert linearizations == sorted(linearizations, reverse=True)
+    # Aggressive linearization beats none at this working-set size.
+    aggressive = float(result.rows[0][1])
+    never = float(result.rows[-1][1])
+    assert aggressive < never
+
+
+def test_prefetch_block_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.prefetch_block_sweep(scale=0.5), rounds=1, iterations=1
+    )
+    # Larger blocks fetch further ahead on linearized lists: the best
+    # block size is bigger than one line (the paper reports choosing the
+    # best size per case).
+    cycles = {row[0]: float(row[1]) for row in result.rows}
+    assert min(cycles, key=cycles.get) > 1

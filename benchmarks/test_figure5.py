@@ -1,0 +1,96 @@
+"""Benchmark/reproduction of Figure 5: locality-optimization speedups.
+
+Asserts the paper's qualitative results:
+
+* the layout optimizations beat the unoptimized code at every line size
+  for every application except Compress (the paper's explicit exception);
+* speedups grow with line size;
+* unoptimized performance degrades as lines get longer (poor spatial
+  locality makes long lines pure overhead);
+* the instruction overhead of the optimizations is low.
+"""
+
+import pytest
+
+from repro.apps import FIGURE5_APPS
+from repro.apps.base import Variant
+from repro.experiments import figure5, line_sizes_for
+
+WINNING_APPS = tuple(app for app in FIGURE5_APPS if app != "compress")
+
+
+@pytest.fixture(scope="module")
+def fig5(full_runner):
+    return figure5.run(full_runner, scale=1.0)
+
+
+def test_figure5_regeneration(benchmark, full_runner):
+    result = benchmark.pedantic(
+        lambda: figure5.run(full_runner, scale=1.0), rounds=1, iterations=1
+    )
+    _run_shape_checks(result, TestPaperShapes)
+    assert len(result.cells) == len(FIGURE5_APPS) * 3 * 2
+
+
+class TestPaperShapes:
+    def test_optimized_wins_everywhere_except_compress(self, fig5):
+        for app in WINNING_APPS:
+            for line in line_sizes_for(app):
+                assert fig5.speedups[(app, line)] > 1.0, (app, line)
+
+    def test_compress_is_the_exception(self, fig5):
+        """Section 5.1: merging hurts Compress at 32B and 64B lines."""
+        assert fig5.speedups[("compress", 32)] < 1.0
+        assert fig5.speedups[("compress", 64)] < 1.0
+
+    def test_speedups_increase_with_line_size(self, fig5):
+        for app in WINNING_APPS:
+            sizes = line_sizes_for(app)
+            first = fig5.speedups[(app, sizes[0])]
+            last = fig5.speedups[(app, sizes[-1])]
+            assert last > first * 0.98, (app, first, last)
+
+    def test_vis_exceeds_twofold(self, fig5):
+        """The paper's headline: more-than-2x for the list-heavy apps."""
+        sizes = line_sizes_for("vis")
+        assert fig5.speedups[("vis", sizes[-1])] > 2.0
+
+    def test_health_gains_are_large(self, fig5):
+        assert fig5.speedups[("health", 128)] > 1.4
+
+    def test_unoptimized_degrades_with_line_size(self, fig5):
+        degrading = 0
+        for app in FIGURE5_APPS:
+            sizes = line_sizes_for(app)
+            first = fig5.cell(app, sizes[0], Variant.N).cycles
+            last = fig5.cell(app, sizes[-1], Variant.N).cycles
+            if last >= first * 0.99:
+                degrading += 1
+        assert degrading >= 5  # "performance generally degrades"
+
+    def test_instruction_overhead_is_low(self, fig5):
+        """The optimized busy section grows by only a few percent."""
+        for app in WINNING_APPS:
+            line = line_sizes_for(app)[0]
+            n_busy = fig5.cell(app, line, Variant.N).slots.busy
+            l_busy = fig5.cell(app, line, Variant.L).slots.busy
+            assert l_busy < n_busy * 1.15, app
+
+    def test_load_stall_dominates_unoptimized_time(self, fig5):
+        """These are memory-bound pointer codes: load stall is the top
+        section of the N bars, which is what the optimization attacks."""
+        for app in ("health", "mst", "vis"):
+            cell = fig5.cell(app, 32, Variant.N)
+            assert cell.slots.load_stall > cell.slots.busy
+
+
+def _run_shape_checks(result, shapes_cls):
+    """Invoke every test_* method of a shape-check class on ``result``.
+
+    Under ``--benchmark-only`` the non-benchmark tests are skipped, so the
+    benchmarked regeneration test re-runs the same assertions itself.
+    """
+    instance = shapes_cls()
+    for name in dir(instance):
+        if name.startswith("test_"):
+            getattr(instance, name)(result)

@@ -1,0 +1,80 @@
+"""Benchmark/reproduction of Figure 7: prefetching x locality."""
+
+import pytest
+
+from repro.apps import FIGURE5_APPS
+from repro.apps.base import Variant
+from repro.experiments import figure7
+
+#: The list-processing applications whose prefetching the paper says is
+#: limited by pointer chasing until linearization removes it.
+LIST_APPS = ("health", "mst", "radiosity", "vis")
+
+
+@pytest.fixture(scope="module")
+def fig7(full_runner):
+    return figure7.run(full_runner, scale=1.0)
+
+
+def test_figure7_regeneration(benchmark, full_runner):
+    result = benchmark.pedantic(
+        lambda: figure7.run(full_runner, scale=1.0), rounds=1, iterations=1
+    )
+    _run_shape_checks(result, TestPaperShapes)
+    assert len(result.cells) == len(FIGURE5_APPS) * 4
+
+
+class TestPaperShapes:
+    def test_locality_improves_prefetching_in_five_apps(self, fig7):
+        """Paper: prefetching performance improves with the layout
+        optimizations in five applications (LP beats NP)."""
+        improved = sum(
+            1
+            for app in FIGURE5_APPS
+            if fig7.cell(app, Variant.LP).cycles < fig7.cell(app, Variant.NP).cycles
+        )
+        assert improved >= 5
+
+    def test_health_and_vis_gain_over_forty_percent(self, fig7):
+        """Paper: two applications enjoy >40% speedups of LP over NP."""
+        for app in ("health", "vis"):
+            np_cycles = fig7.cell(app, Variant.NP).cycles
+            lp_cycles = fig7.cell(app, Variant.LP).cycles
+            assert np_cycles / lp_cycles > 1.4, app
+
+    def test_combining_beats_either_alone(self, fig7):
+        """Paper: in four of the five improved apps, LP beats both L and
+        NP individually -- the techniques are complementary."""
+        both_better = sum(
+            1
+            for app in LIST_APPS + ("eqntott",)
+            if fig7.cell(app, Variant.LP).cycles
+            < min(fig7.cell(app, Variant.L).cycles, fig7.cell(app, Variant.NP).cycles)
+        )
+        assert both_better >= 4
+
+    def test_pointer_chasing_limits_unoptimized_prefetch(self, fig7):
+        """One-node-ahead is all NP can do on scattered lists, so its
+        gains are modest next to LP's block prefetching."""
+        for app in ("health", "vis"):
+            n = fig7.cell(app, Variant.N).cycles
+            np_gain = n / fig7.cell(app, Variant.NP).cycles
+            lp_gain = n / fig7.cell(app, Variant.LP).cycles
+            assert np_gain < lp_gain, app
+
+    def test_prefetches_actually_issued(self, fig7):
+        for app in FIGURE5_APPS:
+            assert fig7.cell(app, Variant.NP).prefetch_instructions > 0
+            assert fig7.cell(app, Variant.LP).prefetch_instructions > 0
+
+
+def _run_shape_checks(result, shapes_cls):
+    """Invoke every test_* method of a shape-check class on ``result``.
+
+    Under ``--benchmark-only`` the non-benchmark tests are skipped, so the
+    benchmarked regeneration test re-runs the same assertions itself.
+    """
+    instance = shapes_cls()
+    for name in dir(instance):
+        if name.startswith("test_"):
+            getattr(instance, name)(result)

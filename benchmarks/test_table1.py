@@ -1,0 +1,28 @@
+"""Benchmark/reproduction of Table 1: the application inventory."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, full_runner):
+    result = benchmark.pedantic(
+        lambda: table1.run(full_runner, scale=1.0), rounds=1, iterations=1
+    )
+    apps = {row.app for row in result.rows}
+    assert apps == {
+        "bh", "compress", "eqntott", "health", "mst", "radiosity", "smv", "vis",
+    }
+    for row in result.rows:
+        # Every optimized application genuinely relocates data and pays
+        # pool space for it (the paper's "Space Overhead" column).
+        assert row.words_relocated > 0, row.app
+        assert row.space_overhead_bytes > 0, row.app
+
+    by_app = {row.app: row for row in result.rows}
+    # One-shot optimizations are invoked exactly once...
+    assert by_app["eqntott"].optimizer_invocations == 1
+    assert by_app["bh"].optimizer_invocations == 1
+    assert by_app["compress"].optimizer_invocations == 1
+    # ...while the periodic linearizers fire many times.
+    assert by_app["health"].optimizer_invocations > 10
+    assert by_app["vis"].optimizer_invocations > 10
+    assert by_app["radiosity"].optimizer_invocations > 10

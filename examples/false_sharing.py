@@ -1,0 +1,27 @@
+"""False-sharing avoidance on a coherent multiprocessor (Section 2.2).
+
+Four CPUs each increment their own private counters, but the counters of
+different CPUs were allocated interleaved, so each cache line holds four
+owners and ping-pongs on every write round.  Relocating each CPU's
+counters into its own line-aligned region (safe under memory forwarding,
+even with stale cross-references) removes every coherence miss.
+
+Run:  python examples/false_sharing.py
+"""
+
+from repro.smp import run_false_sharing_experiment
+
+
+def main() -> None:
+    before, after = run_false_sharing_experiment(
+        cpus=4, per_cpu_records=32, rounds=40
+    )
+    print(f"{'layout':34s}{'cycles':>12}{'coherence misses':>20}")
+    for result in (before, after):
+        print(f"{result.label:34s}{result.cycles:>12.0f}{result.coherence_misses:>20d}")
+    print(f"\nspeedup from relocation: {before.cycles / after.cycles:.2f}x")
+    assert before.checksum == after.checksum, "relocation must not change results"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: safe data relocation with memory forwarding.
+
+Builds a small object graph on the simulated machine, relocates an
+object WITHOUT updating one of the pointers to it, and shows that the
+stale pointer still reads the right data -- the paper's core guarantee.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, relocate
+
+
+def main() -> None:
+    m = Machine()
+
+    # An 'object': four words on the simulated heap.
+    obj = m.malloc(32)
+    for word in range(4):
+        m.store(obj + 8 * word, 100 + word)
+
+    # Two pointers to it, stored in simulated memory like any C pointer.
+    p1 = m.malloc(8)
+    p2 = m.malloc(8)
+    m.store(p1, obj)
+    m.store(p2, obj)
+
+    # Relocate the object into a contiguous pool -- and update only p1.
+    # In plain C, leaving p2 stale would be a use-after-move bug; with
+    # memory forwarding it is merely a slower access.
+    pool = m.create_pool(4096, "quickstart")
+    new_home = pool.allocate(32)
+    relocate(m, obj, new_home, nwords=4)
+    m.store(p1, new_home)
+
+    direct = m.load(m.load(p1) + 8)   # via the updated pointer
+    forwarded = m.load(m.load(p2) + 8)  # via the stale pointer
+    print(f"updated pointer reads:   {direct}")
+    print(f"stale pointer reads:     {forwarded}  (forwarded, still correct)")
+
+    stats = m.stats()
+    print(f"\nforwarded loads:         {stats.loads.forwarded}")
+    print(f"total forwarding hops:   {stats.forwarding_hops}")
+    print(f"simulated cycles:        {stats.cycles:.0f}")
+    print(f"relocated words:         {stats.relocation.words_relocated}")
+    assert direct == forwarded == 101
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Subtree clustering of a binary tree (Figure 9), measured.
+
+Builds a tree in pre-order allocation order (Figure 9(a)), clusters its
+subtrees into cache-line-sized chunks (Figure 9(b)), and measures random
+root-to-leaf descents before and after -- the access pattern BH's force
+phase performs.
+
+Run:  python examples/subtree_clustering.py
+"""
+
+from repro import Machine, MachineConfig, NULL
+from repro.opts.clustering import cluster_subtrees
+from repro.runtime.records import RecordLayout
+from repro.runtime.rng import DeterministicRNG
+
+NODE = RecordLayout("tree_node", [("value", 8), ("left", 8), ("right", 8)])
+CHILD_OFFSETS = [NODE.offset("left"), NODE.offset("right")]
+DEPTH = 9
+WALKS = 400
+
+
+def build_tree(m: Machine, depth: int, counter: list) -> int:
+    node = NODE.alloc(m)
+    m.malloc(104)  # realistic allocator noise between nodes
+    NODE.write(m, node, "value", counter[0])
+    counter[0] += 1
+    left = build_tree(m, depth - 1, counter) if depth > 1 else NULL
+    right = build_tree(m, depth - 1, counter) if depth > 1 else NULL
+    NODE.write(m, node, "left", left)
+    NODE.write(m, node, "right", right)
+    return node
+
+
+def random_descents(m: Machine, root_slot: int, seed: int) -> tuple[float, int]:
+    rng = DeterministicRNG(seed)
+    start_cycles = m.cycles
+    start_misses = m.stats().load_misses
+    checksum = 0
+    for _ in range(WALKS):
+        node = m.load(root_slot)
+        while node != NULL:
+            checksum += NODE.read(m, node, "value")
+            side = "left" if rng.chance(0.5) else "right"
+            node = NODE.read(m, node, side)
+    return m.cycles - start_cycles, m.stats().load_misses - start_misses
+
+
+def main() -> None:
+    print(f"{'line':>5} {'before':>20} {'after':>20} {'speedup':>8}")
+    for line_size in (64, 128, 256):
+        m = Machine(MachineConfig().with_line_size(line_size))
+        root_slot = m.malloc(8)
+        m.store(root_slot, build_tree(m, DEPTH, [0]))
+
+        before_cycles, before_misses = random_descents(m, root_slot, seed=1)
+
+        pool = m.create_pool(1 << 18)
+        result = cluster_subtrees(
+            m, root_slot, CHILD_OFFSETS, NODE.size, pool, line_size
+        )
+        after_cycles, after_misses = random_descents(m, root_slot, seed=1)
+        print(
+            f"{line_size:>4}B {before_cycles:>12.0f} ({before_misses:>5}m)"
+            f" {after_cycles:>12.0f} ({after_misses:>5}m)"
+            f" {before_cycles / after_cycles:>7.2f}x"
+            f"   [{result.chunks} chunks]"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim: lets `pip install -e .` work without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file exists because the
+build environment is offline and lacks `wheel`, so pip must fall back to
+the legacy `setup.py develop` editable path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""Memory Forwarding — reproduction of Luk & Mowry, ISCA 1999.
+
+A simulation library for *memory forwarding*: a tagged-memory mechanism
+that makes run-time data relocation always safe, enabling aggressive
+cache-layout optimizations (list linearization, record packing, subtree
+clustering, table merging) for pointer-heavy programs.
+
+Quickstart::
+
+    from repro import Machine, list_linearize
+
+    m = Machine()
+    # ... build a linked list on the simulated heap ...
+    pool = m.create_pool(1 << 20)
+    new_head, n = list_linearize(m, head_handle, next_offset=8,
+                                 node_bytes=32, pool=pool)
+    # stale pointers to old nodes still work -- they are forwarded.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured results of every table and figure.
+"""
+
+from repro.cache.hierarchy import (
+    AccessKind,
+    AccessResult,
+    HierarchyConfig,
+    MemoryHierarchy,
+)
+from repro.core.errors import (
+    AlignmentError,
+    AllocationError,
+    DoubleFreeError,
+    ForwardingCycleError,
+    HopLimitExceeded,
+    MemoryAccessError,
+    SimulationError,
+)
+from repro.core.forwarding import ForwardingEngine, ForwardingStats
+from repro.core.isa import ISAExtensions
+from repro.core.machine import (
+    NULL,
+    ForwardingEvent,
+    Machine,
+    MachineConfig,
+)
+from repro.core.memory import TaggedMemory, WORD_SIZE
+from repro.core.pointer_ops import final_address, ptr_eq, ptr_ne
+from repro.core.relocate import list_linearize, relocate
+from repro.core.stats import MachineStats
+from repro.core.traps import (
+    ChainedTrapHandler,
+    ForwardingProfiler,
+    PointerFixupTrap,
+)
+from repro.cpu.timing import TimingConfig
+from repro.mem.pool import RelocationPool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "AccessResult",
+    "AlignmentError",
+    "AllocationError",
+    "ChainedTrapHandler",
+    "DoubleFreeError",
+    "ForwardingCycleError",
+    "ForwardingEngine",
+    "ForwardingEvent",
+    "ForwardingProfiler",
+    "ForwardingStats",
+    "HierarchyConfig",
+    "HopLimitExceeded",
+    "ISAExtensions",
+    "Machine",
+    "MachineConfig",
+    "MachineStats",
+    "MemoryAccessError",
+    "MemoryHierarchy",
+    "NULL",
+    "PointerFixupTrap",
+    "RelocationPool",
+    "SimulationError",
+    "TaggedMemory",
+    "TimingConfig",
+    "WORD_SIZE",
+    "final_address",
+    "list_linearize",
+    "ptr_eq",
+    "ptr_ne",
+    "relocate",
+]

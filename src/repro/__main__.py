@@ -1,0 +1,100 @@
+"""Command-line entry point: regenerate the paper's results.
+
+Usage::
+
+    python -m repro [artifact ...] [--scale S]
+
+where each artifact is one of ``table1 figure5 figure6 figure7 figure10
+ablations false-sharing out-of-core`` (default: all of them, in paper
+order).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ExperimentRunner
+from repro.experiments import ablations, figure5, figure6, figure7, figure10, table1
+
+_PAPER_ARTIFACTS = ("table1", "figure5", "figure6", "figure7", "figure10")
+_ALL = _PAPER_ARTIFACTS + ("ablations", "false-sharing", "out-of-core")
+
+
+def _run_extension(name: str) -> str:
+    if name == "false-sharing":
+        from repro.smp import run_false_sharing_experiment
+
+        before, after = run_false_sharing_experiment()
+        return (
+            "False sharing (Section 2.2 extension)\n"
+            f"  {before.label:32s} cycles={before.cycles:12.0f} "
+            f"coherence misses={before.coherence_misses}\n"
+            f"  {after.label:32s} cycles={after.cycles:12.0f} "
+            f"coherence misses={after.coherence_misses}\n"
+            f"  speedup: {before.cycles / after.cycles:.2f}x"
+        )
+    from repro.vm import run_out_of_core_experiment
+
+    scattered, linearized = run_out_of_core_experiment()
+    return (
+        "Out-of-core linearization (Section 2.2 extension)\n"
+        f"  {scattered.label:11s} cycles={scattered.cycles:14.0f} "
+        f"page faults={scattered.page_faults}\n"
+        f"  {linearized.label:11s} cycles={linearized.cycles:14.0f} "
+        f"page faults={linearized.page_faults}\n"
+        f"  speedup: {scattered.cycles / linearized.cycles:.1f}x"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the tables and figures of Luk & Mowry (ISCA 1999).",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="artifact",
+        help=f"artifacts to regenerate (default: all of {' '.join(_ALL)})",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (default 1.0; smaller is faster)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    args = parser.parse_args(argv)
+    artifacts = args.artifacts or list(_ALL)
+    unknown = [name for name in artifacts if name not in _ALL]
+    if unknown:
+        parser.error(f"unknown artifact(s) {unknown}; choose from {list(_ALL)}")
+
+    runner = ExperimentRunner(scale=args.scale, verbose=not args.quiet)
+    modules = {
+        "table1": table1,
+        "figure5": figure5,
+        "figure6": figure6,
+        "figure7": figure7,
+        "figure10": figure10,
+    }
+    started = time.time()
+    for artifact in artifacts:
+        print(f"=== {artifact} ===")
+        if artifact in modules:
+            print(modules[artifact].run(runner, scale=args.scale).render())
+        elif artifact == "ablations":
+            for ablation in ablations.run_all(scale=min(args.scale, 0.5)):
+                print(ablation.render())
+                print()
+        else:
+            print(_run_extension(artifact))
+        print()
+    print(f"done in {time.time() - started:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

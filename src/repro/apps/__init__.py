@@ -1,0 +1,43 @@
+"""The eight applications of Table 1, each in unoptimized and optimized form.
+
+Importing this package registers every application in
+:data:`repro.apps.base.APPLICATIONS`; use
+:func:`repro.apps.get_application` to instantiate one by name.
+"""
+
+from repro.apps.base import (
+    APPLICATIONS,
+    Application,
+    AppResult,
+    Variant,
+    get_application,
+)
+from repro.apps.bh import BH
+from repro.apps.compress import Compress
+from repro.apps.eqntott import Eqntott
+from repro.apps.health import Health
+from repro.apps.mst import MST
+from repro.apps.radiosity import Radiosity
+from repro.apps.smv import SMV
+from repro.apps.vis import VIS
+
+#: The seven applications of Figures 5-7 (SMV is evaluated separately in
+#: Figure 10, as in the paper).
+FIGURE5_APPS = ("health", "mst", "radiosity", "vis", "eqntott", "bh", "compress")
+
+__all__ = [
+    "APPLICATIONS",
+    "Application",
+    "AppResult",
+    "BH",
+    "Compress",
+    "Eqntott",
+    "FIGURE5_APPS",
+    "Health",
+    "MST",
+    "Radiosity",
+    "SMV",
+    "VIS",
+    "Variant",
+    "get_application",
+]

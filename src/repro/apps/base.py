@@ -1,0 +1,150 @@
+"""Common scaffolding for the eight Table 1 applications.
+
+Every application is a transcription of the paper's benchmark onto the
+simulated machine, runnable in the variants the evaluation compares:
+
+========  ==========================================================
+Variant   Meaning (Figures 5, 7, 10)
+========  ==========================================================
+``N``     Original program, no locality optimization, no prefetching.
+``L``     With the layout optimization memory forwarding enables.
+``NP``    Original program plus software prefetching.
+``LP``    Layout optimization plus software prefetching.
+``PERF``  Perfect forwarding (SMV only): relocation with all stray
+          pointers magically updated -- the unachievable bound of
+          Figure 10.
+========  ==========================================================
+
+Each run returns an :class:`AppResult` whose ``checksum`` must be
+identical across variants of the same application at the same scale:
+that equality is the end-to-end proof that data relocation under memory
+forwarding preserved program semantics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.core.machine import Machine, MachineConfig
+from repro.core.stats import MachineStats
+
+
+class Variant(Enum):
+    """Which combination of optimizations a run uses."""
+
+    N = "N"        # no optimization
+    L = "L"        # layout optimization (via memory forwarding)
+    NP = "NP"      # prefetching only
+    LP = "LP"      # layout optimization + prefetching
+    PERF = "Perf"  # layout optimization with perfect forwarding
+
+    @property
+    def optimized(self) -> bool:
+        return self in (Variant.L, Variant.LP, Variant.PERF)
+
+    @property
+    def prefetching(self) -> bool:
+        return self in (Variant.NP, Variant.LP)
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application run."""
+
+    app: str
+    variant: Variant
+    checksum: int
+    stats: MachineStats
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return self.stats.cycles
+
+
+class Application(ABC):
+    """One of the paper's benchmark applications.
+
+    Subclasses define ``name``, ``description``, ``optimization`` (the
+    Table 1 columns) and implement :meth:`execute`.
+
+    Parameters
+    ----------
+    scale:
+        Workload scale factor; 1.0 is the default benchmark size
+        (scaled down from the paper per DESIGN.md), smaller values give
+        fast unit-test workloads.
+    seed:
+        Workload randomness seed.  The same seed must produce the same
+        checksum in every variant.
+    """
+
+    name: str = "app"
+    description: str = ""
+    optimization: str = ""
+
+    def __init__(self, scale: float = 1.0, seed: int = 1) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        variant: Variant = Variant.N,
+        config: MachineConfig | None = None,
+    ) -> AppResult:
+        """Execute the application on a fresh machine; returns the result."""
+        supported = self.variants()
+        if variant not in supported:
+            raise ValueError(
+                f"{self.name} does not support variant {variant.value}; "
+                f"supported: {[v.value for v in supported]}"
+            )
+        machine = Machine(config or MachineConfig())
+        checksum, extras = self.execute(machine, variant)
+        return AppResult(
+            app=self.name,
+            variant=variant,
+            checksum=checksum,
+            stats=machine.stats(),
+            extras=extras,
+        )
+
+    def variants(self) -> tuple[Variant, ...]:
+        """Variants this application supports (PERF is SMV-specific)."""
+        return (Variant.N, Variant.L, Variant.NP, Variant.LP)
+
+    @abstractmethod
+    def execute(self, machine: Machine, variant: Variant) -> tuple[int, dict]:
+        """Run the workload; returns ``(checksum, extras)``."""
+
+    # ------------------------------------------------------------------
+    def _scaled(self, value: int, minimum: int = 1) -> int:
+        """Scale a workload parameter, keeping it at least ``minimum``."""
+        return max(minimum, int(round(value * self.scale)))
+
+
+#: Registry of all Table 1 applications, filled by repro.apps.__init__.
+APPLICATIONS: dict[str, type[Application]] = {}
+
+
+def register(cls: type[Application]) -> type[Application]:
+    """Class decorator adding an application to the registry."""
+    APPLICATIONS[cls.name] = cls
+    return cls
+
+
+def get_application(name: str, scale: float = 1.0, seed: int = 1) -> Application:
+    """Instantiate a registered application by its Table 1 name."""
+    try:
+        cls = APPLICATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; available: {sorted(APPLICATIONS)}"
+        ) from None
+    return cls(scale=scale, seed=seed)

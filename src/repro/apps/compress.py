@@ -1,0 +1,182 @@
+"""Compress: LZW compression (SPEC'95 129.compress lineage).
+
+The hot data structures are two parallel arrays indexed by the same hash:
+``htab`` (8-byte entries holding the combined ``(char, code)`` key) and
+``codetab`` (2-byte entries holding the dictionary code).  Every input
+character hashes into ``htab``; on a key match the corresponding
+``codetab`` entry is read, and on an empty slot both are written.
+Collisions run a secondary displacement probe over ``htab`` alone.
+
+The paper's optimization merges the two arrays into a single interleaved
+table ``T[i] = (htab[i], codetab[i])`` (see :mod:`repro.opts.merging` for
+the relocation-granularity details).  Compress is the paper's *negative
+result*: the interleaved stride halves how many entries fit per cache
+line, which hurts the (frequent) probes that touch ``htab`` alone -- so
+the optimized layout **loses at 32 B and 64 B lines and only wins at
+128 B**, where a line is long enough to cover both halves comfortably.
+Reproducing that crossover is the point of this application.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, Variant, register
+from repro.core.machine import Machine
+from repro.opts.merging import MergedTable, merge_tables
+from repro.runtime.rng import DeterministicRNG
+
+
+@register
+class Compress(Application):
+    """LZW dictionary compression on the simulated machine."""
+
+    name = "compress"
+    description = "LZW compression over parallel hash/code tables"
+    optimization = "table merging: interleave htab and codetab (once)"
+
+    HSIZE = 5003           # hash table entries (the real compress prime)
+    INPUT_CHARS = 20000
+    ALPHABET = 16          # distinct byte values (skewed): compressible input
+    FIRST_CODE = 256
+    WORK_PER_CHAR = 10
+    WORK_PER_PROBE = 4
+    STRAY_SAMPLES = 8
+    HSHIFT = 4
+
+    def execute(self, machine: Machine, variant: Variant) -> tuple[int, dict]:
+        rng = DeterministicRNG(self.seed)
+        hsize = self.HSIZE
+        htab = machine.malloc(hsize * 8)
+        codetab = machine.malloc(hsize * 2)
+
+        merged: MergedTable | None = None
+        if variant.optimized:
+            pool = machine.create_pool(2 << 20, "compress")
+            merged = merge_tables(machine, htab, 8, codetab, 2, hsize, pool)
+
+        reader = _TableAccess(machine, htab, codetab, merged)
+        checksum, emitted, probes = self._lzw(machine, rng, reader, variant)
+
+        # A few stray reads through the *old* htab base: they forward when
+        # the table has been merged.
+        for sample in range(self.STRAY_SAMPLES):
+            slot = (sample * 977) % hsize
+            checksum = (checksum * 31 + machine.load(htab + slot * 8)) % (1 << 61)
+
+        return checksum, {"codes_emitted": emitted, "probes": probes}
+
+    # ------------------------------------------------------------------
+    def _next_char(self, rng: DeterministicRNG) -> int:
+        """Skewed byte distribution (compressible, zero-free)."""
+        roll = rng.random()
+        if roll < 0.5:
+            return 1 + rng.randint(4)
+        if roll < 0.85:
+            return 5 + rng.randint(8)
+        return 13 + rng.randint(self.ALPHABET - 12)
+
+    def _lzw(
+        self,
+        machine: Machine,
+        rng: DeterministicRNG,
+        table: "_TableAccess",
+        variant: Variant,
+    ) -> tuple[int, int, int]:
+        m = machine
+        hsize = self.HSIZE
+        hshift = self.HSHIFT
+        chars = self._scaled(self.INPUT_CHARS)
+        free_code = self.FIRST_CODE
+        max_code = hsize - 1024  # cap occupancy so probe chains stay bounded
+        checksum = 0
+        emitted = 0
+        probes = 0
+
+        prefetching = variant.prefetching
+        ent = self._next_char(rng)
+        for _ in range(chars - 1):
+            m.execute(self.WORK_PER_CHAR)
+            c = self._next_char(rng)
+            fcode = (c << 16) + ent
+            index = ((c << hshift) ^ ent) % hsize
+            disp = (hsize - index) if index else 1
+            if prefetching:
+                # The dependent codetab read (on a match) is the one load
+                # whose address is known early; prefetch it alongside the
+                # first htab probe.
+                table.prefetch_code(index)
+            matched = False
+            while True:
+                probes += 1
+                m.execute(self.WORK_PER_PROBE)
+                key = table.read_key(index)
+                if key == fcode:
+                    ent = table.read_code(index)
+                    matched = True
+                    break
+                if key == 0:
+                    break  # empty slot
+                index -= disp
+                if index < 0:
+                    index += hsize
+            if matched:
+                continue
+            # Emit the current prefix code and extend the dictionary.
+            emitted += 1
+            checksum = (checksum * 31 + ent) % (1 << 61)
+            if free_code < max_code:
+                table.write_code(index, free_code)
+                table.write_key(index, fcode)
+                free_code += 1
+            ent = c
+        checksum = (checksum * 31 + ent) % (1 << 61)
+        return checksum, emitted, probes
+
+
+class _TableAccess:
+    """Indirection over split vs merged table layout.
+
+    The optimized program's own references go through the merged table
+    (the application can update them -- they all live in this module);
+    only stray pointers kept from before the merge still hit the old
+    arrays and get forwarded.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        htab: int,
+        codetab: int,
+        merged: MergedTable | None,
+    ) -> None:
+        self.machine = machine
+        self.htab = htab
+        self.codetab = codetab
+        self.merged = merged
+
+    def read_key(self, index: int) -> int:
+        if self.merged is not None:
+            return self.machine.load(self.merged.a_address(index))
+        return self.machine.load(self.htab + index * 8)
+
+    def write_key(self, index: int, value: int) -> None:
+        if self.merged is not None:
+            self.machine.store(self.merged.a_address(index), value)
+        else:
+            self.machine.store(self.htab + index * 8, value)
+
+    def read_code(self, index: int) -> int:
+        if self.merged is not None:
+            return self.machine.load(self.merged.b_address(index), 2)
+        return self.machine.load(self.codetab + index * 2, 2)
+
+    def write_code(self, index: int, value: int) -> None:
+        if self.merged is not None:
+            self.machine.store(self.merged.b_address(index), value, 2)
+        else:
+            self.machine.store(self.codetab + index * 2, value, 2)
+
+    def prefetch_code(self, index: int) -> None:
+        if self.merged is not None:
+            self.machine.prefetch(self.merged.b_address(index))
+        else:
+            self.machine.prefetch(self.codetab + index * 2)

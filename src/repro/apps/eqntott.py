@@ -1,0 +1,147 @@
+"""Eqntott: boolean-equation to truth-table conversion (SPEC'92).
+
+The hot structure (Figure 8(a)) is a hash table whose entries point to
+``PTERM`` records; each record in turn points to a separately allocated
+array of short integers (the term's literals).  The dominant routine,
+``cmppt``, compares terms pairwise -- dereferencing two records and
+walking both short arrays -- over and over while sorting.
+
+Records and arrays are allocated at different moments of parsing, so the
+three memory regions a comparison touches are scattered.  The paper's
+optimization (Figure 8(b)), applied **once** right after the table is
+built: relocate each record and its array into a single chunk, and lay
+the chunks out contiguously in increasing hash-index order -- exactly
+what :func:`repro.opts.packing.pack_pointer_table` does.
+
+Stray pointers kept from before the packing (eqnott passes ``PTERM*``
+around freely) are exercised and resolved by forwarding.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, Variant, register
+from repro.core.machine import NULL, Machine
+from repro.opts.packing import pack_pointer_table
+from repro.runtime.records import RecordLayout
+from repro.runtime.rng import DeterministicRNG
+
+PTERM = RecordLayout("pterm", [("ptand", 8), ("nvars", 8), ("id", 8)])
+
+
+@register
+class Eqntott(Application):
+    """The eqntott ``cmppt`` workload on the simulated machine."""
+
+    name = "eqntott"
+    description = "pairwise PTERM comparisons over a hash table of records"
+    optimization = "record+array packing in hash order (once, after build)"
+
+    TABLE_ENTRIES = 512
+    TERMS = 400
+    VARS = 16              # shorts per term array
+    SWEEPS = 14
+    WORK_PER_COMPARE = 20
+    WORK_PER_VAR = 2
+    PREFETCH_BLOCK = 2
+    STRAY_SAMPLES = 16
+
+    def execute(self, machine: Machine, variant: Variant) -> tuple[int, dict]:
+        rng = DeterministicRNG(self.seed)
+        terms = self._scaled(self.TERMS, minimum=8)
+        table = machine.malloc(self.TABLE_ENTRIES * 8)
+        occupied = self._build_terms(machine, rng, table, terms)
+
+        # Keep a few raw PTERM pointers from before any relocation, as the
+        # real program's spread-out references would.
+        strays = [
+            machine.load(table + slot * 8)
+            for slot in occupied[:: max(1, len(occupied) // self.STRAY_SAMPLES)]
+        ]
+
+        if variant.optimized:
+            pool = machine.create_pool(4 << 20, "eqntott")
+            pack_pointer_table(
+                machine,
+                table,
+                self.TABLE_ENTRIES,
+                PTERM,
+                "ptand",
+                lambda mm, record: self.VARS * 2,
+                pool,
+            )
+
+        checksum = 0
+        sweeps = self._scaled(self.SWEEPS)
+        for _ in range(sweeps):
+            checksum = (checksum + self._cmppt_sweep(machine, variant, table, occupied)) % (1 << 61)
+
+        # Dereference the stray pointers: forwarded in the optimized runs.
+        for stray in strays:
+            checksum = (checksum * 31 + PTERM.read(machine, stray, "id")) % (1 << 61)
+
+        return checksum, {"terms": terms, "occupied_slots": len(occupied)}
+
+    # ------------------------------------------------------------------
+    def _build_terms(
+        self, machine: Machine, rng: DeterministicRNG, table: int, terms: int
+    ) -> list[int]:
+        """Create PTERMs in scattered order; returns occupied slot indices."""
+        slots = list(range(self.TABLE_ENTRIES))
+        rng.shuffle(slots)
+        chosen = sorted(slots[:terms])
+        # Pass 1: records, in random order (parse order != hash order).
+        order = chosen[:]
+        rng.shuffle(order)
+        records: dict[int, int] = {}
+        for slot in order:
+            record = PTERM.alloc(machine)
+            PTERM.write(machine, record, "nvars", self.VARS)
+            PTERM.write(machine, record, "id", slot)
+            machine.store(table + slot * 8, record)
+            records[slot] = record
+        # Pass 2: literal arrays, in a different random order.
+        rng.shuffle(order)
+        for slot in order:
+            array = machine.malloc(self.VARS * 2)
+            for position in range(self.VARS):
+                machine.store(array + position * 2, rng.randint(3), 2)
+            PTERM.write(machine, records[slot], "ptand", array)
+        return chosen
+
+    # ------------------------------------------------------------------
+    def _cmppt_sweep(
+        self, machine: Machine, variant: Variant, table: int, occupied: list[int]
+    ) -> int:
+        """Compare each term against its successor in hash order."""
+        m = machine
+        line = m.config.hierarchy.line_size
+        prefetching = variant.prefetching
+        result = 0
+        previous_record = NULL
+        previous_key = 0
+        for position, slot in enumerate(occupied):
+            record = m.load(table + slot * 8)
+            if prefetching:
+                if variant.optimized:
+                    m.prefetch(record + line, self.PREFETCH_BLOCK)
+                elif position + 1 < len(occupied):
+                    # The next record's address is one (cheap, contiguous)
+                    # table load away -- prefetch the record it names.
+                    next_record = m.load(table + occupied[position + 1] * 8)
+                    m.prefetch(next_record, 1)
+            m.execute(self.WORK_PER_COMPARE)
+            key = self._term_key(m, record)
+            if previous_record != NULL:
+                result += 1 if key < previous_key else 0
+            previous_record = record
+            previous_key = key
+        return result
+
+    def _term_key(self, machine: Machine, record: int) -> int:
+        """Walk the record's literal array (the body of ``cmppt``)."""
+        array = PTERM.read(machine, record, "ptand")
+        key = 0
+        for position in range(self.VARS):
+            machine.execute(self.WORK_PER_VAR)
+            key = key * 3 + machine.load(array + position * 2, 2)
+        return key

@@ -1,0 +1,267 @@
+"""Health: hierarchical health-care simulation (Olden suite).
+
+The benchmark models a hierarchy of villages (a 4-ary tree).  Each
+village runs a clinic with two patient lists: ``waiting`` (patients
+queued for treatment) and ``inside`` (patients being treated).  Every
+time step the whole tree is traversed; at each village, patients are
+admitted, treated, discharged, and referred up the hierarchy, and new
+patients arrive at the leaves.
+
+Patient nodes are allocated as patients arrive, interleaved across all
+villages, so each village's lists end up scattered through the heap --
+the classic pointer-chasing workload.  The paper's optimization is
+**list linearization** of the patient lists, invoked periodically via
+the per-list operation counter (Section 5.3's policy).
+
+Prefetching (Figure 7): the list walks issue software prefetches -- one
+node ahead in the unoptimized layout (all the pointer chase allows) and
+block prefetches of upcoming lines once lists are linearized
+(data-linearization prefetching).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, Variant, register
+from repro.core.machine import NULL, Machine
+from repro.opts.linearize import ListLinearizer
+from repro.runtime.records import RecordLayout
+from repro.runtime.rng import DeterministicRNG
+
+VILLAGE = RecordLayout(
+    "village",
+    [
+        ("id", 8),
+        ("child0", 8),
+        ("child1", 8),
+        ("child2", 8),
+        ("child3", 8),
+        ("waiting", 8),
+        ("inside", 8),
+        ("treated", 8),
+    ],
+)
+
+PATIENT = RecordLayout(
+    "patient", [("id", 8), ("remaining", 8), ("hops", 8), ("next", 8)]
+)
+
+_CHILD_FIELDS = ("child0", "child1", "child2", "child3")
+
+
+@register
+class Health(Application):
+    """The Olden ``health`` benchmark on the simulated machine."""
+
+    name = "health"
+    description = "hierarchical health-care simulation over a village tree"
+    optimization = "list linearization (periodic, per patient list)"
+
+    #: Base workload parameters at scale 1.0 (scaled down from the paper's
+    #: input per DESIGN.md; the miss regime, not the absolute size, is what
+    #: must match).
+    TREE_DEPTH = 3          # 4-ary: 21 villages
+    STEPS = 32
+    INITIAL_PATIENTS = 60   # per village
+    TREATMENT_TIME = 10
+    ADMIT_PROBABILITY = 0.9
+    ARRIVAL_PROBABILITY = 0.9  # per leaf village per step
+    REFER_PROBABILITY = 0.02   # waiting patient referred to parent
+    LINEARIZE_THRESHOLD = 45
+    PREFETCH_BLOCK = 2
+    #: Instructions of per-patient computation (the C code's arithmetic,
+    #: branching, and call overhead around each list element).
+    WORK_PER_PATIENT = 30
+
+    def execute(self, machine: Machine, variant: Variant) -> tuple[int, dict]:
+        rng = DeterministicRNG(self.seed)
+        steps = self._scaled(self.STEPS)
+        initial = self._scaled(self.INITIAL_PATIENTS)
+
+        linearizer = None
+        if variant.optimized:
+            pool = machine.create_pool(4 << 20, "health")
+            linearizer = ListLinearizer(
+                machine,
+                pool,
+                PATIENT.offset("next"),
+                PATIENT.size,
+                threshold=self._scaled(self.LINEARIZE_THRESHOLD, minimum=5),
+            )
+        state = _SimState(machine, rng, variant, linearizer, self.PREFETCH_BLOCK)
+
+        root = self._build_tree(machine, self.TREE_DEPTH, state)
+        # Patients arrive at random villages over time, so consecutive
+        # heap allocations belong to unrelated lists and every village's
+        # list starts scattered -- the layout the paper's allocator churn
+        # produces.
+        total_initial = initial * len(state.villages)
+        for _ in range(total_initial):
+            village, _is_leaf = state.villages[rng.randint(len(state.villages))]
+            state.new_patient(village, "waiting")
+
+        for _ in range(steps):
+            self._step_village(machine, state, root, parent=NULL)
+
+        checksum = (
+            state.discharged_ids * 1_000_003
+            + state.total_hops * 101
+            + state.population
+        )
+        extras = {
+            "discharged": state.discharged,
+            "population": state.population,
+            "linearizations": linearizer.linearizations if linearizer else 0,
+        }
+        return checksum, extras
+
+    # ------------------------------------------------------------------
+    def _build_tree(self, machine: Machine, depth: int, state: "_SimState") -> int:
+        village = VILLAGE.alloc(machine)
+        VILLAGE.write(machine, village, "id", state.next_village_id())
+        VILLAGE.write(machine, village, "waiting", NULL)
+        VILLAGE.write(machine, village, "inside", NULL)
+        is_leaf = depth <= 1
+        for field in _CHILD_FIELDS:
+            child = NULL if is_leaf else self._build_tree(machine, depth - 1, state)
+            VILLAGE.write(machine, village, field, child)
+        state.villages.append((village, is_leaf))
+        return village
+
+    def _step_village(self, machine: Machine, state: "_SimState", village: int, parent: int) -> None:
+        """One simulation step at ``village`` and, recursively, below it."""
+        for field in _CHILD_FIELDS:
+            child = VILLAGE.read(machine, village, field)
+            if child != NULL:
+                self._step_village(machine, state, child, village)
+        state.treat_inside(village)
+        state.process_waiting(village, parent)
+        if VILLAGE.read(machine, village, "child0") == NULL:
+            if state.rng.chance(self.ARRIVAL_PROBABILITY):
+                state.new_patient(village, "waiting")
+
+
+class _SimState:
+    """Mutable simulation state shared by the per-step routines."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        rng: DeterministicRNG,
+        variant: Variant,
+        linearizer: ListLinearizer | None,
+        prefetch_block: int,
+    ) -> None:
+        self.machine = machine
+        self.rng = rng
+        self.variant = variant
+        self.linearizer = linearizer
+        self.prefetch_block = prefetch_block
+        self.villages: list[tuple[int, bool]] = []
+        self._village_id = 0
+        self._patient_id = 0
+        self.discharged = 0
+        self.discharged_ids = 0
+        self.total_hops = 0
+        self.population = 0
+
+    # -- ids ------------------------------------------------------------
+    def next_village_id(self) -> int:
+        self._village_id += 1
+        return self._village_id
+
+    # -- list plumbing ---------------------------------------------------
+    def list_handle(self, village: int, which: str) -> int:
+        return village + VILLAGE.offset(which)
+
+    def note_op(self, village: int, which: str) -> None:
+        if self.linearizer is not None:
+            self.linearizer.note_op(self.list_handle(village, which))
+
+    def push(self, village: int, which: str, patient: int) -> None:
+        m = self.machine
+        handle = self.list_handle(village, which)
+        PATIENT.write(m, patient, "next", m.load(handle))
+        m.store(handle, patient)
+        self.note_op(village, which)
+
+    def new_patient(self, village: int, which: str) -> None:
+        m = self.machine
+        self._patient_id += 1
+        patient = PATIENT.alloc(m)
+        PATIENT.write(m, patient, "id", self._patient_id)
+        PATIENT.write(m, patient, "remaining", Health.TREATMENT_TIME)
+        PATIENT.write(m, patient, "hops", 0)
+        self.push(village, which, patient)
+        self.population += 1
+
+    def _prefetch(self, node: int, next_node: int) -> None:
+        """Prefetch upcoming nodes during a list walk (Figure 7).
+
+        ``next_node`` is the already-loaded successor pointer, so the
+        unoptimized variant can prefetch it without extra loads -- one
+        node ahead is all the pointer chase allows.  Linearized lists are
+        contiguous, so the optimized variant block-prefetches the lines
+        beyond the current node instead.
+        """
+        m = self.machine
+        if self.variant.optimized:
+            line = m.config.hierarchy.line_size
+            m.prefetch(node + line, self.prefetch_block)
+        elif next_node != NULL:
+            m.prefetch(next_node, 1)
+
+    # -- per-village work --------------------------------------------------
+    def treat_inside(self, village: int) -> None:
+        """Advance treatment; discharge (and free) finished patients."""
+        m = self.machine
+        slot = self.list_handle(village, "inside")
+        node = m.load(slot)
+        prefetching = self.variant.prefetching
+        while node != NULL:
+            m.execute(Health.WORK_PER_PATIENT)
+            remaining = PATIENT.read(m, node, "remaining") - 1
+            next_node = PATIENT.read(m, node, "next")
+            if prefetching:
+                self._prefetch(node, next_node)
+            if remaining <= 0:
+                self.discharged += 1
+                self.discharged_ids += PATIENT.read(m, node, "id")
+                self.total_hops += PATIENT.read(m, node, "hops")
+                self.population -= 1
+                m.store(slot, next_node)
+                m.free(node)
+                self.note_op(village, "inside")
+            else:
+                PATIENT.write(m, node, "remaining", remaining)
+                slot = node + PATIENT.offset("next")
+            node = next_node
+
+    def process_waiting(self, village: int, parent: int) -> None:
+        """Walk the waiting list: age, refer upward, admit the head."""
+        m = self.machine
+        rng = self.rng
+        slot = self.list_handle(village, "waiting")
+        node = m.load(slot)
+        prefetching = self.variant.prefetching
+        while node != NULL:
+            m.execute(Health.WORK_PER_PATIENT)
+            PATIENT.write(m, node, "hops", PATIENT.read(m, node, "hops") + 1)
+            next_node = PATIENT.read(m, node, "next")
+            if prefetching:
+                self._prefetch(node, next_node)
+            if parent != NULL and rng.chance(Health.REFER_PROBABILITY):
+                # Refer this patient up the hierarchy.
+                m.store(slot, next_node)
+                self.note_op(village, "waiting")
+                self.push(parent, "waiting", node)
+            else:
+                slot = node + PATIENT.offset("next")
+            node = next_node
+        # Admit the head of the waiting queue, if any.
+        handle = self.list_handle(village, "waiting")
+        head = m.load(handle)
+        if head != NULL and rng.chance(Health.ADMIT_PROBABILITY):
+            m.store(handle, PATIENT.read(m, head, "next"))
+            self.note_op(village, "waiting")
+            PATIENT.write(m, head, "remaining", Health.TREATMENT_TIME)
+            self.push(village, "inside", head)

@@ -1,0 +1,194 @@
+"""MST: minimum spanning tree over a sparse graph (Olden suite).
+
+Olden's ``mst`` keeps the graph's vertices on a linked list; each vertex
+owns a chained hash table mapping neighbours to edge weights.  Prim's
+algorithm ("blue rule") repeatedly scans the remaining vertex list, and
+for each vertex probes its adjacency hash table for the distance to the
+vertex most recently added to the tree.
+
+Vertices and adjacency nodes are allocated interleaved while the graph is
+built, so the vertex list and every hash chain are scattered.  The list
+structure never changes after construction, so the paper's optimization --
+**list linearization** -- is invoked exactly once: the vertex list and
+every vertex's chains are packed after the graph is built, and the whole
+solve phase enjoys the layout.
+
+Prefetching: the scan over the vertex list prefetches one vertex ahead
+(unoptimized) or block-prefetches upcoming lines (linearized).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, Variant, register
+from repro.core.machine import NULL, Machine
+from repro.core.relocate import list_linearize
+from repro.runtime.records import RecordLayout
+from repro.runtime.rng import DeterministicRNG
+
+VERTEX = RecordLayout(
+    "vertex",
+    [("id", 8), ("mindist", 8), ("intree", 8), ("adj", 8), ("next", 8)],
+)
+
+#: Adjacency hash-chain node: neighbour id, weight, chain link.
+EDGE = RecordLayout("edge", [("neighbor", 8), ("weight", 8), ("next", 8)])
+
+_MAX_DIST = (1 << 62)
+
+
+@register
+class MST(Application):
+    """The Olden ``mst`` benchmark on the simulated machine."""
+
+    name = "mst"
+    description = "Prim's MST over linked vertex list with per-vertex hash chains"
+    optimization = "list linearization (once, after graph construction)"
+
+    VERTICES = 192
+    DEGREE = 6             # edges per vertex (directed entries both ways)
+    BUCKETS_PER_VERTEX = 4
+    PREFETCH_BLOCK = 2
+    WORK_PER_VERTEX = 12   # loop overhead in the blue-rule scan
+    WORK_PER_PROBE = 6     # hash + compare work per chain node
+
+    def execute(self, machine: Machine, variant: Variant) -> tuple[int, dict]:
+        rng = DeterministicRNG(self.seed)
+        count = self._scaled(self.VERTICES, minimum=8)
+        vertices, head_handle = self._build_graph(machine, rng, count)
+
+        linearized = 0
+        if variant.optimized:
+            pool = machine.create_pool(4 << 20, "mst")
+            # Invoked once: the structure is static after construction.
+            _, moved = list_linearize(
+                machine, head_handle, VERTEX.offset("next"), VERTEX.size, pool
+            )
+            linearized += moved
+            # Each vertex's bucket array and adjacency chains are packed
+            # right next to the relocated vertices, in list order.
+            from repro.core.relocate import relocate
+
+            node = machine.load(head_handle)
+            while node != NULL:
+                old_adj = VERTEX.read(machine, node, "adj")
+                new_adj = pool.allocate(self.BUCKETS_PER_VERTEX * 8)
+                relocate(machine, old_adj, new_adj, self.BUCKETS_PER_VERTEX)
+                VERTEX.write(machine, node, "adj", new_adj)
+                for bucket in range(self.BUCKETS_PER_VERTEX):
+                    handle = new_adj + bucket * 8
+                    _, moved = list_linearize(
+                        machine, handle, EDGE.offset("next"), EDGE.size, pool
+                    )
+                    linearized += moved
+                node = VERTEX.read(machine, node, "next")
+
+        weight = self._prim(machine, variant, head_handle, count)
+        checksum = weight * 31 + count
+        return checksum, {"mst_weight": weight, "nodes_linearized": linearized}
+
+    # ------------------------------------------------------------------
+    def _bucket_handle(self, machine: Machine, vertex: int, bucket: int) -> int:
+        """Adjacency buckets live in an array hanging off the vertex."""
+        base = VERTEX.read(machine, vertex, "adj")
+        return base + bucket * 8
+
+    def _bucket_of(self, neighbor_id: int) -> int:
+        return (neighbor_id * 2654435761) % self.BUCKETS_PER_VERTEX
+
+    def _build_graph(
+        self, machine: Machine, rng: DeterministicRNG, count: int
+    ) -> tuple[list[int], int]:
+        """Random connected graph; returns (vertex addresses, head handle)."""
+        head_handle = machine.malloc(8)
+        vertices: list[int] = []
+        # Vertices first (the list is built back to front).
+        for vid in range(count - 1, -1, -1):
+            vertex = VERTEX.alloc(machine)
+            VERTEX.write(machine, vertex, "id", vid)
+            VERTEX.write(machine, vertex, "mindist", _MAX_DIST)
+            VERTEX.write(machine, vertex, "intree", 0)
+            VERTEX.write(machine, vertex, "adj", machine.malloc(self.BUCKETS_PER_VERTEX * 8))
+            VERTEX.write(machine, vertex, "next", machine.load(head_handle))
+            machine.store(head_handle, vertex)
+            vertices.append(vertex)
+        vertices.reverse()  # vertices[i] has id i
+
+        def add_edge(u: int, v: int, weight: int) -> None:
+            for src, dst in ((u, v), (v, u)):
+                edge = EDGE.alloc(machine)
+                EDGE.write(machine, edge, "neighbor", dst)
+                EDGE.write(machine, edge, "weight", weight)
+                handle = self._bucket_handle(machine, vertices[src], self._bucket_of(dst))
+                EDGE.write(machine, edge, "next", machine.load(handle))
+                machine.store(handle, edge)
+
+        # A random spanning chain guarantees connectivity, then extra
+        # random edges up to the target degree.  Edge insertion order is
+        # random, scattering every vertex's chains across the heap.
+        for vid in range(1, count):
+            add_edge(vid, rng.randint(vid), 1 + rng.randint(1 << 16))
+        extra = count * (self.DEGREE - 2) // 2
+        for _ in range(extra):
+            u = rng.randint(count)
+            v = rng.randint(count)
+            if u != v:
+                add_edge(u, v, 1 + rng.randint(1 << 16))
+        return vertices, head_handle
+
+    # ------------------------------------------------------------------
+    def _hash_lookup(self, machine: Machine, vertex: int, neighbor_id: int) -> int | None:
+        """Probe a vertex's adjacency table for the edge to ``neighbor_id``."""
+        machine.execute(self.WORK_PER_PROBE)
+        handle = self._bucket_handle(machine, vertex, self._bucket_of(neighbor_id))
+        edge = machine.load(handle)
+        while edge != NULL:
+            machine.execute(2)
+            if EDGE.read(machine, edge, "neighbor") == neighbor_id:
+                return EDGE.read(machine, edge, "weight")
+            edge = EDGE.read(machine, edge, "next")
+        return None
+
+    def _prim(
+        self, machine: Machine, variant: Variant, head_handle: int, count: int
+    ) -> int:
+        """Blue-rule MST: repeated scans of the remaining vertex list."""
+        m = machine
+        line = m.config.hierarchy.line_size
+        prefetching = variant.prefetching
+        # Start from the list head's vertex.
+        start = m.load(head_handle)
+        VERTEX.write(m, start, "intree", 1)
+        last_added_id = VERTEX.read(m, start, "id")
+        total_weight = 0
+        for _ in range(count - 1):
+            best_vertex = NULL
+            best_dist = _MAX_DIST
+            vertex = m.load(head_handle)
+            while vertex != NULL:
+                m.execute(self.WORK_PER_VERTEX)
+                next_vertex = VERTEX.read(m, vertex, "next")
+                if prefetching:
+                    if variant.optimized:
+                        m.prefetch(vertex + line, self.PREFETCH_BLOCK)
+                    elif next_vertex != NULL:
+                        m.prefetch(next_vertex, 1)
+                if VERTEX.read(m, vertex, "intree") == 0:
+                    dist = self._hash_lookup(m, vertex, last_added_id)
+                    if dist is not None:
+                        mindist = VERTEX.read(m, vertex, "mindist")
+                        if dist < mindist:
+                            VERTEX.write(m, vertex, "mindist", dist)
+                            mindist = dist
+                    else:
+                        mindist = VERTEX.read(m, vertex, "mindist")
+                    if mindist < best_dist:
+                        best_dist = mindist
+                        best_vertex = vertex
+                vertex = next_vertex
+            if best_vertex == NULL:
+                break  # disconnected (cannot happen: spanning chain)
+            VERTEX.write(m, best_vertex, "intree", 1)
+            VERTEX.write(m, best_vertex, "mindist", _MAX_DIST)
+            last_added_id = VERTEX.read(m, best_vertex, "id")
+            total_weight += best_dist
+        return total_weight

@@ -1,0 +1,155 @@
+"""Radiosity: iterative light-transport over patch interaction lists.
+
+A radiosity solver stores, for every surface patch, a linked *interaction
+list*: the other patches it exchanges energy with, each with a form
+factor.  Every iteration walks every patch's interaction list to gather
+energy; as the solution refines, patches subdivide and new interactions
+are spliced in, churning the lists.
+
+Interactions are created interleaved across patches (each subdivision
+touches several patches), so the lists scatter -- and keep scattering as
+the run proceeds, which is why the paper invokes **list linearization
+periodically** for this application rather than once.
+
+All arithmetic is 16.16 fixed point so checksums are exact and identical
+across variants.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, Variant, register
+from repro.core.machine import NULL, Machine
+from repro.opts.linearize import ListLinearizer
+from repro.runtime.records import RecordLayout
+from repro.runtime.rng import DeterministicRNG
+
+PATCH = RecordLayout(
+    "patch", [("energy", 8), ("unshot", 8), ("inter", 8), ("area", 8)]
+)
+
+INTERACTION = RecordLayout(
+    "interaction", [("dst", 8), ("ff", 8), ("next", 8)]
+)
+
+#: Form factors are 16.16 fixed point; energies stay well inside 64 bits.
+_FIX = 16
+
+
+@register
+class Radiosity(Application):
+    """A radiosity gather loop on the simulated machine."""
+
+    name = "radiosity"
+    description = "iterative energy gather over per-patch interaction lists"
+    optimization = "list linearization (periodic, per interaction list)"
+
+    PATCHES = 96
+    INITIAL_INTERACTIONS = 40   # per patch
+    STEPS = 14
+    SUBDIVIDE_PROBABILITY = 0.30  # per patch per step: splice new interactions
+    SUBDIVIDE_FANOUT = 4
+    LINEARIZE_THRESHOLD = 10
+    WORK_PER_INTERACTION = 18
+    PREFETCH_BLOCK = 2
+
+    def execute(self, machine: Machine, variant: Variant) -> tuple[int, dict]:
+        rng = DeterministicRNG(self.seed)
+        patches = self._build_patches(machine, rng)
+
+        linearizer = None
+        if variant.optimized:
+            pool = machine.create_pool(8 << 20, "radiosity")
+            linearizer = ListLinearizer(
+                machine,
+                pool,
+                INTERACTION.offset("next"),
+                INTERACTION.size,
+                threshold=self._scaled(self.LINEARIZE_THRESHOLD, minimum=3),
+            )
+
+        steps = self._scaled(self.STEPS)
+        for _ in range(steps):
+            self._gather_step(machine, patches, variant)
+            self._subdivide(machine, rng, patches, linearizer)
+
+        checksum = 0
+        for patch in patches:
+            checksum = (checksum * 31 + PATCH.read(machine, patch, "energy")) % (1 << 61)
+        extras = {
+            "linearizations": linearizer.linearizations if linearizer else 0,
+        }
+        return checksum, extras
+
+    # ------------------------------------------------------------------
+    def _build_patches(self, machine: Machine, rng: DeterministicRNG) -> list[int]:
+        count = self._scaled(self.PATCHES, minimum=4)
+        patches = []
+        for index in range(count):
+            patch = PATCH.alloc(machine)
+            PATCH.write(machine, patch, "energy", 0)
+            PATCH.write(machine, patch, "unshot", (index + 1) << _FIX)
+            PATCH.write(machine, patch, "inter", NULL)
+            PATCH.write(machine, patch, "area", 1 << _FIX)
+            patches.append(patch)
+        # Interactions arrive interleaved across patches: scatter.
+        total = count * self._scaled(self.INITIAL_INTERACTIONS, minimum=4)
+        for _ in range(total):
+            self._add_interaction(machine, rng, patches,
+                                  patches[rng.randint(count)], linearizer=None)
+        return patches
+
+    def _add_interaction(
+        self,
+        machine: Machine,
+        rng: DeterministicRNG,
+        patches: list[int],
+        patch: int,
+        linearizer: ListLinearizer | None,
+    ) -> None:
+        node = INTERACTION.alloc(machine)
+        INTERACTION.write(machine, node, "dst", patches[rng.randint(len(patches))])
+        INTERACTION.write(machine, node, "ff", 1 + rng.randint(1 << (_FIX - 4)))
+        handle = patch + PATCH.offset("inter")
+        INTERACTION.write(machine, node, "next", machine.load(handle))
+        machine.store(handle, node)
+        if linearizer is not None:
+            linearizer.note_op(handle)
+
+    # ------------------------------------------------------------------
+    def _gather_step(self, machine: Machine, patches: list[int], variant: Variant) -> None:
+        """One gather iteration: every patch integrates over its list."""
+        m = machine
+        line = m.config.hierarchy.line_size
+        prefetching = variant.prefetching
+        for patch in patches:
+            gathered = 0
+            node = m.load(patch + PATCH.offset("inter"))
+            while node != NULL:
+                m.execute(self.WORK_PER_INTERACTION)
+                dst = INTERACTION.read(m, node, "dst")
+                ff = INTERACTION.read(m, node, "ff")
+                gathered += (PATCH.read(m, dst, "unshot") * ff) >> _FIX
+                next_node = INTERACTION.read(m, node, "next")
+                if prefetching:
+                    if variant.optimized:
+                        m.prefetch(node + line, self.PREFETCH_BLOCK)
+                    elif next_node != NULL:
+                        m.prefetch(next_node, 1)
+                node = next_node
+            energy = PATCH.read(m, patch, "energy")
+            PATCH.write(m, patch, "energy", (energy + gathered) % (1 << 61))
+            # Half the gathered energy becomes this patch's new unshot.
+            PATCH.write(m, patch, "unshot", gathered >> 1)
+
+    def _subdivide(
+        self,
+        machine: Machine,
+        rng: DeterministicRNG,
+        patches: list[int],
+        linearizer: ListLinearizer | None,
+    ) -> None:
+        """Refinement: some patches gain a burst of new interactions."""
+        for patch in patches:
+            if rng.chance(self.SUBDIVIDE_PROBABILITY):
+                for _ in range(self.SUBDIVIDE_FANOUT):
+                    self._add_interaction(machine, rng, patches, patch, linearizer)

@@ -1,0 +1,103 @@
+"""SMV: BDD-based symbolic model checking (Section 5.4).
+
+SMV's working set is a forest of BDD nodes reachable two ways: through
+the unique-table bucket chains, and through ``low``/``high`` *tree
+pointers* stored inside other nodes.  The paper linearizes the bucket
+chains (more misses occur there than in tree accesses) -- but the tree
+pointers cannot be updated, so after a linearization **every tree-pointer
+dereference is forwarded**.  SMV is the one application where the safety
+net fires constantly, and Figure 10 measures exactly that cost:
+
+* ``N``    -- no relocation at all;
+* ``L``    -- chains linearized periodically, tree accesses forwarded;
+* ``Perf`` -- *perfect forwarding*: the same relocation, but every stale
+  pointer is magically updated for free.  Unachievable; an upper bound.
+
+The workload builds random CNF-style formulas bottom-up with ``apply``
+(unique-table and computed-cache heavy), then walks the result BDDs
+(``satcount``/``count_nodes``, tree-pointer heavy).  Checksums are the
+satisfying-assignment counts, which relocation must not change.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, Variant, register
+from repro.bdd.bdd import BDD
+from repro.core.machine import Machine
+from repro.runtime.rng import DeterministicRNG
+
+
+@register
+class SMV(Application):
+    """A BDD model-checking workload on the simulated machine."""
+
+    name = "smv"
+    description = "BDD construction and traversal (symbolic model checking)"
+    optimization = "list linearization of unique-table bucket chains"
+
+    VARS = 18
+    BUCKETS = 256
+    CACHE_SLOTS = 2048
+    GROUPS = 7               # independent functions kept live
+    CLAUSES_PER_GROUP = 10
+    LITERALS_PER_CLAUSE = 3
+    TRAVERSALS_PER_GROUP = 2
+    #: Linearize the unique table after this many clauses (L/Perf only).
+    LINEARIZE_EVERY = 40
+    WORK_PER_CLAUSE = 40
+
+    def variants(self) -> tuple[Variant, ...]:
+        return (Variant.N, Variant.L, Variant.PERF)
+
+    def execute(self, machine: Machine, variant: Variant) -> tuple[int, dict]:
+        rng = DeterministicRNG(self.seed)
+        bdd = BDD(machine, self.VARS, self.BUCKETS, self.CACHE_SLOTS)
+        pool = None
+        if variant.optimized:
+            pool = machine.create_pool(8 << 20, "smv")
+
+        groups = self._scaled(self.GROUPS, minimum=1)
+        linearize_every = self._scaled(self.LINEARIZE_EVERY, minimum=4)
+        clauses_built = 0
+        linearizations = 0
+        checksum = 0
+        roots: list[int] = []
+
+        for _ in range(groups):
+            conjunction = bdd.one
+            for _ in range(self.CLAUSES_PER_GROUP):
+                machine.execute(self.WORK_PER_CLAUSE)
+                # XOR clauses keep the BDD from collapsing, giving the
+                # model-checker-sized node population SMV is known for.
+                clause = bdd.zero
+                for _ in range(self.LITERALS_PER_CLAUSE):
+                    var = rng.randint(self.VARS)
+                    literal = bdd.var(var) if rng.chance(0.5) else bdd.nvar(var)
+                    clause = bdd.apply_xor(clause, literal)
+                if rng.chance(0.6):
+                    conjunction = bdd.apply_and(conjunction, clause)
+                else:
+                    conjunction = bdd.apply_xor(conjunction, clause)
+                clauses_built += 1
+                if pool is not None and clauses_built % linearize_every == 0:
+                    bdd.linearize_unique_table(pool)
+                    linearizations += 1
+                    if variant is Variant.PERF:
+                        bdd.fixup_tree_pointers()
+                        # Perfect forwarding extends to the program's own
+                        # live roots: nothing ever dereferences stale.
+                        conjunction = bdd._raw_final(conjunction)
+                        roots = [bdd._raw_final(root) for root in roots]
+            roots.append(conjunction)
+            # Analysis phase: tree-pointer-heavy traversals over all live
+            # roots (this is where forwarding bites in scheme L).
+            for _ in range(self.TRAVERSALS_PER_GROUP):
+                for root in roots:
+                    checksum = (checksum * 31 + bdd.satcount(root)) % (1 << 61)
+
+        extras = {
+            "bdd_nodes": bdd.node_count,
+            "linearizations": linearizations,
+            "cache_hits": bdd.cache_hits,
+        }
+        return checksum, extras

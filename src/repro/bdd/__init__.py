@@ -1,0 +1,1 @@
+"""Binary decision diagram substrate used by the SMV application."""

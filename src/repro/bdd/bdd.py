@@ -1,0 +1,372 @@
+"""A reduced ordered BDD package on the simulated machine (SMV substrate).
+
+The paper's SMV case study (Section 5.4) is a model checker built on
+Binary Decision Diagrams whose nodes are reachable two ways:
+
+* through the **unique table** -- an array of buckets pointing to linked
+  lists of nodes (collision chains), and
+* through **tree pointers** -- the ``low``/``high`` fields of other nodes.
+
+The locality optimization linearizes the unique-table chains.  The chain
+``next`` pointers and bucket heads are rewritten by the linearizer, but
+the tree pointers scattered through every other node are *not* updated,
+so dereferencing them after relocation is forwarded -- SMV is the one
+application where the safety net fires constantly, which is exactly what
+Figure 10 measures.
+
+``fixup_tree_pointers`` implements the *perfect forwarding* bound
+(scheme ``Perf``): every stale pointer is rewritten to its final address
+at zero simulated cost, so relocation happens but no reference ever pays
+a hop.
+
+The package is a conventional ROBDD implementation: ``mk`` with
+unique-table hashing, ``apply`` with a direct-mapped computed cache kept
+in simulated memory, and traversal utilities (node count, satisfying
+assignment count) that exercise the tree pointers.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import NULL, Machine
+from repro.core.memory import WORD_SIZE
+from repro.core.relocate import list_linearize
+from repro.mem.pool import RelocationPool
+from repro.runtime.records import RecordLayout
+
+#: BDD node: variable index, low/high children, unique-chain link, and an
+#: aux word (mark bits / reference counts, written during traversals as in
+#: real BDD packages -- the source of SMV's forwarded *stores*).
+BDD_NODE = RecordLayout(
+    "bdd_node", [("var", 8), ("low", 8), ("high", 8), ("next", 8), ("aux", 8)]
+)
+
+#: Computed-cache entry: (tagged key1, key2, result).
+CACHE_ENTRY = RecordLayout("bdd_cache", [("key1", 8), ("key2", 8), ("result", 8)])
+
+#: Variable index used by the two terminal nodes (ordered after all real
+#: variables).
+TERMINAL_VAR = (1 << 32) - 1
+
+#: Supported binary operations for apply().
+OP_AND = 1
+OP_OR = 2
+OP_XOR = 3
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix(a: int, b: int, c: int) -> int:
+    value = (a * _GOLDEN) ^ (b * 0xC2B2AE3D27D4EB4F) ^ (c * 0x165667B19E3779F9)
+    value &= _MASK64
+    return value >> 24
+
+
+class BDD:
+    """ROBDD manager over simulated memory.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine nodes live on.
+    num_vars:
+        Number of boolean variables (ordering = index order).
+    buckets:
+        Unique-table bucket count.
+    cache_slots:
+        Computed-cache entries (direct mapped, in simulated memory).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        num_vars: int,
+        buckets: int = 512,
+        cache_slots: int = 1024,
+    ) -> None:
+        if num_vars < 1:
+            raise ValueError(f"num_vars must be >= 1, got {num_vars}")
+        self.machine = machine
+        self.num_vars = num_vars
+        self.buckets = buckets
+        self.cache_slots = cache_slots
+        self.table_base = machine.malloc(buckets * WORD_SIZE)
+        self.cache_base = machine.malloc(cache_slots * CACHE_ENTRY.size)
+        # Terminal nodes live outside the unique table and never move.
+        self.zero = self._new_node(TERMINAL_VAR, NULL, NULL)
+        self.one = self._new_node(TERMINAL_VAR, NULL, NULL)
+        self.node_count = 2
+        self.mk_calls = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _new_node(self, var: int, low: int, high: int) -> int:
+        node = self.machine.malloc(BDD_NODE.size)
+        BDD_NODE.write(self.machine, node, "var", var)
+        BDD_NODE.write(self.machine, node, "low", low)
+        BDD_NODE.write(self.machine, node, "high", high)
+        BDD_NODE.write(self.machine, node, "next", NULL)
+        BDD_NODE.write(self.machine, node, "aux", 0)
+        return node
+
+    def _bucket_handle(self, var: int, low: int, high: int) -> int:
+        self.machine.execute(4)  # hash computation
+        return self.table_base + (_mix(var, low, high) % self.buckets) * WORD_SIZE
+
+    def mk(self, var: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(var, low, high)`` (reduced, unique)."""
+        self.mk_calls += 1
+        if low == high:
+            return low
+        m = self.machine
+        handle = self._bucket_handle(var, low, high)
+        node = m.load(handle)
+        while node != NULL:
+            m.execute(1)
+            if (
+                BDD_NODE.read(m, node, "var") == var
+                and BDD_NODE.read(m, node, "low") == low
+                and BDD_NODE.read(m, node, "high") == high
+            ):
+                return node
+            node = BDD_NODE.read(m, node, "next")
+        node = self._new_node(var, low, high)
+        BDD_NODE.write(m, node, "next", m.load(handle))
+        m.store(handle, node)
+        self.node_count += 1
+        return node
+
+    def var(self, index: int) -> int:
+        """The BDD of variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range [0, {self.num_vars})")
+        return self.mk(index, self.zero, self.one)
+
+    def nvar(self, index: int) -> int:
+        """The BDD of the negation of variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range [0, {self.num_vars})")
+        return self.mk(index, self.one, self.zero)
+
+    # ------------------------------------------------------------------
+    # Apply with a computed cache in simulated memory
+    # ------------------------------------------------------------------
+    def _cache_slot(self, op: int, f: int, g: int) -> int:
+        self.machine.execute(3)
+        return self.cache_base + (_mix(op, f, g) % self.cache_slots) * CACHE_ENTRY.size
+
+    def _cache_lookup(self, op: int, f: int, g: int) -> int | None:
+        m = self.machine
+        slot = self._cache_slot(op, f, g)
+        if CACHE_ENTRY.read(m, slot, "key1") == ((f << 2) | op) & _MASK64 and (
+            CACHE_ENTRY.read(m, slot, "key2") == g
+        ):
+            self.cache_hits += 1
+            return CACHE_ENTRY.read(m, slot, "result")
+        self.cache_misses += 1
+        return None
+
+    def _cache_store(self, op: int, f: int, g: int, result: int) -> None:
+        m = self.machine
+        slot = self._cache_slot(op, f, g)
+        CACHE_ENTRY.write(m, slot, "key1", ((f << 2) | op) & _MASK64)
+        CACHE_ENTRY.write(m, slot, "key2", g)
+        CACHE_ENTRY.write(m, slot, "result", result)
+
+    def _terminal_case(self, op: int, f: int, g: int) -> int | None:
+        zero, one = self.zero, self.one
+        if op == OP_AND:
+            if f == zero or g == zero:
+                return zero
+            if f == one:
+                return g
+            if g == one:
+                return f
+            if f == g:
+                return f
+        elif op == OP_OR:
+            if f == one or g == one:
+                return one
+            if f == zero:
+                return g
+            if g == zero:
+                return f
+            if f == g:
+                return f
+        elif op == OP_XOR:
+            if f == g:
+                return self.zero
+            if f == zero:
+                return g
+            if g == zero:
+                return f
+        else:
+            raise ValueError(f"unknown operation {op}")
+        return None
+
+    def apply(self, op: int, f: int, g: int) -> int:
+        """Combine two BDDs with a binary boolean operation."""
+        m = self.machine
+        m.execute(2)
+        terminal = self._terminal_case(op, f, g)
+        if terminal is not None:
+            return terminal
+        cached = self._cache_lookup(op, f, g)
+        if cached is not None:
+            return cached
+        f_var = BDD_NODE.read(m, f, "var")
+        g_var = BDD_NODE.read(m, g, "var")
+        var = min(f_var, g_var)
+        if f_var == var:
+            f_low = BDD_NODE.read(m, f, "low")
+            f_high = BDD_NODE.read(m, f, "high")
+        else:
+            f_low = f_high = f
+        if g_var == var:
+            g_low = BDD_NODE.read(m, g, "low")
+            g_high = BDD_NODE.read(m, g, "high")
+        else:
+            g_low = g_high = g
+        low = self.apply(op, f_low, g_low)
+        high = self.apply(op, f_high, g_high)
+        result = self.mk(var, low, high)
+        self._cache_store(op, f, g, result)
+        return result
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.apply(OP_AND, f, g)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.apply(OP_OR, f, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.apply(OP_XOR, f, g)
+
+    def ite_not(self, f: int) -> int:
+        """Negation via XOR with the constant one."""
+        return self.apply(OP_XOR, f, self.one)
+
+    # ------------------------------------------------------------------
+    # Traversals through the tree pointers (the forwarded path in SMV)
+    # ------------------------------------------------------------------
+    def count_nodes(self, root: int) -> int:
+        """Number of distinct nodes reachable from ``root`` (timed walk)."""
+        m = self.machine
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node in seen or node in (self.zero, self.one):
+                continue
+            seen.add(node)
+            stack.append(BDD_NODE.read(m, node, "low"))
+            stack.append(BDD_NODE.read(m, node, "high"))
+        return len(seen)
+
+    def satcount(self, root: int) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables."""
+        m = self.machine
+        memo: dict[int, int] = {}
+
+        def count(node: int) -> int:
+            # count(node) = satisfying assignments over the variables
+            # var(node)..num_vars-1 of the subfunction at node.
+            if node == self.zero:
+                return 0
+            if node == self.one:
+                return 1
+            if node in memo:
+                m.execute(1)
+                return memo[node]
+            var = BDD_NODE.read(m, node, "var")
+            low = BDD_NODE.read(m, node, "low")
+            high = BDD_NODE.read(m, node, "high")
+            # Mark the node visited (real packages write mark/ref words
+            # during such walks; these stores hit stale addresses too).
+            BDD_NODE.write(m, node, "aux", 1)
+            # Skipped levels between this node and each child contribute a
+            # factor of two per level (the child ignores those variables).
+            total = count(low) << (self._var_of(low) - var - 1)
+            total += count(high) << (self._var_of(high) - var - 1)
+            memo[node] = total
+            return total
+
+        if root == self.zero:
+            return 0
+        if root == self.one:
+            return 1 << self.num_vars
+        # Variables above the root are free: one factor of two each.
+        root_var = BDD_NODE.read(m, root, "var")
+        return count(root) << root_var
+
+    def _var_of(self, node: int) -> int:
+        if node in (self.zero, self.one):
+            return self.num_vars
+        var = BDD_NODE.read(self.machine, node, "var")
+        return min(var, self.num_vars)
+
+    def evaluate(self, root: int, assignment: list[bool]) -> bool:
+        """Evaluate the function under a variable assignment (timed walk)."""
+        m = self.machine
+        node = root
+        while node not in (self.zero, self.one):
+            var = BDD_NODE.read(m, node, "var")
+            field = "high" if assignment[var] else "low"
+            node = BDD_NODE.read(m, node, field)
+        return node == self.one
+
+    # ------------------------------------------------------------------
+    # The SMV layout optimization and the Perf bound
+    # ------------------------------------------------------------------
+    def linearize_unique_table(self, pool: RelocationPool) -> int:
+        """Linearize every unique-table bucket chain into ``pool``.
+
+        Bucket heads and chain ``next`` pointers are updated; tree
+        pointers (``low``/``high`` in other nodes) are NOT -- stale ones
+        will be forwarded, as in the paper's SMV.
+        """
+        moved = 0
+        for index in range(self.buckets):
+            handle = self.table_base + index * WORD_SIZE
+            _, count = list_linearize(
+                self.machine, handle, BDD_NODE.offset("next"), BDD_NODE.size, pool
+            )
+            moved += count
+        self.machine.relocation_stats.optimizer_invocations += 1
+        return moved
+
+    def fixup_tree_pointers(self) -> int:
+        """Rewrite every stale low/high pointer to its final address.
+
+        This models *perfect forwarding* (Figure 10's ``Perf``): the
+        rewrite is free -- raw memory writes with no simulated cost --
+        because the scheme is an unachievable upper bound, not a real
+        optimization.  Returns the number of pointers patched.
+        """
+        memory = self.machine.memory
+        patched = 0
+        for index in range(self.buckets):
+            node = memory.read_word(self.table_base + index * WORD_SIZE)
+            while node != NULL:
+                for field in ("low", "high"):
+                    offset = BDD_NODE.offset(field)
+                    value = memory.read_word(node + offset)
+                    final = self._raw_final(value)
+                    if final != value:
+                        memory.write_word(node + offset, final)
+                        patched += 1
+                node = memory.read_word(node + BDD_NODE.offset("next"))
+        return patched
+
+    def _raw_final(self, address: int) -> int:
+        """Untimed final-address resolution (for the Perf fixup only)."""
+        if address == NULL:
+            return NULL
+        memory = self.machine.memory
+        word = address & ~7
+        while memory.read_fbit(word):
+            word = memory.read_word(word)
+        return word | (address & 7)

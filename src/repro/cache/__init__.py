@@ -1,0 +1,1 @@
+"""Cache hierarchy model: set-associative caches, MSHRs, bandwidth."""

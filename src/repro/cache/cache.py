@@ -1,0 +1,176 @@
+"""A single level of set-associative cache (state only, no timing).
+
+Timing, miss-status handling, and bandwidth accounting live in
+:mod:`repro.cache.hierarchy`; this module models just the tag arrays:
+which lines are present, their dirty bits, and replacement.
+
+Line size is a constructor parameter because the paper's central
+experiments (Figures 5 and 6) sweep it: layout optimizations pay off
+*more* as lines get longer, which is the headline shape to reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.replacement import ReplacementPolicy, make_policy
+
+# Entry slots (entries are small mutable lists for speed).
+_TAG = 0
+_DIRTY = 1
+
+
+@dataclass
+class EvictedLine:
+    """Description of a line pushed out of the cache by a fill."""
+
+    line_address: int
+    dirty: bool
+
+
+@dataclass
+class CacheStats:
+    """Per-level hit/miss counters, split by access type."""
+
+    load_hits: int = 0
+    load_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.load_hits + self.store_hits
+
+    @property
+    def misses(self) -> int:
+        return self.load_misses + self.store_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        accesses = self.accesses
+        return self.misses / accesses if accesses else 0.0
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class Cache:
+    """Set-associative cache tag array with configurable geometry.
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes (power of two).
+    line_size:
+        Line size in bytes (power of two).
+    associativity:
+        Number of ways; ``size / line_size`` must be divisible by it.
+    policy:
+        Replacement policy name (``lru``, ``fifo``, ``random``).
+    name:
+        Label used in stats reporting (e.g. ``"L1D"``).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        line_size: int,
+        associativity: int,
+        policy: str = "lru",
+        name: str = "cache",
+    ) -> None:
+        if not _is_pow2(size) or not _is_pow2(line_size):
+            raise ValueError("cache size and line size must be powers of two")
+        if size < line_size:
+            raise ValueError("cache smaller than one line")
+        lines = size // line_size
+        if associativity < 1 or lines % associativity:
+            raise ValueError(
+                f"associativity {associativity} does not divide {lines} lines"
+            )
+        self.name = name
+        self.size = size
+        self.line_size = line_size
+        self.associativity = associativity
+        self.num_sets = lines // associativity
+        self.line_shift = line_size.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        self._sets: list[list[list]] = [[] for _ in range(self.num_sets)]
+        self._policy: ReplacementPolicy = make_policy(policy)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def line_address(self, address: int) -> int:
+        """Map a byte address to its line address (line-aligned bytes)."""
+        return (address >> self.line_shift) << self.line_shift
+
+    def lookup(self, address: int, is_write: bool) -> bool:
+        """Probe the cache; returns True on hit and updates recency/dirty."""
+        line = address >> self.line_shift
+        cache_set = self._sets[line & self._set_mask]
+        for index, entry in enumerate(cache_set):
+            if entry[_TAG] == line:
+                self._policy.on_hit(cache_set, index)
+                if is_write:
+                    entry[_DIRTY] = True
+                if is_write:
+                    self.stats.store_hits += 1
+                else:
+                    self.stats.load_hits += 1
+                return True
+        if is_write:
+            self.stats.store_misses += 1
+        else:
+            self.stats.load_misses += 1
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Non-destructive probe (no stats, no recency update)."""
+        line = address >> self.line_shift
+        cache_set = self._sets[line & self._set_mask]
+        return any(entry[_TAG] == line for entry in cache_set)
+
+    def fill(self, address: int, dirty: bool = False) -> EvictedLine | None:
+        """Bring the line holding ``address`` into the cache.
+
+        Returns the evicted line (if any) so the hierarchy can account for
+        writeback bandwidth.  Filling a line already present just updates
+        its dirty bit.
+        """
+        line = address >> self.line_shift
+        cache_set = self._sets[line & self._set_mask]
+        for index, entry in enumerate(cache_set):
+            if entry[_TAG] == line:
+                self._policy.on_hit(cache_set, index)
+                if dirty:
+                    entry[_DIRTY] = True
+                return None
+        evicted = None
+        if len(cache_set) >= self.associativity:
+            victim = cache_set.pop(self._policy.victim_index(cache_set))
+            self.stats.evictions += 1
+            if victim[_DIRTY]:
+                self.stats.dirty_evictions += 1
+            evicted = EvictedLine(victim[_TAG] << self.line_shift, bool(victim[_DIRTY]))
+        self._policy.on_fill(cache_set, [line, dirty])
+        return evicted
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line holding ``address``; returns True if it was present."""
+        line = address >> self.line_shift
+        cache_set = self._sets[line & self._set_mask]
+        for index, entry in enumerate(cache_set):
+            if entry[_TAG] == line:
+                cache_set.pop(index)
+                return True
+        return False
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held (for tests/diagnostics)."""
+        return sum(len(cache_set) for cache_set in self._sets)

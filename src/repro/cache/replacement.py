@@ -1,0 +1,107 @@
+"""Replacement policies for the set-associative cache model.
+
+The paper's simulated machine uses LRU caches; we provide LRU (the default
+used in all experiments) plus FIFO and a deterministic pseudo-random policy
+so ablations can check that the layout-optimization results are not an
+artifact of the replacement policy.
+
+A policy operates on one cache set, represented as a list of cache-line
+entries ordered from most- to least-recently used (for LRU) or in arrival
+order (FIFO/random).  Entries are small mutable lists ``[tag, dirty]``; the
+policy only decides *positions*, it never inspects the payload.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class ReplacementPolicy(Protocol):
+    """Strategy interface: how a cache set orders and evicts its lines."""
+
+    def on_hit(self, cache_set: list, index: int) -> None:
+        """Update recency state after a hit on ``cache_set[index]``."""
+
+    def victim_index(self, cache_set: list) -> int:
+        """Return the index of the entry to evict from a full set."""
+
+    def on_fill(self, cache_set: list, entry: list) -> None:
+        """Insert a newly filled ``entry`` into a non-full set."""
+
+
+class LRUPolicy:
+    """Least-recently-used: list is kept in MRU-to-LRU order."""
+
+    name = "lru"
+
+    def on_hit(self, cache_set: list, index: int) -> None:
+        if index:
+            entry = cache_set.pop(index)
+            cache_set.insert(0, entry)
+
+    def victim_index(self, cache_set: list) -> int:
+        return len(cache_set) - 1
+
+    def on_fill(self, cache_set: list, entry: list) -> None:
+        cache_set.insert(0, entry)
+
+
+class FIFOPolicy:
+    """First-in first-out: hits do not refresh recency."""
+
+    name = "fifo"
+
+    def on_hit(self, cache_set: list, index: int) -> None:
+        return None
+
+    def victim_index(self, cache_set: list) -> int:
+        return len(cache_set) - 1
+
+    def on_fill(self, cache_set: list, entry: list) -> None:
+        cache_set.insert(0, entry)
+
+
+class PseudoRandomPolicy:
+    """Deterministic pseudo-random victim selection (xorshift counter).
+
+    Deterministic so simulations stay reproducible run-to-run.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0x9E3779B9) -> None:
+        self._state = seed or 1
+
+    def _next(self) -> int:
+        state = self._state
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        self._state = state
+        return state
+
+    def on_hit(self, cache_set: list, index: int) -> None:
+        return None
+
+    def victim_index(self, cache_set: list) -> int:
+        return self._next() % len(cache_set)
+
+    def on_fill(self, cache_set: list, entry: list) -> None:
+        cache_set.insert(0, entry)
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": PseudoRandomPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``/``fifo``/``random``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

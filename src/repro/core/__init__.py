@@ -1,0 +1,1 @@
+"""Core mechanism: tagged memory, forwarding engine, machine facade."""

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the memory-forwarding simulator.
+
+Every error raised by the simulated machine derives from
+:class:`SimulationError`, so callers can fence off simulator failures from
+ordinary Python errors with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulated machine."""
+
+
+class MemoryAccessError(SimulationError):
+    """An access fell outside the simulated physical address space."""
+
+    def __init__(self, address: int, size: int = 0, reason: str = "") -> None:
+        self.address = address
+        self.size = size
+        detail = f"address={address:#x}"
+        if size:
+            detail += f" size={size}"
+        if reason:
+            detail += f" ({reason})"
+        super().__init__(f"invalid memory access: {detail}")
+
+
+class AlignmentError(SimulationError):
+    """An access (or relocation) violated the required alignment.
+
+    The paper requires relocatable chunks to be word aligned (Section 2.1)
+    and the simulated MIPS-like machine requires naturally aligned
+    loads and stores.
+    """
+
+    def __init__(self, address: int, alignment: int) -> None:
+        self.address = address
+        self.alignment = alignment
+        super().__init__(
+            f"address {address:#x} is not aligned to {alignment} bytes"
+        )
+
+
+class ForwardingCycleError(SimulationError):
+    """An accurate cycle check confirmed a forwarding-chain cycle.
+
+    Per Section 3.2 of the paper, the hardware keeps a cheap hop counter
+    and raises an exception when the limit is exceeded; the software
+    handler then performs an accurate check.  If the chain really does
+    contain a cycle, execution must be aborted -- which in this simulator
+    surfaces as this exception.
+    """
+
+    def __init__(self, start_address: int, cycle_address: int) -> None:
+        self.start_address = start_address
+        self.cycle_address = cycle_address
+        super().__init__(
+            f"forwarding cycle detected: chain from {start_address:#x} "
+            f"revisits {cycle_address:#x}"
+        )
+
+
+class HopLimitExceeded(SimulationError):
+    """Internal signal: the fast hop counter overflowed.
+
+    Raised by the hardware-level chain walker; the machine catches it and
+    runs the accurate (but slow) cycle check, mirroring the exception
+    handler described in Section 3.2.  Application code should never see
+    this exception escape the machine.
+    """
+
+    def __init__(self, start_address: int, hops: int) -> None:
+        self.start_address = start_address
+        self.hops = hops
+        super().__init__(
+            f"forwarding hop limit exceeded after {hops} hops "
+            f"starting at {start_address:#x}"
+        )
+
+
+class AllocationError(SimulationError):
+    """The simulated heap could not satisfy an allocation request."""
+
+
+class DoubleFreeError(SimulationError):
+    """A simulated heap block was freed twice (or was never allocated)."""
+
+    def __init__(self, address: int) -> None:
+        self.address = address
+        super().__init__(f"free of unallocated address {address:#x}")

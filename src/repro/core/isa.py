@@ -1,0 +1,55 @@
+"""The paper's ISA extensions (Figure 3), under their published names.
+
+The machine exposes the three new instructions as plain methods
+(:meth:`~repro.core.machine.Machine.read_fbit` and friends).  This module
+wraps them in an object using the paper's exact mnemonics, which keeps
+example code and fidelity tests side-by-side readable against Figure 3:
+
+=====================  =========================================================
+Instruction            Semantics
+=====================  =========================================================
+``Read_FBit(addr)``    Return the forwarding bit of the word at ``addr``.
+``Unforwarded_Read``   Read a word with the forwarding mechanism disabled --
+                       i.e. return the forwarding address itself, not the data
+                       it points to.
+``Unforwarded_Write``  Write a word *and* its forwarding bit atomically, with
+                       the forwarding mechanism disabled.
+=====================  =========================================================
+
+Normal ``Read``/``Write`` (the forwarding-enabled references every ordinary
+instruction performs) are included for completeness.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import Machine
+from repro.core.memory import WORD_SIZE
+
+
+class ISAExtensions:
+    """Figure 3's instruction set, bound to one simulated machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    # -- new instructions ------------------------------------------------
+    def Read_FBit(self, address: int) -> int:
+        """Return the forwarding bit (0/1) of the word at ``address``."""
+        return self.machine.read_fbit(address)
+
+    def Unforwarded_Read(self, address: int) -> int:
+        """Read the raw word at ``address``, ignoring its forwarding bit."""
+        return self.machine.unforwarded_read(address)
+
+    def Unforwarded_Write(self, address: int, value: int, fbit: int) -> None:
+        """Atomically write ``value`` and ``fbit`` at ``address``."""
+        self.machine.unforwarded_write(address, value, fbit)
+
+    # -- ordinary references (forwarding enabled) -------------------------
+    def Read(self, address: int, size: int = WORD_SIZE) -> int:
+        """A normal load: follows forwarding chains to the final address."""
+        return self.machine.load(address, size)
+
+    def Write(self, address: int, value: int, size: int = WORD_SIZE) -> None:
+        """A normal store: follows forwarding chains to the final address."""
+        self.machine.store(address, value, size)

@@ -1,0 +1,314 @@
+"""The simulated machine: tagged memory, forwarding, caches, and timing.
+
+:class:`Machine` is the facade every application and optimization in this
+reproduction programs against.  Its data-reference methods implement the
+paper's semantics end to end:
+
+1. a reference presents an **initial address**;
+2. the forwarding engine chases any chain to the **final address**, with
+   each hop performing a real (timed, cache-polluting) memory access;
+3. the final access goes through the two-level cache hierarchy;
+4. the timing model attributes the latency to graduation-slot categories;
+5. the dependence speculator checks for initial/final address collisions.
+
+The paper's ISA extensions (Figure 3) -- ``Read_FBit``,
+``Unforwarded_Read`` and ``Unforwarded_Write`` -- are methods here too, so
+software such as ``relocate()`` pays its costs through the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.core.errors import DoubleFreeError, MemoryAccessError
+from repro.core.forwarding import ForwardingEngine
+from repro.core.memory import TaggedMemory, WORD_SIZE
+from repro.core.stats import MachineStats, ReferenceLatencyStats, RelocationStats
+from repro.cpu.prefetch import SoftwarePrefetcher
+from repro.cpu.speculation import DependenceSpeculator
+from repro.cpu.timing import TimingConfig, TimingModel
+from repro.mem.allocator import HeapAllocator
+from repro.mem.pool import RelocationPool
+
+#: The simulated NULL pointer.
+NULL = 0
+
+
+@dataclass(frozen=True)
+class ForwardingEvent:
+    """Passed to a user-level trap handler when a reference is forwarded.
+
+    Mirrors the lightweight user-level trap of Section 3.2: the handler
+    learns which initial address was stale and where the data now lives,
+    so it can profile the miss or repair the offending pointer.
+    """
+
+    initial_address: int
+    final_address: int
+    hops: int
+    is_write: bool
+
+
+#: Signature of a user-level forwarding trap handler.
+TrapHandler = Callable[["Machine", ForwardingEvent], None]
+
+
+@dataclass
+class MachineConfig:
+    """Configuration of the whole simulated system."""
+
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    #: Base of the application heap; low memory is reserved so NULL (0)
+    #: never aliases a live object.
+    heap_base: int = 0x10000
+    heap_size: int = 24 << 20
+    #: Region reserved for relocation pools, carved on demand.
+    pool_region_size: int = 24 << 20
+    hop_limit: int = 16
+    #: Depth of the dependence-speculation store window (0 disables).
+    speculation_window: int = 32
+    #: Instruction cost of malloc bookkeeping (beyond per-byte clearing).
+    malloc_base_cost: int = 16
+    #: Instruction cost of the forwarding-aware free wrapper.
+    free_base_cost: int = 8
+    #: Largest block prefetch (lines) a single instruction may request.
+    max_prefetch_block: int = 8
+    #: Extra cycles charged to a user-level trap handler invocation.
+    user_trap_cycles: float = 10.0
+
+    @property
+    def memory_size(self) -> int:
+        return self.heap_base + self.heap_size + self.pool_region_size
+
+    def with_line_size(self, line_size: int) -> "MachineConfig":
+        """Copy of this config with a different cache line size."""
+        return replace(self, hierarchy=replace(self.hierarchy, line_size=line_size))
+
+
+class Machine:
+    """A complete simulated system instance."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config or MachineConfig()
+        cfg = self.config
+        self.memory = TaggedMemory(cfg.memory_size)
+        self.forwarding = ForwardingEngine(self.memory, cfg.hop_limit)
+        self.hierarchy = MemoryHierarchy(cfg.hierarchy)
+        self.timing = TimingModel(cfg.timing)
+        self.heap = HeapAllocator(self.memory, cfg.heap_base, cfg.heap_size)
+        self.prefetcher = SoftwarePrefetcher(self.hierarchy, cfg.max_prefetch_block)
+        self.speculator = (
+            DependenceSpeculator(cfg.speculation_window)
+            if cfg.speculation_window > 0
+            else None
+        )
+        self.pools: list[RelocationPool] = []
+        self._pool_bump = cfg.heap_base + cfg.heap_size
+        self._pool_limit = self._pool_bump + cfg.pool_region_size
+        self.trap_handler: TrapHandler | None = None
+        # Per-reference latency accounting (Figure 10(c,d)).
+        self.load_latency = ReferenceLatencyStats()
+        self.store_latency = ReferenceLatencyStats()
+        self.relocation_stats = RelocationStats()
+        # Scratch accumulator filled by the per-hop callback.
+        self._hop_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    # Data references (forwarding-aware)
+    # ------------------------------------------------------------------
+    def _on_hop(self, word_address: int) -> None:
+        """Timed cache access for one forwarding hop.
+
+        The old location is genuinely touched, which is how forwarding
+        pollutes the cache (the effect Figure 10(d) attributes latency to).
+        """
+        timing = self.timing
+        start = timing.cycle
+        result = self.hierarchy.access(word_address, False, start)
+        timing.load_completes(result.ready, forwarding=True)
+        self._hop_cycles += result.ready - start
+
+    def load(self, address: int, size: int = WORD_SIZE) -> int:
+        """Forwarding-aware load of ``size`` bytes; returns the value."""
+        timing = self.timing
+        timing.execute(1)
+        self._hop_cycles = 0.0
+        final, hops = self.forwarding.resolve(address, self._on_hop)
+        start = timing.cycle
+        result = self.hierarchy.access(final, False, start)
+        timing.load_completes(result.ready, forwarding=hops > 0)
+        latency = self.load_latency
+        latency.count += 1
+        latency.ordinary_cycles += result.ready - start
+        if hops:
+            latency.forwarded += 1
+            latency.forwarding_cycles += self._hop_cycles + timing.forwarding_trap_cost(hops)
+            timing.forwarding_trap(hops)
+            self._fire_trap(address, final, hops, is_write=False)
+        if self.speculator is not None and self.speculator.on_load(address, final):
+            timing.misspeculation_flush()
+        return self.memory.read_data(final, size)
+
+    def store(self, address: int, value: int, size: int = WORD_SIZE) -> None:
+        """Forwarding-aware store of ``size`` bytes."""
+        timing = self.timing
+        timing.execute(1)
+        self._hop_cycles = 0.0
+        final, hops = self.forwarding.resolve(address, self._on_hop)
+        start = timing.cycle
+        result = self.hierarchy.access(final, True, start)
+        timing.store_completes(result.ready, forwarding=hops > 0)
+        latency = self.store_latency
+        latency.count += 1
+        latency.ordinary_cycles += result.ready - start
+        if hops:
+            latency.forwarded += 1
+            latency.forwarding_cycles += self._hop_cycles + timing.forwarding_trap_cost(hops)
+            timing.forwarding_trap(hops)
+            self._fire_trap(address, final, hops, is_write=True)
+        if self.speculator is not None:
+            self.speculator.on_store(address, final)
+        self.memory.write_data(final, value, size)
+
+    def _fire_trap(self, initial: int, final: int, hops: int, is_write: bool) -> None:
+        handler = self.trap_handler
+        if handler is not None:
+            self.timing.stall(self.config.user_trap_cycles, "inst")
+            handler(self, ForwardingEvent(initial, final, hops, is_write))
+
+    # ------------------------------------------------------------------
+    # ISA extensions (Figure 3) -- forwarding mechanism disabled
+    # ------------------------------------------------------------------
+    def read_fbit(self, address: int) -> int:
+        """``Read_FBit``: test whether a word holds a forwarding address.
+
+        The bit travels with the line, so this is a timed cache access of
+        the word itself (Section 3.2: the bit cannot be tested until the
+        line reaches the primary cache).
+        """
+        timing = self.timing
+        timing.execute(1)
+        result = self.hierarchy.access(address & ~7, False, timing.cycle)
+        timing.load_completes(result.ready)
+        return self.memory.read_fbit(address & ~7)
+
+    def unforwarded_read(self, address: int) -> int:
+        """``Unforwarded_Read``: read a word with forwarding disabled."""
+        timing = self.timing
+        timing.execute(1)
+        result = self.hierarchy.access(address & ~7, False, timing.cycle)
+        timing.load_completes(result.ready)
+        return self.memory.read_word(address & ~7)
+
+    def unforwarded_write(self, address: int, value: int, fbit: int) -> None:
+        """``Unforwarded_Write``: atomically set a word and its bit."""
+        timing = self.timing
+        timing.execute(1)
+        result = self.hierarchy.access(address & ~7, True, timing.cycle)
+        timing.store_completes(result.ready)
+        self.memory.write_word_tagged(address & ~7, value, fbit)
+
+    # ------------------------------------------------------------------
+    # Prefetch and plain computation
+    # ------------------------------------------------------------------
+    def prefetch(self, address: int, lines: int = 1) -> None:
+        """Issue one (block) software prefetch instruction."""
+        self.timing.execute(1)
+        self.prefetcher.prefetch_block(address, lines, self.timing.cycle)
+
+    def execute(self, instructions: int) -> None:
+        """Account for ``instructions`` non-memory instructions."""
+        self.timing.execute(instructions)
+
+    # ------------------------------------------------------------------
+    # Heap and pools
+    # ------------------------------------------------------------------
+    def malloc(self, nbytes: int, align: int = WORD_SIZE) -> int:
+        """Allocate a heap block; charges allocator bookkeeping time."""
+        self.timing.execute(self.config.malloc_base_cost + (nbytes >> 6))
+        return self.heap.allocate(nbytes, align)
+
+    def free(self, address: int) -> None:
+        """Forwarding-aware deallocation wrapper (Section 3.3).
+
+        Every heap block reachable along the forwarding chain of the
+        object's first word is released, so relocated copies do not leak
+        when the application frees the object by any of its addresses.
+        """
+        chain = self.forwarding.chain(address)
+        self.timing.execute(self.config.free_base_cost + 2 * len(chain))
+        freed_any = False
+        in_pool = False
+        for word_address in chain:
+            if self.heap.owns(word_address):
+                self.heap.release(word_address)
+                freed_any = True
+            elif any(pool.contains(word_address) for pool in self.pools):
+                # Pool (arena) memory is reclaimed wholesale, never block by
+                # block; freeing a relocated copy by its pool address is a
+                # no-op, and the original heap stub -- unreachable from here,
+                # since chains only run old-to-new -- stays resident.  That
+                # residue is exactly the paper's Table 1 "space overhead".
+                in_pool = True
+        if not freed_any and not in_pool:
+            raise DoubleFreeError(address)
+
+    def create_pool(self, size: int, name: str = "pool") -> RelocationPool:
+        """Carve a contiguous relocation pool out of the pool region."""
+        size = (size + WORD_SIZE - 1) & ~(WORD_SIZE - 1)
+        if self._pool_bump + size > self._pool_limit:
+            raise MemoryAccessError(self._pool_bump, size, "pool region exhausted")
+        pool = RelocationPool(self._pool_bump, size, name)
+        self._pool_bump += size
+        self.pools.append(pool)
+        return pool
+
+    # ------------------------------------------------------------------
+    # User-level traps (Section 3.2)
+    # ------------------------------------------------------------------
+    def set_trap_handler(self, handler: TrapHandler | None) -> None:
+        """Install (or clear) the user-level forwarding trap handler."""
+        self.trap_handler = handler
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> float:
+        return self.timing.cycle
+
+    def stats(self) -> MachineStats:
+        """Snapshot every counter the experiments report."""
+        miss = self.hierarchy.miss_classes
+        traffic = self.hierarchy.traffic
+        reloc = replace(
+            self.relocation_stats,
+            pool_bytes=sum(pool.used_bytes for pool in self.pools),
+        )
+        return MachineStats(
+            cycles=self.timing.cycle,
+            instructions=self.timing.instructions,
+            slots=self.timing.slot_breakdown(),
+            loads=replace(self.load_latency),
+            stores=replace(self.store_latency),
+            l1_load_misses_full=miss.load_full,
+            l1_load_misses_partial=miss.load_partial,
+            l1_store_misses_full=miss.store_full,
+            l1_store_misses_partial=miss.store_partial,
+            l2_misses=self.hierarchy.l2.stats.misses,
+            l1_l2_bytes=traffic.l1_l2_bytes,
+            l2_mem_bytes=traffic.l2_mem_bytes,
+            forwarding_hops=self.forwarding.stats.total_hops,
+            cycle_checks=self.forwarding.stats.cycle_check_invocations,
+            speculation_loads_checked=(
+                self.speculator.stats.loads_checked if self.speculator else 0
+            ),
+            misspeculations=self.timing.misspeculations,
+            prefetch_instructions=self.prefetcher.stats.instructions_issued,
+            prefetch_fills=self.prefetcher.stats.fills_started,
+            relocation=reloc,
+            heap_high_water=self.heap.stats.high_water,
+        )

@@ -1,0 +1,154 @@
+"""Aggregated simulation statistics.
+
+One :class:`MachineStats` snapshot carries everything the paper's
+evaluation section reports:
+
+* graduation-slot breakdown (Figure 5),
+* load miss counts split full/partial (Figure 6(a)),
+* bytes moved at both memory-system interfaces (Figure 6(b)),
+* forwarding frequency and per-reference latency split (Figure 10(c,d)),
+* relocation and space-overhead accounting (Table 1).
+
+Snapshots are plain data: experiments collect them, diff them, and render
+them without needing the live machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cpu.timing import SlotBreakdown
+
+
+@dataclass
+class ReferenceLatencyStats:
+    """Per-reference completion-time accounting for Figure 10(d).
+
+    ``ordinary`` sums cache hit/miss latencies of the final access;
+    ``forwarding`` sums time spent dereferencing forwarding addresses
+    (hop accesses plus trap overhead).
+    """
+
+    count: int = 0
+    forwarded: int = 0
+    ordinary_cycles: float = 0.0
+    forwarding_cycles: float = 0.0
+
+    @property
+    def avg_ordinary(self) -> float:
+        return self.ordinary_cycles / self.count if self.count else 0.0
+
+    @property
+    def avg_forwarding(self) -> float:
+        return self.forwarding_cycles / self.count if self.count else 0.0
+
+    @property
+    def avg_total(self) -> float:
+        return self.avg_ordinary + self.avg_forwarding
+
+    @property
+    def forwarded_fraction(self) -> float:
+        """Fraction of references needing >= 1 hop (Figure 10(c))."""
+        return self.forwarded / self.count if self.count else 0.0
+
+
+@dataclass
+class RelocationStats:
+    """Software-side relocation activity (Table 1)."""
+
+    #: Calls to relocate() (one per object moved).
+    relocations: int = 0
+    #: Total words moved.
+    words_relocated: int = 0
+    #: Invocations of higher-level optimizations (e.g. list linearizations).
+    optimizer_invocations: int = 0
+    #: Bytes of pool space consumed by relocated copies ("Space Overhead").
+    pool_bytes: int = 0
+
+
+@dataclass
+class MachineStats:
+    """Full snapshot of one simulation run."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    slots: SlotBreakdown = field(
+        default_factory=lambda: SlotBreakdown(0.0, 0.0, 0.0, 0.0)
+    )
+    loads: ReferenceLatencyStats = field(default_factory=ReferenceLatencyStats)
+    stores: ReferenceLatencyStats = field(default_factory=ReferenceLatencyStats)
+    # Cache behaviour.
+    l1_load_misses_full: int = 0
+    l1_load_misses_partial: int = 0
+    l1_store_misses_full: int = 0
+    l1_store_misses_partial: int = 0
+    l2_misses: int = 0
+    # Bandwidth (Figure 6(b)).
+    l1_l2_bytes: int = 0
+    l2_mem_bytes: int = 0
+    # Forwarding engine.
+    forwarding_hops: int = 0
+    cycle_checks: int = 0
+    # Speculation.
+    speculation_loads_checked: int = 0
+    misspeculations: int = 0
+    # Prefetching.
+    prefetch_instructions: int = 0
+    prefetch_fills: int = 0
+    # Software relocation.
+    relocation: RelocationStats = field(default_factory=RelocationStats)
+    # Heap footprint.
+    heap_high_water: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def load_misses(self) -> int:
+        return self.l1_load_misses_full + self.l1_load_misses_partial
+
+    @property
+    def store_misses(self) -> int:
+        return self.l1_store_misses_full + self.l1_store_misses_partial
+
+    @property
+    def total_bandwidth_bytes(self) -> int:
+        return self.l1_l2_bytes + self.l2_mem_bytes
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "MachineStats") -> float:
+        """Execution-time speedup of ``self`` relative to ``baseline``."""
+        return baseline.cycles / self.cycles if self.cycles else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten to primitives for reports and JSON dumps."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "busy_slots": self.slots.busy,
+            "load_stall_slots": self.slots.load_stall,
+            "store_stall_slots": self.slots.store_stall,
+            "inst_stall_slots": self.slots.inst_stall,
+            "loads": self.loads.count,
+            "stores": self.stores.count,
+            "forwarded_loads": self.loads.forwarded,
+            "forwarded_stores": self.stores.forwarded,
+            "load_misses_full": self.l1_load_misses_full,
+            "load_misses_partial": self.l1_load_misses_partial,
+            "store_misses_full": self.l1_store_misses_full,
+            "store_misses_partial": self.l1_store_misses_partial,
+            "l2_misses": self.l2_misses,
+            "l1_l2_bytes": self.l1_l2_bytes,
+            "l2_mem_bytes": self.l2_mem_bytes,
+            "forwarding_hops": self.forwarding_hops,
+            "misspeculations": self.misspeculations,
+            "prefetch_instructions": self.prefetch_instructions,
+            "prefetch_fills": self.prefetch_fills,
+            "relocations": self.relocation.relocations,
+            "words_relocated": self.relocation.words_relocated,
+            "optimizer_invocations": self.relocation.optimizer_invocations,
+            "pool_bytes": self.relocation.pool_bytes,
+            "heap_high_water": self.heap_high_water,
+        }

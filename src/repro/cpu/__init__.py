@@ -1,0 +1,1 @@
+"""CPU model: graduation-slot timing, dependence speculation, prefetch."""

@@ -1,0 +1,95 @@
+"""Data-dependence speculation in the presence of memory forwarding.
+
+Section 3.2 of the paper: because a reference's *final* address is not
+known until the reference nearly completes, a conservative out-of-order
+core could never hoist a load above an earlier store.  The fix is to
+speculate that final address == initial address (i.e. that the reference
+is not forwarded), let the load go early, and squash if the speculation
+was wrong.
+
+A speculation is wrong exactly when a nearby earlier store and a younger
+load had **different initial addresses but the same final address** -- the
+disambiguator compared initials and concluded "independent" when they in
+fact collided after forwarding.  (Same-initial pairs are handled by the
+ordinary store queue and never misspeculate.)
+
+The paper observes this "almost never" happens; this model lets us verify
+that claim and charge the flush penalty when it does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class SpeculationStats:
+    """Counters for the disambiguation model."""
+
+    loads_checked: int = 0
+    stores_tracked: int = 0
+    misspeculations: int = 0
+
+
+class DependenceSpeculator:
+    """Sliding-window store queue that detects final-address collisions.
+
+    Parameters
+    ----------
+    window:
+        Number of recent stores a young load could have bypassed -- a proxy
+        for the instruction-window depth of the modeled core.
+    """
+
+    def __init__(self, window: int = 32) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.stats = SpeculationStats()
+        # deque of (final_word, initial_word); dict final_word -> initial_word
+        # for O(1) load checks.  The dict keeps the *youngest* store to each
+        # final word, which is the one an incorrectly hoisted load would
+        # actually conflict with.
+        self._queue: deque[tuple[int, int]] = deque()
+        self._by_final: dict[int, int] = {}
+
+    def on_store(self, initial: int, final: int) -> None:
+        """Record a retiring store's initial and final word addresses."""
+        initial_word = initial & ~7
+        final_word = final & ~7
+        self.stats.stores_tracked += 1
+        queue = self._queue
+        queue.append((final_word, initial_word))
+        self._by_final[final_word] = initial_word
+        if len(queue) > self.window:
+            old_final, old_initial = queue.popleft()
+            # Only drop the mapping if it was not overwritten by a younger
+            # store to the same final word.
+            if self._by_final.get(old_final) == old_initial:
+                youngest = None
+                for entry_final, entry_initial in queue:
+                    if entry_final == old_final:
+                        youngest = entry_initial
+                if youngest is None:
+                    del self._by_final[old_final]
+                else:
+                    self._by_final[old_final] = youngest
+
+    def on_load(self, initial: int, final: int) -> bool:
+        """Check a load against recent stores; True means misspeculation.
+
+        A misspeculation requires the colliding pair to have *different*
+        initial addresses: with equal initials the conventional store
+        queue already ordered them correctly.
+        """
+        self.stats.loads_checked += 1
+        store_initial = self._by_final.get(final & ~7)
+        if store_initial is not None and store_initial != (initial & ~7):
+            self.stats.misspeculations += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._by_final.clear()

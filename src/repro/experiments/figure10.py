@@ -1,0 +1,128 @@
+"""Figure 10: the impact of forwarding overhead (the SMV case study).
+
+SMV is the one application whose relocation leaves stale pointers in hot
+paths, so the forwarding safety net fires constantly.  Four panels:
+
+* **(a)** execution time of ``N`` (no optimization), ``L`` (linearized,
+  forwarding occurs) and ``Perf`` (linearized with free pointer fixup);
+* **(b)** load and store D-cache miss counts per scheme;
+* **(c)** fraction of loads and stores requiring forwarding hops
+  (paper: 7.7% of loads, 1.7% of stores, one hop each);
+* **(d)** average cycles to complete a load/store, split into
+  *forwarding* and *ordinary* (hit/miss latency) time.
+
+Paper shapes: L is slower than N (dereference cost + cache pollution
+from touching old locations); Perf recovers and only marginally beats N
+(the layout cannot favour hash-table and tree access patterns at once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import Variant
+from repro.experiments.report import render_table
+from repro.experiments.runner import ExperimentRunner
+
+LINE_SIZE = 32
+SCHEMES = (Variant.N, Variant.L, Variant.PERF)
+
+
+@dataclass
+class Figure10Row:
+    variant: Variant
+    cycles: float
+    load_misses: int
+    store_misses: int
+    loads_forwarded_fraction: float
+    stores_forwarded_fraction: float
+    avg_load_ordinary: float
+    avg_load_forwarding: float
+    avg_store_ordinary: float
+    avg_store_forwarding: float
+
+
+@dataclass
+class Figure10Result:
+    rows: list[Figure10Row] = field(default_factory=list)
+
+    def row(self, variant: Variant) -> Figure10Row:
+        for row in self.rows:
+            if row.variant is variant:
+                return row
+        raise KeyError(variant)
+
+    def render(self) -> str:
+        time_rows = [
+            (row.variant.value, f"{row.cycles:.0f}",
+             f"{row.cycles / self.rows[0].cycles:.3f}")
+            for row in self.rows
+        ]
+        miss_rows = [
+            (row.variant.value, row.load_misses, row.store_misses)
+            for row in self.rows
+        ]
+        fwd_rows = [
+            (
+                row.variant.value,
+                f"{100 * row.loads_forwarded_fraction:.2f}%",
+                f"{100 * row.stores_forwarded_fraction:.2f}%",
+            )
+            for row in self.rows
+        ]
+        latency_rows = [
+            (
+                row.variant.value,
+                f"{row.avg_load_ordinary:.2f}",
+                f"{row.avg_load_forwarding:.2f}",
+                f"{row.avg_store_ordinary:.2f}",
+                f"{row.avg_store_forwarding:.2f}",
+            )
+            for row in self.rows
+        ]
+        return "\n\n".join(
+            [
+                render_table(["Scheme", "Cycles", "Norm."], time_rows,
+                             title="Figure 10(a): SMV execution time"),
+                render_table(["Scheme", "Load misses", "Store misses"], miss_rows,
+                             title="Figure 10(b): D-cache misses"),
+                render_table(["Scheme", "Loads forwarded", "Stores forwarded"],
+                             fwd_rows,
+                             title="Figure 10(c): references requiring forwarding"),
+                render_table(
+                    ["Scheme", "Load ord.", "Load fwd.", "Store ord.", "Store fwd."],
+                    latency_rows,
+                    title="Figure 10(d): average cycles per reference",
+                ),
+            ]
+        )
+
+
+def run(runner: ExperimentRunner | None = None, scale: float = 1.0) -> Figure10Result:
+    runner = runner or ExperimentRunner(scale=scale)
+    result = Figure10Result()
+    for variant in SCHEMES:
+        stats = runner.run("smv", variant, LINE_SIZE).stats
+        result.rows.append(
+            Figure10Row(
+                variant=variant,
+                cycles=stats.cycles,
+                load_misses=stats.load_misses,
+                store_misses=stats.store_misses,
+                loads_forwarded_fraction=stats.loads.forwarded_fraction,
+                stores_forwarded_fraction=stats.stores.forwarded_fraction,
+                avg_load_ordinary=stats.loads.avg_ordinary,
+                avg_load_forwarding=stats.loads.avg_forwarding,
+                avg_store_ordinary=stats.stores.avg_ordinary,
+                avg_store_forwarding=stats.stores.avg_forwarding,
+            )
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(ExperimentRunner(verbose=True)).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,151 @@
+"""Figure 5: execution-time breakdown of the locality optimizations.
+
+For each of the seven applications (SMV is held out for Figure 10, as in
+the paper) and each line size, the unoptimized (``N``) and layout-
+optimized (``L``) cases are simulated and their graduation slots broken
+into *busy*, *load stall*, *store stall*, and *inst stall* -- the paper's
+stacked bars -- with the speedup of L over N printed per pair.
+
+Shapes to reproduce (Section 5.1):
+
+* unoptimized performance generally degrades as lines get longer;
+* L beats N at every line size for every application except Compress;
+* speedups grow with line size, the largest gains at 128 B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps import FIGURE5_APPS
+from repro.apps.base import Variant
+from repro.cpu.timing import SlotBreakdown
+from repro.experiments.config import line_sizes_for
+from repro.experiments.report import (
+    percent,
+    render_stacked_bar,
+    render_table,
+    speedup,
+)
+from repro.experiments.runner import ExperimentRunner
+
+
+@dataclass
+class Figure5Cell:
+    """One bar of the figure."""
+
+    app: str
+    line_size: int
+    variant: Variant
+    slots: SlotBreakdown
+    cycles: float
+    #: Total normalised to this app's N case at its smallest line size.
+    normalized_total: float = 0.0
+
+
+@dataclass
+class Figure5Result:
+    cells: list[Figure5Cell] = field(default_factory=list)
+    #: (app, line_size) -> speedup of L over N.
+    speedups: dict[tuple[str, int], float] = field(default_factory=dict)
+
+    def cell(self, app: str, line_size: int, variant: Variant) -> Figure5Cell:
+        for cell in self.cells:
+            if (cell.app, cell.line_size, cell.variant) == (app, line_size, variant):
+                return cell
+        raise KeyError((app, line_size, variant))
+
+    def render(self) -> str:
+        rows = []
+        for cell in self.cells:
+            slots = cell.slots
+            pair = (cell.app, cell.line_size)
+            rows.append(
+                (
+                    cell.app,
+                    cell.line_size,
+                    cell.variant.value,
+                    f"{cell.normalized_total:.2f}",
+                    f"{slots.busy:.0f}",
+                    f"{slots.load_stall:.0f}",
+                    f"{slots.store_stall:.0f}",
+                    f"{slots.inst_stall:.0f}",
+                    percent(self.speedups[pair] - 1.0)
+                    if cell.variant is Variant.L
+                    else "",
+                )
+            )
+        return render_table(
+            ["App", "Line", "Case", "Norm.time", "Busy", "LoadStall",
+             "StoreStall", "InstStall", "Speedup"],
+            rows,
+            title="Figure 5: execution time breakdown (graduation slots), N vs L",
+        )
+
+    def render_bars(self, width: int = 48) -> str:
+        """The figure as stacked text bars (busy=#, load==, store=+, inst=.),
+        each app's bars scaled to its tallest one -- the paper's visual."""
+        lines = ["Figure 5 (bars): busy='#'  load stall='='  store stall='+'  inst stall='.'"]
+        by_app: dict[str, list[Figure5Cell]] = {}
+        for cell in self.cells:
+            by_app.setdefault(cell.app, []).append(cell)
+        for app, cells in by_app.items():
+            tallest = max(cell.slots.total for cell in cells)
+            lines.append(f"\n{app}:")
+            for cell in cells:
+                slots = cell.slots
+                bar = render_stacked_bar(
+                    [
+                        ("busy", slots.busy),
+                        ("load", slots.load_stall),
+                        ("store", slots.store_stall),
+                        ("inst", slots.inst_stall),
+                    ],
+                    total_width=width,
+                    scale_max=tallest,
+                )
+                lines.append(
+                    f"  {cell.line_size:>4}B {cell.variant.value:>2} |{bar}"
+                )
+        return "\n".join(lines)
+
+
+def run(runner: ExperimentRunner | None = None, scale: float = 1.0,
+        apps: tuple[str, ...] = FIGURE5_APPS) -> Figure5Result:
+    runner = runner or ExperimentRunner(scale=scale)
+    result = Figure5Result()
+    for app in apps:
+        sizes = line_sizes_for(app)
+        baseline_cycles = None
+        for line_size in sizes:
+            pair = {}
+            for variant in (Variant.N, Variant.L):
+                outcome = runner.run(app, variant, line_size)
+                stats = outcome.stats
+                if baseline_cycles is None:
+                    baseline_cycles = stats.cycles  # N at smallest line
+                cell = Figure5Cell(
+                    app=app,
+                    line_size=line_size,
+                    variant=variant,
+                    slots=stats.slots,
+                    cycles=stats.cycles,
+                    normalized_total=stats.cycles / baseline_cycles,
+                )
+                result.cells.append(cell)
+                pair[variant] = stats.cycles
+            result.speedups[(app, line_size)] = speedup(
+                pair[Variant.N], pair[Variant.L]
+            )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run(ExperimentRunner(verbose=True))
+    print(result.render())
+    print()
+    print(result.render_bars())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,154 @@
+"""Figure 6: cache misses and memory-system bandwidth.
+
+Shares its simulations with Figure 5 (pass the same runner).
+
+* **Figure 6(a)** -- load D-cache misses, split into *partial* (combined
+  with an outstanding miss) and *full* classes, normalised to each
+  application's N case at its smallest line size.  Paper shape: the
+  optimizations cut misses by >=35% in roughly half the (app, line)
+  cases.
+* **Figure 6(b)** -- bytes moved between L1 and L2 and between L2 and
+  memory, same normalisation.  Paper shape: bandwidth consumption drops
+  in nearly all cases, with >=2x reductions in a few.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps import FIGURE5_APPS
+from repro.apps.base import Variant
+from repro.experiments.config import line_sizes_for
+from repro.experiments.report import render_table
+from repro.experiments.runner import ExperimentRunner
+
+
+@dataclass
+class MissCell:
+    app: str
+    line_size: int
+    variant: Variant
+    full: int
+    partial: int
+    normalized_total: float
+
+    @property
+    def total(self) -> int:
+        return self.full + self.partial
+
+
+@dataclass
+class BandwidthCell:
+    app: str
+    line_size: int
+    variant: Variant
+    l1_l2_bytes: int
+    l2_mem_bytes: int
+    normalized_total: float
+
+    @property
+    def total(self) -> int:
+        return self.l1_l2_bytes + self.l2_mem_bytes
+
+
+@dataclass
+class Figure6Result:
+    misses: list[MissCell] = field(default_factory=list)
+    bandwidth: list[BandwidthCell] = field(default_factory=list)
+
+    def miss_cell(self, app: str, line_size: int, variant: Variant) -> MissCell:
+        for cell in self.misses:
+            if (cell.app, cell.line_size, cell.variant) == (app, line_size, variant):
+                return cell
+        raise KeyError((app, line_size, variant))
+
+    def bandwidth_cell(self, app: str, line_size: int, variant: Variant) -> BandwidthCell:
+        for cell in self.bandwidth:
+            if (cell.app, cell.line_size, cell.variant) == (app, line_size, variant):
+                return cell
+        raise KeyError((app, line_size, variant))
+
+    def miss_reduction(self, app: str, line_size: int) -> float:
+        """Fractional load-miss reduction of L relative to N."""
+        n = self.miss_cell(app, line_size, Variant.N).total
+        l = self.miss_cell(app, line_size, Variant.L).total
+        return 1.0 - (l / n) if n else 0.0
+
+    def render(self) -> str:
+        miss_rows = [
+            (
+                cell.app, cell.line_size, cell.variant.value,
+                cell.full, cell.partial, cell.total,
+                f"{cell.normalized_total:.2f}",
+            )
+            for cell in self.misses
+        ]
+        bw_rows = [
+            (
+                cell.app, cell.line_size, cell.variant.value,
+                cell.l1_l2_bytes, cell.l2_mem_bytes,
+                f"{cell.normalized_total:.2f}",
+            )
+            for cell in self.bandwidth
+        ]
+        return "\n\n".join(
+            [
+                render_table(
+                    ["App", "Line", "Case", "Full", "Partial", "Total", "Norm."],
+                    miss_rows,
+                    title="Figure 6(a): load D-cache misses (full/partial)",
+                ),
+                render_table(
+                    ["App", "Line", "Case", "L1<->L2 B", "L2<->Mem B", "Norm."],
+                    bw_rows,
+                    title="Figure 6(b): memory-system bandwidth consumption",
+                ),
+            ]
+        )
+
+
+def run(runner: ExperimentRunner | None = None, scale: float = 1.0,
+        apps: tuple[str, ...] = FIGURE5_APPS) -> Figure6Result:
+    runner = runner or ExperimentRunner(scale=scale)
+    result = Figure6Result()
+    for app in apps:
+        sizes = line_sizes_for(app)
+        baseline_misses = None
+        baseline_bytes = None
+        for line_size in sizes:
+            for variant in (Variant.N, Variant.L):
+                stats = runner.run(app, variant, line_size).stats
+                if baseline_misses is None:
+                    baseline_misses = max(1, stats.load_misses)
+                    baseline_bytes = max(1, stats.total_bandwidth_bytes)
+                result.misses.append(
+                    MissCell(
+                        app=app,
+                        line_size=line_size,
+                        variant=variant,
+                        full=stats.l1_load_misses_full,
+                        partial=stats.l1_load_misses_partial,
+                        normalized_total=stats.load_misses / baseline_misses,
+                    )
+                )
+                result.bandwidth.append(
+                    BandwidthCell(
+                        app=app,
+                        line_size=line_size,
+                        variant=variant,
+                        l1_l2_bytes=stats.l1_l2_bytes,
+                        l2_mem_bytes=stats.l2_mem_bytes,
+                        normalized_total=(
+                            stats.total_bandwidth_bytes / baseline_bytes
+                        ),
+                    )
+                )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(ExperimentRunner(verbose=True)).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

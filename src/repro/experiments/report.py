@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are stacked-bar charts; these helpers render the
+same data as aligned ASCII tables (and simple text bars) so every
+experiment's output is readable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: Iterable[Iterable[Any]], title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_stacked_bar(
+    sections: list[tuple[str, float]], total_width: int = 50, scale_max: float | None = None
+) -> str:
+    """One horizontal stacked bar, one character class per section."""
+    total = sum(value for _, value in sections)
+    reference = scale_max if scale_max else total
+    if reference <= 0:
+        return ""
+    glyphs = "#=+.~o"
+    parts = []
+    for index, (_, value) in enumerate(sections):
+        width = int(round(total_width * value / reference))
+        parts.append(glyphs[index % len(glyphs)] * width)
+    return "".join(parts)
+
+
+def normalize(value: float, baseline: float) -> float:
+    """Value as a fraction of a baseline (100% = 1.0); 0 if no baseline."""
+    return value / baseline if baseline else 0.0
+
+
+def speedup(baseline_cycles: float, optimized_cycles: float) -> float:
+    """Execution-time speedup (>1 means the optimized case is faster)."""
+    return baseline_cycles / optimized_cycles if optimized_cycles else 0.0
+
+
+def percent(fraction: float) -> str:
+    return f"{100.0 * fraction:+.1f}%"

@@ -1,0 +1,66 @@
+"""Shared experiment runner: execute app variants on canonical machines.
+
+Experiments describe *what* to run as a matrix of
+``(application, variant, line size)``; this module executes the matrix,
+memoising results so Figure 5 and Figure 6 (which share their runs, as
+in the paper) simulate each configuration only once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import get_application
+from repro.apps.base import AppResult, Variant
+from repro.experiments.config import APP_SEEDS, experiment_config
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation to perform."""
+
+    app: str
+    variant: Variant
+    line_size: int
+    scale: float = 1.0
+
+    def seed(self) -> int:
+        return APP_SEEDS.get(self.app, 1)
+
+
+class ExperimentRunner:
+    """Executes run specs with per-process memoisation.
+
+    Parameters
+    ----------
+    scale:
+        Workload scale applied to every run (tests use small values).
+    verbose:
+        Print one progress line per completed simulation.
+    """
+
+    def __init__(self, scale: float = 1.0, verbose: bool = False) -> None:
+        self.scale = scale
+        self.verbose = verbose
+        self._cache: dict[RunSpec, AppResult] = {}
+
+    def run(self, app: str, variant: Variant, line_size: int) -> AppResult:
+        spec = RunSpec(app, variant, line_size, self.scale)
+        result = self._cache.get(spec)
+        if result is None:
+            application = get_application(app, scale=self.scale, seed=spec.seed())
+            result = application.run(variant, experiment_config(line_size))
+            self._cache[spec] = result
+            if self.verbose:
+                print(
+                    f"  ran {app:10s} {variant.value:4s} line={line_size:3d} "
+                    f"cycles={result.stats.cycles:12.0f}"
+                )
+        return result
+
+    def checksum_match(self, app: str, variants: list[Variant], line_size: int) -> bool:
+        """True if every variant produced the same checksum (safety check)."""
+        checksums = {
+            self.run(app, variant, line_size).checksum for variant in variants
+        }
+        return len(checksums) == 1

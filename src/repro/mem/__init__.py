@@ -1,0 +1,1 @@
+"""Memory management substrate: heap allocator and relocation pools."""

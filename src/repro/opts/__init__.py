@@ -1,0 +1,33 @@
+"""Layout optimizations enabled by memory forwarding (Section 2.2).
+
+=================  ====================================================
+``linearize``      counter-triggered list linearization (VIS policy)
+``packing``        record+satellite-array packing (Eqntott, Figure 8)
+``clustering``     subtree clustering for trees (BH, Figure 9)
+``merging``        parallel-table interleaving (Compress)
+``coloring``       conflict-free placement into cache-set bands
+``copying``        forwarding-backed tile relocation for blocked loops
+=================  ====================================================
+"""
+
+from repro.opts.clustering import ClusteringResult, cluster_subtrees
+from repro.opts.coloring import ColoredAllocator, recolor
+from repro.opts.copying import RelocatedTile, TiledMatrix, tiled_matmul
+from repro.opts.linearize import ListLinearizer
+from repro.opts.merging import MergedTable, merge_tables
+from repro.opts.packing import pack_pointer_table, pack_record_with_array
+
+__all__ = [
+    "ClusteringResult",
+    "ColoredAllocator",
+    "ListLinearizer",
+    "MergedTable",
+    "RelocatedTile",
+    "TiledMatrix",
+    "cluster_subtrees",
+    "merge_tables",
+    "pack_pointer_table",
+    "pack_record_with_array",
+    "recolor",
+    "tiled_matmul",
+]

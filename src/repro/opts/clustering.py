@@ -1,0 +1,135 @@
+"""Subtree clustering (the BH optimization, Section 5.3 / Figure 9).
+
+BH builds its octree depth-first but traverses it in data-dependent
+order, so consecutive visits jump across the heap.  Subtree clustering
+relocates the *internal* nodes so that each cache-line-sized chunk holds
+a subtree's top in its most balanced form: whichever child the traversal
+descends into next, it is likely already in the current line.
+
+The algorithm fills each chunk with up to ``line_size // node_bytes``
+nodes taken in breadth-first order from the subtree root, then recurses
+on the children left outside ("frontier" nodes become roots of new
+chunks).  Parent child-pointers are rewritten to the new locations as we
+go -- and any pointer we miss is caught by memory forwarding, which is
+what makes the optimization safe to apply at all (the paper's point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.machine import NULL, Machine
+from repro.core.memory import WORD_SIZE
+from repro.core.relocate import relocate
+from repro.mem.pool import RelocationPool
+
+#: Predicate deciding whether a node takes part in clustering (BH clusters
+#: only non-leaf nodes; its leaves live on a separate list).
+NodeFilter = Callable[[Machine, int], bool]
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of one clustering pass."""
+
+    nodes_moved: int = 0
+    chunks: int = 0
+
+
+def cluster_subtrees(
+    machine: Machine,
+    root_slot: int,
+    child_offsets: list[int],
+    node_bytes: int,
+    pool: RelocationPool,
+    line_size: int,
+    include: NodeFilter | None = None,
+) -> ClusteringResult:
+    """Cluster the tree reachable from the pointer word at ``root_slot``.
+
+    Parameters
+    ----------
+    root_slot:
+        Address of the pointer *word* naming the (sub)tree root, so the
+        root pointer itself can be updated.
+    child_offsets:
+        Byte offsets of the child-pointer fields within a node.
+    node_bytes:
+        Node size (word multiple).
+    pool:
+        Destination pool; chunks are line-aligned within it.
+    line_size:
+        The cache line size to pack for.
+    include:
+        Optional filter; nodes for which it returns False are left in
+        place (and their subtrees are not descended into).
+    """
+    if node_bytes % WORD_SIZE:
+        raise ValueError(f"node size must be a word multiple, got {node_bytes}")
+    node_words = node_bytes // WORD_SIZE
+    capacity = max(1, line_size // node_bytes)
+    result = ClusteringResult()
+
+    pending = [root_slot]
+    while pending:
+        slot = pending.pop()
+        root = machine.load(slot)
+        if root == NULL:
+            continue
+        if include is not None and not include(machine, root):
+            continue
+
+        # Breadth-first collection of up to `capacity` nodes.  Each entry
+        # records how to patch the pointer that names it: an external slot
+        # for the group root, or (parent group index, child offset) for
+        # the rest.  BFS order guarantees parents precede children.
+        group: list[tuple[int, tuple]] = [(root, ("slot", slot))]
+        members = {root}
+        cursor = 0
+        while len(group) < capacity and cursor < len(group):
+            node = group[cursor][0]
+            for offset in child_offsets:
+                if len(group) >= capacity:
+                    break
+                child = machine.load(node + offset)
+                if child == NULL or child in members:
+                    continue
+                if include is not None and not include(machine, child):
+                    continue
+                group.append((child, ("parent", cursor, offset)))
+                members.add(child)
+            cursor += 1
+
+        # Line-align multi-node chunks so the group really shares a line;
+        # when only one node fits per line, alignment would just pad the
+        # footprint, so pack tightly instead.
+        chunk_align = line_size if capacity > 1 else WORD_SIZE
+        chunk = pool.allocate(len(group) * node_bytes, align=chunk_align)
+        new_addresses: list[int] = []
+        for index, (old, patch) in enumerate(group):
+            new = chunk + index * node_bytes
+            relocate(machine, old, new, node_words)
+            new_addresses.append(new)
+            if patch[0] == "slot":
+                machine.store(patch[1], new)
+            else:
+                _, parent_index, offset = patch
+                machine.store(new_addresses[parent_index] + offset, new)
+        result.nodes_moved += len(group)
+        result.chunks += 1
+
+        # Children hanging off the group become roots of new chunks.  Read
+        # their pointers from the relocated copies (the live words); a
+        # pointer naming another group member was patched to that member's
+        # *new* address, so exclude those as well as the old ones.
+        members.update(new_addresses)
+        for index, (old, _) in enumerate(group):
+            new = new_addresses[index]
+            for offset in child_offsets:
+                child = machine.load(new + offset)
+                if child != NULL and child not in members:
+                    pending.append(new + offset)
+
+    machine.relocation_stats.optimizer_invocations += 1
+    return result

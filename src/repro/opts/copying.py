@@ -1,0 +1,135 @@
+"""Data copying for tiled numeric kernels (Section 2.2).
+
+Copying was proposed (Lam/Rothberg/Wolf) to fix conflict misses in
+blocked ("tiled") loops: a tile that is reused many times can evict
+itself if its rows map into the same cache sets.  The fix copies the
+tile into a contiguous temporary buffer before use -- contiguous
+addresses cannot conflict with one another.
+
+The paper's angle: copying is only *safe* if no alias can observe the
+stale original while the copy is live.  With memory forwarding the copy
+can be a true **relocation** -- old words forward to the buffer -- so
+even a program that passes around raw element pointers stays correct.
+
+``relocate_tile`` implements the forwarding-backed copy; ``TiledMatrix``
+provides the row-major simulated-memory matrix the kernels operate on.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import Machine
+from repro.core.memory import WORD_SIZE
+from repro.core.relocate import relocate
+from repro.mem.pool import RelocationPool
+
+
+class TiledMatrix:
+    """A row-major matrix of 8-byte elements in simulated memory."""
+
+    def __init__(self, machine: Machine, rows: int, cols: int, align: int = WORD_SIZE) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"bad matrix shape {rows}x{cols}")
+        self.machine = machine
+        self.rows = rows
+        self.cols = cols
+        self.base = machine.malloc(rows * cols * WORD_SIZE, align=align)
+
+    def address(self, row: int, col: int) -> int:
+        return self.base + (row * self.cols + col) * WORD_SIZE
+
+    def get(self, row: int, col: int) -> int:
+        return self.machine.load(self.address(row, col))
+
+    def set(self, row: int, col: int, value: int) -> None:
+        self.machine.store(self.address(row, col), value)
+
+    def fill(self, fn) -> None:
+        for row in range(self.rows):
+            for col in range(self.cols):
+                self.set(row, col, fn(row, col))
+
+
+class RelocatedTile:
+    """A tile relocated into a contiguous buffer (forwarding-backed).
+
+    Reads and writes go straight to the buffer; the original addresses
+    forward, so stray element pointers remain valid.  ``writeback`` is
+    unnecessary -- the buffer *is* the data now -- which is the deep
+    difference from plain copying.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        matrix: TiledMatrix,
+        row0: int,
+        col0: int,
+        tile_rows: int,
+        tile_cols: int,
+        pool: RelocationPool,
+    ) -> None:
+        if not (0 <= row0 and row0 + tile_rows <= matrix.rows):
+            raise ValueError("tile rows out of range")
+        if not (0 <= col0 and col0 + tile_cols <= matrix.cols):
+            raise ValueError("tile cols out of range")
+        self.machine = machine
+        self.rows = tile_rows
+        self.cols = tile_cols
+        self.base = pool.allocate(tile_rows * tile_cols * WORD_SIZE)
+        # Relocate row by row: each row of the tile is contiguous in the
+        # source, so one relocate() per row moves `tile_cols` words.
+        for row in range(tile_rows):
+            relocate(
+                machine,
+                matrix.address(row0 + row, col0),
+                self.base + row * tile_cols * WORD_SIZE,
+                tile_cols,
+            )
+
+    def address(self, row: int, col: int) -> int:
+        return self.base + (row * self.cols + col) * WORD_SIZE
+
+    def get(self, row: int, col: int) -> int:
+        return self.machine.load(self.address(row, col))
+
+    def set(self, row: int, col: int, value: int) -> None:
+        self.machine.store(self.address(row, col), value)
+
+
+def tiled_matmul(
+    machine: Machine,
+    a: TiledMatrix,
+    b: TiledMatrix,
+    c: TiledMatrix,
+    tile: int,
+    pool: RelocationPool | None = None,
+    work_per_madd: int = 2,
+) -> None:
+    """C += A x B with square tiling; optionally relocating each B tile.
+
+    With ``pool`` set, every B tile is relocated into contiguous pool
+    memory before its reuse loop (the copying optimization, made safe by
+    forwarding).  Without it, the kernel reads B in place -- and a
+    pathological B layout (rows a multiple of the cache way size apart)
+    conflict-misses on every reuse.
+    """
+    if a.cols != b.rows or c.rows != a.rows or c.cols != b.cols:
+        raise ValueError("shape mismatch")
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    m = machine
+    for kk in range(0, a.cols, tile):
+        k_span = min(tile, a.cols - kk)
+        for jj in range(0, b.cols, tile):
+            j_span = min(tile, b.cols - jj)
+            if pool is not None:
+                b_tile = RelocatedTile(m, b, kk, jj, k_span, j_span, pool)
+                read_b = lambda k, j: b_tile.get(k - kk, j - jj)
+            else:
+                read_b = lambda k, j: b.get(k, j)
+            for i in range(a.rows):
+                for k in range(kk, kk + k_span):
+                    a_ik = a.get(i, k)
+                    for j in range(jj, jj + j_span):
+                        m.execute(work_per_madd)
+                        c.set(i, j, (c.get(i, j) + a_ik * read_b(k, j)) & ((1 << 64) - 1))

@@ -1,0 +1,92 @@
+"""Record-plus-array packing (the Eqntott optimization, Section 5.3).
+
+Eqntott's hot structure is a hash table whose entries point to ``PTERM``
+records, each of which points to a separate array of short integers
+(Figure 8(a)).  Reading one term therefore touches three scattered
+locations.  The optimization (Figure 8(b)):
+
+1. relocate each record and its satellite array into *one* chunk, and
+2. lay those chunks out contiguously in increasing hash-index order,
+
+so a sweep over the table in hash order streams linearly through memory.
+
+``pack_record_with_array`` performs step 1 for one record; the
+application drives step 2 by allocating chunks from one pool while
+walking its table in index order.  Memory forwarding makes both safe:
+stray pointers to old records or old arrays keep working.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import Machine
+from repro.core.memory import WORD_SIZE
+from repro.core.relocate import relocate
+from repro.mem.pool import RelocationPool
+from repro.runtime.records import RecordLayout
+
+
+def pack_record_with_array(
+    machine: Machine,
+    record: int,
+    layout: RecordLayout,
+    array_field: str,
+    array_bytes: int,
+    pool: RelocationPool,
+) -> int:
+    """Relocate ``record`` and the array it points to into one pool chunk.
+
+    ``layout`` describes the record; ``array_field`` names the pointer
+    field that holds the satellite array's address; ``array_bytes`` is
+    the array's size (rounded up to whole words for relocation).
+
+    Returns the record's new address.  The relocated record's array
+    pointer is updated to the array's new location, so accesses through
+    the *new* record never forward; only stray pointers to the old
+    record or old array pay hops.
+    """
+    array_words = (array_bytes + WORD_SIZE - 1) // WORD_SIZE
+    chunk = pool.allocate(layout.size + array_words * WORD_SIZE)
+    new_record = chunk
+    new_array = chunk + layout.size
+
+    old_array = layout.read(machine, record, array_field)
+    relocate(machine, record, new_record, layout.words)
+    if old_array:
+        relocate(machine, old_array, new_array, array_words)
+        # Patch the *relocated* record's pointer: future dereferences of
+        # the new record reach the new array directly.
+        layout.write(machine, new_record, array_field, new_array)
+    return new_record
+
+
+def pack_pointer_table(
+    machine: Machine,
+    table_base: int,
+    entries: int,
+    layout: RecordLayout,
+    array_field: str,
+    array_bytes_of: "callable",
+    pool: RelocationPool,
+) -> int:
+    """Pack every record referenced by a pointer table, in index order.
+
+    ``table_base`` is a contiguous array of ``entries`` pointers (NULL
+    entries are skipped).  ``array_bytes_of(machine, record)`` returns the
+    satellite-array size for a given record, letting variable-length
+    arrays (as in Eqntott) pack exactly.  Each table slot is updated to
+    the record's new address.  Returns the number of records packed.
+    """
+    packed = 0
+    for index in range(entries):
+        slot = table_base + index * WORD_SIZE
+        record = machine.load(slot)
+        if record == 0:
+            continue
+        array_bytes = array_bytes_of(machine, record)
+        new_record = pack_record_with_array(
+            machine, record, layout, array_field, array_bytes, pool
+        )
+        machine.store(slot, new_record)
+        packed += 1
+    machine.relocation_stats.optimizer_invocations += 1
+    return packed

@@ -1,0 +1,1 @@
+"""Application runtime: list library, record layouts, hash tables."""

@@ -1,0 +1,156 @@
+"""Chained hash table on the simulated machine.
+
+Several of the paper's applications are hash-table-centric: MST keeps
+per-vertex adjacency hash tables, Eqntott's central structure is a hash
+table of PTERM records, and SMV's BDD unique table is "an array of
+buckets pointing to linked lists".  This module provides the shared
+substrate: a bucket array of pointers plus chained ``(key, value, next)``
+nodes, with hooks for the layout optimizations:
+
+* ``bucket_handle(i)`` exposes the address of a bucket's head pointer so
+  ``list_linearize`` can relocate that chain (the SMV optimization);
+* ``linearize_all`` linearizes every bucket chain into a pool.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.machine import NULL, Machine
+from repro.core.memory import WORD_SIZE
+from repro.core.relocate import list_linearize
+from repro.mem.pool import RelocationPool
+from repro.runtime.records import RecordLayout
+
+#: Chain node: key, payload, next pointer.
+HASH_NODE = RecordLayout("hash_node", [("key", 8), ("value", 8), ("next", 8)])
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def default_hash(key: int, buckets: int) -> int:
+    """Multiplicative (Fibonacci) hash of an integer key."""
+    if buckets <= 0:
+        raise ValueError(f"buckets must be positive, got {buckets}")
+    return (((key * _GOLDEN) & _MASK64) >> 32) % buckets
+
+
+class HashTable:
+    """Separate-chaining hash table with relocatable chains.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine.
+    buckets:
+        Number of buckets (the bucket array is one contiguous block).
+    """
+
+    def __init__(self, machine: Machine, buckets: int) -> None:
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        self.machine = machine
+        self.buckets = buckets
+        self.base = machine.malloc(buckets * WORD_SIZE)
+        self.count = 0
+        # The bucket array starts zeroed (NULL) courtesy of malloc.
+
+    # ------------------------------------------------------------------
+    def bucket_index(self, key: int) -> int:
+        self.machine.execute(3)  # hash computation
+        return default_hash(key, self.buckets)
+
+    def bucket_handle(self, index: int) -> int:
+        """Address of bucket ``index``'s head-pointer word."""
+        return self.base + index * WORD_SIZE
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int) -> int:
+        """Prepend a new ``(key, value)`` node; returns its address."""
+        m = self.machine
+        handle = self.bucket_handle(self.bucket_index(key))
+        node = m.malloc(HASH_NODE.size)
+        HASH_NODE.write(m, node, "key", key)
+        HASH_NODE.write(m, node, "value", value)
+        HASH_NODE.write(m, node, "next", m.load(handle))
+        m.store(handle, node)
+        self.count += 1
+        return node
+
+    def lookup(self, key: int) -> int | None:
+        """Return the value stored under ``key``, or None."""
+        m = self.machine
+        node = m.load(self.bucket_handle(self.bucket_index(key)))
+        while node != NULL:
+            m.execute(1)
+            if HASH_NODE.read(m, node, "key") == key:
+                return HASH_NODE.read(m, node, "value")
+            node = HASH_NODE.read(m, node, "next")
+        return None
+
+    def update(self, key: int, value: int) -> bool:
+        """Overwrite the value under ``key``; True if the key existed."""
+        m = self.machine
+        node = m.load(self.bucket_handle(self.bucket_index(key)))
+        while node != NULL:
+            m.execute(1)
+            if HASH_NODE.read(m, node, "key") == key:
+                HASH_NODE.write(m, node, "value", value)
+                return True
+            node = HASH_NODE.read(m, node, "next")
+        return False
+
+    def remove(self, key: int) -> bool:
+        """Unlink and free the node under ``key``; True if found."""
+        m = self.machine
+        slot = self.bucket_handle(self.bucket_index(key))
+        node = m.load(slot)
+        while node != NULL:
+            m.execute(1)
+            if HASH_NODE.read(m, node, "key") == key:
+                m.store(slot, HASH_NODE.read(m, node, "next"))
+                m.free(node)
+                self.count -= 1
+                return True
+            slot = node + HASH_NODE.offset("next")
+            node = m.load(slot)
+        return False
+
+    # ------------------------------------------------------------------
+    def iter_bucket(self, index: int) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(node, key, value)`` along one chain (timed loads)."""
+        m = self.machine
+        node = m.load(self.bucket_handle(index))
+        while node != NULL:
+            yield (
+                node,
+                HASH_NODE.read(m, node, "key"),
+                HASH_NODE.read(m, node, "value"),
+            )
+            node = HASH_NODE.read(m, node, "next")
+
+    def iter_items(self) -> Iterator[tuple[int, int]]:
+        """Yield every ``(key, value)`` in bucket order."""
+        for index in range(self.buckets):
+            for _, key, value in self.iter_bucket(index):
+                yield key, value
+
+    # ------------------------------------------------------------------
+    def linearize_bucket(self, index: int, pool: RelocationPool) -> int:
+        """Relocate one bucket's chain into ``pool`` (SMV's optimization)."""
+        _, moved = list_linearize(
+            self.machine,
+            self.bucket_handle(index),
+            HASH_NODE.offset("next"),
+            HASH_NODE.size,
+            pool,
+        )
+        return moved
+
+    def linearize_all(self, pool: RelocationPool) -> int:
+        """Linearize every bucket chain; returns total nodes moved."""
+        moved = 0
+        for index in range(self.buckets):
+            moved += self.linearize_bucket(index, pool)
+        return moved

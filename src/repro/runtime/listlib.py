@@ -1,0 +1,201 @@
+"""A generic linked-list library on the simulated machine.
+
+This mirrors the list library at the heart of the paper's VIS case study
+(Section 5.3): a single generic implementation used pervasively, whose
+nodes end up scattered across the heap, and which is the *one* place the
+locality optimization has to live.
+
+Following the paper, every list header carries an operation counter: each
+insertion or deletion increments it, and when it exceeds a threshold the
+list is linearized into a relocation pool and the counter resets.  The
+threshold defaults to 50, the value "arbitrarily set" in the paper.
+
+Linearization is only armed when the library is given a pool (the
+optimized build); the unoptimized build runs the identical code with the
+optimization disarmed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.machine import NULL, Machine
+from repro.core.relocate import list_linearize
+from repro.mem.pool import RelocationPool
+from repro.runtime.records import RecordLayout
+
+#: The paper's linearization trigger: operations since the last linearize.
+DEFAULT_LINEARIZE_THRESHOLD = 50
+
+#: List header: head pointer, length, and the Section 5.3 op counter.
+HEADER = RecordLayout("list_header", [("first", 8), ("count", 8), ("ops", 8)])
+
+
+class ListLib:
+    """Generic singly linked lists with optional auto-linearization.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine all operations run on.
+    pool:
+        Relocation pool for linearized nodes.  ``None`` disarms the
+        optimization (the unoptimized build).
+    threshold:
+        Insert/delete count that triggers linearization.
+    node_extra_words:
+        Extra payload words per node beyond ``(value, next)``, letting
+        applications model their real node sizes.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        pool: RelocationPool | None = None,
+        threshold: int = DEFAULT_LINEARIZE_THRESHOLD,
+        node_extra_words: int = 0,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if node_extra_words < 0:
+            raise ValueError("node_extra_words must be >= 0")
+        self.machine = machine
+        self.pool = pool
+        self.threshold = threshold
+        fields = [("value", 8), ("next", 8)]
+        fields += [(f"pad{i}", 8) for i in range(node_extra_words)]
+        self.node_layout = RecordLayout("list_node", fields)
+        self.node_bytes = self.node_layout.size
+        self.next_offset = self.node_layout.offset("next")
+        self.linearizations = 0
+
+    # ------------------------------------------------------------------
+    # List construction and structural operations
+    # ------------------------------------------------------------------
+    def new_list(self) -> int:
+        """Create an empty list; returns the header address."""
+        header = self.machine.malloc(HEADER.size)
+        HEADER.write(self.machine, header, "first", NULL)
+        HEADER.write(self.machine, header, "count", 0)
+        HEADER.write(self.machine, header, "ops", 0)
+        return header
+
+    def head_handle(self, header: int) -> int:
+        """Address of the head-pointer word (what ListLinearize needs)."""
+        return header + HEADER.offset("first")
+
+    def push_front(self, header: int, value: int) -> int:
+        """Insert ``value`` at the front; returns the new node's address."""
+        m = self.machine
+        node = m.malloc(self.node_bytes)
+        self.node_layout.write(m, node, "value", value)
+        self.node_layout.write(m, node, "next", HEADER.read(m, header, "first"))
+        HEADER.write(m, header, "first", node)
+        HEADER.write(m, header, "count", HEADER.read(m, header, "count") + 1)
+        self._note_op(header)
+        return node
+
+    def insert_at(self, header: int, index: int, value: int) -> int:
+        """Insert ``value`` so it becomes the ``index``-th element."""
+        m = self.machine
+        if index <= 0:
+            return self.push_front(header, value)
+        slot = self.head_handle(header)
+        node = m.load(slot)
+        walked = 0
+        while node != NULL and walked < index:
+            slot = node + self.next_offset
+            node = m.load(slot)
+            walked += 1
+        new = m.malloc(self.node_bytes)
+        self.node_layout.write(m, new, "value", value)
+        self.node_layout.write(m, new, "next", node)
+        m.store(slot, new)
+        HEADER.write(m, header, "count", HEADER.read(m, header, "count") + 1)
+        self._note_op(header)
+        return new
+
+    def remove_at(self, header: int, index: int) -> int | None:
+        """Remove and return the value at position ``index`` (or None)."""
+        m = self.machine
+        slot = self.head_handle(header)
+        node = m.load(slot)
+        walked = 0
+        while node != NULL and walked < index:
+            slot = node + self.next_offset
+            node = m.load(slot)
+            walked += 1
+        if node == NULL:
+            return None
+        value = self.node_layout.read(m, node, "value")
+        m.store(slot, self.node_layout.read(m, node, "next"))
+        m.free(node)
+        HEADER.write(m, header, "count", HEADER.read(m, header, "count") - 1)
+        self._note_op(header)
+        return value
+
+    def remove_value(self, header: int, value: int) -> bool:
+        """Remove the first node holding ``value``; True if found."""
+        m = self.machine
+        slot = self.head_handle(header)
+        node = m.load(slot)
+        while node != NULL:
+            m.execute(1)  # the comparison
+            if self.node_layout.read(m, node, "value") == value:
+                m.store(slot, self.node_layout.read(m, node, "next"))
+                m.free(node)
+                HEADER.write(m, header, "count", HEADER.read(m, header, "count") - 1)
+                self._note_op(header)
+                return True
+            slot = node + self.next_offset
+            node = m.load(slot)
+        return False
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def iter_nodes(self, header: int) -> Iterator[int]:
+        """Yield node addresses front to back (timed loads)."""
+        m = self.machine
+        node = m.load(self.head_handle(header))
+        while node != NULL:
+            yield node
+            node = m.load(node + self.next_offset)
+
+    def iter_values(self, header: int) -> Iterator[int]:
+        """Yield payload values front to back (timed loads)."""
+        m = self.machine
+        for node in self.iter_nodes(header):
+            yield self.node_layout.read(m, node, "value")
+
+    def to_list(self, header: int) -> list[int]:
+        return list(self.iter_values(header))
+
+    def length(self, header: int) -> int:
+        return HEADER.read(self.machine, header, "count")
+
+    # ------------------------------------------------------------------
+    # The Section 5.3 optimization
+    # ------------------------------------------------------------------
+    def _note_op(self, header: int) -> None:
+        """Count a structural op; linearize past the threshold (if armed)."""
+        m = self.machine
+        ops = HEADER.read(m, header, "ops") + 1
+        if self.pool is not None and ops > self.threshold:
+            self.linearize(header)
+            ops = 0
+        HEADER.write(m, header, "ops", ops)
+
+    def linearize(self, header: int) -> int:
+        """Force linearization now; returns the number of nodes moved."""
+        if self.pool is None:
+            raise ValueError("list library was built without a relocation pool")
+        _, count = list_linearize(
+            self.machine,
+            self.head_handle(header),
+            self.next_offset,
+            self.node_bytes,
+            self.pool,
+        )
+        self.linearizations += 1
+        return count

@@ -1,0 +1,99 @@
+"""Record (struct) layout helpers for code running on the simulated machine.
+
+Applications in this reproduction are transcriptions of C programs, so
+their data structures are C structs laid out in simulated memory.  A
+:class:`RecordLayout` computes field offsets with natural alignment and
+word-rounded total size (relocatable objects must be word aligned and
+word-granular -- Sections 2.1 and 3.3), and provides timed accessors.
+
+Example::
+
+    NODE = RecordLayout("list_node", [("value", 8), ("next", 8)])
+    addr = machine.malloc(NODE.size)
+    NODE.write(machine, addr, "next", 0)
+    value = NODE.read(machine, addr, "value")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.machine import Machine
+from repro.core.memory import WORD_SIZE
+
+_ALLOWED_SIZES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Field:
+    """One struct member: its byte offset and access size."""
+
+    name: str
+    offset: int
+    size: int
+
+
+class RecordLayout:
+    """A C-struct-like layout over simulated memory.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label.
+    fields:
+        ``(field_name, byte_size)`` pairs in declaration order.  Sizes
+        must be 1, 2, 4, or 8; each field is naturally aligned, and the
+        record size is rounded up to a whole word.
+    """
+
+    def __init__(self, name: str, fields: list[tuple[str, int]]) -> None:
+        if not fields:
+            raise ValueError("a record needs at least one field")
+        self.name = name
+        self._fields: dict[str, Field] = {}
+        offset = 0
+        for field_name, size in fields:
+            if size not in _ALLOWED_SIZES:
+                raise ValueError(
+                    f"{name}.{field_name}: size {size} not in {_ALLOWED_SIZES}"
+                )
+            if field_name in self._fields:
+                raise ValueError(f"duplicate field {name}.{field_name}")
+            offset = (offset + size - 1) & ~(size - 1)  # natural alignment
+            self._fields[field_name] = Field(field_name, offset, size)
+            offset += size
+        self.size = (offset + WORD_SIZE - 1) & ~(WORD_SIZE - 1)
+        self.words = self.size // WORD_SIZE
+
+    # ------------------------------------------------------------------
+    def offset(self, field_name: str) -> int:
+        """Byte offset of a field within the record."""
+        return self._fields[field_name].offset
+
+    def field(self, field_name: str) -> Field:
+        return self._fields[field_name]
+
+    @property
+    def field_names(self) -> list[str]:
+        return list(self._fields)
+
+    # ------------------------------------------------------------------
+    def read(self, machine: Machine, base: int, field_name: str) -> int:
+        """Timed, forwarding-aware load of one field."""
+        field = self._fields[field_name]
+        return machine.load(base + field.offset, field.size)
+
+    def write(self, machine: Machine, base: int, field_name: str, value: int) -> None:
+        """Timed, forwarding-aware store of one field."""
+        field = self._fields[field_name]
+        machine.store(base + field.offset, value, field.size)
+
+    def alloc(self, machine: Machine, align: int = WORD_SIZE) -> int:
+        """Allocate one record on the simulated heap."""
+        return machine.malloc(self.size, align)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{f.name}@{f.offset}:{f.size}" for f in self._fields.values()
+        )
+        return f"RecordLayout({self.name}, size={self.size}, [{parts}])"

@@ -1,0 +1,59 @@
+"""Deterministic pseudo-random number generator for workloads.
+
+All applications draw their randomness (graph edges, hash keys, patient
+arrivals, ...) from this xorshift64* generator so that:
+
+* runs are bit-reproducible across Python versions and platforms, and
+* the *same* access-pattern randomness can be replayed for the
+  unoptimized and optimized variants of an application, making their
+  checksums comparable (the key correctness check of the reproduction).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class DeterministicRNG:
+    """xorshift64* with splittable sub-streams."""
+
+    def __init__(self, seed: int = 0x2545F4914F6CDD1D) -> None:
+        self._state = (seed & _MASK64) or 0x9E3779B97F4A7C15
+
+    def next_u64(self) -> int:
+        state = self._state
+        state ^= (state >> 12)
+        state ^= (state << 25) & _MASK64
+        state ^= (state >> 27)
+        self._state = state
+        return (state * 0x2545F4914F6CDD1D) & _MASK64
+
+    def randint(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+    def randrange(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high)``."""
+        if high <= low:
+            raise ValueError(f"empty range [{low}, {high})")
+        return low + self.randint(high - low)
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return self.next_u64() / (1 << 64)
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self.random() < probability
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for index in range(len(items) - 1, 0, -1):
+            other = self.randint(index + 1)
+            items[index], items[other] = items[other], items[index]
+
+    def split(self) -> "DeterministicRNG":
+        """Derive an independent sub-stream (for per-structure randomness)."""
+        return DeterministicRNG(self.next_u64() ^ 0xA5A5A5A5A5A5A5A5)

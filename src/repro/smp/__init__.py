@@ -1,0 +1,21 @@
+"""Shared-memory multiprocessor extension (Section 2.2's false sharing).
+
+The paper lists false-sharing avoidance among the optimizations memory
+forwarding enables but does not evaluate it; this subpackage supplies the
+missing substrate (MSI-coherent per-CPU caches over one shared tagged
+memory) and the experiment.
+"""
+
+from repro.smp.coherence import CoherenceConfig, CoherentMemorySystem, LineState
+from repro.smp.false_sharing import FalseSharingResult, run_false_sharing_experiment
+from repro.smp.machine import SMPConfig, SMPMachine
+
+__all__ = [
+    "CoherenceConfig",
+    "CoherentMemorySystem",
+    "FalseSharingResult",
+    "LineState",
+    "SMPConfig",
+    "SMPMachine",
+    "run_false_sharing_experiment",
+]

@@ -1,0 +1,177 @@
+"""MSI cache coherence over per-processor caches (Section 2.2 substrate).
+
+The paper's fourth application of memory forwarding is *reducing false
+sharing*: relocating unrelated data items written by different processors
+into distinct cache lines.  Evaluating that claim needs a multiprocessor
+memory system, which this module provides: per-CPU L1 caches kept
+coherent with an invalidation-based MSI protocol over a shared bus.
+
+The protocol is deliberately minimal -- Modified/Shared/Invalid, no
+Exclusive state, atomic bus -- because the phenomenon under study is
+line *ping-ponging*: a write to a line another CPU holds invalidates the
+other copy, and if the two CPUs keep writing unrelated words of the same
+line, the line bounces with a coherence miss on every transfer.  The
+stats distinguish those **coherence misses** (upgrade/invalidation
+traffic) from ordinary misses, which is exactly the signal false-sharing
+avoidance removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.cache.cache import Cache
+
+
+class LineState(Enum):
+    """MSI states of a line in one processor's cache."""
+
+    MODIFIED = "M"
+    SHARED = "S"
+    # Invalid = absent from the cache.
+
+
+@dataclass
+class CoherenceStats:
+    """Per-CPU coherence behaviour."""
+
+    load_hits: int = 0
+    store_hits: int = 0
+    #: Misses on lines no other cache held (ordinary misses).
+    plain_misses: int = 0
+    #: Misses/upgrades caused by another CPU holding the line.
+    coherence_misses: int = 0
+    invalidations_received: int = 0
+
+
+@dataclass
+class CoherenceConfig:
+    """Geometry and latency parameters of the SMP memory system."""
+
+    cpus: int = 2
+    line_size: int = 32
+    l1_size: int = 4 * 1024
+    l1_assoc: int = 2
+    hit_latency: float = 1.0
+    #: Miss served from memory (or another cache, same bus transaction).
+    miss_latency: float = 60.0
+    #: Extra latency of an upgrade (invalidating remote copies).
+    upgrade_latency: float = 20.0
+
+
+class CoherentMemorySystem:
+    """Per-CPU L1 caches with MSI invalidation coherence.
+
+    State per line per CPU is tracked beside the tag arrays; the bus is
+    modeled as instantaneous but every transfer is counted so bandwidth
+    comparisons remain meaningful.
+    """
+
+    def __init__(self, config: CoherenceConfig | None = None) -> None:
+        self.config = config or CoherenceConfig()
+        cfg = self.config
+        if cfg.cpus < 1:
+            raise ValueError(f"need at least one CPU, got {cfg.cpus}")
+        self.caches = [
+            Cache(cfg.l1_size, cfg.line_size, cfg.l1_assoc, "lru", f"L1-{cpu}")
+            for cpu in range(cfg.cpus)
+        ]
+        self.stats = [CoherenceStats() for _ in range(cfg.cpus)]
+        # (cpu, line_address) -> LineState; absence means Invalid.
+        self._states: dict[tuple[int, int], LineState] = {}
+        self.bus_transfers = 0
+
+    # ------------------------------------------------------------------
+    def _state(self, cpu: int, line: int) -> LineState | None:
+        return self._states.get((cpu, line))
+
+    def _set_state(self, cpu: int, line: int, state: LineState | None) -> None:
+        if state is None:
+            self._states.pop((cpu, line), None)
+        else:
+            self._states[(cpu, line)] = state
+
+    def _holders(self, line: int, exclude: int) -> list[int]:
+        return [
+            cpu
+            for cpu in range(self.config.cpus)
+            if cpu != exclude and (cpu, line) in self._states
+        ]
+
+    def line_address(self, address: int) -> int:
+        return self.caches[0].line_address(address)
+
+    # ------------------------------------------------------------------
+    def access(self, cpu: int, address: int, is_write: bool) -> float:
+        """One reference by ``cpu``; returns its latency in cycles."""
+        if not 0 <= cpu < self.config.cpus:
+            raise ValueError(f"no such CPU {cpu}")
+        cfg = self.config
+        cache = self.caches[cpu]
+        stats = self.stats[cpu]
+        line = cache.line_address(address)
+        state = self._state(cpu, line)
+        present = state is not None and cache.contains(line)
+
+        if present and (not is_write or state is LineState.MODIFIED):
+            # Plain hit.
+            cache.lookup(address, is_write)
+            if is_write:
+                stats.store_hits += 1
+            else:
+                stats.load_hits += 1
+            return cfg.hit_latency
+
+        holders = self._holders(line, exclude=cpu)
+        if present and is_write and state is LineState.SHARED:
+            # Upgrade: invalidate every remote copy.
+            for other in holders:
+                self._invalidate(other, line)
+            self._set_state(cpu, line, LineState.MODIFIED)
+            cache.lookup(address, True)
+            stats.coherence_misses += 1
+            self.bus_transfers += 1
+            return cfg.upgrade_latency
+
+        # True miss: fetch the line (from a remote M copy or memory).
+        remote_modified = any(
+            self._state(other, line) is LineState.MODIFIED for other in holders
+        )
+        if is_write:
+            for other in holders:
+                self._invalidate(other, line)
+            new_state = LineState.MODIFIED
+        else:
+            for other in holders:
+                if self._state(other, line) is LineState.MODIFIED:
+                    self._set_state(other, line, LineState.SHARED)
+            new_state = LineState.SHARED
+        if holders:
+            stats.coherence_misses += 1
+        else:
+            stats.plain_misses += 1
+        self.bus_transfers += 1
+        evicted = cache.fill(line, dirty=is_write)
+        if evicted is not None:
+            self._set_state(cpu, evicted.line_address, None)
+        cache.lookup(address, is_write)
+        self._set_state(cpu, line, new_state)
+        latency = cfg.miss_latency
+        if remote_modified:
+            latency += cfg.upgrade_latency  # dirty intervention
+        return latency
+
+    def _invalidate(self, cpu: int, line: int) -> None:
+        self._set_state(cpu, line, None)
+        if self.caches[cpu].invalidate(line):
+            self.stats[cpu].invalidations_received += 1
+
+    # ------------------------------------------------------------------
+    def total_coherence_misses(self) -> int:
+        return sum(stats.coherence_misses for stats in self.stats)
+
+    def total_misses(self) -> int:
+        return sum(
+            stats.coherence_misses + stats.plain_misses for stats in self.stats
+        )

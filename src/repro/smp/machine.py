@@ -1,0 +1,123 @@
+"""A small shared-memory multiprocessor built on the coherent caches.
+
+:class:`SMPMachine` gives each CPU a cycle counter and routes its
+references through one shared :class:`TaggedMemory` (so memory
+forwarding works unchanged across processors -- forwarding bits are part
+of memory, not of any cache) and the MSI coherence layer.
+
+This is the substrate for the false-sharing study
+(:mod:`repro.smp.false_sharing`): the paper's Section 2.2 argues memory
+forwarding makes it safe to relocate "unrelated data items [that] fall
+within the same cache line" onto distinct lines, even in irregular
+programs where proving that safe statically is hopeless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ForwardingCycleError
+from repro.core.forwarding import ForwardingEngine
+from repro.core.memory import TaggedMemory, WORD_SIZE
+from repro.mem.allocator import HeapAllocator
+from repro.mem.pool import RelocationPool
+from repro.smp.coherence import CoherenceConfig, CoherentMemorySystem
+
+
+@dataclass
+class SMPConfig:
+    """Configuration of the simulated multiprocessor."""
+
+    coherence: CoherenceConfig = field(default_factory=CoherenceConfig)
+    heap_base: int = 0x10000
+    heap_size: int = 4 << 20
+    pool_region_size: int = 4 << 20
+    #: Forwarding hop cost (per hop, on top of the hop's cache access).
+    forwarding_hop_cycles: float = 6.0
+
+    @property
+    def memory_size(self) -> int:
+        return self.heap_base + self.heap_size + self.pool_region_size
+
+
+class SMPMachine:
+    """N CPUs over coherent L1s and one shared tagged memory."""
+
+    def __init__(self, config: SMPConfig | None = None) -> None:
+        self.config = config or SMPConfig()
+        cfg = self.config
+        self.memory = TaggedMemory(cfg.memory_size)
+        self.forwarding = ForwardingEngine(self.memory)
+        self.system = CoherentMemorySystem(cfg.coherence)
+        self.heap = HeapAllocator(self.memory, cfg.heap_base, cfg.heap_size)
+        self.cycles = [0.0] * cfg.coherence.cpus
+        self._pool_bump = cfg.heap_base + cfg.heap_size
+
+    @property
+    def cpus(self) -> int:
+        return self.config.coherence.cpus
+
+    # ------------------------------------------------------------------
+    def malloc(self, nbytes: int, align: int = WORD_SIZE) -> int:
+        return self.heap.allocate(nbytes, align)
+
+    def create_pool(self, size: int, name: str = "pool") -> RelocationPool:
+        size = (size + WORD_SIZE - 1) & ~(WORD_SIZE - 1)
+        pool = RelocationPool(self._pool_bump, size, name)
+        self._pool_bump += size
+        return pool
+
+    # ------------------------------------------------------------------
+    def load(self, cpu: int, address: int, size: int = WORD_SIZE) -> int:
+        """Forwarding-aware load by one CPU."""
+        final = self._resolve(cpu, address)
+        self.cycles[cpu] += self.system.access(cpu, final, is_write=False)
+        return self.memory.read_data(final, size)
+
+    def store(self, cpu: int, address: int, value: int, size: int = WORD_SIZE) -> None:
+        """Forwarding-aware store by one CPU."""
+        final = self._resolve(cpu, address)
+        self.cycles[cpu] += self.system.access(cpu, final, is_write=True)
+        self.memory.write_data(final, value, size)
+
+    def _resolve(self, cpu: int, address: int) -> int:
+        def on_hop(word_address: int) -> None:
+            self.cycles[cpu] += self.system.access(cpu, word_address, False)
+            self.cycles[cpu] += self.config.forwarding_hop_cycles
+
+        final, _hops = self.forwarding.resolve(address, on_hop)
+        return final
+
+    def compute(self, cpu: int, cycles: float) -> None:
+        """Advance one CPU's clock by local (non-memory) work."""
+        self.cycles[cpu] += cycles
+
+    # ------------------------------------------------------------------
+    def relocate(self, obj: int, target: int, nwords: int, cpu: int = 0) -> None:
+        """Relocate ``nwords`` from ``obj`` to ``target`` (word stubs).
+
+        The single-machine :func:`repro.core.relocate.relocate` is tied to
+        the uniprocessor Machine API; this is its SMP twin, performed by
+        one CPU whose cache sees all the traffic.
+        """
+        for index in range(nwords):
+            old = obj + index * WORD_SIZE
+            while self.memory.read_fbit(old):
+                self.cycles[cpu] += self.system.access(cpu, old, False)
+                old = self.memory.read_word(old)
+            value = self.memory.read_word(old)
+            self.cycles[cpu] += self.system.access(cpu, old, False)
+            new = target + index * WORD_SIZE
+            self.memory.write_word_tagged(new, value, 0)
+            self.cycles[cpu] += self.system.access(cpu, new, True)
+            self.memory.write_word_tagged(old, new, 1)
+            self.cycles[cpu] += self.system.access(cpu, old, True)
+
+    # ------------------------------------------------------------------
+    @property
+    def max_cycles(self) -> float:
+        """Parallel execution time = the slowest CPU's clock."""
+        return max(self.cycles)
+
+    def coherence_misses(self) -> int:
+        return self.system.total_coherence_misses()

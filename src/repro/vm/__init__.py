@@ -1,0 +1,22 @@
+"""Paging extension: memory forwarding for out-of-core data (Section 2.2).
+
+The paper claims its optimizations extend past caches to the disk level;
+this subpackage provides the paging substrate and the out-of-core list
+linearization experiment that demonstrates it.
+"""
+
+from repro.vm.out_of_core import (
+    OutOfCoreResult,
+    PagedMachine,
+    run_out_of_core_experiment,
+)
+from repro.vm.paging import Pager, PagerConfig, PagerStats
+
+__all__ = [
+    "OutOfCoreResult",
+    "PagedMachine",
+    "Pager",
+    "PagerConfig",
+    "PagerStats",
+    "run_out_of_core_experiment",
+]

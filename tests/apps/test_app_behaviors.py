@@ -1,0 +1,146 @@
+"""Per-application behaviour tests: each app exhibits the paper's story."""
+
+import pytest
+
+from repro.apps import get_application
+from repro.apps.base import Variant
+from repro.experiments.config import APP_SEEDS, experiment_config
+
+SCALE = 0.25
+
+
+def run(name, variant, line=32, scale=SCALE):
+    app = get_application(name, scale=scale, seed=APP_SEEDS[name])
+    return app.run(variant, experiment_config(line))
+
+
+class TestHealth:
+    def test_patients_flow_through_system(self):
+        # Scale must allow at least one full treatment (10 steps).
+        result = run("health", Variant.N, scale=0.45)
+        assert result.extras["discharged"] > 0
+        assert result.extras["population"] > 0
+
+    def test_optimized_linearizes_periodically(self):
+        result = run("health", Variant.L)
+        assert result.extras["linearizations"] >= 2
+
+    def test_forwarding_rare_after_updates(self):
+        """Health updates its pointers well: forwarding is a rare event."""
+        stats = run("health", Variant.L).stats
+        assert stats.loads.forwarded_fraction < 0.02
+
+    def test_prefetch_variant_issues_prefetches(self):
+        stats = run("health", Variant.NP).stats
+        assert stats.prefetch_instructions > 0
+
+
+class TestMST:
+    def test_mst_weight_deterministic(self):
+        a = run("mst", Variant.N)
+        b = run("mst", Variant.L)
+        assert a.extras["mst_weight"] == b.extras["mst_weight"] > 0
+
+    def test_linearization_is_one_shot(self):
+        """MST's structure is static: everything moves exactly once."""
+        result = run("mst", Variant.L)
+        stats = result.stats
+        assert result.extras["nodes_linearized"] > 0
+        # No re-relocation: words moved equals one generation of moves.
+        assert stats.forwarding_hops == 0 or stats.loads.forwarded == 0
+
+
+class TestVIS:
+    def test_library_linearizes_many_lists(self):
+        result = run("vis", Variant.L)
+        assert result.extras["linearizations"] > 5
+
+    def test_stray_cursors_forwarded(self):
+        stats = run("vis", Variant.L).stats
+        assert stats.loads.forwarded > 0
+
+    def test_optimized_traversals_cheaper(self):
+        # Needs a working set beyond the caches for layout to matter.
+        n = run("vis", Variant.N, scale=0.75).stats.cycles
+        l = run("vis", Variant.L, scale=0.75).stats.cycles
+        assert l < n
+
+
+class TestRadiosity:
+    def test_energy_accumulates(self):
+        assert run("radiosity", Variant.N).checksum != 0
+
+    def test_periodic_linearization(self):
+        assert run("radiosity", Variant.L).extras["linearizations"] > 0
+
+
+class TestEqntott:
+    def test_packing_touches_every_term(self):
+        result = run("eqntott", Variant.L)
+        assert result.stats.relocation.relocations >= result.extras["terms"]
+
+    def test_stray_pterm_pointers_forwarded(self):
+        stats = run("eqntott", Variant.L).stats
+        assert stats.loads.forwarded > 0
+
+    def test_sweep_is_the_dominant_phase(self):
+        stats = run("eqntott", Variant.N).stats
+        assert stats.loads.count > 3_000
+
+
+class TestBH:
+    def test_tree_holds_all_bodies(self):
+        result = run("bh", Variant.N)
+        assert result.extras["bodies"] > 0
+        assert result.checksum > 0
+
+    def test_clustering_moves_internal_nodes(self):
+        result = run("bh", Variant.L)
+        assert 0 < result.extras["cells_clustered"]
+
+    def test_clustering_wins_at_256B(self):
+        # Full scale: the tree must outgrow the caches (paper: clustering
+        # is only meaningful at 256 B lines and realistic tree sizes).
+        n = run("bh", Variant.N, line=256, scale=1.0).stats.cycles
+        l = run("bh", Variant.L, line=256, scale=1.0).stats.cycles
+        assert l < n
+
+
+class TestCompress:
+    def test_compression_emits_codes(self):
+        result = run("compress", Variant.N)
+        assert 0 < result.extras["codes_emitted"] < result.extras["probes"]
+
+    def test_merged_table_loses_at_32B(self):
+        """The paper's negative result: merging hurts at short lines."""
+        n = run("compress", Variant.N, line=32).stats.cycles
+        l = run("compress", Variant.L, line=32).stats.cycles
+        assert l > n
+
+    def test_stray_htab_reads_forwarded(self):
+        stats = run("compress", Variant.L).stats
+        assert stats.loads.forwarded > 0
+
+
+class TestSMV:
+    def test_forwarding_fires_in_l_scheme(self):
+        stats = run("smv", Variant.L).stats
+        assert stats.loads.forwarded_fraction > 0.01
+        assert stats.stores.forwarded_fraction > 0.001
+
+    def test_perf_scheme_never_forwards(self):
+        stats = run("smv", Variant.PERF).stats
+        assert stats.loads.forwarded == 0
+        assert stats.stores.forwarded == 0
+        assert stats.relocation.words_relocated > 0  # it DID relocate
+
+    def test_l_slower_than_perf(self):
+        """Figure 10(a): forwarding overhead separates L from Perf."""
+        l = run("smv", Variant.L, scale=0.5).stats.cycles
+        perf = run("smv", Variant.PERF, scale=0.5).stats.cycles
+        assert perf < l
+
+    def test_forwarding_latency_attributed(self):
+        stats = run("smv", Variant.L).stats
+        assert stats.loads.forwarding_cycles > 0
+        assert stats.loads.avg_forwarding > 0

@@ -1,0 +1,183 @@
+"""Unit tests for the BDD package (the SMV substrate)."""
+
+import itertools
+
+import pytest
+
+from repro import Machine
+from repro.bdd.bdd import BDD, OP_AND, OP_OR, OP_XOR, BDD_NODE
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+@pytest.fixture
+def bdd(m):
+    return BDD(m, num_vars=4, buckets=64, cache_slots=128)
+
+
+def brute_force_count(bdd, root, num_vars):
+    """Count satisfying assignments by full enumeration."""
+    total = 0
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if bdd.evaluate(root, list(bits)):
+            total += 1
+    return total
+
+
+class TestConstruction:
+    def test_terminals_distinct(self, bdd):
+        assert bdd.zero != bdd.one
+
+    def test_var_node(self, bdd, m):
+        f = bdd.var(1)
+        assert BDD_NODE.read(m, f, "var") == 1
+        assert BDD_NODE.read(m, f, "low") == bdd.zero
+        assert BDD_NODE.read(m, f, "high") == bdd.one
+
+    def test_mk_is_unique(self, bdd):
+        a = bdd.mk(2, bdd.zero, bdd.one)
+        b = bdd.mk(2, bdd.zero, bdd.one)
+        assert a == b
+        assert bdd.node_count == 3  # two terminals + one variable node
+
+    def test_mk_reduces_equal_children(self, bdd):
+        assert bdd.mk(1, bdd.one, bdd.one) == bdd.one
+
+    def test_var_range_checked(self, bdd):
+        with pytest.raises(ValueError):
+            bdd.var(4)
+        with pytest.raises(ValueError):
+            bdd.nvar(-1)
+
+    def test_num_vars_validated(self, m):
+        with pytest.raises(ValueError):
+            BDD(m, num_vars=0)
+
+
+class TestApply:
+    def test_and_truth_table(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert bdd.evaluate(f, [True, True, False, False])
+        assert not bdd.evaluate(f, [True, False, False, False])
+        assert not bdd.evaluate(f, [False, True, False, False])
+
+    def test_or_truth_table(self, bdd):
+        f = bdd.apply_or(bdd.var(0), bdd.var(1))
+        assert bdd.evaluate(f, [False, True, False, False])
+        assert not bdd.evaluate(f, [False, False, False, False])
+
+    def test_xor_truth_table(self, bdd):
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        assert bdd.evaluate(f, [True, False, False, False])
+        assert not bdd.evaluate(f, [True, True, False, False])
+
+    def test_negation(self, bdd):
+        f = bdd.ite_not(bdd.var(2))
+        assert bdd.evaluate(f, [False, False, False, False])
+        assert not bdd.evaluate(f, [False, False, True, False])
+
+    def test_terminal_shortcuts(self, bdd):
+        f = bdd.var(0)
+        assert bdd.apply_and(f, bdd.zero) == bdd.zero
+        assert bdd.apply_and(f, bdd.one) == f
+        assert bdd.apply_or(f, bdd.one) == bdd.one
+        assert bdd.apply_or(f, bdd.zero) == f
+        assert bdd.apply_xor(f, f) == bdd.zero
+
+    def test_unknown_op_rejected(self, bdd):
+        with pytest.raises(ValueError):
+            bdd.apply(99, bdd.var(0), bdd.var(1))
+
+    def test_computed_cache_hits(self, bdd):
+        f, g = bdd.var(0), bdd.var(1)
+        bdd.apply_and(f, g)
+        misses = bdd.cache_misses
+        bdd.apply_and(f, g)
+        assert bdd.cache_hits >= 1
+        assert bdd.cache_misses == misses
+
+    def test_canonicity_across_formulas(self, bdd):
+        """(a AND b) OR (a AND b) must be the same node as (a AND b)."""
+        ab1 = bdd.apply_and(bdd.var(0), bdd.var(1))
+        ab2 = bdd.apply_or(ab1, ab1)
+        assert ab1 == ab2
+
+
+class TestSatcount:
+    def test_terminals(self, bdd):
+        assert bdd.satcount(bdd.zero) == 0
+        assert bdd.satcount(bdd.one) == 16
+
+    def test_single_variable(self, bdd):
+        assert bdd.satcount(bdd.var(0)) == 8
+        assert bdd.satcount(bdd.var(3)) == 8
+
+    def test_matches_brute_force(self, bdd):
+        f = bdd.apply_or(
+            bdd.apply_and(bdd.var(0), bdd.nvar(1)),
+            bdd.apply_xor(bdd.var(2), bdd.var(3)),
+        )
+        assert bdd.satcount(f) == brute_force_count(bdd, f, 4)
+
+    def test_skipped_levels(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(3))  # levels 1, 2 skipped
+        assert bdd.satcount(f) == 4
+
+    def test_count_nodes(self, bdd):
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        # XOR of two variables: 1 node for var0, 2 for var1.
+        assert bdd.count_nodes(f) == 3
+
+
+class TestLinearization:
+    def build_formula(self, bdd):
+        f = bdd.apply_or(
+            bdd.apply_and(bdd.var(0), bdd.var(1)),
+            bdd.apply_and(bdd.nvar(2), bdd.var(3)),
+        )
+        return f
+
+    def test_function_preserved_after_linearization(self, bdd, m):
+        f = self.build_formula(bdd)
+        expected = brute_force_count(bdd, f, 4)
+        pool = m.create_pool(1 << 18)
+        moved = bdd.linearize_unique_table(pool)
+        assert moved == bdd.node_count - 2  # all but the terminals
+        assert brute_force_count(bdd, f, 4) == expected
+
+    def test_tree_pointers_forward_after_linearization(self, bdd, m):
+        f = self.build_formula(bdd)
+        pool = m.create_pool(1 << 18)
+        bdd.linearize_unique_table(pool)
+        before = m.stats().loads.forwarded
+        bdd.count_nodes(f)
+        assert m.stats().loads.forwarded > before
+
+    def test_fixup_eliminates_forwarding(self, bdd, m):
+        """Perf: after the magic pointer fixup, traversals take no hops."""
+        f = self.build_formula(bdd)
+        expected = brute_force_count(bdd, f, 4)
+        pool = m.create_pool(1 << 18)
+        bdd.linearize_unique_table(pool)
+        patched = bdd.fixup_tree_pointers()
+        assert patched > 0
+        before = m.stats().loads.forwarded
+        # Traverse from the root's final address.
+        root = bdd._raw_final(f)
+        bdd.count_nodes(root)
+        assert m.stats().loads.forwarded == before
+        assert brute_force_count(bdd, root, 4) == expected
+
+    def test_new_mk_after_linearization_still_unique(self, bdd, m):
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        pool = m.create_pool(1 << 18)
+        bdd.linearize_unique_table(pool)
+        nodes_before = bdd.node_count
+        # Rebuilding the same formula finds the relocated nodes (the keys
+        # stored in the table are unchanged pointer values).
+        g = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert bdd.evaluate(g, [True, True, False, False])
+        assert bdd.node_count <= nodes_before + 1

@@ -1,0 +1,126 @@
+"""Unit tests for the set-associative cache tag array."""
+
+import pytest
+
+from repro.cache.cache import Cache
+
+
+def make(size=1024, line=32, assoc=2, policy="lru"):
+    return Cache(size, line, assoc, policy)
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        cache = make(size=1024, line=32, assoc=2)
+        assert cache.num_sets == 16
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            make(size=1000)
+        with pytest.raises(ValueError):
+            make(line=48)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            make(size=1024, line=32, assoc=3)
+
+    def test_rejects_cache_smaller_than_line(self):
+        with pytest.raises(ValueError):
+            Cache(16, 32, 1)
+
+    def test_line_address(self):
+        cache = make(line=64)
+        assert cache.line_address(0) == 0
+        assert cache.line_address(63) == 0
+        assert cache.line_address(64) == 64
+        assert cache.line_address(130) == 128
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = make()
+        assert not cache.lookup(0x100, False)
+        cache.fill(0x100)
+        assert cache.lookup(0x100, False)
+
+    def test_same_line_hits_together(self):
+        cache = make(line=32)
+        cache.fill(0x100)
+        assert cache.lookup(0x100 + 31, False)
+        assert not cache.lookup(0x100 + 32, False)
+
+    def test_stats_split_loads_and_stores(self):
+        cache = make()
+        cache.lookup(0, False)
+        cache.fill(0)
+        cache.lookup(0, True)
+        stats = cache.stats
+        assert stats.load_misses == 1
+        assert stats.store_hits == 1
+        assert stats.accesses == 2
+
+    def test_fill_existing_line_no_eviction(self):
+        cache = make()
+        cache.fill(0x100)
+        assert cache.fill(0x100) is None
+        assert cache.resident_lines() == 1
+
+
+class TestEviction:
+    def test_lru_evicts_least_recent(self):
+        cache = make(size=64, line=32, assoc=2)  # one set, 2 ways
+        cache.fill(0)
+        cache.fill(1024)
+        cache.lookup(0, False)  # refresh line 0
+        evicted = cache.fill(2048)
+        assert evicted is not None
+        assert evicted.line_address == 1024
+        assert cache.contains(0)
+        assert not cache.contains(1024)
+
+    def test_dirty_bit_travels_with_eviction(self):
+        cache = make(size=64, line=32, assoc=1)
+        cache.fill(0, dirty=True)
+        evicted = cache.fill(1024)
+        assert evicted.dirty
+        assert cache.stats.dirty_evictions == 1
+
+    def test_store_hit_dirties_line(self):
+        cache = make(size=64, line=32, assoc=1)
+        cache.fill(0)
+        cache.lookup(0, True)
+        evicted = cache.fill(1024)
+        assert evicted.dirty
+
+    def test_conflict_misses_with_direct_mapped(self):
+        """Two lines mapping to the same set thrash a direct-mapped cache."""
+        cache = make(size=1024, line=32, assoc=1)
+        a, b = 0x0, 0x400  # same index, different tags
+        for _ in range(4):
+            if not cache.lookup(a, False):
+                cache.fill(a)
+            if not cache.lookup(b, False):
+                cache.fill(b)
+        assert cache.stats.load_misses == 8  # no reuse survives
+
+    def test_two_way_absorbs_that_conflict(self):
+        cache = make(size=1024, line=32, assoc=2)
+        a, b = 0x0, 0x400
+        for _ in range(4):
+            if not cache.lookup(a, False):
+                cache.fill(a)
+            if not cache.lookup(b, False):
+                cache.fill(b)
+        assert cache.stats.load_misses == 2  # only compulsory misses
+
+
+class TestInvalidate:
+    def test_invalidate_removes_line(self):
+        cache = make()
+        cache.fill(0x100)
+        assert cache.invalidate(0x100)
+        assert not cache.contains(0x100)
+
+    def test_invalidate_absent_line(self):
+        cache = make()
+        assert not cache.invalidate(0x100)

@@ -1,0 +1,157 @@
+"""Unit tests for the two-level hierarchy: classification and bandwidth."""
+
+import pytest
+
+from repro.cache.hierarchy import (
+    AccessKind,
+    HierarchyConfig,
+    MemoryHierarchy,
+)
+
+
+def make(line=32, l1=1024, l2=8192, mshrs=8, l2_line=None):
+    config = HierarchyConfig(
+        line_size=line, l1_size=l1, l1_assoc=2, l2_size=l2, l2_assoc=4,
+        mshr_capacity=mshrs, l2_line_size=l2_line if l2_line else line,
+    )
+    return MemoryHierarchy(config)
+
+
+class TestClassification:
+    def test_cold_miss_goes_to_memory(self):
+        h = make()
+        result = h.access(0x1000, False, 0.0)
+        assert result.kind is AccessKind.MEMORY
+        assert result.ready == pytest.approx(h.config.full_miss_latency)
+
+    def test_hit_after_fill(self):
+        h = make()
+        h.access(0x1000, False, 0.0)
+        result = h.access(0x1008, False, 200.0)
+        assert result.kind is AccessKind.L1_HIT
+        assert result.ready == pytest.approx(201.0)
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make(l1=64, line=32)  # tiny L1: 2 lines, 2-way, 1 set
+        h.access(0x0, False, 0.0)
+        h.access(0x1000, False, 200.0)
+        h.access(0x2000, False, 400.0)  # evicts 0x0 from L1, still in L2
+        result = h.access(0x0, False, 600.0)
+        assert result.kind is AccessKind.L2_HIT
+        assert result.ready == pytest.approx(600.0 + h.config.l2_fill_latency)
+
+    def test_partial_miss_combines_with_inflight_fill(self):
+        h = make()
+        first = h.access(0x1000, False, 0.0)
+        second = h.access(0x1010, False, 10.0)  # same line, still in flight
+        assert second.kind is AccessKind.PARTIAL
+        assert second.ready == first.ready
+        assert h.miss_classes.load_partial == 1
+        assert h.miss_classes.load_full == 1
+
+    def test_partial_miss_residual_shrinks_over_time(self):
+        h = make()
+        first = h.access(0x1000, False, 0.0)
+        later = h.access(0x1018, False, first.ready - 1.0)
+        assert later.kind is AccessKind.PARTIAL
+        assert later.ready - (first.ready - 1.0) == pytest.approx(1.0)
+
+    def test_store_misses_classified_separately(self):
+        h = make()
+        h.access(0x1000, True, 0.0)
+        h.access(0x1008, True, 1.0)
+        assert h.miss_classes.store_full == 1
+        assert h.miss_classes.store_partial == 1
+        assert h.miss_classes.load_misses == 0
+
+
+class TestBandwidth:
+    def test_memory_fill_counts_both_interfaces(self):
+        h = make(line=32, l2_line=128)
+        h.access(0x1000, False, 0.0)
+        assert h.traffic.l1_l2_fill_bytes == 32    # one L1 line
+        assert h.traffic.l2_mem_fill_bytes == 128  # one (longer) L2 line
+
+    def test_l2_hit_fill_counts_only_l1_interface(self):
+        h = make(l1=64, line=32)
+        h.access(0x0, False, 0.0)
+        h.access(0x1000, False, 200.0)
+        h.access(0x2000, False, 400.0)
+        before = h.traffic.l2_mem_fill_bytes
+        h.access(0x0, False, 600.0)  # L2 hit
+        assert h.traffic.l2_mem_fill_bytes == before
+        assert h.traffic.l1_l2_fill_bytes == 4 * 32
+
+    def test_dirty_l1_eviction_counts_writeback(self):
+        h = make(l1=64, line=32)
+        h.access(0x0, True, 0.0)          # dirty line 0
+        h.access(0x1000, False, 200.0)
+        h.access(0x2000, False, 400.0)    # evicts dirty 0x0
+        assert h.traffic.l1_l2_writeback_bytes == 32
+
+    def test_line_size_scales_bandwidth(self):
+        """One access moves one L1 line inward, one L2 line from memory."""
+        for line in (32, 64, 128):
+            h = make(line=line, l2_line=128)
+            h.access(0x1000, False, 0.0)
+            assert h.traffic.l1_l2_bytes == line
+            assert h.traffic.l2_mem_bytes == 128
+
+
+class TestPrefetch:
+    def test_prefetch_fills_line(self):
+        h = make()
+        assert h.prefetch(0x1000, 0.0)
+        # Demand access during flight combines (partial).
+        result = h.access(0x1008, False, 5.0)
+        assert result.kind is AccessKind.PARTIAL
+
+    def test_prefetch_after_completion_gives_hit(self):
+        h = make()
+        h.prefetch(0x1000, 0.0)
+        result = h.access(0x1000, False, 500.0)
+        assert result.kind is AccessKind.L1_HIT
+
+    def test_redundant_prefetch_not_counted_as_fill(self):
+        h = make()
+        h.access(0x1000, False, 0.0)
+        assert not h.prefetch(0x1000, 500.0)
+        assert h.prefetch_redundant == 1
+        assert h.prefetch_fills == 0
+
+    def test_prefetch_consumes_bandwidth(self):
+        h = make(line=64)
+        h.prefetch(0x1000, 0.0)
+        assert h.traffic.l1_l2_bytes == 64
+
+
+class TestInclusion:
+    def test_l2_eviction_invalidates_l1(self):
+        """Inclusive hierarchy: dropping a line from L2 drops it from L1."""
+        h = make(l1=4096, l2=128, line=32)  # pathological: L2 of 4 lines
+        h.access(0x0, False, 0.0)
+        # Touch enough distinct lines mapping over tiny L2 to evict 0x0.
+        for index in range(1, 9):
+            h.access(index * 0x1000, False, index * 200.0)
+        assert not h.l2.contains(0x0)
+        assert not h.l1.contains(0x0)
+
+    def test_l2_eviction_invalidates_all_contained_l1_lines(self):
+        """With longer L2 lines, eviction drops every covered L1 line."""
+        h = make(l1=4096, l2=512, line=32, l2_line=128)  # L2 of 4 lines
+        h.access(0x0, False, 0.0)
+        h.access(0x20, False, 200.0)
+        h.access(0x40, False, 400.0)
+        for index in range(1, 9):
+            h.access(index * 0x1000, False, 1000.0 * index)
+        assert not h.l2.contains(0x0)
+        for offset in (0x0, 0x20, 0x40):
+            assert not h.l1.contains(offset)
+
+    def test_reset_stats_keeps_contents(self):
+        h = make()
+        h.access(0x1000, False, 0.0)
+        h.reset_stats()
+        assert h.traffic.total_bytes == 0
+        result = h.access(0x1000, False, 500.0)
+        assert result.kind is AccessKind.L1_HIT

@@ -1,0 +1,66 @@
+"""Unit tests for the MSHR file (miss combining and capacity stalls)."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+
+
+class TestInflightTracking:
+    def test_lookup_misses_when_empty(self):
+        mshr = MSHRFile(4)
+        assert mshr.lookup(0x100, now=0.0) is None
+
+    def test_allocate_then_lookup(self):
+        mshr = MSHRFile(4)
+        ready = mshr.allocate(0x100, now=10.0, latency=50.0)
+        assert ready == 60.0
+        assert mshr.lookup(0x100, now=30.0) == 60.0
+
+    def test_completed_fill_expires(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, now=0.0, latency=10.0)
+        assert mshr.lookup(0x100, now=10.0) is None
+
+    def test_combine_counts(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, now=0.0, latency=100.0)
+        ready = mshr.combine(0x100, now=20.0)
+        assert ready == 100.0
+        assert mshr.stats.combines == 1
+
+    def test_occupancy(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(0x100, 0.0, 100.0)
+        mshr.allocate(0x200, 0.0, 50.0)
+        assert mshr.occupancy(0.0) == 2
+        assert mshr.occupancy(60.0) == 1
+        assert mshr.occupancy(200.0) == 0
+
+
+class TestCapacity:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_full_file_delays_new_fill(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0x100, 0.0, 100.0)   # ready 100
+        mshr.allocate(0x200, 0.0, 80.0)    # ready 80
+        # Third fill must wait for the earliest completion (80).
+        ready = mshr.allocate(0x300, now=10.0, latency=50.0)
+        assert ready == 130.0
+        assert mshr.stats.full_stalls == 1
+        assert mshr.stats.full_stall_cycles == pytest.approx(70.0)
+
+    def test_expired_entries_free_capacity(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(0x100, 0.0, 10.0)
+        ready = mshr.allocate(0x200, now=20.0, latency=10.0)
+        assert ready == 30.0
+        assert mshr.stats.full_stalls == 0
+
+    def test_reset_clears_inflight(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(0x100, 0.0, 100.0)
+        mshr.reset()
+        assert mshr.lookup(0x100, 1.0) is None

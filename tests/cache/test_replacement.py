@@ -1,0 +1,75 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PseudoRandomPolicy,
+    make_policy,
+)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy), ("fifo", FIFOPolicy), ("random", PseudoRandomPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("plru")
+
+
+class TestLRU:
+    def test_hit_moves_to_front(self):
+        policy = LRUPolicy()
+        cache_set = [[1, 0], [2, 0], [3, 0]]
+        policy.on_hit(cache_set, 2)
+        assert [entry[0] for entry in cache_set] == [3, 1, 2]
+
+    def test_victim_is_last(self):
+        policy = LRUPolicy()
+        assert policy.victim_index([[1, 0], [2, 0]]) == 1
+
+
+class TestFIFO:
+    def test_hit_does_not_reorder(self):
+        policy = FIFOPolicy()
+        cache_set = [[1, 0], [2, 0]]
+        policy.on_hit(cache_set, 1)
+        assert [entry[0] for entry in cache_set] == [1, 2]
+
+    def test_fifo_cache_differs_from_lru(self):
+        """A pattern where refreshing matters: LRU keeps the hot line."""
+        lru = Cache(64, 32, 2, "lru")
+        fifo = Cache(64, 32, 2, "fifo")
+        for cache in (lru, fifo):
+            cache.fill(0x0)
+            cache.fill(0x400)
+            cache.lookup(0x0, False)   # refresh 0x0 (LRU only)
+            cache.fill(0x800)
+        assert lru.contains(0x0)
+        assert not fifo.contains(0x0)
+
+
+class TestPseudoRandom:
+    def test_deterministic_sequence(self):
+        a = PseudoRandomPolicy(seed=42)
+        b = PseudoRandomPolicy(seed=42)
+        cache_set = [[i, 0] for i in range(8)]
+        seq_a = [a.victim_index(cache_set) for _ in range(20)]
+        seq_b = [b.victim_index(cache_set) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_victims_in_range(self):
+        policy = PseudoRandomPolicy()
+        cache_set = [[i, 0] for i in range(4)]
+        for _ in range(100):
+            assert 0 <= policy.victim_index(cache_set) < 4
+
+    def test_zero_seed_survives(self):
+        policy = PseudoRandomPolicy(seed=0)
+        assert 0 <= policy.victim_index([[0, 0], [1, 0]]) < 2

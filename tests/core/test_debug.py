@@ -1,0 +1,59 @@
+"""Tests for the memory-dump helpers."""
+
+import pytest
+
+from repro import Machine, relocate
+from repro.core.debug import dump_chain, dump_region, region_summary
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+class TestDumpRegion:
+    def test_data_words_rendered(self, m):
+        addr = m.malloc(16)
+        m.store(addr, 5)
+        m.store(addr + 8, 0xBEEF)
+        text = dump_region(m.memory, addr, 2, title="demo")
+        assert "demo" in text
+        lines = text.splitlines()
+        assert lines[-2].strip().endswith("5")
+        assert "0xbeef" in lines[-1]
+
+    def test_forwarding_stub_rendered_as_arrow(self, m):
+        src = m.malloc(8)
+        tgt = m.create_pool(4096).allocate(8)
+        relocate(m, src, tgt, 1)
+        text = dump_region(m.memory, src, 1)
+        assert f"-> {tgt:#x}" in text
+        assert "   1  " in text  # fbit column
+
+    def test_alignment_validated(self, m):
+        with pytest.raises(ValueError):
+            dump_region(m.memory, 0x1004, 1)
+
+
+class TestDumpChain:
+    def test_single_word(self, m):
+        addr = m.malloc(8)
+        assert dump_chain(m.memory, addr) == f"{addr:#x}"
+
+    def test_two_generation_chain(self, m):
+        obj = m.malloc(8)
+        pool = m.create_pool(4096)
+        mid = pool.allocate(8)
+        new = pool.allocate(8)
+        relocate(m, obj, mid, 1)
+        relocate(m, obj, new, 1)
+        assert dump_chain(m.memory, obj) == f"{obj:#x} -> {mid:#x} -> {new:#x}"
+
+
+class TestRegionSummary:
+    def test_counts_partition(self, m):
+        base = m.malloc(32)
+        tgt = m.create_pool(4096).allocate(16)
+        relocate(m, base, tgt, 2)  # forward the first two words only
+        summary = region_summary(m.memory, base, 4)
+        assert summary == {"words": 4, "forwarding": 2, "data": 2}

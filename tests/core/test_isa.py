@@ -1,0 +1,83 @@
+"""Fidelity tests for the Figure 3 ISA extensions."""
+
+import pytest
+
+from repro import ISAExtensions, Machine, relocate
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+@pytest.fixture
+def isa(m):
+    return ISAExtensions(m)
+
+
+class TestFigure3Semantics:
+    """Check the exact example of Section 3.1 / Figure 1(b):
+
+    after relocation, a normal Read of a forwarded word returns the data
+    at its new location, while an Unforwarded_Read of the same word
+    returns the forwarding address itself.
+    """
+
+    def test_read_vs_unforwarded_read(self, m, isa):
+        src = m.malloc(16)
+        tgt = m.create_pool(4096).allocate(16)
+        isa.Write(src + 8, 0)  # the word at offset 8 holds value 0
+        relocate(m, src, tgt, 2)
+        assert isa.Read(src + 8) == 0              # forwarded to the value
+        assert isa.Unforwarded_Read(src + 8) == tgt + 8  # the raw pointer
+
+    def test_read_fbit_distinguishes_data_from_pointer(self, m, isa):
+        addr = m.malloc(16)
+        assert isa.Read_FBit(addr) == 0
+        isa.Unforwarded_Write(addr, 0x9000, 1)
+        assert isa.Read_FBit(addr) == 1
+
+    def test_unforwarded_write_atomicity(self, m, isa):
+        addr = m.malloc(8)
+        isa.Unforwarded_Write(addr, 1234, 0)
+        assert isa.Read(addr) == 1234
+        assert isa.Read_FBit(addr) == 0
+
+    def test_relocate_expressible_in_isa_only(self, m, isa):
+        """Figure 4(a)'s Relocate() uses only the three new instructions
+        plus ordinary reads/writes; re-implement it here by hand."""
+        src = m.malloc(16)
+        tgt = m.create_pool(4096).allocate(16)
+        isa.Write(src, 42)
+        isa.Write(src + 8, 43)
+        for index in range(2):
+            old = src + 8 * index
+            while isa.Read_FBit(old):
+                old = isa.Unforwarded_Read(old)
+            value = isa.Unforwarded_Read(old)
+            isa.Unforwarded_Write(tgt + 8 * index, value, 0)
+            isa.Unforwarded_Write(old, tgt + 8 * index, 1)
+        assert isa.Read(src) == 42
+        assert isa.Read(src + 8) == 43
+        assert isa.Unforwarded_Read(src) == tgt
+
+
+class TestCosts:
+    def test_each_extension_is_one_instruction(self, m, isa):
+        addr = m.malloc(8)
+        base = m.stats().instructions
+        isa.Read_FBit(addr)
+        assert m.stats().instructions == base + 1
+        isa.Unforwarded_Read(addr)
+        assert m.stats().instructions == base + 2
+        isa.Unforwarded_Write(addr, 0, 0)
+        assert m.stats().instructions == base + 3
+
+    def test_extensions_do_not_follow_chains(self, m, isa):
+        src = m.malloc(8)
+        tgt = m.create_pool(4096).allocate(8)
+        relocate(m, src, tgt, 1)
+        before = m.stats().forwarding_hops
+        isa.Read_FBit(src)
+        isa.Unforwarded_Read(src)
+        assert m.stats().forwarding_hops == before

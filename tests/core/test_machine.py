@@ -1,0 +1,223 @@
+"""Integration tests for the Machine facade."""
+
+import pytest
+
+from repro import (
+    Machine,
+    MachineConfig,
+    DoubleFreeError,
+    ForwardingEvent,
+)
+from repro.cache.hierarchy import HierarchyConfig
+from repro.core.relocate import relocate
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+class TestLoadsAndStores:
+    def test_store_load_roundtrip(self, m):
+        addr = m.malloc(16)
+        m.store(addr, 12345)
+        assert m.load(addr) == 12345
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_subword_sizes(self, m, size):
+        addr = m.malloc(16)
+        value = (1 << (8 * size)) - 1
+        m.store(addr, value, size)
+        assert m.load(addr, size) == value
+
+    def test_references_advance_time(self, m):
+        addr = m.malloc(16)
+        before = m.cycles
+        m.load(addr)
+        assert m.cycles > before
+
+    def test_cold_load_is_a_miss(self, m):
+        addr = m.malloc(4096)
+        m.load(addr + 1024)  # beyond the line malloc's clearing touched? (clearing is untimed)
+        stats = m.stats()
+        assert stats.load_misses >= 1
+
+    def test_reference_counts(self, m):
+        addr = m.malloc(16)
+        m.store(addr, 1)
+        m.load(addr)
+        m.load(addr)
+        stats = m.stats()
+        assert stats.loads.count == 2
+        assert stats.stores.count == 1
+
+
+class TestForwardedReferences:
+    def setup_chain(self, m):
+        src = m.malloc(16)
+        tgt = m.create_pool(4096).allocate(16)
+        m.store(src, 777)
+        m.store(src + 8, 888)
+        relocate(m, src, tgt, 2)
+        return src, tgt
+
+    def test_load_via_old_address(self, m):
+        src, tgt = self.setup_chain(m)
+        assert m.load(src) == 777
+        assert m.load(src + 8) == 888
+
+    def test_store_via_old_address_lands_at_new(self, m):
+        src, tgt = self.setup_chain(m)
+        m.store(src, 111)
+        assert m.load(tgt) == 111
+
+    def test_forwarded_counts(self, m):
+        src, tgt = self.setup_chain(m)
+        m.load(src)
+        m.load(tgt)
+        stats = m.stats()
+        assert stats.loads.forwarded == 1
+        assert stats.forwarding_hops >= 1
+
+    def test_forwarding_charges_extra_latency(self, m):
+        src, tgt = self.setup_chain(m)
+        # Warm both locations so the comparison is about forwarding alone.
+        m.load(tgt)
+        m.load(src)
+        before = m.cycles
+        m.load(tgt)
+        direct = m.cycles - before
+        before = m.cycles
+        m.load(src)
+        forwarded = m.cycles - before
+        assert forwarded > direct
+
+    def test_trap_handler_invoked(self, m):
+        src, tgt = self.setup_chain(m)
+        events: list[ForwardingEvent] = []
+        m.set_trap_handler(lambda machine, event: events.append(event))
+        m.load(src + 8)
+        assert len(events) == 1
+        assert events[0].initial_address == src + 8
+        assert events[0].final_address == tgt + 8
+        assert events[0].hops == 1
+        assert not events[0].is_write
+
+    def test_trap_handler_cleared(self, m):
+        src, _ = self.setup_chain(m)
+        events = []
+        m.set_trap_handler(lambda machine, event: events.append(event))
+        m.set_trap_handler(None)
+        m.load(src)
+        assert events == []
+
+
+class TestIsaExtensions:
+    def test_read_fbit(self, m):
+        addr = m.malloc(16)
+        assert m.read_fbit(addr) == 0
+        m.unforwarded_write(addr, 0x2000, 1)
+        assert m.read_fbit(addr) == 1
+
+    def test_unforwarded_read_sees_forwarding_address(self, m):
+        """Figure 1(b): normal read is forwarded, unforwarded read is not."""
+        src = m.malloc(16)
+        tgt = m.create_pool(4096).allocate(16)
+        m.store(src, 5)
+        relocate(m, src, tgt, 1)
+        assert m.load(src) == 5            # forwarded to the data
+        assert m.unforwarded_read(src) == tgt  # the raw forwarding address
+
+    def test_unforwarded_write_is_atomic(self, m):
+        addr = m.malloc(16)
+        m.unforwarded_write(addr, 42, 0)
+        assert m.load(addr) == 42
+        assert m.read_fbit(addr) == 0
+
+
+class TestHeap:
+    def test_free_releases_block(self, m):
+        addr = m.malloc(32)
+        m.free(addr)
+        assert not m.heap.owns(addr)
+
+    def test_free_follows_forwarding_chain(self, m):
+        """Section 3.3: freeing an object frees its relocated copies too."""
+        a = m.malloc(16)
+        b = m.malloc(16)
+        relocate(m, a, b, 2)
+        m.free(a)
+        assert not m.heap.owns(a)
+        assert not m.heap.owns(b)
+
+    def test_free_by_any_chain_address(self, m):
+        a = m.malloc(16)
+        b = m.malloc(16)
+        relocate(m, a, b, 2)
+        m.free(b)  # freeing via the new address still works
+        assert not m.heap.owns(b)
+
+    def test_double_free_detected(self, m):
+        addr = m.malloc(16)
+        m.free(addr)
+        with pytest.raises(DoubleFreeError):
+            m.free(addr)
+
+    def test_malloc_costs_instructions(self, m):
+        before = m.stats().instructions
+        m.malloc(1024)
+        assert m.stats().instructions > before
+
+
+class TestPools:
+    def test_pools_are_disjoint(self, m):
+        a = m.create_pool(4096, "a")
+        b = m.create_pool(4096, "b")
+        assert a.limit <= b.base or b.limit <= a.base
+
+    def test_pool_space_reported_in_stats(self, m):
+        pool = m.create_pool(4096)
+        pool.allocate(128)
+        assert m.stats().relocation.pool_bytes == 128
+
+    def test_pool_region_exhaustion(self):
+        config = MachineConfig(pool_region_size=4096)
+        machine = Machine(config)
+        machine.create_pool(4096)
+        from repro.core.errors import MemoryAccessError
+        with pytest.raises(MemoryAccessError):
+            machine.create_pool(4096)
+
+
+class TestConfig:
+    def test_with_line_size(self):
+        config = MachineConfig(hierarchy=HierarchyConfig(line_size=32))
+        wider = config.with_line_size(128)
+        assert wider.hierarchy.line_size == 128
+        assert config.hierarchy.line_size == 32  # original untouched
+
+    def test_speculation_can_be_disabled(self):
+        machine = Machine(MachineConfig(speculation_window=0))
+        assert machine.speculator is None
+        addr = machine.malloc(16)
+        machine.store(addr, 1)
+        assert machine.load(addr) == 1
+
+
+class TestSpeculationIntegration:
+    def test_forwarded_collision_flushes(self, m):
+        src = m.malloc(16)
+        tgt = m.create_pool(4096).allocate(16)
+        m.store(src, 9)
+        relocate(m, src, tgt, 1)
+        m.store(src, 10)   # store via old address (forwarded)
+        m.load(tgt)        # load via new address: initials differ, finals match
+        assert m.stats().misspeculations >= 1
+
+    def test_normal_code_never_misspeculates(self, m):
+        addr = m.malloc(64)
+        for index in range(8):
+            m.store(addr + index * 8, index)
+        for index in range(8):
+            m.load(addr + index * 8)
+        assert m.stats().misspeculations == 0

@@ -1,0 +1,84 @@
+"""Tests for safe (final-address) pointer comparison."""
+
+import pytest
+
+from repro import Machine, NULL, final_address, ptr_eq, ptr_ne, relocate
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+@pytest.fixture
+def moved(m):
+    """An object relocated from ``old`` to ``new``."""
+    old = m.malloc(16)
+    new = m.create_pool(4096).allocate(16)
+    m.store(old, 1)
+    relocate(m, old, new, 2)
+    return old, new
+
+
+class TestFinalAddress:
+    def test_null_resolves_to_null(self, m):
+        assert final_address(m, NULL) == NULL
+
+    def test_unforwarded_pointer_unchanged(self, m):
+        addr = m.malloc(8)
+        assert final_address(m, addr) == addr
+
+    def test_forwarded_pointer_resolves(self, m, moved):
+        old, new = moved
+        assert final_address(m, old) == new
+
+    def test_offset_preserved(self, m, moved):
+        old, new = moved
+        assert final_address(m, old + 4) == new + 4
+
+    def test_uses_isa_extensions_not_forwarded_loads(self, m, moved):
+        """The software sequence must not itself trigger forwarding traps."""
+        old, _ = moved
+        before = m.stats().loads.forwarded
+        final_address(m, old)
+        assert m.stats().loads.forwarded == before
+
+
+class TestPtrEq:
+    def test_identical_pointers(self, m):
+        addr = m.malloc(8)
+        assert ptr_eq(m, addr, addr)
+
+    def test_distinct_objects(self, m):
+        a = m.malloc(8)
+        b = m.malloc(8)
+        assert not ptr_eq(m, a, b)
+        assert ptr_ne(m, a, b)
+
+    def test_old_and_new_address_compare_equal(self, m, moved):
+        """Section 2.1: two distinct initial addresses may name the same
+        object; comparison must use final addresses."""
+        old, new = moved
+        assert old != new  # raw comparison would be wrong...
+        assert ptr_eq(m, old, new)  # ...the safe comparison is right.
+
+    def test_both_pointers_stale(self, m):
+        """Two stale pointers into the same relocated object still match."""
+        old = m.malloc(16)
+        mid = m.malloc(16)
+        new = m.create_pool(4096).allocate(16)
+        relocate(m, old, mid, 2)
+        relocate(m, old, new, 2)
+        assert ptr_eq(m, old, mid)
+        assert ptr_eq(m, mid, new)
+
+    def test_comparison_has_instruction_cost(self, m, moved):
+        old, new = moved
+        before = m.stats().instructions
+        ptr_eq(m, old, new)
+        assert m.stats().instructions > before
+
+    def test_null_comparisons(self, m, moved):
+        old, _ = moved
+        assert ptr_eq(m, NULL, NULL)
+        assert not ptr_eq(m, old, NULL)

@@ -1,0 +1,226 @@
+"""Tests for relocate()/list_linearize(), including paper-figure fidelity."""
+
+import pytest
+
+from repro import Machine, NULL, list_linearize, relocate
+from repro.core.memory import WORD_SIZE
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+class TestFigure1:
+    """Reproduce the exact memory states of Figure 1 of the paper.
+
+    Five 32-bit elements at (decimal) addresses 0800-0816 are relocated to
+    5800-5816.  Because relocation is word-granular, the 32-bit subword at
+    0820 (value 5) moves along with the element at 0816.
+    """
+
+    def setup_figure(self, m):
+        src = 800
+        tgt = 5800
+        # The figure uses decimal addresses; both are word aligned.
+        values = [3, 47, 0, 12, 5]
+        for index, value in enumerate(values):
+            m.memory.write_data(src + 4 * index, value, 4)
+        return src, tgt, values
+
+    def test_before_state(self, m):
+        src, _, values = self.setup_figure(m)
+        for index, value in enumerate(values):
+            assert m.memory.read_data(src + 4 * index, 4) == value
+        for word in range(3):
+            assert m.memory.read_fbit(src + 8 * word) == 0
+
+    def test_after_state(self, m):
+        src, tgt, values = self.setup_figure(m)
+        relocate(m, src, tgt, 3)  # 5 elements + the co-resident subword = 3 words
+        # Old words hold forwarding addresses with bits set.
+        assert m.memory.read_word(src) == tgt
+        assert m.memory.read_word(src + 8) == tgt + 8
+        assert m.memory.read_word(src + 16) == tgt + 16
+        for word in range(3):
+            assert m.memory.read_fbit(src + 8 * word) == 1
+        # New locations hold the data with clear bits.
+        for index, value in enumerate(values):
+            assert m.memory.read_data(tgt + 4 * index, 4) == value
+            assert m.memory.read_fbit((tgt + 4 * index) & ~7) == 0
+
+    def test_forwarded_32bit_load(self, m):
+        """The paper's example: a 32-bit load of 0804 returns 47 via 5804."""
+        src, tgt, _ = self.setup_figure(m)
+        relocate(m, src, tgt, 3)
+        assert m.load(src + 4, 4) == 47
+
+
+class TestRelocate:
+    def test_validates_alignment(self, m):
+        with pytest.raises(ValueError):
+            relocate(m, 0x1004, 0x2000, 1)
+        with pytest.raises(ValueError):
+            relocate(m, 0x1000, 0x2004, 1)
+
+    def test_validates_word_count(self, m):
+        with pytest.raises(ValueError):
+            relocate(m, 0x1000, 0x2000, 0)
+
+    def test_chain_appending_on_double_relocation(self, m):
+        """Relocating twice appends to the chain: old -> mid -> new."""
+        a = m.malloc(8)
+        b = m.malloc(8)
+        c = m.malloc(8)
+        m.store(a, 42)
+        relocate(m, a, b, 1)
+        relocate(m, a, c, 1)  # src is the *original* address again
+        # a forwards to b, b forwards to c.
+        assert m.memory.read_word(a) == b
+        assert m.memory.read_word(b) == c
+        assert m.load(a) == 42
+        assert m.load(b) == 42
+        assert m.load(c) == 42
+
+    def test_relocation_stats(self, m):
+        a = m.malloc(32)
+        b = m.malloc(32)
+        relocate(m, a, b, 4)
+        stats = m.stats().relocation
+        assert stats.relocations == 1
+        assert stats.words_relocated == 4
+
+
+def build_list(m, values, node_bytes=16, next_offset=8):
+    """Build a simulated singly linked list; returns the head handle."""
+    head_handle = m.malloc(8)
+    slot = head_handle
+    for value in values:
+        node = m.malloc(node_bytes)
+        m.store(node, value)
+        m.store(slot, node)
+        slot = node + next_offset
+    m.store(slot, NULL)
+    return head_handle
+
+
+def read_list(m, head_handle, next_offset=8):
+    out = []
+    node = m.load(head_handle)
+    while node != NULL:
+        out.append(m.load(node))
+        node = m.load(node + next_offset)
+    return out
+
+
+class TestListLinearize:
+    def test_values_preserved(self, m):
+        values = list(range(20))
+        head_handle = build_list(m, values)
+        pool = m.create_pool(1 << 14)
+        list_linearize(m, head_handle, 8, 16, pool)
+        assert read_list(m, head_handle) == values
+
+    def test_nodes_become_contiguous(self, m):
+        head_handle = build_list(m, [1, 2, 3, 4])
+        pool = m.create_pool(1 << 14)
+        new_head, count = list_linearize(m, head_handle, 8, 16, pool)
+        assert count == 4
+        node = m.load(head_handle)
+        addresses = []
+        while node != NULL:
+            addresses.append(node)
+            node = m.load(node + 8)
+        assert addresses == [new_head + 16 * i for i in range(4)]
+
+    def test_head_updated_to_new_location(self, m):
+        """Figure 2(b): the head must point into the pool afterwards."""
+        head_handle = build_list(m, [7, 8, 9])
+        old_head = m.load(head_handle)
+        pool = m.create_pool(1 << 14)
+        new_head, _ = list_linearize(m, head_handle, 8, 16, pool)
+        assert m.load(head_handle) == new_head
+        assert new_head != old_head
+        assert pool.contains(new_head)
+
+    def test_stray_pointer_still_works(self, m):
+        """The safety net: a pre-linearization pointer into the middle of
+        the list still reads the right value via forwarding."""
+        head_handle = build_list(m, [10, 20, 30, 40])
+        # Grab a stray pointer to the third node before linearization.
+        node = m.load(head_handle)
+        node = m.load(node + 8)
+        stray = m.load(node + 8)
+        pool = m.create_pool(1 << 14)
+        list_linearize(m, head_handle, 8, 16, pool)
+        assert m.load(stray) == 30  # forwarded
+        assert m.stats().loads.forwarded >= 1
+
+    def test_empty_list(self, m):
+        head_handle = m.malloc(8)
+        m.store(head_handle, NULL)
+        pool = m.create_pool(1 << 14)
+        new_head, count = list_linearize(m, head_handle, 8, 16, pool)
+        assert count == 0
+        assert m.load(head_handle) == NULL
+
+    def test_repeated_linearization(self, m):
+        """Periodic invocation (as in VIS) keeps working and stays correct."""
+        values = list(range(8))
+        head_handle = build_list(m, values)
+        pool = m.create_pool(1 << 16)
+        for _ in range(3):
+            list_linearize(m, head_handle, 8, 16, pool)
+        assert read_list(m, head_handle) == values
+
+    def test_traversal_after_linearize_needs_no_forwarding(self, m):
+        head_handle = build_list(m, list(range(10)))
+        pool = m.create_pool(1 << 14)
+        list_linearize(m, head_handle, 8, 16, pool)
+        before = m.stats().loads.forwarded
+        read_list(m, head_handle)
+        assert m.stats().loads.forwarded == before
+
+    def test_parameter_validation(self, m):
+        head_handle = build_list(m, [1])
+        pool = m.create_pool(1 << 14)
+        with pytest.raises(ValueError):
+            list_linearize(m, head_handle, 8, 12, pool)  # bad node size
+        with pytest.raises(ValueError):
+            list_linearize(m, head_handle, 4, 16, pool)  # bad offset align
+        with pytest.raises(ValueError):
+            list_linearize(m, head_handle, 16, 16, pool)  # offset out of node
+
+    def test_linearized_spatial_locality_reduces_misses(self, m):
+        """Fewer cache misses when re-traversing a linearized list --
+        the core claim of Section 2.2's packing discussion."""
+        # Build two identical scattered lists (interleaved with junk
+        # allocations so nodes land on distinct lines).
+        def scattered_list(count):
+            head_handle = m.malloc(8)
+            slot = head_handle
+            for value in range(count):
+                node = m.malloc(16)
+                m.malloc(112)  # spacer: push nodes onto separate lines
+                m.store(node, value)
+                m.store(slot, node)
+                slot = node + 8
+            m.store(slot, NULL)
+            return head_handle
+
+        plain = scattered_list(200)
+        optimized = scattered_list(200)
+        pool = m.create_pool(1 << 16)
+        list_linearize(m, optimized, 8, 16, pool)
+
+        def misses_for(head_handle):
+            before = m.stats().load_misses
+            read_list(m, head_handle)
+            return m.stats().load_misses - before
+
+        # Traverse each twice; the second pass shows the steady state.
+        misses_for(plain)
+        plain_misses = misses_for(plain)
+        misses_for(optimized)
+        optimized_misses = misses_for(optimized)
+        assert optimized_misses < plain_misses / 2

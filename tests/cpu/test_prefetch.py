@@ -1,0 +1,73 @@
+"""Unit tests for the software block prefetcher."""
+
+import pytest
+
+from repro.cache.hierarchy import AccessKind, HierarchyConfig, MemoryHierarchy
+from repro.cpu.prefetch import SoftwarePrefetcher
+
+
+def make(line=32, max_block=8):
+    hierarchy = MemoryHierarchy(HierarchyConfig(line_size=line))
+    return hierarchy, SoftwarePrefetcher(hierarchy, max_block)
+
+
+class TestBlockPrefetch:
+    def test_rejects_bad_block_limit(self):
+        hierarchy = MemoryHierarchy(HierarchyConfig())
+        with pytest.raises(ValueError):
+            SoftwarePrefetcher(hierarchy, 0)
+
+    def test_single_line(self):
+        hierarchy, pf = make()
+        assert pf.prefetch_block(0x1000, 1, 0.0) == 1
+        assert pf.stats.instructions_issued == 1
+
+    def test_block_covers_consecutive_lines(self):
+        hierarchy, pf = make(line=32)
+        pf.prefetch_block(0x1000, 4, 0.0)
+        for index in range(4):
+            result = hierarchy.access(0x1000 + index * 32, False, 500.0)
+            assert result.kind is AccessKind.L1_HIT
+        # The line after the block was not prefetched.
+        assert hierarchy.access(0x1000 + 4 * 32, False, 600.0).is_miss
+
+    def test_block_clamped_to_max(self):
+        hierarchy, pf = make(max_block=2)
+        started = pf.prefetch_block(0x1000, 10, 0.0)
+        assert started == 2
+        assert pf.stats.lines_requested == 2
+
+    def test_one_instruction_per_block(self):
+        """Block prefetching: one instruction regardless of block size."""
+        hierarchy, pf = make()
+        pf.prefetch_block(0x1000, 8, 0.0)
+        assert pf.stats.instructions_issued == 1
+
+    def test_unaligned_address_prefetches_containing_line(self):
+        hierarchy, pf = make(line=64)
+        pf.prefetch_block(0x1030, 1, 0.0)
+        assert hierarchy.access(0x1000, False, 500.0).kind is AccessKind.L1_HIT
+
+    def test_resident_lines_not_refetched(self):
+        hierarchy, pf = make()
+        hierarchy.access(0x1000, False, 0.0)
+        started = pf.prefetch_block(0x1000, 2, 500.0)
+        assert started == 1  # only the second line fills
+        assert pf.stats.fills_started == 1
+
+
+class TestTimelinessModel:
+    def test_late_prefetch_gives_partial_miss(self):
+        """A demand access racing an in-flight prefetch combines with it."""
+        hierarchy, pf = make()
+        pf.prefetch_block(0x1000, 1, 0.0)
+        result = hierarchy.access(0x1000, False, 10.0)
+        assert result.kind is AccessKind.PARTIAL
+        assert result.ready > 10.0
+
+    def test_timely_prefetch_fully_hides_latency(self):
+        hierarchy, pf = make()
+        pf.prefetch_block(0x1000, 1, 0.0)
+        latency = hierarchy.config.full_miss_latency
+        result = hierarchy.access(0x1000, False, latency + 1.0)
+        assert result.kind is AccessKind.L1_HIT

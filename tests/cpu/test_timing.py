@@ -1,0 +1,117 @@
+"""Unit tests for the graduation-slot timing model."""
+
+import pytest
+
+from repro.cpu.timing import TimingConfig, TimingModel
+
+
+def make(**overrides):
+    return TimingModel(TimingConfig(**overrides))
+
+
+class TestExecute:
+    def test_width_sets_ideal_throughput(self):
+        t = make(width=4, inst_overhead=0.0)
+        t.execute(100)
+        assert t.cycle == pytest.approx(25.0)
+        assert t.instructions == 100
+
+    def test_inst_overhead_charged_to_inst_stall(self):
+        t = make(width=4, inst_overhead=0.1)
+        t.execute(10)
+        assert t.inst_stall_cycles == pytest.approx(1.0)
+        assert t.cycle == pytest.approx(2.5 + 1.0)
+
+
+class TestLoads:
+    def test_ready_in_window_costs_nothing(self):
+        t = make(ooo_window=8.0, inst_overhead=0.0)
+        t.execute(4)  # cycle = 1
+        t.load_completes(ready=5.0)
+        assert t.load_stall_cycles == 0.0
+        assert t.cycle == pytest.approx(1.0)
+
+    def test_residual_beyond_window_stalls(self):
+        t = make(ooo_window=8.0, inst_overhead=0.0)
+        t.load_completes(ready=50.0)
+        assert t.load_stall_cycles == pytest.approx(42.0)
+        assert t.cycle == pytest.approx(42.0)
+
+    def test_forwarding_flag_routes_to_forwarding_cycles(self):
+        t = make(ooo_window=0.0)
+        t.load_completes(ready=10.0, forwarding=True)
+        assert t.forwarding_cycles == pytest.approx(10.0)
+        assert t.load_stall_cycles == pytest.approx(10.0)
+
+
+class TestStores:
+    def test_buffer_absorbs_store_misses(self):
+        t = make(store_buffer_depth=4, inst_overhead=0.0)
+        for _ in range(4):
+            t.store_completes(ready=100.0)
+        assert t.store_stall_cycles == 0.0
+
+    def test_full_buffer_stalls_until_drain(self):
+        t = make(store_buffer_depth=2, inst_overhead=0.0)
+        t.store_completes(ready=50.0)
+        t.store_completes(ready=60.0)
+        t.store_completes(ready=70.0)  # buffer full -> wait for 50
+        assert t.store_stall_cycles == pytest.approx(50.0)
+        assert t.cycle == pytest.approx(50.0)
+
+    def test_drained_entries_free_slots(self):
+        t = make(store_buffer_depth=1, inst_overhead=0.0)
+        t.store_completes(ready=10.0)
+        t.stall(20.0)  # time passes beyond ready
+        before = t.store_stall_cycles
+        t.store_completes(ready=40.0)
+        assert t.store_stall_cycles == before
+
+
+class TestPenalties:
+    def test_forwarding_trap_cost_scales_with_hops(self):
+        t = make(forwarding_trap_cycles=4.0, forwarding_hop_cycles=2.0)
+        assert t.forwarding_trap_cost(1) == pytest.approx(6.0)
+        assert t.forwarding_trap_cost(3) == pytest.approx(10.0)
+
+    def test_forwarding_trap_charges_inst_stall(self):
+        t = make(forwarding_trap_cycles=4.0, forwarding_hop_cycles=2.0)
+        t.forwarding_trap(2)
+        assert t.inst_stall_cycles == pytest.approx(8.0)
+        assert t.forwarding_cycles == pytest.approx(8.0)
+        assert t.cycle == pytest.approx(8.0)
+
+    def test_misspeculation_flush(self):
+        t = make(misspeculation_penalty=20.0)
+        t.misspeculation_flush()
+        assert t.misspeculations == 1
+        assert t.cycle == pytest.approx(20.0)
+
+    @pytest.mark.parametrize("category,attr", [
+        ("load", "load_stall_cycles"),
+        ("store", "store_stall_cycles"),
+        ("inst", "inst_stall_cycles"),
+    ])
+    def test_explicit_stall_categories(self, category, attr):
+        t = make()
+        t.stall(5.0, category)
+        assert getattr(t, attr) == pytest.approx(5.0)
+
+    def test_negative_stall_ignored(self):
+        t = make()
+        t.stall(-1.0)
+        assert t.cycle == 0.0
+
+
+class TestBreakdown:
+    def test_slots_sum_matches_components(self):
+        t = make(width=4, inst_overhead=0.1)
+        t.execute(100)
+        t.load_completes(ready=t.cycle + 50.0)
+        t.store_completes(ready=t.cycle + 5.0)
+        slots = t.slot_breakdown()
+        assert slots.busy == 100
+        assert slots.load_stall == pytest.approx(42.0 * 4)
+        assert slots.total == pytest.approx(
+            slots.busy + slots.load_stall + slots.store_stall + slots.inst_stall
+        )

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_single_artifact(self, capsys):
+        assert main(["table1", "--scale", "0.1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "health" in out
+
+    def test_extension_artifact(self, capsys):
+        assert main(["out-of-core", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "page faults" in out
+        assert "speedup" in out
+
+    def test_unknown_artifact_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_multiple_artifacts_share_runner(self, capsys):
+        assert main(["figure10", "table1", "--scale", "0.1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10(a)" in out
+        assert "Table 1" in out
+
+
+class TestPointerCompareAblation:
+    def test_safe_comparison_costs_more_per_op(self):
+        from repro.experiments.ablations import pointer_compare_overhead
+
+        result = pointer_compare_overhead(comparisons=500)
+        raw = float(result.rows[0][1])
+        safe = float(result.rows[1][1])
+        # Per-comparison cost is higher -- the paper's point is that the
+        # *program-level* overhead is small because the compiler only
+        # rewrites comparisons that may involve relocated objects.
+        assert safe > raw
+        assert "+" in result.rows[1][2]

@@ -1,0 +1,133 @@
+"""Unit tests for the simulated heap allocator."""
+
+import pytest
+
+from repro.core.errors import AllocationError, DoubleFreeError
+from repro.core.memory import TaggedMemory
+from repro.mem.allocator import SIZE_GRANULE, HeapAllocator
+
+
+@pytest.fixture
+def mem():
+    return TaggedMemory(1 << 16)
+
+
+@pytest.fixture
+def heap(mem):
+    return HeapAllocator(mem, base=0x1000, size=0x8000)
+
+
+class TestAllocate:
+    def test_returns_word_aligned_addresses(self, heap):
+        for size in (1, 7, 8, 17, 100):
+            assert heap.allocate(size) % 8 == 0
+
+    def test_blocks_do_not_overlap(self, heap):
+        a = heap.allocate(24)
+        b = heap.allocate(24)
+        assert abs(a - b) >= 24
+
+    def test_custom_alignment(self, heap):
+        addr = heap.allocate(64, align=64)
+        assert addr % 64 == 0
+
+    def test_rejects_bad_alignment(self, heap):
+        with pytest.raises(ValueError):
+            heap.allocate(8, align=4)
+        with pytest.raises(ValueError):
+            heap.allocate(8, align=24)
+
+    def test_rejects_nonpositive_size(self, heap):
+        with pytest.raises(ValueError):
+            heap.allocate(0)
+
+    def test_exhaustion_raises(self, mem):
+        heap = HeapAllocator(mem, base=0x1000, size=64)
+        heap.allocate(48)
+        with pytest.raises(AllocationError):
+            heap.allocate(48)
+
+    def test_base_must_be_positive_aligned(self, mem):
+        with pytest.raises(ValueError):
+            HeapAllocator(mem, base=0, size=64)
+        with pytest.raises(ValueError):
+            HeapAllocator(mem, base=12, size=64)
+
+
+class TestRecycling:
+    def test_freed_block_reused_lifo(self, heap):
+        a = heap.allocate(32)
+        b = heap.allocate(32)
+        heap.release(a)
+        heap.release(b)
+        assert heap.allocate(32) == b
+        assert heap.allocate(32) == a
+        assert heap.stats.recycled == 2
+
+    def test_different_size_classes_do_not_mix(self, heap):
+        a = heap.allocate(16)
+        heap.release(a)
+        b = heap.allocate(64)
+        assert b != a
+
+    def test_recycled_block_is_cleared(self, heap, mem):
+        """A recycled block must come back with clear forwarding bits --
+        it may have been the source of a relocation before being freed."""
+        a = heap.allocate(16)
+        mem.write_word_tagged(a, 0xBEEF, 1)
+        heap.release(a)
+        b = heap.allocate(16)
+        assert b == a
+        assert mem.read_fbit(b) == 0
+        assert mem.read_word(b) == 0
+
+    def test_fresh_block_is_zeroed(self, heap, mem):
+        addr = heap.allocate(32)
+        for offset in range(0, 32, 8):
+            assert mem.read_word(addr + offset) == 0
+
+
+class TestRelease:
+    def test_double_free_raises(self, heap):
+        addr = heap.allocate(16)
+        heap.release(addr)
+        with pytest.raises(DoubleFreeError):
+            heap.release(addr)
+
+    def test_free_of_unallocated_raises(self, heap):
+        with pytest.raises(DoubleFreeError):
+            heap.release(0x2000)
+
+    def test_release_returns_rounded_size(self, heap):
+        addr = heap.allocate(17)
+        assert heap.release(addr) == 2 * SIZE_GRANULE
+
+
+class TestBookkeeping:
+    def test_owns(self, heap):
+        addr = heap.allocate(16)
+        assert heap.owns(addr)
+        assert not heap.owns(addr + 8)
+        heap.release(addr)
+        assert not heap.owns(addr)
+
+    def test_block_size(self, heap):
+        addr = heap.allocate(30)
+        assert heap.block_size(addr) == 32
+        assert heap.block_size(addr + 8) is None
+
+    def test_stats(self, heap):
+        a = heap.allocate(16)
+        heap.allocate(16)
+        heap.release(a)
+        stats = heap.stats
+        assert stats.allocations == 2
+        assert stats.frees == 1
+        assert stats.live_bytes == 16
+        assert stats.high_water >= 32
+
+    def test_live_blocks(self, heap):
+        a = heap.allocate(8)
+        heap.allocate(8)
+        heap.release(a)
+        assert heap.live_blocks() == 1

@@ -1,0 +1,71 @@
+"""Unit tests for relocation pools."""
+
+import pytest
+
+from repro.core.errors import AllocationError
+from repro.mem.pool import RelocationPool
+
+
+class TestAllocation:
+    def test_consecutive_allocations_are_adjacent(self):
+        """The whole point of a pool: contiguity creates spatial locality."""
+        pool = RelocationPool(0x1000, 1024)
+        a = pool.allocate(32)
+        b = pool.allocate(32)
+        c = pool.allocate(32)
+        assert b == a + 32
+        assert c == b + 32
+
+    def test_sizes_rounded_to_words(self):
+        pool = RelocationPool(0x1000, 1024)
+        a = pool.allocate(12)
+        b = pool.allocate(8)
+        assert b == a + 16
+
+    def test_alignment(self):
+        pool = RelocationPool(0x1000, 1024)
+        pool.allocate(8)
+        addr = pool.allocate(8, align=64)
+        assert addr % 64 == 0
+
+    def test_exhaustion(self):
+        pool = RelocationPool(0x1000, 64)
+        pool.allocate(64)
+        with pytest.raises(AllocationError):
+            pool.allocate(8)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RelocationPool(0, 64)
+        with pytest.raises(ValueError):
+            RelocationPool(0x1004, 64)
+        with pytest.raises(ValueError):
+            RelocationPool(0x1000, 0)
+        pool = RelocationPool(0x1000, 64)
+        with pytest.raises(ValueError):
+            pool.allocate(0)
+        with pytest.raises(ValueError):
+            pool.allocate(8, align=4)
+
+
+class TestAccounting:
+    def test_used_bytes_is_space_overhead(self):
+        pool = RelocationPool(0x1000, 1024)
+        pool.allocate(40)
+        pool.allocate(24)
+        assert pool.used_bytes == 64
+        assert pool.high_water == 64
+        assert pool.remaining_bytes == 1024 - 64
+
+    def test_contains(self):
+        pool = RelocationPool(0x1000, 64)
+        assert pool.contains(0x1000)
+        assert pool.contains(0x103F)
+        assert not pool.contains(0x1040)
+        assert not pool.contains(0xFFF)
+
+    def test_allocation_count(self):
+        pool = RelocationPool(0x1000, 1024)
+        for _ in range(5):
+            pool.allocate(16)
+        assert pool.allocations == 5

@@ -1,0 +1,145 @@
+"""Tests for subtree clustering (the BH optimization)."""
+
+import pytest
+
+from repro import Machine, NULL
+from repro.opts.clustering import cluster_subtrees
+from repro.runtime.records import RecordLayout
+
+# A binary tree node, as in Figure 9.
+BNODE = RecordLayout("bnode", [("value", 8), ("left", 8), ("right", 8)])
+CHILD_OFFSETS = [BNODE.offset("left"), BNODE.offset("right")]
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+def build_tree(m, depth, counter=None, scatter=False):
+    """Pre-order-allocated complete binary tree (Figure 9(a))."""
+    if counter is None:
+        counter = [0]
+    node = BNODE.alloc(m)
+    if scatter:
+        m.malloc(104)  # spacer to push nodes apart
+    value = counter[0]
+    counter[0] += 1
+    BNODE.write(m, node, "value", value)
+    if depth > 1:
+        BNODE.write(m, node, "left", build_tree(m, depth - 1, counter, scatter))
+        BNODE.write(m, node, "right", build_tree(m, depth - 1, counter, scatter))
+    else:
+        BNODE.write(m, node, "left", NULL)
+        BNODE.write(m, node, "right", NULL)
+    return node
+
+
+def collect_preorder(m, root):
+    out = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node == NULL:
+            continue
+        out.append(BNODE.read(m, node, "value"))
+        stack.append(BNODE.read(m, node, "right"))
+        stack.append(BNODE.read(m, node, "left"))
+    return out
+
+
+class TestClustering:
+    def make_rooted(self, m, depth, scatter=False):
+        root_slot = m.malloc(8)
+        m.store(root_slot, build_tree(m, depth, scatter=scatter))
+        return root_slot
+
+    def test_tree_contents_preserved(self, m):
+        root_slot = self.make_rooted(m, depth=4)
+        expected = collect_preorder(m, m.load(root_slot))
+        pool = m.create_pool(1 << 16)
+        cluster_subtrees(m, root_slot, CHILD_OFFSETS, BNODE.size, pool, 128)
+        assert collect_preorder(m, m.load(root_slot)) == expected
+
+    def test_all_nodes_moved(self, m):
+        root_slot = self.make_rooted(m, depth=4)  # 15 nodes
+        pool = m.create_pool(1 << 16)
+        result = cluster_subtrees(m, root_slot, CHILD_OFFSETS, BNODE.size, pool, 128)
+        assert result.nodes_moved == 15
+
+    def test_balanced_grouping_figure9(self, m):
+        """Figure 9(b): the root chunk holds the balanced top of the tree
+        (root, then both children, in breadth-first order)."""
+        root_slot = self.make_rooted(m, depth=3)  # 7 nodes, values 0..6
+        pool = m.create_pool(1 << 16)
+        # capacity = 128 // 24 = 5 nodes per chunk: root, its two children,
+        # and the left child's two children, in BFS order.
+        cluster_subtrees(m, root_slot, CHILD_OFFSETS, BNODE.size, pool, 128)
+        root = m.load(root_slot)
+        left = BNODE.read(m, root, "left")
+        right = BNODE.read(m, root, "right")
+        assert left == root + BNODE.size
+        assert right == root + 2 * BNODE.size
+        assert BNODE.read(m, left, "left") == root + 3 * BNODE.size
+        assert BNODE.read(m, left, "right") == root + 4 * BNODE.size
+
+    def test_chunks_line_aligned(self, m):
+        root_slot = self.make_rooted(m, depth=4)
+        pool = m.create_pool(1 << 16)
+        cluster_subtrees(m, root_slot, CHILD_OFFSETS, BNODE.size, pool, 128)
+        assert m.load(root_slot) % 128 == 0
+
+    def test_stale_pointer_forwards(self, m):
+        root_slot = self.make_rooted(m, depth=3)
+        old_root = m.load(root_slot)
+        pool = m.create_pool(1 << 16)
+        cluster_subtrees(m, root_slot, CHILD_OFFSETS, BNODE.size, pool, 128)
+        assert BNODE.read(m, old_root, "value") == 0  # forwarded
+        assert m.stats().loads.forwarded >= 1
+
+    def test_include_filter_skips_nodes(self, m):
+        root_slot = self.make_rooted(m, depth=3)
+        pool = m.create_pool(1 << 16)
+        # Only cluster nodes with even values; odd subtree roots are left.
+        result = cluster_subtrees(
+            m, root_slot, CHILD_OFFSETS, BNODE.size, pool, 128,
+            include=lambda mm, node: BNODE.read(mm, node, "value") % 2 == 0,
+        )
+        assert 0 < result.nodes_moved < 7
+
+    def test_empty_tree(self, m):
+        root_slot = m.malloc(8)
+        pool = m.create_pool(1 << 14)
+        result = cluster_subtrees(m, root_slot, CHILD_OFFSETS, BNODE.size, pool, 128)
+        assert result.nodes_moved == 0
+
+    def test_validates_node_size(self, m):
+        root_slot = m.malloc(8)
+        pool = m.create_pool(1 << 14)
+        with pytest.raises(ValueError):
+            cluster_subtrees(m, root_slot, CHILD_OFFSETS, 20, pool, 128)
+
+    def test_random_traversal_misses_drop(self, m):
+        """The point of clustering: random root-to-leaf walks touch fewer
+        lines once subtrees are packed."""
+        from repro.runtime.rng import DeterministicRNG
+
+        plain_slot = self.make_rooted(m, depth=7, scatter=True)
+        opt_slot = self.make_rooted(m, depth=7, scatter=True)
+        pool = m.create_pool(1 << 18)
+        cluster_subtrees(m, opt_slot, CHILD_OFFSETS, BNODE.size, pool, 128)
+
+        def walk_misses(root_slot, seed):
+            rng = DeterministicRNG(seed)
+            before = m.stats().load_misses
+            for _ in range(200):
+                node = m.load(root_slot)
+                while node != NULL:
+                    BNODE.read(m, node, "value")
+                    side = "left" if rng.chance(0.5) else "right"
+                    node = BNODE.read(m, node, side)
+            return m.stats().load_misses - before
+
+        plain = walk_misses(plain_slot, seed=1)
+        optimized = walk_misses(opt_slot, seed=1)
+        assert optimized < plain

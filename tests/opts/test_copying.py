@@ -1,0 +1,157 @@
+"""Tests for forwarding-backed tile copying."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.cache.hierarchy import HierarchyConfig
+from repro.opts.copying import RelocatedTile, TiledMatrix, tiled_matmul
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+class TestTiledMatrix:
+    def test_roundtrip(self, m):
+        matrix = TiledMatrix(m, 4, 5)
+        matrix.fill(lambda r, c: r * 10 + c)
+        assert matrix.get(2, 3) == 23
+        assert matrix.get(0, 0) == 0
+
+    def test_row_major_layout(self, m):
+        matrix = TiledMatrix(m, 3, 3)
+        assert matrix.address(1, 0) - matrix.address(0, 2) == 8
+
+    def test_shape_validation(self, m):
+        with pytest.raises(ValueError):
+            TiledMatrix(m, 0, 4)
+
+
+class TestRelocatedTile:
+    def test_tile_values_preserved(self, m):
+        matrix = TiledMatrix(m, 6, 6)
+        matrix.fill(lambda r, c: r * 100 + c)
+        pool = m.create_pool(1 << 14)
+        tile = RelocatedTile(m, matrix, 2, 2, 3, 3, pool)
+        for row in range(3):
+            for col in range(3):
+                assert tile.get(row, col) == (row + 2) * 100 + (col + 2)
+
+    def test_tile_is_contiguous(self, m):
+        matrix = TiledMatrix(m, 8, 8)
+        pool = m.create_pool(1 << 14)
+        tile = RelocatedTile(m, matrix, 0, 0, 2, 2, pool)
+        assert tile.address(1, 1) - tile.address(0, 0) == 3 * 8
+
+    def test_stale_element_pointers_forward(self, m):
+        """The paper's safety point: raw element pointers survive."""
+        matrix = TiledMatrix(m, 4, 4)
+        matrix.fill(lambda r, c: r + c)
+        stale = matrix.address(1, 1)
+        pool = m.create_pool(1 << 14)
+        tile = RelocatedTile(m, matrix, 0, 0, 4, 4, pool)
+        assert m.load(stale) == 2                     # forwarded
+        tile.set(1, 1, 99)
+        assert m.load(stale) == 99                    # still coherent
+
+    def test_out_of_range_tiles_rejected(self, m):
+        matrix = TiledMatrix(m, 4, 4)
+        pool = m.create_pool(1 << 14)
+        with pytest.raises(ValueError):
+            RelocatedTile(m, matrix, 3, 0, 2, 2, pool)
+        with pytest.raises(ValueError):
+            RelocatedTile(m, matrix, 0, 3, 2, 2, pool)
+
+
+class TestTiledMatmul:
+    @staticmethod
+    def reference(a_fn, b_fn, n):
+        c = [[0] * n for _ in range(n)]
+        for i in range(n):
+            for k in range(n):
+                for j in range(n):
+                    c[i][j] += a_fn(i, k) * b_fn(k, j)
+        return c
+
+    def test_matmul_correct(self, m):
+        n = 6
+        a = TiledMatrix(m, n, n)
+        b = TiledMatrix(m, n, n)
+        c = TiledMatrix(m, n, n)
+        a.fill(lambda r, col: r + 1)
+        b.fill(lambda r, col: col + 2)
+        tiled_matmul(m, a, b, c, tile=4)
+        expected = self.reference(lambda r, k: r + 1, lambda k, col: col + 2, n)
+        for i in range(n):
+            for j in range(n):
+                assert c.get(i, j) == expected[i][j]
+
+    def test_matmul_with_copying_same_result(self, m):
+        n = 6
+        a = TiledMatrix(m, n, n)
+        b = TiledMatrix(m, n, n)
+        c1 = TiledMatrix(m, n, n)
+        c2 = TiledMatrix(m, n, n)
+        a.fill(lambda r, col: r * 3 + col)
+        b.fill(lambda r, col: r + col * 5)
+        tiled_matmul(m, a, b, c1, tile=3)
+        pool = m.create_pool(1 << 16)
+        tiled_matmul(m, a, b, c2, tile=3, pool=pool)
+        for i in range(n):
+            for j in range(n):
+                assert c1.get(i, j) == c2.get(i, j)
+
+    def test_shape_and_tile_validation(self, m):
+        a = TiledMatrix(m, 2, 3)
+        b = TiledMatrix(m, 4, 2)
+        c = TiledMatrix(m, 2, 2)
+        with pytest.raises(ValueError):
+            tiled_matmul(m, a, b, c, tile=2)
+        b_ok = TiledMatrix(m, 3, 2)
+        with pytest.raises(ValueError):
+            tiled_matmul(m, a, b_ok, c, tile=0)
+
+    def test_copying_removes_conflict_misses(self):
+        """The Section 2.2 claim: a conflict-prone tile, once relocated
+        to contiguous addresses, stops evicting itself."""
+        # Direct-mapped L1 so row-stride conflicts are maximal.
+        config = MachineConfig(
+            hierarchy=HierarchyConfig(l1_size=4096, l1_assoc=1, line_size=32)
+        )
+
+        def run(with_pool):
+            machine = Machine(config)
+            n = 16
+            # B's rows land exactly one cache-way apart: every row of a
+            # tile column conflicts with the next.
+            b = TiledMatrix(machine, n, n)
+            pad = machine.heap.allocate(4096 - (n * 8 % 4096) or 4096, align=4096)
+            a = TiledMatrix(machine, n, n)
+            c = TiledMatrix(machine, n, n)
+            # Re-create B at a way-aligned base with conflicting rows:
+            # simulate by aligning each row via a fresh matrix of width
+            # 512 elements (4096 bytes) and using a column slice.
+            wide = TiledMatrix(machine, n, 512, align=4096)
+            wide.fill(lambda r, col: r + col if col < n else 0)
+            pool = machine.create_pool(1 << 16) if with_pool else None
+            a.fill(lambda r, col: 1)
+            before = machine.stats().l1_load_misses_full
+            if with_pool:
+                from repro.opts.copying import RelocatedTile
+                tile = RelocatedTile(machine, wide, 0, 0, n, n, pool)
+                reader = tile.get
+            else:
+                reader = wide.get
+            total = 0
+            for _ in range(6):  # reuse the tile, column-major (worst case)
+                for col in range(n):
+                    for row in range(n):
+                        total += reader(row, col)
+            misses = machine.stats().l1_load_misses_full - before
+            return total, misses
+
+        plain_total, plain_misses = run(with_pool=False)
+        opt_total, opt_misses = run(with_pool=True)
+        assert plain_total == opt_total
+        assert opt_misses < plain_misses / 3

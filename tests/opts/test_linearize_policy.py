@@ -1,0 +1,89 @@
+"""Tests for the counter-triggered linearization policy."""
+
+import pytest
+
+from repro import Machine, NULL
+from repro.opts.linearize import DEFAULT_THRESHOLD, ListLinearizer
+from repro.runtime.records import RecordLayout
+
+NODE = RecordLayout("node", [("value", 8), ("next", 8)])
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+def build(m, values):
+    head_handle = m.malloc(8)
+    slot = head_handle
+    for value in values:
+        node = NODE.alloc(m)
+        NODE.write(m, node, "value", value)
+        m.store(slot, node)
+        slot = node + NODE.offset("next")
+    m.store(slot, NULL)
+    return head_handle
+
+
+def read(m, head_handle):
+    out = []
+    node = m.load(head_handle)
+    while node != NULL:
+        out.append(NODE.read(m, node, "value"))
+        node = NODE.read(m, node, "next")
+    return out
+
+
+class TestPolicy:
+    def test_default_threshold_is_50(self, m):
+        lin = ListLinearizer(m, m.create_pool(4096), 8, 16)
+        assert lin.threshold == DEFAULT_THRESHOLD == 50
+
+    def test_linearizes_past_threshold(self, m):
+        pool = m.create_pool(1 << 16)
+        lin = ListLinearizer(m, pool, NODE.offset("next"), NODE.size, threshold=3)
+        head = build(m, [1, 2, 3])
+        assert not lin.note_op(head)
+        assert not lin.note_op(head)
+        assert not lin.note_op(head)
+        assert lin.note_op(head)  # 4th op crosses threshold=3
+        assert lin.linearizations == 1
+        assert read(m, head) == [1, 2, 3]
+
+    def test_counter_resets(self, m):
+        pool = m.create_pool(1 << 16)
+        lin = ListLinearizer(m, pool, NODE.offset("next"), NODE.size, threshold=2)
+        head = build(m, [5])
+        fired = [lin.note_op(head) for _ in range(9)]
+        assert fired == [False, False, True, False, False, True, False, False, True]
+
+    def test_lists_tracked_independently(self, m):
+        pool = m.create_pool(1 << 16)
+        lin = ListLinearizer(m, pool, NODE.offset("next"), NODE.size, threshold=2)
+        a = build(m, [1])
+        b = build(m, [2])
+        lin.note_op(a)
+        lin.note_op(a)
+        assert not lin.note_op(b)  # b's counter is separate
+        assert lin.note_op(a)
+
+    def test_nodes_moved_accumulates(self, m):
+        pool = m.create_pool(1 << 16)
+        lin = ListLinearizer(m, pool, NODE.offset("next"), NODE.size)
+        head = build(m, list(range(7)))
+        lin.linearize(head)
+        lin.linearize(head)
+        assert lin.nodes_moved == 14
+
+    def test_threshold_validation(self, m):
+        with pytest.raises(ValueError):
+            ListLinearizer(m, m.create_pool(4096), 8, 16, threshold=0)
+
+    def test_note_op_charges_instructions(self, m):
+        pool = m.create_pool(1 << 16)
+        lin = ListLinearizer(m, pool, NODE.offset("next"), NODE.size)
+        head = build(m, [1])
+        before = m.stats().instructions
+        lin.note_op(head)
+        assert m.stats().instructions > before

@@ -1,0 +1,118 @@
+"""Tests for record+array packing (the Eqntott optimization)."""
+
+import pytest
+
+from repro import Machine
+from repro.opts.packing import pack_pointer_table, pack_record_with_array
+from repro.runtime.records import RecordLayout
+
+PTERM = RecordLayout("pterm", [("ptand", 8), ("index", 8)])
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+def make_pterm(m, index, array_values):
+    record = PTERM.alloc(m)
+    array = m.malloc(len(array_values) * 2)
+    for position, value in enumerate(array_values):
+        m.store(array + position * 2, value, 2)
+    PTERM.write(m, record, "ptand", array)
+    PTERM.write(m, record, "index", index)
+    return record
+
+
+class TestPackRecordWithArray:
+    def test_record_and_array_contiguous(self, m):
+        record = make_pterm(m, 7, [1, 2, 3, 4])
+        pool = m.create_pool(1 << 14)
+        new_record = pack_record_with_array(m, record, PTERM, "ptand", 8, pool)
+        new_array = PTERM.read(m, new_record, "ptand")
+        assert new_array == new_record + PTERM.size
+
+    def test_values_survive(self, m):
+        record = make_pterm(m, 7, [10, 20, 30])
+        pool = m.create_pool(1 << 14)
+        new_record = pack_record_with_array(m, record, PTERM, "ptand", 6, pool)
+        assert PTERM.read(m, new_record, "index") == 7
+        new_array = PTERM.read(m, new_record, "ptand")
+        assert [m.load(new_array + i * 2, 2) for i in range(3)] == [10, 20, 30]
+
+    def test_stale_record_pointer_forwards(self, m):
+        record = make_pterm(m, 9, [5])
+        pool = m.create_pool(1 << 14)
+        pack_record_with_array(m, record, PTERM, "ptand", 2, pool)
+        # Old record address still reads correctly via forwarding.
+        assert PTERM.read(m, record, "index") == 9
+        assert m.stats().loads.forwarded >= 1
+
+    def test_stale_array_pointer_forwards(self, m):
+        record = make_pterm(m, 9, [42])
+        old_array = PTERM.read(m, record, "ptand")
+        pool = m.create_pool(1 << 14)
+        pack_record_with_array(m, record, PTERM, "ptand", 2, pool)
+        assert m.load(old_array, 2) == 42
+
+    def test_null_array_tolerated(self, m):
+        record = PTERM.alloc(m)
+        PTERM.write(m, record, "index", 3)
+        pool = m.create_pool(1 << 14)
+        new_record = pack_record_with_array(m, record, PTERM, "ptand", 8, pool)
+        assert PTERM.read(m, new_record, "index") == 3
+        assert PTERM.read(m, new_record, "ptand") == 0
+
+
+class TestPackPointerTable:
+    def test_packs_in_index_order(self, m):
+        table = m.malloc(8 * 8)
+        for index in range(8):
+            record = make_pterm(m, index, [index] * 4)
+            m.store(table + index * 8, record)
+        pool = m.create_pool(1 << 16)
+        packed = pack_pointer_table(
+            m, table, 8, PTERM, "ptand", lambda mm, r: 8, pool
+        )
+        assert packed == 8
+        addresses = [m.load(table + index * 8) for index in range(8)]
+        # Increasing hash-index order => strictly increasing addresses.
+        assert addresses == sorted(addresses)
+        # Each chunk is record + 8-byte array.
+        spans = {b - a for a, b in zip(addresses, addresses[1:])}
+        assert spans == {PTERM.size + 8}
+
+    def test_table_slots_updated(self, m):
+        table = m.malloc(2 * 8)
+        record = make_pterm(m, 1, [9])
+        m.store(table, record)
+        pool = m.create_pool(1 << 14)
+        pack_pointer_table(m, table, 2, PTERM, "ptand", lambda mm, r: 2, pool)
+        new_record = m.load(table)
+        assert new_record != record
+        assert PTERM.read(m, new_record, "index") == 1
+
+    def test_null_slots_skipped(self, m):
+        table = m.malloc(4 * 8)  # all NULL
+        pool = m.create_pool(1 << 14)
+        assert pack_pointer_table(
+            m, table, 4, PTERM, "ptand", lambda mm, r: 8, pool
+        ) == 0
+
+    def test_variable_array_sizes(self, m):
+        table = m.malloc(2 * 8)
+        sizes = {}
+        for index, count in enumerate((2, 6)):
+            record = make_pterm(m, index, list(range(count)))
+            sizes[record] = count * 2
+            m.store(table + index * 8, record)
+        pool = m.create_pool(1 << 14)
+
+        def size_of(mm, record):
+            return sizes[record]
+
+        pack_pointer_table(m, table, 2, PTERM, "ptand", size_of, pool)
+        first = m.load(table)
+        second = m.load(table + 8)
+        # 2-short array rounds to one word.
+        assert second - first == PTERM.size + 8

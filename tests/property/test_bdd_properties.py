@@ -1,0 +1,113 @@
+"""Property-based tests for the BDD package: boolean-algebra laws hold
+on simulated memory, and linearization never changes a function."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, MachineConfig
+from repro.bdd.bdd import BDD, OP_AND, OP_OR, OP_XOR
+
+NUM_VARS = 4
+
+
+def fresh_bdd():
+    machine = Machine(MachineConfig(heap_size=2 << 20, pool_region_size=2 << 20))
+    return machine, BDD(machine, NUM_VARS, buckets=64, cache_slots=128)
+
+
+#: A random formula as a nested tuple tree.
+formulas = st.recursive(
+    st.tuples(st.just("var"), st.integers(0, NUM_VARS - 1), st.booleans()),
+    lambda children: st.tuples(
+        st.sampled_from([OP_AND, OP_OR, OP_XOR]), children, children
+    ),
+    max_leaves=6,
+)
+
+
+def build(bdd, formula):
+    if formula[0] == "var":
+        _, index, positive = formula
+        return bdd.var(index) if positive else bdd.nvar(index)
+    op, left, right = formula
+    return bdd.apply(op, build(bdd, left), build(bdd, right))
+
+
+def evaluate_formula(formula, assignment):
+    if formula[0] == "var":
+        _, index, positive = formula
+        return assignment[index] if positive else not assignment[index]
+    op, left, right = formula
+    lhs = evaluate_formula(left, assignment)
+    rhs = evaluate_formula(right, assignment)
+    if op == OP_AND:
+        return lhs and rhs
+    if op == OP_OR:
+        return lhs or rhs
+    return lhs != rhs
+
+
+class TestBDDSemantics:
+    @given(formula=formulas)
+    @settings(max_examples=30, deadline=None)
+    def test_bdd_agrees_with_truth_table(self, formula):
+        machine, bdd = fresh_bdd()
+        root = build(bdd, formula)
+        for bits in itertools.product([False, True], repeat=NUM_VARS):
+            assert bdd.evaluate(root, list(bits)) == evaluate_formula(
+                formula, list(bits)
+            )
+
+    @given(formula=formulas)
+    @settings(max_examples=30, deadline=None)
+    def test_satcount_matches_enumeration(self, formula):
+        machine, bdd = fresh_bdd()
+        root = build(bdd, formula)
+        expected = sum(
+            evaluate_formula(formula, list(bits))
+            for bits in itertools.product([False, True], repeat=NUM_VARS)
+        )
+        assert bdd.satcount(root) == expected
+
+    @given(formula=formulas)
+    @settings(max_examples=25, deadline=None)
+    def test_linearization_preserves_function(self, formula):
+        """The safety theorem at the BDD level: relocating the unique
+        table never changes any function's truth table."""
+        machine, bdd = fresh_bdd()
+        root = build(bdd, formula)
+        before = [
+            bdd.evaluate(root, list(bits))
+            for bits in itertools.product([False, True], repeat=NUM_VARS)
+        ]
+        pool = machine.create_pool(1 << 18)
+        bdd.linearize_unique_table(pool)
+        after = [
+            bdd.evaluate(root, list(bits))
+            for bits in itertools.product([False, True], repeat=NUM_VARS)
+        ]
+        assert before == after
+
+    @given(formula=formulas)
+    @settings(max_examples=20, deadline=None)
+    def test_fixup_preserves_function_and_silences_forwarding(self, formula):
+        machine, bdd = fresh_bdd()
+        root = build(bdd, formula)
+        expected = bdd.satcount(root)
+        pool = machine.create_pool(1 << 18)
+        bdd.linearize_unique_table(pool)
+        bdd.fixup_tree_pointers()
+        final_root = bdd._raw_final(root)
+        hops_before = machine.stats().forwarding_hops
+        assert bdd.satcount(final_root) == expected
+        assert machine.stats().forwarding_hops == hops_before
+
+    @given(formula=formulas)
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent_construction(self, formula):
+        """Building the same formula twice returns the same node."""
+        machine, bdd = fresh_bdd()
+        first = build(bdd, formula)
+        second = build(bdd, formula)
+        assert first == second

@@ -1,0 +1,131 @@
+"""Property-based tests for the cache and timing models."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.cpu.timing import TimingConfig, TimingModel
+
+addresses = st.integers(min_value=0, max_value=(1 << 20) - 8).map(lambda a: a & ~7)
+access_streams = st.lists(
+    st.tuples(addresses, st.booleans()), min_size=1, max_size=120
+)
+
+
+class TestCacheProperties:
+    @given(stream=access_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_never_exceeded(self, stream):
+        cache = Cache(1024, 32, 2)
+        for address, is_write in stream:
+            if not cache.lookup(address, is_write):
+                cache.fill(address, dirty=is_write)
+        assert cache.resident_lines() <= 1024 // 32
+
+    @given(stream=access_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_reaccess_always_hits(self, stream):
+        cache = Cache(2048, 64, 4)
+        for address, is_write in stream:
+            if not cache.lookup(address, is_write):
+                cache.fill(address, dirty=is_write)
+            assert cache.contains(address)
+
+    @given(stream=access_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_stats_partition_accesses(self, stream):
+        cache = Cache(1024, 32, 2)
+        for address, is_write in stream:
+            if not cache.lookup(address, is_write):
+                cache.fill(address, dirty=is_write)
+        stats = cache.stats
+        assert stats.hits + stats.misses == len(stream)
+
+    @given(stream=access_streams, assoc=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=30, deadline=None)
+    def test_higher_associativity_never_more_misses_lru(self, stream, assoc):
+        """With LRU, doubling associativity (same capacity scaled) never
+        increases misses on any access stream (stack inclusion)."""
+        small = Cache(1024, 32, assoc)
+        large = Cache(2048, 32, assoc * 2)
+        for cache in (small, large):
+            for address, is_write in stream:
+                if not cache.lookup(address, is_write):
+                    cache.fill(address, dirty=is_write)
+        assert large.stats.misses <= small.stats.misses
+
+
+class TestHierarchyProperties:
+    @given(stream=access_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_miss_classes_partition_l1_misses(self, stream):
+        hierarchy = MemoryHierarchy(HierarchyConfig())
+        now = 0.0
+        for address, is_write in stream:
+            hierarchy.access(address, is_write, now)
+            now += 1.0
+        classes = hierarchy.miss_classes
+        total = (
+            classes.load_full + classes.load_partial
+            + classes.store_full + classes.store_partial
+        )
+        hits = hierarchy.l1.stats.load_hits + hierarchy.l1.stats.store_hits
+        # partial path also performs an L1 lookup, so hits may overcount;
+        # the invariant is that every access was classified exactly once.
+        assert total + hits >= len(stream)
+
+    @given(stream=access_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_ready_times_never_precede_issue(self, stream):
+        hierarchy = MemoryHierarchy(HierarchyConfig())
+        now = 0.0
+        for address, is_write in stream:
+            result = hierarchy.access(address, is_write, now)
+            assert result.ready >= now
+            now += 2.0
+
+    @given(stream=access_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_traffic_only_grows(self, stream):
+        hierarchy = MemoryHierarchy(HierarchyConfig())
+        last = 0
+        now = 0.0
+        for address, is_write in stream:
+            hierarchy.access(address, is_write, now)
+            now += 1.0
+            total = hierarchy.traffic.total_bytes
+            assert total >= last
+            last = total
+
+
+class TestTimingProperties:
+    events = st.lists(
+        st.one_of(
+            st.tuples(st.just("exec"), st.integers(1, 50)),
+            st.tuples(st.just("load"), st.floats(0, 500)),
+            st.tuples(st.just("store"), st.floats(0, 500)),
+            st.tuples(st.just("trap"), st.integers(1, 4)),
+        ),
+        max_size=60,
+    )
+
+    @given(events=events)
+    @settings(max_examples=50, deadline=None)
+    def test_time_is_monotonic_and_slots_consistent(self, events):
+        timing = TimingModel(TimingConfig())
+        last = 0.0
+        for kind, value in events:
+            if kind == "exec":
+                timing.execute(value)
+            elif kind == "load":
+                timing.load_completes(timing.cycle + value)
+            elif kind == "store":
+                timing.store_completes(timing.cycle + value)
+            else:
+                timing.forwarding_trap(value)
+            assert timing.cycle >= last
+            last = timing.cycle
+        slots = timing.slot_breakdown()
+        assert slots.total <= timing.cycle * timing.config.width + 1e-6
+        assert min(slots.busy, slots.load_stall,
+                   slots.store_stall, slots.inst_stall) >= 0.0

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the paper's guarantees as properties over random inputs:
+relocation is semantics-preserving, forwarding resolution is idempotent
+and offset-preserving, the allocator never hands out overlapping blocks,
+and sub-word memory access behaves like real (little-endian) memory.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, MachineConfig, TaggedMemory, relocate
+from repro.core.forwarding import ForwardingEngine
+from repro.mem.allocator import HeapAllocator
+
+# Small machines keep each example fast.
+_small_machine = lambda: Machine(MachineConfig(heap_size=1 << 20, pool_region_size=1 << 20))
+
+word_values = st.integers(min_value=0, max_value=(1 << 64) - 1)
+sizes = st.sampled_from([1, 2, 4, 8])
+
+
+class TestMemoryProperties:
+    @given(value=word_values, size=sizes, slot=st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_subword_roundtrip_masks(self, value, size, slot):
+        mem = TaggedMemory(4096)
+        address = slot * 8  # word aligned; any size fits at offset 0
+        mem.write_data(address, value, size)
+        mask = (1 << (8 * size)) - 1
+        assert mem.read_data(address, size) == value & mask
+
+    @given(
+        word=word_values,
+        pieces=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 255)), max_size=8
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_byte_writes_compose_like_memory(self, word, pieces):
+        """Byte stores into a word behave exactly like a bytearray."""
+        mem = TaggedMemory(64)
+        mem.write_word(0, word)
+        shadow = bytearray(word.to_bytes(8, "little"))
+        for offset, value in pieces:
+            mem.write_data(offset, value, 1)
+            shadow[offset] = value
+        assert mem.read_word(0) == int.from_bytes(shadow, "little")
+
+    @given(values=st.lists(word_values, min_size=1, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_clear_region_resets_everything(self, values):
+        mem = TaggedMemory(1024)
+        for index, value in enumerate(values):
+            mem.write_word_tagged(index * 8, value, index % 2)
+        mem.clear_region(0, len(values) * 8)
+        assert mem.forwarded_word_count() == 0
+        assert all(mem.read_word(index * 8) == 0 for index in range(len(values)))
+
+
+class TestForwardingProperties:
+    @given(
+        chain_length=st.integers(1, 12),
+        offset=st.integers(0, 7),
+        start=st.integers(0, 50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resolution_is_idempotent_and_offset_preserving(
+        self, chain_length, offset, start
+    ):
+        mem = TaggedMemory(64 * 1024)
+        engine = ForwardingEngine(mem, hop_limit=32)
+        # Build a chain of `chain_length` hops from `base`.
+        base = 0x1000 + start * 8
+        step = 0x100
+        for hop in range(chain_length):
+            mem.write_word_tagged(base + hop * step, base + (hop + 1) * step, 1)
+        final, hops = engine.resolve(base + offset)
+        assert hops == chain_length
+        assert final == base + chain_length * step + offset
+        # Resolving the final address is a fixed point.
+        again, more_hops = engine.resolve(final)
+        assert (again, more_hops) == (final, 0)
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_chain_endpoints_agree_with_resolve(self, data):
+        mem = TaggedMemory(64 * 1024)
+        engine = ForwardingEngine(mem)
+        length = data.draw(st.integers(0, 8))
+        base = 0x2000
+        for hop in range(length):
+            mem.write_word_tagged(base + hop * 64, base + (hop + 1) * 64, 1)
+        chain = engine.chain(base)
+        assert chain[0] == base
+        assert chain[-1] == engine.resolve(base)[0]
+        assert len(chain) == length + 1
+
+
+class TestRelocationProperties:
+    @given(
+        words=st.lists(word_values, min_size=1, max_size=12),
+        generations=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_relocation_preserves_all_words_through_any_address(
+        self, words, generations
+    ):
+        """After any number of relocations, every generation's address of
+        every word reads the original value -- the safety theorem."""
+        m = _small_machine()
+        pool = m.create_pool(1 << 16)
+        base = m.malloc(len(words) * 8)
+        for index, value in enumerate(words):
+            m.store(base + index * 8, value)
+        addresses = [base]
+        for _ in range(generations):
+            target = pool.allocate(len(words) * 8)
+            relocate(m, addresses[0], target, len(words))
+            addresses.append(target)
+        for address in addresses:
+            for index, value in enumerate(words):
+                assert m.load(address + index * 8) == value
+
+    @given(
+        words=st.lists(word_values, min_size=1, max_size=8),
+        store_index=st.integers(0, 7),
+        new_value=word_values,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_store_through_any_alias_visible_through_all(
+        self, words, store_index, new_value
+    ):
+        m = _small_machine()
+        pool = m.create_pool(1 << 16)
+        base = m.malloc(len(words) * 8)
+        for index, value in enumerate(words):
+            m.store(base + index * 8, value)
+        target = pool.allocate(len(words) * 8)
+        relocate(m, base, target, len(words))
+        index = store_index % len(words)
+        m.store(base + index * 8, new_value)  # via the OLD address
+        assert m.load(target + index * 8) == new_value  # seen at the new one
+
+
+class TestAllocatorProperties:
+    @given(
+        requests=st.lists(st.integers(1, 256), min_size=1, max_size=40),
+        frees=st.sets(st.integers(0, 39)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_live_blocks_never_overlap(self, requests, frees):
+        mem = TaggedMemory(1 << 20)
+        heap = HeapAllocator(mem, base=0x1000, size=(1 << 20) - 0x1000)
+        live = {}
+        for index, nbytes in enumerate(requests):
+            address = heap.allocate(nbytes)
+            live[index] = (address, heap.block_size(address))
+        for index in frees:
+            if index in live:
+                heap.release(live.pop(index)[0])
+        spans = sorted(live.values())
+        for (a_start, a_size), (b_start, _) in zip(spans, spans[1:]):
+            assert a_start + a_size <= b_start
+
+    @given(requests=st.lists(st.integers(1, 64), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_allocate_free_allocate_is_clean(self, requests):
+        """Recycled memory is always zeroed with clear forwarding bits."""
+        mem = TaggedMemory(1 << 18)
+        heap = HeapAllocator(mem, base=0x1000, size=(1 << 18) - 0x1000)
+        for nbytes in requests:
+            address = heap.allocate(nbytes)
+            mem.write_word_tagged(address, 0xDEAD, 1)
+            heap.release(address)
+            fresh = heap.allocate(nbytes)
+            assert mem.read_word(fresh) == 0
+            assert mem.read_fbit(fresh) == 0
+            heap.release(fresh)

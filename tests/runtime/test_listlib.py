@@ -1,0 +1,170 @@
+"""Unit tests for the generic list library and its auto-linearization."""
+
+import pytest
+
+from repro import Machine
+from repro.runtime.listlib import DEFAULT_LINEARIZE_THRESHOLD, ListLib
+
+
+@pytest.fixture
+def m():
+    return Machine()
+
+
+@pytest.fixture
+def lib(m):
+    return ListLib(m)
+
+
+class TestBasicOperations:
+    def test_new_list_is_empty(self, lib):
+        lst = lib.new_list()
+        assert lib.to_list(lst) == []
+        assert lib.length(lst) == 0
+
+    def test_push_front_order(self, lib):
+        lst = lib.new_list()
+        for value in (1, 2, 3):
+            lib.push_front(lst, value)
+        assert lib.to_list(lst) == [3, 2, 1]
+        assert lib.length(lst) == 3
+
+    def test_insert_at(self, lib):
+        lst = lib.new_list()
+        for value in (1, 2, 3):
+            lib.push_front(lst, value)  # [3, 2, 1]
+        lib.insert_at(lst, 1, 99)
+        assert lib.to_list(lst) == [3, 99, 2, 1]
+
+    def test_insert_at_end(self, lib):
+        lst = lib.new_list()
+        lib.push_front(lst, 1)
+        lib.insert_at(lst, 10, 2)  # index beyond length appends
+        assert lib.to_list(lst) == [1, 2]
+
+    def test_remove_at(self, lib):
+        lst = lib.new_list()
+        for value in (1, 2, 3):
+            lib.push_front(lst, value)
+        assert lib.remove_at(lst, 1) == 2
+        assert lib.to_list(lst) == [3, 1]
+        assert lib.length(lst) == 2
+
+    def test_remove_at_out_of_range(self, lib):
+        lst = lib.new_list()
+        lib.push_front(lst, 1)
+        assert lib.remove_at(lst, 5) is None
+
+    def test_remove_value(self, lib):
+        lst = lib.new_list()
+        for value in (1, 2, 3):
+            lib.push_front(lst, value)
+        assert lib.remove_value(lst, 2)
+        assert not lib.remove_value(lst, 42)
+        assert lib.to_list(lst) == [3, 1]
+
+    def test_node_extra_words(self, m):
+        lib = ListLib(m, node_extra_words=4)
+        assert lib.node_bytes == 16 + 32
+        lst = lib.new_list()
+        lib.push_front(lst, 5)
+        assert lib.to_list(lst) == [5]
+
+    def test_parameter_validation(self, m):
+        with pytest.raises(ValueError):
+            ListLib(m, threshold=0)
+        with pytest.raises(ValueError):
+            ListLib(m, node_extra_words=-1)
+
+
+class TestLinearization:
+    def test_manual_linearize_preserves_contents(self, m):
+        pool = m.create_pool(1 << 16)
+        lib = ListLib(m, pool=pool)
+        lst = lib.new_list()
+        for value in range(10):
+            lib.push_front(lst, value)
+        expected = lib.to_list(lst)
+        lib.linearize(lst)
+        assert lib.to_list(lst) == expected
+
+    def test_linearize_without_pool_raises(self, lib):
+        lst = lib.new_list()
+        with pytest.raises(ValueError):
+            lib.linearize(lst)
+
+    def test_auto_linearize_at_threshold(self, m):
+        pool = m.create_pool(1 << 16)
+        lib = ListLib(m, pool=pool, threshold=10)
+        lst = lib.new_list()
+        for value in range(10):
+            lib.push_front(lst, value)
+        assert lib.linearizations == 0
+        lib.push_front(lst, 10)  # 11th op crosses the threshold
+        assert lib.linearizations == 1
+
+    def test_counter_resets_after_linearize(self, m):
+        pool = m.create_pool(1 << 16)
+        lib = ListLib(m, pool=pool, threshold=5)
+        lst = lib.new_list()
+        for value in range(14):
+            lib.push_front(lst, value)
+        assert lib.linearizations == 2  # at ops 6 and 12
+
+    def test_default_threshold_matches_paper(self, lib):
+        assert DEFAULT_LINEARIZE_THRESHOLD == 50
+        assert lib.threshold == 50
+
+    def test_unoptimized_build_never_linearizes(self, lib):
+        lst = lib.new_list()
+        for value in range(200):
+            lib.push_front(lst, value)
+        assert lib.linearizations == 0
+
+    def test_removal_after_linearization(self, m):
+        """Nodes relocated into the pool can still be unlinked and freed."""
+        pool = m.create_pool(1 << 16)
+        lib = ListLib(m, pool=pool, threshold=4)
+        lst = lib.new_list()
+        for value in range(8):
+            lib.push_front(lst, value)   # triggers linearization
+        assert lib.linearizations >= 1
+        assert lib.remove_value(lst, 3)
+        assert 3 not in lib.to_list(lst)
+
+    def test_interleaved_lists_linearize_independently(self, m):
+        pool = m.create_pool(1 << 18)
+        lib = ListLib(m, pool=pool, threshold=6)
+        a = lib.new_list()
+        b = lib.new_list()
+        for value in range(10):
+            lib.push_front(a, value)
+            lib.push_front(b, value + 100)
+        assert lib.to_list(a) == list(reversed(range(10)))
+        assert lib.to_list(b) == list(reversed(range(100, 110)))
+        assert lib.linearizations == 2
+
+    def test_linearized_traversal_is_cheaper(self, m):
+        """Spatially local traversal should cost fewer cycles."""
+        pool = m.create_pool(1 << 18)
+        plain = ListLib(m)
+        opt = ListLib(m, pool=pool)
+        a = plain.new_list()
+        b = opt.new_list()
+        # Interleave to scatter both lists identically.
+        for value in range(300):
+            plain.push_front(a, value)
+            opt.push_front(b, value)
+        opt.linearize(b)
+
+        def traversal_cycles(lib, lst):
+            start = m.cycles
+            lib.to_list(lst)
+            return m.cycles - start
+
+        # Second traversals (steady state, both post-warmup).
+        traversal_cycles(plain, a)
+        traversal_cycles(opt, b)
+        plain_cost = traversal_cycles(plain, a)
+        opt_cost = traversal_cycles(opt, b)
+        assert opt_cost < plain_cost

@@ -1,0 +1,83 @@
+"""Unit tests for record layouts."""
+
+import pytest
+
+from repro import Machine
+from repro.runtime.records import RecordLayout
+
+
+class TestLayout:
+    def test_sequential_offsets(self):
+        layout = RecordLayout("r", [("a", 8), ("b", 8), ("c", 8)])
+        assert layout.offset("a") == 0
+        assert layout.offset("b") == 8
+        assert layout.offset("c") == 16
+        assert layout.size == 24
+        assert layout.words == 3
+
+    def test_natural_alignment_inserts_padding(self):
+        layout = RecordLayout("r", [("flag", 1), ("count", 4), ("ptr", 8)])
+        assert layout.offset("flag") == 0
+        assert layout.offset("count") == 4
+        assert layout.offset("ptr") == 8
+
+    def test_size_rounds_to_word(self):
+        layout = RecordLayout("r", [("a", 4)])
+        assert layout.size == 8
+        layout = RecordLayout("r", [("a", 8), ("b", 2)])
+        assert layout.size == 16
+
+    def test_mixed_small_fields_pack(self):
+        layout = RecordLayout("r", [("a", 2), ("b", 2), ("c", 4)])
+        assert layout.offset("b") == 2
+        assert layout.offset("c") == 4
+        assert layout.size == 8
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            RecordLayout("r", [("a", 3)])
+        with pytest.raises(ValueError):
+            RecordLayout("r", [("a", 16)])
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            RecordLayout("r", [("a", 8), ("a", 8)])
+        with pytest.raises(ValueError):
+            RecordLayout("r", [])
+
+    def test_field_names(self):
+        layout = RecordLayout("r", [("x", 8), ("y", 4)])
+        assert layout.field_names == ["x", "y"]
+
+
+class TestAccessors:
+    @pytest.fixture
+    def m(self):
+        return Machine()
+
+    def test_read_write_roundtrip(self, m):
+        layout = RecordLayout("node", [("value", 8), ("next", 8)])
+        addr = layout.alloc(m)
+        layout.write(m, addr, "value", 99)
+        layout.write(m, addr, "next", 0x2000)
+        assert layout.read(m, addr, "value") == 99
+        assert layout.read(m, addr, "next") == 0x2000
+
+    def test_subword_fields_respect_size(self, m):
+        layout = RecordLayout("r", [("small", 2), ("big", 8)])
+        addr = layout.alloc(m)
+        layout.write(m, addr, "small", 0x1FFFF)  # truncated to 16 bits
+        assert layout.read(m, addr, "small") == 0xFFFF
+
+    def test_accessors_are_timed(self, m):
+        layout = RecordLayout("r", [("a", 8)])
+        addr = layout.alloc(m)
+        before = m.stats().loads.count
+        layout.read(m, addr, "a")
+        assert m.stats().loads.count == before + 1
+
+    def test_unknown_field_raises(self, m):
+        layout = RecordLayout("r", [("a", 8)])
+        addr = layout.alloc(m)
+        with pytest.raises(KeyError):
+            layout.read(m, addr, "zzz")

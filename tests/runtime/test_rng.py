@@ -1,0 +1,70 @@
+"""Unit tests for the deterministic RNG."""
+
+import pytest
+
+from repro.runtime.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(42)
+        b = DeterministicRNG(42)
+        assert [a.next_u64() for _ in range(50)] == [b.next_u64() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.next_u64() for _ in range(10)] != [b.next_u64() for _ in range(10)]
+
+    def test_zero_seed_survives(self):
+        rng = DeterministicRNG(0)
+        assert rng.next_u64() != 0
+
+    def test_split_streams_are_independent(self):
+        rng = DeterministicRNG(7)
+        child = rng.split()
+        parent_seq = [rng.next_u64() for _ in range(10)]
+        child_seq = [child.next_u64() for _ in range(10)]
+        assert parent_seq != child_seq
+
+
+class TestDistributions:
+    def test_randint_in_range(self):
+        rng = DeterministicRNG(3)
+        for _ in range(1000):
+            assert 0 <= rng.randint(17) < 17
+
+    def test_randint_covers_range(self):
+        rng = DeterministicRNG(3)
+        seen = {rng.randint(8) for _ in range(500)}
+        assert seen == set(range(8))
+
+    def test_randint_validation(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG().randint(0)
+
+    def test_randrange(self):
+        rng = DeterministicRNG(5)
+        for _ in range(200):
+            assert 10 <= rng.randrange(10, 20) < 20
+        with pytest.raises(ValueError):
+            rng.randrange(5, 5)
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRNG(9)
+        values = [rng.random() for _ in range(1000)]
+        assert all(0.0 <= value < 1.0 for value in values)
+        assert 0.4 < sum(values) / len(values) < 0.6  # roughly uniform
+
+    def test_chance_extremes(self):
+        rng = DeterministicRNG(11)
+        assert not any(rng.chance(0.0) for _ in range(100))
+        assert all(rng.chance(1.0) for _ in range(100))
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRNG(13)
+        items = list(range(20))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # overwhelmingly likely with 20 elements

@@ -1,0 +1,117 @@
+"""Unit tests for the MSI coherence layer."""
+
+import pytest
+
+from repro.smp.coherence import CoherenceConfig, CoherentMemorySystem, LineState
+
+
+def make(cpus=2, line=32):
+    return CoherentMemorySystem(CoherenceConfig(cpus=cpus, line_size=line))
+
+
+class TestBasicProtocol:
+    def test_read_miss_then_hit(self):
+        system = make()
+        miss = system.access(0, 0x100, is_write=False)
+        hit = system.access(0, 0x108, is_write=False)
+        assert miss > hit
+        assert system.stats[0].plain_misses == 1
+        assert system.stats[0].load_hits == 1
+
+    def test_write_hit_in_modified(self):
+        system = make()
+        system.access(0, 0x100, is_write=True)
+        latency = system.access(0, 0x100, is_write=True)
+        assert latency == system.config.hit_latency
+        assert system.stats[0].store_hits == 1
+
+    def test_two_readers_share(self):
+        system = make()
+        system.access(0, 0x100, False)
+        system.access(1, 0x100, False)
+        assert system._state(0, 0x100) is LineState.SHARED or (
+            system._state(0, 0x100) is not None
+        )
+        assert system._state(1, 0x100) is not None
+        # The second reader's miss counts as a coherence transfer.
+        assert system.stats[1].coherence_misses == 1
+
+    def test_write_invalidates_remote_copies(self):
+        system = make(cpus=3)
+        for cpu in range(3):
+            system.access(cpu, 0x100, False)
+        system.access(0, 0x100, True)  # upgrade
+        assert system._state(1, 0x100) is None
+        assert system._state(2, 0x100) is None
+        assert system._state(0, 0x100) is LineState.MODIFIED
+        assert system.stats[1].invalidations_received == 1
+        assert system.stats[2].invalidations_received == 1
+
+    def test_read_of_modified_demotes_to_shared(self):
+        system = make()
+        system.access(0, 0x100, True)
+        system.access(1, 0x100, False)
+        assert system._state(0, 0x100) is LineState.SHARED
+        assert system._state(1, 0x100) is LineState.SHARED
+
+    def test_dirty_intervention_costs_more(self):
+        system = make()
+        system.access(0, 0x100, True)           # M in CPU 0
+        dirty_fetch = system.access(1, 0x100, False)
+        system2 = make()
+        clean_fetch = system2.access(1, 0x100, False)
+        assert dirty_fetch > clean_fetch
+
+    def test_upgrade_cheaper_than_miss(self):
+        system = make()
+        system.access(0, 0x100, False)
+        system.access(1, 0x100, False)
+        upgrade = system.access(0, 0x100, True)
+        assert upgrade == system.config.upgrade_latency
+        assert upgrade < system.config.miss_latency
+
+
+class TestPingPong:
+    def test_false_sharing_ping_pong(self):
+        """Two CPUs writing distinct words of one line: every access is
+        a coherence miss after the first."""
+        system = make()
+        for _ in range(10):
+            system.access(0, 0x100, True)   # word 0 of the line
+            system.access(1, 0x108, True)   # word 1, same line
+        total = system.total_coherence_misses()
+        assert total >= 18  # all but the two cold misses
+
+    def test_distinct_lines_never_ping_pong(self):
+        system = make(line=32)
+        for _ in range(10):
+            system.access(0, 0x100, True)
+            system.access(1, 0x200, True)   # different line
+        assert system.total_coherence_misses() == 0
+
+
+class TestHousekeeping:
+    def test_eviction_clears_state(self):
+        system = make()
+        cache = system.caches[0]
+        # Fill one set beyond associativity to force an eviction.
+        lines = [0x0, 0x0 + cache.num_sets * 32, 0x0 + 2 * cache.num_sets * 32]
+        for address in lines:
+            system.access(0, address, True)
+        evicted = [line for line in lines if system._state(0, line) is None]
+        assert len(evicted) == 1
+
+    def test_bad_cpu_rejected(self):
+        system = make()
+        with pytest.raises(ValueError):
+            system.access(5, 0x100, False)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            CoherentMemorySystem(CoherenceConfig(cpus=0))
+
+    def test_bus_transfers_counted(self):
+        system = make()
+        system.access(0, 0x100, False)
+        system.access(1, 0x100, False)
+        assert system.bus_transfers == 2

@@ -1,0 +1,81 @@
+"""Tests for the SMP machine and the false-sharing experiment."""
+
+import pytest
+
+from repro.smp import (
+    CoherenceConfig,
+    SMPConfig,
+    SMPMachine,
+    run_false_sharing_experiment,
+)
+
+
+@pytest.fixture
+def smp():
+    return SMPMachine(SMPConfig(coherence=CoherenceConfig(cpus=2)))
+
+
+class TestSMPMachine:
+    def test_shared_memory_visible_across_cpus(self, smp):
+        addr = smp.malloc(8)
+        smp.store(0, addr, 1234)
+        assert smp.load(1, addr) == 1234
+
+    def test_forwarding_works_across_cpus(self, smp):
+        """Forwarding bits live in memory, so CPU 1 follows a chain that
+        CPU 0 created."""
+        obj = smp.malloc(16)
+        smp.store(0, obj, 7)
+        pool = smp.create_pool(4096)
+        target = pool.allocate(16)
+        smp.relocate(obj, target, 2, cpu=0)
+        assert smp.load(1, obj) == 7          # stale address, other CPU
+        assert smp.load(1, target) == 7
+
+    def test_store_through_stale_address_coherent(self, smp):
+        obj = smp.malloc(16)
+        pool = smp.create_pool(4096)
+        target = pool.allocate(16)
+        smp.relocate(obj, target, 2, cpu=0)
+        smp.store(1, obj, 55)                 # forwarded store by CPU 1
+        assert smp.load(0, target) == 55      # CPU 0 sees it coherently
+
+    def test_per_cpu_clocks_advance_independently(self, smp):
+        addr = smp.malloc(64)
+        smp.load(0, addr)
+        assert smp.cycles[0] > 0
+        assert smp.cycles[1] == 0
+        smp.compute(1, 100.0)
+        assert smp.cycles[1] == 100.0
+
+    def test_max_cycles_is_parallel_time(self, smp):
+        smp.compute(0, 10.0)
+        smp.compute(1, 30.0)
+        assert smp.max_cycles == 30.0
+
+
+class TestFalseSharingExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_false_sharing_experiment(cpus=2, per_cpu_records=16, rounds=10)
+
+    def test_checksums_identical(self, outcome):
+        before, after = outcome
+        assert before.checksum == after.checksum
+
+    def test_relocation_eliminates_coherence_misses(self, outcome):
+        """Distinct-line ownership means zero ping-pong traffic."""
+        before, after = outcome
+        assert before.coherence_misses > 100
+        assert after.coherence_misses == 0
+
+    def test_dramatic_speedup(self, outcome):
+        """Paper: false sharing 'can hurt performance dramatically'."""
+        before, after = outcome
+        assert before.cycles > 3 * after.cycles
+
+    def test_scales_with_cpu_count(self):
+        two = run_false_sharing_experiment(cpus=2, per_cpu_records=8, rounds=5)
+        four = run_false_sharing_experiment(cpus=4, per_cpu_records=8, rounds=5)
+        # More CPUs contending for the same lines -> more ping-ponging.
+        assert four[0].coherence_misses > two[0].coherence_misses

@@ -1,0 +1,104 @@
+"""Tests for the paging layer and the out-of-core experiment."""
+
+import pytest
+
+from repro import Machine
+from repro.vm import (
+    PagedMachine,
+    Pager,
+    PagerConfig,
+    run_out_of_core_experiment,
+)
+
+
+class TestPager:
+    def test_first_touch_faults(self):
+        pager = Pager(PagerConfig(resident_pages=4))
+        assert pager.access(0x1000) > 0
+        assert pager.access(0x1800) == 0  # same page
+        assert pager.stats.faults == 1
+        assert pager.stats.accesses == 2
+
+    def test_lru_eviction(self):
+        pager = Pager(PagerConfig(resident_pages=2))
+        pager.access(0x0000)
+        pager.access(0x1000)
+        pager.access(0x0000)      # refresh page 0
+        pager.access(0x2000)      # evicts page 1 (LRU)
+        assert pager.is_resident(0x0000)
+        assert not pager.is_resident(0x1000)
+        assert pager.stats.evictions == 1
+
+    def test_resident_count_bounded(self):
+        pager = Pager(PagerConfig(resident_pages=3))
+        for page in range(10):
+            pager.access(page * 4096)
+        assert pager.resident_count() == 3
+
+    def test_fault_rate(self):
+        pager = Pager(PagerConfig(resident_pages=4))
+        for _ in range(3):
+            pager.access(0x1000)
+        assert pager.stats.fault_rate == pytest.approx(1 / 3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            Pager(PagerConfig(page_size=3000))
+        with pytest.raises(ValueError):
+            Pager(PagerConfig(resident_pages=0))
+
+
+class TestPagedMachine:
+    def test_fault_latency_charged_to_machine(self):
+        machine = Machine()
+        pager = Pager(PagerConfig(resident_pages=2, fault_cycles=10_000))
+        paged = PagedMachine(machine, pager)
+        addr = machine.malloc(8)
+        before = machine.cycles
+        paged.store(addr, 7)
+        assert machine.cycles - before >= 10_000
+        assert paged.load(addr) == 7
+
+    def test_forwarded_access_charged_at_final_page(self):
+        """A stale pointer's fault happens on the *new* page -- the
+        pager, like the cache, sees final addresses."""
+        from repro import relocate
+        machine = Machine()
+        pager = Pager(PagerConfig(resident_pages=4))
+        paged = PagedMachine(machine, pager)
+        obj = machine.malloc(16)
+        pool = machine.create_pool(1 << 16)
+        target = pool.allocate(16)
+        machine.store(obj, 5)
+        relocate(machine, obj, target, 2)
+        paged.load(obj)
+        assert pager.is_resident(target)
+
+
+class TestOutOfCoreExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_out_of_core_experiment(
+            nodes=120, span_pages=32, resident_pages=4, traversals=2
+        )
+
+    def test_checksums_match(self, outcome):
+        scattered, linearized = outcome
+        assert scattered.checksum == linearized.checksum
+
+    def test_linearization_slashes_page_faults(self, outcome):
+        scattered, linearized = outcome
+        assert linearized.page_faults < scattered.page_faults / 10
+
+    def test_linearization_slashes_cycles(self, outcome):
+        scattered, linearized = outcome
+        assert linearized.cycles < scattered.cycles / 10
+
+    def test_scattered_faults_scale_with_traversals(self):
+        one = run_out_of_core_experiment(
+            nodes=80, span_pages=32, resident_pages=4, traversals=1
+        )[0]
+        three = run_out_of_core_experiment(
+            nodes=80, span_pages=32, resident_pages=4, traversals=3
+        )[0]
+        assert three.page_faults > 2 * one.page_faults
