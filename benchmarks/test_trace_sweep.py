@@ -1,0 +1,76 @@
+"""Benchmark: capture-once-replay-many vs direct simulation of a sweep.
+
+The workload is a Figure 5-style matrix -- every Figure 5 app at N and L
+across its three line sizes (42 cells).  Direct simulation runs the
+application 42 times; the trace path captures each distinct reference
+stream once (16 captures: one per app/variant, plus one per line size
+for BH's line-size-sensitive optimized stream) and replays the remaining
+26 cells, which is measurably cheaper.  A second invocation over the
+warm artifact store runs no simulator at all and must be faster still.
+
+Every replayed/cached cell is also checked for *exact* stats equality
+with its direct run -- the benchmark doubles as the full-matrix fidelity
+gate at benchmark scale.
+"""
+
+import time
+
+from repro.apps import FIGURE5_APPS, get_application
+from repro.apps.base import Variant
+from repro.experiments import line_sizes_for
+from repro.experiments.config import experiment_config
+from repro.trace import ArtifactStore, SweepTask, execute_sweep
+
+#: Smaller than BENCH_SCALE: this test simulates the matrix twice (once
+#: directly, once through the trace engine), so it pays 2x the cells.
+SWEEP_SCALE = 0.3
+
+
+def _matrix():
+    return [
+        SweepTask(app, variant, line_size, SWEEP_SCALE, 1)
+        for app in FIGURE5_APPS
+        for variant in ("N", "L")
+        for line_size in line_sizes_for(app)
+    ]
+
+
+def test_trace_sweep_beats_direct(benchmark, tmp_path):
+    tasks = _matrix()
+    assert len(tasks) == len(FIGURE5_APPS) * 2 * 3
+
+    started = time.perf_counter()
+    direct = {
+        task: get_application(task.app, scale=task.scale, seed=task.seed).run(
+            Variant(task.variant), experiment_config(task.line_size)
+        )
+        for task in tasks
+    }
+    direct_seconds = time.perf_counter() - started
+
+    store = ArtifactStore(tmp_path)
+    cold = benchmark.pedantic(
+        lambda: execute_sweep(tasks, store), rounds=1, iterations=1
+    )
+    cold_seconds = benchmark.stats.stats.total
+
+    started = time.perf_counter()
+    warm = execute_sweep(tasks, ArtifactStore(tmp_path))
+    warm_seconds = time.perf_counter() - started
+
+    # Fidelity first: every trace-engine cell matches its direct run.
+    for task in tasks:
+        assert cold[task][0].stats.dump() == direct[task].stats.dump(), task
+        assert warm[task][0].stats.dump() == direct[task].stats.dump(), task
+
+    # Capture-once-replay-many: 16 captures, 26 replays, zero simulations
+    # on the warm pass.
+    hows = sorted(how for _, how in cold.values())
+    assert hows.count("captured") == 16
+    assert hows.count("replayed") == 26
+    assert all(how == "cached" for _, how in warm.values())
+
+    benchmark.extra_info["direct_seconds"] = round(direct_seconds, 3)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 3)
+    assert cold_seconds < direct_seconds, (cold_seconds, direct_seconds)
+    assert warm_seconds < cold_seconds * 0.5, (warm_seconds, cold_seconds)

@@ -2,11 +2,20 @@
 
 Usage::
 
-    python -m repro [artifact ...] [--scale S]
+    python -m repro [artifact ...] [--scale S] [--jobs N]
+                    [--trace-dir DIR] [--no-cache]
 
 where each artifact is one of ``table1 figure5 figure6 figure7 figure10
 ablations false-sharing out-of-core`` (default: all of them, in paper
 order).
+
+The paper artifacts run capture-once-replay-many: each distinct
+reference stream is simulated directly once, then replayed through every
+other cache configuration that needs it (``--jobs N`` shards the work
+across N processes).  Traces and replayed results persist under
+``--trace-dir`` (default ``results/trace-cache``), so a repeated
+invocation with unchanged code and parameters skips simulation entirely;
+``--no-cache`` starts cold and persists nothing.
 """
 
 from __future__ import annotations
@@ -17,6 +26,9 @@ import time
 
 from repro.experiments import ExperimentRunner
 from repro.experiments import ablations, figure5, figure6, figure7, figure10, table1
+from repro.experiments.runner import specs_for_artifacts
+
+DEFAULT_TRACE_DIR = "results/trace-cache"
 
 _PAPER_ARTIFACTS = ("table1", "figure5", "figure6", "figure7", "figure10")
 _ALL = _PAPER_ARTIFACTS + ("ablations", "false-sharing", "out-of-core")
@@ -66,13 +78,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard simulations across N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--trace-dir", default=DEFAULT_TRACE_DIR, metavar="DIR",
+        help="on-disk trace/result cache root "
+             f"(default {DEFAULT_TRACE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the on-disk cache entirely (capture-once-replay-many "
+             "still applies within this invocation)",
+    )
     args = parser.parse_args(argv)
     artifacts = args.artifacts or list(_ALL)
     unknown = [name for name in artifacts if name not in _ALL]
     if unknown:
         parser.error(f"unknown artifact(s) {unknown}; choose from {list(_ALL)}")
 
-    runner = ExperimentRunner(scale=args.scale, verbose=not args.quiet)
+    runner = ExperimentRunner(
+        scale=args.scale,
+        verbose=not args.quiet,
+        jobs=args.jobs,
+        trace_dir=args.trace_dir,
+        use_cache=not args.no_cache,
+    )
+    runner.prime(specs_for_artifacts(artifacts, args.scale))
     modules = {
         "table1": table1,
         "figure5": figure5,

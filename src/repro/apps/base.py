@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
-from repro.core.machine import Machine, MachineConfig
+from repro.core.machine import Machine, MachineConfig, MachineObserver
 from repro.core.stats import MachineStats
 
 
@@ -85,6 +85,23 @@ class Application(ABC):
     name: str = "app"
     description: str = ""
     optimization: str = ""
+    #: True if the *optimized* variants' reference stream depends on the
+    #: cache line size (the app reads
+    #: ``machine.config.hierarchy.line_size`` to parameterise its layout
+    #: optimization, as BH's subtree clustering does).
+    line_size_sensitive: bool = False
+
+    @classmethod
+    def stream_depends_on_line_size(cls, variant: Variant) -> bool:
+        """Whether this app's stream at ``variant`` varies with line size.
+
+        Prefetching variants always do (every app's block prefetches step
+        by one line); optimized variants do only for apps that declare
+        :attr:`line_size_sensitive`.  Line-size-invariant streams are
+        captured once and replayed at every line size; the rest need one
+        trace per line size.
+        """
+        return variant.prefetching or (cls.line_size_sensitive and variant.optimized)
 
     def __init__(self, scale: float = 1.0, seed: int = 1) -> None:
         if scale <= 0:
@@ -97,8 +114,14 @@ class Application(ABC):
         self,
         variant: Variant = Variant.N,
         config: MachineConfig | None = None,
+        observer: "MachineObserver | None" = None,
     ) -> AppResult:
-        """Execute the application on a fresh machine; returns the result."""
+        """Execute the application on a fresh machine; returns the result.
+
+        ``observer`` (if given) is installed on the machine before the
+        workload starts, so it sees the complete event stream -- this is
+        how ``repro.trace`` captures reference traces.
+        """
         supported = self.variants()
         if variant not in supported:
             raise ValueError(
@@ -106,6 +129,7 @@ class Application(ABC):
                 f"supported: {[v.value for v in supported]}"
             )
         machine = Machine(config or MachineConfig())
+        machine.observer = observer
         checksum, extras = self.execute(machine, variant)
         return AppResult(
             app=self.name,

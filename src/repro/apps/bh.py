@@ -66,6 +66,9 @@ class BH(Application):
     name = "bh"
     description = "Barnes-Hut N-body force calculation over a quadtree"
     optimization = "subtree clustering of internal tree nodes (once per build)"
+    # Clustering granularity and prefetch distance follow the line size,
+    # so BH's reference stream must be captured per line size.
+    line_size_sensitive = True
 
     BODIES = 800
     FORCE_STEPS = 6

@@ -335,7 +335,7 @@ class BDD:
                 self.machine, handle, BDD_NODE.offset("next"), BDD_NODE.size, pool
             )
             moved += count
-        self.machine.relocation_stats.optimizer_invocations += 1
+        self.machine.note_optimizer_invocation()
         return moved
 
     def fixup_tree_pointers(self) -> int:
@@ -356,7 +356,7 @@ class BDD:
                     value = memory.read_word(node + offset)
                     final = self._raw_final(value)
                     if final != value:
-                        memory.write_word(node + offset, final)
+                        self.machine.raw_write(node + offset, final)
                         patched += 1
                 node = memory.read_word(node + BDD_NODE.offset("next"))
         return patched

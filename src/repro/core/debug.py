@@ -9,12 +9,52 @@ debugging, and doctest-style documentation:
   either the data value or ``-> target`` for a forwarding stub;
 * :func:`dump_chain` -- the full forwarding chain from an address;
 * :func:`region_summary` -- counts of data vs forwarding words.
+
+It also hosts the package's progress logging (:func:`get_logger`,
+:func:`enable_progress_logging`): experiment drivers log per-run progress
+through here (to stderr) instead of printing to stdout, so parallel
+sweep workers never interleave garbage into the rendered artifacts.
 """
 
 from __future__ import annotations
 
+import logging
+import sys
+
 from repro.core.forwarding import ForwardingEngine
 from repro.core.memory import TaggedMemory, WORD_SIZE
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or a child of it (``get_logger("sweep")``)."""
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def enable_progress_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger (idempotent).
+
+    Progress goes to *stderr* deliberately: stdout is reserved for the
+    rendered tables and figures, which must stay machine-diffable even
+    when several sweep workers are reporting at once.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(min(level, logger.level or level))
+    if not any(
+        isinstance(h, logging.StreamHandler) and h.stream is sys.stderr
+        for h in logger.handlers
+    ):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger
 
 
 def dump_region(memory: TaggedMemory, start: int, nwords: int, title: str = "") -> str:

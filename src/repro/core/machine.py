@@ -19,7 +19,7 @@ software such as ``relocate()`` pays its costs through the same machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Callable, Protocol
 
 from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.core.errors import DoubleFreeError, MemoryAccessError
@@ -53,6 +53,43 @@ class ForwardingEvent:
 
 #: Signature of a user-level forwarding trap handler.
 TrapHandler = Callable[["Machine", ForwardingEvent], None]
+
+
+class MachineObserver(Protocol):
+    """Instrumentation hook receiving the machine's canonical event stream.
+
+    An observer sees every architectural event an application (or the
+    relocation runtime acting on its behalf) issues against the machine:
+    data references, ISA extensions, allocation, pool carving, relocation
+    bookkeeping, and trap-handler installation.  The stream is *complete*
+    in the sense that replaying it against a fresh :class:`Machine` -- via
+    :mod:`repro.trace` -- reproduces every counter of
+    :meth:`Machine.stats` exactly.
+
+    Observation is passive: installing an observer must not change the
+    simulation's behaviour or timing.  Events for operations that can
+    trigger nested machine activity (a forwarded load entering a user
+    trap handler, say) are emitted *before* the operation executes, so
+    nested events appear after their cause in the stream.
+    """
+
+    def on_load(self, address: int, size: int) -> None: ...
+    def on_store(self, address: int, value: int, size: int) -> None: ...
+    def on_execute(self, instructions: int) -> None: ...
+    def on_prefetch(self, address: int, lines: int) -> None: ...
+    def on_read_fbit(self, address: int) -> None: ...
+    def on_unforwarded_read(self, address: int) -> None: ...
+    def on_unforwarded_write(self, address: int, value: int, fbit: int) -> None: ...
+    def on_malloc(self, nbytes: int, align: int, address: int) -> None: ...
+    def on_free(self, address: int) -> None: ...
+    def on_create_pool(self, index: int, size: int, name: str) -> None: ...
+    def on_pool_alloc(
+        self, index: int, nbytes: int, align: int, address: int
+    ) -> None: ...
+    def on_raw_write(self, address: int, value: int) -> None: ...
+    def on_note_relocation(self, relocations: int, words: int) -> None: ...
+    def on_note_optimizer(self) -> None: ...
+    def on_set_trap(self, installed: bool) -> None: ...
 
 
 @dataclass
@@ -109,6 +146,8 @@ class Machine:
         self._pool_bump = cfg.heap_base + cfg.heap_size
         self._pool_limit = self._pool_bump + cfg.pool_region_size
         self.trap_handler: TrapHandler | None = None
+        #: Optional instrumentation hook (see :class:`MachineObserver`).
+        self.observer: MachineObserver | None = None
         # Per-reference latency accounting (Figure 10(c,d)).
         self.load_latency = ReferenceLatencyStats()
         self.store_latency = ReferenceLatencyStats()
@@ -133,6 +172,8 @@ class Machine:
 
     def load(self, address: int, size: int = WORD_SIZE) -> int:
         """Forwarding-aware load of ``size`` bytes; returns the value."""
+        if self.observer is not None:
+            self.observer.on_load(address, size)
         timing = self.timing
         timing.execute(1)
         self._hop_cycles = 0.0
@@ -154,6 +195,8 @@ class Machine:
 
     def store(self, address: int, value: int, size: int = WORD_SIZE) -> None:
         """Forwarding-aware store of ``size`` bytes."""
+        if self.observer is not None:
+            self.observer.on_store(address, value, size)
         timing = self.timing
         timing.execute(1)
         self._hop_cycles = 0.0
@@ -189,6 +232,8 @@ class Machine:
         the word itself (Section 3.2: the bit cannot be tested until the
         line reaches the primary cache).
         """
+        if self.observer is not None:
+            self.observer.on_read_fbit(address)
         timing = self.timing
         timing.execute(1)
         result = self.hierarchy.access(address & ~7, False, timing.cycle)
@@ -197,6 +242,8 @@ class Machine:
 
     def unforwarded_read(self, address: int) -> int:
         """``Unforwarded_Read``: read a word with forwarding disabled."""
+        if self.observer is not None:
+            self.observer.on_unforwarded_read(address)
         timing = self.timing
         timing.execute(1)
         result = self.hierarchy.access(address & ~7, False, timing.cycle)
@@ -205,6 +252,8 @@ class Machine:
 
     def unforwarded_write(self, address: int, value: int, fbit: int) -> None:
         """``Unforwarded_Write``: atomically set a word and its bit."""
+        if self.observer is not None:
+            self.observer.on_unforwarded_write(address, value, fbit)
         timing = self.timing
         timing.execute(1)
         result = self.hierarchy.access(address & ~7, True, timing.cycle)
@@ -216,12 +265,29 @@ class Machine:
     # ------------------------------------------------------------------
     def prefetch(self, address: int, lines: int = 1) -> None:
         """Issue one (block) software prefetch instruction."""
+        if self.observer is not None:
+            self.observer.on_prefetch(address, lines)
         self.timing.execute(1)
         self.prefetcher.prefetch_block(address, lines, self.timing.cycle)
 
     def execute(self, instructions: int) -> None:
         """Account for ``instructions`` non-memory instructions."""
+        if self.observer is not None:
+            self.observer.on_execute(instructions)
         self.timing.execute(instructions)
+
+    def raw_write(self, address: int, value: int) -> None:
+        """Untimed raw word write (no caches, no forwarding, no cost).
+
+        This is the escape hatch for modelling *magical* memory updates --
+        notably the perfect-forwarding pointer fixup of Figure 10's
+        ``Perf`` bound, which repairs stale pointers for free.  It still
+        goes through the machine (rather than ``memory.write_word``
+        directly) so observers see the mutation and replays stay faithful.
+        """
+        if self.observer is not None:
+            self.observer.on_raw_write(address, value)
+        self.memory.write_word(address, value)
 
     # ------------------------------------------------------------------
     # Heap and pools
@@ -229,7 +295,10 @@ class Machine:
     def malloc(self, nbytes: int, align: int = WORD_SIZE) -> int:
         """Allocate a heap block; charges allocator bookkeeping time."""
         self.timing.execute(self.config.malloc_base_cost + (nbytes >> 6))
-        return self.heap.allocate(nbytes, align)
+        address = self.heap.allocate(nbytes, align)
+        if self.observer is not None:
+            self.observer.on_malloc(nbytes, align, address)
+        return address
 
     def free(self, address: int) -> None:
         """Forwarding-aware deallocation wrapper (Section 3.3).
@@ -238,6 +307,8 @@ class Machine:
         object's first word is released, so relocated copies do not leak
         when the application frees the object by any of its addresses.
         """
+        if self.observer is not None:
+            self.observer.on_free(address)
         chain = self.forwarding.chain(address)
         self.timing.execute(self.config.free_base_cost + 2 * len(chain))
         freed_any = False
@@ -258,12 +329,22 @@ class Machine:
 
     def create_pool(self, size: int, name: str = "pool") -> RelocationPool:
         """Carve a contiguous relocation pool out of the pool region."""
+        requested = size
         size = (size + WORD_SIZE - 1) & ~(WORD_SIZE - 1)
         if self._pool_bump + size > self._pool_limit:
             raise MemoryAccessError(self._pool_bump, size, "pool region exhausted")
         pool = RelocationPool(self._pool_bump, size, name)
         self._pool_bump += size
+        index = len(self.pools)
         self.pools.append(pool)
+        if self.observer is not None:
+            observer = self.observer
+            observer.on_create_pool(index, requested, name)
+            pool.on_allocate = (
+                lambda address, nbytes, align: observer.on_pool_alloc(
+                    index, nbytes, align, address
+                )
+            )
         return pool
 
     # ------------------------------------------------------------------
@@ -271,7 +352,31 @@ class Machine:
     # ------------------------------------------------------------------
     def set_trap_handler(self, handler: TrapHandler | None) -> None:
         """Install (or clear) the user-level forwarding trap handler."""
+        if self.observer is not None:
+            self.observer.on_set_trap(handler is not None)
         self.trap_handler = handler
+
+    # ------------------------------------------------------------------
+    # Relocation bookkeeping (Table 1 counters)
+    # ------------------------------------------------------------------
+    def note_relocation(self, relocations: int = 1, words: int = 0) -> None:
+        """Credit relocation activity to this machine's Table 1 counters.
+
+        The relocation runtime (``relocate()`` and the optimizers built on
+        it) calls this instead of mutating ``relocation_stats`` directly,
+        so the bookkeeping is part of the observable event stream.
+        """
+        if self.observer is not None:
+            self.observer.on_note_relocation(relocations, words)
+        stats = self.relocation_stats
+        stats.relocations += relocations
+        stats.words_relocated += words
+
+    def note_optimizer_invocation(self) -> None:
+        """Count one invocation of a higher-level layout optimization."""
+        if self.observer is not None:
+            self.observer.on_note_optimizer()
+        self.relocation_stats.optimizer_invocations += 1
 
     # ------------------------------------------------------------------
     # Statistics

@@ -45,9 +45,7 @@ def relocate(machine: Machine, src: int, tgt: int, nwords: int) -> None:
         value = machine.unforwarded_read(old)
         machine.unforwarded_write(new, value, 0)
         machine.unforwarded_write(old, new, 1)
-    stats = machine.relocation_stats
-    stats.relocations += 1
-    stats.words_relocated += nwords
+    machine.note_relocation(1, nwords)
 
 
 def list_linearize(
@@ -89,5 +87,5 @@ def list_linearize(
         # the successor; read it from the new location (no forwarding).
         node = machine.load(pointer_slot)
         count += 1
-    machine.relocation_stats.optimizer_invocations += 1
+    machine.note_optimizer_invocation()
     return new_head, count

@@ -122,6 +122,52 @@ class MachineStats:
         """Execution-time speedup of ``self`` relative to ``baseline``."""
         return baseline.cycles / self.cycles if self.cycles else 0.0
 
+    def dump(self) -> dict[str, Any]:
+        """Lossless nested-dict form (JSON-safe, exact float round trip).
+
+        Unlike :meth:`to_dict` (a flattened report view), this preserves
+        the full structure so :meth:`parse` reconstructs an *equal*
+        snapshot -- the contract the ``repro.trace`` result cache relies
+        on.
+        """
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "slots": {
+                "busy": self.slots.busy,
+                "load_stall": self.slots.load_stall,
+                "store_stall": self.slots.store_stall,
+                "inst_stall": self.slots.inst_stall,
+            },
+            "loads": vars(self.loads).copy(),
+            "stores": vars(self.stores).copy(),
+            "l1_load_misses_full": self.l1_load_misses_full,
+            "l1_load_misses_partial": self.l1_load_misses_partial,
+            "l1_store_misses_full": self.l1_store_misses_full,
+            "l1_store_misses_partial": self.l1_store_misses_partial,
+            "l2_misses": self.l2_misses,
+            "l1_l2_bytes": self.l1_l2_bytes,
+            "l2_mem_bytes": self.l2_mem_bytes,
+            "forwarding_hops": self.forwarding_hops,
+            "cycle_checks": self.cycle_checks,
+            "speculation_loads_checked": self.speculation_loads_checked,
+            "misspeculations": self.misspeculations,
+            "prefetch_instructions": self.prefetch_instructions,
+            "prefetch_fills": self.prefetch_fills,
+            "relocation": vars(self.relocation).copy(),
+            "heap_high_water": self.heap_high_water,
+        }
+
+    @classmethod
+    def parse(cls, data: dict[str, Any]) -> "MachineStats":
+        """Inverse of :meth:`dump`."""
+        payload = dict(data)
+        payload["slots"] = SlotBreakdown(**payload["slots"])
+        payload["loads"] = ReferenceLatencyStats(**payload["loads"])
+        payload["stores"] = ReferenceLatencyStats(**payload["stores"])
+        payload["relocation"] = RelocationStats(**payload["relocation"])
+        return cls(**payload)
+
     def to_dict(self) -> dict[str, Any]:
         """Flatten to primitives for reports and JSON dumps."""
         return {

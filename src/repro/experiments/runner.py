@@ -1,66 +1,203 @@
-"""Shared experiment runner: execute app variants on canonical machines.
+"""Shared experiment runner: capture-once-replay-many over run specs.
 
 Experiments describe *what* to run as a matrix of
-``(application, variant, line size)``; this module executes the matrix,
-memoising results so Figure 5 and Figure 6 (which share their runs, as
-in the paper) simulate each configuration only once per process.
+``(application, variant, line size)``; this module executes the matrix.
+Since the machine is trace-driven, each distinct reference stream is
+**captured once** (a direct, recorded run) and every other cell sharing
+that stream is **replayed** through its own config via
+:mod:`repro.trace` -- skipping the application logic entirely while
+reproducing direct-run statistics exactly.  Results are memoised
+per-process, optionally persisted in an on-disk artifact store (so a
+second invocation skips capture *and* replay), and batches can shard
+across a process pool (:meth:`ExperimentRunner.prime`).
+
+Progress reporting goes through :mod:`repro.core.debug` logging (to
+stderr), never ``print``: parallel workers must not interleave garbage
+into the rendered artifacts on stdout.
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
+from typing import Iterable
 
-from repro.apps import get_application
 from repro.apps.base import AppResult, Variant
-from repro.experiments.config import APP_SEEDS, experiment_config
+from repro.core.debug import enable_progress_logging, get_logger
+from repro.experiments.config import APP_SEEDS
+from repro.trace.store import ArtifactStore
+from repro.trace.sweep import SweepTask, execute_sweep, run_task
 
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One simulation to perform."""
+    """One simulation to perform.
+
+    The seed is an explicit field (not derived on the fly) so the memo
+    key -- and every cache key downstream of it -- stays correct even if
+    per-app seeds are ever varied by the caller.
+    """
 
     app: str
     variant: Variant
     line_size: int
     scale: float = 1.0
+    seed: int = 1
 
-    def seed(self) -> int:
-        return APP_SEEDS.get(self.app, 1)
+    @classmethod
+    def make(
+        cls, app: str, variant: Variant, line_size: int, scale: float
+    ) -> "RunSpec":
+        """Build a spec with the app's canonical seed resolved."""
+        return cls(app, variant, line_size, scale, APP_SEEDS.get(app, 1))
+
+    def task(self) -> SweepTask:
+        return SweepTask(
+            app=self.app,
+            variant=self.variant.value,
+            line_size=self.line_size,
+            scale=self.scale,
+            seed=self.seed,
+        )
 
 
 class ExperimentRunner:
-    """Executes run specs with per-process memoisation.
+    """Executes run specs with memoisation, caching, and sharding.
 
     Parameters
     ----------
     scale:
         Workload scale applied to every run (tests use small values).
     verbose:
-        Print one progress line per completed simulation.
+        Log one progress line per completed simulation (via the
+        ``repro`` logger, on stderr).
+    jobs:
+        Process-pool width for :meth:`prime`; 1 (the default) runs
+        everything in-process.
+    trace_dir:
+        Root of the on-disk artifact store.  ``None`` keeps traces
+        in-memory only (nothing persists, but capture-once-replay-many
+        still applies within the process).
+    use_cache:
+        When False, ignore and do not populate ``trace_dir`` -- every
+        invocation starts cold.  Parallel priming then shards through a
+        throwaway temporary store instead.
     """
 
-    def __init__(self, scale: float = 1.0, verbose: bool = False) -> None:
+    def __init__(
+        self,
+        scale: float = 1.0,
+        verbose: bool = False,
+        jobs: int = 1,
+        trace_dir: str | None = None,
+        use_cache: bool = True,
+    ) -> None:
         self.scale = scale
         self.verbose = verbose
+        self.jobs = max(1, jobs)
+        self._log = get_logger("experiments")
+        if verbose:
+            enable_progress_logging()
+        self.store = (
+            ArtifactStore(trace_dir) if (trace_dir and use_cache) else None
+        )
+        self._scratch: tempfile.TemporaryDirectory | None = None
         self._cache: dict[RunSpec, AppResult] = {}
+        self._traces: dict = {}
 
+    # ------------------------------------------------------------------
     def run(self, app: str, variant: Variant, line_size: int) -> AppResult:
-        spec = RunSpec(app, variant, line_size, self.scale)
+        spec = RunSpec.make(app, variant, line_size, self.scale)
         result = self._cache.get(spec)
         if result is None:
-            application = get_application(app, scale=self.scale, seed=spec.seed())
-            result = application.run(variant, experiment_config(line_size))
+            result, how = run_task(spec.task(), self.store, self._traces)
             self._cache[spec] = result
             if self.verbose:
-                print(
-                    f"  ran {app:10s} {variant.value:4s} line={line_size:3d} "
-                    f"cycles={result.stats.cycles:12.0f}"
+                self._log.info(
+                    "  %-8s %-10s %-4s line=%-3d cycles=%12.0f",
+                    how,
+                    app,
+                    variant.value,
+                    line_size,
+                    result.stats.cycles,
                 )
         return result
 
+    def prime(self, specs: Iterable[RunSpec]) -> None:
+        """Fill the memo for ``specs``, sharding across ``jobs`` workers.
+
+        Figures then assemble their matrices through :meth:`run` at
+        memo-hit speed.  With ``jobs == 1`` this is just a loop.
+        """
+        todo = [spec for spec in dict.fromkeys(specs) if spec not in self._cache]
+        if not todo:
+            return
+        if self.jobs <= 1 or len(todo) == 1:
+            for spec in todo:
+                self.run(spec.app, spec.variant, spec.line_size)
+            return
+        outcomes = execute_sweep(
+            [spec.task() for spec in todo],
+            self._sweep_store(),
+            jobs=self.jobs,
+            verbose=self.verbose,
+        )
+        by_task = {spec.task(): spec for spec in todo}
+        for task, (result, _how) in outcomes.items():
+            self._cache[by_task[task]] = result
+
+    def _sweep_store(self) -> ArtifactStore:
+        """The persistent store, or a lazily created throwaway one."""
+        if self.store is not None:
+            return self.store
+        if self._scratch is None:
+            self._scratch = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+        return ArtifactStore(self._scratch.name)
+
+    # ------------------------------------------------------------------
     def checksum_match(self, app: str, variants: list[Variant], line_size: int) -> bool:
         """True if every variant produced the same checksum (safety check)."""
         checksums = {
             self.run(app, variant, line_size).checksum for variant in variants
         }
         return len(checksums) == 1
+
+
+def specs_for_artifacts(
+    artifacts: Iterable[str], scale: float
+) -> list[RunSpec]:
+    """The union run matrix behind the named paper artifacts.
+
+    Used by the CLI to prime the runner (in parallel, when ``--jobs`` is
+    given) before the figure drivers assemble their tables from the memo.
+    """
+    from repro.apps import APPLICATIONS, FIGURE5_APPS
+    from repro.experiments import figure7, figure10, table1
+    from repro.experiments.config import FIGURE7_LINE_SIZE, line_sizes_for
+
+    specs: list[RunSpec] = []
+    for artifact in artifacts:
+        if artifact == "table1":
+            specs += [
+                RunSpec.make(app, Variant.L, table1.LINE_SIZE, scale)
+                for app in sorted(APPLICATIONS)
+            ]
+        elif artifact in ("figure5", "figure6"):
+            specs += [
+                RunSpec.make(app, variant, line_size, scale)
+                for app in FIGURE5_APPS
+                for line_size in line_sizes_for(app)
+                for variant in (Variant.N, Variant.L)
+            ]
+        elif artifact == "figure7":
+            specs += [
+                RunSpec.make(app, variant, FIGURE7_LINE_SIZE, scale)
+                for app in FIGURE5_APPS
+                for variant in figure7.SCHEMES
+            ]
+        elif artifact == "figure10":
+            specs += [
+                RunSpec.make("smv", variant, figure10.LINE_SIZE, scale)
+                for variant in figure10.SCHEMES
+            ]
+    return list(dict.fromkeys(specs))

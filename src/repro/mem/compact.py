@@ -88,7 +88,7 @@ class HeapCompactor:
                 if final != pointer:
                     machine.store(slot, final)
                     result.roots_updated += 1
-        machine.relocation_stats.optimizer_invocations += 1
+        machine.note_optimizer_invocation()
         return result
 
     def fragmentation(self) -> float:

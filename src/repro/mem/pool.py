@@ -20,6 +20,11 @@ from repro.core.memory import WORD_SIZE
 class RelocationPool:
     """Bump allocator over a contiguous region of simulated memory."""
 
+    #: Optional instrumentation callback ``(address, nbytes, align)``,
+    #: installed by ``Machine.create_pool`` when an observer is attached
+    #: so pool consumption appears in the machine's event stream.
+    on_allocate = None
+
     def __init__(self, base: int, size: int, name: str = "pool") -> None:
         if base <= 0 or base % WORD_SIZE:
             raise ValueError(f"pool base must be positive and word aligned: {base:#x}")
@@ -48,6 +53,8 @@ class RelocationPool:
         self._bump = address + size
         self.allocations += 1
         self.high_water = max(self.high_water, self._bump - self.base)
+        if self.on_allocate is not None:
+            self.on_allocate(address, nbytes, align)
         return address
 
     @property

@@ -131,5 +131,5 @@ def cluster_subtrees(
                 if child != NULL and child not in members:
                     pending.append(new + offset)
 
-    machine.relocation_stats.optimizer_invocations += 1
+    machine.note_optimizer_invocation()
     return result

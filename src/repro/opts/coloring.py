@@ -106,5 +106,5 @@ def recolor(
         target = allocator.allocate(nbytes, color)
         relocate(machine, address, target, (nbytes + WORD_SIZE - 1) // WORD_SIZE)
         new_addresses.append(target)
-    machine.relocation_stats.optimizer_invocations += 1
+    machine.note_optimizer_invocation()
     return new_addresses

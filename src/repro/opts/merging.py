@@ -95,7 +95,6 @@ def merge_tables(
         # B-entry: plain copy (sub-word entries cannot be forwarded).
         value_b = machine.load(base_b + index * elem_b_bytes, elem_b_bytes)
         machine.store(merged.b_address(index), value_b, elem_b_bytes)
-    machine.relocation_stats.relocations += entries
-    machine.relocation_stats.words_relocated += entries
-    machine.relocation_stats.optimizer_invocations += 1
+    machine.note_relocation(entries, entries)
+    machine.note_optimizer_invocation()
     return merged

@@ -88,5 +88,5 @@ def pack_pointer_table(
         )
         machine.store(slot, new_record)
         packed += 1
-    machine.relocation_stats.optimizer_invocations += 1
+    machine.note_optimizer_invocation()
     return packed

@@ -1,0 +1,55 @@
+"""Reference-trace capture and replay (the ``repro.trace`` subsystem).
+
+The simulator is trace-driven at heart: an application's *reference
+stream* -- the ordered sequence of loads, stores, allocations, prefetches
+and relocation events it issues against the :class:`~repro.core.machine.
+Machine` -- fully determines every statistic the experiments report.  For
+a given ``(app, variant, scale, seed)`` that stream is identical across
+cache line sizes and machine configurations (BH is the one exception: it
+parameterises its clustering by line size, and declares so via
+``Application.line_size_sensitive``).
+
+This package exploits that invariance end to end:
+
+* :mod:`repro.trace.recorder` -- capture the canonical event stream while
+  an application runs, via the machine's observer hook;
+* :mod:`repro.trace.format` -- a compact versioned binary trace format
+  (varint/delta-encoded, content-hashed) with save/load round-trip;
+* :mod:`repro.trace.replay` -- drive any :class:`MachineConfig` from a
+  trace, reproducing a direct run's :class:`MachineStats` *exactly*;
+* :mod:`repro.trace.store` -- a content-hash-keyed on-disk artifact cache
+  of traces and replayed results, so repeated sweeps skip both capture
+  and replay when nothing changed;
+* :mod:`repro.trace.sweep` -- a parallel sweep executor sharding replays
+  across a process pool.
+
+The exact-fidelity requirement makes this a correctness tool as well as
+a performance win: any divergence between a replayed and a direct run
+exposes hidden state the event stream failed to capture.
+"""
+
+from repro.trace.format import (
+    FORMAT_VERSION,
+    Trace,
+    TraceFormatError,
+)
+from repro.trace.recorder import TraceRecorder, capture_trace
+from repro.trace.replay import TraceReplayError, replay_trace
+from repro.trace.store import ArtifactStore, config_fingerprint, trace_key
+from repro.trace.sweep import SweepTask, execute_sweep, run_task
+
+__all__ = [
+    "ArtifactStore",
+    "FORMAT_VERSION",
+    "SweepTask",
+    "Trace",
+    "TraceFormatError",
+    "TraceRecorder",
+    "TraceReplayError",
+    "capture_trace",
+    "config_fingerprint",
+    "execute_sweep",
+    "replay_trace",
+    "run_task",
+    "trace_key",
+]

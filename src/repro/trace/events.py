@@ -1,0 +1,76 @@
+"""Event vocabulary of the canonical reference stream.
+
+One opcode per :class:`~repro.core.machine.MachineObserver` callback.
+The numeric values are part of the on-disk format -- never renumber an
+existing opcode; add new ones at the end and bump
+:data:`repro.trace.format.FORMAT_VERSION` if semantics change.
+
+Decoded events are plain tuples whose first element is the opcode and
+whose remaining elements are the operands, in the order listed here:
+
+=============  =====================================  ==================
+Opcode         Operands                               Operand encoding
+=============  =====================================  ==================
+``LOAD``       address, size                          delta, uvarint
+``STORE``      address, value, size                   delta, zigzag, uvarint
+``EXECUTE``    instructions                           uvarint
+``PREFETCH``   address, lines                         delta, uvarint
+``READ_FBIT``  address                                delta
+``UNF_READ``   address                                delta
+``UNF_WRITE``  address, value, fbit                   delta, zigzag, uvarint
+``MALLOC``     nbytes, align, address (result)        uvarint, uvarint, delta
+``FREE``       address                                delta
+``CREATE_POOL``size                                   uvarint
+``POOL_ALLOC`` index, nbytes, align, address (result) uvarint x3, delta
+``RAW_WRITE``  address, value                         delta, zigzag
+``NOTE_RELOC`` relocations, words                     uvarint, uvarint
+``NOTE_OPT``   --                                     --
+``SET_TRAP``   installed (0/1)                        uvarint
+=============  =====================================  ==================
+
+*delta* means zigzag-varint of the difference against a single running
+address register shared by every address-typed operand in stream order;
+consecutive references tend to be near each other, so deltas stay short.
+Result addresses (``MALLOC``/``POOL_ALLOC``) are recorded so replay can
+verify allocator determinism instead of silently diverging.
+"""
+
+from __future__ import annotations
+
+LOAD = 0
+STORE = 1
+EXECUTE = 2
+PREFETCH = 3
+READ_FBIT = 4
+UNF_READ = 5
+UNF_WRITE = 6
+MALLOC = 7
+FREE = 8
+CREATE_POOL = 9
+POOL_ALLOC = 10
+RAW_WRITE = 11
+NOTE_RELOC = 12
+NOTE_OPT = 13
+SET_TRAP = 14
+
+#: Human-readable names, indexed by opcode (for dumps and errors).
+NAMES = (
+    "load",
+    "store",
+    "execute",
+    "prefetch",
+    "read_fbit",
+    "unforwarded_read",
+    "unforwarded_write",
+    "malloc",
+    "free",
+    "create_pool",
+    "pool_alloc",
+    "raw_write",
+    "note_relocation",
+    "note_optimizer",
+    "set_trap",
+)
+
+#: Highest valid opcode (payloads containing anything above are corrupt).
+MAX_OPCODE = SET_TRAP

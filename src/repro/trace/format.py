@@ -1,0 +1,303 @@
+"""The binary trace format: varint/delta encoding, header, integrity.
+
+A trace file is::
+
+    magic "RTRC" | version u8 | uvarint header_len | header JSON | payload
+
+The header carries the trace's identity (app, variant, scale, seed,
+capturing line size, line-size sensitivity), the run's semantic outputs
+(checksum, extras), pool names in creation order, the event count, and
+the payload's length and SHA-256 -- so truncation and corruption are both
+detected at load time, before a single event is decoded.
+
+The payload is the event stream described in :mod:`repro.trace.events`:
+one opcode byte per event followed by varint operands, with addresses
+delta-encoded against a running register.  Encoding is streaming (the
+recorder appends to the payload as events arrive) and decoding is a
+generator, so neither side ever materialises an event-tuple list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.trace import events as ev
+
+MAGIC = b"RTRC"
+#: Bump on any incompatible change to the header or payload encoding.
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(Exception):
+    """A trace file or byte string could not be decoded."""
+
+
+# ----------------------------------------------------------------------
+# Varint primitives (unsigned LEB128 + zigzag for signed deltas)
+# ----------------------------------------------------------------------
+def append_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` (non-negative) as an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def append_svarint(out: bytearray, value: int) -> None:
+    """Append a signed integer, zigzag-mapped then LEB128."""
+    append_uvarint(out, zigzag(value))
+
+
+def zigzag(value: int) -> int:
+    """Map a signed integer to an unsigned one (0,-1,1,-2 -> 0,1,2,3)."""
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return value >> 1 if (value & 1) == 0 else -((value + 1) >> 1)
+
+
+def read_uvarint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode one LEB128 varint at ``offset``; returns ``(value, next)``."""
+    result = 0
+    shift = 0
+    length = len(data)
+    while True:
+        if offset >= length:
+            raise TraceFormatError("truncated varint in trace payload")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+# ----------------------------------------------------------------------
+# The trace object
+# ----------------------------------------------------------------------
+@dataclass
+class Trace:
+    """One captured reference stream plus its identity and outputs."""
+
+    app: str
+    variant: str
+    scale: float
+    seed: int
+    #: Line size of the capturing machine config.
+    line_size: int
+    #: True if the stream is only valid at exactly ``line_size``.
+    line_size_sensitive: bool
+    #: Semantic output of the captured run (variant-invariant).
+    checksum: int
+    extras: dict[str, Any] = field(default_factory=dict)
+    #: Full :meth:`~repro.core.stats.MachineStats.dump` of the capturing
+    #: run.  Replay recomputes every config-dependent counter but copies
+    #: the config-*invariant* ones (relocation activity, forwarding hop
+    #: totals, heap footprint) from here -- they are properties of the
+    #: event stream, not of the cache the stream is replayed against.
+    captured_stats: dict[str, Any] = field(default_factory=dict)
+    #: Pool names, in ``create_pool`` order (events carry only indices).
+    pool_names: list[str] = field(default_factory=list)
+    event_count: int = 0
+    payload: bytes = b""
+
+    # ------------------------------------------------------------------
+    def header_dict(self) -> dict[str, Any]:
+        """The JSON header (includes payload length and digest)."""
+        return {
+            "app": self.app,
+            "variant": self.variant,
+            "scale": self.scale,
+            "seed": self.seed,
+            "line_size": self.line_size,
+            "line_size_sensitive": self.line_size_sensitive,
+            "checksum": self.checksum,
+            "extras": self.extras,
+            "captured_stats": self.captured_stats,
+            "pool_names": self.pool_names,
+            "event_count": self.event_count,
+            "payload_len": len(self.payload),
+            "payload_sha256": hashlib.sha256(self.payload).hexdigest(),
+        }
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical serialisation (header + payload).
+
+        This is the identity the artifact store keys replayed results by:
+        it changes whenever the stream, the workload identity, or the
+        format version changes.
+        """
+        digest = hashlib.sha256()
+        digest.update(MAGIC)
+        digest.update(bytes([FORMAT_VERSION]))
+        digest.update(
+            json.dumps(self.header_dict(), sort_keys=True).encode("utf-8")
+        )
+        digest.update(self.payload)
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = json.dumps(self.header_dict(), sort_keys=True).encode("utf-8")
+        out = bytearray()
+        out += MAGIC
+        out.append(FORMAT_VERSION)
+        append_uvarint(out, len(header))
+        out += header
+        out += self.payload
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Trace":
+        if len(data) < len(MAGIC) + 1 or data[: len(MAGIC)] != MAGIC:
+            raise TraceFormatError("not a trace: bad magic")
+        version = data[len(MAGIC)]
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        header_len, offset = read_uvarint(data, len(MAGIC) + 1)
+        if offset + header_len > len(data):
+            raise TraceFormatError("truncated trace header")
+        try:
+            header = json.loads(data[offset : offset + header_len])
+        except ValueError as exc:
+            raise TraceFormatError(f"corrupt trace header: {exc}") from exc
+        payload = data[offset + header_len :]
+        required = (
+            "app", "variant", "scale", "seed", "line_size",
+            "line_size_sensitive", "checksum", "extras", "captured_stats",
+            "pool_names", "event_count", "payload_len", "payload_sha256",
+        )
+        missing = [key for key in required if key not in header]
+        if missing:
+            raise TraceFormatError(f"trace header missing fields {missing}")
+        if len(payload) != header["payload_len"]:
+            raise TraceFormatError(
+                f"truncated trace payload: have {len(payload)} bytes, "
+                f"header says {header['payload_len']}"
+            )
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header["payload_sha256"]:
+            raise TraceFormatError(
+                "trace payload hash mismatch (corrupt or tampered)"
+            )
+        return cls(
+            app=header["app"],
+            variant=header["variant"],
+            scale=header["scale"],
+            seed=header["seed"],
+            line_size=header["line_size"],
+            line_size_sensitive=header["line_size_sensitive"],
+            checksum=header["checksum"],
+            extras=header["extras"],
+            captured_stats=header["captured_stats"],
+            pool_names=list(header["pool_names"]),
+            event_count=header["event_count"],
+            payload=payload,
+        )
+
+    def save(self, path) -> None:
+        with open(path, "wb") as handle:
+            handle.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        with open(path, "rb") as handle:
+            return cls.from_bytes(handle.read())
+
+    # ------------------------------------------------------------------
+    def events(self) -> Iterator[tuple]:
+        """Decode the payload, yielding one operand tuple per event.
+
+        The first element of each tuple is the opcode (see
+        :mod:`repro.trace.events`); addresses are already de-delta'd to
+        absolute values.
+        """
+        data = self.payload
+        length = len(data)
+        offset = 0
+        last = 0
+        count = 0
+        read = read_uvarint
+        while offset < length:
+            op = data[offset]
+            offset += 1
+            if op == ev.LOAD:
+                delta, offset = read(data, offset)
+                size, offset = read(data, offset)
+                last += unzigzag(delta)
+                yield (op, last, size)
+            elif op == ev.STORE:
+                delta, offset = read(data, offset)
+                value, offset = read(data, offset)
+                size, offset = read(data, offset)
+                last += unzigzag(delta)
+                yield (op, last, unzigzag(value), size)
+            elif op == ev.EXECUTE:
+                n, offset = read(data, offset)
+                yield (op, n)
+            elif op == ev.PREFETCH:
+                delta, offset = read(data, offset)
+                lines, offset = read(data, offset)
+                last += unzigzag(delta)
+                yield (op, last, lines)
+            elif op in (ev.READ_FBIT, ev.UNF_READ, ev.FREE):
+                delta, offset = read(data, offset)
+                last += unzigzag(delta)
+                yield (op, last)
+            elif op == ev.UNF_WRITE:
+                delta, offset = read(data, offset)
+                value, offset = read(data, offset)
+                fbit, offset = read(data, offset)
+                last += unzigzag(delta)
+                yield (op, last, unzigzag(value), fbit)
+            elif op == ev.MALLOC:
+                nbytes, offset = read(data, offset)
+                align, offset = read(data, offset)
+                delta, offset = read(data, offset)
+                last += unzigzag(delta)
+                yield (op, nbytes, align, last)
+            elif op == ev.CREATE_POOL:
+                size, offset = read(data, offset)
+                yield (op, size)
+            elif op == ev.POOL_ALLOC:
+                index, offset = read(data, offset)
+                nbytes, offset = read(data, offset)
+                align, offset = read(data, offset)
+                delta, offset = read(data, offset)
+                last += unzigzag(delta)
+                yield (op, index, nbytes, align, last)
+            elif op == ev.RAW_WRITE:
+                delta, offset = read(data, offset)
+                value, offset = read(data, offset)
+                last += unzigzag(delta)
+                yield (op, last, unzigzag(value))
+            elif op == ev.NOTE_RELOC:
+                relocations, offset = read(data, offset)
+                words, offset = read(data, offset)
+                yield (op, relocations, words)
+            elif op == ev.NOTE_OPT:
+                yield (op,)
+            elif op == ev.SET_TRAP:
+                flag, offset = read(data, offset)
+                yield (op, flag)
+            else:
+                raise TraceFormatError(
+                    f"unknown opcode {op} at payload offset {offset - 1}"
+                )
+            count += 1
+        if count != self.event_count:
+            raise TraceFormatError(
+                f"event count mismatch: decoded {count}, "
+                f"header says {self.event_count}"
+            )

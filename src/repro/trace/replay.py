@@ -1,0 +1,389 @@
+"""Replay a captured trace against a different machine configuration.
+
+The key observation (which is also why capture-once-replay-many is sound
+at all) is that a reference stream splits cleanly into two halves:
+
+* **Config-invariant state.**  Forwarding chains, allocator placement,
+  memory contents, relocation bookkeeping -- all fully determined by the
+  event stream itself, identical under every cache configuration the
+  stream may legally be replayed against.
+* **Config-dependent accounting.**  The cache hierarchy, the timing
+  model, the prefetcher, and the dependence speculator -- the things a
+  sweep actually varies and measures.
+
+Replay therefore does *not* rebuild a full :class:`~repro.core.machine.
+Machine`.  It decodes the payload once per trace into a *resolved
+stream* -- every load/store annotated with its forwarding resolution
+(final address plus hop addresses), computed from a forwarding map fed
+by the recorded ``Unforwarded_Write``/``raw_write`` events -- and then
+drives only the config-dependent components with it, mirroring
+``Machine.load``/``store``/etc. cost-for-cost.  Config-invariant
+counters (relocation activity, forwarding hop totals, heap footprint)
+are copied from the capture's stats, which is exact by definition.
+The resolved stream is cached on the :class:`~repro.trace.format.Trace`
+object, so replaying one trace at several line sizes decodes it once.
+
+This is what makes a replay measurably cheaper than a direct run: the
+application logic is gone *and* so are the tagged memory, the forwarding
+walks, and the allocator.  The fidelity tests pin the mirroring by
+asserting replayed stats equal direct-run stats exactly, app by app.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppResult, Variant
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.machine import MachineConfig
+from repro.core.stats import MachineStats, ReferenceLatencyStats, RelocationStats
+from repro.cpu.prefetch import SoftwarePrefetcher
+from repro.cpu.speculation import DependenceSpeculator
+from repro.cpu.timing import TimingModel
+from repro.trace.format import Trace, TraceFormatError, read_uvarint, unzigzag
+
+
+class TraceReplayError(Exception):
+    """The trace cannot legally drive the requested configuration."""
+
+
+# Resolved-stream entry kinds (first tuple element).  LOAD/STORE here are
+# the unforwarded common case; the _FWD variants carry the resolution.
+_LOAD = 0
+_STORE = 1
+_EXEC = 2
+_ACCESS_R = 3   # Read_FBit / Unforwarded_Read: timed read of one word
+_ACCESS_W = 4   # Unforwarded_Write: timed write of one word
+_LOAD_FWD = 5
+_STORE_FWD = 6
+_PREFETCH = 7
+_MALLOC = 8     # carries nbytes (cost is config-dependent)
+_FREE = 9       # carries forwarding-chain length (ditto)
+_TRAP = 10      # trap handler installed / removed
+
+
+def _resolved_stream(trace: Trace) -> list[tuple]:
+    """Decode ``trace`` into its resolved stream (cached on the trace).
+
+    This pass simulates the config-invariant half exactly once: it keeps
+    the forwarding map ``{word -> forwarding word value}`` up to date
+    from the write events and annotates every reference with the hop
+    addresses and final address ``ForwardingEngine.resolve`` would walk.
+    Entries with no config-dependent cost (pool bookkeeping, relocation
+    counters, raw writes) are folded away entirely.
+    """
+    cached = getattr(trace, "_resolved", None)
+    if cached is not None:
+        return cached
+    fwd: dict[int, int] = {}
+    out: list[tuple] = []
+    append = out.append
+    data = trace.payload
+    length = len(data)
+    i = 0
+    last = 0
+    count = 0
+    try:
+        while i < length:
+            op = data[i]
+            i += 1
+            if op == 0 or op == 1:  # LOAD / STORE: address, [value,] size
+                b = data[i]
+                i += 1
+                v = b & 0x7F
+                s = 7
+                while b >= 0x80:
+                    b = data[i]
+                    i += 1
+                    v |= (b & 0x7F) << s
+                    s += 7
+                last += (v >> 1) ^ -(v & 1)
+                if op == 1:  # skip the stored value (data plane only)
+                    b = data[i]
+                    i += 1
+                    while b >= 0x80:
+                        b = data[i]
+                        i += 1
+                b = data[i]  # skip the size (hierarchy is word-granular)
+                i += 1
+                while b >= 0x80:
+                    b = data[i]
+                    i += 1
+                word = last & ~7
+                if word not in fwd:
+                    append((op, last))
+                else:
+                    hops = []
+                    value = 0
+                    while word in fwd:
+                        hops.append(word)
+                        value = fwd[word]
+                        word = value & ~7
+                    append((
+                        _LOAD_FWD if op == 0 else _STORE_FWD,
+                        last,
+                        value | (last & 7),
+                        tuple(hops),
+                    ))
+            elif op == 2:  # EXECUTE: instruction count
+                b = data[i]
+                i += 1
+                v = b & 0x7F
+                s = 7
+                while b >= 0x80:
+                    b = data[i]
+                    i += 1
+                    v |= (b & 0x7F) << s
+                    s += 7
+                append((_EXEC, v))
+            elif op == 6:  # UNF_WRITE: address, value, fbit
+                b = data[i]
+                i += 1
+                v = b & 0x7F
+                s = 7
+                while b >= 0x80:
+                    b = data[i]
+                    i += 1
+                    v |= (b & 0x7F) << s
+                    s += 7
+                last += (v >> 1) ^ -(v & 1)
+                b = data[i]
+                i += 1
+                v = b & 0x7F
+                s = 7
+                while b >= 0x80:
+                    b = data[i]
+                    i += 1
+                    v |= (b & 0x7F) << s
+                    s += 7
+                value = (v >> 1) ^ -(v & 1)
+                fbit = data[i]
+                i += 1
+                word = last & ~7
+                append((_ACCESS_W, word))
+                if fbit:
+                    fwd[word] = value
+                else:
+                    fwd.pop(word, None)
+            elif op == 4 or op == 5:  # READ_FBIT / UNF_READ: address
+                b = data[i]
+                i += 1
+                v = b & 0x7F
+                s = 7
+                while b >= 0x80:
+                    b = data[i]
+                    i += 1
+                    v |= (b & 0x7F) << s
+                    s += 7
+                last += (v >> 1) ^ -(v & 1)
+                append((_ACCESS_R, last & ~7))
+            elif op == 3:  # PREFETCH: address, line count
+                delta, i = read_uvarint(data, i)
+                lines, i = read_uvarint(data, i)
+                last += unzigzag(delta)
+                append((_PREFETCH, last, lines))
+            elif op == 7:  # MALLOC: nbytes, align, resulting address
+                nbytes, i = read_uvarint(data, i)
+                _align, i = read_uvarint(data, i)
+                delta, i = read_uvarint(data, i)
+                last += unzigzag(delta)
+                append((_MALLOC, nbytes))
+            elif op == 8:  # FREE: address; cost scales with chain length
+                delta, i = read_uvarint(data, i)
+                last += unzigzag(delta)
+                word = last & ~7
+                chain = 1
+                while word in fwd:
+                    word = fwd[word] & ~7
+                    chain += 1
+                append((_FREE, chain))
+            elif op == 9:  # CREATE_POOL: untimed bookkeeping
+                _size, i = read_uvarint(data, i)
+            elif op == 10:  # POOL_ALLOC: untimed bookkeeping
+                _index, i = read_uvarint(data, i)
+                _nbytes, i = read_uvarint(data, i)
+                _align, i = read_uvarint(data, i)
+                delta, i = read_uvarint(data, i)
+                last += unzigzag(delta)
+            elif op == 11:  # RAW_WRITE: untimed, may retarget a chain word
+                delta, i = read_uvarint(data, i)
+                value, i = read_uvarint(data, i)
+                last += unzigzag(delta)
+                word = last & ~7
+                if word in fwd:
+                    fwd[word] = unzigzag(value)
+            elif op == 12:  # NOTE_RELOC: counters only (copied from capture)
+                _relocations, i = read_uvarint(data, i)
+                _words, i = read_uvarint(data, i)
+            elif op == 13:  # NOTE_OPT: counter only
+                pass
+            elif op == 14:  # SET_TRAP: installed flag
+                flag, i = read_uvarint(data, i)
+                append((_TRAP, flag))
+            else:
+                raise TraceFormatError(
+                    f"unknown opcode {op} at payload offset {i - 1}"
+                )
+            count += 1
+    except IndexError:
+        raise TraceFormatError("truncated varint in trace payload") from None
+    if count != trace.event_count:
+        raise TraceFormatError(
+            f"event count mismatch: decoded {count}, "
+            f"header says {trace.event_count}"
+        )
+    trace._resolved = out
+    return out
+
+
+def replay_trace(trace: Trace, config: MachineConfig) -> AppResult:
+    """Replay ``trace`` against ``config``; stats match a direct run.
+
+    Returns an :class:`AppResult` whose config-dependent stats come from
+    driving ``config``'s hierarchy/timing/speculator with the resolved
+    stream, whose config-invariant stats come from the capture, and
+    whose checksum/extras come from the captured application run.
+    """
+    if trace.line_size_sensitive:
+        line_size = config.hierarchy.line_size
+        if line_size != trace.line_size:
+            raise TraceReplayError(
+                f"trace of line-size-sensitive app {trace.app!r} was "
+                f"captured at {trace.line_size}B lines; cannot replay at "
+                f"{line_size}B"
+            )
+    stream = _resolved_stream(trace)
+
+    hierarchy = MemoryHierarchy(config.hierarchy)
+    timing = TimingModel(config.timing)
+    prefetcher = SoftwarePrefetcher(hierarchy, config.max_prefetch_block)
+    speculator = (
+        DependenceSpeculator(config.speculation_window)
+        if config.speculation_window > 0
+        else None
+    )
+    load_latency = ReferenceLatencyStats()
+    store_latency = ReferenceLatencyStats()
+    malloc_base = config.malloc_base_cost
+    free_base = config.free_base_cost
+    user_trap_cycles = config.user_trap_cycles
+    trap_installed = False
+
+    access = hierarchy.access
+    execute = timing.execute
+    load_completes = timing.load_completes
+    store_completes = timing.store_completes
+
+    # Each branch mirrors the corresponding Machine method cost-for-cost
+    # (machine.py is the reference; the integration tests assert exact
+    # stats equality against it), minus the config-invariant work.
+    for entry in stream:
+        kind = entry[0]
+        if kind == 0:  # unforwarded load (final == initial)
+            address = entry[1]
+            execute(1)
+            start = timing.cycle
+            result = access(address, False, start)
+            load_completes(result.ready, False)
+            load_latency.count += 1
+            load_latency.ordinary_cycles += result.ready - start
+            if speculator is not None and speculator.on_load(address, address):
+                timing.misspeculation_flush()
+        elif kind == 1:  # unforwarded store
+            address = entry[1]
+            execute(1)
+            start = timing.cycle
+            result = access(address, True, start)
+            store_completes(result.ready, False)
+            store_latency.count += 1
+            store_latency.ordinary_cycles += result.ready - start
+            if speculator is not None:
+                speculator.on_store(address, address)
+        elif kind == 2:  # plain computation
+            execute(entry[1])
+        elif kind == 3:  # Read_FBit / Unforwarded_Read
+            execute(1)
+            result = access(entry[1], False, timing.cycle)
+            load_completes(result.ready)
+        elif kind == 4:  # Unforwarded_Write
+            execute(1)
+            result = access(entry[1], True, timing.cycle)
+            store_completes(result.ready)
+        elif kind == 5 or kind == 6:  # forwarded load / store
+            address = entry[1]
+            final = entry[2]
+            hops = entry[3]
+            is_store = kind == 6
+            execute(1)
+            hop_cycles = 0.0
+            for word in hops:  # each hop touches the old location
+                start = timing.cycle
+                result = access(word, False, start)
+                load_completes(result.ready, True)
+                hop_cycles += result.ready - start
+            start = timing.cycle
+            result = access(final, is_store, start)
+            latency = store_latency if is_store else load_latency
+            if is_store:
+                store_completes(result.ready, True)
+            else:
+                load_completes(result.ready, True)
+            latency.count += 1
+            latency.ordinary_cycles += result.ready - start
+            latency.forwarded += 1
+            nhops = len(hops)
+            latency.forwarding_cycles += (
+                hop_cycles + timing.forwarding_trap_cost(nhops)
+            )
+            timing.forwarding_trap(nhops)
+            if trap_installed:
+                # The handler's own machine activity was recorded as
+                # ordinary events; only its invocation cost remains.
+                timing.stall(user_trap_cycles, "inst")
+            if is_store:
+                if speculator is not None:
+                    speculator.on_store(address, final)
+            elif speculator is not None and speculator.on_load(address, final):
+                timing.misspeculation_flush()
+        elif kind == 7:  # software prefetch
+            execute(1)
+            prefetcher.prefetch_block(entry[1], entry[2], timing.cycle)
+        elif kind == 8:  # malloc bookkeeping cost
+            execute(malloc_base + (entry[1] >> 6))
+        elif kind == 9:  # forwarding-aware free cost
+            execute(free_base + 2 * entry[1])
+        else:  # _TRAP
+            trap_installed = bool(entry[1])
+
+    captured = trace.captured_stats
+    miss = hierarchy.miss_classes
+    traffic = hierarchy.traffic
+    stats = MachineStats(
+        cycles=timing.cycle,
+        instructions=timing.instructions,
+        slots=timing.slot_breakdown(),
+        loads=load_latency,
+        stores=store_latency,
+        l1_load_misses_full=miss.load_full,
+        l1_load_misses_partial=miss.load_partial,
+        l1_store_misses_full=miss.store_full,
+        l1_store_misses_partial=miss.store_partial,
+        l2_misses=hierarchy.l2.stats.misses,
+        l1_l2_bytes=traffic.l1_l2_bytes,
+        l2_mem_bytes=traffic.l2_mem_bytes,
+        forwarding_hops=captured["forwarding_hops"],
+        cycle_checks=captured["cycle_checks"],
+        speculation_loads_checked=(
+            speculator.stats.loads_checked if speculator else 0
+        ),
+        misspeculations=timing.misspeculations,
+        prefetch_instructions=prefetcher.stats.instructions_issued,
+        prefetch_fills=prefetcher.stats.fills_started,
+        relocation=RelocationStats(**captured["relocation"]),
+        heap_high_water=captured["heap_high_water"],
+    )
+    return AppResult(
+        app=trace.app,
+        variant=Variant(trace.variant),
+        checksum=trace.checksum,
+        stats=stats,
+        extras=dict(trace.extras),
+    )

@@ -1,0 +1,142 @@
+"""Content-hash-keyed on-disk cache of traces and replayed results.
+
+Layout under the store root::
+
+    traces/<trace-key>.trace      one captured stream per workload identity
+    results/<trace-hash>-<config-hash>.json   one replayed result per cell
+
+*Trace keys* identify a workload -- ``(format version, app, variant,
+scale, seed[, line size for line-size-sensitive apps])`` -- and name the
+file to look in before capturing.  *Result keys* bind an exact trace
+content hash to an exact machine-config fingerprint, so a result can
+only ever be served for the identical stream on the identical machine:
+edit anything (app code changes the stream, config changes the
+fingerprint, a format bump changes both) and the stale entry simply
+stops being found.
+
+All writes are atomic (temp file + ``os.replace``), so concurrent sweep
+workers sharing a store never observe torn files; corrupt or unreadable
+entries are treated as misses and recaptured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.apps.base import AppResult, Variant
+from repro.core.debug import get_logger
+from repro.core.machine import MachineConfig
+from repro.core.stats import MachineStats
+from repro.trace.format import FORMAT_VERSION, Trace, TraceFormatError
+
+_log = get_logger("trace.store")
+
+
+def trace_key(
+    app: str,
+    variant: str,
+    scale: float,
+    seed: int,
+    line_size: int | None,
+) -> str:
+    """Stable identity of a captured stream (hex digest).
+
+    ``line_size`` must be the capture line size for line-size-sensitive
+    apps and ``None`` otherwise (their streams are line-size-invariant).
+    """
+    identity = json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "app": app,
+            "variant": variant,
+            "scale": scale,
+            "seed": seed,
+            "line_size": line_size,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: MachineConfig) -> str:
+    """Stable hash of every field of a machine config (hex digest)."""
+    canonical = json.dumps(asdict(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+class ArtifactStore:
+    """Filesystem-backed trace and result cache."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.traces_dir = self.root / "traces"
+        self.results_dir = self.root / "results"
+        self.traces_dir.mkdir(parents=True, exist_ok=True)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- traces ---------------------------------------------------------
+    def trace_path(self, key: str) -> Path:
+        return self.traces_dir / f"{key}.trace"
+
+    def has_trace(self, key: str) -> bool:
+        return self.trace_path(key).exists()
+
+    def load_trace(self, key: str) -> Trace | None:
+        path = self.trace_path(key)
+        try:
+            return Trace.load(path)
+        except FileNotFoundError:
+            return None
+        except (TraceFormatError, OSError) as exc:
+            _log.warning("discarding unreadable trace %s: %s", path.name, exc)
+            return None
+
+    def save_trace(self, key: str, trace: Trace) -> Path:
+        path = self.trace_path(key)
+        _atomic_write(path, trace.to_bytes())
+        return path
+
+    # -- results --------------------------------------------------------
+    def result_path(self, trace_hash: str, config_hash: str) -> Path:
+        return self.results_dir / f"{trace_hash[:24]}-{config_hash[:24]}.json"
+
+    def load_result(self, trace_hash: str, config_hash: str) -> AppResult | None:
+        path = self.result_path(trace_hash, config_hash)
+        try:
+            payload = json.loads(path.read_text())
+            return AppResult(
+                app=payload["app"],
+                variant=Variant(payload["variant"]),
+                checksum=payload["checksum"],
+                stats=MachineStats.parse(payload["stats"]),
+                extras=payload["extras"],
+            )
+        except FileNotFoundError:
+            return None
+        except (KeyError, ValueError, TypeError, OSError) as exc:
+            _log.warning("discarding unreadable result %s: %s", path.name, exc)
+            return None
+
+    def save_result(
+        self, trace_hash: str, config_hash: str, result: AppResult
+    ) -> Path:
+        payload = {
+            "app": result.app,
+            "variant": result.variant.value,
+            "checksum": result.checksum,
+            "extras": result.extras,
+            "stats": result.stats.dump(),
+        }
+        path = self.result_path(trace_hash, config_hash)
+        _atomic_write(path, json.dumps(payload, sort_keys=True).encode("utf-8"))
+        return path

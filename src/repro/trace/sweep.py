@@ -1,0 +1,176 @@
+"""Sharded sweep execution: capture once, replay everywhere, in parallel.
+
+A sweep is a set of :class:`SweepTask` cells -- ``(app, variant, line
+size, scale, seed)``.  Execution proceeds in two phases:
+
+1. **Capture.**  Tasks are grouped by trace key (one key per workload
+   identity; line-size-insensitive apps share one key across all their
+   line sizes).  Each key missing from the store is captured exactly
+   once -- the capturing run's own config is the task's config, so its
+   direct result answers that cell for free.
+2. **Replay.**  Every remaining cell replays its group's trace through
+   its own config (or is served straight from the result cache).
+
+With ``jobs > 1`` both phases shard across a
+:class:`~concurrent.futures.ProcessPoolExecutor`; workers coordinate
+purely through the (atomic-write) artifact store, so there is no shared
+mutable state.  With ``jobs <= 1`` everything runs in-process, which is
+also the path :class:`~repro.experiments.runner.ExperimentRunner` uses
+for its lazy per-call API.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from repro.apps import APPLICATIONS
+from repro.apps.base import AppResult, Variant
+from repro.core.debug import get_logger
+from repro.trace.format import Trace
+from repro.trace.recorder import capture_trace
+from repro.trace.replay import replay_trace
+from repro.trace.store import ArtifactStore, config_fingerprint, trace_key
+
+_log = get_logger("trace.sweep")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of a sweep matrix (picklable, hashable)."""
+
+    app: str
+    variant: str
+    line_size: int
+    scale: float = 1.0
+    seed: int = 1
+
+    def key(self) -> str:
+        """Trace key this cell's stream lives under."""
+        sensitive = APPLICATIONS[self.app].stream_depends_on_line_size(
+            Variant(self.variant)
+        )
+        return trace_key(
+            self.app,
+            self.variant,
+            self.scale,
+            self.seed,
+            self.line_size if sensitive else None,
+        )
+
+    def config(self):
+        from repro.experiments.config import experiment_config
+
+        return experiment_config(self.line_size)
+
+
+def run_task(
+    task: SweepTask,
+    store: ArtifactStore | None = None,
+    traces: dict[str, Trace] | None = None,
+) -> tuple[AppResult, str]:
+    """Obtain one cell's result; returns ``(result, how)``.
+
+    ``how`` is ``"captured"``, ``"replayed"``, or ``"cached"`` --
+    diagnostics for progress logging and the tests.  ``traces`` is an
+    optional in-process trace cache (keyed like the store) consulted
+    before, and populated after, any store access.
+    """
+    config = task.config()
+    key = task.key()
+    trace = traces.get(key) if traces is not None else None
+    if trace is None and store is not None:
+        trace = store.load_trace(key)
+    if trace is None:
+        trace, result = capture_trace(
+            task.app, Variant(task.variant), config, task.scale, task.seed
+        )
+        if traces is not None:
+            traces[key] = trace
+        if store is not None:
+            store.save_trace(key, trace)
+            store.save_result(
+                trace.content_hash, config_fingerprint(config), result
+            )
+        return result, "captured"
+    if traces is not None and key not in traces:
+        traces[key] = trace
+    fingerprint = config_fingerprint(config)
+    if store is not None:
+        cached = store.load_result(trace.content_hash, fingerprint)
+        if cached is not None:
+            return cached, "cached"
+    result = replay_trace(trace, config)
+    if store is not None:
+        store.save_result(trace.content_hash, fingerprint, result)
+    return result, "replayed"
+
+
+def _worker(task: SweepTask, store_root: str) -> tuple[SweepTask, AppResult, str]:
+    """Process-pool entry point (module level, hence picklable)."""
+    result, how = run_task(task, ArtifactStore(store_root))
+    return task, result, how
+
+
+def execute_sweep(
+    tasks: list[SweepTask],
+    store: ArtifactStore,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> dict[SweepTask, tuple[AppResult, str]]:
+    """Run every task; returns ``{task: (result, how)}``.
+
+    The store is required (workers coordinate through it); callers that
+    want a throwaway sweep point it at a temporary directory.
+    """
+    results: dict[SweepTask, tuple[AppResult, str]] = {}
+    if jobs <= 1 or len(tasks) <= 1:
+        traces: dict[str, Trace] = {}
+        for task in tasks:
+            results[task] = run_task(task, store, traces)
+            if verbose:
+                _log_progress(task, results[task])
+        return results
+
+    # Phase 1: capture each missing trace exactly once, in parallel.
+    representatives: dict[str, SweepTask] = {}
+    for task in tasks:
+        representatives.setdefault(task.key(), task)
+    to_capture = [
+        task for key, task in representatives.items() if not store.has_trace(key)
+    ]
+    remaining = set(tasks)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        if to_capture:
+            futures = [
+                pool.submit(_worker, task, str(store.root))
+                for task in to_capture
+            ]
+            for future in as_completed(futures):
+                task, result, how = future.result()
+                results[task] = (result, how)
+                remaining.discard(task)
+                if verbose:
+                    _log_progress(task, results[task])
+        # Phase 2: replay (or fetch) every remaining cell in parallel.
+        futures = [
+            pool.submit(_worker, task, str(store.root)) for task in remaining
+        ]
+        for future in as_completed(futures):
+            task, result, how = future.result()
+            results[task] = (result, how)
+            if verbose:
+                _log_progress(task, results[task])
+    return results
+
+
+def _log_progress(task: SweepTask, outcome: tuple[AppResult, str]) -> None:
+    result, how = outcome
+    _log.info(
+        "  %-8s %-10s %-4s line=%-3d cycles=%12.0f",
+        how,
+        task.app,
+        task.variant,
+        task.line_size,
+        result.stats.cycles,
+    )

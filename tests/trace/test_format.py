@@ -1,0 +1,269 @@
+"""Property and validation tests for the binary trace format.
+
+The encoder under test is the *recorder* (whose LEB128/zigzag loops are
+inlined for speed); the decoder is :meth:`Trace.events`, the readable
+reference.  The round-trip property pins the two to each other over
+arbitrary event streams, and the validation tests cover every rejection
+path of :meth:`Trace.from_bytes`.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace import FORMAT_VERSION, Trace, TraceFormatError, TraceRecorder
+from repro.trace import events as ev
+from repro.trace.format import (
+    MAGIC,
+    append_svarint,
+    append_uvarint,
+    read_uvarint,
+    unzigzag,
+    zigzag,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 48) - 1)
+signed_words = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+sizes = st.sampled_from([1, 2, 4, 8])
+
+
+class TestVarints:
+    @given(value=st.integers(min_value=0, max_value=1 << 70))
+    @settings(max_examples=80, deadline=None)
+    def test_uvarint_roundtrip(self, value):
+        out = bytearray()
+        append_uvarint(out, value)
+        decoded, offset = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    @given(value=st.integers(min_value=-(1 << 69), max_value=1 << 69))
+    @settings(max_examples=80, deadline=None)
+    def test_zigzag_roundtrip(self, value):
+        assert unzigzag(zigzag(value)) == value
+        assert zigzag(value) >= 0
+
+    @given(value=st.integers(min_value=-(1 << 40), max_value=1 << 40))
+    @settings(max_examples=40, deadline=None)
+    def test_svarint_roundtrip(self, value):
+        out = bytearray()
+        append_svarint(out, value)
+        decoded, _ = read_uvarint(bytes(out), 0)
+        assert unzigzag(decoded) == value
+
+    def test_uvarint_rejects_negative(self):
+        with pytest.raises(ValueError):
+            append_uvarint(bytearray(), -1)
+
+    def test_truncated_varint(self):
+        with pytest.raises(TraceFormatError):
+            read_uvarint(b"\x80\x80", 0)
+
+
+@st.composite
+def event_streams(draw):
+    """A legal event sequence (pool allocs only into existing pools)."""
+    events = []
+    pool_count = 0
+    n = draw(st.integers(min_value=0, max_value=40))
+    for _ in range(n):
+        kinds = [
+            ev.LOAD, ev.STORE, ev.EXECUTE, ev.PREFETCH, ev.READ_FBIT,
+            ev.UNF_READ, ev.UNF_WRITE, ev.MALLOC, ev.FREE, ev.CREATE_POOL,
+            ev.RAW_WRITE, ev.NOTE_RELOC, ev.NOTE_OPT, ev.SET_TRAP,
+        ]
+        if pool_count:
+            kinds.append(ev.POOL_ALLOC)
+        kind = draw(st.sampled_from(kinds))
+        if kind == ev.LOAD:
+            events.append((kind, draw(addresses), draw(sizes)))
+        elif kind == ev.STORE:
+            events.append((kind, draw(addresses), draw(signed_words), draw(sizes)))
+        elif kind == ev.EXECUTE:
+            events.append((kind, draw(st.integers(0, 1 << 20))))
+        elif kind == ev.PREFETCH:
+            events.append((kind, draw(addresses), draw(st.integers(1, 8))))
+        elif kind in (ev.READ_FBIT, ev.UNF_READ, ev.FREE):
+            events.append((kind, draw(addresses)))
+        elif kind == ev.UNF_WRITE:
+            events.append(
+                (kind, draw(addresses), draw(signed_words), draw(st.integers(0, 1)))
+            )
+        elif kind == ev.MALLOC:
+            events.append(
+                (kind, draw(st.integers(0, 1 << 24)), draw(sizes), draw(addresses))
+            )
+        elif kind == ev.CREATE_POOL:
+            events.append((kind, draw(st.integers(0, 1 << 24))))
+            pool_count += 1
+        elif kind == ev.POOL_ALLOC:
+            events.append((
+                kind,
+                draw(st.integers(0, pool_count - 1)),
+                draw(st.integers(0, 1 << 24)),
+                draw(sizes),
+                draw(addresses),
+            ))
+        elif kind == ev.RAW_WRITE:
+            events.append((kind, draw(addresses), draw(signed_words)))
+        elif kind == ev.NOTE_RELOC:
+            events.append((kind, draw(st.integers(0, 1000)), draw(st.integers(0, 1000))))
+        elif kind == ev.NOTE_OPT:
+            events.append((kind,))
+        else:
+            events.append((kind, draw(st.integers(0, 1))))
+    return events
+
+
+def _record(events):
+    """Feed an event list through the recorder; returns the Trace."""
+    recorder = TraceRecorder()
+    for event in events:
+        kind = event[0]
+        if kind == ev.LOAD:
+            recorder.on_load(event[1], event[2])
+        elif kind == ev.STORE:
+            recorder.on_store(event[1], event[2], event[3])
+        elif kind == ev.EXECUTE:
+            recorder.on_execute(event[1])
+        elif kind == ev.PREFETCH:
+            recorder.on_prefetch(event[1], event[2])
+        elif kind == ev.READ_FBIT:
+            recorder.on_read_fbit(event[1])
+        elif kind == ev.UNF_READ:
+            recorder.on_unforwarded_read(event[1])
+        elif kind == ev.UNF_WRITE:
+            recorder.on_unforwarded_write(event[1], event[2], event[3])
+        elif kind == ev.MALLOC:
+            recorder.on_malloc(event[1], event[2], event[3])
+        elif kind == ev.FREE:
+            recorder.on_free(event[1])
+        elif kind == ev.CREATE_POOL:
+            recorder.on_create_pool(len(recorder.pool_names), event[1], "p")
+        elif kind == ev.POOL_ALLOC:
+            recorder.on_pool_alloc(event[1], event[2], event[3], event[4])
+        elif kind == ev.RAW_WRITE:
+            recorder.on_raw_write(event[1], event[2])
+        elif kind == ev.NOTE_RELOC:
+            recorder.on_note_relocation(event[1], event[2])
+        elif kind == ev.NOTE_OPT:
+            recorder.on_note_optimizer()
+        else:
+            recorder.on_set_trap(bool(event[1]))
+    return Trace(
+        app="synthetic",
+        variant="N",
+        scale=1.0,
+        seed=7,
+        line_size=32,
+        line_size_sensitive=False,
+        checksum=123,
+        extras={"k": 1},
+        captured_stats={"forwarding_hops": 0},
+        pool_names=list(recorder.pool_names),
+        event_count=recorder.event_count,
+        payload=bytes(recorder.payload),
+    )
+
+
+def _valid_trace():
+    return _record([
+        (ev.LOAD, 0x10000, 8),
+        (ev.STORE, 0x10008, -5, 4),
+        (ev.EXECUTE, 12),
+        (ev.UNF_WRITE, 0x10000, 0x20000, 1),
+        (ev.FREE, 0x10000),
+    ])
+
+
+class TestRoundTrip:
+    @given(events=event_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_identity(self, events):
+        trace = _record(events)
+        assert list(trace.events()) == [tuple(event) for event in events]
+
+    @given(events=event_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_roundtrip(self, events):
+        trace = _record(events)
+        clone = Trace.from_bytes(trace.to_bytes())
+        assert clone == trace
+        assert clone.content_hash == trace.content_hash
+        assert list(clone.events()) == list(trace.events())
+
+    def test_save_load(self, tmp_path):
+        trace = _valid_trace()
+        path = tmp_path / "t.rtrc"
+        trace.save(path)
+        assert Trace.load(path) == trace
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError, match="magic"):
+            Trace.from_bytes(b"NOPE" + _valid_trace().to_bytes()[4:])
+
+    def test_unsupported_version(self):
+        data = bytearray(_valid_trace().to_bytes())
+        data[len(MAGIC)] = FORMAT_VERSION + 1
+        with pytest.raises(TraceFormatError, match="version"):
+            Trace.from_bytes(bytes(data))
+
+    def test_truncated_payload(self):
+        data = _valid_trace().to_bytes()
+        with pytest.raises(TraceFormatError, match="truncated trace payload"):
+            Trace.from_bytes(data[:-3])
+
+    def test_payload_corruption_detected(self):
+        data = bytearray(_valid_trace().to_bytes())
+        data[-1] ^= 0xFF
+        with pytest.raises(TraceFormatError, match="hash mismatch"):
+            Trace.from_bytes(bytes(data))
+
+    def test_missing_header_field(self):
+        trace = _valid_trace()
+        header = trace.header_dict()
+        del header["event_count"]
+        blob = json.dumps(header, sort_keys=True).encode()
+        out = bytearray(MAGIC)
+        out.append(FORMAT_VERSION)
+        append_uvarint(out, len(blob))
+        out += blob
+        out += trace.payload
+        with pytest.raises(TraceFormatError, match="missing fields"):
+            Trace.from_bytes(bytes(out))
+
+    def test_corrupt_header_json(self):
+        out = bytearray(MAGIC)
+        out.append(FORMAT_VERSION)
+        append_uvarint(out, 4)
+        out += b"{{{{"
+        with pytest.raises(TraceFormatError, match="corrupt trace header"):
+            Trace.from_bytes(bytes(out))
+
+    def test_unknown_opcode_rejected(self):
+        trace = _valid_trace()
+        trace.payload = bytes([99])
+        trace.event_count = 1
+        with pytest.raises(TraceFormatError, match="unknown opcode"):
+            list(trace.events())
+
+    def test_truncated_event_stream(self):
+        trace = _valid_trace()
+        trace.payload = bytes([ev.LOAD, 0x80])  # varint promises more bytes
+        trace.event_count = 1
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(trace.events())
+
+    def test_event_count_mismatch(self):
+        trace = _valid_trace()
+        trace.event_count += 1
+        with pytest.raises(TraceFormatError, match="event count mismatch"):
+            list(trace.events())
+
+    def test_pool_created_out_of_order(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError, match="out of order"):
+            recorder.on_create_pool(3, 64, "late")

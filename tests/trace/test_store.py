@@ -1,0 +1,79 @@
+"""The on-disk artifact store: keys, round-trips, corruption handling."""
+
+from dataclasses import replace
+
+from repro.apps.base import Variant
+from repro.experiments.config import experiment_config
+from repro.trace import (
+    ArtifactStore,
+    capture_trace,
+    config_fingerprint,
+    trace_key,
+)
+
+
+class TestKeys:
+    def test_trace_key_is_stable(self):
+        assert trace_key("mst", "N", 0.5, 1, None) == trace_key(
+            "mst", "N", 0.5, 1, None
+        )
+
+    def test_trace_key_separates_identities(self):
+        base = trace_key("mst", "N", 0.5, 1, None)
+        assert trace_key("health", "N", 0.5, 1, None) != base
+        assert trace_key("mst", "L", 0.5, 1, None) != base
+        assert trace_key("mst", "N", 0.25, 1, None) != base
+        assert trace_key("mst", "N", 0.5, 2, None) != base
+        assert trace_key("mst", "N", 0.5, 1, 64) != base
+
+    def test_config_fingerprint_tracks_every_field(self):
+        config = experiment_config(64)
+        assert config_fingerprint(config) == config_fingerprint(
+            experiment_config(64)
+        )
+        assert config_fingerprint(config) != config_fingerprint(
+            experiment_config(32)
+        )
+        tweaked = replace(config, speculation_window=config.speculation_window + 1)
+        assert config_fingerprint(tweaked) != config_fingerprint(config)
+
+
+class TestStore:
+    def test_trace_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        trace, _ = capture_trace(
+            "mst", Variant.N, experiment_config(64), 0.05, seed=1
+        )
+        key = trace_key("mst", "N", 0.05, 1, None)
+        assert store.load_trace(key) is None
+        store.save_trace(key, trace)
+        assert store.has_trace(key)
+        assert store.load_trace(key) == trace
+
+    def test_corrupt_trace_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = trace_key("mst", "N", 0.05, 1, None)
+        store.trace_path(key).write_bytes(b"not a trace at all")
+        assert store.load_trace(key) is None
+
+    def test_result_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = experiment_config(64)
+        trace, result = capture_trace(
+            "mst", Variant.N, config, 0.05, seed=1
+        )
+        fingerprint = config_fingerprint(config)
+        assert store.load_result(trace.content_hash, fingerprint) is None
+        store.save_result(trace.content_hash, fingerprint, result)
+        loaded = store.load_result(trace.content_hash, fingerprint)
+        assert loaded is not None
+        assert loaded.app == result.app
+        assert loaded.variant == result.variant
+        assert loaded.checksum == result.checksum
+        assert loaded.extras == result.extras
+        assert loaded.stats.dump() == result.stats.dump()
+
+    def test_corrupt_result_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.result_path("a" * 64, "b" * 64).write_text("{]")
+        assert store.load_result("a" * 64, "b" * 64) is None

@@ -1,0 +1,77 @@
+"""Sweep execution: capture-once-replay-many, caching, and sharding."""
+
+import pytest
+
+from repro.trace import ArtifactStore, SweepTask, execute_sweep, run_task
+
+SCALE = 0.05
+
+
+def _tiny_matrix():
+    return [
+        SweepTask(app, variant, line_size, SCALE, 1)
+        for app in ("health", "mst")
+        for variant in ("N", "L")
+        for line_size in (32, 128)
+    ]
+
+
+def test_run_task_capture_then_cache(tmp_path):
+    store = ArtifactStore(tmp_path)
+    task = SweepTask("mst", "N", 64, SCALE, 1)
+    first, how_first = run_task(task, store)
+    assert how_first == "captured"
+    second, how_second = run_task(task, store)
+    assert how_second == "cached"
+    assert second.stats.dump() == first.stats.dump()
+
+
+def test_run_task_replays_shared_trace(tmp_path):
+    """Line-size-insensitive cells share one trace across line sizes."""
+    store = ArtifactStore(tmp_path)
+    base = SweepTask("mst", "N", 64, SCALE, 1)
+    other = SweepTask("mst", "N", 32, SCALE, 1)
+    assert base.key() == other.key()
+    _, how = run_task(base, store)
+    assert how == "captured"
+    _, how = run_task(other, store)
+    assert how == "replayed"
+
+
+def test_in_process_trace_cache_skips_store(tmp_path):
+    traces = {}
+    task = SweepTask("mst", "N", 64, SCALE, 1)
+    _, how = run_task(task, store=None, traces=traces)
+    assert how == "captured"
+    assert task.key() in traces
+    _, how = run_task(
+        SweepTask("mst", "N", 32, SCALE, 1), store=None, traces=traces
+    )
+    assert how == "replayed"
+
+
+def test_execute_sweep_serial(tmp_path):
+    store = ArtifactStore(tmp_path)
+    tasks = _tiny_matrix()
+    results = execute_sweep(tasks, store)
+    assert set(results) == set(tasks)
+    captures = [how for _, how in results.values() if how == "captured"]
+    # 2 apps x 2 variants: one capture per workload identity.
+    assert len(captures) == 4
+    # Second invocation over the warm store touches no simulator at all.
+    warm = execute_sweep(tasks, ArtifactStore(tmp_path))
+    assert all(how == "cached" for _, how in warm.values())
+    for task in tasks:
+        assert warm[task][0].stats.dump() == results[task][0].stats.dump()
+
+
+def test_execute_sweep_parallel_matches_serial(tmp_path):
+    tasks = _tiny_matrix()
+    serial = execute_sweep(tasks, ArtifactStore(tmp_path / "serial"))
+    parallel = execute_sweep(
+        tasks, ArtifactStore(tmp_path / "parallel"), jobs=2
+    )
+    for task in tasks:
+        assert (
+            parallel[task][0].stats.dump() == serial[task][0].stats.dump()
+        )
