@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Hot-path benchmark harness for the simulator kernel (PR 2).
+
+Times the end-to-end Figure 5 sweep (42 cells, direct mode -- no trace
+cache) plus per-layer microbenchmarks of the structures the fused fast
+path touches, and writes the results to ``BENCH_PR2.json`` next to this
+file (override with ``--out``).
+
+The pinned baseline below was measured at the pre-PR commit on the same
+machine that produced the committed ``BENCH_PR2.json``; ``speedup``
+fields compare against it and are only meaningful at ``--scale 1.0`` on
+comparable hardware.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--scale S]
+        [--out FILE] [--skip-sweep] [--skip-micro]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.apps import FIGURE5_APPS, Variant, get_application
+from repro.cache.cache import Cache
+from repro.core.machine import Machine, MachineConfig
+from repro.cpu.timing import TimingModel
+from repro.experiments.config import APP_SEEDS, experiment_config, line_sizes_for
+from repro.trace.recorder import capture_trace
+from repro.trace.replay import replay_trace
+
+#: Pre-PR measurement of the same 42-cell sweep at scale 1.0 (direct
+#: mode, single process) on the machine that produced the committed
+#: BENCH_PR2.json.  Re-pin when re-baselining on different hardware.
+BASELINE = {
+    "commit": "1222d6e",
+    "scale": 1.0,
+    "cells": 42,
+    "seconds": 48.167,
+    "refs": 9047230,
+    "refs_per_sec": 187832,
+    "cells_per_sec": 0.872,
+}
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the Figure 5 sweep, direct mode
+# ----------------------------------------------------------------------
+def bench_sweep(scale: float, verbose: bool = True) -> dict:
+    """Run all 42 Figure 5 cells directly and time them."""
+    cells = 0
+    refs = 0
+    started = time.perf_counter()
+    for app_name in FIGURE5_APPS:
+        for line_size in line_sizes_for(app_name):
+            config = experiment_config(line_size)
+            for variant in (Variant.N, Variant.L):
+                app = get_application(
+                    app_name, scale=scale, seed=APP_SEEDS[app_name]
+                )
+                result = app.run(variant, config)
+                refs += result.stats.loads.count + result.stats.stores.count
+                cells += 1
+                if verbose:
+                    print(
+                        f"  {app_name:10s} {line_size:4d}B {variant.value}  "
+                        f"({time.perf_counter() - started:7.1f}s elapsed)",
+                        file=sys.stderr,
+                    )
+    seconds = time.perf_counter() - started
+    out = {
+        "scale": scale,
+        "cells": cells,
+        "seconds": round(seconds, 3),
+        "refs": refs,
+        "refs_per_sec": int(refs / seconds),
+        "cells_per_sec": round(cells / seconds, 3),
+    }
+    if scale == BASELINE["scale"]:
+        out["speedup_vs_baseline"] = round(BASELINE["seconds"] / seconds, 2)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Per-layer microbenchmarks
+# ----------------------------------------------------------------------
+def bench_cache(iterations: int = 2_000_000) -> dict:
+    """Raw Cache.lookup throughput: hits over a resident working set."""
+    cache = Cache(size=4 * 1024, line_size=32, associativity=2)
+    lines = [index * 32 for index in range(64)]
+    for address in lines:
+        cache.fill(address)
+    lookup = cache.lookup
+    nlines = len(lines)
+    started = time.perf_counter()
+    for index in range(iterations):
+        lookup(lines[index % nlines], False)
+    seconds = time.perf_counter() - started
+    return {"iterations": iterations, "lookups_per_sec": int(iterations / seconds)}
+
+
+def bench_timing(iterations: int = 2_000_000) -> dict:
+    """TimingModel.execute throughput (the per-instruction cost floor)."""
+    timing = TimingModel()
+    execute = timing.execute
+    started = time.perf_counter()
+    for _ in range(iterations):
+        execute(1)
+    seconds = time.perf_counter() - started
+    return {"iterations": iterations, "executes_per_sec": int(iterations / seconds)}
+
+
+def bench_machine(iterations: int = 500_000) -> dict:
+    """Machine.load/store round trips over a small resident array."""
+    machine = Machine(MachineConfig())
+    base = machine.malloc(4096)
+    words = [base + offset for offset in range(0, 4096, 8)]
+    nwords = len(words)
+    load = machine.load
+    store = machine.store
+    started = time.perf_counter()
+    for index in range(iterations):
+        address = words[index % nwords]
+        store(address, index)
+        load(address)
+    seconds = time.perf_counter() - started
+    return {
+        "iterations": iterations,
+        "refs_per_sec": int(2 * iterations / seconds),
+    }
+
+
+def bench_replay(scale: float = 0.3) -> dict:
+    """Trace replay throughput (events/sec) on a captured health run."""
+    trace, _ = capture_trace(
+        "health",
+        Variant.N,
+        experiment_config(32),
+        scale=scale,
+        seed=APP_SEEDS["health"],
+    )
+    replay_trace(trace, experiment_config(64))  # warm the resolved stream
+    started = time.perf_counter()
+    replay_trace(trace, experiment_config(128))
+    seconds = time.perf_counter() - started
+    return {
+        "events": trace.event_count,
+        "events_per_sec": int(trace.event_count / seconds),
+    }
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="sweep workload scale (default 1.0)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="output JSON path (default BENCH_PR2.json "
+                             "next to this script)")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the end-to-end Figure 5 sweep")
+    parser.add_argument("--skip-micro", action="store_true",
+                        help="skip the per-layer microbenchmarks")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress on stderr")
+    args = parser.parse_args(argv)
+
+    report: dict = {
+        "bench": "PR2 hot-path kernel",
+        "python": sys.version.split()[0],
+        "baseline": BASELINE,
+    }
+    if not args.skip_sweep:
+        print(f"== Figure 5 sweep (scale {args.scale}) ==", file=sys.stderr)
+        report["sweep"] = bench_sweep(args.scale, verbose=not args.quiet)
+    if not args.skip_micro:
+        print("== microbenchmarks ==", file=sys.stderr)
+        report["micro"] = {
+            "cache_lookup": bench_cache(),
+            "timing_execute": bench_timing(),
+            "machine_load_store": bench_machine(),
+            "trace_replay": bench_replay(),
+        }
+
+    out_path = Path(args.out) if args.out else Path(__file__).parent / "BENCH_PR2.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {out_path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

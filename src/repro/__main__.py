@@ -92,11 +92,23 @@ def main(argv: list[str] | None = None) -> int:
         help="ignore the on-disk cache entirely (capture-once-replay-many "
              "still applies within this invocation)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and dump the hottest functions "
+             "(by cumulative time) to stderr when done",
+    )
     args = parser.parse_args(argv)
     artifacts = args.artifacts or list(_ALL)
     unknown = [name for name in artifacts if name not in _ALL]
     if unknown:
         parser.error(f"unknown artifact(s) {unknown}; choose from {list(_ALL)}")
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
 
     runner = ExperimentRunner(
         scale=args.scale,
@@ -126,6 +138,12 @@ def main(argv: list[str] | None = None) -> int:
             print(_run_extension(artifact))
         print()
     print(f"done in {time.time() - started:.0f}s")
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(40)
     return 0
 
 

@@ -7,20 +7,45 @@ which lines are present, their dirty bits, and replacement.
 Line size is a constructor parameter because the paper's central
 experiments (Figures 5 and 6) sweep it: layout optimizations pay off
 *more* as lines get longer, which is the headline shape to reproduce.
+
+Representation
+--------------
+Set state lives in preallocated flat arrays rather than per-set Python
+lists: one ``array('q')`` of line tags and one ``bytearray`` of dirty
+bits, both indexed by ``set_index * associativity + slot``, plus a
+``bytearray`` of per-set occupancy counts.  Within a set's segment the
+*slot position is the replacement order* -- slot 0 is the most recently
+used (or most recently filled, for FIFO/random) line and the last
+occupied slot is the victim.  This is exactly the MRU-to-LRU list order
+the previous list-of-lists representation maintained, so hit/miss and
+eviction behaviour is bit-for-bit identical, but probes touch one
+contiguous array segment and never allocate.
+
+Replacement is inlined (no per-access policy-object dispatch): LRU
+moves the hit slot to the front of its segment, FIFO and random leave
+hit order alone, and random picks its victim with the same deterministic
+xorshift sequence as :class:`repro.cache.replacement.PseudoRandomPolicy`.
+That module remains the readable reference semantics of the three
+policies; this module is their hot representation.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
-from repro.cache.replacement import ReplacementPolicy, make_policy
+# Inlined replacement modes (see repro.cache.replacement for semantics).
+_LRU = 0
+_FIFO = 1
+_RANDOM = 2
+_MODES = {"lru": _LRU, "fifo": _FIFO, "random": _RANDOM}
 
-# Entry slots (entries are small mutable lists for speed).
-_TAG = 0
-_DIRTY = 1
+#: Seed of the deterministic xorshift victim sequence; identical to
+#: ``PseudoRandomPolicy``'s default so simulations stay reproducible.
+_RANDOM_SEED = 0x9E3779B9
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictedLine:
     """Description of a line pushed out of the cache by a fill."""
 
@@ -28,7 +53,7 @@ class EvictedLine:
     dirty: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-level hit/miss counters, split by access type."""
 
@@ -77,6 +102,23 @@ class Cache:
         Label used in stats reporting (e.g. ``"L1D"``).
     """
 
+    __slots__ = (
+        "name",
+        "size",
+        "line_size",
+        "associativity",
+        "num_sets",
+        "line_shift",
+        "policy",
+        "stats",
+        "_set_mask",
+        "_mode",
+        "_rng_state",
+        "_tags",
+        "_dirty",
+        "_set_len",
+    )
+
     def __init__(
         self,
         size: int,
@@ -94,15 +136,25 @@ class Cache:
             raise ValueError(
                 f"associativity {associativity} does not divide {lines} lines"
             )
+        mode = _MODES.get(policy)
+        if mode is None:
+            raise ValueError(
+                f"unknown replacement policy {policy!r}; "
+                f"choose from {sorted(_MODES)}"
+            )
         self.name = name
         self.size = size
         self.line_size = line_size
         self.associativity = associativity
         self.num_sets = lines // associativity
         self.line_shift = line_size.bit_length() - 1
+        self.policy = policy
         self._set_mask = self.num_sets - 1
-        self._sets: list[list[list]] = [[] for _ in range(self.num_sets)]
-        self._policy: ReplacementPolicy = make_policy(policy)
+        self._mode = mode
+        self._rng_state = _RANDOM_SEED
+        self._tags = array("q", bytes(8 * lines))
+        self._dirty = bytearray(lines)
+        self._set_len = bytearray(self.num_sets)
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -113,13 +165,26 @@ class Cache:
     def lookup(self, address: int, is_write: bool) -> bool:
         """Probe the cache; returns True on hit and updates recency/dirty."""
         line = address >> self.line_shift
-        cache_set = self._sets[line & self._set_mask]
-        for index, entry in enumerate(cache_set):
-            if entry[_TAG] == line:
-                self._policy.on_hit(cache_set, index)
+        set_index = line & self._set_mask
+        assoc = self.associativity
+        base = set_index * assoc
+        tags = self._tags
+        for slot in range(base, base + self._set_len[set_index]):
+            if tags[slot] == line:
+                if slot != base and self._mode == _LRU:
+                    # Element-wise shift: sets are a handful of ways, so
+                    # moving slots one by one beats slice assignment
+                    # (which allocates temporaries).
+                    dirty = self._dirty
+                    d = dirty[slot]
+                    while slot > base:
+                        tags[slot] = tags[slot - 1]
+                        dirty[slot] = dirty[slot - 1]
+                        slot -= 1
+                    tags[base] = line
+                    dirty[base] = d
                 if is_write:
-                    entry[_DIRTY] = True
-                if is_write:
+                    self._dirty[slot] = 1
                     self.stats.store_hits += 1
                 else:
                     self.stats.load_hits += 1
@@ -133,8 +198,13 @@ class Cache:
     def contains(self, address: int) -> bool:
         """Non-destructive probe (no stats, no recency update)."""
         line = address >> self.line_shift
-        cache_set = self._sets[line & self._set_mask]
-        return any(entry[_TAG] == line for entry in cache_set)
+        set_index = line & self._set_mask
+        base = set_index * self.associativity
+        tags = self._tags
+        for slot in range(base, base + self._set_len[set_index]):
+            if tags[slot] == line:
+                return True
+        return False
 
     def fill(self, address: int, dirty: bool = False) -> EvictedLine | None:
         """Bring the line holding ``address`` into the cache.
@@ -144,33 +214,82 @@ class Cache:
         its dirty bit.
         """
         line = address >> self.line_shift
-        cache_set = self._sets[line & self._set_mask]
-        for index, entry in enumerate(cache_set):
-            if entry[_TAG] == line:
-                self._policy.on_hit(cache_set, index)
+        set_index = line & self._set_mask
+        assoc = self.associativity
+        base = set_index * assoc
+        tags = self._tags
+        dirty_bits = self._dirty
+        n = self._set_len[set_index]
+        for slot in range(base, base + n):
+            if tags[slot] == line:
+                if slot != base and self._mode == _LRU:
+                    d = dirty_bits[slot]
+                    while slot > base:
+                        tags[slot] = tags[slot - 1]
+                        dirty_bits[slot] = dirty_bits[slot - 1]
+                        slot -= 1
+                    tags[base] = line
+                    dirty_bits[base] = d
+                    slot = base
                 if dirty:
-                    entry[_DIRTY] = True
+                    dirty_bits[slot] = 1
                 return None
         evicted = None
-        if len(cache_set) >= self.associativity:
-            victim = cache_set.pop(self._policy.victim_index(cache_set))
+        if n >= assoc:
+            # Full set: evict.  LRU and FIFO both take the last slot (the
+            # oldest, since fills insert at the front); random draws a
+            # position from the deterministic xorshift stream.
+            if self._mode == _RANDOM:
+                state = self._rng_state
+                state ^= (state << 13) & 0xFFFFFFFF
+                state ^= state >> 17
+                state ^= (state << 5) & 0xFFFFFFFF
+                self._rng_state = state
+                victim = base + state % n
+            else:
+                victim = base + n - 1
+            victim_dirty = dirty_bits[victim]
             self.stats.evictions += 1
-            if victim[_DIRTY]:
+            if victim_dirty:
                 self.stats.dirty_evictions += 1
-            evicted = EvictedLine(victim[_TAG] << self.line_shift, bool(victim[_DIRTY]))
-        self._policy.on_fill(cache_set, [line, dirty])
+            evicted = EvictedLine(tags[victim] << self.line_shift, bool(victim_dirty))
+            # Remove the victim, then insert the new line at the front:
+            # slots before the victim shift down one place.
+            slot = victim
+            while slot > base:
+                tags[slot] = tags[slot - 1]
+                dirty_bits[slot] = dirty_bits[slot - 1]
+                slot -= 1
+        else:
+            slot = base + n
+            while slot > base:
+                tags[slot] = tags[slot - 1]
+                dirty_bits[slot] = dirty_bits[slot - 1]
+                slot -= 1
+            self._set_len[set_index] = n + 1
+        tags[base] = line
+        dirty_bits[base] = 1 if dirty else 0
         return evicted
 
     def invalidate(self, address: int) -> bool:
         """Drop the line holding ``address``; returns True if it was present."""
         line = address >> self.line_shift
-        cache_set = self._sets[line & self._set_mask]
-        for index, entry in enumerate(cache_set):
-            if entry[_TAG] == line:
-                cache_set.pop(index)
+        set_index = line & self._set_mask
+        base = set_index * self.associativity
+        tags = self._tags
+        n = self._set_len[set_index]
+        for slot in range(base, base + n):
+            if tags[slot] == line:
+                end = base + n - 1
+                dirty_bits = self._dirty
+                while slot < end:
+                    tags[slot] = tags[slot + 1]
+                    dirty_bits[slot] = dirty_bits[slot + 1]
+                    slot += 1
+                self._set_len[set_index] = n - 1
                 return True
         return False
 
     def resident_lines(self) -> int:
         """Number of valid lines currently held (for tests/diagnostics)."""
-        return sum(len(cache_set) for cache_set in self._sets)
+        return sum(self._set_len)

@@ -33,7 +33,7 @@ class AccessKind(Enum):
     PARTIAL = "partial"
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one reference: classification plus absolute ready time."""
 
@@ -93,7 +93,7 @@ class HierarchyConfig:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficStats:
     """Bytes moved across the two off-core interfaces (Figure 6(b))."""
 
@@ -115,7 +115,7 @@ class TrafficStats:
         return self.l1_l2_bytes + self.l2_mem_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class MissClassStats:
     """Full/partial miss counts split by loads and stores (Figure 6(a))."""
 
@@ -135,6 +135,20 @@ class MissClassStats:
 
 class MemoryHierarchy:
     """L1 D-cache + unified L2 + main memory, with MSHR-based combining."""
+
+    __slots__ = (
+        "config",
+        "l1",
+        "l2",
+        "mshr",
+        "traffic",
+        "miss_classes",
+        "prefetch_fills",
+        "prefetch_redundant",
+        "_l2_line_size",
+        "_line_size",
+        "_line_shift",
+    )
 
     def __init__(self, config: HierarchyConfig | None = None) -> None:
         self.config = config or HierarchyConfig()

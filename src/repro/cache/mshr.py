@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHRStats:
     """Counters for miss combining and structural stalls."""
 
@@ -36,19 +36,27 @@ class MSHRFile:
     in the model.
     """
 
+    __slots__ = ("capacity", "_inflight", "_floor", "stats")
+
     def __init__(self, capacity: int = 8) -> None:
         if capacity < 1:
             raise ValueError(f"MSHR capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._inflight: dict[int, float] = {}
+        # Sound lower bound on min(_inflight.values()): entries only leave
+        # the file (raising the true minimum), so the floor stays valid
+        # until an expiry sweep recomputes it exactly.  Lets _expire skip
+        # its scan when no fill can have completed yet.
+        self._floor = float("inf")
         self.stats = MSHRStats()
 
     def _expire(self, now: float) -> None:
         inflight = self._inflight
-        if inflight:
+        if inflight and self._floor <= now:
             done = [line for line, ready in inflight.items() if ready <= now]
             for line in done:
                 del inflight[line]
+            self._floor = min(inflight.values()) if inflight else float("inf")
 
     def lookup(self, line_address: int, now: float) -> float | None:
         """Return the completion time if ``line_address`` is in flight."""
@@ -84,6 +92,8 @@ class MSHRFile:
                     break
         ready = start + latency
         self._inflight[line_address] = ready
+        if ready < self._floor:
+            self._floor = ready
         self.stats.allocations += 1
         return ready
 
@@ -94,3 +104,4 @@ class MSHRFile:
 
     def reset(self) -> None:
         self._inflight.clear()
+        self._floor = float("inf")

@@ -39,7 +39,7 @@ DEFAULT_HOP_LIMIT = 16
 HopCallback = Callable[[int], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class ForwardingStats:
     """Counters describing how often the safety net actually fired."""
 
@@ -84,6 +84,8 @@ class ForwardingEngine:
         Fast hop-counter limit.  Exceeding it triggers the accurate cycle
         check (Section 3.2), not an immediate failure.
     """
+
+    __slots__ = ("memory", "hop_limit", "stats")
 
     def __init__(self, memory: TaggedMemory, hop_limit: int = DEFAULT_HOP_LIMIT) -> None:
         if hop_limit < 1:

@@ -1,0 +1,640 @@
+"""Fused per-reference cost kernel shared by Machine and trace replay.
+
+One simulated data reference on the general path crosses eight Python
+function boundaries (execute, resolve, access, lookup, MSHR, fill,
+completes, speculator) -- and at the reference volumes of the Figure 5
+sweep those call frames, not the arithmetic, dominate wall-clock time.
+:func:`make_reference_kernel` builds two closures, ``load_ref`` and
+``store_ref``, that perform the *entire* cost accounting of one
+unforwarded reference -- instruction graduation, MSHR combining, L1/L2
+probe and fill, writeback traffic, stall attribution, and dependence
+speculation -- in a single function body with every hot object bound to
+a closure variable.  The L1 set is probed exactly once per reference
+and the result is shared by the hit, partial-miss and full-miss arms.
+
+With ``bare=True`` the closures charge the cost of a word-granular
+``Unforwarded_Read``/``Unforwarded_Write``/``Read_FBit`` instead: the
+same hierarchy walk and stall attribution, but no per-reference latency
+statistics, no forwarding-reference count and no dependence-speculation
+bookkeeping -- exactly what the general path's ``execute + access +
+*_completes`` sequence does for those instructions.
+
+The kernel is a pure transcription of the general path, operation for
+operation: every float addition happens in the same order and on the
+same values as the layered code in :mod:`repro.cache.hierarchy`,
+:mod:`repro.cpu.timing` and :mod:`repro.cpu.speculation`, so the
+resulting :class:`~repro.core.stats.MachineStats` are bit-identical.
+``tests/integration/test_fastpath_parity.py`` enforces that contract for
+every application and variant.  The kernel handles only the common case
+its callers gate on: an unforwarded reference (forwarding bit clear) to
+an in-range address.  Observers, forwarding hops, and traps never reach
+it.
+
+Objects that are *replaced* rather than mutated by
+``MemoryHierarchy.reset_stats`` (``traffic``, ``miss_classes``) are
+deliberately re-fetched from the hierarchy on each miss instead of being
+closed over.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: Replacement-mode constants, mirrored from repro.cache.cache.
+_LRU = 0
+_RANDOM = 2
+
+#: Sentinel for "no pending entry" in the MSHR / store-buffer floors.
+_INF = float("inf")
+
+
+def make_reference_kernel(
+    hierarchy,
+    timing,
+    speculator,
+    load_latency,
+    store_latency,
+    forwarding_stats,
+) -> tuple[Callable[..., None], Callable[..., None]]:
+    """Build ``(load_ref, store_ref)`` bound to one set of components.
+
+    Each closure takes a byte address and charges the full cost of one
+    unforwarded load/store against the supplied hierarchy, timing model,
+    speculator (may be ``None``) and latency/forwarding counters; with
+    ``bare=True`` it charges an ``Unforwarded_Read``/``Write`` instead
+    (see module docstring).
+    """
+    cfg = hierarchy.config
+    l1 = hierarchy.l1
+    l2 = hierarchy.l2
+    mshr = hierarchy.mshr
+
+    tags = l1._tags
+    dirty = l1._dirty
+    set_len = l1._set_len
+    l1_stats = l1.stats
+    line_shift = l1.line_shift
+    set_mask = l1._set_mask
+    assoc = l1.associativity
+    l1_mode = l1._mode
+
+    l2_tags = l2._tags
+    l2_dirty = l2._dirty
+    l2_set_len = l2._set_len
+    l2_stats = l2.stats
+    l2_shift = l2.line_shift
+    l2_set_mask = l2._set_mask
+    l2_assoc = l2.associativity
+    l2_mode = l2._mode
+    l2_fill = l2.fill
+
+    inflight = mshr._inflight
+    inflight_get = inflight.get
+    mshr_stats = mshr.stats
+    mshr_capacity = mshr.capacity
+
+    line_size = cfg.line_size
+    l2_line_size = max(cfg.l2_line_size, cfg.line_size)
+    #: L1 lines per L2 line, for the inclusion-invalidation walk.
+    inclusion_count = l2_line_size // line_size
+    l1_hit_latency = cfg.l1_hit_latency
+    # Pure functions of the config; evaluating the properties once gives
+    # the exact floats the general path recomputes per miss.
+    l2_fill_latency = cfg.l2_fill_latency
+    full_miss_latency = cfg.full_miss_latency
+
+    ipc = timing._ipc
+    inst_overhead = timing.config.inst_overhead
+    ooo = timing.config.ooo_window
+    depth = timing.config.store_buffer_depth
+    buffer = timing._store_buffer
+    buffer_append = buffer.append
+    buffer_remove = buffer.remove
+
+    if speculator is not None:
+        spec_stats = speculator.stats
+        by_final = speculator._by_final
+        by_final_get = by_final.get
+        queue = speculator._queue
+        queue_append = queue.append
+        queue_popleft = queue.popleft
+        counts = speculator._counts
+        counts_get = counts.get
+        window = speculator.window
+    else:
+        spec_stats = by_final = by_final_get = None
+        queue = queue_append = queue_popleft = counts = counts_get = None
+        window = 0
+
+    def load_ref(address: int, bare: bool = False) -> None:
+        # TimingModel.execute(1), inlined.
+        timing.instructions += 1
+        cycle = timing.cycle + ipc
+        timing.inst_stall_cycles += inst_overhead
+        cycle += inst_overhead
+        start = cycle
+        line = address >> line_shift
+        # Single L1 probe shared by the hit/partial/full-miss arms
+        # (Cache.lookup, inlined).
+        set_index = line & set_mask
+        base = set_index * assoc
+        n = set_len[set_index]
+        hit = -1
+        if n:
+            # First two ways unrolled (the default L1 is 2-way); deeper
+            # sets fall through to the loop.
+            if tags[base] == line:
+                hit = base
+            elif n > 1:
+                if tags[base + 1] == line:
+                    hit = base + 1
+                else:
+                    for slot in range(base + 2, base + n):
+                        if tags[slot] == line:
+                            hit = slot
+                            break
+        if hit >= 0:
+            if hit != base and l1_mode == _LRU:
+                # Element-wise shift: sets are 2-4 ways, so moving slots
+                # one by one beats slice assignment (which allocates).
+                d = dirty[hit]
+                slot = hit
+                while slot > base:
+                    tags[slot] = tags[slot - 1]
+                    dirty[slot] = dirty[slot - 1]
+                    slot -= 1
+                tags[base] = line
+                dirty[base] = d
+            l1_stats.load_hits += 1
+        # MSHRFile.lookup, inlined (expired entries drop as a side
+        # effect, exactly as in the general path).
+        line_addr = line << line_shift
+        ready = inflight_get(line_addr) if inflight else None
+        if ready is not None and ready <= start:
+            del inflight[line_addr]
+            ready = None
+        if ready is not None:
+            # Partial miss: combine with the outstanding fill.
+            mshr_stats.combines += 1
+            if hit < 0:
+                l1_stats.load_misses += 1
+            hierarchy.miss_classes.load_partial += 1
+        elif hit >= 0:
+            ready = start + l1_hit_latency
+        else:
+            # Full miss: MemoryHierarchy._fill_from_below, inlined.
+            l1_stats.load_misses += 1
+            hierarchy.miss_classes.load_full += 1
+            traffic = hierarchy.traffic
+            l2_line = line_addr >> l2_shift
+            l2_set = l2_line & l2_set_mask
+            l2_base = l2_set * l2_assoc
+            n2 = l2_set_len[l2_set]
+            l2_hit = -1
+            if n2:
+                if l2_tags[l2_base] == l2_line:
+                    l2_hit = l2_base
+                elif n2 > 1:
+                    if l2_tags[l2_base + 1] == l2_line:
+                        l2_hit = l2_base + 1
+                    else:
+                        for slot in range(l2_base + 2, l2_base + n2):
+                            if l2_tags[slot] == l2_line:
+                                l2_hit = slot
+                                break
+            if l2_hit >= 0:
+                if l2_hit != l2_base and l2_mode == _LRU:
+                    d = l2_dirty[l2_hit]
+                    slot = l2_hit
+                    while slot > l2_base:
+                        l2_tags[slot] = l2_tags[slot - 1]
+                        l2_dirty[slot] = l2_dirty[slot - 1]
+                        slot -= 1
+                    l2_tags[l2_base] = l2_line
+                    l2_dirty[l2_base] = d
+                l2_stats.load_hits += 1
+                latency = l2_fill_latency
+            else:
+                l2_stats.load_misses += 1
+                latency = full_miss_latency
+                traffic.l2_mem_fill_bytes += l2_line_size
+                # Cache.fill into L2, inlined; the line is known absent
+                # (the probe above missed) so this is insert-with-evict.
+                if n2 >= l2_assoc:
+                    if l2_mode == _RANDOM:
+                        state = l2._rng_state
+                        state ^= (state << 13) & 0xFFFFFFFF
+                        state ^= state >> 17
+                        state ^= (state << 5) & 0xFFFFFFFF
+                        l2._rng_state = state
+                        victim = l2_base + state % n2
+                    else:
+                        victim = l2_base + n2 - 1
+                    victim_dirty = l2_dirty[victim]
+                    l2_stats.evictions += 1
+                    if victim_dirty:
+                        l2_stats.dirty_evictions += 1
+                    ev_first = l2_tags[victim] << l2_shift >> line_shift
+                    slot = victim
+                    while slot > l2_base:
+                        l2_tags[slot] = l2_tags[slot - 1]
+                        l2_dirty[slot] = l2_dirty[slot - 1]
+                        slot -= 1
+                    l2_tags[l2_base] = l2_line
+                    l2_dirty[l2_base] = 0
+                    # Inclusion: dropping an L2 line drops every L1 line
+                    # it contains (Cache.invalidate, inlined).
+                    for inv_line in range(ev_first, ev_first + inclusion_count):
+                        inv_set = inv_line & set_mask
+                        inv_base = inv_set * assoc
+                        inv_n = set_len[inv_set]
+                        for slot in range(inv_base, inv_base + inv_n):
+                            if tags[slot] == inv_line:
+                                end = inv_base + inv_n - 1
+                                while slot < end:
+                                    tags[slot] = tags[slot + 1]
+                                    dirty[slot] = dirty[slot + 1]
+                                    slot += 1
+                                set_len[inv_set] = inv_n - 1
+                                break
+                    if victim_dirty:
+                        traffic.l2_mem_writeback_bytes += l2_line_size
+                else:
+                    slot = l2_base + n2
+                    while slot > l2_base:
+                        l2_tags[slot] = l2_tags[slot - 1]
+                        l2_dirty[slot] = l2_dirty[slot - 1]
+                        slot -= 1
+                    l2_set_len[l2_set] = n2 + 1
+                    l2_tags[l2_base] = l2_line
+                    l2_dirty[l2_base] = 0
+            traffic.l1_l2_fill_bytes += line_size
+            # Cache.fill into L1, inlined; the line is known absent
+            # (the probe above missed) so this is insert-with-evict.
+            # Re-read the occupancy: the inclusion invalidations may
+            # have touched this very set.
+            n = set_len[set_index]
+            if n >= assoc:
+                if l1_mode == _RANDOM:
+                    state = l1._rng_state
+                    state ^= (state << 13) & 0xFFFFFFFF
+                    state ^= state >> 17
+                    state ^= (state << 5) & 0xFFFFFFFF
+                    l1._rng_state = state
+                    victim = base + state % n
+                else:
+                    victim = base + n - 1
+                victim_dirty = dirty[victim]
+                l1_stats.evictions += 1
+                if victim_dirty:
+                    l1_stats.dirty_evictions += 1
+                ev_addr = tags[victim] << line_shift
+                slot = victim
+                while slot > base:
+                    tags[slot] = tags[slot - 1]
+                    dirty[slot] = dirty[slot - 1]
+                    slot -= 1
+                tags[base] = line
+                dirty[base] = 0
+                if victim_dirty:
+                    # Write-back lands in L2 and dirties it there.
+                    traffic.l1_l2_writeback_bytes += line_size
+                    l2_fill(ev_addr, True)
+            else:
+                slot = base + n
+                while slot > base:
+                    tags[slot] = tags[slot - 1]
+                    dirty[slot] = dirty[slot - 1]
+                    slot -= 1
+                set_len[set_index] = n + 1
+                tags[base] = line
+                dirty[base] = 0
+            # MSHRFile.allocate, inlined.  The floor bound (see
+            # repro.cache.mshr) skips the expiry scan when no fill can
+            # have completed yet.
+            if inflight and mshr._floor <= start:
+                for key in [k for k, r in inflight.items() if r <= start]:
+                    del inflight[key]
+                mshr._floor = min(inflight.values()) if inflight else _INF
+            if len(inflight) >= mshr_capacity:
+                earliest = min(inflight.values())
+                mshr_stats.full_stalls += 1
+                mshr_stats.full_stall_cycles += earliest - start
+                for key, r in list(inflight.items()):
+                    if r == earliest:
+                        del inflight[key]
+                        break
+                ready = earliest + latency
+            else:
+                ready = start + latency
+            inflight[line_addr] = ready
+            if ready < mshr._floor:
+                mshr._floor = ready
+            mshr_stats.allocations += 1
+        # TimingModel.load_completes, inlined.
+        residual = ready - start - ooo
+        if residual > 0.0:
+            timing.load_stall_cycles += residual
+            cycle += residual
+        timing.cycle = cycle
+        if bare:
+            return
+        forwarding_stats.references += 1
+        load_latency.count += 1
+        load_latency.ordinary_cycles += ready - start
+        # DependenceSpeculator.on_load, inlined (final == initial).
+        if spec_stats is not None:
+            spec_stats.loads_checked += 1
+            if by_final:  # empty until the first relocation
+                word = address & ~7
+                store_initial = by_final_get(word)
+                if store_initial is not None and store_initial != word:
+                    spec_stats.misspeculations += 1
+                    timing.misspeculation_flush()
+
+    def store_ref(address: int, bare: bool = False) -> None:
+        # TimingModel.execute(1), inlined.
+        timing.instructions += 1
+        cycle = timing.cycle + ipc
+        timing.inst_stall_cycles += inst_overhead
+        cycle += inst_overhead
+        start = cycle
+        line = address >> line_shift
+        # Single L1 probe shared by the hit/partial/full-miss arms.
+        set_index = line & set_mask
+        base = set_index * assoc
+        n = set_len[set_index]
+        hit = -1
+        if n:
+            # First two ways unrolled (the default L1 is 2-way); deeper
+            # sets fall through to the loop.
+            if tags[base] == line:
+                hit = base
+            elif n > 1:
+                if tags[base + 1] == line:
+                    hit = base + 1
+                else:
+                    for slot in range(base + 2, base + n):
+                        if tags[slot] == line:
+                            hit = slot
+                            break
+        if hit >= 0:
+            if hit != base and l1_mode == _LRU:
+                # Element-wise shift: sets are 2-4 ways, so moving slots
+                # one by one beats slice assignment (which allocates).
+                d = dirty[hit]
+                slot = hit
+                while slot > base:
+                    tags[slot] = tags[slot - 1]
+                    dirty[slot] = dirty[slot - 1]
+                    slot -= 1
+                tags[base] = line
+                dirty[base] = d
+                hit = base
+            dirty[hit] = 1
+            l1_stats.store_hits += 1
+        # MSHRFile.lookup, inlined.
+        line_addr = line << line_shift
+        ready = inflight_get(line_addr) if inflight else None
+        if ready is not None and ready <= start:
+            del inflight[line_addr]
+            ready = None
+        if ready is not None:
+            mshr_stats.combines += 1
+            if hit < 0:
+                l1_stats.store_misses += 1
+            hierarchy.miss_classes.store_partial += 1
+        elif hit >= 0:
+            ready = start + l1_hit_latency
+        else:
+            l1_stats.store_misses += 1
+            hierarchy.miss_classes.store_full += 1
+            traffic = hierarchy.traffic
+            l2_line = line_addr >> l2_shift
+            l2_set = l2_line & l2_set_mask
+            l2_base = l2_set * l2_assoc
+            n2 = l2_set_len[l2_set]
+            l2_hit = -1
+            if n2:
+                if l2_tags[l2_base] == l2_line:
+                    l2_hit = l2_base
+                elif n2 > 1:
+                    if l2_tags[l2_base + 1] == l2_line:
+                        l2_hit = l2_base + 1
+                    else:
+                        for slot in range(l2_base + 2, l2_base + n2):
+                            if l2_tags[slot] == l2_line:
+                                l2_hit = slot
+                                break
+            if l2_hit >= 0:
+                if l2_hit != l2_base and l2_mode == _LRU:
+                    d = l2_dirty[l2_hit]
+                    slot = l2_hit
+                    while slot > l2_base:
+                        l2_tags[slot] = l2_tags[slot - 1]
+                        l2_dirty[slot] = l2_dirty[slot - 1]
+                        slot -= 1
+                    l2_tags[l2_base] = l2_line
+                    l2_dirty[l2_base] = d
+                # Fills probe the L2 as reads regardless of the demand
+                # access type, as in _fill_from_below.
+                l2_stats.load_hits += 1
+                latency = l2_fill_latency
+            else:
+                l2_stats.load_misses += 1
+                latency = full_miss_latency
+                traffic.l2_mem_fill_bytes += l2_line_size
+                # Cache.fill into L2, inlined (fills stay clean: the
+                # demand store dirties only the L1 copy).
+                if n2 >= l2_assoc:
+                    if l2_mode == _RANDOM:
+                        state = l2._rng_state
+                        state ^= (state << 13) & 0xFFFFFFFF
+                        state ^= state >> 17
+                        state ^= (state << 5) & 0xFFFFFFFF
+                        l2._rng_state = state
+                        victim = l2_base + state % n2
+                    else:
+                        victim = l2_base + n2 - 1
+                    victim_dirty = l2_dirty[victim]
+                    l2_stats.evictions += 1
+                    if victim_dirty:
+                        l2_stats.dirty_evictions += 1
+                    ev_first = l2_tags[victim] << l2_shift >> line_shift
+                    slot = victim
+                    while slot > l2_base:
+                        l2_tags[slot] = l2_tags[slot - 1]
+                        l2_dirty[slot] = l2_dirty[slot - 1]
+                        slot -= 1
+                    l2_tags[l2_base] = l2_line
+                    l2_dirty[l2_base] = 0
+                    for inv_line in range(ev_first, ev_first + inclusion_count):
+                        inv_set = inv_line & set_mask
+                        inv_base = inv_set * assoc
+                        inv_n = set_len[inv_set]
+                        for slot in range(inv_base, inv_base + inv_n):
+                            if tags[slot] == inv_line:
+                                end = inv_base + inv_n - 1
+                                while slot < end:
+                                    tags[slot] = tags[slot + 1]
+                                    dirty[slot] = dirty[slot + 1]
+                                    slot += 1
+                                set_len[inv_set] = inv_n - 1
+                                break
+                    if victim_dirty:
+                        traffic.l2_mem_writeback_bytes += l2_line_size
+                else:
+                    slot = l2_base + n2
+                    while slot > l2_base:
+                        l2_tags[slot] = l2_tags[slot - 1]
+                        l2_dirty[slot] = l2_dirty[slot - 1]
+                        slot -= 1
+                    l2_set_len[l2_set] = n2 + 1
+                    l2_tags[l2_base] = l2_line
+                    l2_dirty[l2_base] = 0
+            traffic.l1_l2_fill_bytes += line_size
+            # Cache.fill into L1 (write-allocate: filled dirty).
+            n = set_len[set_index]
+            if n >= assoc:
+                if l1_mode == _RANDOM:
+                    state = l1._rng_state
+                    state ^= (state << 13) & 0xFFFFFFFF
+                    state ^= state >> 17
+                    state ^= (state << 5) & 0xFFFFFFFF
+                    l1._rng_state = state
+                    victim = base + state % n
+                else:
+                    victim = base + n - 1
+                victim_dirty = dirty[victim]
+                l1_stats.evictions += 1
+                if victim_dirty:
+                    l1_stats.dirty_evictions += 1
+                ev_addr = tags[victim] << line_shift
+                slot = victim
+                while slot > base:
+                    tags[slot] = tags[slot - 1]
+                    dirty[slot] = dirty[slot - 1]
+                    slot -= 1
+                tags[base] = line
+                dirty[base] = 1
+                if victim_dirty:
+                    traffic.l1_l2_writeback_bytes += line_size
+                    l2_fill(ev_addr, True)
+            else:
+                slot = base + n
+                while slot > base:
+                    tags[slot] = tags[slot - 1]
+                    dirty[slot] = dirty[slot - 1]
+                    slot -= 1
+                set_len[set_index] = n + 1
+                tags[base] = line
+                dirty[base] = 1
+            # MSHRFile.allocate, inlined.  The floor bound (see
+            # repro.cache.mshr) skips the expiry scan when no fill can
+            # have completed yet.
+            if inflight and mshr._floor <= start:
+                for key in [k for k, r in inflight.items() if r <= start]:
+                    del inflight[key]
+                mshr._floor = min(inflight.values()) if inflight else _INF
+            if len(inflight) >= mshr_capacity:
+                earliest = min(inflight.values())
+                mshr_stats.full_stalls += 1
+                mshr_stats.full_stall_cycles += earliest - start
+                for key, r in list(inflight.items()):
+                    if r == earliest:
+                        del inflight[key]
+                        break
+                ready = earliest + latency
+            else:
+                ready = start + latency
+            inflight[line_addr] = ready
+            if ready < mshr._floor:
+                mshr._floor = ready
+            mshr_stats.allocations += 1
+        # TimingModel.store_completes, inlined.
+        if buffer and timing._store_buffer_floor <= cycle:
+            buffer[:] = [t for t in buffer if t > cycle]
+            timing._store_buffer_floor = min(buffer) if buffer else _INF
+        if len(buffer) >= depth:
+            earliest = min(buffer)
+            stall = earliest - cycle
+            if stall > 0.0:
+                timing.store_stall_cycles += stall
+                cycle += stall
+            buffer_remove(earliest)
+        if ready > cycle:
+            buffer_append(ready)
+            if ready < timing._store_buffer_floor:
+                timing._store_buffer_floor = ready
+        timing.cycle = cycle
+        if bare:
+            return
+        forwarding_stats.references += 1
+        store_latency.count += 1
+        store_latency.ordinary_cycles += ready - start
+        # DependenceSpeculator.on_store, inlined (final == initial).
+        if spec_stats is not None:
+            word = address & ~7
+            spec_stats.stores_tracked += 1
+            queue_append((word, word))
+            by_final[word] = word
+            counts[word] = counts_get(word, 0) + 1
+            if len(queue) > window:
+                old_final, _old_initial = queue_popleft()
+                remaining = counts[old_final] - 1
+                if remaining:
+                    counts[old_final] = remaining
+                else:
+                    del counts[old_final]
+                    del by_final[old_final]
+
+    return load_ref, store_ref
+
+
+def make_machine_ops(machine) -> tuple[Callable[..., int], Callable[..., None]]:
+    """Build the ``machine.load`` / ``machine.store`` entry points.
+
+    These close over the machine's memory arrays and its reference
+    kernel so the common case -- no observer, in-range address,
+    forwarding bit clear -- runs gate, cost kernel and data access
+    without a single intermediate frame.  Every exception case falls
+    back to ``Machine._load_general`` / ``_store_general`` before any
+    state is touched.
+    """
+    memory = machine.memory
+    words = memory._words
+    fbits = memory._fbits
+    nwords = memory._nwords
+    read_data = memory.read_data
+    write_data = memory.write_data
+    kernel_load = machine._kernel_load
+    kernel_store = machine._kernel_store
+    load_general = machine._load_general
+    store_general = machine._store_general
+
+    def load(address: int, size: int = 8) -> int:
+        """Forwarding-aware load of ``size`` bytes; returns the value."""
+        if machine.observer is not None or not machine._fast_enabled:
+            return load_general(address, size)
+        index = address >> 3
+        if index >= nwords or index < 0 or fbits[index]:
+            return load_general(address, size)
+        kernel_load(address)
+        if size == 8 and not (address & 7):
+            return words[index]
+        return read_data(address, size)
+
+    def store(address: int, value: int, size: int = 8) -> None:
+        """Forwarding-aware store of ``size`` bytes."""
+        if machine.observer is not None or not machine._fast_enabled:
+            return store_general(address, value, size)
+        index = address >> 3
+        if index >= nwords or index < 0 or fbits[index]:
+            return store_general(address, value, size)
+        kernel_store(address)
+        if size == 8 and not (address & 7):
+            words[index] = value & 0xFFFFFFFFFFFFFFFF
+            return None
+        return write_data(address, value, size)
+
+    return load, store

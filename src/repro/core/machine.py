@@ -24,7 +24,8 @@ from typing import Callable, Protocol
 from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.core.errors import DoubleFreeError, MemoryAccessError
 from repro.core.forwarding import ForwardingEngine
-from repro.core.memory import TaggedMemory, WORD_SIZE
+from repro.core.hotpath import make_machine_ops, make_reference_kernel
+from repro.core.memory import TaggedMemory, WORD_MASK, WORD_SIZE
 from repro.core.stats import MachineStats, ReferenceLatencyStats, RelocationStats
 from repro.cpu.prefetch import SoftwarePrefetcher
 from repro.cpu.speculation import DependenceSpeculator
@@ -115,6 +116,11 @@ class MachineConfig:
     max_prefetch_block: int = 8
     #: Extra cycles charged to a user-level trap handler invocation.
     user_trap_cycles: float = 10.0
+    #: Use the fused load/store fast path for unforwarded L1 hits.  The
+    #: fast and general paths produce bit-identical statistics (enforced
+    #: by the differential parity tests); this switch exists so those
+    #: tests -- and any future debugging -- can force the general path.
+    fast_path: bool = True
 
     @property
     def memory_size(self) -> int:
@@ -126,7 +132,47 @@ class MachineConfig:
 
 
 class Machine:
-    """A complete simulated system instance."""
+    """A complete simulated system instance.
+
+    Data references run through a **fused fast path**: ``load`` and
+    ``store`` are per-instance closures (built by
+    :func:`repro.core.hotpath.make_machine_ops`) that, when no observer
+    is installed and the referenced word's forwarding bit is clear, run
+    the fbit check, the whole cache/MSHR/timing cost path, and the data
+    access in a single frame over hot state bound to locals.  Every
+    exception case -- an observer, a set forwarding bit, an address out
+    of range -- falls back to the general path
+    (:meth:`_load_general` / :meth:`_store_general`), which remains the
+    readable reference implementation.  The two paths produce
+    bit-identical :class:`MachineStats`; the differential parity tests
+    enforce that invariant across every application and variant.
+    """
+
+    __slots__ = (
+        "load",
+        "store",
+        "config",
+        "memory",
+        "forwarding",
+        "hierarchy",
+        "timing",
+        "heap",
+        "prefetcher",
+        "speculator",
+        "pools",
+        "trap_handler",
+        "observer",
+        "load_latency",
+        "store_latency",
+        "relocation_stats",
+        "_pool_bump",
+        "_pool_limit",
+        "_pool_region_base",
+        "_hop_cycles",
+        "_fast_enabled",
+        "_kernel_load",
+        "_kernel_store",
+    )
 
     def __init__(self, config: MachineConfig | None = None) -> None:
         self.config = config or MachineConfig()
@@ -143,7 +189,8 @@ class Machine:
             else None
         )
         self.pools: list[RelocationPool] = []
-        self._pool_bump = cfg.heap_base + cfg.heap_size
+        self._pool_region_base = cfg.heap_base + cfg.heap_size
+        self._pool_bump = self._pool_region_base
         self._pool_limit = self._pool_bump + cfg.pool_region_size
         self.trap_handler: TrapHandler | None = None
         #: Optional instrumentation hook (see :class:`MachineObserver`).
@@ -154,6 +201,19 @@ class Machine:
         self.relocation_stats = RelocationStats()
         # Scratch accumulator filled by the per-hop callback.
         self._hop_cycles = 0.0
+        self._fast_enabled = cfg.fast_path
+        # Fused per-reference cost kernel (see repro.core.hotpath): all
+        # components it closes over are allocated exactly once above and
+        # only mutated in place for the machine's lifetime.
+        self._kernel_load, self._kernel_store = make_reference_kernel(
+            self.hierarchy,
+            self.timing,
+            self.speculator,
+            self.load_latency,
+            self.store_latency,
+            self.forwarding.stats,
+        )
+        self.load, self.store = make_machine_ops(self)
 
     # ------------------------------------------------------------------
     # Data references (forwarding-aware)
@@ -170,8 +230,8 @@ class Machine:
         timing.load_completes(result.ready, forwarding=True)
         self._hop_cycles += result.ready - start
 
-    def load(self, address: int, size: int = WORD_SIZE) -> int:
-        """Forwarding-aware load of ``size`` bytes; returns the value."""
+    def _load_general(self, address: int, size: int = WORD_SIZE) -> int:
+        """General (reference) load path: observers, forwarding, traps."""
         if self.observer is not None:
             self.observer.on_load(address, size)
         timing = self.timing
@@ -193,8 +253,8 @@ class Machine:
             timing.misspeculation_flush()
         return self.memory.read_data(final, size)
 
-    def store(self, address: int, value: int, size: int = WORD_SIZE) -> None:
-        """Forwarding-aware store of ``size`` bytes."""
+    def _store_general(self, address: int, value: int, size: int = WORD_SIZE) -> None:
+        """General (reference) store path: observers, forwarding, traps."""
         if self.observer is not None:
             self.observer.on_store(address, value, size)
         timing = self.timing
@@ -232,33 +292,56 @@ class Machine:
         the word itself (Section 3.2: the bit cannot be tested until the
         line reaches the primary cache).
         """
+        word = address & ~7
+        if self.observer is None and self._fast_enabled:
+            memory = self.memory
+            index = word >> 3
+            if 0 <= index < memory._nwords:
+                self._kernel_load(word, True)
+                return memory._fbits[index]
         if self.observer is not None:
             self.observer.on_read_fbit(address)
         timing = self.timing
         timing.execute(1)
-        result = self.hierarchy.access(address & ~7, False, timing.cycle)
+        result = self.hierarchy.access(word, False, timing.cycle)
         timing.load_completes(result.ready)
-        return self.memory.read_fbit(address & ~7)
+        return self.memory.read_fbit(word)
 
     def unforwarded_read(self, address: int) -> int:
         """``Unforwarded_Read``: read a word with forwarding disabled."""
+        word = address & ~7
+        if self.observer is None and self._fast_enabled:
+            memory = self.memory
+            index = word >> 3
+            if 0 <= index < memory._nwords:
+                self._kernel_load(word, True)
+                return memory._words[index]
         if self.observer is not None:
             self.observer.on_unforwarded_read(address)
         timing = self.timing
         timing.execute(1)
-        result = self.hierarchy.access(address & ~7, False, timing.cycle)
+        result = self.hierarchy.access(word, False, timing.cycle)
         timing.load_completes(result.ready)
-        return self.memory.read_word(address & ~7)
+        return self.memory.read_word(word)
 
     def unforwarded_write(self, address: int, value: int, fbit: int) -> None:
         """``Unforwarded_Write``: atomically set a word and its bit."""
+        word = address & ~7
+        if self.observer is None and self._fast_enabled:
+            memory = self.memory
+            index = word >> 3
+            if 0 <= index < memory._nwords:
+                self._kernel_store(word, True)
+                memory._words[index] = value & WORD_MASK
+                memory._fbits[index] = 1 if fbit else 0
+                return
         if self.observer is not None:
             self.observer.on_unforwarded_write(address, value, fbit)
         timing = self.timing
         timing.execute(1)
-        result = self.hierarchy.access(address & ~7, True, timing.cycle)
+        result = self.hierarchy.access(word, True, timing.cycle)
         timing.store_completes(result.ready)
-        self.memory.write_word_tagged(address & ~7, value, fbit)
+        self.memory.write_word_tagged(word, value, fbit)
 
     # ------------------------------------------------------------------
     # Prefetch and plain computation
@@ -274,7 +357,14 @@ class Machine:
         """Account for ``instructions`` non-memory instructions."""
         if self.observer is not None:
             self.observer.on_execute(instructions)
-        self.timing.execute(instructions)
+        # TimingModel.execute, inlined (this is the hottest non-memory
+        # call in the instrumented profiles).
+        timing = self.timing
+        timing.instructions += instructions
+        timing.cycle += instructions * timing._ipc
+        overhead = instructions * timing.config.inst_overhead
+        timing.inst_stall_cycles += overhead
+        timing.cycle += overhead
 
     def raw_write(self, address: int, value: int) -> None:
         """Untimed raw word write (no caches, no forwarding, no cost).
@@ -317,7 +407,7 @@ class Machine:
             if self.heap.owns(word_address):
                 self.heap.release(word_address)
                 freed_any = True
-            elif any(pool.contains(word_address) for pool in self.pools):
+            elif self._pool_region_base <= word_address < self._pool_bump:
                 # Pool (arena) memory is reclaimed wholesale, never block by
                 # block; freeing a relocated copy by its pool address is a
                 # no-op, and the original heap stub -- unreachable from here,

@@ -15,13 +15,13 @@ them without needing the live machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro.cpu.timing import SlotBreakdown
 
 
-@dataclass
+@dataclass(slots=True)
 class ReferenceLatencyStats:
     """Per-reference completion-time accounting for Figure 10(d).
 
@@ -53,7 +53,7 @@ class ReferenceLatencyStats:
         return self.forwarded / self.count if self.count else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class RelocationStats:
     """Software-side relocation activity (Table 1)."""
 
@@ -139,8 +139,8 @@ class MachineStats:
                 "store_stall": self.slots.store_stall,
                 "inst_stall": self.slots.inst_stall,
             },
-            "loads": vars(self.loads).copy(),
-            "stores": vars(self.stores).copy(),
+            "loads": asdict(self.loads),
+            "stores": asdict(self.stores),
             "l1_load_misses_full": self.l1_load_misses_full,
             "l1_load_misses_partial": self.l1_load_misses_partial,
             "l1_store_misses_full": self.l1_store_misses_full,
@@ -154,7 +154,7 @@ class MachineStats:
             "misspeculations": self.misspeculations,
             "prefetch_instructions": self.prefetch_instructions,
             "prefetch_fills": self.prefetch_fills,
-            "relocation": vars(self.relocation).copy(),
+            "relocation": asdict(self.relocation),
             "heap_high_water": self.heap_high_water,
         }
 

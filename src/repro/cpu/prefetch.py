@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.cache.hierarchy import MemoryHierarchy
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchStats:
     """Issue and effectiveness counters."""
 
@@ -39,6 +39,8 @@ class SoftwarePrefetcher:
         Upper bound on lines per block prefetch, mirroring a bounded
         hardware block size.
     """
+
+    __slots__ = ("hierarchy", "max_block_lines", "stats")
 
     def __init__(self, hierarchy: MemoryHierarchy, max_block_lines: int = 8) -> None:
         if max_block_lines < 1:

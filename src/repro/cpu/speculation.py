@@ -23,7 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class SpeculationStats:
     """Counters for the disambiguation model."""
 
@@ -42,6 +42,8 @@ class DependenceSpeculator:
         for the instruction-window depth of the modeled core.
     """
 
+    __slots__ = ("window", "stats", "_queue", "_by_final", "_counts")
+
     def __init__(self, window: int = 32) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -50,9 +52,14 @@ class DependenceSpeculator:
         # deque of (final_word, initial_word); dict final_word -> initial_word
         # for O(1) load checks.  The dict keeps the *youngest* store to each
         # final word, which is the one an incorrectly hoisted load would
-        # actually conflict with.
+        # actually conflict with.  A per-final-word refcount makes window
+        # eviction O(1): appends always overwrite the mapping with the
+        # youngest initial, so on eviction the mapping is either still
+        # backed by a younger in-window store (count > 0, keep it) or
+        # orphaned (count == 0, drop it) -- no queue scan needed.
         self._queue: deque[tuple[int, int]] = deque()
         self._by_final: dict[int, int] = {}
+        self._counts: dict[int, int] = {}
 
     def on_store(self, initial: int, final: int) -> None:
         """Record a retiring store's initial and final word addresses."""
@@ -60,21 +67,18 @@ class DependenceSpeculator:
         final_word = final & ~7
         self.stats.stores_tracked += 1
         queue = self._queue
+        counts = self._counts
         queue.append((final_word, initial_word))
         self._by_final[final_word] = initial_word
+        counts[final_word] = counts.get(final_word, 0) + 1
         if len(queue) > self.window:
-            old_final, old_initial = queue.popleft()
-            # Only drop the mapping if it was not overwritten by a younger
-            # store to the same final word.
-            if self._by_final.get(old_final) == old_initial:
-                youngest = None
-                for entry_final, entry_initial in queue:
-                    if entry_final == old_final:
-                        youngest = entry_initial
-                if youngest is None:
-                    del self._by_final[old_final]
-                else:
-                    self._by_final[old_final] = youngest
+            old_final, _old_initial = queue.popleft()
+            remaining = counts[old_final] - 1
+            if remaining:
+                counts[old_final] = remaining
+            else:
+                del counts[old_final]
+                del self._by_final[old_final]
 
     def on_load(self, initial: int, final: int) -> bool:
         """Check a load against recent stores; True means misspeculation.
@@ -93,3 +97,4 @@ class DependenceSpeculator:
     def reset(self) -> None:
         self._queue.clear()
         self._by_final.clear()
+        self._counts.clear()

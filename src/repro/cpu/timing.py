@@ -67,6 +67,20 @@ class SlotBreakdown:
 class TimingModel:
     """Advances simulated time and attributes lost slots to causes."""
 
+    __slots__ = (
+        "config",
+        "cycle",
+        "instructions",
+        "load_stall_cycles",
+        "store_stall_cycles",
+        "inst_stall_cycles",
+        "forwarding_cycles",
+        "misspeculations",
+        "_store_buffer",
+        "_store_buffer_floor",
+        "_ipc",
+    )
+
     def __init__(self, config: TimingConfig | None = None) -> None:
         self.config = config or TimingConfig()
         self.cycle: float = 0.0
@@ -80,6 +94,9 @@ class TimingModel:
         self.forwarding_cycles: float = 0.0
         self.misspeculations: int = 0
         self._store_buffer: list[float] = []
+        # Sound lower bound on min(_store_buffer): lets store_completes
+        # skip the drain scan when no entry can have completed yet.
+        self._store_buffer_floor = float("inf")
         self._ipc = 1.0 / self.config.width
 
     # ------------------------------------------------------------------
@@ -113,9 +130,13 @@ class TimingModel:
         """
         buffer = self._store_buffer
         now = self.cycle
-        if buffer:
-            # Drain entries that have completed by now.
+        if buffer and self._store_buffer_floor <= now:
+            # Drain entries that have completed by now.  The floor bound
+            # makes this a provable no-op most of the time: entries only
+            # leave the buffer (raising the true minimum), so the floor
+            # stays sound until a drain recomputes it exactly.
             buffer[:] = [t for t in buffer if t > now]
+            self._store_buffer_floor = min(buffer) if buffer else float("inf")
         if len(buffer) >= self.config.store_buffer_depth:
             earliest = min(buffer)
             stall = earliest - now
@@ -127,6 +148,8 @@ class TimingModel:
             buffer.remove(earliest)
         if ready > self.cycle:
             buffer.append(ready)
+            if ready < self._store_buffer_floor:
+                self._store_buffer_floor = ready
 
     def forwarding_trap_cost(self, hops: int) -> float:
         """Exception-path overhead (cycles) of a reference with ``hops`` hops."""

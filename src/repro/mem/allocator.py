@@ -30,7 +30,7 @@ from repro.core.memory import TaggedMemory, WORD_SIZE
 SIZE_GRANULE = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class HeapStats:
     """Allocation counters and footprint tracking."""
 

@@ -64,6 +64,12 @@ class RecordLayout:
             offset += size
         self.size = (offset + WORD_SIZE - 1) & ~(WORD_SIZE - 1)
         self.words = self.size // WORD_SIZE
+        # Flat (offset, size) pairs for the timed accessors below, which
+        # sit on the hot path of every application inner loop.
+        self._placement = {
+            field.name: (field.offset, field.size)
+            for field in self._fields.values()
+        }
 
     # ------------------------------------------------------------------
     def offset(self, field_name: str) -> int:
@@ -80,13 +86,13 @@ class RecordLayout:
     # ------------------------------------------------------------------
     def read(self, machine: Machine, base: int, field_name: str) -> int:
         """Timed, forwarding-aware load of one field."""
-        field = self._fields[field_name]
-        return machine.load(base + field.offset, field.size)
+        offset, size = self._placement[field_name]
+        return machine.load(base + offset, size)
 
     def write(self, machine: Machine, base: int, field_name: str, value: int) -> None:
         """Timed, forwarding-aware store of one field."""
-        field = self._fields[field_name]
-        machine.store(base + field.offset, value, field.size)
+        offset, size = self._placement[field_name]
+        machine.store(base + offset, value, size)
 
     def alloc(self, machine: Machine, align: int = WORD_SIZE) -> int:
         """Allocate one record on the simulated heap."""

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from repro.apps.base import AppResult, Variant
 from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.forwarding import ForwardingStats
+from repro.core.hotpath import make_reference_kernel
 from repro.core.machine import MachineConfig
 from repro.core.stats import MachineStats, ReferenceLatencyStats, RelocationStats
 from repro.cpu.prefetch import SoftwarePrefetcher
@@ -265,93 +267,110 @@ def replay_trace(trace: Trace, config: MachineConfig) -> AppResult:
     malloc_base = config.malloc_base_cost
     free_base = config.free_base_cost
     user_trap_cycles = config.user_trap_cycles
-    trap_installed = False
+    # Closures below both read and write this, so it lives in a cell
+    # rather than a loop local.
+    trap_cell = [False]
 
     access = hierarchy.access
     execute = timing.execute
     load_completes = timing.load_completes
     store_completes = timing.store_completes
 
-    # Each branch mirrors the corresponding Machine method cost-for-cost
-    # (machine.py is the reference; the integration tests assert exact
-    # stats equality against it), minus the config-invariant work.
+    # The unforwarded load/store kinds dominate every stream; they are
+    # costed by the same fused kernel Machine's fast path uses, with a
+    # throwaway ForwardingStats (replay takes forwarding totals from the
+    # capture, so the kernel's reference counting is discarded).
+    kernel_load, kernel_store = make_reference_kernel(
+        hierarchy, timing, speculator, load_latency, store_latency,
+        ForwardingStats(),
+    )
+
+    # Cold-entry handlers, indexed by the stream's integer opcode.  Each
+    # mirrors the corresponding Machine method cost-for-cost (machine.py
+    # is the reference; the integration tests assert exact stats equality
+    # against it), minus the config-invariant work.  Kinds 0 and 1 are
+    # handled inline in the loop and never reach this table.
+    def _handle_exec(entry: tuple) -> None:  # plain computation
+        execute(entry[1])
+
+    def _handle_access_r(entry: tuple) -> None:  # Read_FBit / Unf_Read
+        kernel_load(entry[1], True)
+
+    def _handle_access_w(entry: tuple) -> None:  # Unforwarded_Write
+        kernel_store(entry[1], True)
+
+    def _handle_forwarded(entry: tuple) -> None:  # forwarded load / store
+        address = entry[1]
+        final = entry[2]
+        hops = entry[3]
+        is_store = entry[0] == 6
+        execute(1)
+        hop_cycles = 0.0
+        for word in hops:  # each hop touches the old location
+            start = timing.cycle
+            result = access(word, False, start)
+            load_completes(result.ready, True)
+            hop_cycles += result.ready - start
+        start = timing.cycle
+        result = access(final, is_store, start)
+        latency = store_latency if is_store else load_latency
+        if is_store:
+            store_completes(result.ready, True)
+        else:
+            load_completes(result.ready, True)
+        latency.count += 1
+        latency.ordinary_cycles += result.ready - start
+        latency.forwarded += 1
+        nhops = len(hops)
+        latency.forwarding_cycles += (
+            hop_cycles + timing.forwarding_trap_cost(nhops)
+        )
+        timing.forwarding_trap(nhops)
+        if trap_cell[0]:
+            # The handler's own machine activity was recorded as
+            # ordinary events; only its invocation cost remains.
+            timing.stall(user_trap_cycles, "inst")
+        if is_store:
+            if speculator is not None:
+                speculator.on_store(address, final)
+        elif speculator is not None and speculator.on_load(address, final):
+            timing.misspeculation_flush()
+
+    def _handle_prefetch(entry: tuple) -> None:  # software prefetch
+        execute(1)
+        prefetcher.prefetch_block(entry[1], entry[2], timing.cycle)
+
+    def _handle_malloc(entry: tuple) -> None:  # malloc bookkeeping cost
+        execute(malloc_base + (entry[1] >> 6))
+
+    def _handle_free(entry: tuple) -> None:  # forwarding-aware free cost
+        execute(free_base + 2 * entry[1])
+
+    def _handle_trap(entry: tuple) -> None:
+        trap_cell[0] = bool(entry[1])
+
+    handlers = (
+        None,  # _LOAD: inline
+        None,  # _STORE: inline
+        _handle_exec,
+        _handle_access_r,
+        _handle_access_w,
+        _handle_forwarded,  # _LOAD_FWD
+        _handle_forwarded,  # _STORE_FWD
+        _handle_prefetch,
+        _handle_malloc,
+        _handle_free,
+        _handle_trap,
+    )
+
     for entry in stream:
         kind = entry[0]
         if kind == 0:  # unforwarded load (final == initial)
-            address = entry[1]
-            execute(1)
-            start = timing.cycle
-            result = access(address, False, start)
-            load_completes(result.ready, False)
-            load_latency.count += 1
-            load_latency.ordinary_cycles += result.ready - start
-            if speculator is not None and speculator.on_load(address, address):
-                timing.misspeculation_flush()
+            kernel_load(entry[1])
         elif kind == 1:  # unforwarded store
-            address = entry[1]
-            execute(1)
-            start = timing.cycle
-            result = access(address, True, start)
-            store_completes(result.ready, False)
-            store_latency.count += 1
-            store_latency.ordinary_cycles += result.ready - start
-            if speculator is not None:
-                speculator.on_store(address, address)
-        elif kind == 2:  # plain computation
-            execute(entry[1])
-        elif kind == 3:  # Read_FBit / Unforwarded_Read
-            execute(1)
-            result = access(entry[1], False, timing.cycle)
-            load_completes(result.ready)
-        elif kind == 4:  # Unforwarded_Write
-            execute(1)
-            result = access(entry[1], True, timing.cycle)
-            store_completes(result.ready)
-        elif kind == 5 or kind == 6:  # forwarded load / store
-            address = entry[1]
-            final = entry[2]
-            hops = entry[3]
-            is_store = kind == 6
-            execute(1)
-            hop_cycles = 0.0
-            for word in hops:  # each hop touches the old location
-                start = timing.cycle
-                result = access(word, False, start)
-                load_completes(result.ready, True)
-                hop_cycles += result.ready - start
-            start = timing.cycle
-            result = access(final, is_store, start)
-            latency = store_latency if is_store else load_latency
-            if is_store:
-                store_completes(result.ready, True)
-            else:
-                load_completes(result.ready, True)
-            latency.count += 1
-            latency.ordinary_cycles += result.ready - start
-            latency.forwarded += 1
-            nhops = len(hops)
-            latency.forwarding_cycles += (
-                hop_cycles + timing.forwarding_trap_cost(nhops)
-            )
-            timing.forwarding_trap(nhops)
-            if trap_installed:
-                # The handler's own machine activity was recorded as
-                # ordinary events; only its invocation cost remains.
-                timing.stall(user_trap_cycles, "inst")
-            if is_store:
-                if speculator is not None:
-                    speculator.on_store(address, final)
-            elif speculator is not None and speculator.on_load(address, final):
-                timing.misspeculation_flush()
-        elif kind == 7:  # software prefetch
-            execute(1)
-            prefetcher.prefetch_block(entry[1], entry[2], timing.cycle)
-        elif kind == 8:  # malloc bookkeeping cost
-            execute(malloc_base + (entry[1] >> 6))
-        elif kind == 9:  # forwarding-aware free cost
-            execute(free_base + 2 * entry[1])
-        else:  # _TRAP
-            trap_installed = bool(entry[1])
+            kernel_store(entry[1])
+        else:
+            handlers[kind](entry)
 
     captured = trace.captured_stats
     miss = hierarchy.miss_classes
