@@ -45,8 +45,8 @@ class TestPaperShapes:
         for app in ("health", "mst", "vis", "eqntott", "bh"):
             for line in line_sizes_for(app)[1:]:
                 n = fig6.miss_cell(app, line, Variant.N).full
-                l = fig6.miss_cell(app, line, Variant.L).full
-                assert l < n, (app, line)
+                opt = fig6.miss_cell(app, line, Variant.L).full
+                assert opt < n, (app, line)
 
     def test_partial_and_full_classes_both_populated(self, fig6):
         for app in FIGURE5_APPS:

@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro [artifact ...] [--scale S] [--jobs N]
-                    [--trace-dir DIR] [--no-cache]
+                    [--trace-dir DIR] [--no-cache] [--format text|json]
 
 where each artifact is one of ``table1 figure5 figure6 figure7 figure10
 ablations false-sharing out-of-core`` (default: all of them, in paper
@@ -16,17 +16,23 @@ across N processes).  Traces and replayed results persist under
 ``--trace-dir`` (default ``results/trace-cache``), so a repeated
 invocation with unchanged code and parameters skips simulation entirely;
 ``--no-cache`` starts cold and persists nothing.
+
+``--format json`` swaps the rendered tables for one JSON object mapping
+each artifact name to its schema-validated run manifest (see
+``repro.obs.manifest``); progress lines stay on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.experiments import ExperimentRunner
 from repro.experiments import ablations, figure5, figure6, figure7, figure10, table1
 from repro.experiments.runner import specs_for_artifacts
+from repro.obs import Registry
 
 DEFAULT_TRACE_DIR = "results/trace-cache"
 
@@ -57,6 +63,55 @@ def _run_extension(name: str) -> str:
         f"  {linearized.label:11s} cycles={linearized.cycles:14.0f} "
         f"page faults={linearized.page_faults}\n"
         f"  speedup: {scattered.cycles / linearized.cycles:.1f}x"
+    )
+
+
+def _extension_manifest(name: str, scale: float) -> dict:
+    """Run manifest for the SMP / out-of-core extensions.
+
+    These experiments use their own purpose-built machines rather than
+    the uniprocessor registry, so the aggregate metric tree is empty and
+    each cell carries the experiment's headline numbers directly.
+    """
+    from repro.obs import build_manifest, cell
+
+    if name == "false-sharing":
+        from repro.smp import run_false_sharing_experiment
+
+        before, after = run_false_sharing_experiment()
+        cells = [
+            cell(
+                result.label,
+                values={
+                    "cycles": result.cycles,
+                    "coherence_misses": result.coherence_misses,
+                },
+            )
+            for result in (before, after)
+        ]
+        summary = {"speedup": before.cycles / after.cycles}
+    else:
+        from repro.vm import run_out_of_core_experiment
+
+        scattered, linearized = run_out_of_core_experiment()
+        cells = [
+            cell(
+                result.label,
+                values={
+                    "cycles": result.cycles,
+                    "page_faults": result.page_faults,
+                },
+            )
+            for result in (scattered, linearized)
+        ]
+        summary = {"speedup": scattered.cycles / linearized.cycles}
+    return build_manifest(
+        name,
+        run={"scale": scale, "jobs": 1, "cache": False, "trace_dir": None},
+        seeds={},
+        metrics={},
+        cells=cells,
+        summary=summary,
     )
 
 
@@ -97,6 +152,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run under cProfile and dump the hottest functions "
              "(by cumulative time) to stderr when done",
     )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format: rendered tables (text) or one JSON object "
+             "mapping artifact name to its run manifest (json)",
+    )
     args = parser.parse_args(argv)
     artifacts = args.artifacts or list(_ALL)
     unknown = [name for name in artifacts if name not in _ALL]
@@ -125,19 +185,41 @@ def main(argv: list[str] | None = None) -> int:
         "figure7": figure7,
         "figure10": figure10,
     }
+    emit_json = args.format == "json"
+    manifests: dict[str, dict] = {}
     started = time.time()
     for artifact in artifacts:
-        print(f"=== {artifact} ===")
+        if not emit_json:
+            print(f"=== {artifact} ===")
         if artifact in modules:
-            print(modules[artifact].run(runner, scale=args.scale).render())
+            with runner.span(artifact):
+                result = modules[artifact].run(runner, scale=args.scale)
+            if emit_json:
+                manifests[artifact] = modules[artifact].manifest(result, runner)
+            else:
+                print(result.render())
         elif artifact == "ablations":
-            for ablation in ablations.run_all(scale=min(args.scale, 0.5)):
-                print(ablation.render())
-                print()
+            obs = Registry()
+            scale = min(args.scale, 0.5)
+            results = ablations.run_all(scale=scale, obs=obs)
+            if emit_json:
+                manifests[artifact] = ablations.manifest(results, scale, obs)
+            else:
+                for ablation in results:
+                    print(ablation.render())
+                    print()
+        elif emit_json:
+            manifests[artifact] = _extension_manifest(artifact, args.scale)
         else:
             print(_run_extension(artifact))
+        if not emit_json:
+            print()
+    if emit_json:
+        json.dump(manifests, sys.stdout, indent=2)
         print()
-    print(f"done in {time.time() - started:.0f}s")
+        print(f"done in {time.time() - started:.0f}s", file=sys.stderr)
+    else:
+        print(f"done in {time.time() - started:.0f}s")
     if profiler is not None:
         import pstats
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 from repro.apps.base import Application, Variant, register
 from repro.core.machine import NULL, Machine
 from repro.runtime.listlib import ListLib
-from repro.runtime.records import RecordLayout
 from repro.runtime.rng import DeterministicRNG
 
 

@@ -80,6 +80,19 @@ class CacheStats:
         accesses = self.accesses
         return self.misses / accesses if accesses else 0.0
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose these counters through an ``repro.obs`` registry.
+
+        Bound (snapshot-time) getters: the lookup/fill hot paths keep
+        mutating this struct's flat slots at zero added cost.
+        """
+        registry.bind(f"{prefix}.hit.load", lambda: self.load_hits)
+        registry.bind(f"{prefix}.hit.store", lambda: self.store_hits)
+        registry.bind(f"{prefix}.miss.load", lambda: self.load_misses)
+        registry.bind(f"{prefix}.miss.store", lambda: self.store_misses)
+        registry.bind(f"{prefix}.evictions.total", lambda: self.evictions)
+        registry.bind(f"{prefix}.evictions.dirty", lambda: self.dirty_evictions)
+
 
 def _is_pow2(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
@@ -293,3 +306,7 @@ class Cache:
     def resident_lines(self) -> int:
         """Number of valid lines currently held (for tests/diagnostics)."""
         return sum(self._set_len)
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Register this level's counters under ``prefix`` (e.g. ``cache.l1``)."""
+        self.stats.register_metrics(registry, prefix)

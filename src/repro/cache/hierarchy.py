@@ -16,7 +16,7 @@ fixed, as on the R10000-class machines of the paper's era.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.cache.cache import Cache
@@ -247,6 +247,60 @@ class MemoryHierarchy:
         return kind, latency
 
     # ------------------------------------------------------------------
+    def register_metrics(
+        self, registry, prefix: str = "cache", bw_prefix: str = "bw"
+    ) -> None:
+        """Register every memory-system counter with an ``repro.obs`` registry.
+
+        Getters go through ``self`` rather than the current stat structs
+        because :meth:`reset_stats` replaces ``traffic``/``miss_classes``
+        wholesale; a bound metric must survive that.
+        """
+        self.l1.register_metrics(registry, f"{prefix}.l1")
+        self.l2.register_metrics(registry, f"{prefix}.l2")
+        self.mshr.register_metrics(registry, f"{prefix}.mshr")
+        registry.bind(
+            f"{prefix}.l1.miss.load_full", lambda: self.miss_classes.load_full
+        )
+        registry.bind(
+            f"{prefix}.l1.miss.load_partial",
+            lambda: self.miss_classes.load_partial,
+        )
+        registry.bind(
+            f"{prefix}.l1.miss.store_full", lambda: self.miss_classes.store_full
+        )
+        registry.bind(
+            f"{prefix}.l1.miss.store_partial",
+            lambda: self.miss_classes.store_partial,
+        )
+        registry.bind(f"{prefix}.l2.miss.total", lambda: self.l2.stats.misses)
+        registry.bind(f"{prefix}.prefetch.fills", lambda: self.prefetch_fills)
+        registry.bind(
+            f"{prefix}.prefetch.redundant", lambda: self.prefetch_redundant
+        )
+        registry.bind(
+            f"{bw_prefix}.l1_l2.fill_bytes",
+            lambda: self.traffic.l1_l2_fill_bytes,
+        )
+        registry.bind(
+            f"{bw_prefix}.l1_l2.writeback_bytes",
+            lambda: self.traffic.l1_l2_writeback_bytes,
+        )
+        registry.bind(
+            f"{bw_prefix}.l1_l2.bytes", lambda: self.traffic.l1_l2_bytes
+        )
+        registry.bind(
+            f"{bw_prefix}.l2_mem.fill_bytes",
+            lambda: self.traffic.l2_mem_fill_bytes,
+        )
+        registry.bind(
+            f"{bw_prefix}.l2_mem.writeback_bytes",
+            lambda: self.traffic.l2_mem_writeback_bytes,
+        )
+        registry.bind(
+            f"{bw_prefix}.l2_mem.bytes", lambda: self.traffic.l2_mem_bytes
+        )
+
     def load_miss_count(self) -> int:
         """Total load D-cache misses (full + partial), as in Figure 6(a)."""
         return self.miss_classes.load_misses

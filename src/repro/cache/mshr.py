@@ -26,6 +26,15 @@ class MSHRStats:
     full_stalls: int = 0
     full_stall_cycles: float = 0.0
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose these counters through an ``repro.obs`` registry."""
+        registry.bind(f"{prefix}.allocations", lambda: self.allocations)
+        registry.bind(f"{prefix}.combines", lambda: self.combines)
+        registry.bind(f"{prefix}.full_stalls", lambda: self.full_stalls)
+        registry.bind(
+            f"{prefix}.full_stall_cycles", lambda: self.full_stall_cycles
+        )
+
 
 class MSHRFile:
     """Tracks in-flight line fills as ``line_address -> completion_time``.
@@ -96,6 +105,10 @@ class MSHRFile:
             self._floor = ready
         self.stats.allocations += 1
         return ready
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Register this file's counters under ``prefix`` (e.g. ``cache.mshr``)."""
+        self.stats.register_metrics(registry, prefix)
 
     def occupancy(self, now: float) -> int:
         """Number of fills still in flight at time ``now``."""

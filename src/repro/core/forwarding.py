@@ -63,6 +63,21 @@ class ForwardingStats:
             self.total_hops += hops
             self.hop_histogram[hops] = self.hop_histogram.get(hops, 0) + 1
 
+    def register_metrics(self, registry, prefix: str = "fwd") -> None:
+        """Expose these counters through an ``repro.obs`` registry."""
+        registry.bind(f"{prefix}.references", lambda: self.references)
+        registry.bind(f"{prefix}.forwarded", lambda: self.forwarded_references)
+        registry.bind(f"{prefix}.hops", lambda: self.total_hops)
+        registry.bind(
+            f"{prefix}.cycle_checks", lambda: self.cycle_check_invocations
+        )
+        registry.bind(f"{prefix}.cycles_detected", lambda: self.cycles_detected)
+        registry.bind(
+            f"{prefix}.hop_histogram",
+            lambda: self.hop_histogram,
+            kind="histogram",
+        )
+
     def merge(self, other: "ForwardingStats") -> None:
         self.references += other.references
         self.forwarded_references += other.forwarded_references

@@ -172,6 +172,7 @@ class Machine:
         "_fast_enabled",
         "_kernel_load",
         "_kernel_store",
+        "_registry",
     )
 
     def __init__(self, config: MachineConfig | None = None) -> None:
@@ -205,6 +206,9 @@ class Machine:
         # Fused per-reference cost kernel (see repro.core.hotpath): all
         # components it closes over are allocated exactly once above and
         # only mutated in place for the machine's lifetime.
+        # Lazily built repro.obs registry (see the ``metrics`` property);
+        # never touched by the reference hot paths.
+        self._registry = None
         self._kernel_load, self._kernel_store = make_reference_kernel(
             self.hierarchy,
             self.timing,
@@ -477,33 +481,64 @@ class Machine:
 
     def stats(self) -> MachineStats:
         """Snapshot every counter the experiments report."""
-        miss = self.hierarchy.miss_classes
-        traffic = self.hierarchy.traffic
-        reloc = replace(
-            self.relocation_stats,
-            pool_bytes=sum(pool.used_bytes for pool in self.pools),
-        )
-        return MachineStats(
-            cycles=self.timing.cycle,
-            instructions=self.timing.instructions,
-            slots=self.timing.slot_breakdown(),
+        return MachineStats.collect(
+            timing=self.timing,
+            hierarchy=self.hierarchy,
             loads=replace(self.load_latency),
             stores=replace(self.store_latency),
-            l1_load_misses_full=miss.load_full,
-            l1_load_misses_partial=miss.load_partial,
-            l1_store_misses_full=miss.store_full,
-            l1_store_misses_partial=miss.store_partial,
-            l2_misses=self.hierarchy.l2.stats.misses,
-            l1_l2_bytes=traffic.l1_l2_bytes,
-            l2_mem_bytes=traffic.l2_mem_bytes,
+            speculator=self.speculator,
+            prefetcher=self.prefetcher,
             forwarding_hops=self.forwarding.stats.total_hops,
             cycle_checks=self.forwarding.stats.cycle_check_invocations,
-            speculation_loads_checked=(
-                self.speculator.stats.loads_checked if self.speculator else 0
+            relocation=replace(
+                self.relocation_stats,
+                pool_bytes=sum(pool.used_bytes for pool in self.pools),
             ),
-            misspeculations=self.timing.misspeculations,
-            prefetch_instructions=self.prefetcher.stats.instructions_issued,
-            prefetch_fills=self.prefetcher.stats.fills_started,
-            relocation=reloc,
             heap_high_water=self.heap.stats.high_water,
         )
+
+    @property
+    def metrics(self):
+        """This machine's live ``repro.obs`` registry (built on first use).
+
+        Every component's counters are *bound* -- read only at snapshot
+        time -- so the fused reference kernels stay untouched-hot (the
+        hot-path flush contract; see DESIGN.md §5c).  The canonical names
+        match :meth:`MachineStats.to_snapshot`, with extra per-component
+        detail (per-level hits, MSHR activity, traffic split by
+        fill/writeback) available only on the live registry.
+        """
+        registry = self._registry
+        if registry is None:
+            from repro.obs.registry import GAUGE, Registry
+
+            registry = Registry()
+            self.timing.register_metrics(registry)
+            self.hierarchy.register_metrics(registry)
+            self.forwarding.stats.register_metrics(registry, "fwd")
+            self.prefetcher.register_metrics(registry, "prefetch")
+            if self.speculator is not None:
+                self.speculator.register_metrics(registry, "spec")
+            else:
+                registry.bind(
+                    "spec.misspeculations", lambda: self.timing.misspeculations
+                )
+            self.load_latency.register_metrics(registry, "ref.load")
+            self.store_latency.register_metrics(registry, "ref.store")
+            registry.bind("reloc.count", lambda: self.relocation_stats.relocations)
+            registry.bind(
+                "reloc.words", lambda: self.relocation_stats.words_relocated
+            )
+            registry.bind(
+                "reloc.optimizer_invocations",
+                lambda: self.relocation_stats.optimizer_invocations,
+            )
+            registry.bind(
+                "reloc.pool_bytes",
+                lambda: sum(pool.used_bytes for pool in self.pools),
+            )
+            registry.bind(
+                "heap.high_water", lambda: self.heap.stats.high_water, kind=GAUGE
+            )
+            self._registry = registry
+        return registry

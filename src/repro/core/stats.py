@@ -16,9 +16,16 @@ them without needing the live machine.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.cpu.timing import SlotBreakdown
+from repro.obs.registry import GAUGE, Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.cache.hierarchy import MemoryHierarchy
+    from repro.cpu.prefetch import SoftwarePrefetcher
+    from repro.cpu.speculation import DependenceSpeculator
+    from repro.cpu.timing import TimingModel
 
 
 @dataclass(slots=True)
@@ -51,6 +58,15 @@ class ReferenceLatencyStats:
     def forwarded_fraction(self) -> float:
         """Fraction of references needing >= 1 hop (Figure 10(c))."""
         return self.forwarded / self.count if self.count else 0.0
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose these counters through an ``repro.obs`` registry."""
+        registry.bind(f"{prefix}.count", lambda: self.count)
+        registry.bind(f"{prefix}.forwarded", lambda: self.forwarded)
+        registry.bind(f"{prefix}.ordinary_cycles", lambda: self.ordinary_cycles)
+        registry.bind(
+            f"{prefix}.forwarding_cycles", lambda: self.forwarding_cycles
+        )
 
 
 @dataclass(slots=True)
@@ -121,6 +137,154 @@ class MachineStats:
     def speedup_over(self, baseline: "MachineStats") -> float:
         """Execution-time speedup of ``self`` relative to ``baseline``."""
         return baseline.cycles / self.cycles if self.cycles else 0.0
+
+    # ------------------------------------------------------------------
+    # Registry view (repro.obs)
+    # ------------------------------------------------------------------
+    @classmethod
+    def collect(
+        cls,
+        *,
+        timing: "TimingModel",
+        hierarchy: "MemoryHierarchy",
+        loads: ReferenceLatencyStats,
+        stores: ReferenceLatencyStats,
+        speculator: "DependenceSpeculator | None" = None,
+        prefetcher: "SoftwarePrefetcher | None" = None,
+        forwarding_hops: int = 0,
+        cycle_checks: int = 0,
+        relocation: RelocationStats | None = None,
+        heap_high_water: int = 0,
+    ) -> "MachineStats":
+        """Assemble a snapshot from live config-dependent components.
+
+        The single aggregation codepath shared by :meth:`Machine.stats`
+        and trace replay: config-dependent counters are read off the
+        components, config-invariant ones (forwarding totals, relocation
+        bookkeeping, heap footprint) come in as arguments because replay
+        copies them from the capture.
+        """
+        miss = hierarchy.miss_classes
+        traffic = hierarchy.traffic
+        return cls(
+            cycles=timing.cycle,
+            instructions=timing.instructions,
+            slots=timing.slot_breakdown(),
+            loads=loads,
+            stores=stores,
+            l1_load_misses_full=miss.load_full,
+            l1_load_misses_partial=miss.load_partial,
+            l1_store_misses_full=miss.store_full,
+            l1_store_misses_partial=miss.store_partial,
+            l2_misses=hierarchy.l2.stats.misses,
+            l1_l2_bytes=traffic.l1_l2_bytes,
+            l2_mem_bytes=traffic.l2_mem_bytes,
+            forwarding_hops=forwarding_hops,
+            cycle_checks=cycle_checks,
+            speculation_loads_checked=(
+                speculator.stats.loads_checked if speculator else 0
+            ),
+            misspeculations=timing.misspeculations,
+            prefetch_instructions=(
+                prefetcher.stats.instructions_issued if prefetcher else 0
+            ),
+            prefetch_fills=prefetcher.stats.fills_started if prefetcher else 0,
+            relocation=relocation if relocation is not None else RelocationStats(),
+            heap_high_water=heap_high_water,
+        )
+
+    def to_snapshot(self) -> Snapshot:
+        """This snapshot as an ``repro.obs`` metric tree.
+
+        Canonical dotted names: the same names a live
+        :attr:`Machine.metrics <repro.core.machine.Machine.metrics>`
+        registry exposes, so experiment aggregation can merge stats from
+        direct runs, replays, and cached results interchangeably.
+        ``heap.high_water`` is a gauge (merges by max); everything else
+        is a counter.
+        """
+        values: dict[str, Any] = {
+            "time.cycles": self.cycles,
+            "core.instructions": self.instructions,
+            "slots.busy": self.slots.busy,
+            "slots.load_stall": self.slots.load_stall,
+            "slots.store_stall": self.slots.store_stall,
+            "slots.inst_stall": self.slots.inst_stall,
+            "ref.load.count": self.loads.count,
+            "ref.load.forwarded": self.loads.forwarded,
+            "ref.load.ordinary_cycles": self.loads.ordinary_cycles,
+            "ref.load.forwarding_cycles": self.loads.forwarding_cycles,
+            "ref.store.count": self.stores.count,
+            "ref.store.forwarded": self.stores.forwarded,
+            "ref.store.ordinary_cycles": self.stores.ordinary_cycles,
+            "ref.store.forwarding_cycles": self.stores.forwarding_cycles,
+            "cache.l1.miss.load_full": self.l1_load_misses_full,
+            "cache.l1.miss.load_partial": self.l1_load_misses_partial,
+            "cache.l1.miss.store_full": self.l1_store_misses_full,
+            "cache.l1.miss.store_partial": self.l1_store_misses_partial,
+            "cache.l2.miss.total": self.l2_misses,
+            "bw.l1_l2.bytes": self.l1_l2_bytes,
+            "bw.l2_mem.bytes": self.l2_mem_bytes,
+            "fwd.hops": self.forwarding_hops,
+            "fwd.cycle_checks": self.cycle_checks,
+            "spec.loads_checked": self.speculation_loads_checked,
+            "spec.misspeculations": self.misspeculations,
+            "prefetch.instructions": self.prefetch_instructions,
+            "prefetch.fills": self.prefetch_fills,
+            "reloc.count": self.relocation.relocations,
+            "reloc.words": self.relocation.words_relocated,
+            "reloc.optimizer_invocations": self.relocation.optimizer_invocations,
+            "reloc.pool_bytes": self.relocation.pool_bytes,
+            "heap.high_water": self.heap_high_water,
+        }
+        return Snapshot(values, {"heap.high_water": GAUGE})
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Snapshot) -> "MachineStats":
+        """Inverse of :meth:`to_snapshot` (missing names default to 0)."""
+        get = snapshot.get
+        return cls(
+            cycles=get("time.cycles", 0.0),
+            instructions=int(get("core.instructions", 0)),
+            slots=SlotBreakdown(
+                busy=get("slots.busy", 0.0),
+                load_stall=get("slots.load_stall", 0.0),
+                store_stall=get("slots.store_stall", 0.0),
+                inst_stall=get("slots.inst_stall", 0.0),
+            ),
+            loads=ReferenceLatencyStats(
+                count=int(get("ref.load.count", 0)),
+                forwarded=int(get("ref.load.forwarded", 0)),
+                ordinary_cycles=get("ref.load.ordinary_cycles", 0.0),
+                forwarding_cycles=get("ref.load.forwarding_cycles", 0.0),
+            ),
+            stores=ReferenceLatencyStats(
+                count=int(get("ref.store.count", 0)),
+                forwarded=int(get("ref.store.forwarded", 0)),
+                ordinary_cycles=get("ref.store.ordinary_cycles", 0.0),
+                forwarding_cycles=get("ref.store.forwarding_cycles", 0.0),
+            ),
+            l1_load_misses_full=int(get("cache.l1.miss.load_full", 0)),
+            l1_load_misses_partial=int(get("cache.l1.miss.load_partial", 0)),
+            l1_store_misses_full=int(get("cache.l1.miss.store_full", 0)),
+            l1_store_misses_partial=int(get("cache.l1.miss.store_partial", 0)),
+            l2_misses=int(get("cache.l2.miss.total", 0)),
+            l1_l2_bytes=int(get("bw.l1_l2.bytes", 0)),
+            l2_mem_bytes=int(get("bw.l2_mem.bytes", 0)),
+            forwarding_hops=int(get("fwd.hops", 0)),
+            cycle_checks=int(get("fwd.cycle_checks", 0)),
+            speculation_loads_checked=int(get("spec.loads_checked", 0)),
+            misspeculations=int(get("spec.misspeculations", 0)),
+            prefetch_instructions=int(get("prefetch.instructions", 0)),
+            prefetch_fills=int(get("prefetch.fills", 0)),
+            relocation=RelocationStats(
+                relocations=int(get("reloc.count", 0)),
+                words_relocated=int(get("reloc.words", 0)),
+                optimizer_invocations=int(get("reloc.optimizer_invocations", 0)),
+                pool_bytes=int(get("reloc.pool_bytes", 0)),
+            ),
+            heap_high_water=int(get("heap.high_water", 0)),
+        )
 
     def dump(self) -> dict[str, Any]:
         """Lossless nested-dict form (JSON-safe, exact float round trip).

@@ -27,6 +27,12 @@ class PrefetchStats:
     lines_requested: int = 0
     fills_started: int = 0
 
+    def register_metrics(self, registry, prefix: str = "prefetch") -> None:
+        """Expose these counters through an ``repro.obs`` registry."""
+        registry.bind(f"{prefix}.instructions", lambda: self.instructions_issued)
+        registry.bind(f"{prefix}.lines_requested", lambda: self.lines_requested)
+        registry.bind(f"{prefix}.fills", lambda: self.fills_started)
+
 
 class SoftwarePrefetcher:
     """Issues block prefetches into a memory hierarchy.
@@ -48,6 +54,10 @@ class SoftwarePrefetcher:
         self.hierarchy = hierarchy
         self.max_block_lines = max_block_lines
         self.stats = PrefetchStats()
+
+    def register_metrics(self, registry, prefix: str = "prefetch") -> None:
+        """Register issue/effectiveness counters under ``prefix``."""
+        self.stats.register_metrics(registry, prefix)
 
     def prefetch_block(self, address: int, lines: int, now: float) -> int:
         """Prefetch ``lines`` consecutive cache lines starting at ``address``.

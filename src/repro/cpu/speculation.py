@@ -31,6 +31,12 @@ class SpeculationStats:
     stores_tracked: int = 0
     misspeculations: int = 0
 
+    def register_metrics(self, registry, prefix: str = "spec") -> None:
+        """Expose these counters through an ``repro.obs`` registry."""
+        registry.bind(f"{prefix}.loads_checked", lambda: self.loads_checked)
+        registry.bind(f"{prefix}.stores_tracked", lambda: self.stores_tracked)
+        registry.bind(f"{prefix}.misspeculations", lambda: self.misspeculations)
+
 
 class DependenceSpeculator:
     """Sliding-window store queue that detects final-address collisions.
@@ -93,6 +99,10 @@ class DependenceSpeculator:
             self.stats.misspeculations += 1
             return True
         return False
+
+    def register_metrics(self, registry, prefix: str = "spec") -> None:
+        """Register the disambiguation counters under ``prefix``."""
+        self.stats.register_metrics(registry, prefix)
 
     def reset(self) -> None:
         self._queue.clear()

@@ -183,6 +183,24 @@ class TimingModel:
         self.cycle += cycles
 
     # ------------------------------------------------------------------
+    def register_metrics(self, registry) -> None:
+        """Register timing counters with an ``repro.obs`` registry.
+
+        All getters are bound (snapshot-time) reads of this model's flat
+        slots; the per-reference accounting methods stay untouched-hot.
+        Slot metrics mirror :meth:`slot_breakdown`'s width scaling.
+        """
+        width = self.config.width
+        registry.bind("time.cycles", lambda: self.cycle)
+        registry.bind("time.forwarding_cycles", lambda: self.forwarding_cycles)
+        registry.bind("core.instructions", lambda: self.instructions)
+        registry.bind("slots.busy", lambda: float(self.instructions))
+        registry.bind("slots.load_stall", lambda: self.load_stall_cycles * width)
+        registry.bind(
+            "slots.store_stall", lambda: self.store_stall_cycles * width
+        )
+        registry.bind("slots.inst_stall", lambda: self.inst_stall_cycles * width)
+
     def slot_breakdown(self) -> SlotBreakdown:
         """Graduation slots by category (Figure 5's stacked bars)."""
         width = self.config.width

@@ -24,6 +24,14 @@ from repro.apps.base import Variant
 from repro.apps.health import Health
 from repro.experiments.config import APP_SEEDS, experiment_config
 from repro.experiments.report import render_table
+from repro.obs import Registry
+
+
+def _absorb(obs: Registry | None, stats) -> None:
+    """Fold one study run's stats into the ablation registry (if any)."""
+    if obs is not None:
+        obs.counter("runs.captured").inc()
+        obs.absorb(stats.to_snapshot())
 
 
 @dataclass
@@ -36,7 +44,11 @@ class AblationResult:
         return render_table(self.headers, self.rows, title=self.title)
 
 
-def hop_limit_sweep(scale: float = 0.5, limits: tuple[int, ...] = (1, 2, 4, 16)) -> AblationResult:
+def hop_limit_sweep(
+    scale: float = 0.5,
+    limits: tuple[int, ...] = (1, 2, 4, 16),
+    obs: Registry | None = None,
+) -> AblationResult:
     """How the fast hop-counter limit affects SMV's scheme L."""
     result = AblationResult(
         "Ablation: forwarding hop-limit (SMV, scheme L)",
@@ -46,6 +58,7 @@ def hop_limit_sweep(scale: float = 0.5, limits: tuple[int, ...] = (1, 2, 4, 16))
         config = replace(experiment_config(), hop_limit=limit)
         app = get_application("smv", scale=scale, seed=APP_SEEDS["smv"])
         outcome = app.run(Variant.L, config)
+        _absorb(obs, outcome.stats)
         result.rows.append(
             (
                 limit,
@@ -57,7 +70,9 @@ def hop_limit_sweep(scale: float = 0.5, limits: tuple[int, ...] = (1, 2, 4, 16))
     return result
 
 
-def speculation_ablation(scale: float = 0.5) -> AblationResult:
+def speculation_ablation(
+    scale: float = 0.5, obs: Registry | None = None
+) -> AblationResult:
     """Dependence speculation on/off for the forwarding-heavy app (SMV)."""
     result = AblationResult(
         "Ablation: data-dependence speculation (SMV)",
@@ -68,6 +83,7 @@ def speculation_ablation(scale: float = 0.5) -> AblationResult:
             config = replace(experiment_config(), speculation_window=window)
             app = get_application("smv", scale=scale, seed=APP_SEEDS["smv"])
             outcome = app.run(variant, config)
+            _absorb(obs, outcome.stats)
             result.rows.append(
                 (
                     variant.value,
@@ -81,7 +97,9 @@ def speculation_ablation(scale: float = 0.5) -> AblationResult:
 
 
 def linearize_threshold_sweep(
-    scale: float = 0.5, thresholds: tuple[int, ...] = (10, 25, 50, 100, 400)
+    scale: float = 0.5,
+    thresholds: tuple[int, ...] = (10, 25, 50, 100, 400),
+    obs: Registry | None = None,
 ) -> AblationResult:
     """Sensitivity of VIS to the in-library linearization threshold."""
     result = AblationResult(
@@ -91,6 +109,7 @@ def linearize_threshold_sweep(
     for threshold in thresholds:
         app = get_application("vis", scale=scale, seed=APP_SEEDS["vis"])
         outcome = _run_vis_with_threshold(app, threshold)
+        _absorb(obs, outcome.stats)
         result.rows.append(
             (
                 threshold,
@@ -127,7 +146,9 @@ def _run_vis_with_threshold(app, threshold: int):
 
 
 def prefetch_block_sweep(
-    scale: float = 0.5, blocks: tuple[int, ...] = (1, 2, 4, 8)
+    scale: float = 0.5,
+    blocks: tuple[int, ...] = (1, 2, 4, 8),
+    obs: Registry | None = None,
 ) -> AblationResult:
     """Best block-prefetch size for Health's LP scheme (Section 5.2)."""
     result = AblationResult(
@@ -140,6 +161,7 @@ def prefetch_block_sweep(
             Health.PREFETCH_BLOCK = block
             app = get_application("health", scale=scale, seed=APP_SEEDS["health"])
             outcome = app.run(Variant.LP, experiment_config())
+            _absorb(obs, outcome.stats)
             result.rows.append(
                 (
                     block,
@@ -204,14 +226,66 @@ def pointer_compare_overhead(
     return result
 
 
-def run_all(scale: float = 0.5) -> list[AblationResult]:
-    return [
-        hop_limit_sweep(scale),
-        speculation_ablation(scale),
-        linearize_threshold_sweep(scale),
-        prefetch_block_sweep(scale),
-        pointer_compare_overhead(),
-    ]
+def run_all(
+    scale: float = 0.5, obs: Registry | None = None
+) -> list[AblationResult]:
+    registry = obs if obs is not None else Registry()
+    studies = (
+        ("hop_limit", lambda: hop_limit_sweep(scale, obs=registry)),
+        ("speculation", lambda: speculation_ablation(scale, obs=registry)),
+        ("linearize_threshold",
+         lambda: linearize_threshold_sweep(scale, obs=registry)),
+        ("prefetch_block", lambda: prefetch_block_sweep(scale, obs=registry)),
+        ("pointer_compare", lambda: pointer_compare_overhead()),
+    )
+    results = []
+    for name, study in studies:
+        with registry.span(f"ablations.{name}"):
+            results.append(study())
+    return results
+
+
+_STUDY_SLUGS = {
+    "Ablation: forwarding hop-limit (SMV, scheme L)": "hop_limit",
+    "Ablation: data-dependence speculation (SMV)": "speculation",
+    "Ablation: linearization threshold (VIS, scheme L)": "linearize_threshold",
+    "Ablation: prefetch block size (Health, scheme LP)": "prefetch_block",
+    "Ablation: final-address pointer-comparison overhead": "pointer_compare",
+}
+
+
+def manifest(
+    results: list[AblationResult], scale: float, obs: Registry
+) -> dict:
+    """Schema-validated run manifest for the ablation suite."""
+    from repro.experiments.config import APP_SEEDS
+    from repro.obs import build_manifest, cell
+
+    cells = []
+    for result in results:
+        slug = _STUDY_SLUGS.get(result.title, result.title)
+        # Use as many leading columns as it takes to key rows uniquely
+        # (the speculation study needs scheme AND on/off).
+        width = 1
+        while width < len(result.headers) and len(
+            {tuple(map(str, row[:width])) for row in result.rows}
+        ) < len(result.rows):
+            width += 1
+        for row in result.rows:
+            values = {
+                header.lower().replace(" ", "_"): value
+                for header, value in zip(result.headers, row)
+            }
+            coords = "/".join(str(part) for part in row[:width])
+            cells.append(cell(f"{slug}/{coords}", values=values))
+    return build_manifest(
+        "ablations",
+        run={"scale": scale, "jobs": 1, "cache": False, "trace_dir": None},
+        seeds=dict(APP_SEEDS),
+        metrics=obs.snapshot(),
+        spans=obs.spans,
+        cells=cells,
+    )
 
 
 def main() -> None:  # pragma: no cover - CLI entry

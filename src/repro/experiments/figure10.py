@@ -120,6 +120,34 @@ def run(runner: ExperimentRunner | None = None, scale: float = 1.0) -> Figure10R
     return result
 
 
+def manifest(result: Figure10Result, runner: ExperimentRunner) -> dict:
+    """Schema-validated run manifest for this figure."""
+    from repro.obs import cell
+
+    baseline = result.rows[0].cycles
+    cells = [
+        cell(
+            f"smv/{row.variant.value}",
+            labels={"app": "smv", "variant": row.variant.value,
+                    "line_size": LINE_SIZE},
+            values={
+                "cycles": row.cycles,
+                "normalized": row.cycles / baseline if baseline else 0.0,
+                "load_misses": row.load_misses,
+                "store_misses": row.store_misses,
+                "loads_forwarded_fraction": row.loads_forwarded_fraction,
+                "stores_forwarded_fraction": row.stores_forwarded_fraction,
+                "avg_load_ordinary": row.avg_load_ordinary,
+                "avg_load_forwarding": row.avg_load_forwarding,
+                "avg_store_ordinary": row.avg_store_ordinary,
+                "avg_store_forwarding": row.avg_store_forwarding,
+            },
+        )
+        for row in result.rows
+    ]
+    return runner.manifest("figure10", cells)
+
+
 def main() -> None:  # pragma: no cover - CLI entry
     print(run(ExperimentRunner(verbose=True)).render())
 

@@ -140,6 +140,36 @@ def run(runner: ExperimentRunner | None = None, scale: float = 1.0,
     return result
 
 
+def manifest(result: Figure5Result, runner: ExperimentRunner) -> dict:
+    """Schema-validated run manifest for this figure."""
+    from repro.obs import cell
+
+    cells = [
+        cell(
+            f"{c.app}/{c.line_size}B/{c.variant.value}",
+            labels={
+                "app": c.app,
+                "line_size": c.line_size,
+                "variant": c.variant.value,
+            },
+            values={
+                "cycles": c.cycles,
+                "normalized_total": c.normalized_total,
+                "slots_busy": c.slots.busy,
+                "slots_load_stall": c.slots.load_stall,
+                "slots_store_stall": c.slots.store_stall,
+                "slots_inst_stall": c.slots.inst_stall,
+            },
+        )
+        for c in result.cells
+    ]
+    summary = {
+        f"speedup.{app}.{line_size}": value
+        for (app, line_size), value in sorted(result.speedups.items())
+    }
+    return runner.manifest("figure5", cells, summary)
+
+
 def main() -> None:  # pragma: no cover - CLI entry
     result = run(ExperimentRunner(verbose=True))
     print(result.render())

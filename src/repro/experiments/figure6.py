@@ -71,8 +71,8 @@ class Figure6Result:
     def miss_reduction(self, app: str, line_size: int) -> float:
         """Fractional load-miss reduction of L relative to N."""
         n = self.miss_cell(app, line_size, Variant.N).total
-        l = self.miss_cell(app, line_size, Variant.L).total
-        return 1.0 - (l / n) if n else 0.0
+        opt = self.miss_cell(app, line_size, Variant.L).total
+        return 1.0 - (opt / n) if n else 0.0
 
     def render(self) -> str:
         miss_rows = [
@@ -144,6 +144,55 @@ def run(runner: ExperimentRunner | None = None, scale: float = 1.0,
                     )
                 )
     return result
+
+
+def manifest(result: Figure6Result, runner: ExperimentRunner) -> dict:
+    """Schema-validated run manifest for this figure."""
+    from repro.obs import cell
+
+    cells = [
+        cell(
+            f"misses/{c.app}/{c.line_size}B/{c.variant.value}",
+            labels={
+                "panel": "a",
+                "app": c.app,
+                "line_size": c.line_size,
+                "variant": c.variant.value,
+            },
+            values={
+                "full": c.full,
+                "partial": c.partial,
+                "total": c.total,
+                "normalized_total": c.normalized_total,
+            },
+        )
+        for c in result.misses
+    ] + [
+        cell(
+            f"bandwidth/{c.app}/{c.line_size}B/{c.variant.value}",
+            labels={
+                "panel": "b",
+                "app": c.app,
+                "line_size": c.line_size,
+                "variant": c.variant.value,
+            },
+            values={
+                "l1_l2_bytes": c.l1_l2_bytes,
+                "l2_mem_bytes": c.l2_mem_bytes,
+                "total": c.total,
+                "normalized_total": c.normalized_total,
+            },
+        )
+        for c in result.bandwidth
+    ]
+    summary = {
+        f"miss_reduction.{c.app}.{c.line_size}": result.miss_reduction(
+            c.app, c.line_size
+        )
+        for c in result.misses
+        if c.variant is Variant.L
+    }
+    return runner.manifest("figure6", cells, summary)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -93,6 +93,31 @@ def run(runner: ExperimentRunner | None = None, scale: float = 1.0,
     return result
 
 
+def manifest(result: Figure7Result, runner: ExperimentRunner) -> dict:
+    """Schema-validated run manifest for this figure."""
+    from repro.obs import cell
+
+    cells = [
+        cell(
+            f"{c.app}/{c.variant.value}",
+            labels={
+                "app": c.app,
+                "variant": c.variant.value,
+                "line_size": FIGURE7_LINE_SIZE,
+            },
+            values={
+                "cycles": c.cycles,
+                "normalized": c.normalized,
+                "speedup_over_n": result.speedup_over_n(c.app, c.variant),
+                "prefetch_instructions": c.prefetch_instructions,
+                "prefetch_fills": c.prefetch_fills,
+            },
+        )
+        for c in result.cells
+    ]
+    return runner.manifest("figure7", cells)
+
+
 def main() -> None:  # pragma: no cover - CLI entry
     print(run(ExperimentRunner(verbose=True)).render())
 

@@ -25,8 +25,9 @@ from typing import Iterable
 from repro.apps.base import AppResult, Variant
 from repro.core.debug import enable_progress_logging, get_logger
 from repro.experiments.config import APP_SEEDS
+from repro.obs import Registry
 from repro.trace.store import ArtifactStore
-from repro.trace.sweep import SweepTask, execute_sweep, run_task
+from repro.trace.sweep import SweepTask, execute_sweep, log_progress, run_task
 
 
 @dataclass(frozen=True)
@@ -104,23 +105,30 @@ class ExperimentRunner:
         self._scratch: tempfile.TemporaryDirectory | None = None
         self._cache: dict[RunSpec, AppResult] = {}
         self._traces: dict = {}
+        #: Instrumentation registry: ``runs.*`` outcome counters, the
+        #: merged metric tree of every simulation this runner performed,
+        #: and the span log experiment drivers time themselves with.
+        self.obs = Registry()
 
     # ------------------------------------------------------------------
+    def _record(self, result: AppResult, how: str) -> None:
+        """Fold one completed simulation into the runner's registry."""
+        self.obs.counter(f"runs.{how}").inc()
+        self.obs.absorb(result.stats.to_snapshot())
+
     def run(self, app: str, variant: Variant, line_size: int) -> AppResult:
         spec = RunSpec.make(app, variant, line_size, self.scale)
         result = self._cache.get(spec)
         if result is None:
             result, how = run_task(spec.task(), self.store, self._traces)
             self._cache[spec] = result
+            self._record(result, how)
             if self.verbose:
-                self._log.info(
-                    "  %-8s %-10s %-4s line=%-3d cycles=%12.0f",
-                    how,
-                    app,
-                    variant.value,
-                    line_size,
-                    result.stats.cycles,
-                )
+                log_progress(spec.task(), result, how)
+        else:
+            # Memo hits are counted but not re-absorbed: the metric tree
+            # reflects simulation work, and a memoized cell did none.
+            self.obs.counter("runs.memoized").inc()
         return result
 
     def prime(self, specs: Iterable[RunSpec]) -> None:
@@ -143,8 +151,9 @@ class ExperimentRunner:
             verbose=self.verbose,
         )
         by_task = {spec.task(): spec for spec in todo}
-        for task, (result, _how) in outcomes.items():
+        for task, (result, how) in outcomes.items():
             self._cache[by_task[task]] = result
+            self._record(result, how)
 
     def _sweep_store(self) -> ArtifactStore:
         """The persistent store, or a lazily created throwaway one."""
@@ -153,6 +162,59 @@ class ExperimentRunner:
         if self._scratch is None:
             self._scratch = tempfile.TemporaryDirectory(prefix="repro-sweep-")
         return ArtifactStore(self._scratch.name)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str):
+        """Time a region (e.g. one artifact build) against the registry."""
+        return self.obs.span(name)
+
+    def trace_hashes(self) -> dict[str, str]:
+        """Content hash of every trace this process touched, by trace key.
+
+        Covers in-process captures and loads; cells simulated inside
+        pool workers (parallel :meth:`prime`) coordinate through the
+        artifact store and are not re-read here.
+        """
+        return {
+            key: trace.content_hash for key, trace in sorted(self._traces.items())
+        }
+
+    def seeds(self) -> dict[str, int]:
+        """Workload seed for every app this runner has simulated."""
+        return {
+            spec.app: spec.seed
+            for spec in sorted(self._cache, key=lambda s: s.app)
+        }
+
+    def manifest(
+        self,
+        artifact: str,
+        cells: Iterable[dict] = (),
+        summary: dict | None = None,
+    ) -> dict:
+        """Schema-validated run manifest for ``artifact`` (see repro.obs).
+
+        Carries this runner's full configuration, seeds, trace content
+        hashes, span timeline, and merged metric tree; the caller supplies
+        the artifact-specific cells and summary.
+        """
+        from repro.obs import build_manifest
+
+        return build_manifest(
+            artifact,
+            run={
+                "scale": self.scale,
+                "jobs": self.jobs,
+                "cache": self.store is not None,
+                "trace_dir": str(self.store.root) if self.store else None,
+            },
+            seeds=self.seeds(),
+            metrics=self.obs.snapshot(),
+            spans=self.obs.spans,
+            cells=cells,
+            trace_hashes=self.trace_hashes(),
+            summary=summary,
+        )
 
     # ------------------------------------------------------------------
     def checksum_match(self, app: str, variants: list[Variant], line_size: int) -> bool:

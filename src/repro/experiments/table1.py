@@ -72,6 +72,29 @@ def run(runner: ExperimentRunner | None = None, scale: float = 1.0) -> Table1Res
     return result
 
 
+def manifest(result: Table1Result, runner: ExperimentRunner) -> dict:
+    """Schema-validated run manifest for this table."""
+    from repro.obs import cell
+
+    cells = [
+        cell(
+            row.app,
+            labels={
+                "app": row.app,
+                "optimization": row.optimization,
+                "line_size": LINE_SIZE,
+            },
+            values={
+                "optimizer_invocations": row.optimizer_invocations,
+                "words_relocated": row.words_relocated,
+                "space_overhead_bytes": row.space_overhead_bytes,
+            },
+        )
+        for row in result.rows
+    ]
+    return runner.manifest("table1", cells)
+
+
 def main() -> None:  # pragma: no cover - CLI entry
     print(run(ExperimentRunner(verbose=True)).render())
 

@@ -1,0 +1,63 @@
+"""repro.obs — the instrumentation layer.
+
+One surface for every counter, timer, and structured run artifact in the
+reproduction:
+
+* :class:`Registry` — hierarchical, typed metrics (owned or bound to
+  hot-path counter slots), snapshotted in O(metrics).
+* :class:`Snapshot` — immutable metric view with lossless
+  ``merge``/``diff`` (shard aggregation, span attribution).
+* :func:`span` / :class:`SpanLog` — wall-time + counter-delta tracing.
+* :func:`build_manifest` / :func:`validate_manifest` — versioned,
+  schema-validated JSON run manifests.
+
+See DESIGN.md §5c for the design contract, in particular the hot-path
+flush rule: fused kernels never touch the registry; their flat counter
+slots are read through bound getters only at snapshot time.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    ManifestError,
+    build_manifest,
+    cell,
+    load_schema,
+    validate_manifest,
+)
+from repro.obs.registry import (
+    COUNTER,
+    EMPTY,
+    GAUGE,
+    HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    Registry,
+    Snapshot,
+)
+from repro.obs.span import SpanLog, SpanRecord, span
+
+__all__ = [
+    "COUNTER",
+    "Counter",
+    "EMPTY",
+    "GAUGE",
+    "Gauge",
+    "HISTOGRAM",
+    "Histogram",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_VERSION",
+    "ManifestError",
+    "MetricError",
+    "Registry",
+    "Snapshot",
+    "SpanLog",
+    "SpanRecord",
+    "build_manifest",
+    "cell",
+    "load_schema",
+    "span",
+    "validate_manifest",
+]

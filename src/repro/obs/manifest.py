@@ -1,0 +1,254 @@
+"""Versioned, schema-validated run manifests.
+
+A *manifest* is the machine-readable record of one experiment artifact
+run: the configuration that produced it, the workload seeds, the content
+hashes of every trace it consumed, the span timeline, and the full
+metric tree.  ``python -m repro <artifact> --format json`` prints one;
+regression tooling and dashboards parse it instead of scraping the
+rendered tables.
+
+The schema is committed next to this module (``manifest_schema.json``)
+and every manifest is validated against it before it leaves the
+process.  Validation prefers :mod:`jsonschema` when importable and falls
+back to a pure-python structural check so the artifact pipeline works in
+minimal environments.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from importlib import resources
+from typing import Any, Iterable, Mapping
+
+from repro.obs.registry import Snapshot
+from repro.obs.span import SpanLog
+
+MANIFEST_VERSION = 1
+MANIFEST_SCHEMA = "repro.obs.manifest/v1"
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+class ManifestError(ValueError):
+    """A manifest failed schema validation."""
+
+
+def load_schema() -> dict[str, Any]:
+    """The committed JSON schema for manifest version 1."""
+    text = (
+        resources.files("repro.obs").joinpath("manifest_schema.json").read_text()
+    )
+    return json.loads(text)
+
+
+def cell(
+    cell_id: str,
+    *,
+    labels: Mapping[str, Any] | None = None,
+    checksum: int | None = None,
+    metrics: Snapshot | Mapping[str, Any] | None = None,
+    values: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """One manifest cell: a figure bar, a table row, an ablation point.
+
+    ``labels`` carries the cell's coordinates (app, variant, line size,
+    ...), ``values`` its artifact-specific derived numbers (normalized
+    slots, speedup, miss rate), ``metrics`` the raw metric tree of the
+    simulation(s) behind it.
+    """
+    entry: dict[str, Any] = {"id": cell_id}
+    if labels:
+        entry["labels"] = dict(labels)
+    if checksum is not None:
+        entry["checksum"] = checksum
+    if metrics is not None:
+        entry["metrics"] = (
+            metrics.tree() if isinstance(metrics, Snapshot) else dict(metrics)
+        )
+    if values:
+        entry["values"] = dict(values)
+    return entry
+
+
+def build_manifest(
+    artifact: str,
+    *,
+    run: Mapping[str, Any],
+    seeds: Mapping[str, int],
+    metrics: Snapshot | Mapping[str, Any],
+    spans: SpanLog | Iterable[Mapping[str, Any]] | None = None,
+    cells: Iterable[Mapping[str, Any]] = (),
+    trace_hashes: Mapping[str, str] | None = None,
+    summary: Mapping[str, Any] | None = None,
+    validate: bool = True,
+) -> dict[str, Any]:
+    """Assemble (and by default validate) a version-1 run manifest."""
+    from repro import __version__
+
+    if isinstance(spans, SpanLog):
+        span_list = spans.to_list()
+    elif spans is None:
+        span_list = []
+    else:
+        span_list = [dict(record) for record in spans]
+    manifest: dict[str, Any] = {
+        "manifest_version": MANIFEST_VERSION,
+        "schema": MANIFEST_SCHEMA,
+        "artifact": artifact,
+        "tool": {
+            "name": "repro",
+            "version": __version__,
+            "python": platform.python_version(),
+        },
+        "run": dict(run),
+        "seeds": dict(seeds),
+        "trace_hashes": dict(trace_hashes or {}),
+        "spans": span_list,
+        "metrics": (
+            metrics.tree() if isinstance(metrics, Snapshot) else dict(metrics)
+        ),
+        "cells": [dict(entry) for entry in cells],
+    }
+    if summary is not None:
+        manifest["summary"] = dict(summary)
+    if validate:
+        validate_manifest(manifest)
+    return manifest
+
+
+def validate_manifest(manifest: Mapping[str, Any]) -> None:
+    """Raise :class:`ManifestError` unless ``manifest`` matches the schema.
+
+    Uses :mod:`jsonschema` when available; otherwise falls back to a
+    structural check covering the same constraints (required keys, value
+    types, metric-tree shape).
+    """
+    try:
+        import jsonschema
+    except ImportError:
+        _validate_structurally(manifest)
+        return
+    try:
+        jsonschema.validate(instance=dict(manifest), schema=load_schema())
+    except jsonschema.ValidationError as exc:
+        raise ManifestError(str(exc)) from exc
+
+
+def _fail(path: str, message: str) -> None:
+    raise ManifestError(f"{path}: {message}")
+
+
+def _check_scalar_map(value: Any, path: str) -> None:
+    if not isinstance(value, dict):
+        _fail(path, "must be an object")
+    for key, item in value.items():
+        if not isinstance(key, str):
+            _fail(path, f"non-string key {key!r}")
+        if not isinstance(item, _SCALAR):
+            _fail(f"{path}.{key}", "must be a scalar")
+
+
+def _check_metric_tree(value: Any, path: str) -> None:
+    if not isinstance(value, dict):
+        _fail(path, "metric tree node must be an object")
+    for key, item in value.items():
+        if not isinstance(key, str):
+            _fail(path, f"non-string key {key!r}")
+        if isinstance(item, bool) or not isinstance(item, (int, float, dict)):
+            _fail(f"{path}.{key}", "must be a number or a subtree")
+        if isinstance(item, dict):
+            _check_metric_tree(item, f"{path}.{key}")
+
+
+def _validate_structurally(manifest: Mapping[str, Any]) -> None:
+    """Pure-python fallback mirroring manifest_schema.json."""
+    required = (
+        "manifest_version",
+        "schema",
+        "artifact",
+        "tool",
+        "run",
+        "seeds",
+        "trace_hashes",
+        "spans",
+        "metrics",
+        "cells",
+    )
+    for key in required:
+        if key not in manifest:
+            _fail(key, "missing required field")
+    if manifest["manifest_version"] != MANIFEST_VERSION:
+        _fail("manifest_version", f"must be {MANIFEST_VERSION}")
+    if manifest["schema"] != MANIFEST_SCHEMA:
+        _fail("schema", f"must be {MANIFEST_SCHEMA!r}")
+    if not isinstance(manifest["artifact"], str) or not manifest["artifact"]:
+        _fail("artifact", "must be a non-empty string")
+    tool = manifest["tool"]
+    if not isinstance(tool, dict) or set(tool) != {"name", "version", "python"}:
+        _fail("tool", "must have exactly name/version/python")
+    for key, item in tool.items():
+        if not isinstance(item, str):
+            _fail(f"tool.{key}", "must be a string")
+    _check_scalar_map(manifest["run"], "run")
+    seeds = manifest["seeds"]
+    if not isinstance(seeds, dict):
+        _fail("seeds", "must be an object")
+    for app, seed in seeds.items():
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            _fail(f"seeds.{app}", "must be an integer")
+    hashes = manifest["trace_hashes"]
+    if not isinstance(hashes, dict):
+        _fail("trace_hashes", "must be an object")
+    for key, digest in hashes.items():
+        if not isinstance(digest, str) or not digest or set(digest) - set(
+            "0123456789abcdef"
+        ):
+            _fail(f"trace_hashes.{key}", "must be a lowercase hex string")
+    spans = manifest["spans"]
+    if not isinstance(spans, list):
+        _fail("spans", "must be an array")
+    for index, record in enumerate(spans):
+        path = f"spans[{index}]"
+        if not isinstance(record, dict):
+            _fail(path, "must be an object")
+        extra = set(record) - {"name", "wall_seconds", "depth", "metrics"}
+        missing = {"name", "wall_seconds", "depth", "metrics"} - set(record)
+        if extra or missing:
+            _fail(path, f"bad keys (extra={extra}, missing={missing})")
+        if not isinstance(record["name"], str) or not record["name"]:
+            _fail(f"{path}.name", "must be a non-empty string")
+        if isinstance(record["wall_seconds"], bool) or not isinstance(
+            record["wall_seconds"], (int, float)
+        ) or record["wall_seconds"] < 0:
+            _fail(f"{path}.wall_seconds", "must be a non-negative number")
+        if isinstance(record["depth"], bool) or not isinstance(
+            record["depth"], int
+        ) or record["depth"] < 0:
+            _fail(f"{path}.depth", "must be a non-negative integer")
+        _check_metric_tree(record["metrics"], f"{path}.metrics")
+    _check_metric_tree(manifest["metrics"], "metrics")
+    cells = manifest["cells"]
+    if not isinstance(cells, list):
+        _fail("cells", "must be an array")
+    for index, entry in enumerate(cells):
+        path = f"cells[{index}]"
+        if not isinstance(entry, dict):
+            _fail(path, "must be an object")
+        if set(entry) - {"id", "labels", "checksum", "metrics", "values"}:
+            _fail(path, "unexpected keys")
+        if not isinstance(entry.get("id"), str) or not entry["id"]:
+            _fail(f"{path}.id", "must be a non-empty string")
+        if "labels" in entry:
+            _check_scalar_map(entry["labels"], f"{path}.labels")
+        if "checksum" in entry and entry["checksum"] is not None:
+            if isinstance(entry["checksum"], bool) or not isinstance(
+                entry["checksum"], int
+            ):
+                _fail(f"{path}.checksum", "must be an integer or null")
+        if "metrics" in entry:
+            _check_metric_tree(entry["metrics"], f"{path}.metrics")
+        if "values" in entry:
+            _check_scalar_map(entry["values"], f"{path}.values")
+    if "summary" in manifest:
+        _check_scalar_map(manifest["summary"], "summary")

@@ -1,0 +1,106 @@
+"""Lightweight spans: wall-clock timing plus counter attribution.
+
+A span brackets a region of execution -- one figure regeneration, one
+sweep phase, one captured run -- and records how long it took and what
+simulation work happened inside it (the diff of the registry's counters
+between entry and exit).  Spans nest; each record carries its dotted
+name and depth so a log renders as an indented timeline.
+
+Usage::
+
+    registry = Registry()
+    with registry.span("figure5.health.base"):
+        ...work...
+    registry.spans.records[-1].wall_seconds
+
+Spans are instrumentation, not accounting: they never touch simulated
+time, and a span around untimed code simply reports zero deltas.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import Registry, Snapshot
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    wall_seconds: float
+    #: Nesting depth at the time the span ran (0 = top level).
+    depth: int = 0
+    #: Counter deltas observed across the span (dotted name -> delta).
+    #: Zero deltas are dropped; gauges report their exit value.
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form used by run manifests."""
+        return {
+            "name": self.name,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "depth": self.depth,
+            "metrics": {
+                name: (
+                    {str(k): v for k, v in sorted(value.items())}
+                    if isinstance(value, dict)
+                    else value
+                )
+                for name, value in sorted(self.metrics.items())
+            },
+        }
+
+
+class SpanLog:
+    """Ordered log of completed spans (completion order, innermost first)."""
+
+    __slots__ = ("records", "_depth")
+
+    def __init__(self) -> None:
+        self.records: list[SpanRecord] = []
+        self._depth = 0
+
+    def to_list(self) -> list[dict[str, Any]]:
+        return [record.to_dict() for record in self.records]
+
+    def find(self, name: str) -> SpanRecord:
+        """The most recent record with ``name`` (KeyError if absent)."""
+        for record in reversed(self.records):
+            if record.name == name:
+                return record
+        raise KeyError(name)
+
+
+@contextmanager
+def span(
+    name: str,
+    registry: "Registry | None" = None,
+    log: SpanLog | None = None,
+) -> Iterator[SpanRecord]:
+    """Time a region; optionally attribute registry counter deltas to it.
+
+    Yields the (still incomplete) :class:`SpanRecord`; its fields are
+    filled in when the block exits, including on exception -- a failed
+    region still accounts for the time it consumed.
+    """
+    before: "Snapshot | None" = registry.snapshot() if registry is not None else None
+    record = SpanRecord(name=name, wall_seconds=0.0)
+    if log is not None:
+        record.depth = log._depth
+        log._depth += 1
+    started = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record.wall_seconds = time.perf_counter() - started
+        if registry is not None and before is not None:
+            record.metrics = registry.snapshot().diff(before).nonzero().flat()
+        if log is not None:
+            log._depth -= 1
+            log.records.append(record)

@@ -124,9 +124,13 @@ def tiled_matmul(
             j_span = min(tile, b.cols - jj)
             if pool is not None:
                 b_tile = RelocatedTile(m, b, kk, jj, k_span, j_span, pool)
-                read_b = lambda k, j: b_tile.get(k - kk, j - jj)
+
+                def read_b(k, j):
+                    return b_tile.get(k - kk, j - jj)
             else:
-                read_b = lambda k, j: b.get(k, j)
+
+                def read_b(k, j):
+                    return b.get(k, j)
             for i in range(a.rows):
                 for k in range(kk, kk + k_span):
                     a_ik = a.get(i, k)

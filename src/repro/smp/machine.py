@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.errors import ForwardingCycleError
 from repro.core.forwarding import ForwardingEngine
 from repro.core.memory import TaggedMemory, WORD_SIZE
 from repro.mem.allocator import HeapAllocator

@@ -373,29 +373,15 @@ def replay_trace(trace: Trace, config: MachineConfig) -> AppResult:
             handlers[kind](entry)
 
     captured = trace.captured_stats
-    miss = hierarchy.miss_classes
-    traffic = hierarchy.traffic
-    stats = MachineStats(
-        cycles=timing.cycle,
-        instructions=timing.instructions,
-        slots=timing.slot_breakdown(),
+    stats = MachineStats.collect(
+        timing=timing,
+        hierarchy=hierarchy,
         loads=load_latency,
         stores=store_latency,
-        l1_load_misses_full=miss.load_full,
-        l1_load_misses_partial=miss.load_partial,
-        l1_store_misses_full=miss.store_full,
-        l1_store_misses_partial=miss.store_partial,
-        l2_misses=hierarchy.l2.stats.misses,
-        l1_l2_bytes=traffic.l1_l2_bytes,
-        l2_mem_bytes=traffic.l2_mem_bytes,
+        speculator=speculator,
+        prefetcher=prefetcher,
         forwarding_hops=captured["forwarding_hops"],
         cycle_checks=captured["cycle_checks"],
-        speculation_loads_checked=(
-            speculator.stats.loads_checked if speculator else 0
-        ),
-        misspeculations=timing.misspeculations,
-        prefetch_instructions=prefetcher.stats.instructions_issued,
-        prefetch_fills=prefetcher.stats.fills_started,
         relocation=RelocationStats(**captured["relocation"]),
         heap_high_water=captured["heap_high_water"],
     )

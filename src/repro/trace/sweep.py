@@ -23,10 +23,12 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.apps import APPLICATIONS
 from repro.apps.base import AppResult, Variant
 from repro.core.debug import get_logger
+from repro.obs.registry import EMPTY, Snapshot
 from repro.trace.format import Trace
 from repro.trace.recorder import capture_trace
 from repro.trace.replay import replay_trace
@@ -129,7 +131,7 @@ def execute_sweep(
         for task in tasks:
             results[task] = run_task(task, store, traces)
             if verbose:
-                _log_progress(task, results[task])
+                log_progress(task, *results[task])
         return results
 
     # Phase 1: capture each missing trace exactly once, in parallel.
@@ -151,7 +153,7 @@ def execute_sweep(
                 results[task] = (result, how)
                 remaining.discard(task)
                 if verbose:
-                    _log_progress(task, results[task])
+                    log_progress(task, result, how)
         # Phase 2: replay (or fetch) every remaining cell in parallel.
         futures = [
             pool.submit(_worker, task, str(store.root)) for task in remaining
@@ -160,12 +162,26 @@ def execute_sweep(
             task, result, how = future.result()
             results[task] = (result, how)
             if verbose:
-                _log_progress(task, results[task])
+                log_progress(task, result, how)
     return results
 
 
-def _log_progress(task: SweepTask, outcome: tuple[AppResult, str]) -> None:
-    result, how = outcome
+def aggregate_metrics(results: Iterable[AppResult]) -> Snapshot:
+    """Merge per-cell stats into one metric tree via the registry merge.
+
+    This is the sweep-aggregation primitive: counters sum across shards,
+    gauges (heap high water) take the maximum, and no key is ever lost --
+    so shard-merged totals equal a single-process run's totals exactly
+    (enforced by a regression test).
+    """
+    merged = EMPTY
+    for result in results:
+        merged = merged.merge(result.stats.to_snapshot())
+    return merged
+
+
+def log_progress(task: SweepTask, result: AppResult, how: str) -> None:
+    """One progress line per completed cell (shared with the runner)."""
     _log.info(
         "  %-8s %-10s %-4s line=%-3d cycles=%12.0f",
         how,

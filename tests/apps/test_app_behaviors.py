@@ -1,7 +1,5 @@
 """Per-application behaviour tests: each app exhibits the paper's story."""
 
-import pytest
-
 from repro.apps import get_application
 from repro.apps.base import Variant
 from repro.experiments.config import APP_SEEDS, experiment_config
@@ -62,8 +60,8 @@ class TestVIS:
     def test_optimized_traversals_cheaper(self):
         # Needs a working set beyond the caches for layout to matter.
         n = run("vis", Variant.N, scale=0.75).stats.cycles
-        l = run("vis", Variant.L, scale=0.75).stats.cycles
-        assert l < n
+        opt = run("vis", Variant.L, scale=0.75).stats.cycles
+        assert opt < n
 
 
 class TestRadiosity:
@@ -102,8 +100,8 @@ class TestBH:
         # Full scale: the tree must outgrow the caches (paper: clustering
         # is only meaningful at 256 B lines and realistic tree sizes).
         n = run("bh", Variant.N, line=256, scale=1.0).stats.cycles
-        l = run("bh", Variant.L, line=256, scale=1.0).stats.cycles
-        assert l < n
+        opt = run("bh", Variant.L, line=256, scale=1.0).stats.cycles
+        assert opt < n
 
 
 class TestCompress:
@@ -114,8 +112,8 @@ class TestCompress:
     def test_merged_table_loses_at_32B(self):
         """The paper's negative result: merging hurts at short lines."""
         n = run("compress", Variant.N, line=32).stats.cycles
-        l = run("compress", Variant.L, line=32).stats.cycles
-        assert l > n
+        opt = run("compress", Variant.L, line=32).stats.cycles
+        assert opt > n
 
     def test_stray_htab_reads_forwarded(self):
         stats = run("compress", Variant.L).stats
@@ -136,9 +134,9 @@ class TestSMV:
 
     def test_l_slower_than_perf(self):
         """Figure 10(a): forwarding overhead separates L from Perf."""
-        l = run("smv", Variant.L, scale=0.5).stats.cycles
+        scheme_l = run("smv", Variant.L, scale=0.5).stats.cycles
         perf = run("smv", Variant.PERF, scale=0.5).stats.cycles
-        assert perf < l
+        assert perf < scheme_l
 
     def test_forwarding_latency_attributed(self):
         stats = run("smv", Variant.L).stats

@@ -5,7 +5,7 @@ import itertools
 import pytest
 
 from repro import Machine
-from repro.bdd.bdd import BDD, OP_AND, OP_OR, OP_XOR, BDD_NODE
+from repro.bdd.bdd import BDD, BDD_NODE
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import AlignmentError, MemoryAccessError
-from repro.core.memory import WORD_SIZE, TaggedMemory
+from repro.core.memory import TaggedMemory
 
 
 @pytest.fixture

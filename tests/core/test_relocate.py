@@ -3,7 +3,6 @@
 import pytest
 
 from repro import Machine, NULL, list_linearize, relocate
-from repro.core.memory import WORD_SIZE
 
 
 @pytest.fixture

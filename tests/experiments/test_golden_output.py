@@ -1,0 +1,64 @@
+"""Golden-output tests: exact rendered text for report helpers and Figure 7.
+
+These pin the rendering layer byte-for-byte over fixed inputs, so any
+formatting drift (alignment, rounding, column order) shows up as a
+readable diff rather than a silent change in every artifact's output.
+The inputs are synthetic: simulator-derived numbers live in the
+structural tests, keeping these goldens stable across perf work.
+"""
+
+import textwrap
+
+from repro.apps.base import Variant
+from repro.experiments.figure7 import Figure7Cell, Figure7Result
+from repro.experiments.report import render_stacked_bar, render_table
+
+
+GOLDEN_TABLE = textwrap.dedent(
+    """\
+    Costs
+    Item       Qty  Unit
+    --------------------
+       widget    3  0.25
+    doohickey   12  1.50"""
+)
+
+
+GOLDEN_FIGURE7 = textwrap.dedent(
+    """\
+    Figure 7: prefetching x locality at 32B lines
+    App     Scheme  Norm.time  Speedup  PF instr  PF fills
+    ------------------------------------------------------
+    health       N       1.00    1.00x         0         0
+    health       L       0.80    1.25x         0         0
+    health      NP       0.90    1.11x       120        80
+    health      LP       0.64    1.56x       120       110"""
+)
+
+
+def test_render_table_golden():
+    table = render_table(
+        ["Item", "Qty", "Unit"],
+        [("widget", 3, 0.25), ("doohickey", 12, 1.5)],
+        title="Costs",
+    )
+    assert table == GOLDEN_TABLE
+
+
+def test_render_stacked_bar_golden():
+    bar = render_stacked_bar(
+        [("busy", 2.0), ("load", 1.0), ("store", 1.0)], total_width=8
+    )
+    assert bar == "####==++"
+
+
+def test_figure7_render_golden():
+    result = Figure7Result(
+        cells=[
+            Figure7Cell("health", Variant.N, 1000.0, 1.0, 0, 0),
+            Figure7Cell("health", Variant.L, 800.0, 0.8, 0, 0),
+            Figure7Cell("health", Variant.NP, 900.0, 0.9, 120, 80),
+            Figure7Cell("health", Variant.LP, 640.0, 0.64, 120, 110),
+        ]
+    )
+    assert result.render() == GOLDEN_FIGURE7

@@ -1,7 +1,5 @@
 """Unit tests for reporting helpers, stats containers, and configs."""
 
-import pytest
-
 from repro.core.stats import MachineStats, ReferenceLatencyStats
 from repro.cpu.timing import SlotBreakdown
 from repro.experiments.config import (

@@ -1,0 +1,136 @@
+"""Manifest schema validation, including the committed JSON schema.
+
+The acceptance bar for structured output: every experiment entry point
+emits a manifest that validates against ``manifest_schema.json``.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments import ablations, figure5, figure6, figure7, figure10, table1
+from repro.obs import Registry
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    ManifestError,
+    _validate_structurally,
+    build_manifest,
+    cell,
+    load_schema,
+    validate_manifest,
+)
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=SCALE)
+
+
+def _minimal_manifest(**overrides):
+    manifest = build_manifest(
+        "test",
+        run={"scale": SCALE},
+        seeds={"health": 1},
+        metrics={"time": {"cycles": 10.0}},
+        cells=[cell("a/b", labels={"app": "a"}, values={"cycles": 10.0})],
+        trace_hashes={"k": "abc123"},
+        validate=False,
+    )
+    manifest.update(overrides)
+    return manifest
+
+
+class TestSchema:
+    def test_schema_loads_and_pins_version(self):
+        schema = load_schema()
+        assert schema["properties"]["manifest_version"]["const"] == MANIFEST_VERSION
+        assert schema["properties"]["schema"]["const"] == MANIFEST_SCHEMA
+
+    def test_build_manifest_validates_by_default(self):
+        manifest = _minimal_manifest()
+        validate_manifest(manifest)  # should not raise
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ManifestError):
+            _validate_structurally(_minimal_manifest(manifest_version=2))
+
+    def test_rejects_missing_required_key(self):
+        bad = _minimal_manifest()
+        del bad["metrics"]
+        with pytest.raises(ManifestError):
+            _validate_structurally(bad)
+
+    def test_rejects_non_hex_trace_hash(self):
+        with pytest.raises(ManifestError):
+            _validate_structurally(_minimal_manifest(trace_hashes={"k": "XYZ"}))
+
+    def test_rejects_non_scalar_run_value(self):
+        with pytest.raises(ManifestError):
+            _validate_structurally(_minimal_manifest(run={"nested": {"a": 1}}))
+
+    def test_rejects_malformed_metric_tree(self):
+        with pytest.raises(ManifestError):
+            _validate_structurally(_minimal_manifest(metrics={"time": "fast"}))
+
+    def test_rejects_bad_cell_keys(self):
+        bad = _minimal_manifest()
+        bad["cells"] = [{"id": "x", "unexpected": 1}]
+        with pytest.raises(ManifestError):
+            _validate_structurally(bad)
+
+    def test_rejects_bad_span_record(self):
+        bad = _minimal_manifest()
+        bad["spans"] = [{"name": "s", "wall_seconds": -1.0, "depth": 0, "metrics": {}}]
+        with pytest.raises(ManifestError):
+            _validate_structurally(bad)
+
+    def test_jsonschema_and_fallback_agree_on_valid(self):
+        manifest = _minimal_manifest()
+        validate_manifest(manifest)
+        _validate_structurally(manifest)
+
+
+class TestEveryArtifactEmitsAValidManifest:
+    """The acceptance criterion: all entry points produce valid manifests.
+
+    ``build_manifest`` validates on construction, so each call below
+    raising nothing IS the assertion; the explicit re-validation guards
+    against an entry point bypassing validation.
+    """
+
+    @pytest.mark.parametrize("module", [table1, figure5, figure6, figure7, figure10])
+    def test_paper_artifact(self, runner, module):
+        result = module.run(runner, scale=SCALE)
+        manifest = module.manifest(result, runner)
+        validate_manifest(manifest)
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["cells"], "artifact manifest must carry cells"
+        assert manifest["metrics"], "artifact manifest must carry metrics"
+        assert manifest["run"]["scale"] == SCALE
+
+    def test_ablations(self):
+        obs = Registry()
+        results = ablations.run_all(scale=SCALE, obs=obs)
+        manifest = ablations.manifest(results, SCALE, obs)
+        validate_manifest(manifest)
+        ids = [entry["id"] for entry in manifest["cells"]]
+        assert len(ids) == len(set(ids)), "ablation cell ids must be unique"
+        span_names = {record["name"] for record in manifest["spans"]}
+        assert "ablations.hop_limit" in span_names
+
+    @pytest.mark.parametrize("name", ["false-sharing", "out-of-core"])
+    def test_extension(self, name):
+        from repro.__main__ import _extension_manifest
+
+        manifest = _extension_manifest(name, 1.0)
+        validate_manifest(manifest)
+        assert len(manifest["cells"]) == 2
+        assert manifest["summary"]["speedup"] > 0
+
+    def test_runner_manifest_reflects_simulation_work(self, runner):
+        manifest = runner.manifest("probe")
+        assert manifest["metrics"]["runs"]
+        assert manifest["seeds"]
+        assert manifest["trace_hashes"]

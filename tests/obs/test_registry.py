@@ -1,0 +1,185 @@
+"""Unit tests for the hierarchical metrics registry."""
+
+import pytest
+
+from repro.obs.registry import (
+    COUNTER,
+    EMPTY,
+    GAUGE,
+    HISTOGRAM,
+    MetricError,
+    Registry,
+    Snapshot,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = Registry()
+        counter = registry.counter("runs.captured")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot()["runs.captured"] == 5
+
+    def test_counter_create_or_get(self):
+        registry = Registry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+
+    def test_gauge_set_and_track_max(self):
+        registry = Registry()
+        gauge = registry.gauge("heap.high_water")
+        gauge.set(10)
+        gauge.track_max(7)
+        assert registry.snapshot()["heap.high_water"] == 10
+        gauge.track_max(42)
+        assert registry.snapshot()["heap.high_water"] == 42
+
+    def test_histogram_observes_sparse_keys(self):
+        registry = Registry()
+        histogram = registry.histogram("fwd.hop_histogram")
+        histogram.observe(1)
+        histogram.observe(1)
+        histogram.observe(3, count=5)
+        assert registry.snapshot()["fwd.hop_histogram"] == {1: 2, 3: 5}
+        assert histogram.total == 7
+
+    def test_kind_clash_raises(self):
+        registry = Registry()
+        registry.counter("x")
+        with pytest.raises(MetricError):
+            registry.gauge("x")
+        with pytest.raises(MetricError):
+            registry.histogram("x")
+
+
+class TestTreeInvariant:
+    def test_leaf_cannot_become_interior(self):
+        registry = Registry()
+        registry.counter("cache.l1")
+        with pytest.raises(MetricError):
+            registry.counter("cache.l1.hits")
+
+    def test_interior_cannot_become_leaf(self):
+        registry = Registry()
+        registry.counter("cache.l1.hits")
+        with pytest.raises(MetricError):
+            registry.counter("cache.l1")
+
+    def test_bad_names_rejected(self):
+        registry = Registry()
+        for name in ("", ".x", "x.", "a..b"):
+            with pytest.raises(MetricError):
+                registry.counter(name)
+
+    def test_bound_duplicate_rejected(self):
+        registry = Registry()
+        registry.bind("time.cycles", lambda: 1)
+        with pytest.raises(MetricError):
+            registry.bind("time.cycles", lambda: 2)
+        with pytest.raises(MetricError):
+            registry.counter("time.cycles")
+
+
+class TestBinding:
+    def test_bound_getter_read_at_snapshot_time(self):
+        registry = Registry()
+        state = {"cycles": 0}
+        registry.bind("time.cycles", lambda: state["cycles"])
+        state["cycles"] = 99
+        assert registry.snapshot()["time.cycles"] == 99
+        state["cycles"] = 100
+        assert registry.snapshot()["time.cycles"] == 100
+
+    def test_bound_kinds(self):
+        registry = Registry()
+        registry.bind("g", lambda: 3, kind=GAUGE)
+        registry.bind("h", lambda: {2: 1}, kind=HISTOGRAM)
+        snap = registry.snapshot()
+        assert snap.kind("g") == GAUGE
+        assert snap.kind("h") == HISTOGRAM
+        assert snap["h"] == {2: 1}
+
+    def test_unknown_kind_rejected(self):
+        registry = Registry()
+        with pytest.raises(MetricError):
+            registry.bind("x", lambda: 0, kind="meter")
+
+
+class TestSnapshotComposition:
+    def test_merge_sums_counters_and_histograms(self):
+        a = Snapshot({"c": 2, "h": {1: 1}}, {"c": COUNTER, "h": HISTOGRAM})
+        b = Snapshot({"c": 3, "h": {1: 1, 2: 4}}, {"c": COUNTER, "h": HISTOGRAM})
+        merged = a.merge(b)
+        assert merged["c"] == 5
+        assert merged["h"] == {1: 2, 2: 4}
+
+    def test_merge_gauges_take_max(self):
+        a = Snapshot({"g": 10}, {"g": GAUGE})
+        b = Snapshot({"g": 7}, {"g": GAUGE})
+        assert a.merge(b)["g"] == 10
+        assert b.merge(a)["g"] == 10
+
+    def test_merge_union_of_keys(self):
+        a = Snapshot({"only.a": 1})
+        b = Snapshot({"only.b": 2})
+        merged = a.merge(b)
+        assert dict(merged.flat()) == {"only.a": 1, "only.b": 2}
+
+    def test_merge_kind_mismatch_raises(self):
+        a = Snapshot({"x": 1}, {"x": COUNTER})
+        b = Snapshot({"x": 1}, {"x": GAUGE})
+        with pytest.raises(MetricError):
+            a.merge(b)
+
+    def test_diff_subtracts_counters(self):
+        older = Snapshot({"c": 2, "h": {1: 1}}, {"c": COUNTER, "h": HISTOGRAM})
+        newer = Snapshot({"c": 9, "h": {1: 3, 2: 1}}, {"c": COUNTER, "h": HISTOGRAM})
+        delta = newer.diff(older)
+        assert delta["c"] == 7
+        assert delta["h"] == {1: 2, 2: 1}
+
+    def test_diff_gauge_keeps_current_value(self):
+        older = Snapshot({"g": 10}, {"g": GAUGE})
+        newer = Snapshot({"g": 4}, {"g": GAUGE})
+        assert newer.diff(older)["g"] == 4
+
+    def test_diff_never_loses_keys(self):
+        older = Snapshot({"gone": 5})
+        newer = Snapshot({"new": 3})
+        delta = newer.diff(older)
+        assert delta["new"] == 3
+        assert delta["gone"] == -5
+
+    def test_nonzero_drops_zeroes(self):
+        snap = Snapshot({"a": 0, "b": 2, "h": {}}, {"h": HISTOGRAM})
+        assert dict(snap.nonzero().flat()) == {"b": 2}
+
+    def test_tree_nests_and_stringifies_histogram_keys(self):
+        snap = Snapshot(
+            {"cache.l1.hits": 3, "fwd.hop_histogram": {1: 2}},
+            {"fwd.hop_histogram": HISTOGRAM},
+        )
+        assert snap.tree() == {
+            "cache": {"l1": {"hits": 3}},
+            "fwd": {"hop_histogram": {"1": 2}},
+        }
+
+    def test_empty_is_merge_identity(self):
+        snap = Snapshot({"a": 1, "g": 2}, {"g": GAUGE})
+        assert EMPTY.merge(snap) == snap
+        assert snap.merge(EMPTY) == snap
+
+
+class TestAbsorb:
+    def test_absorb_folds_all_kinds(self):
+        registry = Registry()
+        snap = Snapshot(
+            {"c": 2, "g": 5, "h": {1: 1}},
+            {"c": COUNTER, "g": GAUGE, "h": HISTOGRAM},
+        )
+        registry.absorb(snap)
+        registry.absorb(Snapshot({"c": 3, "g": 4}, {"c": COUNTER, "g": GAUGE}))
+        out = registry.snapshot()
+        assert out["c"] == 5
+        assert out["g"] == 5  # gauges track max
+        assert out["h"] == {1: 1}

@@ -1,0 +1,57 @@
+"""Unit tests for span timing and counter attribution."""
+
+import pytest
+
+from repro.obs.registry import Registry
+from repro.obs.span import SpanLog, span
+
+
+class TestSpan:
+    def test_records_wall_time(self):
+        log = SpanLog()
+        with span("work", log=log):
+            pass
+        record = log.records[-1]
+        assert record.name == "work"
+        assert record.wall_seconds >= 0.0
+
+    def test_attributes_counter_deltas(self):
+        registry = Registry()
+        registry.counter("runs.captured").inc(2)
+        with registry.span("phase"):
+            registry.counter("runs.captured").inc(3)
+            registry.counter("runs.cached")  # stays zero -> dropped
+        record = registry.spans.find("phase")
+        assert record.metrics == {"runs.captured": 3}
+
+    def test_nesting_depth(self):
+        registry = Registry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        assert registry.spans.find("inner").depth == 1
+        assert registry.spans.find("outer").depth == 0
+        # Completion order: innermost first.
+        assert [r.name for r in registry.spans.records] == ["inner", "outer"]
+
+    def test_exception_still_recorded(self):
+        registry = Registry()
+        with pytest.raises(RuntimeError):
+            with registry.span("doomed"):
+                registry.counter("runs.captured").inc()
+                raise RuntimeError("boom")
+        assert registry.spans.find("doomed").metrics == {"runs.captured": 1}
+
+    def test_to_dict_is_json_safe(self):
+        registry = Registry()
+        registry.histogram("fwd.hop_histogram")
+        with registry.span("run"):
+            registry.histogram("fwd.hop_histogram").observe(2)
+        entry = registry.spans.to_list()[0]
+        assert entry["name"] == "run"
+        assert entry["depth"] == 0
+        assert entry["metrics"] == {"fwd.hop_histogram": {"2": 1}}
+
+    def test_find_missing_raises(self):
+        with pytest.raises(KeyError):
+            SpanLog().find("nope")

@@ -40,7 +40,8 @@ class TestColoredAllocator:
         allocator = make_allocator(m, colors=2, line_size=line, num_sets=sets)
         a = allocator.allocate(line, 0)
         b = allocator.allocate(line, 1)
-        set_of = lambda addr: (addr // line) % sets
+        def set_of(addr):
+            return (addr // line) % sets
         assert set_of(a) != set_of(b)
 
     def test_rejects_oversized_object(self, m):

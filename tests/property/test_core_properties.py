@@ -12,8 +12,9 @@ from repro import Machine, MachineConfig, TaggedMemory, relocate
 from repro.core.forwarding import ForwardingEngine
 from repro.mem.allocator import HeapAllocator
 
-# Small machines keep each example fast.
-_small_machine = lambda: Machine(MachineConfig(heap_size=1 << 20, pool_region_size=1 << 20))
+def _small_machine():
+    # Small machines keep each example fast.
+    return Machine(MachineConfig(heap_size=1 << 20, pool_region_size=1 << 20))
 
 word_values = st.integers(min_value=0, max_value=(1 << 64) - 1)
 sizes = st.sampled_from([1, 2, 4, 8])

@@ -1,0 +1,112 @@
+"""Property-based tests for snapshot algebra (merge/diff/absorb)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import COUNTER, EMPTY, GAUGE, HISTOGRAM, Registry, Snapshot
+
+_NAMES = st.sampled_from(
+    [
+        "time.cycles",
+        "core.instructions",
+        "cache.l1.miss.load_full",
+        "bw.l1_l2.bytes",
+        "fwd.hops",
+        "heap.high_water",
+        "fwd.hop_histogram",
+        "runs.captured",
+    ]
+)
+
+# Pin each name to one kind so generated snapshots are merge-compatible.
+_KIND_OF = {
+    "heap.high_water": GAUGE,
+    "fwd.hop_histogram": HISTOGRAM,
+}
+
+_COUNTS = st.integers(min_value=0, max_value=10**9)
+
+
+def _value_for(name, draw):
+    if _KIND_OF.get(name, COUNTER) == HISTOGRAM:
+        return draw(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=8), _COUNTS, max_size=4
+            )
+        )
+    return draw(_COUNTS)
+
+
+@st.composite
+def snapshots(draw):
+    names = draw(st.lists(_NAMES, unique=True, max_size=8))
+    values = {name: _value_for(name, draw) for name in names}
+    kinds = {name: _KIND_OF.get(name, COUNTER) for name in names}
+    return Snapshot(values, kinds)
+
+
+@given(snapshots(), snapshots())
+@settings(max_examples=200)
+def test_merge_commutes(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(snapshots(), snapshots(), snapshots())
+@settings(max_examples=100)
+def test_merge_associates(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(snapshots())
+def test_empty_is_identity(a):
+    assert a.merge(EMPTY) == a
+    assert EMPTY.merge(a) == a
+
+
+@given(snapshots(), snapshots())
+def test_merge_loses_no_keys(a, b):
+    merged = a.merge(b)
+    assert set(merged) == set(a) | set(b)
+
+
+@given(snapshots(), snapshots())
+def test_diff_loses_no_keys(a, b):
+    assert set(a.diff(b)) == set(a) | set(b)
+
+
+@given(snapshots(), snapshots())
+@settings(max_examples=200)
+def test_diff_then_merge_roundtrips_counters(base, extra):
+    """merge(base, x).diff(base) recovers x on counter/histogram keys."""
+    total = base.merge(extra)
+    delta = total.diff(base)
+    for name in extra:
+        if _KIND_OF.get(name, COUNTER) == GAUGE:
+            continue  # gauges are levels: diff reports the current value
+        expected = extra[name]
+        if _KIND_OF.get(name, COUNTER) == HISTOGRAM:
+            got = delta.get(name, {})
+            assert {k: v for k, v in expected.items() if v} == {
+                k: v for k, v in got.items() if v
+            }
+        else:
+            assert delta[name] == expected
+
+    # And no spurious deltas appear on keys extra never touched.
+    for name in base:
+        if name in extra or _KIND_OF.get(name, COUNTER) == GAUGE:
+            continue
+        value = delta.get(name, 0)
+        assert value == {} or value == 0
+
+
+@given(st.lists(snapshots(), max_size=6))
+@settings(max_examples=100)
+def test_absorb_equals_fold_merge(parts):
+    """Registry.absorb over shards == functional Snapshot.merge fold."""
+    registry = Registry()
+    folded = EMPTY
+    for part in parts:
+        registry.absorb(part)
+        folded = folded.merge(part)
+    assert registry.snapshot() == folded
