@@ -1,20 +1,30 @@
 #!/usr/bin/env python
-"""Hot-path benchmark harness for the simulator kernel (PR 2).
+"""Hot-path benchmark harness for the simulator kernel.
 
 Times the end-to-end Figure 5 sweep (42 cells, direct mode -- no trace
 cache) plus per-layer microbenchmarks of the structures the fused fast
 path touches, and writes the results to ``BENCH_PR2.json`` next to this
-file (override with ``--out``).
+file (override with ``--out``; the current pinned artifact is
+``BENCH_PR4.json``).
 
-The pinned baseline below was measured at the pre-PR commit on the same
+The pinned baseline below was measured at the pre-PR-2 commit on the
 machine that produced the committed ``BENCH_PR2.json``; ``speedup``
 fields compare against it and are only meaningful at ``--scale 1.0`` on
-comparable hardware.
+comparable hardware.  Wall-clock numbers drift across machines, so
+overhead claims (e.g. the timeline layer's <=2% disabled budget) should
+always be A/B'd on one machine in one sitting -- gate with
+``--baseline`` against a fresh pre-change run, and record the
+measurement context in the artifact with ``--note``.
+
+``--timeline-interval N`` runs the sweep with windowed sampling enabled
+(see ``repro.obs.timeline``), which measures the *enabled* sampling
+cost end to end; the default 0 keeps the reference hot path unwrapped.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py [--scale S]
         [--out FILE] [--skip-sweep] [--skip-micro]
+        [--timeline-interval N] [--note KEY=VALUE ...]
 """
 
 from __future__ import annotations
@@ -51,21 +61,29 @@ BASELINE = {
 # ----------------------------------------------------------------------
 # End-to-end: the Figure 5 sweep, direct mode
 # ----------------------------------------------------------------------
-def bench_sweep(scale: float, verbose: bool = True) -> dict:
+def bench_sweep(
+    scale: float, verbose: bool = True, timeline_interval: int = 0
+) -> dict:
     """Run all 42 Figure 5 cells directly and time them.
 
     The sweep is instrumented the same way the experiment runner is:
     every cell's stats snapshot is absorbed into a :class:`Registry`, so
     the timed loop includes the snapshot/merge cost and the ``<=2%``
     overhead budget of the instrumentation layer is measured end to end
-    rather than asserted.
+    rather than asserted.  ``timeline_interval`` > 0 additionally
+    enables windowed sampling on every cell, timing the sampler's
+    enabled cost the same way.
     """
+    from dataclasses import replace
+
     registry = Registry()
     cells = 0
     started = time.perf_counter()
     for app_name in FIGURE5_APPS:
         for line_size in line_sizes_for(app_name):
             config = experiment_config(line_size)
+            if timeline_interval:
+                config = replace(config, timeline_interval=timeline_interval)
             for variant in (Variant.N, Variant.L):
                 app = get_application(
                     app_name, scale=scale, seed=APP_SEEDS[app_name]
@@ -85,6 +103,7 @@ def bench_sweep(scale: float, verbose: bool = True) -> dict:
     refs = int(aggregate["ref.load.count"] + aggregate["ref.store.count"])
     out = {
         "scale": scale,
+        "timeline_interval": timeline_interval,
         "cells": cells,
         "seconds": round(seconds, 3),
         "refs": refs,
@@ -217,16 +236,31 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="R",
                         help="allowed fractional slowdown vs --baseline "
                              "(default 0.05)")
+    parser.add_argument("--timeline-interval", type=int, default=0,
+                        metavar="N",
+                        help="run the sweep with timeline sampling every N "
+                             "references (default 0 = sampler disabled)")
+    parser.add_argument("--note", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="embed a measurement-context note in the "
+                             "report (repeatable)")
     args = parser.parse_args(argv)
 
     report: dict = {
-        "bench": "PR2 hot-path kernel",
+        "bench": "hot-path kernel",
         "python": sys.version.split()[0],
         "baseline": BASELINE,
     }
+    notes = dict(note.split("=", 1) for note in args.note if "=" in note)
+    if notes:
+        report["notes"] = notes
     if not args.skip_sweep:
         print(f"== Figure 5 sweep (scale {args.scale}) ==", file=sys.stderr)
-        report["sweep"] = bench_sweep(args.scale, verbose=not args.quiet)
+        report["sweep"] = bench_sweep(
+            args.scale,
+            verbose=not args.quiet,
+            timeline_interval=args.timeline_interval,
+        )
     if not args.skip_micro:
         print("== microbenchmarks ==", file=sys.stderr)
         report["micro"] = {

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro [artifact ...] [--scale S] [--jobs N]
                     [--trace-dir DIR] [--no-cache] [--format text|json]
+                    [--timeline] [--sample-interval N]
+                    [--events] [--events-capacity N]
 
 where each artifact is one of ``table1 figure5 figure6 figure7 figure10
 ablations false-sharing out-of-core`` (default: all of them, in paper
@@ -20,6 +22,24 @@ invocation with unchanged code and parameters skips simulation entirely;
 ``--format json`` swaps the rendered tables for one JSON object mapping
 each artifact name to its schema-validated run manifest (see
 ``repro.obs.manifest``); progress lines stay on stderr.
+
+``--timeline`` turns on windowed time-series sampling (see DESIGN.md
+§5d): every ``--sample-interval`` data references each simulation closes
+a window of miss-rate / stall / forwarding-chase deltas, and the
+``--format json`` manifests grow a ``timeline`` section.  ``--events``
+additionally records the bounded structured event stream (relocations,
+chain walks, L2 inclusion victims, pool traffic) -- this forces the
+general interpreter path, so use it for diagnosis, not benchmarking.
+
+There is also a ``timeline`` subcommand over saved manifests::
+
+    python -m repro timeline diff BEFORE.json AFTER.json [--threshold T]
+    python -m repro timeline export MANIFEST.json [--out trace.json]
+                    [--csv CELL]
+
+``diff`` aligns two runs' windows and exits nonzero iff a per-window
+rate regresses beyond the threshold; ``export`` writes Chrome-trace
+JSON (loadable in https://ui.perfetto.dev) or one cell's windows as CSV.
 """
 
 from __future__ import annotations
@@ -115,7 +135,77 @@ def _extension_manifest(name: str, scale: float) -> dict:
     )
 
 
+def _timeline_main(argv: list[str]) -> int:
+    """``python -m repro timeline {diff,export} ...`` over saved manifests."""
+    from repro.obs import chrome_trace, diff_timelines, render_diff, windows_csv
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro timeline",
+        description="Compare or export the timeline sections of saved "
+                    "run manifests (produced with --timeline --format json).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    diff_parser = sub.add_parser(
+        "diff", help="flag per-window regressions between two manifests"
+    )
+    diff_parser.add_argument("before", help="baseline manifest JSON")
+    diff_parser.add_argument("after", help="candidate manifest JSON")
+    diff_parser.add_argument(
+        "--threshold", type=float, default=0.05, metavar="T",
+        help="relative per-window regression threshold (default 0.05)",
+    )
+
+    export_parser = sub.add_parser(
+        "export", help="write a Chrome-trace (Perfetto) JSON or CSV view"
+    )
+    export_parser.add_argument("manifest", help="manifest JSON to export")
+    export_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output path (default: stdout)",
+    )
+    export_parser.add_argument(
+        "--csv", default=None, metavar="CELL",
+        help="emit CSV of this timeline cell's windows instead of a "
+             "Chrome trace (cell id looks like health/32B/L)",
+    )
+    args = parser.parse_args(argv)
+
+    def _load(path: str) -> dict:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    if args.command == "diff":
+        regressions, notes = diff_timelines(
+            _load(args.before), _load(args.after), threshold=args.threshold
+        )
+        print(render_diff(regressions, notes))
+        return 1 if regressions else 0
+
+    manifest = _load(args.manifest)
+    if args.csv is not None:
+        cells = (manifest.get("timeline") or {}).get("cells") or {}
+        if args.csv not in cells:
+            parser.error(
+                f"no timeline cell {args.csv!r}; "
+                f"available: {sorted(cells) or 'none'}"
+            )
+        rendered = windows_csv(cells[args.csv]["windows"])
+    else:
+        rendered = json.dumps(chrome_trace(manifest), indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    else:
+        sys.stdout.write(rendered)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "timeline":
+        return _timeline_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables and figures of Luk & Mowry (ISCA 1999).",
@@ -157,7 +247,30 @@ def main(argv: list[str] | None = None) -> int:
         help="output format: rendered tables (text) or one JSON object "
              "mapping artifact name to its run manifest (json)",
     )
+    parser.add_argument(
+        "--timeline", action="store_true",
+        help="sample windowed time series during each simulation and "
+             "emit a timeline section in JSON manifests",
+    )
+    parser.add_argument(
+        "--sample-interval", type=int, default=10000, metavar="N",
+        help="window width in data references for --timeline "
+             "(default 10000)",
+    )
+    parser.add_argument(
+        "--events", action="store_true",
+        help="record the structured event stream (implies the general "
+             "interpreter path; do not combine with benchmarking)",
+    )
+    parser.add_argument(
+        "--events-capacity", type=int, default=4096, metavar="N",
+        help="event ring-buffer capacity for --events (default 4096)",
+    )
     args = parser.parse_args(argv)
+    if args.sample_interval < 1:
+        parser.error("--sample-interval must be >= 1")
+    if args.events_capacity < 1:
+        parser.error("--events-capacity must be >= 1")
     artifacts = args.artifacts or list(_ALL)
     unknown = [name for name in artifacts if name not in _ALL]
     if unknown:
@@ -176,6 +289,8 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         trace_dir=args.trace_dir,
         use_cache=not args.no_cache,
+        timeline_interval=args.sample_interval if args.timeline else 0,
+        events_capacity=args.events_capacity if args.events else 0,
     )
     runner.prime(specs_for_artifacts(artifacts, args.scale))
     modules = {

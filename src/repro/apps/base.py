@@ -59,6 +59,9 @@ class AppResult:
     checksum: int
     stats: MachineStats
     extras: dict[str, Any] = field(default_factory=dict)
+    #: Windowed time-series payload (``Timeline.to_payload``) when the
+    #: run was configured with a non-zero ``timeline_interval``.
+    timeline: dict[str, Any] | None = None
 
     @property
     def cycles(self) -> float:
@@ -131,12 +134,17 @@ class Application(ABC):
         machine = Machine(config or MachineConfig())
         machine.observer = observer
         checksum, extras = self.execute(machine, variant)
+        timeline = None
+        if machine.timeline is not None:
+            machine.timeline.finish()
+            timeline = machine.timeline.to_payload()
         return AppResult(
             app=self.name,
             variant=variant,
             checksum=checksum,
             stats=machine.stats(),
             extras=extras,
+            timeline=timeline,
         )
 
     def variants(self) -> tuple[Variant, ...]:

@@ -145,6 +145,7 @@ class MemoryHierarchy:
         "miss_classes",
         "prefetch_fills",
         "prefetch_redundant",
+        "events",
         "_l2_line_size",
         "_line_size",
         "_line_shift",
@@ -162,6 +163,10 @@ class MemoryHierarchy:
         self.miss_classes = MissClassStats()
         self.prefetch_fills = 0
         self.prefetch_redundant = 0
+        #: Optional :class:`repro.obs.events.EventLog`; when set, L2
+        #: inclusion victims emit ``cache.l2_victim`` events carrying the
+        #: number of L1 lines invalidated.
+        self.events = None
         self._line_size = cfg.line_size
         self._line_shift = self.l1.line_shift
 
@@ -234,8 +239,21 @@ class MemoryHierarchy:
             if evicted_l2 is not None:
                 # Inclusion: dropping an L2 line drops every L1 line it
                 # contains (the L2 line may span several L1 lines).
-                for offset in range(0, self._l2_line_size, self._line_size):
-                    self.l1.invalidate(evicted_l2.line_address + offset)
+                events = self.events
+                if events is None:
+                    for offset in range(0, self._l2_line_size, self._line_size):
+                        self.l1.invalidate(evicted_l2.line_address + offset)
+                else:
+                    invalidated = 0
+                    for offset in range(0, self._l2_line_size, self._line_size):
+                        if self.l1.invalidate(evicted_l2.line_address + offset):
+                            invalidated += 1
+                    events.emit(
+                        "cache.l2_victim",
+                        line=evicted_l2.line_address,
+                        dirty=bool(evicted_l2.dirty),
+                        l1_invalidated=invalidated,
+                    )
                 if evicted_l2.dirty:
                     self.traffic.l2_mem_writeback_bytes += self._l2_line_size
         self.traffic.l1_l2_fill_bytes += self._line_size

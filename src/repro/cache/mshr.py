@@ -115,6 +115,16 @@ class MSHRFile:
         self._expire(now)
         return len(self._inflight)
 
+    def occupancy_at(self, now: float) -> int:
+        """Non-mutating occupancy probe: fills still in flight at ``now``.
+
+        Unlike :meth:`occupancy` this never expires entries, so the
+        timeline sampler can observe the file at a window boundary
+        without perturbing the lazily-expired state the reference
+        kernels depend on for bit-exactness.
+        """
+        return sum(1 for ready in self._inflight.values() if ready > now)
+
     def reset(self) -> None:
         self._inflight.clear()
         self._floor = float("inf")

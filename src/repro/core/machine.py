@@ -121,6 +121,14 @@ class MachineConfig:
     #: by the differential parity tests); this switch exists so those
     #: tests -- and any future debugging -- can force the general path.
     fast_path: bool = True
+    #: Data references per timeline window; 0 (the default) disables the
+    #: sampler entirely -- no wrapper closures, zero hot-path cost.
+    timeline_interval: int = 0
+    #: Capacity of the structured event ring; 0 (the default) disables
+    #: event emission.  Enabling events forces the general reference
+    #: path, because the fused kernels inline the cache internals some
+    #: events come from (L2 inclusion victims).
+    events_capacity: int = 0
 
     @property
     def memory_size(self) -> int:
@@ -173,6 +181,8 @@ class Machine:
         "_kernel_load",
         "_kernel_store",
         "_registry",
+        "events",
+        "timeline",
     )
 
     def __init__(self, config: MachineConfig | None = None) -> None:
@@ -218,6 +228,62 @@ class Machine:
             self.forwarding.stats,
         )
         self.load, self.store = make_machine_ops(self)
+        # Observability side-channels (DESIGN.md 5d).  Both default off;
+        # neither adds a single instruction to the reference hot path
+        # when disabled (no wrapper closures, no per-call flag tests
+        # beyond those the ops already perform).
+        self.events = None
+        if cfg.events_capacity > 0:
+            from repro.obs.events import EventLog
+
+            timing = self.timing
+            self.events = EventLog(cfg.events_capacity, clock=lambda: timing.cycle)
+            self.forwarding.events = self.events
+            self.hierarchy.events = self.events
+            # The fused kernels inline the L2 inclusion machinery that
+            # cache.l2_victim events come from; force the (bit-identical)
+            # general path so no event is lost.
+            self._fast_enabled = False
+        self.timeline = None
+        if cfg.timeline_interval > 0:
+            from repro.obs.timeline import Timeline
+
+            timing = self.timing
+            self.timeline = Timeline(
+                cfg.timeline_interval,
+                self.metrics,
+                mshr=self.hierarchy.mshr,
+                clock=lambda: timing.cycle,
+                events=self.events,
+            )
+            self._wrap_references_with_timeline()
+
+    def _wrap_references_with_timeline(self) -> None:
+        """Interpose the timeline sampler on ``load``/``store``.
+
+        Wrapping (rather than testing a flag inside the ops) keeps the
+        disabled configuration byte-for-byte identical to PR 3's hot
+        path.  The tick happens *after* the inner reference completes so
+        a window boundary observes the reference's full cost -- and so a
+        replayed trace, which ticks after dispatching each entry, lands
+        its boundaries on exactly the same references.
+        """
+        timeline = self.timeline
+        inner_load = self.load
+        inner_store = self.store
+        tick = timeline.tick
+
+        def timed_load(address: int, size: int = WORD_SIZE) -> int:
+            value = inner_load(address, size)
+            tick(address)
+            return value
+
+        def timed_store(address: int, value: int, size: int = WORD_SIZE) -> None:
+            inner_store(address, value, size)
+            tick(address)
+
+        self.load = timed_load
+        self.store = timed_store
 
     # ------------------------------------------------------------------
     # Data references (forwarding-aware)
@@ -252,6 +318,8 @@ class Machine:
             latency.forwarded += 1
             latency.forwarding_cycles += self._hop_cycles + timing.forwarding_trap_cost(hops)
             timing.forwarding_trap(hops)
+            if self.timeline is not None:
+                self.timeline.note_forwarded(address)
             self._fire_trap(address, final, hops, is_write=False)
         if self.speculator is not None and self.speculator.on_load(address, final):
             timing.misspeculation_flush()
@@ -275,6 +343,8 @@ class Machine:
             latency.forwarded += 1
             latency.forwarding_cycles += self._hop_cycles + timing.forwarding_trap_cost(hops)
             timing.forwarding_trap(hops)
+            if self.timeline is not None:
+                self.timeline.note_forwarded(address)
             self._fire_trap(address, final, hops, is_write=True)
         if self.speculator is not None:
             self.speculator.on_store(address, final)
@@ -404,6 +474,8 @@ class Machine:
         if self.observer is not None:
             self.observer.on_free(address)
         chain = self.forwarding.chain(address)
+        if self.events is not None:
+            self.events.emit("mem.free", address=address, chain=len(chain))
         self.timing.execute(self.config.free_base_cost + 2 * len(chain))
         freed_any = False
         in_pool = False
@@ -431,14 +503,24 @@ class Machine:
         self._pool_bump += size
         index = len(self.pools)
         self.pools.append(pool)
-        if self.observer is not None:
-            observer = self.observer
+        observer = self.observer
+        events = self.events
+        if observer is not None:
             observer.on_create_pool(index, requested, name)
-            pool.on_allocate = (
-                lambda address, nbytes, align: observer.on_pool_alloc(
-                    index, nbytes, align, address
-                )
-            )
+        if events is not None:
+            events.emit("pool.create", index=index, size=requested, name=name)
+        if observer is not None or events is not None:
+            # One composed callback so observers (trace capture) and the
+            # event log both see every carve, in that order.
+            def on_allocate(address: int, nbytes: int, align: int) -> None:
+                if observer is not None:
+                    observer.on_pool_alloc(index, nbytes, align, address)
+                if events is not None:
+                    events.emit(
+                        "pool.alloc", index=index, address=address, nbytes=nbytes
+                    )
+
+            pool.on_allocate = on_allocate
         return pool
 
     # ------------------------------------------------------------------
@@ -462,6 +544,8 @@ class Machine:
         """
         if self.observer is not None:
             self.observer.on_note_relocation(relocations, words)
+        if self.events is not None:
+            self.events.emit("reloc.move", count=relocations, words=words)
         stats = self.relocation_stats
         stats.relocations += relocations
         stats.words_relocated += words
@@ -470,6 +554,8 @@ class Machine:
         """Count one invocation of a higher-level layout optimization."""
         if self.observer is not None:
             self.observer.on_note_optimizer()
+        if self.events is not None:
+            self.events.emit("opt.invoke")
         self.relocation_stats.optimizer_invocations += 1
 
     # ------------------------------------------------------------------
@@ -490,6 +576,7 @@ class Machine:
             prefetcher=self.prefetcher,
             forwarding_hops=self.forwarding.stats.total_hops,
             cycle_checks=self.forwarding.stats.cycle_check_invocations,
+            forwarding_chain_hist=self.forwarding.stats.hop_histogram,
             relocation=replace(
                 self.relocation_stats,
                 pool_bytes=sum(pool.used_bytes for pool in self.pools),

@@ -19,7 +19,7 @@ from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.cpu.timing import SlotBreakdown
-from repro.obs.registry import GAUGE, Snapshot
+from repro.obs.registry import GAUGE, HISTOGRAM, Snapshot
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.cache.hierarchy import MemoryHierarchy
@@ -106,6 +106,9 @@ class MachineStats:
     # Forwarding engine.
     forwarding_hops: int = 0
     cycle_checks: int = 0
+    #: Chain-length distribution: hops -> references needing exactly that
+    #: many (the paper's "chains are short" evidence, Section 5.4).
+    forwarding_chain_hist: dict[int, int] = field(default_factory=dict)
     # Speculation.
     speculation_loads_checked: int = 0
     misspeculations: int = 0
@@ -153,6 +156,7 @@ class MachineStats:
         prefetcher: "SoftwarePrefetcher | None" = None,
         forwarding_hops: int = 0,
         cycle_checks: int = 0,
+        forwarding_chain_hist: dict[int, int] | None = None,
         relocation: RelocationStats | None = None,
         heap_high_water: int = 0,
     ) -> "MachineStats":
@@ -181,6 +185,9 @@ class MachineStats:
             l2_mem_bytes=traffic.l2_mem_bytes,
             forwarding_hops=forwarding_hops,
             cycle_checks=cycle_checks,
+            forwarding_chain_hist=(
+                dict(forwarding_chain_hist) if forwarding_chain_hist else {}
+            ),
             speculation_loads_checked=(
                 speculator.stats.loads_checked if speculator else 0
             ),
@@ -227,6 +234,7 @@ class MachineStats:
             "bw.l2_mem.bytes": self.l2_mem_bytes,
             "fwd.hops": self.forwarding_hops,
             "fwd.cycle_checks": self.cycle_checks,
+            "fwd.chain_length": dict(self.forwarding_chain_hist),
             "spec.loads_checked": self.speculation_loads_checked,
             "spec.misspeculations": self.misspeculations,
             "prefetch.instructions": self.prefetch_instructions,
@@ -237,7 +245,10 @@ class MachineStats:
             "reloc.pool_bytes": self.relocation.pool_bytes,
             "heap.high_water": self.heap_high_water,
         }
-        return Snapshot(values, {"heap.high_water": GAUGE})
+        return Snapshot(
+            values,
+            {"heap.high_water": GAUGE, "fwd.chain_length": HISTOGRAM},
+        )
 
     @classmethod
     def from_snapshot(cls, snapshot: Snapshot) -> "MachineStats":
@@ -273,6 +284,10 @@ class MachineStats:
             l2_mem_bytes=int(get("bw.l2_mem.bytes", 0)),
             forwarding_hops=int(get("fwd.hops", 0)),
             cycle_checks=int(get("fwd.cycle_checks", 0)),
+            forwarding_chain_hist={
+                int(hops): int(count)
+                for hops, count in (get("fwd.chain_length", None) or {}).items()
+            },
             speculation_loads_checked=int(get("spec.loads_checked", 0)),
             misspeculations=int(get("spec.misspeculations", 0)),
             prefetch_instructions=int(get("prefetch.instructions", 0)),
@@ -314,6 +329,10 @@ class MachineStats:
             "l2_mem_bytes": self.l2_mem_bytes,
             "forwarding_hops": self.forwarding_hops,
             "cycle_checks": self.cycle_checks,
+            "forwarding_chain_hist": {
+                str(hops): count
+                for hops, count in sorted(self.forwarding_chain_hist.items())
+            },
             "speculation_loads_checked": self.speculation_loads_checked,
             "misspeculations": self.misspeculations,
             "prefetch_instructions": self.prefetch_instructions,
@@ -330,6 +349,12 @@ class MachineStats:
         payload["loads"] = ReferenceLatencyStats(**payload["loads"])
         payload["stores"] = ReferenceLatencyStats(**payload["stores"])
         payload["relocation"] = RelocationStats(**payload["relocation"])
+        # JSON stringifies the histogram keys; pre-PR4 dumps lack the
+        # field entirely.
+        payload["forwarding_chain_hist"] = {
+            int(hops): count
+            for hops, count in payload.get("forwarding_chain_hist", {}).items()
+        }
         return cls(**payload)
 
     def to_dict(self) -> dict[str, Any]:

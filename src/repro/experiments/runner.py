@@ -44,13 +44,29 @@ class RunSpec:
     line_size: int
     scale: float = 1.0
     seed: int = 1
+    timeline_interval: int = 0
+    events_capacity: int = 0
 
     @classmethod
     def make(
-        cls, app: str, variant: Variant, line_size: int, scale: float
+        cls,
+        app: str,
+        variant: Variant,
+        line_size: int,
+        scale: float,
+        timeline_interval: int = 0,
+        events_capacity: int = 0,
     ) -> "RunSpec":
         """Build a spec with the app's canonical seed resolved."""
-        return cls(app, variant, line_size, scale, APP_SEEDS.get(app, 1))
+        return cls(
+            app,
+            variant,
+            line_size,
+            scale,
+            APP_SEEDS.get(app, 1),
+            timeline_interval,
+            events_capacity,
+        )
 
     def task(self) -> SweepTask:
         return SweepTask(
@@ -59,7 +75,14 @@ class RunSpec:
             line_size=self.line_size,
             scale=self.scale,
             seed=self.seed,
+            timeline_interval=self.timeline_interval,
+            events_capacity=self.events_capacity,
         )
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable cell identity used to key timeline sections."""
+        return f"{self.app}/{self.line_size}B/{self.variant.value}"
 
 
 class ExperimentRunner:
@@ -92,10 +115,17 @@ class ExperimentRunner:
         jobs: int = 1,
         trace_dir: str | None = None,
         use_cache: bool = True,
+        timeline_interval: int = 0,
+        events_capacity: int = 0,
     ) -> None:
         self.scale = scale
         self.verbose = verbose
         self.jobs = max(1, jobs)
+        #: Timeline sampling knobs applied to every run (0 = off).
+        self.timeline_interval = timeline_interval
+        self.events_capacity = events_capacity
+        #: Per-cell timeline payloads keyed by ``RunSpec.cell_id``.
+        self.timelines: dict[str, dict] = {}
         self._log = get_logger("experiments")
         if verbose:
             enable_progress_logging()
@@ -111,18 +141,42 @@ class ExperimentRunner:
         self.obs = Registry()
 
     # ------------------------------------------------------------------
-    def _record(self, result: AppResult, how: str) -> None:
+    def _with_knobs(self, spec: RunSpec) -> RunSpec:
+        """Apply this runner's timeline/events knobs to a spec."""
+        if (
+            spec.timeline_interval == self.timeline_interval
+            and spec.events_capacity == self.events_capacity
+        ):
+            return spec
+        from dataclasses import replace
+
+        return replace(
+            spec,
+            timeline_interval=self.timeline_interval,
+            events_capacity=self.events_capacity,
+        )
+
+    def _record(self, spec: RunSpec, result: AppResult, how: str) -> None:
         """Fold one completed simulation into the runner's registry."""
         self.obs.counter(f"runs.{how}").inc()
         self.obs.absorb(result.stats.to_snapshot())
+        if result.timeline is not None:
+            self.timelines[spec.cell_id] = result.timeline
 
     def run(self, app: str, variant: Variant, line_size: int) -> AppResult:
-        spec = RunSpec.make(app, variant, line_size, self.scale)
+        spec = RunSpec.make(
+            app,
+            variant,
+            line_size,
+            self.scale,
+            self.timeline_interval,
+            self.events_capacity,
+        )
         result = self._cache.get(spec)
         if result is None:
             result, how = run_task(spec.task(), self.store, self._traces)
             self._cache[spec] = result
-            self._record(result, how)
+            self._record(spec, result, how)
             if self.verbose:
                 log_progress(spec.task(), result, how)
         else:
@@ -137,7 +191,13 @@ class ExperimentRunner:
         Figures then assemble their matrices through :meth:`run` at
         memo-hit speed.  With ``jobs == 1`` this is just a loop.
         """
-        todo = [spec for spec in dict.fromkeys(specs) if spec not in self._cache]
+        todo = [
+            spec
+            for spec in dict.fromkeys(
+                self._with_knobs(spec) for spec in specs
+            )
+            if spec not in self._cache
+        ]
         if not todo:
             return
         if self.jobs <= 1 or len(todo) == 1:
@@ -152,8 +212,9 @@ class ExperimentRunner:
         )
         by_task = {spec.task(): spec for spec in todo}
         for task, (result, how) in outcomes.items():
-            self._cache[by_task[task]] = result
-            self._record(result, how)
+            spec = by_task[task]
+            self._cache[spec] = result
+            self._record(spec, result, how)
 
     def _sweep_store(self) -> ArtifactStore:
         """The persistent store, or a lazily created throwaway one."""
@@ -200,6 +261,23 @@ class ExperimentRunner:
         """
         from repro.obs import build_manifest
 
+        timeline_section = None
+        events_section = None
+        if self.timelines:
+            timeline_cells: dict[str, dict] = {}
+            event_cells: dict[str, dict] = {}
+            for cell_id, payload in sorted(self.timelines.items()):
+                timeline_cells[cell_id] = {
+                    "sample_interval": payload["sample_interval"],
+                    "window_count": payload["window_count"],
+                    "windows": payload["windows"],
+                    "heatmap": payload["heatmap"],
+                }
+                if payload.get("events"):
+                    event_cells[cell_id] = payload["events"]
+            timeline_section = {"cells": timeline_cells}
+            if event_cells:
+                events_section = {"cells": event_cells}
         return build_manifest(
             artifact,
             run={
@@ -207,6 +285,8 @@ class ExperimentRunner:
                 "jobs": self.jobs,
                 "cache": self.store is not None,
                 "trace_dir": str(self.store.root) if self.store else None,
+                "timeline_interval": self.timeline_interval,
+                "events_capacity": self.events_capacity,
             },
             seeds=self.seeds(),
             metrics=self.obs.snapshot(),
@@ -214,6 +294,8 @@ class ExperimentRunner:
             cells=cells,
             trace_hashes=self.trace_hashes(),
             summary=summary,
+            timeline=timeline_section,
+            events=events_section,
         )
 
     # ------------------------------------------------------------------

@@ -88,6 +88,13 @@ class HeapCompactor:
                 if final != pointer:
                     machine.store(slot, final)
                     result.roots_updated += 1
+        if machine.events is not None:
+            machine.events.emit(
+                "compact.pass",
+                blocks=result.blocks_moved,
+                bytes=result.bytes_moved,
+                roots=result.roots_updated,
+            )
         machine.note_optimizer_invocation()
         return result
 

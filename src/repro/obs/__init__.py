@@ -8,21 +8,30 @@ reproduction:
 * :class:`Snapshot` — immutable metric view with lossless
   ``merge``/``diff`` (shard aggregation, span attribution).
 * :func:`span` / :class:`SpanLog` — wall-time + counter-delta tracing.
-* :func:`build_manifest` / :func:`validate_manifest` — versioned,
-  schema-validated JSON run manifests.
+* :class:`Timeline` / :class:`EventLog` — windowed time-series sampling
+  and the bounded structured event stream (DESIGN.md §5d).
+* :func:`chrome_trace` / :func:`diff_timelines` — Perfetto export and
+  the per-window regression gate.
+* :func:`build_manifest` / :func:`validate_manifest` /
+  :func:`upgrade_manifest` — versioned, schema-validated JSON run
+  manifests.
 
 See DESIGN.md §5c for the design contract, in particular the hot-path
 flush rule: fused kernels never touch the registry; their flat counter
 slots are read through bound getters only at snapshot time.
 """
 
+from repro.obs.events import EventLog
+from repro.obs.export import chrome_trace, diff_timelines, render_diff, windows_csv
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V1,
     MANIFEST_VERSION,
     ManifestError,
     build_manifest,
     cell,
     load_schema,
+    upgrade_manifest,
     validate_manifest,
 )
 from repro.obs.registry import (
@@ -38,16 +47,19 @@ from repro.obs.registry import (
     Snapshot,
 )
 from repro.obs.span import SpanLog, SpanRecord, span
+from repro.obs.timeline import Timeline
 
 __all__ = [
     "COUNTER",
     "Counter",
     "EMPTY",
+    "EventLog",
     "GAUGE",
     "Gauge",
     "HISTOGRAM",
     "Histogram",
     "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_V1",
     "MANIFEST_VERSION",
     "ManifestError",
     "MetricError",
@@ -55,9 +67,15 @@ __all__ = [
     "Snapshot",
     "SpanLog",
     "SpanRecord",
+    "Timeline",
     "build_manifest",
     "cell",
+    "chrome_trace",
+    "diff_timelines",
     "load_schema",
+    "render_diff",
     "span",
+    "upgrade_manifest",
     "validate_manifest",
+    "windows_csv",
 ]

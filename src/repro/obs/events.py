@@ -1,0 +1,88 @@
+"""Bounded structured event stream: the timeline's discrete channel.
+
+Where :mod:`repro.obs.timeline` samples *rates* (what the machine was
+doing per window), the event log records *occurrences* -- the discrete
+acts the paper's mechanism is built from: an object relocation, a
+forwarding-chain walk of a given length, an L2 inclusion victim taking
+its L1 lines with it, a pool carve, a forwarding-aware free.
+
+The log is a fixed-capacity ring: once full, the oldest record is
+dropped (and counted in :attr:`EventLog.dropped`) so a long run's event
+cost is bounded no matter how busy it is.  Per-kind totals
+(:attr:`EventLog.counts`) are kept outside the ring and never drop, so
+"how many relocations happened" survives even when the individual
+records did not.
+
+Emission must stay cheap but it is *not* free, which is why the core
+only wires an :class:`EventLog` up when
+:attr:`~repro.core.machine.MachineConfig.events_capacity` is non-zero --
+and why enabling events forces the general reference path (the fused
+kernels inline the cache internals some events come from; see
+DESIGN.md 5d).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+
+class EventLog:
+    """Fixed-capacity ring of ``(timestamp, kind, fields)`` records.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained; older records drop first.
+    clock:
+        Zero-argument callable giving the timestamp of each event
+        (the machine passes its simulated cycle counter).  ``None``
+        stamps every record 0.0.
+    """
+
+    __slots__ = ("capacity", "clock", "records", "dropped", "counts")
+
+    def __init__(
+        self, capacity: int = 4096, clock: Callable[[], float] | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"event capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self.records: deque[tuple[float, str, dict[str, Any]]] = deque(
+            maxlen=capacity
+        )
+        #: Records evicted from the ring (emitted - retained).
+        self.dropped = 0
+        #: Per-kind emission totals; unlike the ring, these never drop.
+        self.counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event of ``kind`` with keyword payload ``fields``."""
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + 1
+        records = self.records
+        if len(records) == self.capacity:
+            self.dropped += 1
+        clock = self.clock
+        records.append((clock() if clock is not None else 0.0, kind, fields))
+
+    @property
+    def total(self) -> int:
+        """Events emitted over the log's lifetime (retained or not)."""
+        return sum(self.counts.values())
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-safe form embedded in run manifests (``events`` section)."""
+        return {
+            "capacity": self.capacity,
+            "total": self.total,
+            "dropped": self.dropped,
+            "counts": {kind: self.counts[kind] for kind in sorted(self.counts)},
+            "records": [
+                {"ts": ts, "kind": kind, "args": dict(fields)}
+                for ts, kind, fields in self.records
+            ],
+        }

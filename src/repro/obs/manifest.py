@@ -7,11 +7,19 @@ metric tree.  ``python -m repro <artifact> --format json`` prints one;
 regression tooling and dashboards parse it instead of scraping the
 rendered tables.
 
-The schema is committed next to this module (``manifest_schema.json``)
-and every manifest is validated against it before it leaves the
+The schemas are committed next to this module (``manifest_schema.json``
+for version 1, ``manifest_schema_v2.json`` for version 2) and every
+manifest is validated against its declared version before it leaves the
 process.  Validation prefers :mod:`jsonschema` when importable and falls
 back to a pure-python structural check so the artifact pipeline works in
 minimal environments.
+
+Version 2 (this PR's ``repro.obs.timeline`` layer) adds two optional
+sections -- ``timeline`` (windowed time series and address-space heatmap
+per simulation cell) and ``events`` (the bounded structured event
+stream) -- plus an optional ``error`` field on span records.  Version 1
+manifests still validate as version 1 and can be explicitly up-converted
+with :func:`upgrade_manifest`.
 """
 
 from __future__ import annotations
@@ -24,8 +32,12 @@ from typing import Any, Iterable, Mapping
 from repro.obs.registry import Snapshot
 from repro.obs.span import SpanLog
 
-MANIFEST_VERSION = 1
-MANIFEST_SCHEMA = "repro.obs.manifest/v1"
+MANIFEST_VERSION = 2
+MANIFEST_SCHEMA = "repro.obs.manifest/v2"
+MANIFEST_SCHEMA_V1 = "repro.obs.manifest/v1"
+
+_SCHEMA_FILES = {1: "manifest_schema.json", 2: "manifest_schema_v2.json"}
+_SCHEMA_NAMES = {1: MANIFEST_SCHEMA_V1, 2: MANIFEST_SCHEMA}
 
 _SCALAR = (str, int, float, bool, type(None))
 
@@ -34,12 +46,39 @@ class ManifestError(ValueError):
     """A manifest failed schema validation."""
 
 
-def load_schema() -> dict[str, Any]:
-    """The committed JSON schema for manifest version 1."""
-    text = (
-        resources.files("repro.obs").joinpath("manifest_schema.json").read_text()
-    )
+def load_schema(version: int = MANIFEST_VERSION) -> dict[str, Any]:
+    """The committed JSON schema for the given manifest version."""
+    try:
+        filename = _SCHEMA_FILES[version]
+    except KeyError:
+        raise ManifestError(
+            f"no schema for manifest version {version!r}; "
+            f"known: {sorted(_SCHEMA_FILES)}"
+        ) from None
+    text = resources.files("repro.obs").joinpath(filename).read_text()
     return json.loads(text)
+
+
+def upgrade_manifest(manifest: Mapping[str, Any]) -> dict[str, Any]:
+    """Up-convert a manifest to the current version (validated).
+
+    Version 1 manifests become version 2 by re-stamping the version and
+    schema fields: every v1 construct is legal v2, and the v2-only
+    sections (``timeline``, ``events``) are simply absent.  A manifest
+    already at the current version is returned as a validated copy.
+    """
+    upgraded = dict(manifest)
+    version = upgraded.get("manifest_version")
+    if version == 1:
+        upgraded["manifest_version"] = MANIFEST_VERSION
+        upgraded["schema"] = MANIFEST_SCHEMA
+    elif version != MANIFEST_VERSION:
+        raise ManifestError(
+            f"cannot upgrade manifest_version {version!r}; "
+            f"known: {sorted(_SCHEMA_FILES)}"
+        )
+    validate_manifest(upgraded)
+    return upgraded
 
 
 def cell(
@@ -81,9 +120,16 @@ def build_manifest(
     cells: Iterable[Mapping[str, Any]] = (),
     trace_hashes: Mapping[str, str] | None = None,
     summary: Mapping[str, Any] | None = None,
+    timeline: Mapping[str, Any] | None = None,
+    events: Mapping[str, Any] | None = None,
     validate: bool = True,
 ) -> dict[str, Any]:
-    """Assemble (and by default validate) a version-1 run manifest."""
+    """Assemble (and by default validate) a current-version run manifest.
+
+    ``timeline`` and ``events`` are the optional v2 sections (see
+    :mod:`repro.obs.timeline`); pass the per-cell payload maps the
+    experiment runner collects.
+    """
     from repro import __version__
 
     if isinstance(spans, SpanLog):
@@ -112,25 +158,37 @@ def build_manifest(
     }
     if summary is not None:
         manifest["summary"] = dict(summary)
+    if timeline is not None:
+        manifest["timeline"] = dict(timeline)
+    if events is not None:
+        manifest["events"] = dict(events)
     if validate:
         validate_manifest(manifest)
     return manifest
 
 
 def validate_manifest(manifest: Mapping[str, Any]) -> None:
-    """Raise :class:`ManifestError` unless ``manifest`` matches the schema.
+    """Raise :class:`ManifestError` unless ``manifest`` matches its schema.
 
-    Uses :mod:`jsonschema` when available; otherwise falls back to a
-    structural check covering the same constraints (required keys, value
-    types, metric-tree shape).
+    Dispatches on the manifest's declared ``manifest_version`` (1 and 2
+    both remain valid -- old manifests do not rot when the current
+    version moves).  Uses :mod:`jsonschema` when available; otherwise
+    falls back to a structural check covering the same constraints
+    (required keys, value types, metric-tree shape).
     """
+    version = manifest.get("manifest_version")
+    if version not in _SCHEMA_FILES:
+        raise ManifestError(
+            f"manifest_version: unknown version {version!r}; "
+            f"known: {sorted(_SCHEMA_FILES)}"
+        )
     try:
         import jsonschema
     except ImportError:
         _validate_structurally(manifest)
         return
     try:
-        jsonschema.validate(instance=dict(manifest), schema=load_schema())
+        jsonschema.validate(instance=dict(manifest), schema=load_schema(version))
     except jsonschema.ValidationError as exc:
         raise ManifestError(str(exc)) from exc
 
@@ -162,7 +220,7 @@ def _check_metric_tree(value: Any, path: str) -> None:
 
 
 def _validate_structurally(manifest: Mapping[str, Any]) -> None:
-    """Pure-python fallback mirroring manifest_schema.json."""
+    """Pure-python fallback mirroring the committed schema files."""
     required = (
         "manifest_version",
         "schema",
@@ -178,10 +236,20 @@ def _validate_structurally(manifest: Mapping[str, Any]) -> None:
     for key in required:
         if key not in manifest:
             _fail(key, "missing required field")
-    if manifest["manifest_version"] != MANIFEST_VERSION:
-        _fail("manifest_version", f"must be {MANIFEST_VERSION}")
-    if manifest["schema"] != MANIFEST_SCHEMA:
-        _fail("schema", f"must be {MANIFEST_SCHEMA!r}")
+    version = manifest["manifest_version"]
+    if version not in _SCHEMA_FILES:
+        _fail(
+            "manifest_version",
+            f"unknown version {version!r}; known: {sorted(_SCHEMA_FILES)}",
+        )
+    if manifest["schema"] != _SCHEMA_NAMES[version]:
+        _fail("schema", f"must be {_SCHEMA_NAMES[version]!r}")
+    allowed_top = set(required) | {"summary"}
+    if version >= 2:
+        allowed_top |= {"timeline", "events"}
+    extra_top = set(manifest) - allowed_top
+    if extra_top:
+        _fail("/", f"unexpected keys {sorted(extra_top)}")
     if not isinstance(manifest["artifact"], str) or not manifest["artifact"]:
         _fail("artifact", "must be a non-empty string")
     tool = manifest["tool"]
@@ -208,14 +276,20 @@ def _validate_structurally(manifest: Mapping[str, Any]) -> None:
     spans = manifest["spans"]
     if not isinstance(spans, list):
         _fail("spans", "must be an array")
+    span_keys = {"name", "wall_seconds", "depth", "metrics"}
+    span_optional = {"error"} if version >= 2 else set()
     for index, record in enumerate(spans):
         path = f"spans[{index}]"
         if not isinstance(record, dict):
             _fail(path, "must be an object")
-        extra = set(record) - {"name", "wall_seconds", "depth", "metrics"}
-        missing = {"name", "wall_seconds", "depth", "metrics"} - set(record)
+        extra = set(record) - span_keys - span_optional
+        missing = span_keys - set(record)
         if extra or missing:
             _fail(path, f"bad keys (extra={extra}, missing={missing})")
+        if "error" in record and (
+            not isinstance(record["error"], str) or not record["error"]
+        ):
+            _fail(f"{path}.error", "must be a non-empty string")
         if not isinstance(record["name"], str) or not record["name"]:
             _fail(f"{path}.name", "must be a non-empty string")
         if isinstance(record["wall_seconds"], bool) or not isinstance(
@@ -252,3 +326,74 @@ def _validate_structurally(manifest: Mapping[str, Any]) -> None:
             _check_scalar_map(entry["values"], f"{path}.values")
     if "summary" in manifest:
         _check_scalar_map(manifest["summary"], "summary")
+    if "timeline" in manifest:
+        _check_timeline_section(manifest["timeline"], "timeline")
+    if "events" in manifest:
+        _check_events_section(manifest["events"], "events")
+
+
+_WINDOW_SERIES_KEYS = (
+    "refs",
+    "cycles",
+    "l1_misses",
+    "miss_rate",
+    "stall_slots",
+    "chases",
+    "mshr_occupancy",
+)
+
+
+def _check_timeline_section(section: Any, path: str) -> None:
+    if not isinstance(section, dict) or set(section) != {"cells"}:
+        _fail(path, "must be an object with exactly a 'cells' key")
+    for cell_id, cell in section["cells"].items():
+        cell_path = f"{path}.cells.{cell_id}"
+        if not isinstance(cell, dict) or set(cell) != {
+            "sample_interval",
+            "window_count",
+            "windows",
+            "heatmap",
+        }:
+            _fail(cell_path, "bad keys")
+        windows = cell["windows"]
+        if not isinstance(windows, dict) or set(windows) != set(
+            _WINDOW_SERIES_KEYS
+        ):
+            _fail(f"{cell_path}.windows", "bad series keys")
+        lengths = set()
+        for name, series in windows.items():
+            if not isinstance(series, list):
+                _fail(f"{cell_path}.windows.{name}", "must be an array")
+            lengths.add(len(series))
+        if len(lengths) > 1:
+            _fail(f"{cell_path}.windows", "series lengths differ")
+        heatmap = cell["heatmap"]
+        if not isinstance(heatmap, dict) or set(heatmap) != {
+            "region_bytes",
+            "regions",
+        }:
+            _fail(f"{cell_path}.heatmap", "bad keys")
+
+
+def _check_events_section(section: Any, path: str) -> None:
+    if not isinstance(section, dict) or set(section) != {"cells"}:
+        _fail(path, "must be an object with exactly a 'cells' key")
+    for cell_id, payload in section["cells"].items():
+        cell_path = f"{path}.cells.{cell_id}"
+        if not isinstance(payload, dict) or set(payload) != {
+            "capacity",
+            "total",
+            "dropped",
+            "counts",
+            "records",
+        }:
+            _fail(cell_path, "bad keys")
+        if not isinstance(payload["records"], list):
+            _fail(f"{cell_path}.records", "must be an array")
+        for index, record in enumerate(payload["records"]):
+            if not isinstance(record, dict) or set(record) != {
+                "ts",
+                "kind",
+                "args",
+            }:
+                _fail(f"{cell_path}.records[{index}]", "bad keys")

@@ -39,10 +39,13 @@ class SpanRecord:
     #: Counter deltas observed across the span (dotted name -> delta).
     #: Zero deltas are dropped; gauges report their exit value.
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Exception summary when the span body raised (``None`` for clean
+    #: exits).  A failed region still accounts for its time and work.
+    error: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe form used by run manifests."""
-        return {
+        out = {
             "name": self.name,
             "wall_seconds": round(self.wall_seconds, 6),
             "depth": self.depth,
@@ -55,6 +58,9 @@ class SpanRecord:
                 for name, value in sorted(self.metrics.items())
             },
         }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
 
 
 class SpanLog:
@@ -87,7 +93,11 @@ def span(
 
     Yields the (still incomplete) :class:`SpanRecord`; its fields are
     filled in when the block exits, including on exception -- a failed
-    region still accounts for the time it consumed.
+    region still accounts for the time it consumed, records its counter
+    deltas, and carries the exception summary in ``record.error``.  The
+    exception itself propagates unchanged, and nested spans unwind
+    cleanly: the log's depth counter and record append happen even if
+    computing the metric delta itself raises.
     """
     before: "Snapshot | None" = registry.snapshot() if registry is not None else None
     record = SpanRecord(name=name, wall_seconds=0.0)
@@ -97,10 +107,18 @@ def span(
     started = time.perf_counter()
     try:
         yield record
+    except BaseException as exc:
+        detail = str(exc)
+        record.error = (
+            f"{type(exc).__name__}: {detail}" if detail else type(exc).__name__
+        )
+        raise
     finally:
         record.wall_seconds = time.perf_counter() - started
-        if registry is not None and before is not None:
-            record.metrics = registry.snapshot().diff(before).nonzero().flat()
-        if log is not None:
-            log._depth -= 1
-            log.records.append(record)
+        try:
+            if registry is not None and before is not None:
+                record.metrics = registry.snapshot().diff(before).nonzero().flat()
+        finally:
+            if log is not None:
+                log._depth -= 1
+                log.records.append(record)

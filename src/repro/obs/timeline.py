@@ -1,0 +1,200 @@
+"""Windowed time-series sampling over an ``repro.obs`` registry.
+
+The paper's argument is temporal: forwarding is a safety net that should
+be *rare after relocation*, so the interesting signal is how miss rates,
+stalls, and forwarding chases evolve across a run -- before, during, and
+after linearization -- not the end-of-run totals.  A :class:`Timeline`
+turns the registry's snapshot/diff algebra into exactly that: every
+``interval`` simulated data references it diffs the registry against the
+previous sample and appends one *window* to a compact per-metric series.
+
+Windows are built exclusively from replay-faithful metrics (counters
+the fused replay kernel maintains identically to a direct run), so a
+direct run and its trace replay produce the *same* series -- an
+invariant the integration tests pin.  The sampler also keeps an
+address-space heatmap (access and forwarded-access counts per region)
+and, when the machine has an :class:`~repro.obs.events.EventLog`, links
+it into the exported payload.
+
+Cost model: the sampler is wired up by wrapping ``machine.load`` /
+``machine.store`` only when enabled, so a disabled timeline adds zero
+instructions to the reference hot path (the 2% overhead budget of
+DESIGN.md 5b is untouched).  Enabled, the per-reference cost is one
+closure frame plus a dict bump; the snapshot diff is paid once per
+window.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.events import EventLog
+from repro.obs.registry import Registry, Snapshot
+
+#: Series recorded per window, in export order.  ``refs`` is the window
+#: width (the last window may be shorter); everything else is the delta
+#: (or, for ``mshr_occupancy``, the level) observed across that window.
+WINDOW_SERIES = (
+    "refs",
+    "cycles",
+    "l1_misses",
+    "miss_rate",
+    "stall_slots",
+    "chases",
+    "mshr_occupancy",
+)
+
+#: Default heatmap granularity: one region per 64 KB of address space.
+DEFAULT_REGION_BYTES = 64 * 1024
+
+_MISS_METRICS = (
+    "cache.l1.miss.load_full",
+    "cache.l1.miss.load_partial",
+    "cache.l1.miss.store_full",
+    "cache.l1.miss.store_partial",
+)
+_STALL_METRICS = ("slots.load_stall", "slots.store_stall", "slots.inst_stall")
+
+
+class Timeline:
+    """Interval sampler producing per-window series and a region heatmap.
+
+    Parameters
+    ----------
+    interval:
+        Data references per window (>= 1).
+    registry:
+        The live registry to diff; must expose the canonical machine
+        metric names (``time.cycles``, ``cache.l1.miss.*``,
+        ``slots.*``, ``ref.*.forwarded``).
+    mshr, clock:
+        Optional MSHR file and cycle getter; when both are given each
+        window records the MSHR occupancy level at its closing edge.
+    events:
+        Optional :class:`EventLog` folded into :meth:`to_payload`.
+    region_bytes:
+        Heatmap region size (power of two).
+    """
+
+    __slots__ = (
+        "interval",
+        "events",
+        "windows",
+        "region_bytes",
+        "_registry",
+        "_mshr",
+        "_clock",
+        "_pending",
+        "_last",
+        "_region_shift",
+        "_heat_access",
+        "_heat_forwarded",
+    )
+
+    def __init__(
+        self,
+        interval: int,
+        registry: Registry,
+        *,
+        mshr=None,
+        clock: Callable[[], float] | None = None,
+        events: EventLog | None = None,
+        region_bytes: int = DEFAULT_REGION_BYTES,
+    ) -> None:
+        if interval < 1:
+            raise ValueError(f"sample interval must be >= 1, got {interval}")
+        if region_bytes < 1 or region_bytes & (region_bytes - 1):
+            raise ValueError(
+                f"region size must be a power of two, got {region_bytes}"
+            )
+        self.interval = interval
+        self.events = events
+        self.region_bytes = region_bytes
+        self._registry = registry
+        self._mshr = mshr
+        self._clock = clock
+        self._pending = 0
+        self._last: Snapshot = registry.snapshot()
+        self._region_shift = region_bytes.bit_length() - 1
+        self._heat_access: dict[int, int] = {}
+        self._heat_forwarded: dict[int, int] = {}
+        self.windows: dict[str, list] = {name: [] for name in WINDOW_SERIES}
+
+    # ------------------------------------------------------------------
+    def tick(self, address: int) -> None:
+        """Count one data reference at ``address``; sample on boundary."""
+        region = address >> self._region_shift
+        heat = self._heat_access
+        heat[region] = heat.get(region, 0) + 1
+        self._pending += 1
+        if self._pending >= self.interval:
+            self._sample()
+
+    def note_forwarded(self, address: int) -> None:
+        """Count one forwarded reference whose *initial* address is given."""
+        region = address >> self._region_shift
+        heat = self._heat_forwarded
+        heat[region] = heat.get(region, 0) + 1
+
+    def finish(self) -> None:
+        """Close the (possibly partial) trailing window."""
+        if self._pending:
+            self._sample()
+
+    # ------------------------------------------------------------------
+    def _sample(self) -> None:
+        snap = self._registry.snapshot()
+        window = snap.diff(self._last)
+        self._last = snap
+        refs = self._pending
+        self._pending = 0
+        get = window.get
+        misses = 0
+        for name in _MISS_METRICS:
+            misses += get(name, 0)
+        stalls = 0.0
+        for name in _STALL_METRICS:
+            stalls += get(name, 0.0)
+        chases = get("ref.load.forwarded", 0) + get("ref.store.forwarded", 0)
+        occupancy = 0
+        if self._mshr is not None and self._clock is not None:
+            occupancy = self._mshr.occupancy_at(self._clock())
+        series = self.windows
+        series["refs"].append(refs)
+        series["cycles"].append(get("time.cycles", 0.0))
+        series["l1_misses"].append(int(misses))
+        series["miss_rate"].append(misses / refs if refs else 0.0)
+        series["stall_slots"].append(stalls)
+        series["chases"].append(int(chases))
+        series["mshr_occupancy"].append(occupancy)
+
+    # ------------------------------------------------------------------
+    @property
+    def window_count(self) -> int:
+        return len(self.windows["refs"])
+
+    def heatmap(self) -> dict[str, Any]:
+        """JSON-safe address-space heatmap (regions keyed by index)."""
+        forwarded = self._heat_forwarded
+        return {
+            "region_bytes": self.region_bytes,
+            "regions": {
+                str(region): {
+                    "accesses": count,
+                    "forwarded": forwarded.get(region, 0),
+                }
+                for region, count in sorted(self._heat_access.items())
+            },
+        }
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-safe form carried on :class:`~repro.apps.base.AppResult`."""
+        return {
+            "sample_interval": self.interval,
+            "window_count": self.window_count,
+            "windows": {name: list(series) for name, series in self.windows.items()},
+            "heatmap": self.heatmap(),
+            "events": (
+                self.events.to_payload() if self.events is not None else None
+            ),
+        }

@@ -27,8 +27,10 @@ from typing import Any, Iterator
 from repro.trace import events as ev
 
 MAGIC = b"RTRC"
-#: Bump on any incompatible change to the header or payload encoding.
-FORMAT_VERSION = 1
+#: Bump on any incompatible change to the header or payload encoding --
+#: or to the captured-stats contract (version 2 added the forwarding
+#: chain-length histogram to ``captured_stats``, which replay consumes).
+FORMAT_VERSION = 2
 
 
 class TraceFormatError(Exception):

@@ -363,14 +363,54 @@ def replay_trace(trace: Trace, config: MachineConfig) -> AppResult:
         _handle_trap,
     )
 
-    for entry in stream:
-        kind = entry[0]
-        if kind == 0:  # unforwarded load (final == initial)
-            kernel_load(entry[1])
-        elif kind == 1:  # unforwarded store
-            kernel_store(entry[1])
-        else:
-            handlers[kind](entry)
+    # Timeline sampling mirrors the direct run's wrapper: tick once per
+    # data reference, after its cost lands, at the *initial* address.
+    # The sampler reads only config-dependent counters (which replay
+    # maintains bit-exactly), so a replayed run's window series is
+    # identical to the direct run's -- the parity tests pin this.
+    timeline = None
+    if config.timeline_interval > 0:
+        from repro.obs.registry import Registry
+        from repro.obs.timeline import Timeline
+
+        registry = Registry()
+        timing.register_metrics(registry)
+        hierarchy.register_metrics(registry)
+        load_latency.register_metrics(registry, "ref.load")
+        store_latency.register_metrics(registry, "ref.store")
+        timeline = Timeline(
+            config.timeline_interval,
+            registry,
+            mshr=hierarchy.mshr,
+            clock=lambda: timing.cycle,
+        )
+
+    if timeline is None:
+        for entry in stream:
+            kind = entry[0]
+            if kind == 0:  # unforwarded load (final == initial)
+                kernel_load(entry[1])
+            elif kind == 1:  # unforwarded store
+                kernel_store(entry[1])
+            else:
+                handlers[kind](entry)
+    else:
+        tick = timeline.tick
+        note_forwarded = timeline.note_forwarded
+        for entry in stream:
+            kind = entry[0]
+            if kind == 0:
+                kernel_load(entry[1])
+                tick(entry[1])
+            elif kind == 1:
+                kernel_store(entry[1])
+                tick(entry[1])
+            else:
+                handlers[kind](entry)
+                if kind == 5 or kind == 6:  # forwarded load / store
+                    note_forwarded(entry[1])
+                    tick(entry[1])
+        timeline.finish()
 
     captured = trace.captured_stats
     stats = MachineStats.collect(
@@ -382,6 +422,10 @@ def replay_trace(trace: Trace, config: MachineConfig) -> AppResult:
         prefetcher=prefetcher,
         forwarding_hops=captured["forwarding_hops"],
         cycle_checks=captured["cycle_checks"],
+        forwarding_chain_hist={
+            int(hops): count
+            for hops, count in captured.get("forwarding_chain_hist", {}).items()
+        },
         relocation=RelocationStats(**captured["relocation"]),
         heap_high_water=captured["heap_high_water"],
     )
@@ -391,4 +435,5 @@ def replay_trace(trace: Trace, config: MachineConfig) -> AppResult:
         checksum=trace.checksum,
         stats=stats,
         extras=dict(trace.extras),
+        timeline=timeline.to_payload() if timeline is not None else None,
     )

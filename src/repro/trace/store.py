@@ -120,6 +120,7 @@ class ArtifactStore:
                 checksum=payload["checksum"],
                 stats=MachineStats.parse(payload["stats"]),
                 extras=payload["extras"],
+                timeline=payload.get("timeline"),
             )
         except FileNotFoundError:
             return None
@@ -136,6 +137,10 @@ class ArtifactStore:
             "checksum": result.checksum,
             "extras": result.extras,
             "stats": result.stats.dump(),
+            # Sound to cache: the config fingerprint covers the timeline
+            # knobs, so a cached entry only ever answers a cell asking
+            # for the same sampling configuration.
+            "timeline": result.timeline,
         }
         path = self.result_path(trace_hash, config_hash)
         _atomic_write(path, json.dumps(payload, sort_keys=True).encode("utf-8"))

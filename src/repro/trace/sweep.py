@@ -46,6 +46,12 @@ class SweepTask:
     line_size: int
     scale: float = 1.0
     seed: int = 1
+    #: Timeline sampling interval for this cell (0 = off).  Part of the
+    #: machine config, not the workload identity: the trace key ignores
+    #: it (one stream serves sampled and unsampled cells alike) while
+    #: the config fingerprint separates their cached results.
+    timeline_interval: int = 0
+    events_capacity: int = 0
 
     def key(self) -> str:
         """Trace key this cell's stream lives under."""
@@ -61,9 +67,18 @@ class SweepTask:
         )
 
     def config(self):
+        from dataclasses import replace
+
         from repro.experiments.config import experiment_config
 
-        return experiment_config(self.line_size)
+        config = experiment_config(self.line_size)
+        if self.timeline_interval or self.events_capacity:
+            config = replace(
+                config,
+                timeline_interval=self.timeline_interval,
+                events_capacity=self.events_capacity,
+            )
+        return config
 
 
 def run_task(
@@ -102,10 +117,24 @@ def run_task(
         cached = store.load_result(trace.content_hash, fingerprint)
         if cached is not None:
             return cached, "cached"
-    result = replay_trace(trace, config)
+    if config.events_capacity > 0:
+        # Discrete events only occur during direct execution: replay
+        # reproduces the windowed *rates* exactly, but not the event
+        # stream (relocations, pool traffic, chain walks happen in the
+        # application/optimizer code replay skips).  Events cells
+        # therefore always run direct, even when a trace is warm --
+        # their results still persist under their own config
+        # fingerprint, so the re-run happens once.
+        _, result = capture_trace(
+            task.app, Variant(task.variant), config, task.scale, task.seed
+        )
+        how = "captured"
+    else:
+        result = replay_trace(trace, config)
+        how = "replayed"
     if store is not None:
         store.save_result(trace.content_hash, fingerprint, result)
-    return result, "replayed"
+    return result, how
 
 
 def _worker(task: SweepTask, store_root: str) -> tuple[SweepTask, AppResult, str]:

@@ -157,3 +157,28 @@ class TestStats:
         assert a.references == 3
         assert a.forwarded_references == 2
         assert a.hop_histogram == {2: 2}
+
+    def test_chain_length_bound_to_registry(self, mem, engine):
+        from repro.obs import Registry
+
+        registry = Registry()
+        engine.stats.register_metrics(registry, "fwd")
+        forward(mem, 0x100, 0x200)
+        forward(mem, 0x200, 0x300)
+        engine.resolve(0x100)
+        assert registry.snapshot().get("fwd.chain_length") == {2: 1}
+
+
+class TestEvents:
+    def test_walks_emitted_with_hop_count(self, mem, engine):
+        from repro.obs import EventLog
+
+        engine.events = EventLog(capacity=8)
+        forward(mem, 0x100, 0x200)
+        forward(mem, 0x200, 0x300)
+        engine.resolve(0x104)
+        engine.resolve(0x500)  # unforwarded: no event
+        payload = engine.events.to_payload()
+        assert payload["counts"] == {"fwd.walk": 1}
+        record = payload["records"][0]
+        assert record["args"] == {"initial": 0x104, "final": 0x304, "hops": 2}

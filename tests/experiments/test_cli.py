@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -28,6 +30,87 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Figure 10(a)" in out
         assert "Table 1" in out
+
+
+class TestTimelineCLI:
+    @pytest.fixture(scope="class")
+    def sampled_manifest_path(self, tmp_path_factory):
+        """One figure10 manifest produced with sampling on, saved to disk."""
+        from repro.experiments import ExperimentRunner, figure10
+
+        runner = ExperimentRunner(scale=0.1, timeline_interval=1000)
+        result = figure10.run(runner, scale=0.1)
+        manifest = figure10.manifest(result, runner)
+        path = tmp_path_factory.mktemp("timeline") / "figure10.json"
+        path.write_text(json.dumps(manifest))
+        return path
+
+    def test_flags_produce_timeline_section(self, capsys):
+        assert main([
+            "figure10", "--scale", "0.1", "--quiet", "--format", "json",
+            "--timeline", "--sample-interval", "1000",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cells = payload["figure10"]["timeline"]["cells"]
+        assert cells, "sampled run must emit timeline cells"
+        for cell in cells.values():
+            assert cell["sample_interval"] == 1000
+            assert cell["window_count"] >= 1
+
+    def test_timeline_section_absent_by_default(self, capsys):
+        assert main([
+            "figure10", "--scale", "0.1", "--quiet", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "timeline" not in payload["figure10"]
+
+    def test_diff_self_is_clean(self, capsys, sampled_manifest_path):
+        path = str(sampled_manifest_path)
+        assert main(["timeline", "diff", path, path]) == 0
+        assert "no per-window regressions" in capsys.readouterr().out
+
+    def test_diff_flags_regression_nonzero(self, capsys, sampled_manifest_path, tmp_path):
+        manifest = json.loads(sampled_manifest_path.read_text())
+        for cell in manifest["timeline"]["cells"].values():
+            cell["windows"]["miss_rate"] = [
+                value * 2 + 0.01 for value in cell["windows"]["miss_rate"]
+            ]
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(manifest))
+        assert main(["timeline", "diff", str(sampled_manifest_path), str(worse)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_export_chrome_trace(self, sampled_manifest_path, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main([
+            "timeline", "export", str(sampled_manifest_path), "--out", str(out),
+        ]) == 0
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"], "trace must not be empty"
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert "C" in phases and "M" in phases
+
+    def test_export_csv_cell(self, capsys, sampled_manifest_path):
+        manifest = json.loads(sampled_manifest_path.read_text())
+        cell_id = next(iter(manifest["timeline"]["cells"]))
+        assert main([
+            "timeline", "export", str(sampled_manifest_path), "--csv", cell_id,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("window,refs,cycles")
+
+    def test_export_unknown_cell_rejected(self, capsys, sampled_manifest_path):
+        with pytest.raises(SystemExit):
+            main([
+                "timeline", "export", str(sampled_manifest_path),
+                "--csv", "nope/0B/X",
+            ])
+        assert "no timeline cell" in capsys.readouterr().err
+
+    def test_bad_sample_interval_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure10", "--timeline", "--sample-interval", "0"])
+        assert "--sample-interval" in capsys.readouterr().err
 
 
 class TestPointerCompareAblation:

@@ -11,12 +11,14 @@ from repro.experiments import ablations, figure5, figure6, figure7, figure10, ta
 from repro.obs import Registry
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V1,
     MANIFEST_VERSION,
     ManifestError,
     _validate_structurally,
     build_manifest,
     cell,
     load_schema,
+    upgrade_manifest,
     validate_manifest,
 )
 
@@ -52,9 +54,19 @@ class TestSchema:
         manifest = _minimal_manifest()
         validate_manifest(manifest)  # should not raise
 
-    def test_rejects_wrong_version(self):
+    def test_rejects_unknown_version(self):
         with pytest.raises(ManifestError):
-            _validate_structurally(_minimal_manifest(manifest_version=2))
+            _validate_structurally(
+                _minimal_manifest(manifest_version=3, schema="repro.obs.manifest/v3")
+            )
+        with pytest.raises(ManifestError):
+            validate_manifest(
+                _minimal_manifest(manifest_version=3, schema="repro.obs.manifest/v3")
+            )
+
+    def test_rejects_version_schema_mismatch(self):
+        with pytest.raises(ManifestError):
+            _validate_structurally(_minimal_manifest(manifest_version=1))
 
     def test_rejects_missing_required_key(self):
         bad = _minimal_manifest()
@@ -90,6 +102,104 @@ class TestSchema:
         manifest = _minimal_manifest()
         validate_manifest(manifest)
         _validate_structurally(manifest)
+
+
+def _v1_manifest():
+    """A hand-built v1 manifest, as written by the previous release."""
+    manifest = _minimal_manifest(
+        manifest_version=1, schema=MANIFEST_SCHEMA_V1
+    )
+    manifest.pop("timeline", None)
+    manifest.pop("events", None)
+    return manifest
+
+
+class TestSchemaMigration:
+    """Version 1 manifests stay valid after the /v2 bump."""
+
+    def test_v1_still_validates(self):
+        manifest = _v1_manifest()
+        validate_manifest(manifest)
+        _validate_structurally(manifest)
+
+    def test_v1_rejects_v2_sections(self):
+        bad = _v1_manifest()
+        bad["timeline"] = {"cells": {}}
+        with pytest.raises(ManifestError):
+            _validate_structurally(bad)
+
+    def test_v1_rejects_span_error_field(self):
+        bad = _v1_manifest()
+        bad["spans"] = [
+            {"name": "s", "wall_seconds": 0.1, "depth": 0, "metrics": {},
+             "error": "ValueError: boom"}
+        ]
+        with pytest.raises(ManifestError):
+            _validate_structurally(bad)
+
+    def test_upgrade_v1_restamps_to_current(self):
+        upgraded = upgrade_manifest(_v1_manifest())
+        assert upgraded["manifest_version"] == MANIFEST_VERSION
+        assert upgraded["schema"] == MANIFEST_SCHEMA
+        validate_manifest(upgraded)
+
+    def test_upgrade_current_is_validated_copy(self):
+        manifest = _minimal_manifest()
+        upgraded = upgrade_manifest(manifest)
+        assert upgraded == manifest
+        assert upgraded is not manifest
+
+    def test_upgrade_rejects_unknown_version(self):
+        with pytest.raises(ManifestError):
+            upgrade_manifest(_minimal_manifest(manifest_version=99))
+
+    def test_v2_schema_file_pins_v2(self):
+        schema = load_schema(2)
+        assert schema["properties"]["manifest_version"]["const"] == 2
+        v1 = load_schema(1)
+        assert v1["properties"]["manifest_version"]["const"] == 1
+
+    def test_load_schema_unknown_version(self):
+        with pytest.raises(ManifestError):
+            load_schema(99)
+
+    def test_v2_span_error_accepted(self):
+        manifest = _minimal_manifest()
+        manifest["spans"] = [
+            {"name": "s", "wall_seconds": 0.1, "depth": 0, "metrics": {},
+             "error": "ValueError: boom"}
+        ]
+        validate_manifest(manifest)
+        _validate_structurally(manifest)
+
+    def test_v2_rejects_malformed_timeline_section(self):
+        bad = _minimal_manifest()
+        bad["timeline"] = {"cells": {"a/32B/L": {"sample_interval": 10}}}
+        with pytest.raises(ManifestError):
+            _validate_structurally(bad)
+
+    def test_v2_rejects_ragged_window_series(self):
+        windows = {
+            name: [1.0]
+            for name in (
+                "refs", "cycles", "l1_misses", "miss_rate",
+                "stall_slots", "chases", "mshr_occupancy",
+            )
+        }
+        windows["refs"] = [1.0, 2.0]
+        bad = _minimal_manifest()
+        bad["timeline"] = {
+            "cells": {
+                "a/32B/L": {
+                    "sample_interval": 10,
+                    "window_count": 1,
+                    "windows": windows,
+                    "heatmap": {"region_bytes": 65536, "regions": {}},
+                }
+            }
+        }
+        with pytest.raises(ManifestError):
+            _validate_structurally(bad)
 
 
 class TestEveryArtifactEmitsAValidManifest:

@@ -55,3 +55,72 @@ class TestSpan:
     def test_find_missing_raises(self):
         with pytest.raises(KeyError):
             SpanLog().find("nope")
+
+
+class TestSpanExceptionSafety:
+    """PR 4 regression tests: spans must unwind cleanly through errors."""
+
+    def test_error_summary_recorded_and_exception_propagates(self):
+        registry = Registry()
+        with pytest.raises(ValueError, match="bad cell"):
+            with registry.span("doomed"):
+                raise ValueError("bad cell")
+        record = registry.spans.find("doomed")
+        assert record.error == "ValueError: bad cell"
+        assert "error" in record.to_dict()
+
+    def test_messageless_exception_keeps_type_name(self):
+        registry = Registry()
+        with pytest.raises(KeyError):
+            with registry.span("doomed"):
+                raise KeyError
+        assert registry.spans.find("doomed").error == "KeyError"
+
+    def test_clean_exit_has_no_error(self):
+        registry = Registry()
+        with registry.span("fine"):
+            pass
+        record = registry.spans.find("fine")
+        assert record.error is None
+        assert "error" not in record.to_dict()
+
+    def test_nested_spans_unwind_through_exception(self):
+        """Depth bookkeeping survives an exception crossing both levels."""
+        registry = Registry()
+        with pytest.raises(RuntimeError):
+            with registry.span("outer"):
+                with registry.span("inner"):
+                    registry.counter("runs.captured").inc()
+                    raise RuntimeError("boom")
+        log = registry.spans
+        assert log._depth == 0, "depth counter must rewind to top level"
+        assert [r.name for r in log.records] == ["inner", "outer"]
+        assert log.find("inner").depth == 1
+        assert log.find("outer").depth == 0
+        assert log.find("inner").error == "RuntimeError: boom"
+        assert log.find("outer").error == "RuntimeError: boom"
+        assert log.find("inner").metrics == {"runs.captured": 1}
+        # The log is reusable afterwards: a fresh span starts at depth 0.
+        with registry.span("after"):
+            pass
+        assert log.find("after").depth == 0
+
+    def test_record_appended_even_if_metric_diff_raises(self):
+        class ExplodingRegistry(Registry):
+            def __init__(self):
+                super().__init__()
+                self._snapshots = 0
+
+            def snapshot(self):
+                self._snapshots += 1
+                if self._snapshots > 1:  # entry snapshot fine, exit raises
+                    raise RuntimeError("diff failed")
+                return super().snapshot()
+
+        registry = ExplodingRegistry()
+        log = SpanLog()
+        with pytest.raises(RuntimeError, match="diff failed"):
+            with span("fragile", registry=registry, log=log):
+                pass
+        assert log._depth == 0
+        assert [r.name for r in log.records] == ["fragile"]
