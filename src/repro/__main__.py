@@ -40,6 +40,15 @@ There is also a ``timeline`` subcommand over saved manifests::
 ``diff`` aligns two runs' windows and exits nonzero iff a per-window
 rate regresses beyond the threshold; ``export`` writes Chrome-trace
 JSON (loadable in https://ui.perfetto.dev) or one cell's windows as CSV.
+
+Long-lived serving (DESIGN.md §5e)::
+
+    python -m repro serve --port 8321 --workers 4 --trace-dir DIR
+    python -m repro serve.bench --scale 0.3 --out BENCH_PR5.json
+
+``serve`` exposes the experiment surface as an async HTTP JSON API with
+request coalescing against the content-hashed artifact store;
+``serve.bench`` load-tests it and records cold/warm service latency.
 """
 
 from __future__ import annotations
@@ -58,6 +67,13 @@ DEFAULT_TRACE_DIR = "results/trace-cache"
 
 _PAPER_ARTIFACTS = ("table1", "figure5", "figure6", "figure7", "figure10")
 _ALL = _PAPER_ARTIFACTS + ("ablations", "false-sharing", "out-of-core")
+
+#: First-word subcommands (everything else is an artifact list).
+_SUBCOMMANDS = ("timeline", "serve", "serve.bench")
+
+
+class _CLIError(Exception):
+    """A user-facing CLI failure: one line on stderr, nonzero exit."""
 
 
 def _run_extension(name: str) -> str:
@@ -172,8 +188,18 @@ def _timeline_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
 
     def _load(path: str) -> dict:
-        with open(path, encoding="utf-8") as handle:
-            return json.load(handle)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                loaded = json.load(handle)
+        except OSError as exc:
+            raise _CLIError(
+                f"cannot read manifest {path}: {exc.strerror or exc}"
+            ) from exc
+        except ValueError as exc:
+            raise _CLIError(f"{path} is not valid JSON: {exc}") from exc
+        if not isinstance(loaded, dict):
+            raise _CLIError(f"{path} is not a manifest (expected a JSON object)")
+        return loaded
 
     if args.command == "diff":
         regressions, notes = diff_timelines(
@@ -202,10 +228,35 @@ def _timeline_main(argv: list[str]) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Top-level entry point: dispatch subcommands, then artifacts.
+
+    Every user-facing failure -- unknown subcommand or artifact, invalid
+    flag combination, unreadable manifest -- exits nonzero with a
+    one-line message; tracebacks are reserved for actual bugs.
+    """
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "timeline":
-        return _timeline_main(argv[1:])
+    try:
+        if argv and argv[0] == "timeline":
+            return _timeline_main(argv[1:])
+        if argv and argv[0] == "serve":
+            from repro.serve import serve_main
+
+            return serve_main(argv[1:])
+        if argv and argv[0] == "serve.bench":
+            from repro.serve.bench import bench_main
+
+            return bench_main(argv[1:])
+        return _artifacts_main(argv)
+    except _CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _artifacts_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables and figures of Luk & Mowry (ISCA 1999).",
@@ -253,9 +304,9 @@ def main(argv: list[str] | None = None) -> int:
              "emit a timeline section in JSON manifests",
     )
     parser.add_argument(
-        "--sample-interval", type=int, default=10000, metavar="N",
+        "--sample-interval", type=int, default=None, metavar="N",
         help="window width in data references for --timeline "
-             "(default 10000)",
+             "(default 10000; requires --timeline)",
     )
     parser.add_argument(
         "--events", action="store_true",
@@ -263,18 +314,32 @@ def main(argv: list[str] | None = None) -> int:
              "interpreter path; do not combine with benchmarking)",
     )
     parser.add_argument(
-        "--events-capacity", type=int, default=4096, metavar="N",
-        help="event ring-buffer capacity for --events (default 4096)",
+        "--events-capacity", type=int, default=None, metavar="N",
+        help="event ring-buffer capacity for --events "
+             "(default 4096; requires --events)",
     )
     args = parser.parse_args(argv)
-    if args.sample_interval < 1:
+    if args.scale <= 0:
+        parser.error(f"--scale must be > 0, got {args.scale:g}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.sample_interval is not None and not args.timeline:
+        parser.error("--sample-interval only makes sense with --timeline")
+    if args.events_capacity is not None and not args.events:
+        parser.error("--events-capacity only makes sense with --events")
+    sample_interval = 10000 if args.sample_interval is None else args.sample_interval
+    events_capacity = 4096 if args.events_capacity is None else args.events_capacity
+    if sample_interval < 1:
         parser.error("--sample-interval must be >= 1")
-    if args.events_capacity < 1:
+    if events_capacity < 1:
         parser.error("--events-capacity must be >= 1")
     artifacts = args.artifacts or list(_ALL)
     unknown = [name for name in artifacts if name not in _ALL]
     if unknown:
-        parser.error(f"unknown artifact(s) {unknown}; choose from {list(_ALL)}")
+        parser.error(
+            f"unknown artifact(s) or subcommand {unknown}; artifacts: "
+            f"{list(_ALL)}; subcommands: {list(_SUBCOMMANDS)}"
+        )
 
     profiler = None
     if args.profile:
@@ -289,8 +354,8 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         trace_dir=args.trace_dir,
         use_cache=not args.no_cache,
-        timeline_interval=args.sample_interval if args.timeline else 0,
-        events_capacity=args.events_capacity if args.events else 0,
+        timeline_interval=sample_interval if args.timeline else 0,
+        events_capacity=events_capacity if args.events else 0,
     )
     runner.prime(specs_for_artifacts(artifacts, args.scale))
     modules = {

@@ -45,6 +45,7 @@ from repro.obs.registry import (
     MetricError,
     Registry,
     Snapshot,
+    histogram_quantiles,
 )
 from repro.obs.span import SpanLog, SpanRecord, span
 from repro.obs.timeline import Timeline
@@ -72,6 +73,7 @@ __all__ = [
     "cell",
     "chrome_trace",
     "diff_timelines",
+    "histogram_quantiles",
     "load_schema",
     "render_diff",
     "span",

@@ -41,6 +41,9 @@ _SCHEMA_NAMES = {1: MANIFEST_SCHEMA_V1, 2: MANIFEST_SCHEMA}
 
 _SCALAR = (str, int, float, bool, type(None))
 
+#: Compiled jsonschema validators, one per manifest version (lazy).
+_VALIDATORS: dict[int, Any] = {}
+
 
 class ManifestError(ValueError):
     """A manifest failed schema validation."""
@@ -187,10 +190,18 @@ def validate_manifest(manifest: Mapping[str, Any]) -> None:
     except ImportError:
         _validate_structurally(manifest)
         return
-    try:
-        jsonschema.validate(instance=dict(manifest), schema=load_schema(version))
-    except jsonschema.ValidationError as exc:
-        raise ManifestError(str(exc)) from exc
+    validator = _VALIDATORS.get(version)
+    if validator is None:
+        # Compile (and schema-check) once per version: jsonschema.validate
+        # redoes both on every call, which dominates hot paths like the
+        # serve warm-cache probe.
+        schema = load_schema(version)
+        cls = jsonschema.validators.validator_for(schema)
+        cls.check_schema(schema)
+        validator = _VALIDATORS[version] = cls(schema)
+    error = jsonschema.exceptions.best_match(validator.iter_errors(dict(manifest)))
+    if error is not None:
+        raise ManifestError(str(error)) from error
 
 
 def _fail(path: str, message: str) -> None:

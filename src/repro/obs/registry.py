@@ -255,6 +255,43 @@ class Snapshot(Mapping[str, Any]):
 EMPTY = Snapshot()
 
 
+def histogram_quantiles(
+    counts: Mapping[Any, int], quantiles: Iterable[float] = (0.5, 0.99)
+) -> dict[str, float]:
+    """Nearest-rank quantiles of a sparse ``{value: count}`` histogram.
+
+    Accepts the exact shapes histograms take across the codebase: int
+    keys (live instruments) or their stringified form (JSON round
+    trips).  Returns ``{"p50": ..., "p99": ...}``-style keys; empty
+    histograms yield an empty dict.  This is how the serve layer turns
+    its latency histograms into p50/p99 without retaining per-event
+    samples.
+    """
+    total = 0
+    pairs: list[tuple[float, int]] = []
+    for key, count in counts.items():
+        if count <= 0:
+            continue
+        pairs.append((float(key), count))
+        total += count
+    if not total:
+        return {}
+    pairs.sort()
+    out: dict[str, float] = {}
+    for quantile in quantiles:
+        if not 0 < quantile <= 1:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        rank = max(1, -(-quantile * total // 1))  # ceil without math import
+        seen = 0
+        for value, count in pairs:
+            seen += count
+            if seen >= rank:
+                label = f"{quantile * 100:g}"
+                out[f"p{label}"] = value
+                break
+    return out
+
+
 class Registry:
     """Hierarchical registry of owned and bound instruments.
 

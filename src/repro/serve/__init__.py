@@ -1,0 +1,37 @@
+"""repro.serve — the async simulation service (DESIGN.md §5e).
+
+The serving tier over the trace/replay engine: a stdlib asyncio HTTP
+JSON API (``python -m repro serve``) that accepts simulation cells,
+dedupes them against the content-hashed artifact store, coalesces
+identical in-flight requests, schedules cache-aware (warm replays before
+cold captures), executes on a crash-tolerant process pool, and answers
+with the same schema-validated ``repro.obs.manifest/v2`` documents the
+batch CLI emits.  ``python -m repro serve.bench`` is the load generator
+that pins service throughput in ``benchmarks/BENCH_PR5.json``.
+"""
+
+from repro.serve.http import HttpServer, serve_main
+from repro.serve.jobs import DONE, FAILED, QUEUED, RUNNING, Job, JobTable
+from repro.serve.protocol import JobSpec, ProtocolError
+from repro.serve.scheduler import QueueFull, Scheduler
+from repro.serve.service import ServiceClosed, SimulationService
+from repro.serve.workers import JobTimeout, WorkerPool
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "HttpServer",
+    "Job",
+    "JobSpec",
+    "JobTable",
+    "JobTimeout",
+    "ProtocolError",
+    "QUEUED",
+    "QueueFull",
+    "RUNNING",
+    "Scheduler",
+    "ServiceClosed",
+    "SimulationService",
+    "WorkerPool",
+    "serve_main",
+]

@@ -1,0 +1,351 @@
+"""Load generator: drive the simulation service and pin its throughput.
+
+``python -m repro serve.bench`` boots a real :class:`HttpServer` on an
+ephemeral port with a fresh artifact store, then drives the Figure-5
+matrix (every app x {N, L} x its line sizes) through the HTTP API with
+many concurrent clients, twice:
+
+* **cold** -- empty store: every cell is captured or replayed by the
+  worker tier, duplicate streams coalescing through the cache-aware
+  scheduler;
+* **warm** -- same store, same matrix: every cell must be served from
+  the result store without touching a worker.
+
+A third phase submits N identical requests for an uncached cell
+concurrently and checks they collapse into exactly one simulation.
+
+The run fails (exit 1) unless (a) warm mean latency is at least
+``--min-speedup`` times better than cold, and (b) every warm cell's
+simulated metric tree is bit-identical to its cold counterpart -- the
+cache must be invisible in the results.  ``--out`` writes the pinned
+numbers (``benchmarks/BENCH_PR5.json`` in-repo).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import tempfile
+import time
+from typing import Any
+
+from repro.apps import FIGURE5_APPS
+from repro.experiments.config import APP_SEEDS, line_sizes_for
+from repro.serve.http import HttpServer
+from repro.serve.service import SimulationService
+
+
+class _Client:
+    """One keep-alive HTTP/1.1 connection speaking JSON."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        if self._writer is None:
+            await self._connect()
+        assert self._reader is not None and self._writer is not None
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Content-Type: application/json\r\n\r\n"
+        )
+        self._writer.write(head.encode("ascii") + payload)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        status = int(status_line.split(b" ", 2)[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b"{}"
+        return status, json.loads(raw)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+
+def _matrix(scale: float) -> list[dict[str, Any]]:
+    return [
+        {
+            "app": app,
+            "variant": variant,
+            "line_size": line_size,
+            "scale": scale,
+            "seed": APP_SEEDS.get(app, 1),
+        }
+        for app in FIGURE5_APPS
+        for variant in ("N", "L")
+        for line_size in line_sizes_for(app)
+    ]
+
+
+async def _run_cell(
+    client: _Client, spec: dict[str, Any]
+) -> tuple[float, dict[str, Any]]:
+    """Submit one cell and ride it to completion; returns (ms, job body)."""
+    started = time.perf_counter()
+    while True:
+        status, body = await client.request("POST", "/jobs", spec)
+        if status == 429:
+            await asyncio.sleep(0.2)
+            continue
+        if status not in (200, 202):
+            raise RuntimeError(f"submit failed: {status} {body}")
+        break
+    while body["state"] not in ("done", "failed"):
+        status, body = await client.request(
+            "GET", f"/jobs/{body['id']}?wait=10"
+        )
+        if status != 200:
+            raise RuntimeError(f"poll failed: {status} {body}")
+    if body["state"] != "done":
+        raise RuntimeError(f"cell failed: {body.get('error')}")
+    return (time.perf_counter() - started) * 1000.0, body
+
+
+async def _run_pass(
+    host: str, port: int, specs: list[dict], concurrency: int
+) -> tuple[float, list[float], dict[str, dict]]:
+    """Drive all specs with a client pool; returns wall s, ms list, manifests."""
+    queue: asyncio.Queue = asyncio.Queue()
+    for spec in specs:
+        queue.put_nowait(spec)
+    latencies: list[float] = []
+    manifests: dict[str, dict] = {}
+
+    async def _drain_queue() -> None:
+        client = _Client(host, port)
+        try:
+            while True:
+                try:
+                    spec = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                ms, body = await _run_cell(client, spec)
+                latencies.append(ms)
+                cell_id = f"{spec['app']}/{spec['line_size']}B/{spec['variant']}"
+                manifests[cell_id] = body["manifest"]
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(_drain_queue() for _ in range(concurrency)))
+    return time.perf_counter() - started, latencies, manifests
+
+
+async def _coalescing_probe(
+    host: str, port: int, scale: float, fanout: int
+) -> dict[str, Any]:
+    """N identical concurrent requests for an uncached cell -> 1 simulation."""
+    spec = {
+        "app": "health",
+        "variant": "N",
+        "line_size": 32,
+        "scale": scale,
+        # A seed no other phase uses, so the cell is cold by construction.
+        "seed": 424242,
+    }
+    clients = [_Client(host, port) for _ in range(fanout)]
+    try:
+        results = await asyncio.gather(
+            *(_run_cell(client, spec) for client in clients)
+        )
+    finally:
+        for client in clients:
+            await client.close()
+    # All N requests must have collapsed onto ONE job: one job id, one
+    # simulation, identical checksums in every returned manifest.
+    job_ids = {body["id"] for _, body in results}
+    checksums = {
+        body["manifest"]["cells"][0]["checksum"] for _, body in results
+    }
+    simulated = sum(
+        1
+        for body in {body["id"]: body for _, body in results}.values()
+        if body["manifest"]["summary"]["how"] in ("captured", "replayed")
+    )
+    return {
+        "requests": fanout,
+        "distinct_jobs": len(job_ids),
+        "distinct_checksums": len(checksums),
+        "simulated": simulated,
+    }
+
+
+def _stats(latencies: list[float]) -> dict[str, float]:
+    ordered = sorted(latencies)
+    return {
+        "mean_ms": round(statistics.fmean(ordered), 3),
+        "p50_ms": round(ordered[len(ordered) // 2], 3),
+        "max_ms": round(ordered[-1], 3),
+    }
+
+
+def _metric_trees(manifests: dict[str, dict]) -> dict[str, Any]:
+    return {cell_id: m["metrics"] for cell_id, m in sorted(manifests.items())}
+
+
+async def _bench(args: argparse.Namespace) -> dict[str, Any]:
+    specs = _matrix(args.scale)
+    service = SimulationService(
+        trace_dir=args.trace_dir,
+        workers=max(args.workers, 1),
+        mode="thread" if args.workers == 0 else "process",
+        queue_limit=max(args.queue_limit, len(specs)),
+        job_timeout=args.job_timeout,
+    )
+    server = HttpServer(service, port=0)
+    await server.start()
+    host, port = server.host, server.port
+    try:
+        print(
+            f"bench: {len(specs)} cells at scale {args.scale}, "
+            f"{args.concurrency} clients, {service.pool.workers} "
+            f"{service.pool.mode} workers",
+            file=sys.stderr,
+        )
+        cold_wall, cold_ms, cold_manifests = await _run_pass(
+            host, port, specs, args.concurrency
+        )
+        print(f"bench: cold pass {cold_wall:.2f}s", file=sys.stderr)
+        warm_wall, warm_ms, warm_manifests = await _run_pass(
+            host, port, specs, args.concurrency
+        )
+        print(f"bench: warm pass {warm_wall:.2f}s", file=sys.stderr)
+        coalescing = await _coalescing_probe(
+            host, port, args.scale, args.fanout
+        )
+        metrics_snapshot = service.metrics_payload()
+    finally:
+        await server.stop(drain_timeout=10.0)
+
+    mismatched = [
+        cell_id
+        for cell_id in cold_manifests
+        if cold_manifests[cell_id]["metrics"] != warm_manifests[cell_id]["metrics"]
+        or cold_manifests[cell_id]["cells"] != warm_manifests[cell_id]["cells"]
+    ]
+    speedup = (sum(cold_ms) / len(cold_ms)) / (sum(warm_ms) / len(warm_ms))
+    report = {
+        "benchmark": "repro.serve figure5 service sweep",
+        "scale": args.scale,
+        "cells": len(specs),
+        "concurrency": args.concurrency,
+        "workers": service.pool.workers,
+        "worker_mode": service.pool.mode,
+        "cold": {"wall_seconds": round(cold_wall, 3), **_stats(cold_ms)},
+        "warm": {"wall_seconds": round(warm_wall, 3), **_stats(warm_ms)},
+        "warm_speedup_mean_latency": round(speedup, 2),
+        "metrics_identical_cold_vs_warm": not mismatched,
+        "coalescing": coalescing,
+        "service_metrics": metrics_snapshot["metrics"].get("serve", {}),
+    }
+
+    failures = []
+    if mismatched:
+        failures.append(f"metric trees differ cold vs warm: {mismatched[:3]}")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"warm latency speedup {speedup:.1f}x < required "
+            f"{args.min_speedup:.1f}x"
+        )
+    if (
+        coalescing["distinct_jobs"] != 1
+        or coalescing["simulated"] != 1
+        or coalescing["distinct_checksums"] != 1
+    ):
+        failures.append(f"coalescing probe anomaly: {coalescing}")
+    report["failures"] = failures
+    return report
+
+
+def bench_main(argv: list[str] | None = None) -> int:
+    """``python -m repro serve.bench`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve.bench",
+        description="Benchmark the simulation service: concurrent Figure-5 "
+        "sweeps, cold vs warm, plus a request-coalescing probe.",
+    )
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument(
+        "--concurrency", type=int, default=8, metavar="N",
+        help="concurrent HTTP clients (default 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="service worker processes (0 = threads; default 4)",
+    )
+    parser.add_argument(
+        "--fanout", type=int, default=8, metavar="N",
+        help="identical concurrent requests in the coalescing probe",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="service queue bound (raised to the matrix size if smaller)",
+    )
+    parser.add_argument("--job-timeout", type=float, default=600.0)
+    parser.add_argument(
+        "--min-speedup", type=float, default=10.0, metavar="X",
+        help="required warm-vs-cold mean latency ratio (default 10)",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="artifact store root (default: a fresh temp dir, i.e. cold)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON report here as well as stdout",
+    )
+    args = parser.parse_args(argv)
+    if args.scale <= 0:
+        parser.error("--scale must be > 0")
+    if args.concurrency < 1 or args.fanout < 1:
+        parser.error("--concurrency and --fanout must be >= 1")
+
+    scratch: tempfile.TemporaryDirectory | None = None
+    if args.trace_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+        args.trace_dir = scratch.name
+    try:
+        report = asyncio.run(_bench(args))
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+
+    rendered = json.dumps(report, indent=2) + "\n"
+    sys.stdout.write(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0

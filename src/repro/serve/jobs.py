@@ -1,0 +1,151 @@
+"""Job objects and the bounded job table of the simulation service.
+
+A :class:`Job` is the unit the service schedules: one validated spec,
+one lifecycle (``queued -> running -> done | failed``), and -- because
+identical requests coalesce -- possibly many waiting clients.  Jobs are
+created on the event loop and mutated only from it; worker processes
+never see them (they see picklable :class:`~repro.trace.sweep.SweepTask`
+cells).
+
+The :class:`JobTable` retains every live job plus a bounded history of
+finished ones, evicting the oldest finished jobs first so a long-lived
+service cannot grow without bound while ``GET /jobs/<id>`` keeps working
+for recently completed work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serve.protocol import JobSpec
+
+#: Lifecycle states (terminal: done, failed).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+_TERMINAL = (DONE, FAILED)
+
+
+@dataclass
+class Job:
+    """One scheduled simulation and everything observers can ask about it."""
+
+    id: str
+    spec: JobSpec
+    state: str = QUEUED
+    #: How the result was obtained: ``cached`` / ``captured`` /
+    #: ``replayed`` (worker outcomes), plus ``coalesced`` recorded on the
+    #: *submission* outcome of duplicate requests.
+    how: str | None = None
+    error: str | None = None
+    #: Schema-validated /v2 run manifest, present once terminal.
+    manifest: dict[str, Any] | None = None
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Number of identical requests served by this job (>= 1).
+    subscribers: int = 1
+    #: Worker attempts consumed (crash recovery retries increment it).
+    attempts: int = 0
+    _done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.state in _TERMINAL
+
+    @property
+    def latency_seconds(self) -> float | None:
+        """Submission-to-completion wall time (None while in flight)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    async def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; True iff it finished in time."""
+        if self.finished:
+            return True
+        try:
+            await asyncio.wait_for(self._done.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def complete(self, how: str, manifest: dict[str, Any]) -> None:
+        self.state = DONE
+        self.how = how
+        self.manifest = manifest
+        self.finished_at = time.monotonic()
+        self._done.set()
+
+    def fail(self, error: str, manifest: dict[str, Any] | None = None) -> None:
+        self.state = FAILED
+        self.error = error
+        self.manifest = manifest
+        self.finished_at = time.monotonic()
+        self._done.set()
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """The ``GET /jobs/<id>`` body (sans manifest for listings)."""
+        out: dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "cell": self.spec.cell_id,
+            "subscribers": self.subscribers,
+            "attempts": self.attempts,
+        }
+        if self.how is not None:
+            out["how"] = self.how
+        if self.error is not None:
+            out["error"] = self.error
+        if self.latency_seconds is not None:
+            out["latency_seconds"] = round(self.latency_seconds, 6)
+        return out
+
+
+class JobTable:
+    """Insertion-ordered job registry with bounded finished-job history."""
+
+    def __init__(self, history_limit: int = 512) -> None:
+        if history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
+        self.history_limit = history_limit
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._ids = itertools.count(1)
+
+    def create(self, spec: JobSpec) -> Job:
+        job = Job(id=f"job-{next(self._ids)}", spec=spec)
+        self._jobs[job.id] = job
+        self._evict()
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    def _evict(self) -> None:
+        # Live jobs are never evicted: the cap applies to terminal ones,
+        # scanned oldest-first.
+        excess = len(self._jobs) - self.history_limit
+        if excess <= 0:
+            return
+        for job_id in [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.finished
+        ][:excess]:
+            del self._jobs[job_id]

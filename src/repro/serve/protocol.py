@@ -1,0 +1,161 @@
+"""Request protocol of the simulation service: specs, validation, keys.
+
+A *job spec* is the wire-level description of one simulation cell --
+exactly the coordinates a :class:`~repro.trace.sweep.SweepTask` carries
+(app, variant, line size, scale, seed, timeline knobs), arriving as a
+JSON object.  Parsing is strict: unknown fields, unknown apps, variants
+an app cannot run, and out-of-range numbers are all rejected with a
+message naming the offending field, so a misdirected client learns what
+it sent instead of what the simulator crashed on.
+
+Each spec has a deterministic **job key** -- the SHA-256 of its canonical
+identity JSON.  The key is what the service coalesces on: two requests
+with the same key are the same simulation by construction (the trace key
+and machine-config fingerprint downstream are both functions of the
+spec), so they share one job, one queue slot, and one result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.apps import APPLICATIONS
+from repro.apps.base import Variant
+from repro.experiments.config import APP_SEEDS
+from repro.trace.sweep import SweepTask
+
+#: Fields a job payload may carry; everything else is rejected.
+_FIELDS = {
+    "app",
+    "variant",
+    "line_size",
+    "scale",
+    "seed",
+    "timeline_interval",
+    "events_capacity",
+}
+
+_REQUIRED = {"app", "variant", "line_size"}
+
+#: Guardrails on numeric knobs -- the service is long-lived and shared,
+#: so one absurd request must not monopolise a worker for hours.
+MAX_SCALE = 4.0
+MAX_LINE_SIZE = 4096
+
+
+class ProtocolError(ValueError):
+    """A job payload failed validation (maps to HTTP 400)."""
+
+
+def _fail(field: str, message: str) -> None:
+    raise ProtocolError(f"{field}: {message}")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated simulation request (hashable, JSON-roundtrippable)."""
+
+    app: str
+    variant: str
+    line_size: int
+    scale: float = 1.0
+    seed: int = 1
+    timeline_interval: int = 0
+    events_capacity: int = 0
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "JobSpec":
+        """Parse and validate a decoded JSON request body."""
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        unknown = set(payload) - _FIELDS
+        if unknown:
+            raise ProtocolError(
+                f"unknown field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(_FIELDS)}"
+            )
+        missing = _REQUIRED - set(payload)
+        if missing:
+            raise ProtocolError(f"missing required field(s) {sorted(missing)}")
+
+        app = payload["app"]
+        if app not in APPLICATIONS:
+            _fail("app", f"unknown app {app!r}; known: {sorted(APPLICATIONS)}")
+        variant = payload["variant"]
+        valid_variants = {v.value for v in Variant}
+        if not isinstance(variant, str) or variant not in valid_variants:
+            _fail(
+                "variant",
+                f"unknown variant {variant!r}; known: {sorted(valid_variants)}",
+            )
+        line_size = payload["line_size"]
+        if (
+            isinstance(line_size, bool)
+            or not isinstance(line_size, int)
+            or line_size < 4
+            or line_size > MAX_LINE_SIZE
+            or line_size & (line_size - 1)
+        ):
+            _fail(
+                "line_size",
+                f"must be a power-of-two int in [4, {MAX_LINE_SIZE}], "
+                f"got {line_size!r}",
+            )
+        scale = payload.get("scale", 1.0)
+        if (
+            isinstance(scale, bool)
+            or not isinstance(scale, (int, float))
+            or not scale > 0
+            or scale > MAX_SCALE
+        ):
+            _fail("scale", f"must be a number in (0, {MAX_SCALE}], got {scale!r}")
+        seed = payload.get("seed", APP_SEEDS.get(app, 1))
+        if isinstance(seed, bool) or not isinstance(seed, int) or seed < 0:
+            _fail("seed", f"must be a non-negative integer, got {seed!r}")
+        for knob in ("timeline_interval", "events_capacity"):
+            value = payload.get(knob, 0)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                _fail(knob, f"must be a non-negative integer, got {value!r}")
+        return cls(
+            app=app,
+            variant=variant,
+            line_size=line_size,
+            scale=float(scale),
+            seed=seed,
+            timeline_interval=payload.get("timeline_interval", 0),
+            events_capacity=payload.get("events_capacity", 0),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def job_key(self) -> str:
+        """Coalescing identity: SHA-256 of the canonical spec JSON.
+
+        Two payloads with the same key describe the same simulation --
+        every cache key downstream (trace key, config fingerprint) is a
+        function of these fields.
+        """
+        canonical = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable cell identity (matches RunSpec.cell_id)."""
+        return f"{self.app}/{self.line_size}B/{self.variant}"
+
+    def task(self) -> SweepTask:
+        """The sweep-executor cell this spec resolves to."""
+        return SweepTask(
+            app=self.app,
+            variant=self.variant,
+            line_size=self.line_size,
+            scale=self.scale,
+            seed=self.seed,
+            timeline_interval=self.timeline_interval,
+            events_capacity=self.events_capacity,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)

@@ -1,0 +1,353 @@
+"""The simulation service: queue, workers, cache, and live metrics.
+
+:class:`SimulationService` is the long-lived object behind
+``python -m repro serve``.  It accepts validated job specs, serves warm
+cells straight from the artifact store (O(ms), no worker round-trip),
+coalesces identical in-flight requests, and feeds everything else
+through the cache-aware scheduler into the worker pool.  Every finished
+job carries a schema-validated ``repro.obs.manifest/v2`` run manifest --
+the same artifact format the batch CLI emits -- so service clients and
+batch pipelines consume identical documents.
+
+Instrumentation is a live :class:`repro.obs.Registry`:
+
+======================================  ================================
+``serve.queue.depth``                    queued jobs (gauge, live)
+``serve.jobs.inflight``                  queued+running jobs (gauge)
+``serve.jobs.{submitted,coalesced,...}`` admission outcomes (counters)
+``serve.jobs.{completed,failed}``        terminal outcomes (counters)
+``serve.jobs.timeouts``                  budget overruns (counter)
+``serve.cache.{hit,miss}``               warm-probe outcomes (counters)
+``serve.workers.restarts``               pool rebuilds (gauge, live)
+``serve.latency.<how>_ms``               per-outcome latency histograms
+======================================  ================================
+
+``GET /metrics`` snapshots the registry and derives p50/p99 from the
+latency histograms via :func:`repro.obs.histogram_quantiles`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from repro.core.debug import get_logger
+from repro.obs import GAUGE, Registry, build_manifest, cell, histogram_quantiles
+from repro.obs.span import SpanRecord
+from repro.serve.jobs import Job, JobTable
+from repro.serve.protocol import JobSpec
+from repro.serve.scheduler import QueueFull, Scheduler
+from repro.serve.workers import JobTimeout, WorkerPool
+from repro.trace.store import ArtifactStore, config_fingerprint
+
+__all__ = ["QueueFull", "ServiceClosed", "SimulationService"]
+
+_log = get_logger("serve.service")
+
+#: Latency buckets, by how the result was obtained.
+_HOWS = ("captured", "replayed", "cached")
+
+
+class ServiceClosed(Exception):
+    """The service is draining and no longer accepts work (HTTP 503)."""
+
+
+class SimulationService:
+    """Async facade over the trace/replay engine for concurrent clients."""
+
+    def __init__(
+        self,
+        trace_dir: str,
+        workers: int = 2,
+        mode: str = "process",
+        queue_limit: int = 64,
+        job_timeout: float = 300.0,
+        max_retries: int = 1,
+        history_limit: int = 512,
+        retry_after: float = 1.0,
+    ) -> None:
+        self.store = ArtifactStore(trace_dir)
+        swept = self.store.sweep_stale()
+        if swept:
+            _log.info("startup sweep removed %d stale artifacts", swept)
+        self.table = JobTable(history_limit)
+        self.scheduler = Scheduler(self.store, queue_limit, retry_after)
+        self.pool = WorkerPool(
+            str(self.store.root),
+            workers=workers,
+            mode=mode,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+        )
+        self.started_at = time.time()
+        self._draining = False
+        self._consumers: list[asyncio.Task] = []
+        #: trace key -> content hash, learned on first warm probe so
+        #: repeat probes skip re-reading the trace bytes.
+        self._trace_hashes: dict[str, str] = {}
+
+        self.obs = Registry()
+        self.obs.bind("serve.queue.depth", lambda: self.scheduler.depth, GAUGE)
+        self.obs.bind(
+            "serve.jobs.inflight", lambda: self.scheduler.inflight, GAUGE
+        )
+        self.obs.bind("serve.workers.restarts", lambda: self.pool.restarts, GAUGE)
+        for name in (
+            "serve.jobs.submitted",
+            "serve.jobs.coalesced",
+            "serve.jobs.rejected",
+            "serve.jobs.completed",
+            "serve.jobs.failed",
+            "serve.jobs.timeouts",
+            "serve.cache.hit",
+            "serve.cache.miss",
+        ):
+            self.obs.counter(name)
+        for how in _HOWS:
+            self.obs.histogram(f"serve.latency.{how}_ms")
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn one consumer task per worker slot."""
+        if self._consumers:
+            return
+        self._consumers = [
+            asyncio.create_task(self._consume(), name=f"serve-consumer-{i}")
+            for i in range(self.pool.workers)
+        ]
+
+    async def drain(self, timeout: float | None = 30.0) -> bool:
+        """Stop admitting work, let in-flight jobs finish, shut down.
+
+        Returns True if everything drained inside ``timeout``.  Always
+        cancels the consumers and shuts the pool down, so the service is
+        terminal either way.
+        """
+        self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        clean = True
+        while self.scheduler.inflight:
+            if deadline is not None and time.monotonic() >= deadline:
+                clean = False
+                break
+            await asyncio.sleep(0.02)
+        for task in self._consumers:
+            task.cancel()
+        for task in self._consumers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._consumers = []
+        self.pool.shutdown(wait=clean)
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- admission ------------------------------------------------------
+    async def submit(self, payload: object) -> tuple[Job, str]:
+        """Admit one request; returns ``(job, outcome)``.
+
+        ``outcome``: ``"cached"`` (served warm, job already terminal),
+        ``"coalesced"`` (attached to an identical in-flight job), or
+        ``"queued"``.  Raises :class:`~repro.serve.protocol.ProtocolError`
+        on a bad payload, :class:`QueueFull` on backpressure, and
+        :class:`ServiceClosed` while draining.
+        """
+        if self._draining:
+            raise ServiceClosed("service is draining")
+        spec = JobSpec.from_payload(payload)
+        existing = self.scheduler.coalesce(spec.job_key)
+        if existing is not None:
+            self.obs.counter("serve.jobs.coalesced").inc()
+            return existing, "coalesced"
+        submitted = time.monotonic()
+        warm = await asyncio.to_thread(self._warm_probe, spec)
+        if warm is not None:
+            manifest, how = warm
+            self.obs.counter("serve.cache.hit").inc()
+            job = self.table.create(spec)
+            job.attempts = 0
+            job.complete(how, manifest)
+            self._observe_latency(how, time.monotonic() - submitted)
+            return job, "cached"
+        self.obs.counter("serve.cache.miss").inc()
+        try:
+            job, outcome = self.scheduler.submit(
+                lambda: self.table.create(spec), spec.job_key
+            )
+        except QueueFull:
+            self.obs.counter("serve.jobs.rejected").inc()
+            raise
+        self.obs.counter(
+            "serve.jobs.coalesced"
+            if outcome == "coalesced"
+            else "serve.jobs.submitted"
+        ).inc()
+        return job, outcome
+
+    def _warm_probe(self, spec: JobSpec) -> tuple[dict, str] | None:
+        """Serve a fully cached cell without touching the worker tier.
+
+        Runs in a thread (trace headers and result JSON come off disk).
+        Returns ``(manifest, "cached")`` or None on any miss.
+        """
+        task = spec.task()
+        trace_key = task.key()
+        content_hash = self._trace_hashes.get(trace_key)
+        if content_hash is None:
+            trace = self.store.load_trace(trace_key)
+            if trace is None:
+                return None
+            content_hash = trace.content_hash
+            self._trace_hashes[trace_key] = content_hash
+        result = self.store.load_result(
+            content_hash, config_fingerprint(task.config())
+        )
+        if result is None:
+            return None
+        record = SpanRecord(name=f"serve.job.{spec.cell_id}", wall_seconds=0.0)
+        manifest = self._success_manifest(spec, result, "cached", record)
+        return manifest, "cached"
+
+    # -- execution ------------------------------------------------------
+    async def _consume(self) -> None:
+        while True:
+            job = await self.scheduler.pop()
+            try:
+                await self._run_job(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - defensive: keep serving
+                _log.exception("consumer crashed on job %s", job.id)
+                if not job.finished:
+                    job.fail("internal error")
+                self.scheduler.finished(job, captured=False)
+
+    async def _run_job(self, job: Job) -> None:
+        spec = job.spec
+        record = SpanRecord(name=f"serve.job.{spec.cell_id}", wall_seconds=0.0)
+        started = time.perf_counter()
+        try:
+            result, how, attempts = await self.pool.run(spec.task())
+        except Exception as exc:
+            record.wall_seconds = time.perf_counter() - started
+            detail = str(exc)
+            record.error = (
+                f"{type(exc).__name__}: {detail}" if detail else type(exc).__name__
+            )
+            if isinstance(exc, JobTimeout):
+                self.obs.counter("serve.jobs.timeouts").inc()
+            self.obs.counter("serve.jobs.failed").inc()
+            _log.warning("job %s (%s) failed: %s", job.id, spec.cell_id, record.error)
+            job.fail(record.error, self._failure_manifest(spec, record))
+            self.scheduler.finished(job, captured=False)
+            return
+        record.wall_seconds = time.perf_counter() - started
+        job.attempts = attempts
+        manifest = self._success_manifest(spec, result, how, record)
+        job.complete(how, manifest)
+        self.obs.counter("serve.jobs.completed").inc()
+        self._observe_latency(how, job.latency_seconds or 0.0)
+        self.scheduler.finished(job, captured=True)
+
+    def _observe_latency(self, how: str, seconds: float) -> None:
+        if how not in _HOWS:  # pragma: no cover - future-proofing
+            return
+        self.obs.histogram(f"serve.latency.{how}_ms").observe(
+            max(0, round(seconds * 1000))
+        )
+
+    # -- manifests ------------------------------------------------------
+    def _run_section(self, spec: JobSpec) -> dict[str, Any]:
+        return {
+            "scale": spec.scale,
+            "jobs": 1,
+            "cache": True,
+            "trace_dir": str(self.store.root),
+            "timeline_interval": spec.timeline_interval,
+            "events_capacity": spec.events_capacity,
+        }
+
+    def _success_manifest(
+        self, spec: JobSpec, result, how: str, record: SpanRecord
+    ) -> dict[str, Any]:
+        stats = result.stats
+        entry = cell(
+            spec.cell_id,
+            labels={
+                "app": spec.app,
+                "variant": spec.variant,
+                "line_size": spec.line_size,
+            },
+            checksum=result.checksum,
+            values={"cycles": stats.cycles},
+        )
+        timeline = None
+        if result.timeline is not None:
+            timeline = {
+                "cells": {
+                    spec.cell_id: {
+                        "sample_interval": result.timeline["sample_interval"],
+                        "window_count": result.timeline["window_count"],
+                        "windows": result.timeline["windows"],
+                        "heatmap": result.timeline["heatmap"],
+                    }
+                }
+            }
+        return build_manifest(
+            f"serve/{spec.cell_id}",
+            run=self._run_section(spec),
+            seeds={spec.app: spec.seed},
+            metrics=stats.to_snapshot(),
+            spans=[record.to_dict()],
+            cells=[entry],
+            summary={"how": how, "wall_seconds": round(record.wall_seconds, 6)},
+            timeline=timeline,
+        )
+
+    def _failure_manifest(self, spec: JobSpec, record: SpanRecord) -> dict[str, Any]:
+        return build_manifest(
+            f"serve/{spec.cell_id}",
+            run=self._run_section(spec),
+            seeds={spec.app: spec.seed},
+            metrics={},
+            spans=[record.to_dict()],
+            cells=[],
+            summary={"error": record.error or "unknown"},
+        )
+
+    # -- observability --------------------------------------------------
+    def metrics_payload(self) -> dict[str, Any]:
+        """The ``GET /metrics`` body: live snapshot plus derived views."""
+        snapshot = self.obs.snapshot()
+        latency: dict[str, Any] = {}
+        for how in _HOWS:
+            quantiles = histogram_quantiles(
+                snapshot[f"serve.latency.{how}_ms"], (0.5, 0.99)
+            )
+            if quantiles:
+                latency[how] = {
+                    f"{key}_ms": value for key, value in quantiles.items()
+                }
+        states: dict[str, int] = {}
+        for job in self.table.jobs():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "metrics": snapshot.tree(),
+            "latency": latency,
+            "jobs_by_state": states,
+        }
+
+    def healthz(self) -> dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "workers": self.pool.workers,
+            "mode": self.pool.mode,
+            "queue_depth": self.scheduler.depth,
+            "inflight": self.scheduler.inflight,
+        }

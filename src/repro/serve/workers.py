@@ -1,0 +1,144 @@
+"""The worker tier: simulation cells executed off the event loop.
+
+Workers run :func:`repro.trace.sweep.run_task` -- the same
+capture-once-replay-many cell executor the batch sweeps use -- against
+the service's shared artifact store, so everything the batch path
+learned (traces, replayed results) is immediately visible to the
+service and vice versa.
+
+Two executor kinds:
+
+* ``process`` (the default): a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Workers coordinate with each other and with any concurrent batch runs
+  purely through the store's atomic writes and capture locks.
+* ``thread``: a thread pool.  ``--workers 0`` and the test suite use it;
+  simulation cells share no mutable state, so threads are correct, just
+  GIL-bound.
+
+Robustness contract:
+
+* A worker exception fails that job only; the pool keeps serving.
+* A crashed worker process (:class:`~concurrent.futures.BrokenExecutor`)
+  rebuilds the pool and retries the job up to ``max_retries`` times.
+* A job exceeding ``job_timeout`` fails with :class:`JobTimeout`.  The
+  abandoned cell keeps running to completion in its worker (process
+  pools cannot interrupt a running call) but every simulation is finite
+  and its eventual store writes are atomic, so the only cost is the
+  transiently occupied slot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+
+from repro.apps.base import AppResult
+from repro.core.debug import get_logger
+from repro.trace.store import ArtifactStore
+from repro.trace.sweep import SweepTask, run_task
+
+_log = get_logger("serve.workers")
+
+
+class JobTimeout(Exception):
+    """A job exceeded the per-job wall-clock budget."""
+
+
+def _execute(task: SweepTask, store_root: str) -> tuple[AppResult, str]:
+    """Pool entry point (module-level, hence picklable).
+
+    Cold cells take the store's capture lock so concurrent *processes*
+    (multiple serve instances, or serve next to a batch sweep, sharing
+    one ``--trace-dir``) never duplicate a capture: the loser of the
+    race waits, then finds the trace warm and replays.
+    """
+    store = ArtifactStore(store_root)
+    key = task.key()
+    if not store.has_trace(key):
+        with store.capture_lock(key):
+            result, how = run_task(task, store)
+    else:
+        result, how = run_task(task, store)
+    return result, how
+
+
+class WorkerPool:
+    """Bounded executor of sweep cells with timeout and crash recovery."""
+
+    def __init__(
+        self,
+        store_root: str,
+        workers: int = 2,
+        mode: str = "process",
+        job_timeout: float = 300.0,
+        max_retries: int = 1,
+    ) -> None:
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown worker mode {mode!r}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store_root = store_root
+        self.workers = workers
+        self.mode = mode
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        #: Pool rebuilds after worker crashes (exported as a metric).
+        self.restarts = 0
+        self._pool = self._make_pool()
+
+    def _make_pool(self):
+        if self.mode == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-serve"
+            )
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _submit(self, task: SweepTask) -> Future:
+        return self._pool.submit(_execute, task, self.store_root)
+
+    # ------------------------------------------------------------------
+    async def run(self, task: SweepTask) -> tuple[AppResult, str, int]:
+        """Execute one cell; returns ``(result, how, attempts)``.
+
+        Raises :class:`JobTimeout` on budget overrun and re-raises the
+        worker's own exception for genuine simulation failures.  Pool
+        crashes are absorbed: the pool is rebuilt and the cell retried
+        up to ``max_retries`` times before the crash surfaces.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                future = self._submit(task)
+                result, how = await asyncio.wait_for(
+                    asyncio.wrap_future(future), self.job_timeout
+                )
+                return result, how, attempts
+            except asyncio.TimeoutError:
+                future.cancel()
+                raise JobTimeout(
+                    f"cell {task.app}/{task.line_size}B/{task.variant} "
+                    f"exceeded {self.job_timeout:.0f}s budget"
+                ) from None
+            except BrokenExecutor as exc:
+                self.restarts += 1
+                _log.warning(
+                    "worker pool broke running %s (%s); rebuilding "
+                    "(attempt %d/%d)",
+                    task.app,
+                    exc,
+                    attempts,
+                    self.max_retries + 1,
+                )
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = self._make_pool()
+                if attempts > self.max_retries:
+                    raise
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=not wait)

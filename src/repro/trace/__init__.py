@@ -35,12 +35,19 @@ from repro.trace.format import (
 )
 from repro.trace.recorder import TraceRecorder, capture_trace
 from repro.trace.replay import TraceReplayError, replay_trace
-from repro.trace.store import ArtifactStore, config_fingerprint, trace_key
-from repro.trace.sweep import SweepTask, execute_sweep, run_task
+from repro.trace.store import (
+    ArtifactStore,
+    LockTimeout,
+    config_fingerprint,
+    trace_key,
+)
+from repro.trace.sweep import SweepError, SweepTask, execute_sweep, run_task
 
 __all__ = [
     "ArtifactStore",
     "FORMAT_VERSION",
+    "LockTimeout",
+    "SweepError",
     "SweepTask",
     "Trace",
     "TraceFormatError",

@@ -14,16 +14,31 @@ edit anything (app code changes the stream, config changes the
 fingerprint, a format bump changes both) and the stale entry simply
 stops being found.
 
-All writes are atomic (temp file + ``os.replace``), so concurrent sweep
-workers sharing a store never observe torn files; corrupt or unreadable
-entries are treated as misses and recaptured.
+All writes are atomic (unique temp file + ``os.replace``), so concurrent
+sweep workers -- and the long-lived serve processes of
+:mod:`repro.serve`, which share one store across a process pool -- never
+observe torn files; corrupt or unreadable entries are treated as misses
+and recaptured.  Two further concurrency facilities support multi-writer
+stores:
+
+* :meth:`ArtifactStore.capture_lock` -- an advisory per-trace-key file
+  lock so exactly one process captures a given stream; losers wait and
+  find the trace warm.  Locks left by dead or wedged processes are
+  *stale* (owner pid gone, or older than the stale threshold) and are
+  broken automatically.
+* :meth:`ArtifactStore.sweep_stale` -- removes orphaned ``.tmp`` files
+  and stale locks left behind by crashed writers; services run it at
+  startup.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import itertools
 import json
 import os
+import time
 from dataclasses import asdict
 from pathlib import Path
 
@@ -34,6 +49,15 @@ from repro.core.stats import MachineStats
 from repro.trace.format import FORMAT_VERSION, Trace, TraceFormatError
 
 _log = get_logger("trace.store")
+
+#: A lock or temp file untouched for this long is presumed abandoned.
+STALE_AFTER_SECONDS = 900.0
+
+_tmp_counter = itertools.count()
+
+
+class LockTimeout(TimeoutError):
+    """A capture lock could not be acquired within the deadline."""
 
 
 def trace_key(
@@ -69,20 +93,48 @@ def config_fingerprint(config: MachineConfig) -> str:
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-    tmp.write_bytes(data)
-    os.replace(tmp, path)
+    # The temp name is unique per (pid, in-process counter) so threads
+    # of one process never collide on it; a failed write leaves nothing
+    # behind for readers and nothing permanent for sweep_stale to find.
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}-{next(_tmp_counter)}")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe of a lock owner on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
 
 
 class ArtifactStore:
     """Filesystem-backed trace and result cache."""
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        stale_after: float = STALE_AFTER_SECONDS,
+    ) -> None:
         self.root = Path(root)
+        self.stale_after = stale_after
         self.traces_dir = self.root / "traces"
         self.results_dir = self.root / "results"
+        self.locks_dir = self.root / "locks"
         self.traces_dir.mkdir(parents=True, exist_ok=True)
         self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.locks_dir.mkdir(parents=True, exist_ok=True)
 
     # -- traces ---------------------------------------------------------
     def trace_path(self, key: str) -> Path:
@@ -145,3 +197,108 @@ class ArtifactStore:
         path = self.result_path(trace_hash, config_hash)
         _atomic_write(path, json.dumps(payload, sort_keys=True).encode("utf-8"))
         return path
+
+    # -- concurrency ----------------------------------------------------
+    def lock_path(self, key: str) -> Path:
+        return self.locks_dir / f"{key}.lock"
+
+    @contextlib.contextmanager
+    def capture_lock(
+        self,
+        key: str,
+        timeout: float | None = None,
+        poll_interval: float = 0.05,
+    ):
+        """Advisory exclusive lock over capturing one trace key.
+
+        Creation is atomic (``O_CREAT | O_EXCL``); the file records the
+        owning pid and acquisition time.  Contenders poll, breaking the
+        lock if its owner died or it exceeded ``stale_after`` seconds --
+        a crashed capturer never wedges the store.  ``timeout`` bounds
+        the wait (default: ``stale_after`` plus slack, so a live owner
+        is always outwaited or declared stale before giving up).
+        """
+        if timeout is None:
+            timeout = self.stale_after + 60.0
+        path = self.lock_path(key)
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if self._break_if_stale(path):
+                    continue
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"capture lock {path.name} held past {timeout:.0f}s"
+                    ) from None
+                time.sleep(poll_interval)
+                continue
+            with os.fdopen(fd, "w") as handle:
+                json.dump({"pid": os.getpid(), "acquired": time.time()}, handle)
+            break
+        try:
+            yield path
+        finally:
+            with contextlib.suppress(OSError):
+                path.unlink()
+
+    def _break_if_stale(self, path: Path) -> bool:
+        """Remove ``path`` if its owner is gone or it aged out."""
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return True  # vanished underneath us -- effectively broken
+        owner_dead = False
+        try:
+            owner = json.loads(path.read_text()).get("pid")
+            owner_dead = isinstance(owner, int) and not _pid_alive(owner)
+        except (OSError, ValueError):
+            # Unreadable content: age alone decides.
+            pass
+        if owner_dead or age > self.stale_after:
+            _log.warning(
+                "breaking stale lock %s (age %.0fs, owner %s)",
+                path.name,
+                age,
+                "dead" if owner_dead else "unknown",
+            )
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return True
+        return False
+
+    def sweep_stale(self, max_age: float | None = None) -> int:
+        """Remove abandoned temp files and stale locks; returns the count.
+
+        Safe to run concurrently with writers: only artifacts older than
+        ``max_age`` (default ``stale_after``) go, and in-flight temp
+        files are by definition fresh.
+        """
+        if max_age is None:
+            max_age = self.stale_after
+        cutoff = time.time() - max_age
+        removed = 0
+        candidates = [
+            path
+            for directory in (self.traces_dir, self.results_dir)
+            for path in directory.glob("*.tmp*")
+        ]
+        candidates += list(self.locks_dir.glob("*.lock"))
+        for path in candidates:
+            try:
+                stale = path.stat().st_mtime < cutoff
+            except OSError:
+                continue
+            if path.suffix == ".lock" and not stale:
+                # A fresh lock might still be orphaned by a dead owner.
+                stale = self._break_if_stale(path)
+                if stale:
+                    removed += 1
+                continue
+            if stale:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    removed += 1
+                    _log.info("swept stale artifact %s", path.name)
+        return removed

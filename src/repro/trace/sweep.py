@@ -37,6 +37,24 @@ from repro.trace.store import ArtifactStore, config_fingerprint, trace_key
 _log = get_logger("trace.sweep")
 
 
+class SweepError(RuntimeError):
+    """A sweep cell failed; carries the task so callers can report it.
+
+    Raised by :func:`execute_sweep` when a worker raises mid-cell: the
+    remaining queued cells are cancelled, the pool shuts down, and the
+    original exception is chained -- the failure surfaces promptly
+    instead of hanging the pool or burying the cell identity.
+    """
+
+    def __init__(self, task: SweepTask, cause: BaseException) -> None:
+        super().__init__(
+            f"sweep cell {task.app}/{task.line_size}B/{task.variant} "
+            f"(scale={task.scale}, seed={task.seed}) failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.task = task
+
+
 @dataclass(frozen=True)
 class SweepTask:
     """One cell of a sweep matrix (picklable, hashable)."""
@@ -158,7 +176,10 @@ def execute_sweep(
     if jobs <= 1 or len(tasks) <= 1:
         traces: dict[str, Trace] = {}
         for task in tasks:
-            results[task] = run_task(task, store, traces)
+            try:
+                results[task] = run_task(task, store, traces)
+            except Exception as exc:
+                raise SweepError(task, exc) from exc
             if verbose:
                 log_progress(task, *results[task])
         return results
@@ -173,26 +194,48 @@ def execute_sweep(
     remaining = set(tasks)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         if to_capture:
-            futures = [
-                pool.submit(_worker, task, str(store.root))
+            futures = {
+                pool.submit(_worker, task, str(store.root)): task
                 for task in to_capture
-            ]
-            for future in as_completed(futures):
-                task, result, how = future.result()
-                results[task] = (result, how)
-                remaining.discard(task)
-                if verbose:
-                    log_progress(task, result, how)
+            }
+            _collect(futures, results, remaining, verbose)
         # Phase 2: replay (or fetch) every remaining cell in parallel.
-        futures = [
-            pool.submit(_worker, task, str(store.root)) for task in remaining
-        ]
+        futures = {
+            pool.submit(_worker, task, str(store.root)): task
+            for task in remaining
+        }
+        _collect(futures, results, None, verbose)
+    return results
+
+
+def _collect(
+    futures: dict,
+    results: dict[SweepTask, tuple[AppResult, str]],
+    remaining: set[SweepTask] | None,
+    verbose: bool,
+) -> None:
+    """Drain one phase's futures; fail fast and clean on a bad cell.
+
+    A worker exception cancels every not-yet-started future in the phase
+    and surfaces as :class:`SweepError` naming the failing cell, so a
+    broken cell neither hangs the pool nor masquerades as an anonymous
+    pickle traceback.
+    """
+    try:
         for future in as_completed(futures):
-            task, result, how = future.result()
+            try:
+                task, result, how = future.result()
+            except Exception as exc:
+                raise SweepError(futures[future], exc) from exc
             results[task] = (result, how)
+            if remaining is not None:
+                remaining.discard(task)
             if verbose:
                 log_progress(task, result, how)
-    return results
+    except SweepError:
+        for future in futures:
+            future.cancel()
+        raise
 
 
 def aggregate_metrics(results: Iterable[AppResult]) -> Snapshot:

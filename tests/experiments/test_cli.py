@@ -125,3 +125,71 @@ class TestPointerCompareAblation:
         # rewrites comparisons that may involve relocated objects.
         assert safe > raw
         assert "+" in result.rows[1][2]
+
+
+class TestCLIErrorPaths:
+    """Every user-facing failure: one-line message, nonzero exit, no traceback."""
+
+    def test_unknown_artifact_mentions_subcommands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["blorp"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown artifact" in err
+        assert "serve" in err and "timeline" in err
+
+    def test_scale_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--scale", "0"])
+        assert excinfo.value.code == 2
+        assert "--scale must be > 0" in capsys.readouterr().err
+
+    def test_jobs_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_sample_interval_requires_timeline(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--sample-interval", "500"])
+        assert excinfo.value.code == 2
+        assert "--timeline" in capsys.readouterr().err
+
+    def test_events_capacity_requires_events(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--events-capacity", "16"])
+        assert excinfo.value.code == 2
+        assert "--events" in capsys.readouterr().err
+
+    def test_timeline_diff_missing_file_is_one_line(self, capsys):
+        assert main(["timeline", "diff", "/no/such/a.json", "/no/such/b.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read manifest")
+        assert "Traceback" not in err
+
+    def test_timeline_export_corrupt_json_is_one_line(self, capsys, tmp_path):
+        bad = tmp_path / "corrupt.json"
+        bad.write_text("{not json")
+        assert main(["timeline", "export", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_timeline_non_object_manifest_rejected(self, capsys, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        assert main(["timeline", "export", str(bad)]) == 2
+        assert "not a manifest" in capsys.readouterr().err
+
+    def test_serve_bad_flags_exit_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--workers", "-1"])
+        assert excinfo.value.code == 2
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
+    def test_serve_bench_bad_scale_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve.bench", "--scale", "0"])
+        assert excinfo.value.code == 2
+        assert "--scale must be > 0" in capsys.readouterr().err

@@ -10,6 +10,7 @@ from repro.obs.registry import (
     MetricError,
     Registry,
     Snapshot,
+    histogram_quantiles,
 )
 
 
@@ -183,3 +184,31 @@ class TestAbsorb:
         assert out["c"] == 5
         assert out["g"] == 5  # gauges track max
         assert out["h"] == {1: 1}
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_yields_empty_dict(self):
+        assert histogram_quantiles({}) == {}
+        assert histogram_quantiles({5: 0}) == {}
+
+    def test_single_value(self):
+        assert histogram_quantiles({7: 3}) == {"p50": 7.0, "p99": 7.0}
+
+    def test_nearest_rank_over_spread(self):
+        counts = {1: 50, 10: 49, 1000: 1}
+        out = histogram_quantiles(counts, (0.5, 0.99, 1.0))
+        assert out["p50"] == 1.0
+        assert out["p99"] == 10.0
+        assert out["p100"] == 1000.0
+
+    def test_string_keys_from_json_round_trip(self):
+        assert histogram_quantiles({"2": 1, "4": 1}) == {
+            "p50": 2.0,
+            "p99": 4.0,
+        }
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantiles({1: 1}, (0.0,))
+        with pytest.raises(ValueError):
+            histogram_quantiles({1: 1}, (1.5,))

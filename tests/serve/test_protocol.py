@@ -1,0 +1,89 @@
+"""Wire-level job specs: strict validation and deterministic identity."""
+
+import pytest
+
+from repro.serve import JobSpec, ProtocolError
+
+
+def _payload(**overrides):
+    payload = {"app": "health", "variant": "N", "line_size": 32}
+    payload.update(overrides)
+    return payload
+
+
+class TestValidation:
+    def test_minimal_payload_fills_defaults(self):
+        spec = JobSpec.from_payload(_payload())
+        assert spec.app == "health"
+        assert spec.scale == 1.0
+        assert spec.timeline_interval == 0
+
+    def test_seed_defaults_to_app_seed(self):
+        from repro.experiments.config import APP_SEEDS
+
+        spec = JobSpec.from_payload(_payload(app="mst"))
+        assert spec.seed == APP_SEEDS.get("mst", 1)
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            JobSpec.from_payload([1, 2, 3])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown field"):
+            JobSpec.from_payload(_payload(frobnicate=1))
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing required"):
+            JobSpec.from_payload({"app": "health"})
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ProtocolError, match="app"):
+            JobSpec.from_payload(_payload(app="doom"))
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ProtocolError, match="variant"):
+            JobSpec.from_payload(_payload(variant="X"))
+
+    @pytest.mark.parametrize("bad", [0, 3, 48, 8192, "32", True])
+    def test_bad_line_size_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="line_size"):
+            JobSpec.from_payload(_payload(line_size=bad))
+
+    @pytest.mark.parametrize("bad", [0, -1, 100.0, "big", None])
+    def test_bad_scale_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="scale"):
+            JobSpec.from_payload(_payload(scale=bad))
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "7", False])
+    def test_bad_seed_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="seed"):
+            JobSpec.from_payload(_payload(seed=bad))
+
+    def test_bad_timeline_knobs_rejected(self):
+        with pytest.raises(ProtocolError, match="timeline_interval"):
+            JobSpec.from_payload(_payload(timeline_interval=-5))
+        with pytest.raises(ProtocolError, match="events_capacity"):
+            JobSpec.from_payload(_payload(events_capacity="lots"))
+
+
+class TestIdentity:
+    def test_job_key_is_deterministic(self):
+        a = JobSpec.from_payload(_payload(scale=0.5))
+        b = JobSpec.from_payload(_payload(scale=0.5))
+        assert a.job_key == b.job_key
+
+    def test_job_key_tracks_every_field(self):
+        base = JobSpec.from_payload(_payload()).job_key
+        assert JobSpec.from_payload(_payload(line_size=64)).job_key != base
+        assert JobSpec.from_payload(_payload(seed=12345)).job_key != base
+        assert JobSpec.from_payload(_payload(scale=0.5)).job_key != base
+        assert (
+            JobSpec.from_payload(_payload(timeline_interval=100)).job_key != base
+        )
+
+    def test_cell_id_and_task_round_trip(self):
+        spec = JobSpec.from_payload(_payload(line_size=64, scale=0.25))
+        assert spec.cell_id == "health/64B/N"
+        task = spec.task()
+        assert (task.app, task.variant, task.line_size) == ("health", "N", 64)
+        assert task.scale == 0.25

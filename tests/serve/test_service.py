@@ -1,0 +1,251 @@
+"""SimulationService end to end (thread-mode workers, real simulations)."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.obs import validate_manifest
+from repro.serve import (
+    DONE,
+    FAILED,
+    JobSpec,
+    ServiceClosed,
+    SimulationService,
+)
+from repro.trace import run_task
+
+SCALE = 0.05
+
+
+def _payload(**overrides):
+    payload = {
+        "app": "health",
+        "variant": "N",
+        "line_size": 32,
+        "scale": SCALE,
+        "seed": 1,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _service(tmp_path, **overrides):
+    kwargs = dict(
+        trace_dir=str(tmp_path / "store"), workers=2, mode="thread"
+    )
+    kwargs.update(overrides)
+    return SimulationService(**kwargs)
+
+
+async def _submit_and_wait(service, payload, timeout=60.0):
+    job, outcome = await service.submit(payload)
+    assert await job.wait(timeout), "job did not finish in time"
+    return job, outcome
+
+
+class TestLifecycle:
+    def test_submit_runs_to_validated_manifest(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path)
+            await service.start()
+            try:
+                job, outcome = await _submit_and_wait(service, _payload())
+                assert outcome == "queued"
+                assert job.state == DONE
+                assert job.how == "captured"
+                validate_manifest(job.manifest)
+                assert job.manifest["summary"]["how"] == "captured"
+                assert job.manifest["cells"][0]["id"] == "health/32B/N"
+                spans = job.manifest["spans"]
+                assert spans[0]["name"] == "serve.job.health/32B/N"
+                assert "error" not in spans[0]
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+    def test_second_identical_submit_is_a_warm_hit(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path)
+            await service.start()
+            try:
+                first, _ = await _submit_and_wait(service, _payload())
+                second, outcome = await service.submit(_payload())
+                # Warm hit: terminal immediately, no queue round-trip.
+                assert outcome == "cached"
+                assert second.state == DONE and second.how == "cached"
+                assert second.manifest["metrics"] == first.manifest["metrics"]
+                assert (
+                    second.manifest["cells"][0]["checksum"]
+                    == first.manifest["cells"][0]["checksum"]
+                )
+                snapshot = service.obs.snapshot()
+                assert snapshot["serve.cache.hit"] == 1
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+    def test_warm_store_from_batch_sweep_is_visible(self, tmp_path):
+        """A cell the batch path already simulated serves without a worker."""
+        async def scenario():
+            service = _service(tmp_path)
+            # Batch-side write into the same store.
+            run_task(JobSpec.from_payload(_payload()).task(), service.store)
+            await service.start()
+            try:
+                job, outcome = await service.submit(_payload())
+                assert outcome == "cached"
+                assert job.how == "cached"
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+    def test_duplicate_concurrent_submits_trigger_one_simulation(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path, workers=4)
+            await service.start()
+            try:
+                jobs = [
+                    (await service.submit(_payload(seed=99)))[0]
+                    for _ in range(6)
+                ]
+                assert len({id(job) for job in jobs}) == 1
+                assert jobs[0].subscribers == 6
+                assert await jobs[0].wait(60.0)
+                assert jobs[0].how == "captured"
+                snapshot = service.obs.snapshot()
+                assert snapshot["serve.jobs.submitted"] == 1
+                assert snapshot["serve.jobs.coalesced"] == 5
+                assert snapshot["serve.jobs.completed"] == 1
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+    def test_drain_stops_admission(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path)
+            await service.start()
+            assert await service.drain(timeout=10.0)
+            with pytest.raises(ServiceClosed):
+                await service.submit(_payload())
+            assert service.healthz()["status"] == "draining"
+
+        asyncio.run(scenario())
+
+
+class TestFailure:
+    def test_worker_exception_fails_job_with_span_error(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.serve.workers as workers_mod
+
+        def _explode(task, store, traces=None):
+            raise RuntimeError("simulated worker failure")
+
+        monkeypatch.setattr(workers_mod, "run_task", _explode)
+
+        async def scenario():
+            service = _service(tmp_path)
+            await service.start()
+            try:
+                job, _ = await _submit_and_wait(service, _payload())
+                assert job.state == FAILED
+                assert "simulated worker failure" in job.error
+                validate_manifest(job.manifest)
+                span = job.manifest["spans"][0]
+                assert span["error"] == "RuntimeError: simulated worker failure"
+                assert (
+                    job.manifest["summary"]["error"]
+                    == "RuntimeError: simulated worker failure"
+                )
+                snapshot = service.obs.snapshot()
+                assert snapshot["serve.jobs.failed"] == 1
+                # The failed job released its scheduling state.
+                assert service.scheduler.inflight == 0
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+    def test_job_timeout_fails_with_timeouts_counter(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.serve.workers as workers_mod
+
+        def _stall(task, store, traces=None):
+            time.sleep(0.8)
+            raise AssertionError("unreachable in a passing test")
+
+        monkeypatch.setattr(workers_mod, "run_task", _stall)
+
+        async def scenario():
+            service = _service(tmp_path, job_timeout=0.1)
+            await service.start()
+            try:
+                job, _ = await _submit_and_wait(service, _payload())
+                assert job.state == FAILED
+                assert "exceeded" in job.error
+                assert job.manifest["spans"][0]["error"].startswith("JobTimeout")
+                snapshot = service.obs.snapshot()
+                assert snapshot["serve.jobs.timeouts"] == 1
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+    def test_broken_pool_is_rebuilt_and_job_retried(self, tmp_path):
+        from concurrent.futures import BrokenExecutor, Future
+
+        async def scenario():
+            service = _service(tmp_path, workers=1)
+            pool = service.pool
+            real_submit = pool._submit
+            calls = {"n": 0}
+
+            def _flaky_submit(task):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    future = Future()
+                    future.set_exception(BrokenExecutor("worker died"))
+                    return future
+                return real_submit(task)
+
+            pool._submit = _flaky_submit
+            await service.start()
+            try:
+                job, _ = await _submit_and_wait(service, _payload())
+                assert job.state == DONE
+                assert job.attempts == 2
+                assert pool.restarts == 1
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+
+class TestObservability:
+    def test_metrics_payload_shape(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path)
+            await service.start()
+            try:
+                await _submit_and_wait(service, _payload())
+                await service.submit(_payload())  # warm hit
+                payload = service.metrics_payload()
+                metrics = payload["metrics"]["serve"]
+                assert metrics["jobs"]["submitted"] == 1
+                assert metrics["cache"]["hit"] == 1
+                assert metrics["cache"]["miss"] == 1
+                assert payload["jobs_by_state"]["done"] == 2
+                assert "captured" in payload["latency"]
+                captured = payload["latency"]["captured"]
+                assert set(captured) == {"p50_ms", "p99_ms"}
+                assert payload["uptime_seconds"] >= 0
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())

@@ -1,6 +1,17 @@
 """Sweep execution: capture-once-replay-many, caching, and sharding."""
 
-from repro.trace import ArtifactStore, SweepTask, execute_sweep, run_task
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.trace import (
+    ArtifactStore,
+    SweepError,
+    SweepTask,
+    execute_sweep,
+    run_task,
+)
 
 SCALE = 0.05
 
@@ -102,3 +113,46 @@ def test_shard_merged_registry_equals_single_process(tmp_path):
     # per-result stats it folded.
     cycles = sum(result.stats.cycles for result, _ in serial.values())
     assert merged_serial["time.cycles"] == cycles
+
+
+@dataclass(frozen=True)
+class _ExplodingTask(SweepTask):
+    """A cell whose simulation always fails (picklable for the pool)."""
+
+    def config(self):
+        raise RuntimeError("injected cell failure")
+
+
+class TestFailurePropagation:
+    """A worker raising mid-cell must surface, not hang the pool."""
+
+    def test_serial_failure_names_the_cell(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        bad = _ExplodingTask("mst", "N", 64, SCALE, 1)
+        with pytest.raises(SweepError) as excinfo:
+            execute_sweep([bad], store)
+        message = str(excinfo.value)
+        assert "mst/64B/N" in message
+        assert "injected cell failure" in message
+        assert excinfo.value.task == bad
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_parallel_failure_fails_fast(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        tasks = _tiny_matrix() + [_ExplodingTask("bh", "N", 64, SCALE, 1)]
+        started = time.monotonic()
+        with pytest.raises(SweepError) as excinfo:
+            execute_sweep(tasks, store, jobs=2)
+        assert "bh/64B/N" in str(excinfo.value)
+        # Fail-fast: the pool shut down instead of waiting out a hang.
+        assert time.monotonic() - started < 60.0
+
+    def test_partial_results_survive_in_store(self, tmp_path):
+        """A failed sweep leaves completed cells cached for the retry."""
+        store = ArtifactStore(tmp_path)
+        good = SweepTask("health", "N", 32, SCALE, 1)
+        bad = _ExplodingTask("mst", "N", 64, SCALE, 1)
+        with pytest.raises(SweepError):
+            execute_sweep([good, bad], store)
+        _, how = run_task(good, ArtifactStore(tmp_path))
+        assert how == "cached"
