@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Miss-path mechanism benchmark: zero-cost disablement + absorption.
+
+Two claims, measured end to end and written to ``BENCH_PR6.json`` next
+to this file (override with ``--out``):
+
+1. **Baseline throughput is unchanged.**  With ``mechanism="none"`` the
+   42-cell Figure 5 sweep runs the exact pre-PR fused fast path -- the
+   miss-path hook is a single ``is None`` test at machine build time.
+   The sweep here reuses :func:`bench_hotpath.bench_sweep` verbatim and
+   is gated against the pinned ``BENCH_PR4.json`` throughput
+   (``--baseline``/``--max-regression``, default 2%).  At scale 1.0 the
+   aggregate simulated metrics must additionally be *bit-identical* to
+   the pinned values -- that part of the gate is immune to wall-clock
+   drift across machines.
+
+2. **Headline absorption table.**  The mechanism matrix
+   (:mod:`repro.experiments.misspath`) at ``--absorption-scale``:
+   per (mechanism, variant) mean absorbed-miss fraction and normalized
+   execution time, N vs L.  This is the paper-facing number: layout
+   optimization (L) reshuffles memory and manufactures conflict misses,
+   and the table shows how much of that self-inflicted miss stream each
+   Jouppi-style stage soaks up.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_misspath.py [--scale S]
+        [--absorption-scale S] [--out FILE] [--skip-sweep]
+        [--skip-absorption] [--baseline FILE] [--max-regression R]
+        [--note KEY=VALUE ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from bench_hotpath import bench_sweep, check_regression
+
+from repro.cache.misspath import MECHANISMS
+from repro.experiments import ExperimentRunner, misspath
+
+#: The throughput pin this PR must not regress: the PR-4 fused fast
+#: path, 42 cells at scale 1.0 (see BENCH_PR4.json "sweep").
+PINNED = Path(__file__).parent / "BENCH_PR4.json"
+
+
+def check_metrics_identical(sweep: dict, baseline_path: Path) -> str | None:
+    """Bit-identity gate: simulated metrics vs the pinned sweep.
+
+    Only meaningful when the scales match; wall-clock may drift across
+    machines, simulated cycle counts may not.
+    """
+    pinned = json.loads(baseline_path.read_text())["sweep"]
+    if sweep["scale"] != pinned["scale"]:
+        return None
+    for key, expected in pinned["metrics"].items():
+        if sweep["metrics"][key] != expected:
+            return (
+                f"simulated metric {key} moved: "
+                f"{sweep['metrics'][key]} != pinned {expected}"
+            )
+    return None
+
+
+def bench_absorption(scale: float, verbose: bool = True) -> dict:
+    """Run the full mechanism matrix and distill the headline table."""
+    runner = ExperimentRunner(scale=scale)
+    started = time.perf_counter()
+    result = misspath.run(runner, scale=scale, mechanisms=MECHANISMS)
+    seconds = time.perf_counter() - started
+    if verbose:
+        print(result.render(), file=sys.stderr)
+    table: dict[str, dict] = {}
+    for (mechanism, variant), absorbed in sorted(result.mean_absorption.items()):
+        table.setdefault(mechanism, {})[variant] = {
+            "mean_absorption": round(absorbed, 4),
+            "mean_normalized_cycles": round(
+                result.mean_normalized_cycles[(mechanism, variant)], 4
+            ),
+        }
+    cells = len(result.cells)
+    return {
+        "scale": scale,
+        "cells": cells,
+        "cells_per_mechanism": cells // len(MECHANISMS),
+        "seconds": round(seconds, 3),
+        "mechanisms": table,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="disabled-sweep workload scale (default 1.0)")
+    parser.add_argument("--absorption-scale", type=float, default=1.0,
+                        metavar="S",
+                        help="mechanism-matrix workload scale (default 1.0)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="output JSON path (default BENCH_PR6.json "
+                             "next to this script)")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the disabled-mechanism throughput sweep")
+    parser.add_argument("--skip-absorption", action="store_true",
+                        help="skip the mechanism absorption matrix")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress and tables on stderr")
+    parser.add_argument("--baseline", default=str(PINNED), metavar="FILE",
+                        help="pinned benchmark JSON to gate the disabled "
+                             "sweep against (default BENCH_PR4.json; "
+                             "empty string disables the gate)")
+    parser.add_argument("--max-regression", type=float, default=0.02,
+                        metavar="R",
+                        help="allowed fractional throughput loss vs "
+                             "--baseline (default 0.02)")
+    parser.add_argument("--note", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="embed a measurement-context note in the "
+                             "report (repeatable)")
+    args = parser.parse_args(argv)
+
+    report: dict = {
+        "bench": "miss-path mechanisms",
+        "python": sys.version.split()[0],
+        "pinned_baseline": str(Path(args.baseline).name) if args.baseline else None,
+    }
+    notes = dict(note.split("=", 1) for note in args.note if "=" in note)
+    if notes:
+        report["notes"] = notes
+
+    failures: list[str] = []
+    if not args.skip_sweep:
+        print(
+            f"== disabled-mechanism Figure 5 sweep (scale {args.scale}) ==",
+            file=sys.stderr,
+        )
+        sweep = bench_sweep(args.scale, verbose=not args.quiet)
+        report["sweep_disabled"] = sweep
+        if args.baseline:
+            pin = Path(args.baseline)
+            identity_error = check_metrics_identical(sweep, pin)
+            sweep["metrics_bit_identical_to_pin"] = (
+                identity_error is None and sweep["scale"] == 1.0
+            )
+            if identity_error:
+                failures.append(identity_error)
+            regression = check_regression(sweep, pin, args.max_regression)
+            if regression:
+                failures.append(regression)
+
+    if not args.skip_absorption:
+        print(
+            f"== mechanism absorption matrix "
+            f"(scale {args.absorption_scale}) ==",
+            file=sys.stderr,
+        )
+        report["absorption"] = bench_absorption(
+            args.absorption_scale, verbose=not args.quiet
+        )
+
+    out_path = (
+        Path(args.out) if args.out else Path(__file__).parent / "BENCH_PR6.json"
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {out_path}", file=sys.stderr)
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    if args.baseline and not args.skip_sweep:
+        print("regression gate passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

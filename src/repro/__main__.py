@@ -6,10 +6,21 @@ Usage::
                     [--trace-dir DIR] [--no-cache] [--format text|json]
                     [--timeline] [--sample-interval N]
                     [--events] [--events-capacity N]
+                    [--mechanism NAME] [--vc-entries N] [--mc-entries N]
+                    [--sb-count N] [--sb-depth N]
 
 where each artifact is one of ``table1 figure5 figure6 figure7 figure10
-ablations false-sharing out-of-core`` (default: all of them, in paper
-order).
+misspath ablations false-sharing out-of-core`` (default: all of them, in
+paper order).
+
+``--mechanism`` enables an L1 miss-path stage (victim cache, miss cache,
+stream buffers, or the combined composition -- see DESIGN.md §5f) on
+every cell; the sizing knobs are only accepted alongside a mechanism
+that reads them.  The ``misspath`` artifact runs the mechanism x app x
+variant x line-size matrix and reports per-mechanism conflict-miss
+absorption normalized against the baseline hierarchy; with
+``--mechanism`` it narrows the matrix to ``none`` plus that mechanism
+(the cheap CI smoke configuration).
 
 The paper artifacts run capture-once-replay-many: each distinct
 reference stream is simulated directly once, then replayed through every
@@ -58,15 +69,24 @@ import json
 import sys
 import time
 
+from repro.cache.misspath import KNOB_MECHANISMS, MECHANISMS
 from repro.experiments import ExperimentRunner
-from repro.experiments import ablations, figure5, figure6, figure7, figure10, table1
+from repro.experiments import (
+    ablations,
+    figure5,
+    figure6,
+    figure7,
+    figure10,
+    misspath,
+    table1,
+)
 from repro.experiments.runner import specs_for_artifacts
 from repro.obs import Registry
 
 DEFAULT_TRACE_DIR = "results/trace-cache"
 
 _PAPER_ARTIFACTS = ("table1", "figure5", "figure6", "figure7", "figure10")
-_ALL = _PAPER_ARTIFACTS + ("ablations", "false-sharing", "out-of-core")
+_ALL = _PAPER_ARTIFACTS + ("misspath", "ablations", "false-sharing", "out-of-core")
 
 #: First-word subcommands (everything else is an artifact list).
 _SUBCOMMANDS = ("timeline", "serve", "serve.bench")
@@ -318,6 +338,33 @@ def _artifacts_main(argv: list[str]) -> int:
         help="event ring-buffer capacity for --events "
              "(default 4096; requires --events)",
     )
+    parser.add_argument(
+        "--mechanism", default=None, metavar="NAME",
+        help="L1 miss-path mechanism for every cell "
+             f"({', '.join(MECHANISMS)}; default none).  With the "
+             "misspath artifact this narrows its matrix to "
+             "none + NAME instead",
+    )
+    parser.add_argument(
+        "--vc-entries", type=int, default=None, metavar="N",
+        help="victim-cache entries (default 8; requires --mechanism "
+             "victim_cache or combined)",
+    )
+    parser.add_argument(
+        "--mc-entries", type=int, default=None, metavar="N",
+        help="miss-cache entries (default 8; requires --mechanism "
+             "miss_cache)",
+    )
+    parser.add_argument(
+        "--sb-count", type=int, default=None, metavar="N",
+        help="stream-buffer count (default 4; requires --mechanism "
+             "stream_buffers or combined)",
+    )
+    parser.add_argument(
+        "--sb-depth", type=int, default=None, metavar="N",
+        help="stream-buffer depth (default 4; requires --mechanism "
+             "stream_buffers or combined)",
+    )
     args = parser.parse_args(argv)
     if args.scale <= 0:
         parser.error(f"--scale must be > 0, got {args.scale:g}")
@@ -333,6 +380,25 @@ def _artifacts_main(argv: list[str]) -> int:
         parser.error("--sample-interval must be >= 1")
     if events_capacity < 1:
         parser.error("--events-capacity must be >= 1")
+    mechanism = args.mechanism or "none"
+    if mechanism not in MECHANISMS:
+        parser.error(
+            f"unknown --mechanism {mechanism!r}; choose from {list(MECHANISMS)}"
+        )
+    misspath_knobs = {}
+    for knob, users in KNOB_MECHANISMS.items():
+        flag = "--" + knob.replace("_", "-")
+        value = getattr(args, knob)
+        if value is None:
+            continue
+        if mechanism not in users:
+            parser.error(
+                f"{flag} only makes sense with --mechanism "
+                f"{' or '.join(users)}"
+            )
+        if value < 1:
+            parser.error(f"{flag} must be >= 1, got {value}")
+        misspath_knobs[knob] = value
     artifacts = args.artifacts or list(_ALL)
     unknown = [name for name in artifacts if name not in _ALL]
     if unknown:
@@ -356,14 +422,19 @@ def _artifacts_main(argv: list[str]) -> int:
         use_cache=not args.no_cache,
         timeline_interval=sample_interval if args.timeline else 0,
         events_capacity=events_capacity if args.events else 0,
+        mechanism=mechanism,
+        **misspath_knobs,
     )
-    runner.prime(specs_for_artifacts(artifacts, args.scale))
+    runner.prime(
+        specs_for_artifacts(artifacts, args.scale, mechanism, **misspath_knobs)
+    )
     modules = {
         "table1": table1,
         "figure5": figure5,
         "figure6": figure6,
         "figure7": figure7,
         "figure10": figure10,
+        "misspath": misspath,
     }
     emit_json = args.format == "json"
     manifests: dict[str, dict] = {}

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.cache.cache import Cache
+from repro.cache.misspath import build_misspath
 from repro.cache.mshr import MSHRFile
 
 
@@ -31,6 +32,10 @@ class AccessKind(Enum):
     MEMORY = "memory"
     #: Combined with an outstanding miss to the same line (partial miss).
     PARTIAL = "partial"
+    #: Served by a miss-path stage (victim/miss cache or stream buffer).
+    #: Still a *miss* for classification purposes -- the L1 itself did
+    #: not have the line -- but it never reaches the L2.
+    MISS_PATH = "misspath"
 
 
 @dataclass(slots=True)
@@ -76,6 +81,22 @@ class HierarchyConfig:
     mem_bus_bytes_per_cycle: float = 8.0
     mshr_capacity: int = 8
     policy: str = "lru"
+    #: L1 miss-path mechanism (:data:`repro.cache.misspath.MECHANISMS`).
+    #: ``"none"`` keeps the exact baseline hierarchy -- no stage objects
+    #: exist and the fused fast-path kernels stay eligible.
+    mechanism: str = "none"
+    #: Victim-cache entries (``victim_cache``/``combined``).
+    vc_entries: int = 8
+    #: Miss-cache entries (``miss_cache``).
+    mc_entries: int = 8
+    #: Stream-buffer count and per-buffer depth (``stream_buffers``/
+    #: ``combined``).
+    sb_count: int = 4
+    sb_depth: int = 4
+    #: Extra cycles (beyond the L1 hit latency) to serve a miss from a
+    #: miss-path stage -- the local swap/refill cost, far below any L2
+    #: round trip.
+    misspath_hit_latency: float = 2.0
 
     @property
     def l2_fill_latency(self) -> float:
@@ -146,6 +167,7 @@ class MemoryHierarchy:
         "prefetch_fills",
         "prefetch_redundant",
         "events",
+        "misspath",
         "_l2_line_size",
         "_line_size",
         "_line_shift",
@@ -167,6 +189,9 @@ class MemoryHierarchy:
         #: inclusion victims emit ``cache.l2_victim`` events carrying the
         #: number of L1 lines invalidated.
         self.events = None
+        #: Optional :class:`repro.cache.misspath.MissPath`; ``None`` with
+        #: the default config, which is what keeps the baseline zero-cost.
+        self.misspath = build_misspath(cfg)
         self._line_size = cfg.line_size
         self._line_shift = self.l1.line_shift
 
@@ -204,6 +229,22 @@ class MemoryHierarchy:
         else:
             self.miss_classes.load_full += 1
 
+        misspath = self.misspath
+        if misspath is not None:
+            dirty = misspath.probe(line)
+            if dirty is not None:
+                # Served beside L1: swap/refill the line in, route the
+                # displaced L1 victim back through the stage pipeline,
+                # and never touch the L2, the MSHRs, or the bus traffic.
+                evicted_l1 = self.l1.fill(line, dirty=bool(dirty) or is_write)
+                if evicted_l1 is not None:
+                    self._route_victim(evicted_l1)
+                cfg = self.config
+                return AccessResult(
+                    AccessKind.MISS_PATH,
+                    now + cfg.l1_hit_latency + cfg.misspath_hit_latency,
+                )
+
         kind, latency = self._fill_from_below(line, is_write)
         ready = self.mshr.allocate(line, now, latency)
         return AccessResult(kind, ready)
@@ -219,6 +260,10 @@ class MemoryHierarchy:
         if self.mshr.lookup(line, now) is not None or self.l1.contains(line):
             self.prefetch_redundant += 1
             return False
+        if self.misspath is not None:
+            # A stage copy would go stale (and a victim-cache copy would
+            # duplicate L1) once the prefetch lands; drop it first.
+            self.misspath.invalidate(line)
         _, latency = self._fill_from_below(line, is_write=False)
         self.mshr.allocate(line, now, latency)
         self.prefetch_fills += 1
@@ -238,7 +283,11 @@ class MemoryHierarchy:
             evicted_l2 = self.l2.fill(line)
             if evicted_l2 is not None:
                 # Inclusion: dropping an L2 line drops every L1 line it
-                # contains (the L2 line may span several L1 lines).
+                # contains (the L2 line may span several L1 lines), and
+                # every copy a miss-path stage holds beside L1.
+                if self.misspath is not None:
+                    for offset in range(0, self._l2_line_size, self._line_size):
+                        self.misspath.invalidate(evicted_l2.line_address + offset)
                 events = self.events
                 if events is None:
                     for offset in range(0, self._l2_line_size, self._line_size):
@@ -258,11 +307,33 @@ class MemoryHierarchy:
                     self.traffic.l2_mem_writeback_bytes += self._l2_line_size
         self.traffic.l1_l2_fill_bytes += self._line_size
         evicted_l1 = self.l1.fill(line, dirty=is_write)
-        if evicted_l1 is not None and evicted_l1.dirty:
+        misspath = self.misspath
+        if misspath is not None:
+            if evicted_l1 is not None:
+                self._route_victim(evicted_l1)
+            # Miss cache copies / stream-buffer reallocation follow every
+            # fill from below (demand and prefetch alike).
+            misspath.on_demand_fill(line)
+        elif evicted_l1 is not None and evicted_l1.dirty:
             self.traffic.l1_l2_writeback_bytes += self._line_size
             # The write-back lands in L2 and dirties it there.
             self.l2.fill(evicted_l1.line_address, dirty=True)
         return kind, latency
+
+    def _route_victim(self, evicted_l1) -> None:
+        """Send one L1 victim through the miss path; spill lands in L2.
+
+        Without a victim cache the stage pipeline passes the victim
+        straight through, so the spill handling below reproduces the
+        baseline write-back path exactly (clean victims vanish, dirty
+        victims cost one L1<->L2 writeback and dirty their L2 line).
+        """
+        spilled = self.misspath.accept_victim(
+            evicted_l1.line_address, evicted_l1.dirty
+        )
+        if spilled is not None and spilled[1]:
+            self.traffic.l1_l2_writeback_bytes += self._line_size
+            self.l2.fill(spilled[0], dirty=True)
 
     # ------------------------------------------------------------------
     def register_metrics(
@@ -292,6 +363,8 @@ class MemoryHierarchy:
             lambda: self.miss_classes.store_partial,
         )
         registry.bind(f"{prefix}.l2.miss.total", lambda: self.l2.stats.misses)
+        if self.misspath is not None:
+            self.misspath.register_metrics(registry, f"{prefix}.misspath")
         registry.bind(f"{prefix}.prefetch.fills", lambda: self.prefetch_fills)
         registry.bind(
             f"{prefix}.prefetch.redundant", lambda: self.prefetch_redundant
@@ -332,3 +405,5 @@ class MemoryHierarchy:
         self.l1.stats.__init__()
         self.l2.stats.__init__()
         self.mshr.stats.__init__()
+        if self.misspath is not None:
+            self.misspath.stats.__init__()

@@ -63,7 +63,23 @@ def make_reference_kernel(
     speculator (may be ``None``) and latency/forwarding counters; with
     ``bare=True`` it charges an ``Unforwarded_Read``/``Write`` instead
     (see module docstring).
+
+    With a miss-path mechanism enabled the fused transcription below
+    would need the stage pipeline inlined too; instead the kernel gates
+    off to closures over the *layered* components -- same call
+    signature, same bit-exact results, general-path speed.  The default
+    configuration (``mechanism="none"``) keeps the fused kernel, so the
+    baseline sweep's throughput is untouched.
     """
+    if hierarchy.misspath is not None:
+        return _make_general_backed_kernel(
+            hierarchy,
+            timing,
+            speculator,
+            load_latency,
+            store_latency,
+            forwarding_stats,
+        )
     cfg = hierarchy.config
     l1 = hierarchy.l1
     l2 = hierarchy.l2
@@ -587,6 +603,59 @@ def make_reference_kernel(
                 else:
                     del counts[old_final]
                     del by_final[old_final]
+
+    return load_ref, store_ref
+
+
+def _make_general_backed_kernel(
+    hierarchy,
+    timing,
+    speculator,
+    load_latency,
+    store_latency,
+    forwarding_stats,
+) -> tuple[Callable[..., None], Callable[..., None]]:
+    """Kernel closures over the layered components (no fused inlining).
+
+    Used when the hierarchy carries a miss path: the closures call
+    ``hierarchy.access`` / ``timing.*`` exactly as
+    ``Machine._load_general`` / ``_store_general`` do for an unforwarded
+    in-range reference (and, with ``bare=True``, as the general
+    ``Unforwarded_Read``/``Write`` sequence does), so direct runs,
+    replay, and the general path all stay bit-identical.
+    """
+    execute = timing.execute
+    access = hierarchy.access
+    load_completes = timing.load_completes
+    store_completes = timing.store_completes
+    on_load = speculator.on_load if speculator is not None else None
+    on_store = speculator.on_store if speculator is not None else None
+
+    def load_ref(address: int, bare: bool = False) -> None:
+        execute(1)
+        start = timing.cycle
+        result = access(address, False, start)
+        load_completes(result.ready)
+        if bare:
+            return
+        forwarding_stats.references += 1
+        load_latency.count += 1
+        load_latency.ordinary_cycles += result.ready - start
+        if on_load is not None and on_load(address, address):
+            timing.misspeculation_flush()
+
+    def store_ref(address: int, bare: bool = False) -> None:
+        execute(1)
+        start = timing.cycle
+        result = access(address, True, start)
+        store_completes(result.ready)
+        if bare:
+            return
+        forwarding_stats.references += 1
+        store_latency.count += 1
+        store_latency.ordinary_cycles += result.ready - start
+        if on_store is not None:
+            on_store(address, address)
 
     return load_ref, store_ref
 

@@ -119,6 +119,11 @@ class MachineStats:
     relocation: RelocationStats = field(default_factory=RelocationStats)
     # Heap footprint.
     heap_high_water: int = 0
+    #: Miss-path stage counters (``cache.misspath.*`` leaf name ->
+    #: count).  Empty unless the run's hierarchy carried a mechanism, so
+    #: baseline snapshots -- and their metric trees, dumps, and cached
+    #: results -- are byte-identical to pre-misspath ones.
+    misspath: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -198,6 +203,11 @@ class MachineStats:
             prefetch_fills=prefetcher.stats.fills_started if prefetcher else 0,
             relocation=relocation if relocation is not None else RelocationStats(),
             heap_high_water=heap_high_water,
+            misspath=(
+                hierarchy.misspath.stats_dict()
+                if hierarchy.misspath is not None
+                else {}
+            ),
         )
 
     def to_snapshot(self) -> Snapshot:
@@ -245,6 +255,8 @@ class MachineStats:
             "reloc.pool_bytes": self.relocation.pool_bytes,
             "heap.high_water": self.heap_high_water,
         }
+        for key, count in self.misspath.items():
+            values[f"cache.misspath.{key}"] = count
         return Snapshot(
             values,
             {"heap.high_water": GAUGE, "fwd.chain_length": HISTOGRAM},
@@ -299,6 +311,11 @@ class MachineStats:
                 pool_bytes=int(get("reloc.pool_bytes", 0)),
             ),
             heap_high_water=int(get("heap.high_water", 0)),
+            misspath={
+                name[len("cache.misspath."):]: int(value)
+                for name, value in snapshot.items()
+                if name.startswith("cache.misspath.")
+            },
         )
 
     def dump(self) -> dict[str, Any]:
@@ -309,7 +326,7 @@ class MachineStats:
         snapshot -- the contract the ``repro.trace`` result cache relies
         on.
         """
-        return {
+        payload: dict[str, Any] = {
             "cycles": self.cycles,
             "instructions": self.instructions,
             "slots": {
@@ -340,6 +357,14 @@ class MachineStats:
             "relocation": asdict(self.relocation),
             "heap_high_water": self.heap_high_water,
         }
+        if self.misspath:
+            # Only present for mechanism-carrying runs: baseline dumps
+            # (and their cached-result files) stay byte-identical to
+            # pre-misspath ones.
+            payload["misspath"] = {
+                key: self.misspath[key] for key in sorted(self.misspath)
+            }
+        return payload
 
     @classmethod
     def parse(cls, data: dict[str, Any]) -> "MachineStats":
@@ -354,6 +379,11 @@ class MachineStats:
         payload["forwarding_chain_hist"] = {
             int(hops): count
             for hops, count in payload.get("forwarding_chain_hist", {}).items()
+        }
+        # Absent from baseline and pre-PR6 dumps.
+        payload["misspath"] = {
+            key: int(count)
+            for key, count in payload.get("misspath", {}).items()
         }
         return cls(**payload)
 

@@ -46,6 +46,14 @@ class RunSpec:
     seed: int = 1
     timeline_interval: int = 0
     events_capacity: int = 0
+    #: L1 miss-path mechanism and sizing knobs (see
+    #: :mod:`repro.cache.misspath`); machine config, like the timeline
+    #: knobs above.
+    mechanism: str = "none"
+    vc_entries: int = 8
+    mc_entries: int = 8
+    sb_count: int = 4
+    sb_depth: int = 4
 
     @classmethod
     def make(
@@ -56,6 +64,11 @@ class RunSpec:
         scale: float,
         timeline_interval: int = 0,
         events_capacity: int = 0,
+        mechanism: str = "none",
+        vc_entries: int = 8,
+        mc_entries: int = 8,
+        sb_count: int = 4,
+        sb_depth: int = 4,
     ) -> "RunSpec":
         """Build a spec with the app's canonical seed resolved."""
         return cls(
@@ -66,6 +79,11 @@ class RunSpec:
             APP_SEEDS.get(app, 1),
             timeline_interval,
             events_capacity,
+            mechanism,
+            vc_entries,
+            mc_entries,
+            sb_count,
+            sb_depth,
         )
 
     def task(self) -> SweepTask:
@@ -77,12 +95,20 @@ class RunSpec:
             seed=self.seed,
             timeline_interval=self.timeline_interval,
             events_capacity=self.events_capacity,
+            mechanism=self.mechanism,
+            vc_entries=self.vc_entries,
+            mc_entries=self.mc_entries,
+            sb_count=self.sb_count,
+            sb_depth=self.sb_depth,
         )
 
     @property
     def cell_id(self) -> str:
         """Human-readable cell identity used to key timeline sections."""
-        return f"{self.app}/{self.line_size}B/{self.variant.value}"
+        base = f"{self.app}/{self.line_size}B/{self.variant.value}"
+        if self.mechanism != "none":
+            return f"{base}/{self.mechanism}"
+        return base
 
 
 class ExperimentRunner:
@@ -117,6 +143,11 @@ class ExperimentRunner:
         use_cache: bool = True,
         timeline_interval: int = 0,
         events_capacity: int = 0,
+        mechanism: str = "none",
+        vc_entries: int = 8,
+        mc_entries: int = 8,
+        sb_count: int = 4,
+        sb_depth: int = 4,
     ) -> None:
         self.scale = scale
         self.verbose = verbose
@@ -124,6 +155,16 @@ class ExperimentRunner:
         #: Timeline sampling knobs applied to every run (0 = off).
         self.timeline_interval = timeline_interval
         self.events_capacity = events_capacity
+        #: Miss-path mechanism applied to runs built via :meth:`run`
+        #: ("none" = baseline hierarchy).  Explicit specs handed to
+        #: :meth:`run_spec`/:meth:`prime` keep their own mechanism --
+        #: the misspath experiment mixes baseline and mechanism cells in
+        #: one runner.
+        self.mechanism = mechanism
+        self.vc_entries = vc_entries
+        self.mc_entries = mc_entries
+        self.sb_count = sb_count
+        self.sb_depth = sb_depth
         #: Per-cell timeline payloads keyed by ``RunSpec.cell_id``.
         self.timelines: dict[str, dict] = {}
         self._log = get_logger("experiments")
@@ -164,14 +205,31 @@ class ExperimentRunner:
             self.timelines[spec.cell_id] = result.timeline
 
     def run(self, app: str, variant: Variant, line_size: int) -> AppResult:
-        spec = RunSpec.make(
-            app,
-            variant,
-            line_size,
-            self.scale,
-            self.timeline_interval,
-            self.events_capacity,
+        return self.run_spec(
+            RunSpec.make(
+                app,
+                variant,
+                line_size,
+                self.scale,
+                self.timeline_interval,
+                self.events_capacity,
+                self.mechanism,
+                self.vc_entries,
+                self.mc_entries,
+                self.sb_count,
+                self.sb_depth,
+            )
         )
+
+    def run_spec(self, spec: RunSpec) -> AppResult:
+        """Execute one explicit spec (memoised), keeping all its fields.
+
+        Unlike :meth:`run` this does not substitute the runner's
+        mechanism knobs, only its timeline knobs -- it is how the
+        misspath experiment runs a mixed mechanism matrix through one
+        memo/metric tree.
+        """
+        spec = self._with_knobs(spec)
         result = self._cache.get(spec)
         if result is None:
             result, how = run_task(spec.task(), self.store, self._traces)
@@ -202,7 +260,7 @@ class ExperimentRunner:
             return
         if self.jobs <= 1 or len(todo) == 1:
             for spec in todo:
-                self.run(spec.app, spec.variant, spec.line_size)
+                self.run_spec(spec)
             return
         outcomes = execute_sweep(
             [spec.task() for spec in todo],
@@ -278,16 +336,27 @@ class ExperimentRunner:
             timeline_section = {"cells": timeline_cells}
             if event_cells:
                 events_section = {"cells": event_cells}
+        run_section = {
+            "scale": self.scale,
+            "jobs": self.jobs,
+            "cache": self.store is not None,
+            "trace_dir": str(self.store.root) if self.store else None,
+            "timeline_interval": self.timeline_interval,
+            "events_capacity": self.events_capacity,
+        }
+        if self.mechanism != "none":
+            # Only mechanism-carrying runs grow the section, so baseline
+            # manifests stay byte-identical to pre-misspath ones.
+            run_section.update(
+                mechanism=self.mechanism,
+                vc_entries=self.vc_entries,
+                mc_entries=self.mc_entries,
+                sb_count=self.sb_count,
+                sb_depth=self.sb_depth,
+            )
         return build_manifest(
             artifact,
-            run={
-                "scale": self.scale,
-                "jobs": self.jobs,
-                "cache": self.store is not None,
-                "trace_dir": str(self.store.root) if self.store else None,
-                "timeline_interval": self.timeline_interval,
-                "events_capacity": self.events_capacity,
-            },
+            run=run_section,
             seeds=self.seeds(),
             metrics=self.obs.snapshot(),
             spans=self.obs.spans,
@@ -308,40 +377,66 @@ class ExperimentRunner:
 
 
 def specs_for_artifacts(
-    artifacts: Iterable[str], scale: float
+    artifacts: Iterable[str],
+    scale: float,
+    mechanism: str = "none",
+    vc_entries: int = 8,
+    mc_entries: int = 8,
+    sb_count: int = 4,
+    sb_depth: int = 4,
 ) -> list[RunSpec]:
     """The union run matrix behind the named paper artifacts.
 
     Used by the CLI to prime the runner (in parallel, when ``--jobs`` is
     given) before the figure drivers assemble their tables from the memo.
+    ``mechanism`` and the sizing knobs apply to every paper-artifact
+    cell (the CLI's ``--mechanism`` semantics); the ``misspath``
+    artifact instead expands its own mechanism matrix -- the full zoo,
+    or ``("none", mechanism)`` when one was requested.
     """
     from repro.apps import APPLICATIONS, FIGURE5_APPS
-    from repro.experiments import figure7, figure10, table1
+    from repro.experiments import figure7, figure10, misspath, table1
     from repro.experiments.config import FIGURE7_LINE_SIZE, line_sizes_for
 
+    knobs = dict(
+        mechanism=mechanism,
+        vc_entries=vc_entries,
+        mc_entries=mc_entries,
+        sb_count=sb_count,
+        sb_depth=sb_depth,
+    )
     specs: list[RunSpec] = []
     for artifact in artifacts:
-        if artifact == "table1":
+        if artifact == "misspath":
+            specs += misspath.specs(
+                scale,
+                mechanisms=misspath.mechanism_matrix(mechanism),
+                vc_entries=vc_entries,
+                mc_entries=mc_entries,
+                sb_count=sb_count,
+                sb_depth=sb_depth,
+            )
+        elif artifact == "table1":
             specs += [
-                RunSpec.make(app, Variant.L, table1.LINE_SIZE, scale)
+                RunSpec.make(app, Variant.L, table1.LINE_SIZE, scale, **knobs)
                 for app in sorted(APPLICATIONS)
             ]
         elif artifact in ("figure5", "figure6"):
             specs += [
-                RunSpec.make(app, variant, line_size, scale)
+                RunSpec.make(app, variant, line_size, scale, **knobs)
                 for app in FIGURE5_APPS
                 for line_size in line_sizes_for(app)
                 for variant in (Variant.N, Variant.L)
             ]
         elif artifact == "figure7":
             specs += [
-                RunSpec.make(app, variant, FIGURE7_LINE_SIZE, scale)
+                RunSpec.make(app, variant, FIGURE7_LINE_SIZE, scale, **knobs)
                 for app in FIGURE5_APPS
                 for variant in figure7.SCHEMES
             ]
         elif artifact == "figure10":
             specs += [
-                RunSpec.make("smv", variant, figure10.LINE_SIZE, scale)
+                RunSpec.make("smv", variant, figure10.LINE_SIZE, scale, **knobs)
                 for variant in figure10.SCHEMES
             ]
     return list(dict.fromkeys(specs))

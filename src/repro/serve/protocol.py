@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass
 
 from repro.apps import APPLICATIONS
 from repro.apps.base import Variant
+from repro.cache.misspath import KNOB_MECHANISMS, MECHANISMS
 from repro.experiments.config import APP_SEEDS
 from repro.trace.sweep import SweepTask
 
@@ -35,6 +36,11 @@ _FIELDS = {
     "seed",
     "timeline_interval",
     "events_capacity",
+    "mechanism",
+    "vc_entries",
+    "mc_entries",
+    "sb_count",
+    "sb_depth",
 }
 
 _REQUIRED = {"app", "variant", "line_size"}
@@ -43,6 +49,18 @@ _REQUIRED = {"app", "variant", "line_size"}
 #: so one absurd request must not monopolise a worker for hours.
 MAX_SCALE = 4.0
 MAX_LINE_SIZE = 4096
+MAX_MISSPATH_ENTRIES = 1024
+
+#: Canonical sizing-knob defaults.  A knob a mechanism does not read is
+#: *rejected* when supplied and pinned to its default otherwise, so two
+#: payloads that mean the same simulation can never produce distinct
+#: job keys (and thus duplicate jobs) through an ignored field.
+_MISSPATH_DEFAULTS = {
+    "vc_entries": 8,
+    "mc_entries": 8,
+    "sb_count": 4,
+    "sb_depth": 4,
+}
 
 
 class ProtocolError(ValueError):
@@ -64,6 +82,11 @@ class JobSpec:
     seed: int = 1
     timeline_interval: int = 0
     events_capacity: int = 0
+    mechanism: str = "none"
+    vc_entries: int = 8
+    mc_entries: int = 8
+    sb_count: int = 4
+    sb_depth: int = 4
 
     @classmethod
     def from_payload(cls, payload: object) -> "JobSpec":
@@ -118,6 +141,35 @@ class JobSpec:
             value = payload.get(knob, 0)
             if isinstance(value, bool) or not isinstance(value, int) or value < 0:
                 _fail(knob, f"must be a non-negative integer, got {value!r}")
+        mechanism = payload.get("mechanism", "none")
+        if not isinstance(mechanism, str) or mechanism not in MECHANISMS:
+            _fail(
+                "mechanism",
+                f"unknown mechanism {mechanism!r}; known: {list(MECHANISMS)}",
+            )
+        misspath_knobs = dict(_MISSPATH_DEFAULTS)
+        for knob, users in KNOB_MECHANISMS.items():
+            if knob not in payload:
+                continue
+            if mechanism not in users:
+                _fail(
+                    knob,
+                    f"only meaningful with mechanism in {list(users)}, "
+                    f"got mechanism={mechanism!r}",
+                )
+            value = payload[knob]
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, int)
+                or value < 1
+                or value > MAX_MISSPATH_ENTRIES
+            ):
+                _fail(
+                    knob,
+                    f"must be an integer in [1, {MAX_MISSPATH_ENTRIES}], "
+                    f"got {value!r}",
+                )
+            misspath_knobs[knob] = value
         return cls(
             app=app,
             variant=variant,
@@ -126,6 +178,8 @@ class JobSpec:
             seed=seed,
             timeline_interval=payload.get("timeline_interval", 0),
             events_capacity=payload.get("events_capacity", 0),
+            mechanism=mechanism,
+            **misspath_knobs,
         )
 
     # ------------------------------------------------------------------
@@ -143,7 +197,10 @@ class JobSpec:
     @property
     def cell_id(self) -> str:
         """Human-readable cell identity (matches RunSpec.cell_id)."""
-        return f"{self.app}/{self.line_size}B/{self.variant}"
+        base = f"{self.app}/{self.line_size}B/{self.variant}"
+        if self.mechanism != "none":
+            return f"{base}/{self.mechanism}"
+        return base
 
     def task(self) -> SweepTask:
         """The sweep-executor cell this spec resolves to."""
@@ -155,6 +212,11 @@ class JobSpec:
             seed=self.seed,
             timeline_interval=self.timeline_interval,
             events_capacity=self.events_capacity,
+            mechanism=self.mechanism,
+            vc_entries=self.vc_entries,
+            mc_entries=self.mc_entries,
+            sb_count=self.sb_count,
+            sb_depth=self.sb_depth,
         )
 
     def to_dict(self) -> dict:

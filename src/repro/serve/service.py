@@ -263,7 +263,7 @@ class SimulationService:
 
     # -- manifests ------------------------------------------------------
     def _run_section(self, spec: JobSpec) -> dict[str, Any]:
-        return {
+        section = {
             "scale": spec.scale,
             "jobs": 1,
             "cache": True,
@@ -271,6 +271,17 @@ class SimulationService:
             "timeline_interval": spec.timeline_interval,
             "events_capacity": spec.events_capacity,
         }
+        if spec.mechanism != "none":
+            # Matches ExperimentRunner.manifest: mechanism keys appear
+            # only for mechanism-carrying cells.
+            section.update(
+                mechanism=spec.mechanism,
+                vc_entries=spec.vc_entries,
+                mc_entries=spec.mc_entries,
+                sb_count=spec.sb_count,
+                sb_depth=spec.sb_depth,
+            )
+        return section
 
     def _success_manifest(
         self, spec: JobSpec, result, how: str, record: SpanRecord
@@ -282,6 +293,11 @@ class SimulationService:
                 "app": spec.app,
                 "variant": spec.variant,
                 "line_size": spec.line_size,
+                **(
+                    {"mechanism": spec.mechanism}
+                    if spec.mechanism != "none"
+                    else {}
+                ),
             },
             checksum=result.checksum,
             values={"cycles": stats.cycles},

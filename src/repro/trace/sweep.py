@@ -70,6 +70,19 @@ class SweepTask:
     #: the config fingerprint separates their cached results.
     timeline_interval: int = 0
     events_capacity: int = 0
+    #: L1 miss-path mechanism and sizing knobs (see
+    #: :mod:`repro.cache.misspath`).  Like the timeline knobs these are
+    #: machine config, not workload identity: the trace key ignores them
+    #: (one captured stream replays under every mechanism) while the
+    #: config fingerprint keeps their cached results apart.  With
+    #: ``mechanism="none"`` the sizing knobs are ignored entirely, so a
+    #: baseline cell's config -- and thus its fingerprint -- is identical
+    #: no matter which knob values rode along.
+    mechanism: str = "none"
+    vc_entries: int = 8
+    mc_entries: int = 8
+    sb_count: int = 4
+    sb_depth: int = 4
 
     def key(self) -> str:
         """Trace key this cell's stream lives under."""
@@ -95,6 +108,18 @@ class SweepTask:
                 config,
                 timeline_interval=self.timeline_interval,
                 events_capacity=self.events_capacity,
+            )
+        if self.mechanism != "none":
+            config = replace(
+                config,
+                hierarchy=replace(
+                    config.hierarchy,
+                    mechanism=self.mechanism,
+                    vc_entries=self.vc_entries,
+                    mc_entries=self.mc_entries,
+                    sb_count=self.sb_count,
+                    sb_depth=self.sb_depth,
+                ),
             )
         return config
 

@@ -1,0 +1,251 @@
+"""Unit semantics of the miss-path stages (repro.cache.misspath)."""
+
+import pytest
+
+from repro.cache.hierarchy import AccessKind, HierarchyConfig, MemoryHierarchy
+from repro.cache.misspath import (
+    KNOB_MECHANISMS,
+    MECHANISMS,
+    MissCache,
+    MissPath,
+    StreamBuffers,
+    VictimCache,
+    build_misspath,
+)
+
+
+def _hierarchy(**overrides):
+    return MemoryHierarchy(HierarchyConfig(**overrides))
+
+
+class TestBuild:
+    def test_none_builds_nothing(self):
+        assert build_misspath(HierarchyConfig()) is None
+        assert _hierarchy().misspath is None
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS[1:])
+    def test_each_mechanism_builds(self, mechanism):
+        path = build_misspath(HierarchyConfig(mechanism=mechanism))
+        assert isinstance(path, MissPath)
+        assert path.mechanism == mechanism
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError, match="unknown miss-path mechanism"):
+            build_misspath(HierarchyConfig(mechanism="teleporter"))
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"mechanism": "victim_cache", "vc_entries": 0},
+            {"mechanism": "miss_cache", "mc_entries": 0},
+            {"mechanism": "stream_buffers", "sb_count": 0},
+            {"mechanism": "stream_buffers", "sb_depth": 0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, knobs):
+        with pytest.raises(ValueError):
+            build_misspath(HierarchyConfig(**knobs))
+
+    def test_stage_composition(self):
+        combined = build_misspath(HierarchyConfig(mechanism="combined"))
+        assert combined.victim is not None
+        assert combined.streams is not None
+        assert combined.miss is None  # Jouppi: VC supersedes MC
+        vc_only = build_misspath(HierarchyConfig(mechanism="victim_cache"))
+        assert vc_only.victim is not None
+        assert vc_only.streams is None
+
+    def test_knob_relevance_map_covers_real_mechanisms(self):
+        for knob, users in KNOB_MECHANISMS.items():
+            for mechanism in users:
+                assert mechanism in MECHANISMS
+
+
+class TestVictimCache:
+    def test_probe_consumes_and_preserves_dirty(self):
+        vc = VictimCache(4)
+        vc.insert(0x100, dirty=1)
+        vc.insert(0x200, dirty=0)
+        assert vc.probe(0x100) == 1
+        assert vc.probe(0x100) is None  # consumed by the swap
+        assert vc.probe(0x200) == 0
+
+    def test_lru_spill_order(self):
+        vc = VictimCache(2)
+        assert vc.insert(0x100, 0) is None
+        assert vc.insert(0x200, 1) is None
+        spilled = vc.insert(0x300, 0)
+        assert spilled == (0x100, 0)  # oldest entry spills first
+
+    def test_invalidate_and_flush(self):
+        vc = VictimCache(4)
+        vc.insert(0x100, 1)
+        vc.insert(0x200, 0)
+        assert vc.invalidate(0x100)
+        assert not vc.invalidate(0x100)
+        assert vc.flush() == 1
+        assert vc.resident_lines() == []
+
+
+class TestMissCache:
+    def test_probe_is_non_consuming(self):
+        mc = MissCache(4)
+        mc.insert(0x100)
+        assert mc.probe(0x100) == 0
+        assert mc.probe(0x100) == 0  # still there
+
+    def test_probe_refreshes_recency(self):
+        mc = MissCache(2)
+        mc.insert(0x100)
+        mc.insert(0x200)
+        mc.probe(0x100)  # 0x100 becomes MRU, so 0x200 evicts first
+        mc.insert(0x300)
+        assert mc.probe(0x200) is None
+        assert mc.probe(0x100) == 0
+
+    def test_reinsert_does_not_duplicate(self):
+        mc = MissCache(4)
+        mc.insert(0x100)
+        mc.insert(0x100)
+        assert mc.resident_lines() == [0x100]
+
+
+class TestStreamBuffers:
+    def test_allocate_then_sequential_hits(self):
+        sb = StreamBuffers(count=2, depth=4, line_size=32)
+        sb.allocate(0x100)  # streams 0x120, 0x140, 0x160, 0x180
+        hit, issued = sb.probe(0x120)
+        assert hit and issued == 1
+        hit, _ = sb.probe(0x140)
+        assert hit
+        assert 0x1A0 in sb.resident_lines()  # tail kept extended
+
+    def test_head_only_comparator(self):
+        sb = StreamBuffers(count=1, depth=4, line_size=32)
+        sb.allocate(0x100)
+        hit, _ = sb.probe(0x160)  # in the buffer, but not at the head
+        assert not hit
+
+    def test_lru_buffer_reallocated(self):
+        sb = StreamBuffers(count=2, depth=2, line_size=32)
+        sb.allocate(0x100)
+        sb.allocate(0x1000)
+        sb.allocate(0x2000)  # replaces the 0x100 stream (LRU)
+        resident = sb.resident_lines()
+        assert 0x120 not in resident
+        assert 0x2020 in resident
+
+    def test_invalidate_clears_containing_buffer(self):
+        sb = StreamBuffers(count=2, depth=4, line_size=32)
+        sb.allocate(0x100)
+        assert sb.invalidate(0x140)
+        assert all(line < 0x100 or line > 0x180 for line in sb.resident_lines())
+
+
+class TestHierarchyIntegration:
+    def test_victim_cache_turns_conflict_miss_into_misspath_hit(self):
+        # Two lines mapping to the same L1 set ping-pong; with a victim
+        # cache the second round trip is served beside L1.
+        h = _hierarchy(mechanism="victim_cache", l1_size=1024, l1_assoc=1)
+        sets = h.l1.num_sets
+        a, b = 0x0, sets * 32  # same set, different tags
+        now = 0.0
+        for address in (a, b, a, b, a):
+            result = h.access(address, False, now)
+            now = result.ready + 100.0  # let fills complete
+        stats = h.misspath.stats_dict()
+        assert stats["vc.hits"] > 0
+        assert stats["hits"] == stats["vc.hits"]
+
+    def test_misspath_kind_is_still_a_miss(self):
+        h = _hierarchy(mechanism="victim_cache", l1_size=1024, l1_assoc=1)
+        sets = h.l1.num_sets
+        a, b = 0x0, sets * 32
+        now = 0.0
+        kinds = []
+        for address in (a, b, a, b, a):
+            result = h.access(address, False, now)
+            kinds.append(result.kind)
+            now = result.ready + 100.0
+        assert AccessKind.MISS_PATH in kinds
+        index = kinds.index(AccessKind.MISS_PATH)
+        assert AccessKind(kinds[index]).value == "misspath"
+
+    def test_misspath_hit_latency_and_no_l2_touch(self):
+        h = _hierarchy(mechanism="victim_cache", l1_size=1024, l1_assoc=1)
+        cfg = h.config
+        sets = h.l1.num_sets
+        a, b = 0x0, sets * 32
+        now = 0.0
+        for address in (a, b):
+            now = h.access(address, False, now).ready + 100.0
+        l2_lookups_before = h.l2.stats.load_hits + h.l2.stats.load_misses
+        fill_bytes_before = h.traffic.l1_l2_fill_bytes
+        result = h.access(a, False, now)  # VC hit (a was evicted by b)
+        assert result.kind is AccessKind.MISS_PATH
+        assert result.ready == pytest.approx(
+            now + cfg.l1_hit_latency + cfg.misspath_hit_latency
+        )
+        assert h.l2.stats.load_hits + h.l2.stats.load_misses == l2_lookups_before
+        assert h.traffic.l1_l2_fill_bytes == fill_bytes_before
+
+    def test_clean_vc_spill_moves_no_bytes(self):
+        h = _hierarchy(mechanism="victim_cache", vc_entries=1,
+                       l1_size=1024, l1_assoc=1)
+        sets = h.l1.num_sets
+        now = 0.0
+        before = h.traffic.l1_l2_writeback_bytes
+        for i in range(4):  # clean loads spilling through a 1-entry VC
+            now = h.access(i * sets * 32, False, now).ready + 100.0
+        assert h.traffic.l1_l2_writeback_bytes == before
+
+    def test_dirty_vc_spill_writes_back(self):
+        h = _hierarchy(mechanism="victim_cache", vc_entries=1,
+                       l1_size=1024, l1_assoc=1)
+        sets = h.l1.num_sets
+        now = 0.0
+        for i in range(4):  # dirty stores must eventually write back
+            now = h.access(i * sets * 32, True, now).ready + 100.0
+        assert h.traffic.l1_l2_writeback_bytes > 0
+        assert h.misspath.stats_dict()["vc.writebacks"] > 0
+
+    def test_miss_cache_inserts_on_fill(self):
+        h = _hierarchy(mechanism="miss_cache")
+        h.access(0x0, False, 0.0)
+        stats = h.misspath.stats_dict()
+        assert stats["mc.inserts"] == 1
+        assert 0x0 in h.misspath.miss.resident_lines()
+
+    def test_stream_buffer_absorbs_sequential_walk(self):
+        h = _hierarchy(mechanism="stream_buffers")
+        now = 0.0
+        for i in range(32):  # sequential line walk
+            now = h.access(i * 32, False, now).ready + 300.0
+        stats = h.misspath.stats_dict()
+        assert stats["sb.hits"] > 20  # nearly every miss after the first
+
+    def test_reset_stats_keeps_bound_getters(self):
+        from repro.obs import Registry
+
+        h = _hierarchy(mechanism="combined")
+        registry = Registry()
+        h.register_metrics(registry)
+        h.access(0x0, False, 0.0)
+        assert registry.snapshot()["cache.misspath.probes"] == 1
+        h.reset_stats()
+        assert registry.snapshot()["cache.misspath.probes"] == 0
+
+    def test_flush_empties_every_stage(self):
+        h = _hierarchy(mechanism="combined")
+        now = 0.0
+        for i in range(8):
+            now = h.access(i * 4096, False, now).ready + 100.0
+        assert h.misspath.flush() > 0
+        assert h.misspath.stats_dict()["flushes"] == 1
+        assert h.misspath.victim.resident_lines() == []
+        assert h.misspath.streams.resident_lines() == []
+
+    def test_stats_dict_key_set_is_stable(self):
+        h = _hierarchy(mechanism="victim_cache")
+        keys = set(h.misspath.stats_dict())
+        assert {"probes", "hits", "vc.hits", "sb.hits", "mc.hits"} <= keys

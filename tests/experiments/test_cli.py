@@ -193,3 +193,38 @@ class TestCLIErrorPaths:
             main(["serve.bench", "--scale", "0"])
         assert excinfo.value.code == 2
         assert "--scale must be > 0" in capsys.readouterr().err
+
+    def test_unknown_mechanism_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["misspath", "--mechanism", "teleporter"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown --mechanism" in err
+        assert "victim_cache" in err
+
+    def test_irrelevant_knob_rejected(self, capsys):
+        # --vc-entries without a mechanism that has a victim cache.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["misspath", "--vc-entries", "16"])
+        assert excinfo.value.code == 2
+        assert "--vc-entries only makes sense" in capsys.readouterr().err
+
+    def test_knob_mechanism_mismatch_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "misspath", "--mechanism", "victim_cache",
+                "--sb-depth", "8",
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--sb-depth only makes sense" in err
+        assert "stream_buffers" in err
+
+    def test_knob_below_one_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "misspath", "--mechanism", "stream_buffers",
+                "--sb-depth", "0",
+            ])
+        assert excinfo.value.code == 2
+        assert "--sb-depth must be >= 1" in capsys.readouterr().err

@@ -1,0 +1,141 @@
+"""Property-based invariants of the miss-path stages.
+
+The victim cache is the delicate one -- its probe/insert swap dance
+must never duplicate a line between VC and L1, overflow its capacity,
+or lose a resident line -- so it gets the full treatment, driven both
+directly and through random hierarchy access streams.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.cache.misspath import VictimCache
+
+addresses = st.integers(min_value=0, max_value=(1 << 18) - 8).map(lambda a: a & ~7)
+access_streams = st.lists(
+    st.tuples(addresses, st.booleans()), min_size=1, max_size=150
+)
+
+#: Small L1 and VC so the stream actually exercises eviction and swap.
+MECH_CONFIGS = st.fixed_dictionaries(
+    {
+        "mechanism": st.sampled_from(
+            ["victim_cache", "miss_cache", "stream_buffers", "combined"]
+        ),
+        "vc_entries": st.sampled_from([1, 2, 4, 8]),
+        "mc_entries": st.sampled_from([1, 4, 8]),
+        "sb_count": st.sampled_from([1, 2, 4]),
+        "sb_depth": st.sampled_from([1, 2, 4]),
+    }
+)
+
+
+def _l1_lines(cache) -> set:
+    """Resident L1 line addresses (the count helper isn't enough here)."""
+    lines = set()
+    for set_index in range(cache.num_sets):
+        base = set_index * cache.associativity
+        for slot in range(base, base + cache._set_len[set_index]):
+            lines.add(cache._tags[slot] << cache.line_shift)
+    return lines
+
+
+def _drive(hierarchy, stream):
+    now = 0.0
+    for address, is_write in stream:
+        result = hierarchy.access(address, is_write, now)
+        now = result.ready + 200.0  # let every fill complete
+
+
+class TestVictimCacheStage:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["insert", "probe", "invalidate"]),
+                      addresses, st.booleans()),
+            min_size=1,
+            max_size=200,
+        ),
+        entries=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_and_uniqueness(self, ops, entries):
+        vc = VictimCache(entries)
+        for op, address, dirty in ops:
+            line = address & ~31
+            if op == "insert":
+                vc.probe(line)  # hierarchy never inserts a resident line
+                vc.insert(line, 1 if dirty else 0)
+            elif op == "probe":
+                vc.probe(line)
+            else:
+                vc.invalidate(line)
+            resident = vc.resident_lines()
+            assert len(resident) <= entries
+            assert len(resident) == len(set(resident))
+
+
+class TestHierarchyInvariants:
+    @given(stream=access_streams, knobs=MECH_CONFIGS)
+    @settings(max_examples=40, deadline=None)
+    def test_vc_and_l1_are_disjoint(self, stream, knobs):
+        hierarchy = MemoryHierarchy(
+            HierarchyConfig(l1_size=1024, l1_assoc=1, **knobs)
+        )
+        _drive(hierarchy, stream)
+        if hierarchy.misspath.victim is None:
+            return
+        vc_lines = set(hierarchy.misspath.victim.resident_lines())
+        assert vc_lines.isdisjoint(_l1_lines(hierarchy.l1))
+
+    @given(stream=access_streams, knobs=MECH_CONFIGS)
+    @settings(max_examples=40, deadline=None)
+    def test_no_duplicate_vc_tags_after_swaps(self, stream, knobs):
+        hierarchy = MemoryHierarchy(
+            HierarchyConfig(l1_size=1024, l1_assoc=1, **knobs)
+        )
+        _drive(hierarchy, stream)
+        victim = hierarchy.misspath.victim
+        if victim is None:
+            return
+        resident = victim.resident_lines()
+        assert len(resident) == len(set(resident))
+        assert len(resident) <= victim.entries
+
+    @given(stream=access_streams, knobs=MECH_CONFIGS)
+    @settings(max_examples=40, deadline=None)
+    def test_touched_lines_are_conserved(self, stream, knobs):
+        """Every line ever demanded is in L1, in a stage, or was spilled
+        toward L2 / invalidated -- VC+L1 conservation: nothing held by
+        the victim cache is outside the demanded set, and the last
+        demanded line is always still resident in L1."""
+        hierarchy = MemoryHierarchy(
+            HierarchyConfig(l1_size=1024, l1_assoc=1, **knobs)
+        )
+        shift = hierarchy.l1.line_shift
+        demanded = set()
+        now = 0.0
+        for address, is_write in stream:
+            line = (address >> shift) << shift
+            demanded.add(line)
+            result = hierarchy.access(address, is_write, now)
+            now = result.ready + 200.0
+            assert hierarchy.l1.contains(address)
+        victim = hierarchy.misspath.victim
+        if victim is not None:
+            assert set(victim.resident_lines()) <= demanded
+
+    @given(stream=access_streams, knobs=MECH_CONFIGS)
+    @settings(max_examples=30, deadline=None)
+    def test_probe_accounting_partitions(self, stream, knobs):
+        hierarchy = MemoryHierarchy(
+            HierarchyConfig(l1_size=1024, l1_assoc=1, **knobs)
+        )
+        _drive(hierarchy, stream)
+        stats = hierarchy.misspath.stats_dict()
+        assert stats["hits"] <= stats["probes"]
+        assert (
+            stats["hits"]
+            == stats["vc.hits"] + stats["mc.hits"] + stats["sb.hits"]
+        )
+        miss = hierarchy.miss_classes
+        assert stats["probes"] == miss.load_full + miss.store_full

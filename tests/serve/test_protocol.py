@@ -65,6 +65,26 @@ class TestValidation:
         with pytest.raises(ProtocolError, match="events_capacity"):
             JobSpec.from_payload(_payload(events_capacity="lots"))
 
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown mechanism"):
+            JobSpec.from_payload(_payload(mechanism="teleporter"))
+
+    def test_irrelevant_misspath_knob_rejected(self):
+        # vc_entries without a victim cache in the pipeline.
+        with pytest.raises(ProtocolError, match="only meaningful"):
+            JobSpec.from_payload(_payload(vc_entries=16))
+        with pytest.raises(ProtocolError, match="only meaningful"):
+            JobSpec.from_payload(
+                _payload(mechanism="victim_cache", sb_depth=8)
+            )
+
+    @pytest.mark.parametrize("bad", [0, -1, 2048, "8", True, 1.5])
+    def test_out_of_range_misspath_knob_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="vc_entries"):
+            JobSpec.from_payload(
+                _payload(mechanism="victim_cache", vc_entries=bad)
+            )
+
 
 class TestIdentity:
     def test_job_key_is_deterministic(self):
@@ -87,3 +107,33 @@ class TestIdentity:
         task = spec.task()
         assert (task.app, task.variant, task.line_size) == ("health", "N", 64)
         assert task.scale == 0.25
+
+    def test_mechanism_separates_job_keys(self):
+        base = JobSpec.from_payload(_payload())
+        mech = JobSpec.from_payload(_payload(mechanism="victim_cache"))
+        assert mech.job_key != base.job_key
+        assert mech.cell_id == "health/32B/N/victim_cache"
+        assert base.cell_id == "health/32B/N"
+        sized = JobSpec.from_payload(
+            _payload(mechanism="victim_cache", vc_entries=16)
+        )
+        assert sized.job_key != mech.job_key
+
+    def test_unused_knobs_pin_to_defaults_without_aliasing(self):
+        # A knob the mechanism doesn't read can't be set, so every spec
+        # carries the canonical default and identical work shares a key.
+        explicit = JobSpec.from_payload(
+            _payload(mechanism="victim_cache", vc_entries=8)
+        )
+        implicit = JobSpec.from_payload(_payload(mechanism="victim_cache"))
+        assert explicit.job_key == implicit.job_key
+        assert implicit.mc_entries == 8 and implicit.sb_count == 4
+
+    def test_mechanism_travels_into_task(self):
+        spec = JobSpec.from_payload(
+            _payload(mechanism="combined", vc_entries=4, sb_count=2)
+        )
+        task = spec.task()
+        assert task.mechanism == "combined"
+        assert (task.vc_entries, task.sb_count) == (4, 2)
+        assert task.sb_depth == 4  # pinned default

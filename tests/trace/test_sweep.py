@@ -47,6 +47,49 @@ def test_run_task_replays_shared_trace(tmp_path):
     assert how == "replayed"
 
 
+def test_mechanism_changes_fingerprint_but_not_trace_key():
+    from repro.trace.store import config_fingerprint
+
+    base = SweepTask("mst", "N", 64, SCALE, 1)
+    mech = SweepTask("mst", "N", 64, SCALE, 1, mechanism="victim_cache")
+    # One captured stream serves every mechanism config...
+    assert mech.key() == base.key()
+    # ...but their cached results never alias.
+    assert config_fingerprint(mech.config()) != config_fingerprint(
+        base.config()
+    )
+    resized = SweepTask(
+        "mst", "N", 64, SCALE, 1, mechanism="victim_cache", vc_entries=16
+    )
+    assert config_fingerprint(resized.config()) != config_fingerprint(
+        mech.config()
+    )
+
+
+def test_disabled_mechanism_knobs_leave_fingerprint_alone():
+    from repro.trace.store import config_fingerprint
+
+    base = SweepTask("mst", "N", 64, SCALE, 1)
+    knobbed = SweepTask(
+        "mst", "N", 64, SCALE, 1, vc_entries=64, sb_depth=16
+    )
+    assert config_fingerprint(knobbed.config()) == config_fingerprint(
+        base.config()
+    )
+
+
+def test_mechanism_cell_replays_baseline_trace(tmp_path):
+    store = ArtifactStore(tmp_path)
+    _, how = run_task(SweepTask("mst", "N", 64, SCALE, 1), store)
+    assert how == "captured"
+    mech = SweepTask("mst", "N", 64, SCALE, 1, mechanism="victim_cache")
+    outcome, how = run_task(mech, store)
+    assert how == "replayed"
+    assert outcome.stats.misspath["probes"] > 0
+    _, how = run_task(mech, store)
+    assert how == "cached"
+
+
 def test_in_process_trace_cache_skips_store(tmp_path):
     traces = {}
     task = SweepTask("mst", "N", 64, SCALE, 1)
