@@ -62,7 +62,10 @@ BASELINE = {
 # End-to-end: the Figure 5 sweep, direct mode
 # ----------------------------------------------------------------------
 def bench_sweep(
-    scale: float, verbose: bool = True, timeline_interval: int = 0
+    scale: float,
+    verbose: bool = True,
+    timeline_interval: int = 0,
+    aggregate_out: dict | None = None,
 ) -> dict:
     """Run all 42 Figure 5 cells directly and time them.
 
@@ -117,7 +120,168 @@ def bench_sweep(
     }
     if scale == BASELINE["scale"]:
         out["speedup_vs_baseline"] = round(BASELINE["seconds"] / seconds, 2)
+    if aggregate_out is not None:
+        aggregate_out.update(
+            (key, value)
+            for key, value in aggregate.flat().items()
+            if not key.startswith("runs.")
+        )
     return out
+
+
+def _figure5_tasks(scale: float) -> list:
+    from repro.trace.sweep import SweepTask
+
+    return [
+        SweepTask(app_name, variant.value, line_size, scale, APP_SEEDS[app_name])
+        for app_name in FIGURE5_APPS
+        for line_size in line_sizes_for(app_name)
+        for variant in (Variant.N, Variant.L)
+    ]
+
+
+def _clear_results(store) -> None:
+    """Drop cached per-cell results, keeping traces (and their sidecars)."""
+    import shutil
+
+    shutil.rmtree(store.results_dir, ignore_errors=True)
+    store.results_dir.mkdir(parents=True, exist_ok=True)
+
+
+def _timed_sweep(
+    tasks: list,
+    store,
+    jobs: int,
+    batch: bool,
+    verbose: bool,
+    aggregate_out: dict | None = None,
+) -> dict:
+    """Time one ``execute_sweep`` pass; returns a measurement record.
+
+    The aggregate metric tree is absorbed in *task order* (not result
+    arrival order) so float summation happens in the same order in every
+    arm -- a prerequisite for the bit-identical comparison.
+    """
+    from repro.trace.sweep import execute_sweep
+
+    engines: dict = {}
+    started = time.perf_counter()
+    results = execute_sweep(
+        tasks, store, jobs=jobs, verbose=verbose, batch=batch, engines=engines
+    )
+    seconds = time.perf_counter() - started
+    registry = Registry()
+    for task in tasks:
+        result, _how = results[task]
+        registry.absorb(result.stats.to_snapshot())
+    aggregate = registry.snapshot()
+    refs = int(aggregate["ref.load.count"] + aggregate["ref.store.count"])
+    engine_counts: dict[str, int] = {}
+    for label in engines.values():
+        engine_counts[label] = engine_counts.get(label, 0) + 1
+    if aggregate_out is not None:
+        aggregate_out.update(aggregate.flat())
+    return {
+        "jobs": jobs,
+        "seconds": round(seconds, 3),
+        "refs": refs,
+        "refs_per_sec": int(refs / seconds),
+        "cells_per_sec": round(len(results) / seconds, 3),
+        "engines": engine_counts,
+    }
+
+
+def bench_batch_sweep(
+    scale: float,
+    jobs: int = 1,
+    verbose: bool = True,
+    aggregates_out: dict | None = None,
+    repeats: int = 1,
+    direct: "callable | None" = None,
+) -> dict:
+    """Run the 42 cells through the replay pipelines, three ways.
+
+    One throwaway store, three timed arms:
+
+    * ``cold`` -- empty store: group by trace key, capture each group's
+      stream once, replay the rest.  Dominated by the captures (a direct
+      run of each group representative), so it bounds the first-ever
+      sweep cost.
+    * ``warm`` -- traces (and their resolved-stream sidecars) on disk,
+      result cache cleared: the steady state the batch engine exists
+      for, e.g. re-running the sweep after a config or simulator change.
+      This is the headline number.
+    * ``sequential_replay`` -- the same warm store through the legacy
+      per-cell path (``batch=False``): load trace, decode, general-path
+      replay, one cell at a time.  The like-for-like "one-at-a-time"
+      alternative to the warm batch arm.
+
+    ``repeats`` > 1 re-runs the warm arm that many times -- interleaved
+    with the ``direct`` callable (the direct sweep) when given, so both
+    sides of the headline ratio sample the same machine-load drift --
+    and reports the minimum wall clock (the repeat least contaminated by
+    interference), with every repeat's seconds kept alongside.
+
+    All arms and repeats simulate the same 42 cells; the caller compares
+    their aggregate metric trees (and the direct sweep's) bit for bit.
+    """
+    import shutil
+    import tempfile
+
+    from repro.trace.store import ArtifactStore
+
+    tasks = _figure5_tasks(scale)
+    tmp = tempfile.mkdtemp(prefix="bench-batch-")
+    aggregates: dict[str, dict] = {"cold": {}, "warm": {}, "sequential": {}}
+    warm_runs = []
+    try:
+        store = ArtifactStore(tmp)
+        if verbose:
+            print("  -- cold (captures + batch replays)", file=sys.stderr)
+        cold = _timed_sweep(
+            tasks, store, jobs, True, verbose, aggregates["cold"]
+        )
+        _clear_results(store)
+        if verbose:
+            print("  -- warm (batch replays only)", file=sys.stderr)
+        warm_runs.append(
+            _timed_sweep(tasks, store, jobs, True, verbose, aggregates["warm"])
+        )
+        _clear_results(store)
+        if verbose:
+            print("  -- warm (sequential general-path replays)", file=sys.stderr)
+        sequential = _timed_sweep(
+            tasks, store, 1, False, verbose, aggregates["sequential"]
+        )
+        for repeat in range(2, repeats + 1):
+            if direct is not None:
+                direct(repeat)
+            _clear_results(store)
+            if verbose:
+                print(f"  -- warm repeat {repeat}/{repeats}", file=sys.stderr)
+            warm_runs.append(
+                _timed_sweep(
+                    tasks, store, jobs, True, verbose,
+                    aggregates.setdefault(f"warm#{repeat}", {}),
+                )
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    if aggregates_out is not None:
+        aggregates_out.update(aggregates)
+    warm = dict(min(warm_runs, key=lambda run: run["seconds"]))
+    if len(warm_runs) > 1:
+        warm["repeat_seconds"] = [run["seconds"] for run in warm_runs]
+    refs = warm["refs"]
+    return {
+        "scale": scale,
+        "jobs": jobs,
+        "cells": len(tasks),
+        "refs": refs,
+        "cold": cold,
+        "warm": warm,
+        "sequential_replay": sequential,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -236,6 +400,27 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="R",
                         help="allowed fractional slowdown vs --baseline "
                              "(default 0.05)")
+    parser.add_argument("--batch", action="store_true",
+                        help="also time the 42-cell sweep through the "
+                             "replay pipelines (cold / warm-batch / "
+                             "sequential-replay arms on a throwaway "
+                             "store) and verify all arms agree bit for "
+                             "bit (exit 1 otherwise)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="process-pool shards for the batch sweep "
+                             "(default 1; whole trace-key groups move)")
+    parser.add_argument("--ab", action="store_true",
+                        help="same-machine A/B: run the direct sweep and "
+                             "the replay arms in one sitting and record "
+                             "the warm-batch speedup against both the "
+                             "direct sweep and the sequential replay "
+                             "path (implies --batch)")
+    parser.add_argument("--repeats", type=int, default=1, metavar="N",
+                        help="re-run the headline A/B pair (direct sweep "
+                             "and warm batch arm) N times, interleaved, "
+                             "and report the minimum of each -- rejects "
+                             "machine-load drift on shared hosts "
+                             "(default 1)")
     parser.add_argument("--timeline-interval", type=int, default=0,
                         metavar="N",
                         help="run the sweep with timeline sampling every N "
@@ -254,13 +439,107 @@ def main(argv: list[str] | None = None) -> int:
     notes = dict(note.split("=", 1) for note in args.note if "=" in note)
     if notes:
         report["notes"] = notes
+    if args.ab:
+        args.batch = True
+    direct_aggregate: dict = {}
     if not args.skip_sweep:
         print(f"== Figure 5 sweep (scale {args.scale}) ==", file=sys.stderr)
         report["sweep"] = bench_sweep(
             args.scale,
             verbose=not args.quiet,
             timeline_interval=args.timeline_interval,
+            aggregate_out=direct_aggregate,
         )
+    if args.batch:
+        if args.timeline_interval:
+            parser.error("--batch does not support --timeline-interval "
+                         "(the sampler forces the general direct path)")
+        print(
+            f"== batch sweep (scale {args.scale}, jobs {args.jobs}) ==",
+            file=sys.stderr,
+        )
+        batch_aggregates: dict = {}
+        direct_records: list[dict] = []
+        direct_repeat_aggregates: dict[str, dict] = {}
+
+        def rerun_direct(repeat: int) -> None:
+            aggregate = direct_repeat_aggregates.setdefault(
+                f"direct#{repeat}", {}
+            )
+            print(
+                f"  -- direct repeat {repeat}/{args.repeats}",
+                file=sys.stderr,
+            )
+            direct_records.append(
+                bench_sweep(
+                    args.scale, verbose=not args.quiet, aggregate_out=aggregate
+                )
+            )
+
+        report["batch_sweep"] = bench_batch_sweep(
+            args.scale,
+            jobs=args.jobs,
+            verbose=not args.quiet,
+            aggregates_out=batch_aggregates,
+            repeats=args.repeats,
+            direct=rerun_direct if args.ab and "sweep" in report else None,
+        )
+        # Every replay arm and repeat must agree with every other bit
+        # for bit; the direct sweep (and its repeats) joins the
+        # comparison when it ran in this sitting.
+        arms = dict(batch_aggregates)
+        arms.update(direct_repeat_aggregates)
+        if direct_aggregate:
+            arms["direct"] = direct_aggregate
+        names = sorted(arms)
+        diverged = sorted(
+            key
+            for a in names
+            for b in names
+            if a < b
+            for key in set(arms[a]) | set(arms[b])
+            if arms[a].get(key) != arms[b].get(key)
+        )
+        identical = not diverged
+        report["batch_sweep"]["bit_identical"] = identical
+        if not identical:
+            report["batch_sweep"]["diverged_keys"] = diverged[:20]
+            print(
+                f"BATCH DIVERGENCE: {len(diverged)} aggregate metrics "
+                f"differ across arms {names}, e.g. {diverged[:5]}",
+                file=sys.stderr,
+            )
+        if args.ab and "sweep" in report:
+            batch = report["batch_sweep"]
+            direct_seconds = [report["sweep"]["seconds"]] + [
+                record["seconds"] for record in direct_records
+            ]
+            report["ab"] = {
+                "jobs": args.jobs,
+                "repeats": args.repeats,
+                "direct_seconds": min(direct_seconds),
+                "batch_cold_seconds": batch["cold"]["seconds"],
+                "batch_warm_seconds": batch["warm"]["seconds"],
+                "sequential_replay_seconds":
+                    batch["sequential_replay"]["seconds"],
+                # Headline: warm batch sweep vs the direct sweep (the
+                # methodology BENCH_PR4/PR6 pin), same machine, one
+                # sitting; min over the interleaved repeats on each side.
+                "speedup": round(
+                    min(direct_seconds) / batch["warm"]["seconds"], 2
+                ),
+                "speedup_vs_sequential_replay": round(
+                    batch["sequential_replay"]["seconds"]
+                    / batch["warm"]["seconds"],
+                    2,
+                ),
+                "bit_identical": identical,
+            }
+            if len(direct_seconds) > 1:
+                report["ab"]["direct_repeat_seconds"] = direct_seconds
+                report["ab"]["warm_repeat_seconds"] = (
+                    batch["warm"].get("repeat_seconds", [])
+                )
     if not args.skip_micro:
         print("== microbenchmarks ==", file=sys.stderr)
         report["micro"] = {
@@ -282,6 +561,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"REGRESSION: {error}", file=sys.stderr)
             return 1
         print("regression gate passed", file=sys.stderr)
+    if not report.get("batch_sweep", {}).get("bit_identical", True):
+        return 1
     return 0
 
 

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro [artifact ...] [--scale S] [--jobs N]
                     [--trace-dir DIR] [--no-cache] [--format text|json]
+                    [--batch | --no-batch]
                     [--timeline] [--sample-interval N]
                     [--events] [--events-capacity N]
                     [--mechanism NAME] [--vc-entries N] [--mc-entries N]
@@ -25,7 +26,13 @@ absorption normalized against the baseline hierarchy; with
 The paper artifacts run capture-once-replay-many: each distinct
 reference stream is simulated directly once, then replayed through every
 other cache configuration that needs it (``--jobs N`` shards the work
-across N processes).  Traces and replayed results persist under
+across N processes).  By default replay runs in *batch* mode: cells are
+grouped by reference stream, each group decodes its trace once, and
+each config replays through an exec-specialized kernel with the machine
+shape baked in as literals (bit-identical to the sequential path --
+``--no-batch`` -- by contract; manifests record the engine per cell).
+``--batch`` with ``--events`` exits with an error, since the event
+stream forces the direct interpreter path.  Traces and replayed results persist under
 ``--trace-dir`` (default ``results/trace-cache``), so a repeated
 invocation with unchanged code and parameters skips simulation entirely;
 ``--no-cache`` starts cold and persists nothing.
@@ -328,6 +335,18 @@ def _artifacts_main(argv: list[str]) -> int:
         help="window width in data references for --timeline "
              "(default 10000; requires --timeline)",
     )
+    batch_group = parser.add_mutually_exclusive_group()
+    batch_group.add_argument(
+        "--batch", dest="batch", action="store_true", default=None,
+        help="group sweep cells by reference stream and replay each "
+             "group through one decoded stream with exec-specialized "
+             "per-config kernels (the default; results are bit-identical "
+             "to the sequential path)",
+    )
+    batch_group.add_argument(
+        "--no-batch", dest="batch", action="store_false",
+        help="run every cell through the sequential one-at-a-time path",
+    )
     parser.add_argument(
         "--events", action="store_true",
         help="record the structured event stream (implies the general "
@@ -374,6 +393,13 @@ def _artifacts_main(argv: list[str]) -> int:
         parser.error("--sample-interval only makes sense with --timeline")
     if args.events_capacity is not None and not args.events:
         parser.error("--events-capacity only makes sense with --events")
+    if args.batch and args.events:
+        parser.error(
+            "--batch cannot be combined with --events: the event stream "
+            "forces the direct interpreter path (drop --batch; event "
+            "cells always run sequentially)"
+        )
+    batch = (not args.events) if args.batch is None else args.batch
     sample_interval = 10000 if args.sample_interval is None else args.sample_interval
     events_capacity = 4096 if args.events_capacity is None else args.events_capacity
     if sample_interval < 1:
@@ -423,6 +449,7 @@ def _artifacts_main(argv: list[str]) -> int:
         timeline_interval=sample_interval if args.timeline else 0,
         events_capacity=events_capacity if args.events else 0,
         mechanism=mechanism,
+        batch=batch,
         **misspath_knobs,
     )
     runner.prime(

@@ -10,16 +10,23 @@ experiments (Figures 5 and 6) sweep it: layout optimizations pay off
 
 Representation
 --------------
-Set state lives in preallocated flat arrays rather than per-set Python
-lists: one ``array('q')`` of line tags and one ``bytearray`` of dirty
+Set state lives in preallocated flat sequences rather than per-set
+Python lists: one flat list of line tags and one ``bytearray`` of dirty
 bits, both indexed by ``set_index * associativity + slot``, plus a
-``bytearray`` of per-set occupancy counts.  Within a set's segment the
+``bytearray`` of per-set occupancy counts.  (The tags are a plain list,
+not an ``array('q')``: tag probes compare against stored Python ints
+directly instead of boxing a fresh int per read, which measurably
+matters in the replay kernels; the handful of caches a run builds makes
+the extra per-object memory irrelevant.)  Within a set's segment the
 *slot position is the replacement order* -- slot 0 is the most recently
 used (or most recently filled, for FIFO/random) line and the last
 occupied slot is the victim.  This is exactly the MRU-to-LRU list order
 the previous list-of-lists representation maintained, so hit/miss and
 eviction behaviour is bit-for-bit identical, but probes touch one
-contiguous array segment and never allocate.
+contiguous segment and never allocate.  Vacant slots (at or beyond the
+set's occupancy count) always hold the ``-1`` sentinel, which lets a
+probe of a known way skip the occupancy check entirely -- no real line
+address is negative.
 
 Replacement is inlined (no per-access policy-object dispatch): LRU
 moves the hit slot to the front of its segment, FIFO and random leave
@@ -31,7 +38,6 @@ policies; this module is their hot representation.
 
 from __future__ import annotations
 
-from array import array
 from dataclasses import dataclass
 
 # Inlined replacement modes (see repro.cache.replacement for semantics).
@@ -165,7 +171,12 @@ class Cache:
         self._set_mask = self.num_sets - 1
         self._mode = mode
         self._rng_state = _RANDOM_SEED
-        self._tags = array("q", bytes(8 * lines))
+        # Invariant: slots at or beyond a set's ``_set_len`` always hold
+        # the -1 sentinel (no line address is negative), so a probe of a
+        # fixed way can skip the occupancy check.  ``invalidate`` is the
+        # only operation that vacates a slot; it restores the sentinel.
+        # The specialized replay kernels rely on this.
+        self._tags = [-1] * lines
         self._dirty = bytearray(lines)
         self._set_len = bytearray(self.num_sets)
         self.stats = CacheStats()
@@ -299,6 +310,7 @@ class Cache:
                     tags[slot] = tags[slot + 1]
                     dirty_bits[slot] = dirty_bits[slot + 1]
                     slot += 1
+                tags[end] = -1  # restore the above-set_len sentinel
                 self._set_len[set_index] = n - 1
                 return True
         return False

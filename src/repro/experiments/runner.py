@@ -26,8 +26,16 @@ from repro.apps.base import AppResult, Variant
 from repro.core.debug import enable_progress_logging, get_logger
 from repro.experiments.config import APP_SEEDS
 from repro.obs import Registry
+from repro.trace.batch import BatchCellError, group_by_trace, run_batch_group
 from repro.trace.store import ArtifactStore
-from repro.trace.sweep import SweepTask, execute_sweep, log_progress, run_task
+from repro.trace.sweep import (
+    SweepError,
+    SweepTask,
+    batch_label,
+    execute_sweep,
+    log_progress,
+    run_task,
+)
 
 
 @dataclass(frozen=True)
@@ -132,6 +140,14 @@ class ExperimentRunner:
         When False, ignore and do not populate ``trace_dir`` -- every
         invocation starts cold.  Parallel priming then shards through a
         throwaway temporary store instead.
+    batch:
+        When True (the default), :meth:`prime` groups cells by trace key
+        and runs each group through the batch replay engine
+        (:mod:`repro.trace.batch`): one decode per trace, N configs
+        through the shared stream, with the exec-specialized kernel
+        where the config allows.  Results are bit-identical either way
+        (the parity suites enforce it); False preserves the legacy
+        per-cell pipeline.
     """
 
     def __init__(
@@ -148,10 +164,12 @@ class ExperimentRunner:
         mc_entries: int = 8,
         sb_count: int = 4,
         sb_depth: int = 4,
+        batch: bool = True,
     ) -> None:
         self.scale = scale
         self.verbose = verbose
         self.jobs = max(1, jobs)
+        self.batch = batch
         #: Timeline sampling knobs applied to every run (0 = off).
         self.timeline_interval = timeline_interval
         self.events_capacity = events_capacity
@@ -176,6 +194,10 @@ class ExperimentRunner:
         self._scratch: tempfile.TemporaryDirectory | None = None
         self._cache: dict[RunSpec, AppResult] = {}
         self._traces: dict = {}
+        #: Replay engine per completed cell (``RunSpec.cell_id`` ->
+        #: label from :mod:`repro.trace.batch`); manifests annotate
+        #: their cells with it.
+        self.engines: dict[str, str] = {}
         #: Instrumentation registry: ``runs.*`` outcome counters, the
         #: merged metric tree of every simulation this runner performed,
         #: and the span log experiment drivers time themselves with.
@@ -197,9 +219,13 @@ class ExperimentRunner:
             events_capacity=self.events_capacity,
         )
 
-    def _record(self, spec: RunSpec, result: AppResult, how: str) -> None:
+    def _record(
+        self, spec: RunSpec, result: AppResult, how: str, engine: str = "sequential"
+    ) -> None:
         """Fold one completed simulation into the runner's registry."""
         self.obs.counter(f"runs.{how}").inc()
+        self.obs.counter(f"runs.engine.{engine.replace('+', '_')}").inc()
+        self.engines[spec.cell_id] = engine
         self.obs.absorb(result.stats.to_snapshot())
         if result.timeline is not None:
             self.timelines[spec.cell_id] = result.timeline
@@ -247,7 +273,9 @@ class ExperimentRunner:
         """Fill the memo for ``specs``, sharding across ``jobs`` workers.
 
         Figures then assemble their matrices through :meth:`run` at
-        memo-hit speed.  With ``jobs == 1`` this is just a loop.
+        memo-hit speed.  In batch mode (the default) cells group by
+        trace key so each stream is decoded once for all of its configs
+        -- in-process when ``jobs == 1``, sharded by group otherwise.
         """
         todo = [
             spec
@@ -258,21 +286,44 @@ class ExperimentRunner:
         ]
         if not todo:
             return
+        by_task = {spec.task(): spec for spec in todo}
         if self.jobs <= 1 or len(todo) == 1:
-            for spec in todo:
-                self.run_spec(spec)
+            if not self.batch:
+                for spec in todo:
+                    self.run_spec(spec)
+                return
+            groups = group_by_trace(list(by_task))
+            for key, group in groups.items():
+                try:
+                    outcomes = run_batch_group(group, self.store, self._traces)
+                except BatchCellError as exc:
+                    raise SweepError(exc.task, exc) from exc
+                for outcome in outcomes:
+                    spec = by_task[outcome.task]
+                    self._cache[spec] = outcome.result
+                    self._record(spec, outcome.result, outcome.how, outcome.engine)
+                    if self.verbose:
+                        log_progress(
+                            outcome.task,
+                            outcome.result,
+                            outcome.how,
+                            engine=outcome.engine,
+                            batch=batch_label(key, group),
+                        )
             return
+        engines: dict = {}
         outcomes = execute_sweep(
-            [spec.task() for spec in todo],
+            list(by_task),
             self._sweep_store(),
             jobs=self.jobs,
             verbose=self.verbose,
+            batch=self.batch,
+            engines=engines,
         )
-        by_task = {spec.task(): spec for spec in todo}
         for task, (result, how) in outcomes.items():
             spec = by_task[task]
             self._cache[spec] = result
-            self._record(spec, result, how)
+            self._record(spec, result, how, engines.get(task, "sequential"))
 
     def _sweep_store(self) -> ArtifactStore:
         """The persistent store, or a lazily created throwaway one."""
@@ -343,6 +394,7 @@ class ExperimentRunner:
             "trace_dir": str(self.store.root) if self.store else None,
             "timeline_interval": self.timeline_interval,
             "events_capacity": self.events_capacity,
+            "batch": self.batch,
         }
         if self.mechanism != "none":
             # Only mechanism-carrying runs grow the section, so baseline
@@ -360,12 +412,29 @@ class ExperimentRunner:
             seeds=self.seeds(),
             metrics=self.obs.snapshot(),
             spans=self.obs.spans,
-            cells=cells,
+            cells=self._annotate_engines(cells),
             trace_hashes=self.trace_hashes(),
             summary=summary,
             timeline=timeline_section,
             events=events_section,
         )
+
+    def _annotate_engines(self, cells: Iterable[dict]) -> list[dict]:
+        """Label each manifest cell with the engine that produced it.
+
+        Cells are matched by id against the runner's engine records
+        (populated per simulated cell); unmatched cells -- derived rows,
+        synthetic ids -- pass through untouched.  Caller dicts are
+        copied, never mutated.
+        """
+        annotated = []
+        for entry in cells:
+            engine = self.engines.get(entry.get("id"))
+            if engine is not None:
+                entry = dict(entry)
+                entry["labels"] = {**entry.get("labels", {}), "engine": engine}
+            annotated.append(entry)
+        return annotated
 
     # ------------------------------------------------------------------
     def checksum_match(self, app: str, variants: list[Variant], line_size: int) -> bool:

@@ -124,6 +124,28 @@ class Scheduler:
             self._wakeup.clear()
             await self._wakeup.wait()
 
+    async def pop_batch(self) -> list[Job]:
+        """Next runnable job plus every queued job sharing its stream.
+
+        The fold is what makes one worker round-trip serve a whole
+        trace-key group: the extra jobs would otherwise either wait out
+        the leader's capture (cold) or each re-load and re-decode the
+        same stream (warm).  Every returned job is already RUNNING; the
+        caller owns their completion.  Cold leaders keep the per-key
+        capture gate: jobs folded into the batch are exactly the ones
+        the gate used to hold back.
+        """
+        leader = await self.pop()
+        batch = [leader]
+        key = leader.spec.task().key()
+        index = 0
+        while index < len(self._queue):
+            if self._queue[index][1] == key:
+                batch.append(self._start(index))
+            else:
+                index += 1
+        return batch
+
     def _pick(self) -> Job | None:
         cold_index = None
         for index, (job, trace_key) in enumerate(self._queue):

@@ -18,6 +18,7 @@ Instrumentation is a live :class:`repro.obs.Registry`:
 ``serve.jobs.{completed,failed}``        terminal outcomes (counters)
 ``serve.jobs.timeouts``                  budget overruns (counter)
 ``serve.cache.{hit,miss}``               warm-probe outcomes (counters)
+``serve.jobs.batch_folded``              jobs folded into batches (counter)
 ``serve.workers.restarts``               pool rebuilds (gauge, live)
 ``serve.latency.<how>_ms``               per-outcome latency histograms
 ======================================  ================================
@@ -66,6 +67,7 @@ class SimulationService:
         max_retries: int = 1,
         history_limit: int = 512,
         retry_after: float = 1.0,
+        batch: bool = True,
     ) -> None:
         self.store = ArtifactStore(trace_dir)
         swept = self.store.sweep_stale()
@@ -80,6 +82,8 @@ class SimulationService:
             job_timeout=job_timeout,
             max_retries=max_retries,
         )
+        #: Fold queued jobs sharing a trace key into one worker batch.
+        self.batch = batch
         self.started_at = time.time()
         self._draining = False
         self._consumers: list[asyncio.Task] = []
@@ -102,6 +106,7 @@ class SimulationService:
             "serve.jobs.timeouts",
             "serve.cache.hit",
             "serve.cache.miss",
+            "serve.jobs.batch_folded",
         ):
             self.obs.counter(name)
         for how in _HOWS:
@@ -216,16 +221,26 @@ class SimulationService:
     # -- execution ------------------------------------------------------
     async def _consume(self) -> None:
         while True:
-            job = await self.scheduler.pop()
+            if self.batch:
+                jobs = await self.scheduler.pop_batch()
+            else:
+                jobs = [await self.scheduler.pop()]
             try:
-                await self._run_job(job)
+                if self.batch:
+                    await self._run_batch(jobs)
+                else:
+                    await self._run_job(jobs[0])
             except asyncio.CancelledError:
                 raise
             except Exception:  # pragma: no cover - defensive: keep serving
-                _log.exception("consumer crashed on job %s", job.id)
-                if not job.finished:
-                    job.fail("internal error")
-                self.scheduler.finished(job, captured=False)
+                _log.exception(
+                    "consumer crashed on job(s) %s",
+                    ", ".join(job.id for job in jobs),
+                )
+                for job in jobs:
+                    if not job.finished:
+                        job.fail("internal error")
+                    self.scheduler.finished(job, captured=False)
 
     async def _run_job(self, job: Job) -> None:
         spec = job.spec
@@ -253,6 +268,62 @@ class SimulationService:
         self.obs.counter("serve.jobs.completed").inc()
         self._observe_latency(how, job.latency_seconds or 0.0)
         self.scheduler.finished(job, captured=True)
+
+    async def _run_batch(self, jobs: list[Job]) -> None:
+        """Execute a popped trace-key batch via one worker round-trip.
+
+        The worker returns per-cell outcome tuples, so each folded job
+        completes or fails on its own terms; only a whole-batch failure
+        (timeout, exhausted pool retries) fails every member.
+        """
+        by_task = {job.spec.task(): job for job in jobs}
+        tasks = list(by_task)
+        if len(jobs) > 1:
+            self.obs.counter("serve.jobs.batch_folded").inc(len(jobs) - 1)
+        started = time.perf_counter()
+        try:
+            outcomes, attempts = await self.pool.run_batch(tasks)
+        except Exception as exc:
+            elapsed = time.perf_counter() - started
+            detail = str(exc)
+            error = (
+                f"{type(exc).__name__}: {detail}" if detail else type(exc).__name__
+            )
+            if isinstance(exc, JobTimeout):
+                self.obs.counter("serve.jobs.timeouts").inc()
+            _log.warning("batch of %d jobs failed: %s", len(jobs), error)
+            for job in jobs:
+                record = SpanRecord(
+                    name=f"serve.job.{job.spec.cell_id}", wall_seconds=elapsed
+                )
+                record.error = error
+                self.obs.counter("serve.jobs.failed").inc()
+                job.fail(error, self._failure_manifest(job.spec, record))
+                self.scheduler.finished(job, captured=False)
+            return
+        elapsed = time.perf_counter() - started
+        for task, result, how, engine, error in outcomes:
+            job = by_task[task]
+            record = SpanRecord(
+                name=f"serve.job.{job.spec.cell_id}", wall_seconds=elapsed
+            )
+            if error is not None:
+                record.error = error
+                self.obs.counter("serve.jobs.failed").inc()
+                _log.warning(
+                    "job %s (%s) failed: %s", job.id, job.spec.cell_id, error
+                )
+                job.fail(error, self._failure_manifest(job.spec, record))
+                self.scheduler.finished(job, captured=False)
+                continue
+            job.attempts = attempts
+            manifest = self._success_manifest(
+                job.spec, result, how, record, engine=engine
+            )
+            job.complete(how, manifest)
+            self.obs.counter("serve.jobs.completed").inc()
+            self._observe_latency(how, job.latency_seconds or 0.0)
+            self.scheduler.finished(job, captured=True)
 
     def _observe_latency(self, how: str, seconds: float) -> None:
         if how not in _HOWS:  # pragma: no cover - future-proofing
@@ -284,7 +355,12 @@ class SimulationService:
         return section
 
     def _success_manifest(
-        self, spec: JobSpec, result, how: str, record: SpanRecord
+        self,
+        spec: JobSpec,
+        result,
+        how: str,
+        record: SpanRecord,
+        engine: str | None = None,
     ) -> dict[str, Any]:
         stats = result.stats
         entry = cell(
@@ -321,7 +397,11 @@ class SimulationService:
             metrics=stats.to_snapshot(),
             spans=[record.to_dict()],
             cells=[entry],
-            summary={"how": how, "wall_seconds": round(record.wall_seconds, 6)},
+            summary={
+                "how": how,
+                "wall_seconds": round(record.wall_seconds, 6),
+                **({"engine": engine} if engine is not None else {}),
+            },
             timeline=timeline,
         )
 

@@ -39,6 +39,7 @@ from concurrent.futures import (
 
 from repro.apps.base import AppResult
 from repro.core.debug import get_logger
+from repro.trace.batch import run_batch_group
 from repro.trace.store import ArtifactStore
 from repro.trace.sweep import SweepTask, run_task
 
@@ -65,6 +66,38 @@ def _execute(task: SweepTask, store_root: str) -> tuple[AppResult, str]:
     else:
         result, how = run_task(task, store)
     return result, how
+
+
+def _execute_batch(
+    tasks: list[SweepTask], store_root: str
+) -> list[tuple[SweepTask, AppResult | None, str, str, str | None]]:
+    """Pool entry point for a trace-sharing batch group (picklable).
+
+    Same capture-lock discipline as :func:`_execute`, with the whole
+    group behind one lock: the stream is captured (or loaded) once and
+    every config replays against the shared decoded stream.  Returns
+    plain-data ``(task, result, how, engine, error_message)`` tuples --
+    per-cell failures come back as data rather than a raised exception,
+    because the jobs folded into a batch must fail individually on the
+    service side, not collectively.
+    """
+    store = ArtifactStore(store_root)
+    key = tasks[0].key()
+    if not store.has_trace(key):
+        with store.capture_lock(key):
+            outcomes = run_batch_group(tasks, store, collect_errors=True)
+    else:
+        outcomes = run_batch_group(tasks, store, collect_errors=True)
+    return [
+        (
+            outcome.task,
+            outcome.result,
+            outcome.how,
+            outcome.engine,
+            outcome.error.message if outcome.error is not None else None,
+        )
+        for outcome in outcomes
+    ]
 
 
 class WorkerPool:
@@ -101,6 +134,9 @@ class WorkerPool:
     def _submit(self, task: SweepTask) -> Future:
         return self._pool.submit(_execute, task, self.store_root)
 
+    def _submit_batch(self, tasks: list[SweepTask]) -> Future:
+        return self._pool.submit(_execute_batch, tasks, self.store_root)
+
     # ------------------------------------------------------------------
     async def run(self, task: SweepTask) -> tuple[AppResult, str, int]:
         """Execute one cell; returns ``(result, how, attempts)``.
@@ -131,6 +167,49 @@ class WorkerPool:
                     "worker pool broke running %s (%s); rebuilding "
                     "(attempt %d/%d)",
                     task.app,
+                    exc,
+                    attempts,
+                    self.max_retries + 1,
+                )
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = self._make_pool()
+                if attempts > self.max_retries:
+                    raise
+
+    async def run_batch(
+        self, tasks: list[SweepTask]
+    ) -> tuple[list[tuple[SweepTask, AppResult | None, str, str, str | None]], int]:
+        """Execute one trace-sharing group; returns ``(outcomes, attempts)``.
+
+        ``outcomes`` mirrors :func:`_execute_batch`'s tuples, so per-cell
+        failures arrive as data.  Timeout and crash handling match
+        :meth:`run` with the group as the unit: a budget overrun or an
+        exhausted-retry pool crash fails every cell in the batch.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                future = self._submit_batch(tasks)
+                outcomes = await asyncio.wait_for(
+                    asyncio.wrap_future(future), self.job_timeout
+                )
+                return outcomes, attempts
+            except asyncio.TimeoutError:
+                future.cancel()
+                lead = tasks[0]
+                raise JobTimeout(
+                    f"batch of {len(tasks)} cells for {lead.app} "
+                    f"(scale={lead.scale}, seed={lead.seed}) exceeded "
+                    f"{self.job_timeout:.0f}s budget"
+                ) from None
+            except BrokenExecutor as exc:
+                self.restarts += 1
+                _log.warning(
+                    "worker pool broke running a %d-cell batch for %s "
+                    "(%s); rebuilding (attempt %d/%d)",
+                    len(tasks),
+                    tasks[0].app,
                     exc,
                     attempts,
                     self.max_retries + 1,

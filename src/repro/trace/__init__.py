@@ -20,8 +20,13 @@ This package exploits that invariance end to end:
 * :mod:`repro.trace.store` -- a content-hash-keyed on-disk artifact cache
   of traces and replayed results, so repeated sweeps skip both capture
   and replay when nothing changed;
-* :mod:`repro.trace.sweep` -- a parallel sweep executor sharding replays
-  across a process pool.
+* :mod:`repro.trace.kernels` -- exec-specialized per-config replay
+  kernels: the replay loop compiled with the machine shape baked in as
+  literals, bit-identical to the general path by contract;
+* :mod:`repro.trace.batch` -- batch multi-config replay: decode one
+  trace, drive N configs through the shared resolved stream;
+* :mod:`repro.trace.sweep` -- a parallel sweep executor sharding batch
+  groups (one per trace key) across a process pool.
 
 The exact-fidelity requirement makes this a correctness tool as well as
 a performance win: any divergence between a replayed and a direct run
@@ -33,8 +38,23 @@ from repro.trace.format import (
     Trace,
     TraceFormatError,
 )
+from repro.trace.batch import (
+    BATCH_GENERAL,
+    BATCH_SPECIALIZED,
+    SEQUENTIAL,
+    BatchCellError,
+    BatchOutcome,
+    group_by_trace,
+    replay_engine,
+    run_batch_group,
+)
+from repro.trace.kernels import (
+    SpecializationError,
+    replay_specialized,
+    specializable,
+)
 from repro.trace.recorder import TraceRecorder, capture_trace
-from repro.trace.replay import TraceReplayError, replay_trace
+from repro.trace.replay import TraceReplayError, replay_trace, resolved_stream
 from repro.trace.store import (
     ArtifactStore,
     LockTimeout,
@@ -45,8 +65,14 @@ from repro.trace.sweep import SweepError, SweepTask, execute_sweep, run_task
 
 __all__ = [
     "ArtifactStore",
+    "BATCH_GENERAL",
+    "BATCH_SPECIALIZED",
+    "BatchCellError",
+    "BatchOutcome",
     "FORMAT_VERSION",
     "LockTimeout",
+    "SEQUENTIAL",
+    "SpecializationError",
     "SweepError",
     "SweepTask",
     "Trace",
@@ -56,7 +82,13 @@ __all__ = [
     "capture_trace",
     "config_fingerprint",
     "execute_sweep",
+    "group_by_trace",
+    "replay_engine",
+    "replay_specialized",
     "replay_trace",
+    "resolved_stream",
+    "run_batch_group",
     "run_task",
+    "specializable",
     "trace_key",
 ]

@@ -1,0 +1,191 @@
+"""Batch multi-config replay: decode one trace, simulate many configs.
+
+The sweep's unit of work used to be the *cell* -- each cell loaded (or
+captured) its trace, decoded the payload, and replayed.  The natural
+unit is the *trace*: every cell sharing a trace key can run against one
+decoded resolved stream (see :func:`repro.trace.replay.resolved_stream`,
+which memoizes on the :class:`~repro.trace.format.Trace` object), paying
+the trace load and decode exactly once per group instead of once per
+cell.  This module is that grouping layer:
+
+* :func:`group_by_trace` partitions sweep tasks into per-trace-key
+  groups (insertion-ordered, so progress output stays deterministic);
+* :func:`run_batch_group` executes one group end to end -- capture the
+  stream if it is missing (the capturing cell's direct result answers
+  that cell for free), then drive every remaining config through the
+  shared stream;
+* :func:`replay_engine` picks the per-config replay engine: the
+  exec-specialized kernel (:mod:`repro.trace.kernels`) when the config
+  is inside the specializer's feature matrix, the general
+  :func:`~repro.trace.replay.replay_trace` path otherwise.  Both are
+  bit-identical by contract; the engine label is diagnostics, not
+  semantics.
+
+The engine label travels with every outcome (``"sequential"``,
+``"batch+general"``, ``"batch+specialized"``) so manifests and progress
+logs can say which code path produced each cell -- the parity suite
+makes the labels interchangeable, the labels make the claim auditable.
+
+Error contract: :class:`BatchCellError` names the exact failing cell
+inside a group and is pickle-safe (its ``args`` are plain data), so a
+process-pool worker can raise it across the pipe without losing the
+cell identity.  ``collect_errors=True`` switches to per-cell error
+outcomes instead -- the serve tier folds multiple queued jobs into one
+batch and must fail them individually, not collectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppResult
+from repro.core.machine import MachineConfig
+from repro.trace.format import Trace
+from repro.trace.kernels import replay_specialized, specializable
+from repro.trace.replay import replay_trace
+from repro.trace.store import ArtifactStore, config_fingerprint
+
+#: Engine labels recorded per cell (manifests, progress logs, metrics).
+SEQUENTIAL = "sequential"
+BATCH_GENERAL = "batch+general"
+BATCH_SPECIALIZED = "batch+specialized"
+
+
+class BatchCellError(RuntimeError):
+    """One cell of a batch group failed; names the cell, pickles cleanly.
+
+    ``args`` carries only the task and a rendered message (no exception
+    object with a custom constructor), so the error crosses a process
+    pool's result pipe intact -- the collector on the other side still
+    knows exactly which cell inside the batch failed.
+    """
+
+    def __init__(self, task, message: str) -> None:
+        super().__init__(task, message)
+        self.task = task
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message
+
+
+@dataclass
+class BatchOutcome:
+    """One cell's result within a batch group."""
+
+    task: object  # SweepTask (kept untyped to avoid an import cycle)
+    result: AppResult | None
+    #: ``"captured"`` / ``"replayed"`` / ``"cached"`` (run_task's word).
+    how: str
+    #: Which engine produced the result (``SEQUENTIAL`` etc.).
+    engine: str
+    #: Set instead of ``result`` when ``collect_errors=True``.
+    error: BatchCellError | None = None
+
+
+def replay_engine(trace: Trace, config: MachineConfig) -> tuple[AppResult, str]:
+    """Replay through the best engine for ``config``.
+
+    Returns ``(result, engine)`` where ``engine`` is
+    :data:`BATCH_SPECIALIZED` when the config fits the specializer's
+    feature matrix and :data:`BATCH_GENERAL` otherwise.  Results are
+    bit-identical either way (enforced by the parity suites).
+    """
+    if specializable(config):
+        return replay_specialized(trace, config), BATCH_SPECIALIZED
+    return replay_trace(trace, config), BATCH_GENERAL
+
+
+def group_by_trace(tasks) -> dict[str, list]:
+    """Partition tasks into per-trace-key groups, insertion-ordered."""
+    groups: dict[str, list] = {}
+    for task in tasks:
+        groups.setdefault(task.key(), []).append(task)
+    return groups
+
+
+def run_batch_group(
+    tasks: list,
+    store: ArtifactStore | None = None,
+    traces: dict[str, Trace] | None = None,
+    collect_errors: bool = False,
+) -> list[BatchOutcome]:
+    """Execute one trace-sharing group of cells; one decode, N configs.
+
+    All tasks must share a trace key.  Per cell, in order:
+
+    * events cells (``events_capacity > 0``) always run direct -- replay
+      cannot reproduce the discrete event stream -- via the sequential
+      single-cell executor;
+    * if the group's trace is missing everywhere, the first such cell
+      captures it (its direct result answers that cell);
+    * cached results come straight from the store;
+    * everything else replays the shared decoded stream through
+      :func:`replay_engine`.
+
+    With ``collect_errors=False`` (batch sweeps) the first failing cell
+    raises :class:`BatchCellError`; with ``collect_errors=True`` (the
+    serve tier) each failure becomes an error outcome and the remaining
+    cells still run.
+    """
+    # Deferred import: sweep imports this module for its batch path.
+    from repro.trace.sweep import run_task
+
+    keys = {task.key() for task in tasks}
+    if len(keys) > 1:
+        raise ValueError(
+            f"batch group spans {len(keys)} trace keys {sorted(keys)}; "
+            "group_by_trace() the tasks first"
+        )
+    outcomes: list[BatchOutcome] = []
+    trace: Trace | None = None
+    key = next(iter(keys)) if keys else None
+    if traces is None:
+        traces = {}
+    for task in tasks:
+        try:
+            config = task.config()
+            if config.events_capacity > 0:
+                # Direct re-capture; never touches the shared stream.
+                result, how = run_task(task, store, traces)
+                outcomes.append(BatchOutcome(task, result, how, SEQUENTIAL))
+                continue
+            if trace is None:
+                trace = traces.get(key)
+            if trace is None and store is not None:
+                trace = store.load_trace(key)
+                if trace is not None:
+                    traces[key] = trace
+            if trace is None:
+                # First cold cell captures for the whole group; its own
+                # direct result answers this cell.
+                result, how = run_task(task, store, traces)
+                trace = traces.get(key)
+                outcomes.append(BatchOutcome(task, result, how, SEQUENTIAL))
+                continue
+            fingerprint = config_fingerprint(config)
+            if store is not None:
+                cached = store.load_result(trace.content_hash, fingerprint)
+                if cached is not None:
+                    outcomes.append(
+                        BatchOutcome(task, cached, "cached", SEQUENTIAL)
+                    )
+                    continue
+            result, engine = replay_engine(trace, config)
+            if store is not None:
+                store.save_result(trace.content_hash, fingerprint, result)
+            outcomes.append(BatchOutcome(task, result, "replayed", engine))
+        except Exception as exc:
+            error = BatchCellError(
+                task,
+                f"batch cell {task.app}/{task.line_size}B/{task.variant} "
+                f"(scale={task.scale}, seed={task.seed}) failed: "
+                f"{type(exc).__name__}: {exc}",
+            )
+            error.__cause__ = exc
+            if not collect_errors:
+                raise error from exc
+            outcomes.append(
+                BatchOutcome(task, None, "failed", SEQUENTIAL, error=error)
+            )
+    return outcomes

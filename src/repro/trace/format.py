@@ -109,6 +109,29 @@ class Trace:
     pool_names: list[str] = field(default_factory=list)
     event_count: int = 0
     payload: bytes = b""
+    #: Decode-once cache: the resolved event stream, populated lazily by
+    #: :func:`repro.trace.replay.resolved_stream`.  Derived state, not
+    #: identity -- excluded from equality, repr, and the header, so two
+    #: traces compare equal whether or not either has been decoded, and
+    #: a round-trip through ``to_bytes``/``from_bytes`` starts cold.
+    _resolved: list | None = field(
+        default=None, repr=False, compare=False,
+    )
+    #: Whether the resolved stream contains any forwarded reference;
+    #: populated alongside ``_resolved``.  The specialized kernels use
+    #: it to pick the counters-only speculation mode (see
+    #: :mod:`repro.trace.kernels`).  Derived state, like ``_resolved``.
+    _has_forwarded: bool | None = field(
+        default=None, repr=False, compare=False,
+    )
+    #: Where a decoded-stream sidecar for this trace may live on disk
+    #: (attached by :class:`repro.trace.store.ArtifactStore` when it
+    #: loads or saves the trace; ``None`` for traces with no store).
+    #: :func:`repro.trace.replay.resolved_stream` reads and writes it.
+    #: Derived state, like ``_resolved``.
+    _resolved_path: Any = field(
+        default=None, repr=False, compare=False,
+    )
 
     # ------------------------------------------------------------------
     def header_dict(self) -> dict[str, Any]:

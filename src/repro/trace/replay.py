@@ -31,6 +31,13 @@ asserting replayed stats equal direct-run stats exactly, app by app.
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
+import itertools
+import marshal
+import os
+import sys
+
 from repro.apps.base import AppResult, Variant
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.forwarding import ForwardingStats
@@ -40,7 +47,13 @@ from repro.core.stats import MachineStats, ReferenceLatencyStats, RelocationStat
 from repro.cpu.prefetch import SoftwarePrefetcher
 from repro.cpu.speculation import DependenceSpeculator
 from repro.cpu.timing import TimingModel
-from repro.trace.format import Trace, TraceFormatError, read_uvarint, unzigzag
+from repro.trace.format import (
+    FORMAT_VERSION,
+    Trace,
+    TraceFormatError,
+    read_uvarint,
+    unzigzag,
+)
 
 
 class TraceReplayError(Exception):
@@ -62,7 +75,78 @@ _FREE = 9       # carries forwarding-chain length (ditto)
 _TRAP = 10      # trap handler installed / removed
 
 
-def _resolved_stream(trace: Trace) -> list[tuple]:
+# ----------------------------------------------------------------------
+# Resolved-stream sidecar: a marshal dump of the decoded stream, kept
+# next to the trace file by the artifact store.  Loading it is ~6x
+# cheaper than re-decoding the payload, which matters when many sweep
+# processes each decode the same warm trace.  The sidecar is a pure
+# cache: every load is validated against the interpreter/format version
+# and the trace's payload digest, and any mismatch or read error falls
+# back to a silent re-decode (which then rewrites the sidecar).
+# ----------------------------------------------------------------------
+#: Bump on any change to the resolved-stream entry layout.
+_SIDECAR_VERSION = 1
+
+_sidecar_counter = itertools.count()
+
+
+def _sidecar_tag() -> tuple:
+    # marshal's wire format is interpreter-specific, so the tag pins the
+    # Python minor version and marshal version alongside our own format
+    # versions; a different interpreter simply re-decodes.
+    return (
+        _SIDECAR_VERSION,
+        FORMAT_VERSION,
+        sys.version_info[0],
+        sys.version_info[1],
+        marshal.version,
+    )
+
+
+def _load_resolved_sidecar(trace: Trace, path) -> list | None:
+    """Return the sidecar's stream if it matches ``trace``, else None."""
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        return None
+    try:
+        tag, digest, count, has_forwarded, stream = marshal.loads(blob)
+    except Exception:  # marshal raises a grab-bag on corrupt input
+        return None
+    if (
+        tag != _sidecar_tag()
+        or count != trace.event_count
+        or not isinstance(stream, list)
+        or digest != hashlib.sha256(trace.payload).hexdigest()
+    ):
+        return None
+    trace._has_forwarded = bool(has_forwarded)
+    return stream
+
+
+def _write_resolved_sidecar(
+    trace: Trace, path, stream: list, has_forwarded: bool
+) -> None:
+    """Best-effort atomic sidecar write (failures are silent)."""
+    blob = marshal.dumps((
+        _sidecar_tag(),
+        hashlib.sha256(trace.payload).hexdigest(),
+        trace.event_count,
+        has_forwarded,
+        stream,
+    ))
+    # Same unique-temp + replace discipline as the store's writes, and
+    # the same ``*.tmp*`` naming, so ``sweep_stale`` collects orphans.
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}-{next(_sidecar_counter)}")
+    try:
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+    except OSError:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+
+
+def resolved_stream(trace: Trace) -> list[tuple]:
     """Decode ``trace`` into its resolved stream (cached on the trace).
 
     This pass simulates the config-invariant half exactly once: it keeps
@@ -71,13 +155,24 @@ def _resolved_stream(trace: Trace) -> list[tuple]:
     addresses and final address ``ForwardingEngine.resolve`` would walk.
     Entries with no config-dependent cost (pool bookkeeping, relocation
     counters, raw writes) are folded away entirely.
+
+    Two caches shortcut the decode: the in-memory memo on the trace
+    object itself, and -- for traces that came through an artifact store
+    -- the on-disk sidecar described above.
     """
     cached = getattr(trace, "_resolved", None)
     if cached is not None:
         return cached
+    sidecar = getattr(trace, "_resolved_path", None)
+    if sidecar is not None:
+        stream = _load_resolved_sidecar(trace, sidecar)
+        if stream is not None:
+            trace._resolved = stream
+            return stream
     fwd: dict[int, int] = {}
     out: list[tuple] = []
     append = out.append
+    has_forwarded = False
     data = trace.payload
     length = len(data)
     i = 0
@@ -113,6 +208,7 @@ def _resolved_stream(trace: Trace) -> list[tuple]:
                 if word not in fwd:
                     append((op, last))
                 else:
+                    has_forwarded = True
                     hops = []
                     value = 0
                     while word in fwd:
@@ -233,7 +329,44 @@ def _resolved_stream(trace: Trace) -> list[tuple]:
             f"header says {trace.event_count}"
         )
     trace._resolved = out
+    trace._has_forwarded = has_forwarded
+    if sidecar is not None:
+        _write_resolved_sidecar(trace, sidecar, out, has_forwarded)
     return out
+
+
+#: Backwards-compatible alias (the function predates the batch engine).
+_resolved_stream = resolved_stream
+
+
+def has_forwarded_entries(trace: Trace) -> bool:
+    """True iff ``trace``'s resolved stream has any forwarded reference.
+
+    Populated for free during decode; the defensive rescan only runs if
+    ``_resolved`` was installed by some path that skipped the flag.
+    """
+    flag = getattr(trace, "_has_forwarded", None)
+    if flag is None:
+        flag = any(e[0] == 5 or e[0] == 6 for e in resolved_stream(trace))
+        trace._has_forwarded = flag
+    return flag
+
+
+def check_line_size(trace: Trace, config: MachineConfig) -> None:
+    """Reject replays a line-size-sensitive trace cannot legally serve.
+
+    Shared by the general path here and the specialized kernels in
+    :mod:`repro.trace.kernels`, so both refuse exactly the same
+    (trace, config) pairs with the same message.
+    """
+    if trace.line_size_sensitive:
+        line_size = config.hierarchy.line_size
+        if line_size != trace.line_size:
+            raise TraceReplayError(
+                f"trace of line-size-sensitive app {trace.app!r} was "
+                f"captured at {trace.line_size}B lines; cannot replay at "
+                f"{line_size}B"
+            )
 
 
 def replay_trace(trace: Trace, config: MachineConfig) -> AppResult:
@@ -244,15 +377,8 @@ def replay_trace(trace: Trace, config: MachineConfig) -> AppResult:
     stream, whose config-invariant stats come from the capture, and
     whose checksum/extras come from the captured application run.
     """
-    if trace.line_size_sensitive:
-        line_size = config.hierarchy.line_size
-        if line_size != trace.line_size:
-            raise TraceReplayError(
-                f"trace of line-size-sensitive app {trace.app!r} was "
-                f"captured at {trace.line_size}B lines; cannot replay at "
-                f"{line_size}B"
-            )
-    stream = _resolved_stream(trace)
+    check_line_size(trace, config)
+    stream = resolved_stream(trace)
 
     hierarchy = MemoryHierarchy(config.hierarchy)
     timing = TimingModel(config.timing)

@@ -140,22 +140,38 @@ class ArtifactStore:
     def trace_path(self, key: str) -> Path:
         return self.traces_dir / f"{key}.trace"
 
+    def resolved_path(self, key: str) -> Path:
+        """Where the decoded resolved-stream sidecar for ``key`` lives.
+
+        The sidecar is a pure cache maintained by :func:`repro.trace.
+        replay.resolved_stream`: it is validated against the trace's
+        payload digest on load, so a recaptured trace silently orphans
+        the old sidecar (which is then overwritten on the next decode)
+        rather than ever serving a stale stream.
+        """
+        return self.traces_dir / f"{key}.resolved"
+
     def has_trace(self, key: str) -> bool:
         return self.trace_path(key).exists()
 
     def load_trace(self, key: str) -> Trace | None:
         path = self.trace_path(key)
         try:
-            return Trace.load(path)
+            trace = Trace.load(path)
         except FileNotFoundError:
             return None
         except (TraceFormatError, OSError) as exc:
             _log.warning("discarding unreadable trace %s: %s", path.name, exc)
             return None
+        trace._resolved_path = self.resolved_path(key)
+        return trace
 
     def save_trace(self, key: str, trace: Trace) -> Path:
         path = self.trace_path(key)
         _atomic_write(path, trace.to_bytes())
+        # The capturing process replays this object next; let it warm
+        # the sidecar for everyone else.
+        trace._resolved_path = self.resolved_path(key)
         return path
 
     # -- results --------------------------------------------------------

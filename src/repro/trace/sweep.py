@@ -1,22 +1,25 @@
 """Sharded sweep execution: capture once, replay everywhere, in parallel.
 
 A sweep is a set of :class:`SweepTask` cells -- ``(app, variant, line
-size, scale, seed)``.  Execution proceeds in two phases:
+size, scale, seed)``.  By default cells execute in **batch mode**
+(:mod:`repro.trace.batch`): tasks are grouped by trace key (one key per
+workload identity; line-size-insensitive apps share one key across all
+their line sizes), each group's stream is captured or loaded and decoded
+exactly once, and every config in the group replays the shared resolved
+stream -- through the exec-specialized kernel when the config fits the
+specializer's matrix, the general path otherwise.  The capturing cell's
+direct result answers that cell for free, exactly as before.
 
-1. **Capture.**  Tasks are grouped by trace key (one key per workload
-   identity; line-size-insensitive apps share one key across all their
-   line sizes).  Each key missing from the store is captured exactly
-   once -- the capturing run's own config is the task's config, so its
-   direct result answers that cell for free.
-2. **Replay.**  Every remaining cell replays its group's trace through
-   its own config (or is served straight from the result cache).
-
-With ``jobs > 1`` both phases shard across a
-:class:`~concurrent.futures.ProcessPoolExecutor`; workers coordinate
-purely through the (atomic-write) artifact store, so there is no shared
-mutable state.  With ``jobs <= 1`` everything runs in-process, which is
-also the path :class:`~repro.experiments.runner.ExperimentRunner` uses
-for its lazy per-call API.
+With ``jobs > 1`` the process pool shards by *group*, not by cell: the
+decoded stream is the expensive thing worth keeping local to one
+worker, so a worker owns a trace key end to end (capture if needed,
+then all of its replays).  Workers coordinate purely through the
+(atomic-write) artifact store, so there is no shared mutable state.
+With ``jobs <= 1`` everything runs in-process, which is also the path
+:class:`~repro.experiments.runner.ExperimentRunner` uses for its lazy
+per-call API.  ``batch=False`` preserves the legacy per-cell two-phase
+pipeline (capture all missing traces in parallel, then replay cells in
+parallel).
 """
 
 from __future__ import annotations
@@ -29,6 +32,12 @@ from repro.apps import APPLICATIONS
 from repro.apps.base import AppResult, Variant
 from repro.core.debug import get_logger
 from repro.obs.registry import EMPTY, Snapshot
+from repro.trace.batch import (
+    SEQUENTIAL,
+    BatchCellError,
+    group_by_trace,
+    run_batch_group,
+)
 from repro.trace.format import Trace
 from repro.trace.recorder import capture_trace
 from repro.trace.replay import replay_trace
@@ -186,18 +195,50 @@ def _worker(task: SweepTask, store_root: str) -> tuple[SweepTask, AppResult, str
     return task, result, how
 
 
+def _batch_worker(
+    group: list[SweepTask], store_root: str
+) -> list[tuple[SweepTask, AppResult, str, str]]:
+    """Process-pool entry point for one trace-sharing group.
+
+    Returns plain tuples (picklable); a failing cell raises
+    :class:`~repro.trace.batch.BatchCellError`, whose args are plain
+    data, so the cell identity survives the pool's result pipe.
+    """
+    outcomes = run_batch_group(group, ArtifactStore(store_root))
+    return [(o.task, o.result, o.how, o.engine) for o in outcomes]
+
+
+def batch_label(key: str, group: list[SweepTask]) -> str:
+    """Short human-readable tag for one batch group's progress lines."""
+    return f"{key.split('-')[0]}[{len(group)}]"
+
+
 def execute_sweep(
     tasks: list[SweepTask],
     store: ArtifactStore,
     jobs: int = 1,
     verbose: bool = False,
+    batch: bool = True,
+    engines: dict | None = None,
 ) -> dict[SweepTask, tuple[AppResult, str]]:
     """Run every task; returns ``{task: (result, how)}``.
 
     The store is required (workers coordinate through it); callers that
     want a throwaway sweep point it at a temporary directory.
+
+    With ``batch=True`` (the default) cells are grouped by trace key and
+    each group runs through :func:`repro.trace.batch.run_batch_group` --
+    one decode, N configs -- and the process pool shards by *group*
+    (the decoded stream is the thing worth keeping local to a worker),
+    not by cell.  ``batch=False`` preserves the legacy per-cell path.
+    ``engines``, when given, is filled with ``{task: engine_label}``
+    (see :mod:`repro.trace.batch`) for manifest annotation.
     """
     results: dict[SweepTask, tuple[AppResult, str]] = {}
+    if batch:
+        return _execute_batched(tasks, store, jobs, verbose, engines)
+    if engines is not None:
+        engines.update((task, SEQUENTIAL) for task in tasks)
     if jobs <= 1 or len(tasks) <= 1:
         traces: dict[str, Trace] = {}
         for task in tasks:
@@ -230,6 +271,62 @@ def execute_sweep(
             for task in remaining
         }
         _collect(futures, results, None, verbose)
+    return results
+
+
+def _execute_batched(
+    tasks: list[SweepTask],
+    store: ArtifactStore,
+    jobs: int,
+    verbose: bool,
+    engines: dict | None,
+) -> dict[SweepTask, tuple[AppResult, str]]:
+    """Grouped execution: one decoded stream per group, sharded by group."""
+    results: dict[SweepTask, tuple[AppResult, str]] = {}
+    groups = group_by_trace(tasks)
+
+    def _absorb(key, group, outcomes):
+        label = batch_label(key, group)
+        for task, result, how, engine in outcomes:
+            results[task] = (result, how)
+            if engines is not None:
+                engines[task] = engine
+            if verbose:
+                log_progress(task, result, how, engine=engine, batch=label)
+
+    if jobs <= 1 or len(groups) <= 1:
+        traces: dict[str, Trace] = {}
+        for key, group in groups.items():
+            try:
+                outcomes = run_batch_group(group, store, traces)
+            except BatchCellError as exc:
+                raise SweepError(exc.task, exc) from exc
+            except Exception as exc:
+                raise SweepError(group[0], exc) from exc
+            _absorb(
+                key, group, [(o.task, o.result, o.how, o.engine) for o in outcomes]
+            )
+        return results
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(_batch_worker, group, str(store.root)): key
+            for key, group in groups.items()
+        }
+        try:
+            for future in as_completed(futures):
+                key = futures[future]
+                try:
+                    outcomes = future.result()
+                except BatchCellError as exc:
+                    raise SweepError(exc.task, exc) from exc
+                except Exception as exc:
+                    raise SweepError(groups[key][0], exc) from exc
+                _absorb(key, groups[key], outcomes)
+        except SweepError:
+            for future in futures:
+                future.cancel()
+            raise
     return results
 
 
@@ -277,13 +374,30 @@ def aggregate_metrics(results: Iterable[AppResult]) -> Snapshot:
     return merged
 
 
-def log_progress(task: SweepTask, result: AppResult, how: str) -> None:
-    """One progress line per completed cell (shared with the runner)."""
+def log_progress(
+    task: SweepTask,
+    result: AppResult,
+    how: str,
+    engine: str | None = None,
+    batch: str | None = None,
+) -> None:
+    """One progress line per completed cell (shared with the runner).
+
+    Grouped execution still reports cell by cell -- ``batch`` merely
+    tags the line with the group the cell ran in, and ``engine`` with
+    the replay engine that produced it.
+    """
+    detail = ""
+    if engine and engine != SEQUENTIAL:
+        detail += f" engine={engine}"
+    if batch:
+        detail += f" batch={batch}"
     _log.info(
-        "  %-8s %-10s %-4s line=%-3d cycles=%12.0f",
+        "  %-8s %-10s %-4s line=%-3d cycles=%12.0f%s",
         how,
         task.app,
         task.variant,
         task.line_size,
         result.stats.cycles,
+        detail,
     )

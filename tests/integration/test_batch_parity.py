@@ -1,0 +1,57 @@
+"""Batch-engine parity: specialized kernels == general path, app by app.
+
+The non-negotiable contract of the batch replay engine (ISSUE PR7): for
+every Figure-5 app and variant, replaying a trace through the
+exec-specialized kernel produces a :class:`~repro.core.stats.
+MachineStats` tree bit-identical to the general ``replay_trace`` path --
+same floats, same counters, no tolerance.  The scale is small but the
+coverage is exhaustive across apps, which is what catches app-specific
+stream shapes (forwarded chains, prefetch bursts, allocation storms)
+that synthetic streams miss.
+"""
+
+import pytest
+
+from repro.apps import FIGURE5_APPS, Variant
+from repro.experiments.config import APP_SEEDS, experiment_config
+from repro.trace import capture_trace, replay_trace
+from repro.trace.kernels import replay_specialized
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """One small captured trace per (app, variant)."""
+    captured = {}
+    for app in FIGURE5_APPS:
+        for variant in (Variant.N, Variant.L):
+            trace, _ = capture_trace(
+                app,
+                variant,
+                experiment_config(32),
+                scale=SCALE,
+                seed=APP_SEEDS[app],
+            )
+            captured[(app, variant)] = trace
+    return captured
+
+
+@pytest.mark.parametrize("app", FIGURE5_APPS)
+@pytest.mark.parametrize("variant", [Variant.N, Variant.L])
+def test_specialized_kernel_matches_general_path(traces, app, variant):
+    trace = traces[(app, variant)]
+    line_sizes = (
+        (trace.line_size,)
+        if trace.line_size_sensitive
+        else (32, 64, 128)
+    )
+    for line_size in line_sizes:
+        config = experiment_config(line_size)
+        reference = replay_trace(trace, config)
+        result = replay_specialized(trace, config)
+        assert result.stats.dump() == reference.stats.dump(), (
+            f"{app}/{variant.value} diverged at {line_size}B lines"
+        )
+        assert result.checksum == reference.checksum
+        assert result.extras == reference.extras

@@ -139,3 +139,42 @@ class TestCacheAwareOrdering:
             assert await asyncio.wait_for(scheduler.pop(), 1.0) is second
 
         asyncio.run(scenario())
+
+
+class TestBatchFold:
+    def test_pop_batch_folds_jobs_sharing_a_stream(self, tmp_path):
+        async def scenario():
+            scheduler = Scheduler(ArtifactStore(tmp_path))
+            table = JobTable()
+            # Three cells on one trace key, one on another.
+            a32, _ = _submit(scheduler, table, _spec(line_size=32))
+            other, _ = _submit(scheduler, table, _spec(app="mst"))
+            a64, _ = _submit(scheduler, table, _spec(line_size=64))
+            a128, _ = _submit(scheduler, table, _spec(line_size=128))
+            batch = await scheduler.pop_batch()
+            # Leader plus every queued cell sharing its stream, in order;
+            # the folded cells are exactly the ones the capture gate
+            # would otherwise have held back.
+            assert batch == [a32, a64, a128]
+            assert scheduler.depth == 1
+            assert (await scheduler.pop_batch()) == [other]
+
+        asyncio.run(scenario())
+
+    def test_pop_batch_warm_leader_still_folds(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        warm_spec = _spec(line_size=32)
+        run_task(warm_spec.task(), store)
+
+        async def scenario():
+            scheduler = Scheduler(store)
+            table = JobTable()
+            cold, _ = _submit(scheduler, table, _spec(app="mst"))
+            warm, _ = _submit(scheduler, table, warm_spec)
+            sibling, _ = _submit(scheduler, table, _spec(line_size=64))
+            # Warm-first pop order holds; the warm leader's sibling rides
+            # along even though it was queued behind the cold job.
+            assert (await scheduler.pop_batch()) == [warm, sibling]
+            assert (await scheduler.pop_batch()) == [cold]
+
+        asyncio.run(scenario())

@@ -141,12 +141,12 @@ class TestFailure:
     def test_worker_exception_fails_job_with_span_error(
         self, tmp_path, monkeypatch
     ):
-        import repro.serve.workers as workers_mod
+        import repro.trace.sweep as sweep_mod
 
         def _explode(task, store, traces=None):
             raise RuntimeError("simulated worker failure")
 
-        monkeypatch.setattr(workers_mod, "run_task", _explode)
+        monkeypatch.setattr(sweep_mod, "run_task", _explode)
 
         async def scenario():
             service = _service(tmp_path)
@@ -157,11 +157,12 @@ class TestFailure:
                 assert "simulated worker failure" in job.error
                 validate_manifest(job.manifest)
                 span = job.manifest["spans"][0]
-                assert span["error"] == "RuntimeError: simulated worker failure"
-                assert (
-                    job.manifest["summary"]["error"]
-                    == "RuntimeError: simulated worker failure"
+                # The batch executor names the exact failing cell.
+                assert "health/32B/N" in span["error"]
+                assert span["error"].endswith(
+                    "RuntimeError: simulated worker failure"
                 )
+                assert job.manifest["summary"]["error"] == span["error"]
                 snapshot = service.obs.snapshot()
                 assert snapshot["serve.jobs.failed"] == 1
                 # The failed job released its scheduling state.
@@ -174,13 +175,13 @@ class TestFailure:
     def test_job_timeout_fails_with_timeouts_counter(
         self, tmp_path, monkeypatch
     ):
-        import repro.serve.workers as workers_mod
+        import repro.trace.sweep as sweep_mod
 
         def _stall(task, store, traces=None):
             time.sleep(0.8)
             raise AssertionError("unreachable in a passing test")
 
-        monkeypatch.setattr(workers_mod, "run_task", _stall)
+        monkeypatch.setattr(sweep_mod, "run_task", _stall)
 
         async def scenario():
             service = _service(tmp_path, job_timeout=0.1)
@@ -203,18 +204,18 @@ class TestFailure:
         async def scenario():
             service = _service(tmp_path, workers=1)
             pool = service.pool
-            real_submit = pool._submit
+            real_submit = pool._submit_batch
             calls = {"n": 0}
 
-            def _flaky_submit(task):
+            def _flaky_submit(tasks):
                 calls["n"] += 1
                 if calls["n"] == 1:
                     future = Future()
                     future.set_exception(BrokenExecutor("worker died"))
                     return future
-                return real_submit(task)
+                return real_submit(tasks)
 
-            pool._submit = _flaky_submit
+            pool._submit_batch = _flaky_submit
             await service.start()
             try:
                 job, _ = await _submit_and_wait(service, _payload())
@@ -245,6 +246,56 @@ class TestObservability:
                 captured = payload["latency"]["captured"]
                 assert set(captured) == {"p50_ms", "p99_ms"}
                 assert payload["uptime_seconds"] >= 0
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+
+class TestBatchFold:
+    def test_queued_jobs_sharing_a_stream_run_as_one_batch(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path, workers=1)
+            # Queue three cells on one trace key before any consumer
+            # runs, so the first pop folds them into a single batch.
+            jobs = [
+                (await service.submit(_payload(line_size=size)))[0]
+                for size in (32, 64, 128)
+            ]
+            await service.start()
+            try:
+                for job in jobs:
+                    assert await job.wait(60.0)
+                    assert job.state == DONE
+                # The leader captured the stream; the folded cells
+                # replayed it through the specialized kernel.
+                assert jobs[0].how == "captured"
+                assert jobs[0].manifest["summary"]["engine"] == "sequential"
+                for job in jobs[1:]:
+                    assert job.how == "replayed"
+                    assert (
+                        job.manifest["summary"]["engine"]
+                        == "batch+specialized"
+                    )
+                    validate_manifest(job.manifest)
+                snapshot = service.obs.snapshot()
+                assert snapshot["serve.jobs.batch_folded"] == 2
+                assert snapshot["serve.jobs.completed"] == 3
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+    def test_batch_disabled_still_serves(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path, batch=False)
+            await service.start()
+            try:
+                job, _ = await _submit_and_wait(service, _payload())
+                assert job.state == DONE
+                assert "engine" not in job.manifest["summary"]
+                snapshot = service.obs.snapshot()
+                assert snapshot["serve.jobs.batch_folded"] == 0
             finally:
                 await service.drain(timeout=10.0)
 

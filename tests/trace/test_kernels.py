@@ -1,0 +1,192 @@
+"""The exec-specialized replay kernels: codegen, caching, exactness."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.base import Variant
+from repro.cache.cache import Cache
+from repro.experiments.config import experiment_config
+from repro.trace import capture_trace, replay_trace
+from repro.trace.kernels import (
+    SPEC_COUNTERS,
+    SPEC_FULL,
+    SPEC_OFF,
+    SpecializationError,
+    _elides_residual,
+    _spec_mode,
+    compiled_kernel,
+    kernel_source,
+    replay_specialized,
+    specializable,
+)
+
+SCALE = 0.05
+
+
+def _trace(app="health", variant=Variant.N, seed=1):
+    trace, _ = capture_trace(
+        app, variant, experiment_config(32), scale=SCALE, seed=seed
+    )
+    return trace
+
+
+class TestFeatureMatrix:
+    def test_plain_config_is_specializable(self):
+        assert specializable(experiment_config(64))
+
+    @pytest.mark.parametrize(
+        "patch",
+        [
+            {"timeline_interval": 500},
+            {"events_capacity": 128},
+        ],
+    )
+    def test_uncovered_config_features(self, patch):
+        config = replace(experiment_config(64), **patch)
+        assert not specializable(config)
+        with pytest.raises(SpecializationError):
+            kernel_source(config)
+
+    def test_miss_path_mechanism_is_uncovered(self):
+        config = experiment_config(64)
+        config = replace(
+            config,
+            hierarchy=replace(config.hierarchy, mechanism="victim_cache"),
+        )
+        assert not specializable(config)
+        with pytest.raises(SpecializationError):
+            kernel_source(config)
+
+
+class TestCodegen:
+    def test_constants_are_baked_as_literals(self):
+        source = kernel_source(experiment_config(64), SPEC_COUNTERS)
+        assert "$" not in source  # every template slot substituted
+        assert ">> 6" in source  # line shift for 64B lines
+        compile(source, "<test-kernel>", "exec")
+
+    def test_line_size_changes_the_source(self):
+        a = kernel_source(experiment_config(32), SPEC_COUNTERS)
+        b = kernel_source(experiment_config(128), SPEC_COUNTERS)
+        assert a != b
+
+    def test_spec_off_carries_no_speculator_code(self):
+        config = replace(experiment_config(64), speculation_window=0)
+        source = kernel_source(config, SPEC_OFF)
+        assert "speculator.on_load" not in source
+        assert "spec_stats" not in source
+
+    def test_counters_mode_skips_store_queue_bookkeeping(self):
+        source = kernel_source(experiment_config(64), SPEC_COUNTERS)
+        assert "queue_append" not in source
+        # ... but still derives the checked/tracked totals at spill time.
+        assert "spec_stats.loads_checked" in source
+
+    def test_random_policy_emits_the_xorshift_victim_picker(self):
+        config = experiment_config(64)
+        config = replace(
+            config, hierarchy=replace(config.hierarchy, policy="random")
+        )
+        source = kernel_source(config, SPEC_COUNTERS)
+        assert "_rng_state" in source
+        lru = kernel_source(experiment_config(64), SPEC_COUNTERS)
+        assert "_rng_state" not in lru
+
+    def test_kernel_cache_reuses_compilations(self):
+        first = compiled_kernel(experiment_config(64))
+        again = compiled_kernel(experiment_config(64))
+        assert first is again
+        other = compiled_kernel(experiment_config(128))
+        assert other is not first
+
+
+class TestSpecMode:
+    def test_no_speculation_window(self):
+        config = replace(experiment_config(64), speculation_window=0)
+        assert _spec_mode(_trace(), config) == SPEC_OFF
+
+    def test_unforwarded_trace_uses_counters_mode(self):
+        assert _spec_mode(_trace(), experiment_config(64)) == SPEC_COUNTERS
+
+    def test_forwarded_trace_needs_full_bookkeeping(self):
+        trace = _trace("health", Variant.L)
+        mode = _spec_mode(trace, experiment_config(64))
+        assert mode in (SPEC_COUNTERS, SPEC_FULL)
+        if trace._has_forwarded:
+            assert mode == SPEC_FULL
+
+
+class TestExactness:
+    @pytest.mark.parametrize("line_size", [32, 64, 128])
+    def test_parity_with_general_path(self, line_size):
+        trace = _trace()
+        config = experiment_config(line_size)
+        reference = replay_trace(_trace(), config)
+        result = replay_specialized(trace, config)
+        assert result.stats.dump() == reference.stats.dump()
+
+    def test_parity_when_residual_is_not_elidable(self):
+        """hit latency ~ OoO window: the hit-arm stall check must stay."""
+        config = experiment_config(64)
+        config = replace(
+            config, timing=replace(config.timing, ooo_window=1.0)
+        )
+        assert not _elides_residual(
+            {
+                "L1_HIT_LATENCY": config.hierarchy.l1_hit_latency,
+                "OOO_WINDOW": config.timing.ooo_window,
+            }
+        )
+        reference = replay_trace(_trace(), config)
+        result = replay_specialized(_trace(), config)
+        assert result.stats.dump() == reference.stats.dump()
+
+    def test_cycle_guard_falls_back_to_general_path(self, monkeypatch):
+        """Past the 2**49 elision bound the kernel run is discarded."""
+        import repro.trace.kernels as kernels
+
+        def absurd_kernel(config, spec_mode=None):
+            def _replay(stream, hierarchy, timing, *rest):
+                timing.cycle = 2.0 ** 50
+            return _replay
+
+        monkeypatch.setattr(kernels, "compiled_kernel", absurd_kernel)
+        trace = _trace()
+        config = experiment_config(64)
+        result = kernels.replay_specialized(trace, config)
+        reference = replay_trace(_trace(), config)
+        assert result.stats.dump() == reference.stats.dump()
+
+
+class TestSentinelInvariant:
+    """The kernels probe fixed ways relying on Cache's -1 sentinel."""
+
+    def test_fresh_cache_is_all_sentinel(self):
+        cache = Cache(size=1024, line_size=32, associativity=2)
+        assert all(tag == -1 for tag in cache._tags)
+
+    def test_invalidate_restores_the_sentinel(self):
+        cache = Cache(size=1024, line_size=32, associativity=2)
+        cache.fill(0)
+        cache.fill(1024)  # same set, second way
+        assert cache.invalidate(0)
+        base_tags = [
+            cache._tags[slot]
+            for slot in range(2 * (0 & cache._set_mask), cache.associativity)
+        ]
+        # One resident line shifted to the front; the vacated slot is -1.
+        assert base_tags[0] == 1024 >> cache.line_shift
+        assert base_tags[1] == -1
+
+    def test_no_stale_tag_survives_heavy_churn(self):
+        cache = Cache(size=512, line_size=32, associativity=2)
+        for address in range(0, 8192, 32):
+            cache.fill(address)
+            if address % 96 == 0:
+                cache.invalidate(address)
+        for set_index in range(cache.num_sets):
+            base = set_index * cache.associativity
+            occupancy = cache._set_len[set_index]
+            for way in range(occupancy, cache.associativity):
+                assert cache._tags[base + way] == -1
