@@ -67,6 +67,20 @@ Long-lived serving (DESIGN.md §5e)::
 ``serve`` exposes the experiment surface as an async HTTP JSON API with
 request coalescing against the content-hashed artifact store;
 ``serve.bench`` load-tests it and records cold/warm service latency.
+
+Trace-corpus management (DESIGN.md §5h)::
+
+    python -m repro corpus ls [--trace-dir DIR]
+    python -m repro corpus stat [--trace-dir DIR] [--json]
+    python -m repro corpus gc --budget BYTES [--dry-run] [--trace-dir DIR]
+    python -m repro corpus migrate [--trace-dir DIR]
+
+``ls`` lists every stored trace (LRU order -- the top rows are next to
+be evicted); ``stat`` summarizes corpus size, dedup savings, and format
+versions; ``gc`` evicts least-recently-used traces until the corpus
+fits the byte budget (suffixes K/M/G accepted; evicted traces recapture
+transparently on next use); ``migrate`` upgrades v2 trace files to the
+current chunked columnar format in place.
 """
 
 from __future__ import annotations
@@ -96,7 +110,7 @@ _PAPER_ARTIFACTS = ("table1", "figure5", "figure6", "figure7", "figure10")
 _ALL = _PAPER_ARTIFACTS + ("misspath", "ablations", "false-sharing", "out-of-core")
 
 #: First-word subcommands (everything else is an artifact list).
-_SUBCOMMANDS = ("timeline", "serve", "serve.bench")
+_SUBCOMMANDS = ("timeline", "serve", "serve.bench", "corpus")
 
 
 class _CLIError(Exception):
@@ -254,6 +268,176 @@ def _timeline_main(argv: list[str]) -> int:
     return 0
 
 
+def _parse_bytes(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (powers of 1024)."""
+    scales = {"k": 1024, "m": 1024**2, "g": 1024**3}
+    raw = text.strip().lower().removesuffix("b")
+    scale = 1
+    if raw and raw[-1] in scales:
+        scale = scales[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * scale)
+    except ValueError:
+        raise _CLIError(
+            f"invalid byte budget {text!r} (examples: 1048576, 512K, 16M, 2G)"
+        ) from None
+    if value < 0:
+        raise _CLIError(f"byte budget must be >= 0, got {text!r}")
+    return value
+
+
+def _human_bytes(n: int | float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    return f"{n:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def _corpus_main(argv: list[str]) -> int:
+    """``python -m repro corpus {ls,stat,gc,migrate}`` over a trace store."""
+    from repro.trace.store import ArtifactStore
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro corpus",
+        description="Inspect and manage the on-disk trace corpus.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub_parser):
+        sub_parser.add_argument(
+            "--trace-dir", default=DEFAULT_TRACE_DIR, metavar="DIR",
+            help=f"trace/result cache root (default {DEFAULT_TRACE_DIR})",
+        )
+
+    ls_parser = sub.add_parser(
+        "ls", help="list stored traces, least-recently-used first"
+    )
+    add_common(ls_parser)
+
+    stat_parser = sub.add_parser(
+        "stat", help="summarize corpus size, dedup savings, format versions"
+    )
+    add_common(stat_parser)
+    stat_parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    gc_parser = sub.add_parser(
+        "gc", help="evict least-recently-used traces down to a byte budget"
+    )
+    add_common(gc_parser)
+    gc_parser.add_argument(
+        "--budget", required=True, metavar="BYTES",
+        help="target corpus size in bytes (K/M/G suffixes accepted)",
+    )
+    gc_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without removing anything",
+    )
+
+    migrate_parser = sub.add_parser(
+        "migrate", help="upgrade stored traces to the current format in place"
+    )
+    add_common(migrate_parser)
+
+    args = parser.parse_args(argv)
+    store = ArtifactStore(args.trace_dir)
+
+    if args.command == "ls":
+        rows = store.corpus_status()
+        if not rows:
+            print(f"empty corpus at {store.root}")
+            return 0
+        now = time.time()
+        print(
+            f"{'KEY':12s} {'APP':10s} {'VARIANT':8s} {'SCALE':>5s} "
+            f"{'SEED':>4s} {'EVENTS':>10s} {'CHUNKS':>6s} {'SIZE':>10s} "
+            f"{'RESOLVED':>10s} {'IDLE':>8s}"
+        )
+        for row in rows:
+            idle = now - row["mtime"]
+            idle_text = (
+                f"{idle / 3600:.1f}h" if idle >= 3600 else f"{idle / 60:.0f}m"
+            )
+            print(
+                f"{row['key'][:12]:12s} "
+                f"{str(row.get('app', '?')):10s} "
+                f"{str(row.get('variant', '?')):8s} "
+                f"{row.get('scale', 0):>5g} "
+                f"{row.get('seed', 0):>4} "
+                f"{row.get('event_count', 0):>10} "
+                f"{row.get('chunks', 0):>6} "
+                f"{_human_bytes(row['bytes']):>10s} "
+                f"{_human_bytes(row['resolved_bytes']):>10s} "
+                f"{idle_text:>8s}"
+            )
+        return 0
+
+    if args.command == "stat":
+        rows = store.corpus_status()
+        inode_size = {row["inode"]: row["bytes"] for row in rows}
+        for row in rows:
+            if "resolved_inode" in row:
+                inode_size[row["resolved_inode"]] = row["resolved_bytes"]
+        apparent = sum(row["bytes"] + row["resolved_bytes"] for row in rows)
+        unique = sum(inode_size.values())
+        versions: dict[str, int] = {}
+        for row in rows:
+            label = str(row.get("format", "unknown"))
+            versions[label] = versions.get(label, 0) + 1
+        summary = {
+            "root": str(store.root),
+            "traces": len(rows),
+            "events": sum(row.get("event_count", 0) for row in rows),
+            "apparent_bytes": apparent,
+            "unique_bytes": unique,
+            "dedup_saved_bytes": apparent - unique,
+            "format_versions": versions,
+        }
+        if args.json:
+            json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            print(f"corpus at {summary['root']}")
+            print(f"  traces:       {summary['traces']}")
+            print(f"  events:       {summary['events']}")
+            print(f"  on disk:      {_human_bytes(unique)}")
+            print(
+                f"  dedup saved:  {_human_bytes(summary['dedup_saved_bytes'])}"
+            )
+            print(f"  formats:      {summary['format_versions']}")
+        return 0
+
+    if args.command == "gc":
+        report = store.gc(_parse_bytes(args.budget), dry_run=args.dry_run)
+        verb = "would evict" if report["dry_run"] else "evicted"
+        print(
+            f"{verb} {len(report['evicted'])} trace(s), "
+            f"freeing {_human_bytes(report['freed_bytes'])}: "
+            f"{_human_bytes(report['total_bytes'])} -> "
+            f"{_human_bytes(report['after_bytes'])} "
+            f"(budget {_human_bytes(report['budget_bytes'])}, "
+            f"{report['kept']} kept)"
+        )
+        for key in report["evicted"]:
+            print(f"  {key}")
+        return 0
+
+    report = store.migrate()
+    print(
+        f"migrated {len(report['migrated'])} trace(s); "
+        f"{report['current']} already current; "
+        f"{len(report['failed'])} failed"
+    )
+    for entry in report["migrated"]:
+        print(f"  v{entry['version']} {entry['from'][:12]} -> {entry['to'][:12]}")
+    for name, error in report["failed"].items():
+        print(f"  FAILED {name}: {error}", file=sys.stderr)
+    return 1 if report["failed"] else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Top-level entry point: dispatch subcommands, then artifacts.
 
@@ -263,6 +447,8 @@ def main(argv: list[str] | None = None) -> int:
     """
     if argv is None:
         argv = sys.argv[1:]
+    from repro.trace.format import TraceFormatError
+
     try:
         if argv and argv[0] == "timeline":
             return _timeline_main(argv[1:])
@@ -274,8 +460,15 @@ def main(argv: list[str] | None = None) -> int:
             from repro.serve.bench import bench_main
 
             return bench_main(argv[1:])
+        if argv and argv[0] == "corpus":
+            return _corpus_main(argv[1:])
         return _artifacts_main(argv)
     except _CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        # A garbled or unsupported trace file names itself (path + found
+        # version); surface that one line instead of a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:

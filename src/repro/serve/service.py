@@ -197,17 +197,20 @@ class SimulationService:
     def _warm_probe(self, spec: JobSpec) -> tuple[dict, str] | None:
         """Serve a fully cached cell without touching the worker tier.
 
-        Runs in a thread (trace headers and result JSON come off disk).
+        Runs in a thread (manifest rows and result JSON come off disk).
+        The trace's content hash comes from the persistent corpus
+        manifest via :meth:`~repro.trace.store.ArtifactStore.
+        content_hash_for` -- an O(1) row lookup, falling back to a
+        two-seek footer read -- so the probe never decodes chunk data.
         Returns ``(manifest, "cached")`` or None on any miss.
         """
         task = spec.task()
         trace_key = task.key()
         content_hash = self._trace_hashes.get(trace_key)
         if content_hash is None:
-            trace = self.store.load_trace(trace_key)
-            if trace is None:
+            content_hash = self.store.content_hash_for(trace_key)
+            if content_hash is None:
                 return None
-            content_hash = trace.content_hash
             self._trace_hashes[trace_key] = content_hash
         result = self.store.load_result(
             content_hash, config_fingerprint(task.config())

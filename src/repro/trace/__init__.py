@@ -13,13 +13,18 @@ This package exploits that invariance end to end:
 
 * :mod:`repro.trace.recorder` -- capture the canonical event stream while
   an application runs, via the machine's observer hook;
-* :mod:`repro.trace.format` -- a compact versioned binary trace format
-  (varint/delta-encoded, content-hashed) with save/load round-trip;
+* :mod:`repro.trace.format` -- a chunked columnar binary trace format
+  (fixed-event-count chunks, per-column varint/delta encoding and zlib
+  compression, a footer index for random access, content-hashed) with
+  save/load round-trip and streaming decode; legacy v2 files load
+  transparently;
 * :mod:`repro.trace.replay` -- drive any :class:`MachineConfig` from a
-  trace, reproducing a direct run's :class:`MachineStats` *exactly*;
+  trace, chunk by chunk, reproducing a direct run's
+  :class:`MachineStats` *exactly*;
 * :mod:`repro.trace.store` -- a content-hash-keyed on-disk artifact cache
-  of traces and replayed results, so repeated sweeps skip both capture
-  and replay when nothing changed;
+  of traces and replayed results with a persistent corpus manifest,
+  LRU/size-budget eviction, and cross-seed dedup, so repeated sweeps
+  skip both capture and replay when nothing changed;
 * :mod:`repro.trace.kernels` -- exec-specialized per-config replay
   kernels: the replay loop compiled with the machine shape baked in as
   literals, bit-identical to the general path by contract;
@@ -35,8 +40,12 @@ exposes hidden state the event stream failed to capture.
 
 from repro.trace.format import (
     FORMAT_VERSION,
+    Chunk,
     Trace,
     TraceFormatError,
+    TraceIndex,
+    load_index,
+    peek_version,
 )
 from repro.trace.batch import (
     BATCH_GENERAL,
@@ -50,11 +59,21 @@ from repro.trace.batch import (
 )
 from repro.trace.kernels import (
     SpecializationError,
+    SpecializedSession,
     replay_specialized,
     specializable,
 )
 from repro.trace.recorder import TraceRecorder, capture_trace
-from repro.trace.replay import TraceReplayError, replay_trace, resolved_stream
+from repro.trace.replay import (
+    ReplaySession,
+    ResolvedChunk,
+    SidecarError,
+    TraceReplayError,
+    drive_sessions,
+    iter_resolved_chunks,
+    replay_trace,
+    resolved_stream,
+)
 from repro.trace.store import (
     ArtifactStore,
     LockTimeout,
@@ -69,20 +88,30 @@ __all__ = [
     "BATCH_SPECIALIZED",
     "BatchCellError",
     "BatchOutcome",
+    "Chunk",
     "FORMAT_VERSION",
     "LockTimeout",
+    "ReplaySession",
+    "ResolvedChunk",
     "SEQUENTIAL",
+    "SidecarError",
     "SpecializationError",
+    "SpecializedSession",
     "SweepError",
     "SweepTask",
     "Trace",
     "TraceFormatError",
+    "TraceIndex",
     "TraceRecorder",
     "TraceReplayError",
     "capture_trace",
     "config_fingerprint",
+    "drive_sessions",
     "execute_sweep",
     "group_by_trace",
+    "iter_resolved_chunks",
+    "load_index",
+    "peek_version",
     "replay_engine",
     "replay_specialized",
     "replay_trace",

@@ -1,23 +1,28 @@
-"""Batch multi-config replay: decode one trace, simulate many configs.
+"""Batch multi-config replay: decode each chunk once, simulate many configs.
 
 The sweep's unit of work used to be the *cell* -- each cell loaded (or
 captured) its trace, decoded the payload, and replayed.  The natural
 unit is the *trace*: every cell sharing a trace key can run against one
-decoded resolved stream (see :func:`repro.trace.replay.resolved_stream`,
-which memoizes on the :class:`~repro.trace.format.Trace` object), paying
-the trace load and decode exactly once per group instead of once per
-cell.  This module is that grouping layer:
+decode of the stream.  Since format v3 the decode itself is chunked
+(:func:`repro.trace.replay.iter_resolved_chunks`), so the group loop
+interleaves at chunk granularity: decode one chunk, drive **every**
+config's session over it, drop it, pull the next.  Resident memory is
+one resolved chunk plus N session states -- O(chunk), not O(trace) --
+however many configs share the stream.  This module is that grouping
+layer:
 
 * :func:`group_by_trace` partitions sweep tasks into per-trace-key
   groups (insertion-ordered, so progress output stays deterministic);
 * :func:`run_batch_group` executes one group end to end -- capture the
   stream if it is missing (the capturing cell's direct result answers
-  that cell for free), then drive every remaining config through the
-  shared stream;
-* :func:`replay_engine` picks the per-config replay engine: the
-  exec-specialized kernel (:mod:`repro.trace.kernels`) when the config
-  is inside the specializer's feature matrix, the general
-  :func:`~repro.trace.replay.replay_trace` path otherwise.  Both are
+  that cell), answer cached cells from the store, then build one replay
+  session per remaining config and drive them all through one streaming
+  decode;
+* :func:`replay_engine` / :func:`_session_for` pick the per-config
+  engine: the exec-specialized kernel session
+  (:class:`~repro.trace.kernels.SpecializedSession`) when the config is
+  inside the specializer's feature matrix, the general
+  :class:`~repro.trace.replay.ReplaySession` otherwise.  Both are
   bit-identical by contract; the engine label is diagnostics, not
   semantics.
 
@@ -31,18 +36,40 @@ inside a group and is pickle-safe (its ``args`` are plain data), so a
 process-pool worker can raise it across the pipe without losing the
 cell identity.  ``collect_errors=True`` switches to per-cell error
 outcomes instead -- the serve tier folds multiple queued jobs into one
-batch and must fail them individually, not collectively.
+batch and must fail them individually, not collectively.  A failure
+*inside one session* mid-stream fails only that cell; the other
+sessions keep consuming chunks.  A failure in the shared decode fails
+every cell still riding it (there is no stream left to finish them).
+
+Setting the ``REPRO_BATCH_MATERIALIZE`` environment variable makes each
+group materialise its full resolved stream up front -- the pre-v3
+O(trace) residency -- before streaming normally.  It exists purely as
+the control arm of the peak-RSS benchmark (``BENCH_PR8.json``); never
+set it otherwise.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
 from dataclasses import dataclass
 
 from repro.apps.base import AppResult
 from repro.core.machine import MachineConfig
 from repro.trace.format import Trace
-from repro.trace.kernels import replay_specialized, specializable
-from repro.trace.replay import replay_trace
+from repro.trace.kernels import (
+    SpecializedSession,
+    replay_specialized,
+    specializable,
+)
+from repro.trace.replay import (
+    ReplaySession,
+    SidecarError,
+    _decode_chunks,
+    iter_resolved_chunks,
+    replay_trace,
+    resolved_stream,
+)
 from repro.trace.store import ArtifactStore, config_fingerprint
 
 #: Engine labels recorded per cell (manifests, progress logs, metrics).
@@ -96,6 +123,13 @@ def replay_engine(trace: Trace, config: MachineConfig) -> tuple[AppResult, str]:
     return replay_trace(trace, config), BATCH_GENERAL
 
 
+def _session_for(trace: Trace, config: MachineConfig):
+    """Build the best chunk-consuming session for ``config``."""
+    if specializable(config):
+        return SpecializedSession(trace, config), BATCH_SPECIALIZED
+    return ReplaySession(trace, config), BATCH_GENERAL
+
+
 def group_by_trace(tasks) -> dict[str, list]:
     """Partition tasks into per-trace-key groups, insertion-ordered."""
     groups: dict[str, list] = {}
@@ -112,7 +146,9 @@ def run_batch_group(
 ) -> list[BatchOutcome]:
     """Execute one trace-sharing group of cells; one decode, N configs.
 
-    All tasks must share a trace key.  Per cell, in order:
+    All tasks must share a trace key.  The group runs in two phases.
+
+    **Resolve** (per cell, in task order):
 
     * events cells (``events_capacity > 0``) always run direct -- replay
       cannot reproduce the discrete event stream -- via the sequential
@@ -120,8 +156,13 @@ def run_batch_group(
     * if the group's trace is missing everywhere, the first such cell
       captures it (its direct result answers that cell);
     * cached results come straight from the store;
-    * everything else replays the shared decoded stream through
-      :func:`replay_engine`.
+    * everything else gets a replay session (specialized kernel or
+      general path, per config).
+
+    **Drive**: every session consumes the trace's resolved chunks in
+    lockstep -- one chunk decoded (or sidecar-served), all sessions run
+    over it, then the next -- and finally each session's ``finish()``
+    produces and persists its cell's result.
 
     With ``collect_errors=False`` (batch sweeps) the first failing cell
     raises :class:`BatchCellError`; with ``collect_errors=True`` (the
@@ -137,18 +178,37 @@ def run_batch_group(
             f"batch group spans {len(keys)} trace keys {sorted(keys)}; "
             "group_by_trace() the tasks first"
         )
-    outcomes: list[BatchOutcome] = []
+    outcomes: dict[int, BatchOutcome] = {}
     trace: Trace | None = None
     key = next(iter(keys)) if keys else None
     if traces is None:
         traces = {}
-    for task in tasks:
+
+    def fail(position, task, exc) -> None:
+        error = BatchCellError(
+            task,
+            f"batch cell {task.app}/{task.line_size}B/{task.variant} "
+            f"(scale={task.scale}, seed={task.seed}) failed: "
+            f"{type(exc).__name__}: {exc}",
+        )
+        error.__cause__ = exc
+        if not collect_errors:
+            raise error from exc
+        outcomes[position] = BatchOutcome(
+            task, None, "failed", SEQUENTIAL, error=error
+        )
+
+    #: (position, task, fingerprint, session, engine) per replay cell.
+    pending: list[tuple] = []
+    for position, task in enumerate(tasks):
         try:
             config = task.config()
             if config.events_capacity > 0:
                 # Direct re-capture; never touches the shared stream.
                 result, how = run_task(task, store, traces)
-                outcomes.append(BatchOutcome(task, result, how, SEQUENTIAL))
+                outcomes[position] = BatchOutcome(
+                    task, result, how, SEQUENTIAL
+                )
                 continue
             if trace is None:
                 trace = traces.get(key)
@@ -161,31 +221,83 @@ def run_batch_group(
                 # direct result answers this cell.
                 result, how = run_task(task, store, traces)
                 trace = traces.get(key)
-                outcomes.append(BatchOutcome(task, result, how, SEQUENTIAL))
+                outcomes[position] = BatchOutcome(
+                    task, result, how, SEQUENTIAL
+                )
                 continue
             fingerprint = config_fingerprint(config)
             if store is not None:
                 cached = store.load_result(trace.content_hash, fingerprint)
                 if cached is not None:
-                    outcomes.append(
-                        BatchOutcome(task, cached, "cached", SEQUENTIAL)
+                    outcomes[position] = BatchOutcome(
+                        task, cached, "cached", SEQUENTIAL
                     )
                     continue
-            result, engine = replay_engine(trace, config)
+            session, engine = _session_for(trace, config)
+            pending.append((position, task, fingerprint, session, engine))
+        except Exception as exc:
+            fail(position, task, exc)
+
+    if pending:
+        if os.environ.get("REPRO_BATCH_MATERIALIZE"):
+            # Benchmark control arm only: recreate the pre-v3 whole-trace
+            # residency so the RSS delta of streaming is measurable.
+            trace._bench_materialized = resolved_stream(trace)
+        _drive_pending(trace, pending, outcomes, store, fail)
+        if os.environ.get("REPRO_BATCH_MATERIALIZE"):
+            trace._bench_materialized = None
+    return [outcomes[position] for position in sorted(outcomes)]
+
+
+def _drive_pending(trace, pending, outcomes, store, fail) -> None:
+    """Stream the trace's chunks through every pending session."""
+    live = list(pending)
+
+    def feed(chunks) -> None:
+        nonlocal live
+        for chunk in chunks:
+            kept = []
+            for entry in live:
+                position, task, _fingerprint, session, _engine = entry
+                try:
+                    session.run_chunk(chunk)
+                except Exception as exc:
+                    fail(position, task, exc)
+                else:
+                    kept.append(entry)
+            live = kept
+            if not live:
+                return
+
+    try:
+        try:
+            feed(iter_resolved_chunks(trace))
+        except SidecarError:
+            # The sidecar went bad after chunks were already consumed:
+            # drop it, rewind every surviving session, and re-run the
+            # stream from the raw columns (which rewrites the sidecar).
+            path = getattr(trace, "_resolved_path", None)
+            if path is not None:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+            for entry in live:
+                entry[3].reset()
+            feed(_decode_chunks(trace, path))
+    except BatchCellError:
+        raise
+    except Exception as exc:
+        # The shared decode itself failed; every session still riding
+        # it loses its stream mid-flight and cannot produce a result.
+        for position, task, _fingerprint, _session, _engine in live:
+            fail(position, task, exc)
+        return
+
+    for position, task, fingerprint, session, engine in live:
+        try:
+            result = session.finish()
             if store is not None:
                 store.save_result(trace.content_hash, fingerprint, result)
-            outcomes.append(BatchOutcome(task, result, "replayed", engine))
         except Exception as exc:
-            error = BatchCellError(
-                task,
-                f"batch cell {task.app}/{task.line_size}B/{task.variant} "
-                f"(scale={task.scale}, seed={task.seed}) failed: "
-                f"{type(exc).__name__}: {exc}",
-            )
-            error.__cause__ = exc
-            if not collect_errors:
-                raise error from exc
-            outcomes.append(
-                BatchOutcome(task, None, "failed", SEQUENTIAL, error=error)
-            )
-    return outcomes
+            fail(position, task, exc)
+        else:
+            outcomes[position] = BatchOutcome(task, result, "replayed", engine)

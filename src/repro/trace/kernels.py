@@ -2,8 +2,14 @@
 
 :func:`replay_specialized` does what :func:`repro.trace.replay.
 replay_trace` does -- drive one config's hierarchy/timing/speculator with
-a trace's resolved stream -- but through a **generated** replay loop
-compiled with :func:`exec` against that config's constants:
+a trace's resolved chunks -- but through a **generated** replay loop
+compiled with :func:`exec` against that config's constants.  The loop
+consumes one :class:`~repro.trace.replay.ResolvedChunk` per call,
+indexing its flat ``kinds`` bytes / ``ops`` array directly (no
+per-entry tuple allocation); cross-chunk machine state rides in the
+component objects (the kernel reloads its hot locals on entry and
+spills them on exit), and the trap flag is threaded through the call
+as an argument/return value.  Constants baked in:
 
 * line size, set masks, associativities, latencies, MSHR capacity,
   store-buffer depth, IPC, per-instruction overhead and the malloc/free
@@ -89,9 +95,9 @@ from repro.cpu.timing import TimingModel
 from repro.trace.format import Trace
 from repro.trace.replay import (
     check_line_size,
+    drive_sessions,
     has_forwarded_entries,
     replay_trace,
-    resolved_stream,
 )
 
 #: Replacement-mode constants, mirrored from repro.cache.cache.
@@ -667,8 +673,8 @@ def kernel_source(config: MachineConfig, spec_mode: int | None = None) -> str:
     out: list[str] = []
     e = lambda level, block: _emit(out, level, block)  # noqa: E731
     e(0, """\
-def _replay(stream, hierarchy, timing, speculator, prefetcher,
-            load_latency, store_latency):
+def _replay(kinds, ops, extras, n, hierarchy, timing, speculator,
+            prefetcher, load_latency, store_latency, trap_installed):
     l1 = hierarchy.l1
     l2 = hierarchy.l2
     mshr = hierarchy.mshr
@@ -711,48 +717,46 @@ queue_popleft = queue.popleft
 counts = speculator._counts
 counts_get = counts.get""")
     e(1, _reload(spec_mode))
-    e(1, "trap_installed = False")
-    e(1, "for entry in stream:")
-    e(2, "kind = entry[0]")
+    e(1, "for idx in range(n):")
+    e(2, "kind = kinds[idx]")
     # Dispatch arms ordered by measured frequency across the Figure-5
     # traces (loads ~61%, exec ~15%, bare accesses ~8% each, stores ~7%)
     # so the common kinds fall out of the chain early.
     e(2, "if kind == 0:")
-    e(3, "address = entry[1]")
+    e(3, "address = ops[idx]")
     e(3, _ref_body(c, spec_mode, store=False, counted=True))
     e(2, "elif kind == 2:")
-    e(3, _exec_inline("entry[1]"))
+    e(3, _exec_inline("ops[idx]"))
     e(2, "elif kind == 3:")
-    e(3, "address = entry[1]")
+    e(3, "address = ops[idx]")
     e(3, _ref_body(c, spec_mode, store=False, counted=False))
     e(2, "elif kind == 4:")
-    e(3, "address = entry[1]")
+    e(3, "address = ops[idx]")
     e(3, _ref_body(c, spec_mode, store=True, counted=False))
     e(2, "elif kind == 1:")
-    e(3, "address = entry[1]")
+    e(3, "address = ops[idx]")
     e(3, _ref_body(c, spec_mode, store=True, counted=True))
     e(2, "elif kind == 8:")
-    e(3, _exec_inline("$MALLOC_BASE + (entry[1] >> 6)"))
+    e(3, _exec_inline("$MALLOC_BASE + (ops[idx] >> 6)"))
     e(2, "elif kind == 9:")
-    e(3, _exec_inline("$FREE_BASE + 2 * entry[1]"))
+    e(3, _exec_inline("$FREE_BASE + 2 * ops[idx]"))
     e(2, "elif kind == 10:")
-    e(3, "trap_installed = entry[1] != 0")
+    e(3, "trap_installed = ops[idx] != 0")
     e(2, "elif kind == 7:")
     # Software prefetch: rare; run against the layered components with
     # the hot locals spilled around the call.
     e(3, _flush(spec_mode))
     e(3, """\
 execute(1)
-prefetch_block(entry[1], entry[2], timing.cycle)""")
+prefetch_block(ops[idx], extras[idx], timing.cycle)""")
     e(3, _reload(spec_mode))
     e(2, "else:")
     # Forwarded load/store (kinds 5/6): the cold path of replay_trace's
     # _handle_forwarded, verbatim, against the layered components.
     e(3, _flush(spec_mode))
     e(3, """\
-address = entry[1]
-final = entry[2]
-hops = entry[3]
+address = ops[idx]
+final, hops = extras[idx]
 is_store = kind == 6
 execute(1)
 hop_cycles = 0.0
@@ -784,6 +788,7 @@ elif on_load(address, final):
     timing.misspeculation_flush()""")
     e(3, _reload(spec_mode))
     e(1, _flush(spec_mode))
+    e(1, "return trap_installed")
     source = "\n".join(out) + "\n"
     subst = {
         key: (repr(value) if isinstance(value, float) else str(value))
@@ -859,6 +864,90 @@ def _spec_mode(trace: Trace, config: MachineConfig) -> int:
     return SPEC_FULL if has_forwarded_entries(trace) else SPEC_COUNTERS
 
 
+class SpecializedSession:
+    """One config's specialized-kernel state, consuming resolved chunks.
+
+    Drop-in peer of :class:`~repro.trace.replay.ReplaySession`: same
+    ``run_chunk``/``reset``/``finish`` surface, so the batch engine can
+    drive a mixed group of general and specialized sessions through one
+    decode of the trace.  The kernel's hot locals live in the component
+    objects between chunks (reloaded on entry, spilled on exit); the
+    trap flag is the one piece of state the components don't carry, so
+    it is threaded through the kernel call explicitly.
+    """
+
+    def __init__(self, trace: Trace, config: MachineConfig) -> None:
+        check_line_size(trace, config)
+        self.trace = trace
+        self.config = config
+        self._kernel = compiled_kernel(config, _spec_mode(trace, config))
+        self._build()
+
+    def reset(self) -> None:
+        self._build()
+
+    def _build(self) -> None:
+        config = self.config
+        self.hierarchy = MemoryHierarchy(config.hierarchy)
+        self.timing = TimingModel(config.timing)
+        self.prefetcher = SoftwarePrefetcher(
+            self.hierarchy, config.max_prefetch_block
+        )
+        self.speculator = (
+            DependenceSpeculator(config.speculation_window)
+            if config.speculation_window > 0
+            else None
+        )
+        self.load_latency = ReferenceLatencyStats()
+        self.store_latency = ReferenceLatencyStats()
+        self._trap = False
+
+    def run_chunk(self, chunk) -> None:
+        self._trap = self._kernel(
+            chunk.kinds, chunk.ops, chunk.extras, chunk.n,
+            self.hierarchy, self.timing, self.speculator, self.prefetcher,
+            self.load_latency, self.store_latency, self._trap,
+        )
+
+    def finish(self) -> AppResult:
+        if self.timing.cycle >= 2.0 ** 49:
+            # The residual-elision proof (see _elides_residual) needs
+            # every reference's start cycle below 2**49; the cycle
+            # counter only ever increases, so the final value bounds
+            # them all.  No real trace gets within orders of magnitude
+            # of this, but if one ever does, discard the kernel run and
+            # take the general path.
+            return replay_trace(self.trace, self.config)
+        trace = self.trace
+        captured = trace.captured_stats
+        stats = MachineStats.collect(
+            timing=self.timing,
+            hierarchy=self.hierarchy,
+            loads=self.load_latency,
+            stores=self.store_latency,
+            speculator=self.speculator,
+            prefetcher=self.prefetcher,
+            forwarding_hops=captured["forwarding_hops"],
+            cycle_checks=captured["cycle_checks"],
+            forwarding_chain_hist={
+                int(hops): count
+                for hops, count in captured.get(
+                    "forwarding_chain_hist", {}
+                ).items()
+            },
+            relocation=RelocationStats(**captured["relocation"]),
+            heap_high_water=captured["heap_high_water"],
+        )
+        return AppResult(
+            app=trace.app,
+            variant=Variant(trace.variant),
+            checksum=trace.checksum,
+            stats=stats,
+            extras=dict(trace.extras),
+            timeline=None,
+        )
+
+
 def replay_specialized(trace: Trace, config: MachineConfig) -> AppResult:
     """Replay ``trace`` against ``config`` via the specialized kernel.
 
@@ -866,56 +955,6 @@ def replay_specialized(trace: Trace, config: MachineConfig) -> AppResult:
     :func:`specializable` config; raises :class:`SpecializationError`
     otherwise (callers gate, so this only trips on misuse).
     """
-    check_line_size(trace, config)
-    stream = resolved_stream(trace)
-    kernel = compiled_kernel(config, _spec_mode(trace, config))
-
-    hierarchy = MemoryHierarchy(config.hierarchy)
-    timing = TimingModel(config.timing)
-    prefetcher = SoftwarePrefetcher(hierarchy, config.max_prefetch_block)
-    speculator = (
-        DependenceSpeculator(config.speculation_window)
-        if config.speculation_window > 0
-        else None
-    )
-    load_latency = ReferenceLatencyStats()
-    store_latency = ReferenceLatencyStats()
-
-    kernel(
-        stream, hierarchy, timing, speculator, prefetcher,
-        load_latency, store_latency,
-    )
-
-    if timing.cycle >= 2.0 ** 49:
-        # The residual-elision proof (see _elides_residual) needs every
-        # reference's start cycle below 2**49; the cycle counter only
-        # ever increases, so the final value bounds them all.  No real
-        # trace gets within orders of magnitude of this, but if one ever
-        # does, discard the kernel run and take the general path.
-        return replay_trace(trace, config)
-
-    captured = trace.captured_stats
-    stats = MachineStats.collect(
-        timing=timing,
-        hierarchy=hierarchy,
-        loads=load_latency,
-        stores=store_latency,
-        speculator=speculator,
-        prefetcher=prefetcher,
-        forwarding_hops=captured["forwarding_hops"],
-        cycle_checks=captured["cycle_checks"],
-        forwarding_chain_hist={
-            int(hops): count
-            for hops, count in captured.get("forwarding_chain_hist", {}).items()
-        },
-        relocation=RelocationStats(**captured["relocation"]),
-        heap_high_water=captured["heap_high_water"],
-    )
-    return AppResult(
-        app=trace.app,
-        variant=Variant(trace.variant),
-        checksum=trace.checksum,
-        stats=stats,
-        extras=dict(trace.extras),
-        timeline=None,
-    )
+    session = SpecializedSession(trace, config)
+    drive_sessions(trace, [session])
+    return session.finish()

@@ -2,16 +2,24 @@
 
 :class:`TraceRecorder` implements the :class:`~repro.core.machine.
 MachineObserver` protocol and encodes each event straight into the
-binary payload as it arrives -- capture never materialises an in-memory
-event list, so recording a full-scale run costs a few megabytes of
-bytearray, not hundreds of megabytes of tuples.
+current chunk's column buffers as it arrives -- capture never
+materialises an in-memory event list, and sealed chunks are compressed
+immediately, so recording a full-scale run costs one open chunk of
+bytearray plus the compressed corpus, not hundreds of megabytes of
+tuples.
 
 The encoding loops (zigzag + LEB128, see :mod:`repro.trace.format` for
-the reference implementations) are inlined into every callback: the
-recorder sits on the machine's per-reference hot path, and at a few
-hundred thousand events per run the function-call overhead of composable
-helpers is the difference between a few percent and tens of percent of
-capture overhead.
+the reference :class:`~repro.trace.format.ChunkWriter`) are inlined
+into every callback: the recorder sits on the machine's per-reference
+hot path, and at a few hundred thousand events per run the
+function-call overhead of composable helpers is the difference between
+a few percent and tens of percent of capture overhead.
+
+The recorder also tracks the forwarding-membership word set as it
+records (an ``unforwarded_write`` with the fbit set adds the word, with
+it clear removes it; loads and stores probe it), so the finished trace
+knows ``has_forwarded`` -- which speculation mode the specialized
+kernels may use -- without anyone decoding the stream.
 
 :func:`capture_trace` is the one-call front end: run an application
 variant on a given config with a recorder attached, and get back both
@@ -21,6 +29,8 @@ result is free).
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from repro.apps import get_application
 from repro.apps.base import AppResult, Variant
@@ -42,26 +52,66 @@ from repro.trace.events import (
     UNF_READ,
     UNF_WRITE,
 )
-from repro.trace.format import Trace
+from repro.trace.format import (
+    CHUNK_EVENTS,
+    COLUMN_NAMES,
+    Chunk,
+    Trace,
+    finish_stream_digest,
+    make_chunk,
+)
 
 
 class TraceRecorder:
-    """Streaming encoder for the canonical machine event stream."""
+    """Streaming columnar encoder for the canonical machine event stream."""
 
-    def __init__(self) -> None:
-        self.payload = bytearray()
+    def __init__(self, chunk_events: int = CHUNK_EVENTS) -> None:
+        if chunk_events < 1:
+            raise ValueError("chunk_events must be >= 1")
+        self.chunk_events = chunk_events
         self.event_count = 0
         self.pool_names: list[str] = []
+        self.has_forwarded = False
+        self._ops = bytearray()
+        self._addr = bytearray()
+        self._aux = bytearray()
+        self._chunks: list[Chunk] = []
+        self._pending = 0
         self._last_address = 0
+        self._chunk_start = 0
+        self._fwd: set[int] = set()
+        self._col_shas = [hashlib.sha256() for _ in COLUMN_NAMES]
+
+    # -- chunk sealing -------------------------------------------------
+    def _seal(self) -> None:
+        raws = (bytes(self._ops), bytes(self._addr), bytes(self._aux))
+        for sha, raw in zip(self._col_shas, raws):
+            sha.update(raw)
+        self._chunks.append(make_chunk(raws, self._pending, self._chunk_start))
+        self._ops.clear()
+        self._addr.clear()
+        self._aux.clear()
+        self._pending = 0
+        self._chunk_start = self._last_address
+
+    def finish(self) -> tuple[tuple[Chunk, ...], str]:
+        """Seal the open chunk; returns ``(chunks, stream_sha256)``."""
+        if self._pending:
+            self._seal()
+        return (
+            tuple(self._chunks),
+            finish_stream_digest(self._col_shas, self.event_count),
+        )
 
     # -- MachineObserver protocol --------------------------------------
-    # Each callback appends `opcode, operands...` with addresses
-    # delta-encoded (zigzag) against the running register and all
-    # operands LEB128-encoded, exactly as format.append_uvarint/zigzag
-    # would -- the round-trip property tests pin the two to each other.
+    # Each callback appends the opcode to the ops column, the zigzag
+    # address delta (against the running register) to the addr column,
+    # and every other operand LEB128-encoded to the aux column, exactly
+    # as format.ChunkWriter would -- the round-trip property tests pin
+    # the two to each other.
     def on_load(self, address: int, size: int) -> None:
-        out = self.payload
-        out.append(LOAD)
+        self._ops.append(LOAD)
+        out = self._addr
         v = address - self._last_address
         self._last_address = address
         v = v << 1 if v >= 0 else ((-v) << 1) - 1
@@ -69,15 +119,21 @@ class TraceRecorder:
             out.append((v & 0x7F) | 0x80)
             v >>= 7
         out.append(v)
+        out = self._aux
         while size > 0x7F:
             out.append((size & 0x7F) | 0x80)
             size >>= 7
         out.append(size)
+        if not self.has_forwarded and (address & ~7) in self._fwd:
+            self.has_forwarded = True
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_store(self, address: int, value: int, size: int) -> None:
-        out = self.payload
-        out.append(STORE)
+        self._ops.append(STORE)
+        out = self._addr
         v = address - self._last_address
         self._last_address = address
         v = v << 1 if v >= 0 else ((-v) << 1) - 1
@@ -85,6 +141,7 @@ class TraceRecorder:
             out.append((v & 0x7F) | 0x80)
             v >>= 7
         out.append(v)
+        out = self._aux
         v = value << 1 if value >= 0 else ((-value) << 1) - 1
         while v > 0x7F:
             out.append((v & 0x7F) | 0x80)
@@ -94,20 +151,28 @@ class TraceRecorder:
             out.append((size & 0x7F) | 0x80)
             size >>= 7
         out.append(size)
+        if not self.has_forwarded and (address & ~7) in self._fwd:
+            self.has_forwarded = True
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_execute(self, instructions: int) -> None:
-        out = self.payload
-        out.append(EXECUTE)
+        self._ops.append(EXECUTE)
+        out = self._aux
         while instructions > 0x7F:
             out.append((instructions & 0x7F) | 0x80)
             instructions >>= 7
         out.append(instructions)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_prefetch(self, address: int, lines: int) -> None:
-        out = self.payload
-        out.append(PREFETCH)
+        self._ops.append(PREFETCH)
+        out = self._addr
         v = address - self._last_address
         self._last_address = address
         v = v << 1 if v >= 0 else ((-v) << 1) - 1
@@ -115,15 +180,19 @@ class TraceRecorder:
             out.append((v & 0x7F) | 0x80)
             v >>= 7
         out.append(v)
+        out = self._aux
         while lines > 0x7F:
             out.append((lines & 0x7F) | 0x80)
             lines >>= 7
         out.append(lines)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_read_fbit(self, address: int) -> None:
-        out = self.payload
-        out.append(READ_FBIT)
+        self._ops.append(READ_FBIT)
+        out = self._addr
         v = address - self._last_address
         self._last_address = address
         v = v << 1 if v >= 0 else ((-v) << 1) - 1
@@ -132,10 +201,13 @@ class TraceRecorder:
             v >>= 7
         out.append(v)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_unforwarded_read(self, address: int) -> None:
-        out = self.payload
-        out.append(UNF_READ)
+        self._ops.append(UNF_READ)
+        out = self._addr
         v = address - self._last_address
         self._last_address = address
         v = v << 1 if v >= 0 else ((-v) << 1) - 1
@@ -144,10 +216,13 @@ class TraceRecorder:
             v >>= 7
         out.append(v)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_unforwarded_write(self, address: int, value: int, fbit: int) -> None:
-        out = self.payload
-        out.append(UNF_WRITE)
+        self._ops.append(UNF_WRITE)
+        out = self._addr
         v = address - self._last_address
         self._last_address = address
         v = v << 1 if v >= 0 else ((-v) << 1) - 1
@@ -155,20 +230,28 @@ class TraceRecorder:
             out.append((v & 0x7F) | 0x80)
             v >>= 7
         out.append(v)
+        out = self._aux
         v = value << 1 if value >= 0 else ((-value) << 1) - 1
         while v > 0x7F:
             out.append((v & 0x7F) | 0x80)
             v >>= 7
         out.append(v)
+        if fbit:
+            self._fwd.add(address & ~7)
+        else:
+            self._fwd.discard(address & ~7)
         while fbit > 0x7F:
             out.append((fbit & 0x7F) | 0x80)
             fbit >>= 7
         out.append(fbit)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_malloc(self, nbytes: int, align: int, address: int) -> None:
-        out = self.payload
-        out.append(MALLOC)
+        self._ops.append(MALLOC)
+        out = self._aux
         while nbytes > 0x7F:
             out.append((nbytes & 0x7F) | 0x80)
             nbytes >>= 7
@@ -177,6 +260,7 @@ class TraceRecorder:
             out.append((align & 0x7F) | 0x80)
             align >>= 7
         out.append(align)
+        out = self._addr
         v = address - self._last_address
         self._last_address = address
         v = v << 1 if v >= 0 else ((-v) << 1) - 1
@@ -185,10 +269,13 @@ class TraceRecorder:
             v >>= 7
         out.append(v)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_free(self, address: int) -> None:
-        out = self.payload
-        out.append(FREE)
+        self._ops.append(FREE)
+        out = self._addr
         v = address - self._last_address
         self._last_address = address
         v = v << 1 if v >= 0 else ((-v) << 1) - 1
@@ -197,6 +284,9 @@ class TraceRecorder:
             v >>= 7
         out.append(v)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_create_pool(self, index: int, size: int, name: str) -> None:
         if index != len(self.pool_names):
@@ -205,19 +295,22 @@ class TraceRecorder:
                 f"have {len(self.pool_names)} names"
             )
         self.pool_names.append(name)
-        out = self.payload
-        out.append(CREATE_POOL)
+        self._ops.append(CREATE_POOL)
+        out = self._aux
         while size > 0x7F:
             out.append((size & 0x7F) | 0x80)
             size >>= 7
         out.append(size)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_pool_alloc(
         self, index: int, nbytes: int, align: int, address: int
     ) -> None:
-        out = self.payload
-        out.append(POOL_ALLOC)
+        self._ops.append(POOL_ALLOC)
+        out = self._aux
         while index > 0x7F:
             out.append((index & 0x7F) | 0x80)
             index >>= 7
@@ -230,6 +323,7 @@ class TraceRecorder:
             out.append((align & 0x7F) | 0x80)
             align >>= 7
         out.append(align)
+        out = self._addr
         v = address - self._last_address
         self._last_address = address
         v = v << 1 if v >= 0 else ((-v) << 1) - 1
@@ -238,10 +332,13 @@ class TraceRecorder:
             v >>= 7
         out.append(v)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_raw_write(self, address: int, value: int) -> None:
-        out = self.payload
-        out.append(RAW_WRITE)
+        self._ops.append(RAW_WRITE)
+        out = self._addr
         v = address - self._last_address
         self._last_address = address
         v = v << 1 if v >= 0 else ((-v) << 1) - 1
@@ -249,16 +346,20 @@ class TraceRecorder:
             out.append((v & 0x7F) | 0x80)
             v >>= 7
         out.append(v)
+        out = self._aux
         v = value << 1 if value >= 0 else ((-value) << 1) - 1
         while v > 0x7F:
             out.append((v & 0x7F) | 0x80)
             v >>= 7
         out.append(v)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_note_relocation(self, relocations: int, words: int) -> None:
-        out = self.payload
-        out.append(NOTE_RELOC)
+        self._ops.append(NOTE_RELOC)
+        out = self._aux
         while relocations > 0x7F:
             out.append((relocations & 0x7F) | 0x80)
             relocations >>= 7
@@ -268,16 +369,24 @@ class TraceRecorder:
             words >>= 7
         out.append(words)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_note_optimizer(self) -> None:
-        self.payload.append(NOTE_OPT)
+        self._ops.append(NOTE_OPT)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
     def on_set_trap(self, installed: bool) -> None:
-        out = self.payload
-        out.append(SET_TRAP)
-        out.append(1 if installed else 0)
+        self._ops.append(SET_TRAP)
+        self._aux.append(1 if installed else 0)
         self.event_count += 1
+        self._pending += 1
+        if self._pending >= self.chunk_events:
+            self._seal()
 
 
 def capture_trace(
@@ -296,6 +405,7 @@ def capture_trace(
     application = get_application(app, scale=scale, seed=seed)
     recorder = TraceRecorder()
     result = application.run(variant, config, observer=recorder)
+    chunks, stream_sha = recorder.finish()
     trace = Trace(
         app=app,
         variant=variant.value,
@@ -308,6 +418,8 @@ def capture_trace(
         captured_stats=result.stats.dump(),
         pool_names=recorder.pool_names,
         event_count=recorder.event_count,
-        payload=bytes(recorder.payload),
+        chunks=chunks,
+        has_forwarded=recorder.has_forwarded,
+        _stream_sha=stream_sha,
     )
     return trace, result

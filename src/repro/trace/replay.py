@@ -12,16 +12,31 @@ at all) is that a reference stream splits cleanly into two halves:
   sweep actually varies and measures.
 
 Replay therefore does *not* rebuild a full :class:`~repro.core.machine.
-Machine`.  It decodes the payload once per trace into a *resolved
-stream* -- every load/store annotated with its forwarding resolution
+Machine`.  It decodes the trace's columnar chunks into *resolved
+chunks* -- every load/store annotated with its forwarding resolution
 (final address plus hop addresses), computed from a forwarding map fed
-by the recorded ``Unforwarded_Write``/``raw_write`` events -- and then
-drives only the config-dependent components with it, mirroring
+by the recorded ``Unforwarded_Write``/``raw_write`` events -- and
+drives only the config-dependent components with them, mirroring
 ``Machine.load``/``store``/etc. cost-for-cost.  Config-invariant
 counters (relocation activity, forwarding hop totals, heap footprint)
 are copied from the capture's stats, which is exact by definition.
-The resolved stream is cached on the :class:`~repro.trace.format.Trace`
-object, so replaying one trace at several line sizes decodes it once.
+
+Decode is *streaming*: :func:`iter_resolved_chunks` yields one
+:class:`ResolvedChunk` at a time (flat ``kinds``/``ops`` arrays plus a
+sparse extras dict), so resident memory is O(chunk) rather than
+O(trace), and a :class:`ReplaySession` consumes chunks incrementally --
+which is what lets the batch engine decode each chunk once and drive
+*every* config in a group over it before pulling the next.
+
+For traces managed by an artifact store, the decoded chunks are also
+cached on disk in a marshal *sidecar* next to the trace file (one
+record per chunk, so it streams too); loading it is ~6x cheaper than
+re-decoding columns.  The sidecar is a pure cache: the header is
+validated against the interpreter/format versions and the trace's
+stream digest (mismatch falls back to a silent re-decode that rewrites
+it), and corruption discovered *mid-stream* -- after chunks were
+already served -- raises :class:`SidecarError` so the driver can reset
+its sessions and restart from the raw columns.
 
 This is what makes a replay measurably cheaper than a direct run: the
 application logic is gone *and* so are the tagged memory, the forwarding
@@ -32,11 +47,12 @@ asserting replayed stats equal direct-run stats exactly, app by app.
 from __future__ import annotations
 
 import contextlib
-import hashlib
 import itertools
 import marshal
 import os
 import sys
+from array import array
+from typing import Iterable, Iterator
 
 from repro.apps.base import AppResult, Variant
 from repro.cache.hierarchy import MemoryHierarchy
@@ -51,8 +67,6 @@ from repro.trace.format import (
     FORMAT_VERSION,
     Trace,
     TraceFormatError,
-    read_uvarint,
-    unzigzag,
 )
 
 
@@ -60,8 +74,18 @@ class TraceReplayError(Exception):
     """The trace cannot legally drive the requested configuration."""
 
 
-# Resolved-stream entry kinds (first tuple element).  LOAD/STORE here are
-# the unforwarded common case; the _FWD variants carry the resolution.
+class SidecarError(Exception):
+    """A resolved-stream sidecar went bad *mid-stream*.
+
+    Raised only after some chunks may already have been served to
+    sessions -- the driver must reset its sessions, drop the sidecar,
+    and restart from the raw columns (see :func:`drive_sessions`).
+    """
+
+
+# Resolved-stream entry kinds (the per-entry ``kinds`` byte).  LOAD and
+# STORE here are the unforwarded common case; the _FWD variants carry
+# the forwarding resolution in the extras dict.
 _LOAD = 0
 _STORE = 1
 _EXEC = 2
@@ -75,263 +99,568 @@ _FREE = 9       # carries forwarding-chain length (ditto)
 _TRAP = 10      # trap handler installed / removed
 
 
+class ResolvedChunk:
+    """One decoded chunk in struct-of-arrays form.
+
+    ``kinds[i]`` is the entry kind, ``ops[i]`` its primary integer
+    operand (address, word, count, ...), and ``extras`` a sparse dict
+    holding the rare multi-operand payloads: ``i -> lines`` for
+    prefetches and ``i -> (final_address, hop_tuple)`` for forwarded
+    references.  The flat layout is what the exec-specialized kernels
+    index directly, with no per-entry tuple allocation.
+    """
+
+    __slots__ = ("n", "kinds", "ops", "extras")
+
+    def __init__(self, kinds: bytes, ops: array, extras: dict) -> None:
+        self.n = len(kinds)
+        self.kinds = kinds
+        self.ops = ops
+        self.extras = extras
+
+    def entries(self) -> Iterator[tuple]:
+        """The legacy tuple view of this chunk (compat + tests)."""
+        kinds = self.kinds
+        ops = self.ops
+        extras = self.extras
+        for i in range(self.n):
+            kind = kinds[i]
+            if kind == _LOAD_FWD or kind == _STORE_FWD:
+                final, hops = extras[i]
+                yield (kind, ops[i], final, hops)
+            elif kind == _PREFETCH:
+                yield (kind, ops[i], extras[i])
+            else:
+                yield (kind, ops[i])
+
+
 # ----------------------------------------------------------------------
-# Resolved-stream sidecar: a marshal dump of the decoded stream, kept
-# next to the trace file by the artifact store.  Loading it is ~6x
-# cheaper than re-decoding the payload, which matters when many sweep
-# processes each decode the same warm trace.  The sidecar is a pure
-# cache: every load is validated against the interpreter/format version
-# and the trace's payload digest, and any mismatch or read error falls
-# back to a silent re-decode (which then rewrites the sidecar).
+# Resolved-chunk sidecar: a marshal *stream* (header, one record per
+# chunk, has_forwarded trailer) kept next to the trace file by the
+# artifact store.
 # ----------------------------------------------------------------------
-#: Bump on any change to the resolved-stream entry layout.
-_SIDECAR_VERSION = 1
+#: Bump on any change to the resolved-chunk record layout.  Version 1
+#: was the monolithic whole-stream dump of trace format v2.
+_SIDECAR_VERSION = 2
 
 _sidecar_counter = itertools.count()
 
 
 def _sidecar_tag() -> tuple:
-    # marshal's wire format is interpreter-specific, so the tag pins the
-    # Python minor version and marshal version alongside our own format
-    # versions; a different interpreter simply re-decodes.
+    # marshal's wire format is interpreter-specific and array('q') bytes
+    # are native-endian, so the tag pins the Python minor version,
+    # marshal version, and byte order alongside our own format versions;
+    # a different interpreter simply re-decodes.
     return (
         _SIDECAR_VERSION,
         FORMAT_VERSION,
         sys.version_info[0],
         sys.version_info[1],
         marshal.version,
+        sys.byteorder,
     )
 
 
-def _load_resolved_sidecar(trace: Trace, path) -> list | None:
-    """Return the sidecar's stream if it matches ``trace``, else None."""
+def _open_sidecar(trace: Trace, path):
+    """Open + validate the sidecar header; a positioned handle, or None.
+
+    Header mismatches (foreign trace, other interpreter, old layout,
+    plain corruption) are silent -- the caller re-decodes, which
+    rewrites the sidecar.
+    """
     try:
-        blob = path.read_bytes()
+        handle = open(path, "rb")
     except OSError:
         return None
     try:
-        tag, digest, count, has_forwarded, stream = marshal.loads(blob)
+        tag, digest, count = marshal.load(handle)
     except Exception:  # marshal raises a grab-bag on corrupt input
+        handle.close()
         return None
     if (
         tag != _sidecar_tag()
-        or count != trace.event_count
-        or not isinstance(stream, list)
-        or digest != hashlib.sha256(trace.payload).hexdigest()
+        or count != len(trace.chunks)
+        or digest != trace.stream_sha256
     ):
+        handle.close()
         return None
-    trace._has_forwarded = bool(has_forwarded)
-    return stream
+    return handle
 
 
-def _write_resolved_sidecar(
-    trace: Trace, path, stream: list, has_forwarded: bool
-) -> None:
-    """Best-effort atomic sidecar write (failures are silent)."""
-    blob = marshal.dumps((
-        _sidecar_tag(),
-        hashlib.sha256(trace.payload).hexdigest(),
-        trace.event_count,
-        has_forwarded,
-        stream,
-    ))
-    # Same unique-temp + replace discipline as the store's writes, and
-    # the same ``*.tmp*`` naming, so ``sweep_stale`` collects orphans.
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}-{next(_sidecar_counter)}")
-    try:
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
-    except OSError:
-        with contextlib.suppress(OSError):
-            tmp.unlink()
+def _iter_sidecar_chunks(
+    trace: Trace, handle, count: int
+) -> Iterator[ResolvedChunk]:
+    """Serve chunks from an already-validated sidecar handle.
+
+    Anything wrong past the header raises :class:`SidecarError`: by then
+    earlier chunks may already be live in sessions, so silent fallback
+    is no longer an option.
+    """
+    with handle:
+        for index in range(count):
+            try:
+                kinds, ops_bytes, extras = marshal.load(handle)
+                if not (
+                    isinstance(kinds, bytes)
+                    and isinstance(ops_bytes, bytes)
+                    and isinstance(extras, dict)
+                ):
+                    raise ValueError("bad sidecar record shape")
+                ops = array("q")
+                ops.frombytes(ops_bytes)
+                if len(ops) != len(kinds):
+                    raise ValueError("sidecar kinds/ops length mismatch")
+            except SidecarError:
+                raise
+            except Exception as exc:
+                raise SidecarError(
+                    f"corrupt sidecar record {index}: {exc}"
+                ) from exc
+            yield ResolvedChunk(kinds, ops, extras)
+        try:
+            has_forwarded = marshal.load(handle)
+        except Exception as exc:
+            raise SidecarError(f"truncated sidecar trailer: {exc}") from exc
+        trace.has_forwarded = bool(has_forwarded)
 
 
-def resolved_stream(trace: Trace) -> list[tuple]:
-    """Decode ``trace`` into its resolved stream (cached on the trace).
+class _SidecarWriter:
+    """Incremental, best-effort, atomic sidecar writer.
+
+    Records are appended to a unique temp file as chunks decode and the
+    temp is renamed over the target only on :meth:`commit` -- an
+    abandoned decode (driver stopped pulling chunks) or any I/O error
+    just discards the temp.  Same ``*.tmp*`` naming as the store's
+    writes, so ``sweep_stale`` collects orphans.
+    """
+
+    def __init__(self, trace: Trace, path) -> None:
+        self._path = path
+        self._tmp = path.with_name(
+            f"{path.name}.tmp{os.getpid()}-{next(_sidecar_counter)}"
+        )
+        try:
+            self._handle = open(self._tmp, "wb")
+            marshal.dump(
+                (_sidecar_tag(), trace.stream_sha256, len(trace.chunks)),
+                self._handle,
+            )
+        except OSError:
+            self._discard()
+
+    def _discard(self) -> None:
+        if getattr(self, "_handle", None) is not None:
+            with contextlib.suppress(OSError):
+                self._handle.close()
+        self._handle = None
+        if self._tmp is not None:
+            with contextlib.suppress(OSError):
+                self._tmp.unlink()
+        self._tmp = None
+
+    def add(self, chunk: ResolvedChunk) -> None:
+        if self._handle is None:
+            return
+        try:
+            marshal.dump(
+                (chunk.kinds, chunk.ops.tobytes(), chunk.extras),
+                self._handle,
+            )
+        except (OSError, ValueError):
+            self._discard()
+
+    def commit(self, has_forwarded: bool) -> None:
+        if self._handle is None:
+            return
+        try:
+            marshal.dump(bool(has_forwarded), self._handle)
+            self._handle.close()
+            self._handle = None
+            os.replace(self._tmp, self._path)
+            self._tmp = None
+        except OSError:
+            self._discard()
+
+    def abort(self) -> None:
+        self._discard()
+
+
+# ----------------------------------------------------------------------
+# Decode: raw columns -> resolved chunks
+# ----------------------------------------------------------------------
+def _decode_chunks(trace: Trace, sidecar_path) -> Iterator[ResolvedChunk]:
+    """Decode the trace's columns chunk by chunk, teeing to the sidecar.
 
     This pass simulates the config-invariant half exactly once: it keeps
     the forwarding map ``{word -> forwarding word value}`` up to date
-    from the write events and annotates every reference with the hop
+    from the write events (carried *across* chunk boundaries, like the
+    address register) and annotates every reference with the hop
     addresses and final address ``ForwardingEngine.resolve`` would walk.
     Entries with no config-dependent cost (pool bookkeeping, relocation
     counters, raw writes) are folded away entirely.
-
-    Two caches shortcut the decode: the in-memory memo on the trace
-    object itself, and -- for traces that came through an artifact store
-    -- the on-disk sidecar described above.
     """
-    cached = getattr(trace, "_resolved", None)
-    if cached is not None:
-        return cached
+    writer = _SidecarWriter(trace, sidecar_path) if sidecar_path else None
+    committed = False
+    try:
+        fwd: dict[int, int] = {}
+        last = 0
+        total = 0
+        has_forwarded = False
+        for index, chunk in enumerate(trace.chunks):
+            if chunk.start_address != last:
+                raise TraceFormatError(
+                    f"chunk {index} start address {chunk.start_address} "
+                    f"does not continue the stream (register is {last})"
+                )
+            ops_raw, addr_raw, aux_raw = chunk.columns(index)
+            if len(ops_raw) != chunk.event_count:
+                raise TraceFormatError(
+                    f"chunk {index}: {len(ops_raw)} opcodes, index says "
+                    f"{chunk.event_count} events"
+                )
+            kinds = bytearray()
+            ops = array("q")
+            extras: dict = {}
+            kind_append = kinds.append
+            op_append = ops.append
+            ai = 0
+            xi = 0
+            try:
+                for op in ops_raw:
+                    if op == 0 or op == 1:  # LOAD / STORE
+                        b = addr_raw[ai]
+                        ai += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = addr_raw[ai]
+                            ai += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        last += (v >> 1) ^ -(v & 1)
+                        if op == 1:  # skip the stored value (data plane)
+                            b = aux_raw[xi]
+                            xi += 1
+                            while b >= 0x80:
+                                b = aux_raw[xi]
+                                xi += 1
+                        b = aux_raw[xi]  # skip the size (word-granular)
+                        xi += 1
+                        while b >= 0x80:
+                            b = aux_raw[xi]
+                            xi += 1
+                        word = last & ~7
+                        if word not in fwd:
+                            kind_append(op)
+                            op_append(last)
+                        else:
+                            has_forwarded = True
+                            hops = []
+                            value = 0
+                            while word in fwd:
+                                hops.append(word)
+                                value = fwd[word]
+                                word = value & ~7
+                            kind_append(
+                                _LOAD_FWD if op == 0 else _STORE_FWD
+                            )
+                            extras[len(ops)] = (
+                                value | (last & 7),
+                                tuple(hops),
+                            )
+                            op_append(last)
+                    elif op == 2:  # EXECUTE: instruction count
+                        b = aux_raw[xi]
+                        xi += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = aux_raw[xi]
+                            xi += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        kind_append(_EXEC)
+                        op_append(v)
+                    elif op == 6:  # UNF_WRITE: address, value, fbit
+                        b = addr_raw[ai]
+                        ai += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = addr_raw[ai]
+                            ai += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        last += (v >> 1) ^ -(v & 1)
+                        b = aux_raw[xi]
+                        xi += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = aux_raw[xi]
+                            xi += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        value = (v >> 1) ^ -(v & 1)
+                        b = aux_raw[xi]
+                        xi += 1
+                        fbit = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = aux_raw[xi]
+                            xi += 1
+                            fbit |= (b & 0x7F) << s
+                            s += 7
+                        word = last & ~7
+                        kind_append(_ACCESS_W)
+                        op_append(word)
+                        if fbit:
+                            fwd[word] = value
+                        else:
+                            fwd.pop(word, None)
+                    elif op == 4 or op == 5:  # READ_FBIT / UNF_READ
+                        b = addr_raw[ai]
+                        ai += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = addr_raw[ai]
+                            ai += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        last += (v >> 1) ^ -(v & 1)
+                        kind_append(_ACCESS_R)
+                        op_append(last & ~7)
+                    elif op == 3:  # PREFETCH: address, line count
+                        b = addr_raw[ai]
+                        ai += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = addr_raw[ai]
+                            ai += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        last += (v >> 1) ^ -(v & 1)
+                        b = aux_raw[xi]
+                        xi += 1
+                        lines = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = aux_raw[xi]
+                            xi += 1
+                            lines |= (b & 0x7F) << s
+                            s += 7
+                        kind_append(_PREFETCH)
+                        extras[len(ops)] = lines
+                        op_append(last)
+                    elif op == 7:  # MALLOC: nbytes, align, result address
+                        b = aux_raw[xi]
+                        xi += 1
+                        nbytes = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = aux_raw[xi]
+                            xi += 1
+                            nbytes |= (b & 0x7F) << s
+                            s += 7
+                        b = aux_raw[xi]  # align: untimed
+                        xi += 1
+                        while b >= 0x80:
+                            b = aux_raw[xi]
+                            xi += 1
+                        b = addr_raw[ai]
+                        ai += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = addr_raw[ai]
+                            ai += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        last += (v >> 1) ^ -(v & 1)
+                        kind_append(_MALLOC)
+                        op_append(nbytes)
+                    elif op == 8:  # FREE: cost scales with chain length
+                        b = addr_raw[ai]
+                        ai += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = addr_raw[ai]
+                            ai += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        last += (v >> 1) ^ -(v & 1)
+                        word = last & ~7
+                        chain = 1
+                        while word in fwd:
+                            word = fwd[word] & ~7
+                            chain += 1
+                        kind_append(_FREE)
+                        op_append(chain)
+                    elif op == 9:  # CREATE_POOL: untimed bookkeeping
+                        b = aux_raw[xi]
+                        xi += 1
+                        while b >= 0x80:
+                            b = aux_raw[xi]
+                            xi += 1
+                    elif op == 10:  # POOL_ALLOC: untimed bookkeeping
+                        for _ in range(3):
+                            b = aux_raw[xi]
+                            xi += 1
+                            while b >= 0x80:
+                                b = aux_raw[xi]
+                                xi += 1
+                        b = addr_raw[ai]
+                        ai += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = addr_raw[ai]
+                            ai += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        last += (v >> 1) ^ -(v & 1)
+                    elif op == 11:  # RAW_WRITE: may retarget a chain word
+                        b = addr_raw[ai]
+                        ai += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = addr_raw[ai]
+                            ai += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        last += (v >> 1) ^ -(v & 1)
+                        b = aux_raw[xi]
+                        xi += 1
+                        v = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = aux_raw[xi]
+                            xi += 1
+                            v |= (b & 0x7F) << s
+                            s += 7
+                        word = last & ~7
+                        if word in fwd:
+                            fwd[word] = (v >> 1) ^ -(v & 1)
+                    elif op == 12:  # NOTE_RELOC: counters (from capture)
+                        for _ in range(2):
+                            b = aux_raw[xi]
+                            xi += 1
+                            while b >= 0x80:
+                                b = aux_raw[xi]
+                                xi += 1
+                    elif op == 13:  # NOTE_OPT: counter only
+                        pass
+                    elif op == 14:  # SET_TRAP: installed flag
+                        b = aux_raw[xi]
+                        xi += 1
+                        flag = b & 0x7F
+                        s = 7
+                        while b >= 0x80:
+                            b = aux_raw[xi]
+                            xi += 1
+                            flag |= (b & 0x7F) << s
+                            s += 7
+                        kind_append(_TRAP)
+                        op_append(flag)
+                    else:
+                        raise TraceFormatError(
+                            f"unknown opcode {op} in chunk {index}"
+                        )
+            except IndexError:
+                raise TraceFormatError(
+                    f"truncated varint in chunk {index} columns"
+                ) from None
+            if ai != len(addr_raw) or xi != len(aux_raw):
+                raise TraceFormatError(
+                    f"trailing bytes in chunk {index} columns "
+                    f"(addr {len(addr_raw) - ai}, aux {len(aux_raw) - xi})"
+                )
+            total += len(ops_raw)
+            resolved = ResolvedChunk(bytes(kinds), ops, extras)
+            if writer is not None:
+                writer.add(resolved)
+            yield resolved
+        if total != trace.event_count:
+            raise TraceFormatError(
+                f"event count mismatch: decoded {total}, "
+                f"header says {trace.event_count}"
+            )
+        trace.has_forwarded = has_forwarded
+        if writer is not None:
+            writer.commit(has_forwarded)
+        committed = True
+    finally:
+        if writer is not None and not committed:
+            writer.abort()
+
+
+def iter_resolved_chunks(trace: Trace) -> Iterator[ResolvedChunk]:
+    """Yield the trace's resolved chunks, one at a time.
+
+    Serves from the on-disk sidecar when the trace came through an
+    artifact store and the sidecar validates; otherwise decodes the raw
+    columns (rewriting the sidecar as it goes).  May raise
+    :class:`SidecarError` mid-iteration -- drive sessions through
+    :func:`drive_sessions` unless you handle the reset yourself.
+    """
     sidecar = getattr(trace, "_resolved_path", None)
     if sidecar is not None:
-        stream = _load_resolved_sidecar(trace, sidecar)
-        if stream is not None:
-            trace._resolved = stream
-            return stream
-    fwd: dict[int, int] = {}
-    out: list[tuple] = []
-    append = out.append
-    has_forwarded = False
-    data = trace.payload
-    length = len(data)
-    i = 0
-    last = 0
-    count = 0
+        handle = _open_sidecar(trace, sidecar)
+        if handle is not None:
+            yield from _iter_sidecar_chunks(trace, handle, len(trace.chunks))
+            return
+    yield from _decode_chunks(trace, sidecar)
+
+
+def drive_sessions(trace: Trace, sessions: Iterable) -> None:
+    """Feed every resolved chunk to every session, in stream order.
+
+    Each chunk is decoded (or sidecar-served) exactly once however many
+    sessions ride along -- this is the batch engine's decode-once loop.
+    A sidecar that goes bad mid-stream is unlinked, every session is
+    reset, and the whole stream re-runs from the raw columns.
+    """
+    sessions = list(sessions)
     try:
-        while i < length:
-            op = data[i]
-            i += 1
-            if op == 0 or op == 1:  # LOAD / STORE: address, [value,] size
-                b = data[i]
-                i += 1
-                v = b & 0x7F
-                s = 7
-                while b >= 0x80:
-                    b = data[i]
-                    i += 1
-                    v |= (b & 0x7F) << s
-                    s += 7
-                last += (v >> 1) ^ -(v & 1)
-                if op == 1:  # skip the stored value (data plane only)
-                    b = data[i]
-                    i += 1
-                    while b >= 0x80:
-                        b = data[i]
-                        i += 1
-                b = data[i]  # skip the size (hierarchy is word-granular)
-                i += 1
-                while b >= 0x80:
-                    b = data[i]
-                    i += 1
-                word = last & ~7
-                if word not in fwd:
-                    append((op, last))
-                else:
-                    has_forwarded = True
-                    hops = []
-                    value = 0
-                    while word in fwd:
-                        hops.append(word)
-                        value = fwd[word]
-                        word = value & ~7
-                    append((
-                        _LOAD_FWD if op == 0 else _STORE_FWD,
-                        last,
-                        value | (last & 7),
-                        tuple(hops),
-                    ))
-            elif op == 2:  # EXECUTE: instruction count
-                b = data[i]
-                i += 1
-                v = b & 0x7F
-                s = 7
-                while b >= 0x80:
-                    b = data[i]
-                    i += 1
-                    v |= (b & 0x7F) << s
-                    s += 7
-                append((_EXEC, v))
-            elif op == 6:  # UNF_WRITE: address, value, fbit
-                b = data[i]
-                i += 1
-                v = b & 0x7F
-                s = 7
-                while b >= 0x80:
-                    b = data[i]
-                    i += 1
-                    v |= (b & 0x7F) << s
-                    s += 7
-                last += (v >> 1) ^ -(v & 1)
-                b = data[i]
-                i += 1
-                v = b & 0x7F
-                s = 7
-                while b >= 0x80:
-                    b = data[i]
-                    i += 1
-                    v |= (b & 0x7F) << s
-                    s += 7
-                value = (v >> 1) ^ -(v & 1)
-                fbit = data[i]
-                i += 1
-                word = last & ~7
-                append((_ACCESS_W, word))
-                if fbit:
-                    fwd[word] = value
-                else:
-                    fwd.pop(word, None)
-            elif op == 4 or op == 5:  # READ_FBIT / UNF_READ: address
-                b = data[i]
-                i += 1
-                v = b & 0x7F
-                s = 7
-                while b >= 0x80:
-                    b = data[i]
-                    i += 1
-                    v |= (b & 0x7F) << s
-                    s += 7
-                last += (v >> 1) ^ -(v & 1)
-                append((_ACCESS_R, last & ~7))
-            elif op == 3:  # PREFETCH: address, line count
-                delta, i = read_uvarint(data, i)
-                lines, i = read_uvarint(data, i)
-                last += unzigzag(delta)
-                append((_PREFETCH, last, lines))
-            elif op == 7:  # MALLOC: nbytes, align, resulting address
-                nbytes, i = read_uvarint(data, i)
-                _align, i = read_uvarint(data, i)
-                delta, i = read_uvarint(data, i)
-                last += unzigzag(delta)
-                append((_MALLOC, nbytes))
-            elif op == 8:  # FREE: address; cost scales with chain length
-                delta, i = read_uvarint(data, i)
-                last += unzigzag(delta)
-                word = last & ~7
-                chain = 1
-                while word in fwd:
-                    word = fwd[word] & ~7
-                    chain += 1
-                append((_FREE, chain))
-            elif op == 9:  # CREATE_POOL: untimed bookkeeping
-                _size, i = read_uvarint(data, i)
-            elif op == 10:  # POOL_ALLOC: untimed bookkeeping
-                _index, i = read_uvarint(data, i)
-                _nbytes, i = read_uvarint(data, i)
-                _align, i = read_uvarint(data, i)
-                delta, i = read_uvarint(data, i)
-                last += unzigzag(delta)
-            elif op == 11:  # RAW_WRITE: untimed, may retarget a chain word
-                delta, i = read_uvarint(data, i)
-                value, i = read_uvarint(data, i)
-                last += unzigzag(delta)
-                word = last & ~7
-                if word in fwd:
-                    fwd[word] = unzigzag(value)
-            elif op == 12:  # NOTE_RELOC: counters only (copied from capture)
-                _relocations, i = read_uvarint(data, i)
-                _words, i = read_uvarint(data, i)
-            elif op == 13:  # NOTE_OPT: counter only
-                pass
-            elif op == 14:  # SET_TRAP: installed flag
-                flag, i = read_uvarint(data, i)
-                append((_TRAP, flag))
-            else:
-                raise TraceFormatError(
-                    f"unknown opcode {op} at payload offset {i - 1}"
-                )
-            count += 1
-    except IndexError:
-        raise TraceFormatError("truncated varint in trace payload") from None
-    if count != trace.event_count:
-        raise TraceFormatError(
-            f"event count mismatch: decoded {count}, "
-            f"header says {trace.event_count}"
-        )
-    trace._resolved = out
-    trace._has_forwarded = has_forwarded
-    if sidecar is not None:
-        _write_resolved_sidecar(trace, sidecar, out, has_forwarded)
+        for chunk in iter_resolved_chunks(trace):
+            for session in sessions:
+                session.run_chunk(chunk)
+    except SidecarError:
+        path = getattr(trace, "_resolved_path", None)
+        if path is not None:
+            with contextlib.suppress(OSError):
+                path.unlink()
+        for session in sessions:
+            session.reset()
+        for chunk in _decode_chunks(trace, path):
+            for session in sessions:
+                session.run_chunk(chunk)
+
+
+def resolved_stream(trace: Trace) -> list[tuple]:
+    """The whole resolved stream as one tuple list (compat shim).
+
+    Materialises every chunk -- O(trace) memory, exactly what the
+    chunked pipeline exists to avoid.  Kept for tests, tooling, and the
+    ``REPRO_BATCH_MATERIALIZE`` benchmark arm; the replay paths all
+    stream via :func:`iter_resolved_chunks` instead.
+    """
+    out: list[tuple] = []
+    try:
+        for chunk in iter_resolved_chunks(trace):
+            out.extend(chunk.entries())
+    except SidecarError:
+        path = getattr(trace, "_resolved_path", None)
+        if path is not None:
+            with contextlib.suppress(OSError):
+                path.unlink()
+        out = []
+        for chunk in _decode_chunks(trace, path):
+            out.extend(chunk.entries())
     return out
 
 
@@ -340,16 +669,14 @@ _resolved_stream = resolved_stream
 
 
 def has_forwarded_entries(trace: Trace) -> bool:
-    """True iff ``trace``'s resolved stream has any forwarded reference.
+    """True iff ``trace``'s stream has any forwarded data reference.
 
-    Populated for free during decode; the defensive rescan only runs if
-    ``_resolved`` was installed by some path that skipped the flag.
+    Known at capture time and carried in the v3 footer; the scan only
+    runs for hand-assembled traces that never went through either.
     """
-    flag = getattr(trace, "_has_forwarded", None)
-    if flag is None:
-        flag = any(e[0] == 5 or e[0] == 6 for e in resolved_stream(trace))
-        trace._has_forwarded = flag
-    return flag
+    if trace.has_forwarded is None:
+        trace.has_forwarded = trace._scan_has_forwarded()
+    return trace.has_forwarded
 
 
 def check_line_size(trace: Trace, config: MachineConfig) -> None:
@@ -369,197 +696,245 @@ def check_line_size(trace: Trace, config: MachineConfig) -> None:
             )
 
 
+class ReplaySession:
+    """One config's replay state, consuming resolved chunks incrementally.
+
+    Construction builds the config-dependent components (hierarchy,
+    timing, prefetcher, speculator, latency stats); :meth:`run_chunk`
+    advances them over one chunk; :meth:`finish` folds in the capture's
+    config-invariant counters and returns the :class:`AppResult`.
+    :meth:`reset` rebuilds everything from scratch -- the recovery hook
+    for a sidecar that went bad after chunks were already consumed.
+    """
+
+    def __init__(self, trace: Trace, config: MachineConfig) -> None:
+        check_line_size(trace, config)
+        self.trace = trace
+        self.config = config
+        self._build()
+
+    def reset(self) -> None:
+        self._build()
+
+    def _build(self) -> None:
+        config = self.config
+        self.hierarchy = hierarchy = MemoryHierarchy(config.hierarchy)
+        self.timing = timing = TimingModel(config.timing)
+        self.prefetcher = prefetcher = SoftwarePrefetcher(
+            hierarchy, config.max_prefetch_block
+        )
+        self.speculator = speculator = (
+            DependenceSpeculator(config.speculation_window)
+            if config.speculation_window > 0
+            else None
+        )
+        self.load_latency = load_latency = ReferenceLatencyStats()
+        self.store_latency = store_latency = ReferenceLatencyStats()
+        malloc_base = config.malloc_base_cost
+        free_base = config.free_base_cost
+        user_trap_cycles = config.user_trap_cycles
+        # Closures below both read and write this, so it lives in a cell
+        # rather than an attribute lookup on the hot path.
+        trap_cell = [False]
+
+        access = hierarchy.access
+        execute = timing.execute
+        load_completes = timing.load_completes
+        store_completes = timing.store_completes
+
+        # The unforwarded load/store kinds dominate every stream; they
+        # are costed by the same fused kernel Machine's fast path uses,
+        # with a throwaway ForwardingStats (replay takes forwarding
+        # totals from the capture, so reference counting is discarded).
+        kernel_load, kernel_store = make_reference_kernel(
+            hierarchy, timing, speculator, load_latency, store_latency,
+            ForwardingStats(),
+        )
+        self._kernel_load = kernel_load
+        self._kernel_store = kernel_store
+
+        # Cold-entry handlers, indexed by the entry kind, called as
+        # ``handler(op, extra)``.  Each mirrors the corresponding
+        # Machine method cost-for-cost (machine.py is the reference; the
+        # integration tests assert exact stats equality against it),
+        # minus the config-invariant work.  Kinds 0 and 1 are handled
+        # inline in run_chunk and never reach this table.
+        def _handle_exec(n, _extra):  # plain computation
+            execute(n)
+
+        def _handle_access_r(word, _extra):  # Read_FBit / Unf_Read
+            kernel_load(word, True)
+
+        def _handle_access_w(word, _extra):  # Unforwarded_Write
+            kernel_store(word, True)
+
+        def _forwarded(address, extra, is_store):
+            final, hops = extra
+            execute(1)
+            hop_cycles = 0.0
+            for word in hops:  # each hop touches the old location
+                start = timing.cycle
+                result = access(word, False, start)
+                load_completes(result.ready, True)
+                hop_cycles += result.ready - start
+            start = timing.cycle
+            result = access(final, is_store, start)
+            latency = store_latency if is_store else load_latency
+            if is_store:
+                store_completes(result.ready, True)
+            else:
+                load_completes(result.ready, True)
+            latency.count += 1
+            latency.ordinary_cycles += result.ready - start
+            latency.forwarded += 1
+            nhops = len(hops)
+            latency.forwarding_cycles += (
+                hop_cycles + timing.forwarding_trap_cost(nhops)
+            )
+            timing.forwarding_trap(nhops)
+            if trap_cell[0]:
+                # The handler's own machine activity was recorded as
+                # ordinary events; only its invocation cost remains.
+                timing.stall(user_trap_cycles, "inst")
+            if is_store:
+                if speculator is not None:
+                    speculator.on_store(address, final)
+            elif speculator is not None and speculator.on_load(address, final):
+                timing.misspeculation_flush()
+
+        def _handle_load_fwd(address, extra):
+            _forwarded(address, extra, False)
+
+        def _handle_store_fwd(address, extra):
+            _forwarded(address, extra, True)
+
+        def _handle_prefetch(address, lines):  # software prefetch
+            execute(1)
+            prefetcher.prefetch_block(address, lines, timing.cycle)
+
+        def _handle_malloc(nbytes, _extra):  # malloc bookkeeping cost
+            execute(malloc_base + (nbytes >> 6))
+
+        def _handle_free(chain, _extra):  # forwarding-aware free cost
+            execute(free_base + 2 * chain)
+
+        def _handle_trap(flag, _extra):
+            trap_cell[0] = bool(flag)
+
+        self._handlers = (
+            None,  # _LOAD: inline
+            None,  # _STORE: inline
+            _handle_exec,
+            _handle_access_r,
+            _handle_access_w,
+            _handle_load_fwd,
+            _handle_store_fwd,
+            _handle_prefetch,
+            _handle_malloc,
+            _handle_free,
+            _handle_trap,
+        )
+
+        # Timeline sampling mirrors the direct run's wrapper: tick once
+        # per data reference, after its cost lands, at the *initial*
+        # address.  The sampler reads only config-dependent counters
+        # (which replay maintains bit-exactly), so a replayed run's
+        # window series is identical to the direct run's.
+        self.timeline = None
+        if config.timeline_interval > 0:
+            from repro.obs.registry import Registry
+            from repro.obs.timeline import Timeline
+
+            registry = Registry()
+            timing.register_metrics(registry)
+            hierarchy.register_metrics(registry)
+            load_latency.register_metrics(registry, "ref.load")
+            store_latency.register_metrics(registry, "ref.store")
+            self.timeline = Timeline(
+                config.timeline_interval,
+                registry,
+                mshr=hierarchy.mshr,
+                clock=lambda: timing.cycle,
+            )
+
+    def run_chunk(self, chunk: ResolvedChunk) -> None:
+        kinds = chunk.kinds
+        ops = chunk.ops
+        extras = chunk.extras
+        get_extra = extras.get
+        kernel_load = self._kernel_load
+        kernel_store = self._kernel_store
+        handlers = self._handlers
+        timeline = self.timeline
+        if timeline is None:
+            for i in range(chunk.n):
+                kind = kinds[i]
+                if kind == 0:  # unforwarded load (final == initial)
+                    kernel_load(ops[i])
+                elif kind == 1:  # unforwarded store
+                    kernel_store(ops[i])
+                else:
+                    handlers[kind](ops[i], get_extra(i))
+        else:
+            tick = timeline.tick
+            note_forwarded = timeline.note_forwarded
+            for i in range(chunk.n):
+                kind = kinds[i]
+                if kind == 0:
+                    kernel_load(ops[i])
+                    tick(ops[i])
+                elif kind == 1:
+                    kernel_store(ops[i])
+                    tick(ops[i])
+                else:
+                    handlers[kind](ops[i], get_extra(i))
+                    if kind == 5 or kind == 6:  # forwarded load / store
+                        note_forwarded(ops[i])
+                        tick(ops[i])
+
+    def finish(self) -> AppResult:
+        if self.timeline is not None:
+            self.timeline.finish()
+        trace = self.trace
+        captured = trace.captured_stats
+        stats = MachineStats.collect(
+            timing=self.timing,
+            hierarchy=self.hierarchy,
+            loads=self.load_latency,
+            stores=self.store_latency,
+            speculator=self.speculator,
+            prefetcher=self.prefetcher,
+            forwarding_hops=captured["forwarding_hops"],
+            cycle_checks=captured["cycle_checks"],
+            forwarding_chain_hist={
+                int(hops): count
+                for hops, count in captured.get(
+                    "forwarding_chain_hist", {}
+                ).items()
+            },
+            relocation=RelocationStats(**captured["relocation"]),
+            heap_high_water=captured["heap_high_water"],
+        )
+        return AppResult(
+            app=trace.app,
+            variant=Variant(trace.variant),
+            checksum=trace.checksum,
+            stats=stats,
+            extras=dict(trace.extras),
+            timeline=(
+                self.timeline.to_payload() if self.timeline is not None else None
+            ),
+        )
+
+
 def replay_trace(trace: Trace, config: MachineConfig) -> AppResult:
     """Replay ``trace`` against ``config``; stats match a direct run.
 
     Returns an :class:`AppResult` whose config-dependent stats come from
     driving ``config``'s hierarchy/timing/speculator with the resolved
-    stream, whose config-invariant stats come from the capture, and
+    chunks, whose config-invariant stats come from the capture, and
     whose checksum/extras come from the captured application run.
     """
-    check_line_size(trace, config)
-    stream = resolved_stream(trace)
-
-    hierarchy = MemoryHierarchy(config.hierarchy)
-    timing = TimingModel(config.timing)
-    prefetcher = SoftwarePrefetcher(hierarchy, config.max_prefetch_block)
-    speculator = (
-        DependenceSpeculator(config.speculation_window)
-        if config.speculation_window > 0
-        else None
-    )
-    load_latency = ReferenceLatencyStats()
-    store_latency = ReferenceLatencyStats()
-    malloc_base = config.malloc_base_cost
-    free_base = config.free_base_cost
-    user_trap_cycles = config.user_trap_cycles
-    # Closures below both read and write this, so it lives in a cell
-    # rather than a loop local.
-    trap_cell = [False]
-
-    access = hierarchy.access
-    execute = timing.execute
-    load_completes = timing.load_completes
-    store_completes = timing.store_completes
-
-    # The unforwarded load/store kinds dominate every stream; they are
-    # costed by the same fused kernel Machine's fast path uses, with a
-    # throwaway ForwardingStats (replay takes forwarding totals from the
-    # capture, so the kernel's reference counting is discarded).
-    kernel_load, kernel_store = make_reference_kernel(
-        hierarchy, timing, speculator, load_latency, store_latency,
-        ForwardingStats(),
-    )
-
-    # Cold-entry handlers, indexed by the stream's integer opcode.  Each
-    # mirrors the corresponding Machine method cost-for-cost (machine.py
-    # is the reference; the integration tests assert exact stats equality
-    # against it), minus the config-invariant work.  Kinds 0 and 1 are
-    # handled inline in the loop and never reach this table.
-    def _handle_exec(entry: tuple) -> None:  # plain computation
-        execute(entry[1])
-
-    def _handle_access_r(entry: tuple) -> None:  # Read_FBit / Unf_Read
-        kernel_load(entry[1], True)
-
-    def _handle_access_w(entry: tuple) -> None:  # Unforwarded_Write
-        kernel_store(entry[1], True)
-
-    def _handle_forwarded(entry: tuple) -> None:  # forwarded load / store
-        address = entry[1]
-        final = entry[2]
-        hops = entry[3]
-        is_store = entry[0] == 6
-        execute(1)
-        hop_cycles = 0.0
-        for word in hops:  # each hop touches the old location
-            start = timing.cycle
-            result = access(word, False, start)
-            load_completes(result.ready, True)
-            hop_cycles += result.ready - start
-        start = timing.cycle
-        result = access(final, is_store, start)
-        latency = store_latency if is_store else load_latency
-        if is_store:
-            store_completes(result.ready, True)
-        else:
-            load_completes(result.ready, True)
-        latency.count += 1
-        latency.ordinary_cycles += result.ready - start
-        latency.forwarded += 1
-        nhops = len(hops)
-        latency.forwarding_cycles += (
-            hop_cycles + timing.forwarding_trap_cost(nhops)
-        )
-        timing.forwarding_trap(nhops)
-        if trap_cell[0]:
-            # The handler's own machine activity was recorded as
-            # ordinary events; only its invocation cost remains.
-            timing.stall(user_trap_cycles, "inst")
-        if is_store:
-            if speculator is not None:
-                speculator.on_store(address, final)
-        elif speculator is not None and speculator.on_load(address, final):
-            timing.misspeculation_flush()
-
-    def _handle_prefetch(entry: tuple) -> None:  # software prefetch
-        execute(1)
-        prefetcher.prefetch_block(entry[1], entry[2], timing.cycle)
-
-    def _handle_malloc(entry: tuple) -> None:  # malloc bookkeeping cost
-        execute(malloc_base + (entry[1] >> 6))
-
-    def _handle_free(entry: tuple) -> None:  # forwarding-aware free cost
-        execute(free_base + 2 * entry[1])
-
-    def _handle_trap(entry: tuple) -> None:
-        trap_cell[0] = bool(entry[1])
-
-    handlers = (
-        None,  # _LOAD: inline
-        None,  # _STORE: inline
-        _handle_exec,
-        _handle_access_r,
-        _handle_access_w,
-        _handle_forwarded,  # _LOAD_FWD
-        _handle_forwarded,  # _STORE_FWD
-        _handle_prefetch,
-        _handle_malloc,
-        _handle_free,
-        _handle_trap,
-    )
-
-    # Timeline sampling mirrors the direct run's wrapper: tick once per
-    # data reference, after its cost lands, at the *initial* address.
-    # The sampler reads only config-dependent counters (which replay
-    # maintains bit-exactly), so a replayed run's window series is
-    # identical to the direct run's -- the parity tests pin this.
-    timeline = None
-    if config.timeline_interval > 0:
-        from repro.obs.registry import Registry
-        from repro.obs.timeline import Timeline
-
-        registry = Registry()
-        timing.register_metrics(registry)
-        hierarchy.register_metrics(registry)
-        load_latency.register_metrics(registry, "ref.load")
-        store_latency.register_metrics(registry, "ref.store")
-        timeline = Timeline(
-            config.timeline_interval,
-            registry,
-            mshr=hierarchy.mshr,
-            clock=lambda: timing.cycle,
-        )
-
-    if timeline is None:
-        for entry in stream:
-            kind = entry[0]
-            if kind == 0:  # unforwarded load (final == initial)
-                kernel_load(entry[1])
-            elif kind == 1:  # unforwarded store
-                kernel_store(entry[1])
-            else:
-                handlers[kind](entry)
-    else:
-        tick = timeline.tick
-        note_forwarded = timeline.note_forwarded
-        for entry in stream:
-            kind = entry[0]
-            if kind == 0:
-                kernel_load(entry[1])
-                tick(entry[1])
-            elif kind == 1:
-                kernel_store(entry[1])
-                tick(entry[1])
-            else:
-                handlers[kind](entry)
-                if kind == 5 or kind == 6:  # forwarded load / store
-                    note_forwarded(entry[1])
-                    tick(entry[1])
-        timeline.finish()
-
-    captured = trace.captured_stats
-    stats = MachineStats.collect(
-        timing=timing,
-        hierarchy=hierarchy,
-        loads=load_latency,
-        stores=store_latency,
-        speculator=speculator,
-        prefetcher=prefetcher,
-        forwarding_hops=captured["forwarding_hops"],
-        cycle_checks=captured["cycle_checks"],
-        forwarding_chain_hist={
-            int(hops): count
-            for hops, count in captured.get("forwarding_chain_hist", {}).items()
-        },
-        relocation=RelocationStats(**captured["relocation"]),
-        heap_high_water=captured["heap_high_water"],
-    )
-    return AppResult(
-        app=trace.app,
-        variant=Variant(trace.variant),
-        checksum=trace.checksum,
-        stats=stats,
-        extras=dict(trace.extras),
-        timeline=timeline.to_payload() if timeline is not None else None,
-    )
+    session = ReplaySession(trace, config)
+    drive_sessions(trace, [session])
+    return session.finish()

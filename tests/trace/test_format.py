@@ -1,12 +1,16 @@
-"""Property and validation tests for the binary trace format.
+"""Property and validation tests for the chunked columnar trace format.
 
-The encoder under test is the *recorder* (whose LEB128/zigzag loops are
-inlined for speed); the decoder is :meth:`Trace.events`, the readable
-reference.  The round-trip property pins the two to each other over
-arbitrary event streams, and the validation tests cover every rejection
-path of :meth:`Trace.from_bytes`.
+Two encoders exist on purpose: :class:`~repro.trace.format.ChunkWriter`
+is the readable reference, and :class:`~repro.trace.recorder.
+TraceRecorder` inlines the same LEB128/zigzag loops into its observer
+callbacks for speed.  The round-trip properties pin both to the decoder
+(:meth:`Trace.events`) and to each other over arbitrary event streams --
+including streams that straddle chunk boundaries -- and the validation
+tests cover every rejection path of :meth:`Trace.from_bytes`, the
+random-access index, and the v2 compatibility reader.
 """
 
+import dataclasses
 import json
 
 import pytest
@@ -15,9 +19,17 @@ from hypothesis import given, settings, strategies as st
 from repro.trace import FORMAT_VERSION, Trace, TraceFormatError, TraceRecorder
 from repro.trace import events as ev
 from repro.trace.format import (
+    CHUNK_EVENTS,
     MAGIC,
+    V2_FORMAT_VERSION,
+    ChunkWriter,
+    _parse_header,
     append_svarint,
     append_uvarint,
+    encode_v2,
+    load_index,
+    make_chunk,
+    peek_version,
     read_uvarint,
     unzigzag,
     zigzag,
@@ -116,9 +128,31 @@ def event_streams(draw):
     return events
 
 
-def _record(events):
+#: Chunk sizes exercised by the boundary-straddling properties: every
+#: event its own chunk, a size that splits 40-event streams mid-stream,
+#: and the production size (one chunk for any test stream).
+CHUNKINGS = (1, 7, CHUNK_EVENTS)
+
+
+def _trace_fields(recorder_like):
+    return dict(
+        app="synthetic",
+        variant="N",
+        scale=1.0,
+        seed=7,
+        line_size=32,
+        line_size_sensitive=False,
+        checksum=123,
+        extras={"k": 1},
+        captured_stats={"forwarding_hops": 0},
+        pool_names=list(getattr(recorder_like, "pool_names", [])),
+        event_count=recorder_like.event_count,
+    )
+
+
+def _record(events, chunk_events=CHUNK_EVENTS):
     """Feed an event list through the recorder; returns the Trace."""
-    recorder = TraceRecorder()
+    recorder = TraceRecorder(chunk_events=chunk_events)
     for event in events:
         kind = event[0]
         if kind == ev.LOAD:
@@ -151,30 +185,41 @@ def _record(events):
             recorder.on_note_optimizer()
         else:
             recorder.on_set_trap(bool(event[1]))
+    chunks, stream_sha = recorder.finish()
     return Trace(
-        app="synthetic",
-        variant="N",
-        scale=1.0,
-        seed=7,
-        line_size=32,
-        line_size_sensitive=False,
-        checksum=123,
-        extras={"k": 1},
-        captured_stats={"forwarding_hops": 0},
-        pool_names=list(recorder.pool_names),
-        event_count=recorder.event_count,
-        payload=bytes(recorder.payload),
+        **_trace_fields(recorder),
+        chunks=chunks,
+        has_forwarded=recorder.has_forwarded,
+        _stream_sha=stream_sha,
     )
 
 
-def _valid_trace():
+def _write(events, chunk_events=CHUNK_EVENTS):
+    """The same events through the reference ChunkWriter."""
+    writer = ChunkWriter(chunk_events=chunk_events)
+    pool_names = []
+    for event in events:
+        if event[0] == ev.CREATE_POOL:
+            pool_names.append("p")
+        writer.add(tuple(event))
+    chunks, event_count, has_forwarded, stream_sha = writer.finish()
+    trace = Trace(
+        **{**_trace_fields(writer), "pool_names": pool_names},
+        chunks=chunks,
+        has_forwarded=has_forwarded,
+        _stream_sha=stream_sha,
+    )
+    return trace
+
+
+def _valid_trace(chunk_events=CHUNK_EVENTS):
     return _record([
         (ev.LOAD, 0x10000, 8),
         (ev.STORE, 0x10008, -5, 4),
         (ev.EXECUTE, 12),
         (ev.UNF_WRITE, 0x10000, 0x20000, 1),
         (ev.FREE, 0x10000),
-    ])
+    ], chunk_events=chunk_events)
 
 
 class TestRoundTrip:
@@ -184,20 +229,101 @@ class TestRoundTrip:
         trace = _record(events)
         assert list(trace.events()) == [tuple(event) for event in events]
 
-    @given(events=event_streams())
-    @settings(max_examples=30, deadline=None)
-    def test_bytes_roundtrip(self, events):
-        trace = _record(events)
+    @given(events=event_streams(), chunk_events=st.sampled_from(CHUNKINGS))
+    @settings(max_examples=40, deadline=None)
+    def test_recorder_matches_reference_writer(self, events, chunk_events):
+        """The inlined recorder and ChunkWriter produce identical chunks."""
+        recorded = _record(events, chunk_events)
+        written = _write(events, chunk_events)
+        assert recorded.chunks == written.chunks
+        assert recorded.stream_sha256 == written.stream_sha256
+        assert recorded.has_forwarded == written.has_forwarded
+
+    @given(events=event_streams(), chunk_events=st.sampled_from(CHUNKINGS))
+    @settings(max_examples=40, deadline=None)
+    def test_bytes_roundtrip(self, events, chunk_events):
+        trace = _record(events, chunk_events)
         clone = Trace.from_bytes(trace.to_bytes())
         assert clone == trace
         assert clone.content_hash == trace.content_hash
+        assert clone.has_forwarded == trace.has_forwarded
         assert list(clone.events()) == list(trace.events())
+
+    @given(events=event_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_chunking_never_changes_identity(self, events):
+        """Stream digest and content hash are chunk-boundary-invariant:
+        the address register never resets, so the concatenated columns
+        are the same bytes however the stream is cut."""
+        whole = _record(events, CHUNK_EVENTS)
+        for chunk_events in (1, 3, 7):
+            cut = _record(events, chunk_events)
+            assert cut.stream_sha256 == whole.stream_sha256
+            assert cut.content_hash == whole.content_hash
+            assert list(cut.events()) == list(whole.events())
+            if events and chunk_events == 1:
+                assert len(cut.chunks) == len(events)
+
+    def test_empty_stream(self):
+        trace = _record([])
+        assert trace.chunks == ()
+        clone = Trace.from_bytes(trace.to_bytes())
+        assert clone == trace
+        assert list(clone.events()) == []
+
+    def test_single_event_chunks(self):
+        trace = _valid_trace(chunk_events=1)
+        assert len(trace.chunks) == 5
+        assert all(chunk.event_count == 1 for chunk in trace.chunks)
+        assert list(Trace.from_bytes(trace.to_bytes()).events()) == list(
+            trace.events()
+        )
 
     def test_save_load(self, tmp_path):
         trace = _valid_trace()
         path = tmp_path / "t.rtrc"
         trace.save(path)
         assert Trace.load(path) == trace
+
+
+class TestIndex:
+    def test_load_index_answers_without_chunks(self, tmp_path):
+        trace = _valid_trace(chunk_events=2)
+        path = tmp_path / "t.trace"
+        trace.save(path)
+        index = load_index(path)
+        assert index.event_count == trace.event_count
+        assert index.chunk_count == len(trace.chunks)
+        assert index.stream_sha256 == trace.stream_sha256
+        assert index.content_hash == trace.content_hash
+        assert index.has_forwarded == trace.has_forwarded
+
+    def test_random_access_chunk_read(self, tmp_path):
+        trace = _valid_trace(chunk_events=2)
+        path = tmp_path / "t.trace"
+        trace.save(path)
+        index = load_index(path)
+        for i, chunk in enumerate(trace.chunks):
+            assert index.read_chunk(i) == chunk
+        with pytest.raises(TraceFormatError, match="out of range"):
+            index.read_chunk(len(trace.chunks))
+
+    def test_peek_version(self, tmp_path):
+        trace = _valid_trace()
+        v3 = tmp_path / "v3.trace"
+        trace.save(v3)
+        assert peek_version(v3) == FORMAT_VERSION
+        v2 = tmp_path / "v2.trace"
+        v2.write_bytes(encode_v2(trace))
+        assert peek_version(v2) == V2_FORMAT_VERSION
+
+    def test_load_index_rejects_v2_with_path_and_version(self, tmp_path):
+        path = tmp_path / "v2.trace"
+        path.write_bytes(encode_v2(_valid_trace()))
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_index(path)
+        assert excinfo.value.path == str(path)
+        assert excinfo.value.version == V2_FORMAT_VERSION
 
 
 class TestValidation:
@@ -208,30 +334,72 @@ class TestValidation:
     def test_unsupported_version(self):
         data = bytearray(_valid_trace().to_bytes())
         data[len(MAGIC)] = FORMAT_VERSION + 1
-        with pytest.raises(TraceFormatError, match="version"):
+        with pytest.raises(TraceFormatError, match="version") as excinfo:
             Trace.from_bytes(bytes(data))
+        assert excinfo.value.version == FORMAT_VERSION + 1
 
-    def test_truncated_payload(self):
-        data = _valid_trace().to_bytes()
-        with pytest.raises(TraceFormatError, match="truncated trace payload"):
-            Trace.from_bytes(data[:-3])
-
-    def test_payload_corruption_detected(self):
+    def test_load_attaches_the_path(self, tmp_path):
+        path = tmp_path / "garbled.trace"
         data = bytearray(_valid_trace().to_bytes())
-        data[-1] ^= 0xFF
-        with pytest.raises(TraceFormatError, match="hash mismatch"):
+        data[len(MAGIC)] = 9
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError) as excinfo:
+            Trace.load(path)
+        assert excinfo.value.path == str(path)
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.version == 9
+
+    def test_truncated_final_chunk(self):
+        """A byte missing from the chunk region fails as truncation."""
+        trace = _valid_trace()
+        data = trace.to_bytes()
+        _, chunk_start = _parse_header(data)
+        # Drop the last byte of the chunk region; offsets in the footer
+        # now overrun it.
+        cut = data[: chunk_start] + data[chunk_start + 1 :]
+        with pytest.raises(TraceFormatError, match="truncated chunk"):
+            Trace.from_bytes(cut)
+
+    @pytest.mark.parametrize("column", ["ops", "addr", "aux"])
+    def test_column_corruption_names_chunk_and_column(self, column):
+        """Flipping one byte in a column fails naming chunk + column."""
+        trace = _valid_trace(chunk_events=2)
+        victim = trace.chunks[1]
+        col_index = ["ops", "addr", "aux"].index(column)
+        blob = bytearray(victim.data[col_index])
+        if not blob:
+            pytest.skip(f"column {column} empty for this stream")
+        blob[len(blob) // 2] ^= 0xFF
+        data = list(victim.data)
+        data[col_index] = bytes(blob)
+        corrupted = dataclasses.replace(victim, data=tuple(data))
+        tampered = dataclasses.replace(
+            trace, chunks=(trace.chunks[0], corrupted) + trace.chunks[2:]
+        )
+        with pytest.raises(
+            TraceFormatError, match=f"chunk 1 column '{column}'"
+        ):
+            list(tampered.events())
+
+    def test_file_level_corruption_names_chunk_and_column(self):
+        trace = _valid_trace()
+        data = bytearray(trace.to_bytes())
+        _, chunk_start = _parse_header(bytes(data))
+        data[chunk_start] ^= 0xFF  # first byte of chunk 0's ops blob
+        with pytest.raises(TraceFormatError, match="chunk 0 column 'ops'"):
             Trace.from_bytes(bytes(data))
 
     def test_missing_header_field(self):
         trace = _valid_trace()
-        header = trace.header_dict()
+        data = trace.to_bytes()
+        header, chunk_start = _parse_header(data)
         del header["event_count"]
         blob = json.dumps(header, sort_keys=True).encode()
         out = bytearray(MAGIC)
         out.append(FORMAT_VERSION)
         append_uvarint(out, len(blob))
         out += blob
-        out += trace.payload
+        out += data[chunk_start:]
         with pytest.raises(TraceFormatError, match="missing fields"):
             Trace.from_bytes(bytes(out))
 
@@ -243,17 +411,25 @@ class TestValidation:
         with pytest.raises(TraceFormatError, match="corrupt trace header"):
             Trace.from_bytes(bytes(out))
 
+    def test_missing_footer_trailer(self):
+        data = _valid_trace().to_bytes()
+        with pytest.raises(TraceFormatError, match="footer"):
+            Trace.from_bytes(data[:-3])
+
     def test_unknown_opcode_rejected(self):
-        trace = _valid_trace()
-        trace.payload = bytes([99])
-        trace.event_count = 1
+        chunk = make_chunk((bytes([99]), b"", b""), 1, 0)
+        trace = dataclasses.replace(
+            _valid_trace(), chunks=(chunk,), event_count=1
+        )
         with pytest.raises(TraceFormatError, match="unknown opcode"):
             list(trace.events())
 
     def test_truncated_event_stream(self):
-        trace = _valid_trace()
-        trace.payload = bytes([ev.LOAD, 0x80])  # varint promises more bytes
-        trace.event_count = 1
+        # The LOAD's address varint promises more bytes than exist.
+        chunk = make_chunk((bytes([ev.LOAD]), b"\x80", b"\x08"), 1, 0)
+        trace = dataclasses.replace(
+            _valid_trace(), chunks=(chunk,), event_count=1
+        )
         with pytest.raises(TraceFormatError, match="truncated"):
             list(trace.events())
 
@@ -263,7 +439,52 @@ class TestValidation:
         with pytest.raises(TraceFormatError, match="event count mismatch"):
             list(trace.events())
 
+    def test_chunk_discontinuity_rejected(self):
+        """A chunk whose entry register breaks the stream is detected."""
+        trace = _valid_trace(chunk_events=2)
+        assert len(trace.chunks) > 1
+        bad = dataclasses.replace(
+            trace.chunks[1], start_address=trace.chunks[1].start_address + 8
+        )
+        tampered = dataclasses.replace(
+            trace, chunks=(trace.chunks[0], bad) + trace.chunks[2:]
+        )
+        with pytest.raises(TraceFormatError, match="does not continue"):
+            list(tampered.events())
+
     def test_pool_created_out_of_order(self):
         recorder = TraceRecorder()
         with pytest.raises(ValueError, match="out of order"):
             recorder.on_create_pool(3, 64, "late")
+
+
+class TestV2Compat:
+    @given(events=event_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_v2_roundtrip_preserves_identity(self, events):
+        """v3 -> v2 bytes -> version-dispatched reader -> same trace."""
+        trace = _record(events)
+        clone = Trace.from_bytes(encode_v2(trace))
+        assert list(clone.events()) == list(trace.events())
+        assert clone.stream_sha256 == trace.stream_sha256
+        assert clone.content_hash == trace.content_hash
+        assert clone == trace
+
+    def test_v2_load_from_disk(self, tmp_path):
+        trace = _valid_trace()
+        path = tmp_path / "old.trace"
+        path.write_bytes(encode_v2(trace))
+        loaded = Trace.load(path)
+        assert loaded == trace
+        assert loaded.has_forwarded == trace.has_forwarded
+
+    def test_v2_truncated_payload(self):
+        data = encode_v2(_valid_trace())
+        with pytest.raises(TraceFormatError, match="truncated trace payload"):
+            Trace.from_bytes(data[:-3])
+
+    def test_v2_payload_corruption_detected(self):
+        data = bytearray(encode_v2(_valid_trace()))
+        data[-1] ^= 0xFF
+        with pytest.raises(TraceFormatError, match="hash mismatch"):
+            Trace.from_bytes(bytes(data))

@@ -113,7 +113,7 @@ class TestSpecMode:
         trace = _trace("health", Variant.L)
         mode = _spec_mode(trace, experiment_config(64))
         assert mode in (SPEC_COUNTERS, SPEC_FULL)
-        if trace._has_forwarded:
+        if trace.has_forwarded:
             assert mode == SPEC_FULL
 
 
@@ -147,8 +147,9 @@ class TestExactness:
         import repro.trace.kernels as kernels
 
         def absurd_kernel(config, spec_mode=None):
-            def _replay(stream, hierarchy, timing, *rest):
+            def _replay(kinds, ops, extras, n, hierarchy, timing, *rest):
                 timing.cycle = 2.0 ** 50
+                return rest[-1]  # thread trap_installed through unchanged
             return _replay
 
         monkeypatch.setattr(kernels, "compiled_kernel", absurd_kernel)
