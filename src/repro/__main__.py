@@ -397,6 +397,20 @@ def _corpus_main(argv: list[str]) -> int:
             "format_versions": versions,
         }
         if args.json:
+            # Machine consumers get per-entry identity too: the
+            # chunking-independent stream digest is what dedup and
+            # sidecar validation key on, so scripts can join corpus
+            # rows against capture manifests without re-reading traces.
+            summary["entries"] = [
+                {
+                    "key": row["key"],
+                    "stream_digest": row.get("stream_sha256"),
+                    "bytes": row["bytes"],
+                    "events": row.get("event_count", 0),
+                    "format": row.get("format"),
+                }
+                for row in rows
+            ]
             json.dump(summary, sys.stdout, indent=2, sort_keys=True)
             print()
         else:

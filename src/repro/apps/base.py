@@ -118,12 +118,16 @@ class Application(ABC):
         variant: Variant = Variant.N,
         config: MachineConfig | None = None,
         observer: "MachineObserver | None" = None,
+        on_window=None,
     ) -> AppResult:
         """Execute the application on a fresh machine; returns the result.
 
         ``observer`` (if given) is installed on the machine before the
         workload starts, so it sees the complete event stream -- this is
-        how ``repro.trace`` captures reference traces.
+        how ``repro.trace`` captures reference traces.  ``on_window``
+        (if given, and if ``config`` samples a timeline) streams the
+        sampler's per-window deltas live; it is ignored for untimed
+        configs, so the default hot path is untouched.
         """
         supported = self.variants()
         if variant not in supported:
@@ -133,6 +137,8 @@ class Application(ABC):
             )
         machine = Machine(config or MachineConfig())
         machine.observer = observer
+        if on_window is not None and machine.timeline is not None:
+            machine.timeline.on_window = on_window
         checksum, extras = self.execute(machine, variant)
         timeline = None
         if machine.timeline is not None:

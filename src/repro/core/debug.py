@@ -10,22 +10,21 @@ debugging, and doctest-style documentation:
 * :func:`dump_chain` -- the full forwarding chain from an address;
 * :func:`region_summary` -- counts of data vs forwarding words.
 
-It also hosts the package's progress logging (:func:`get_logger`,
-:func:`enable_progress_logging`): experiment drivers log per-run progress
-through here (to stderr) instead of printing to stdout, so parallel
-sweep workers never interleave garbage into the rendered artifacts.
+It also hosts the package's progress logging entry points
+(:func:`get_logger`, :func:`enable_progress_logging`): experiment
+drivers log per-run progress through here (to stderr) instead of
+printing to stdout.  Since PR 9 the actual handler lives in
+:mod:`repro.obs.logging` -- structured JSON lines written atomically,
+so parallel sweep workers never interleave torn lines into the stream.
 """
 
 from __future__ import annotations
 
 import logging
-import sys
 
 from repro.core.forwarding import ForwardingEngine
 from repro.core.memory import TaggedMemory, WORD_SIZE
-
-#: Root of the package's logger hierarchy.
-ROOT_LOGGER_NAME = "repro"
+from repro.obs.logging import ROOT_LOGGER_NAME, configure_logging
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
@@ -38,23 +37,14 @@ def get_logger(name: str | None = None) -> logging.Logger:
 
 
 def enable_progress_logging(level: int = logging.INFO) -> logging.Logger:
-    """Attach a stderr handler to the ``repro`` logger (idempotent).
+    """Attach the structured stderr handler to ``repro`` (idempotent).
 
-    Progress goes to *stderr* deliberately: stdout is reserved for the
-    rendered tables and figures, which must stay machine-diffable even
-    when several sweep workers are reporting at once.
+    Kept as the historical entry point; delegates to
+    :func:`repro.obs.logging.configure_logging`, which emits one JSON
+    object per line through a single atomic ``os.write`` -- safe under
+    the process pool where plain ``StreamHandler`` lines tear.
     """
-    logger = logging.getLogger(ROOT_LOGGER_NAME)
-    logger.setLevel(min(level, logger.level or level))
-    if not any(
-        isinstance(h, logging.StreamHandler) and h.stream is sys.stderr
-        for h in logger.handlers
-    ):
-        handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(logging.Formatter("%(message)s"))
-        logger.addHandler(handler)
-    logger.setLevel(level)
-    return logger
+    return configure_logging(level)
 
 
 def dump_region(memory: TaggedMemory, start: int, nwords: int, title: str = "") -> str:

@@ -1,7 +1,7 @@
 """Timeline exporters: Chrome trace (Perfetto), CSV, and window diffing.
 
 Three consumers of the ``timeline``/``events`` manifest sections
-(:mod:`repro.obs.manifest`, schema ``/v2``):
+(:mod:`repro.obs.manifest`, schema ``/v2``/``/v3``):
 
 * :func:`chrome_trace` renders a manifest as Chrome-trace JSON -- the
   format ``chrome://tracing`` and https://ui.perfetto.dev load directly.
@@ -56,7 +56,7 @@ def _rate(windows: Mapping[str, list], metric: str, index: int) -> float:
 # Chrome trace / Perfetto
 # ----------------------------------------------------------------------
 def chrome_trace(manifest: Mapping[str, Any]) -> dict[str, Any]:
-    """Chrome-trace JSON object for a ``/v2`` manifest.
+    """Chrome-trace JSON object for a ``/v2`` or ``/v3`` manifest.
 
     Timestamps are microseconds, as the format requires; simulated
     cycles map 1:1 to microseconds (the absolute scale is meaningless in
@@ -129,13 +129,28 @@ def chrome_trace(manifest: Mapping[str, Any]) -> dict[str, Any]:
             "tid": 0,
             "args": {"name": "spans (wall clock)"},
         })
-        # Span records carry durations but not start stamps; lay them
-        # out sequentially per depth so nesting still reads correctly.
+        # /v3 traced spans carry real wall-clock start stamps: lay those
+        # out on a shared axis (normalized to the earliest stamp) so
+        # queue wait, worker execution, and replay chunks line up
+        # causally.  Legacy records without stamps fall back to the /v2
+        # behavior -- sequential per depth, so nesting still reads.
+        stamps = [
+            record["start"] for record in spans if record.get("start") is not None
+        ]
+        origin = min(stamps) if stamps else 0.0
         cursor_by_depth: dict[int, float] = {}
         for record in spans:
             depth = record.get("depth", 0)
-            start = cursor_by_depth.get(depth, 0.0)
             duration = record["wall_seconds"] * 1e6
+            stamped = record.get("start")
+            if stamped is not None:
+                start = (stamped - origin) * 1e6
+            else:
+                start = cursor_by_depth.get(depth, 0.0)
+            args: dict[str, Any] = {}
+            for field in ("trace_id", "span_id", "parent_id", "error"):
+                if record.get(field) is not None:
+                    args[field] = record[field]
             trace_events.append({
                 "name": record["name"],
                 "ph": "X",
@@ -143,7 +158,7 @@ def chrome_trace(manifest: Mapping[str, Any]) -> dict[str, Any]:
                 "tid": depth,
                 "ts": start,
                 "dur": duration,
-                "args": {},
+                "args": args,
             })
             cursor_by_depth[depth] = start + duration
 

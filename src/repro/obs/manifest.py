@@ -8,17 +8,22 @@ regression tooling and dashboards parse it instead of scraping the
 rendered tables.
 
 The schemas are committed next to this module (``manifest_schema.json``
-for version 1, ``manifest_schema_v2.json`` for version 2) and every
-manifest is validated against its declared version before it leaves the
-process.  Validation prefers :mod:`jsonschema` when importable and falls
-back to a pure-python structural check so the artifact pipeline works in
-minimal environments.
+for version 1, ``manifest_schema_v2.json`` for version 2,
+``manifest_schema_v3.json`` for version 3) and every manifest is
+validated against its declared version before it leaves the process.
+Validation prefers :mod:`jsonschema` when importable and falls back to a
+pure-python structural check so the artifact pipeline works in minimal
+environments.
 
-Version 2 (this PR's ``repro.obs.timeline`` layer) adds two optional
+Version 2 (the ``repro.obs.timeline`` layer) added two optional
 sections -- ``timeline`` (windowed time series and address-space heatmap
 per simulation cell) and ``events`` (the bounded structured event
-stream) -- plus an optional ``error`` field on span records.  Version 1
-manifests still validate as version 1 and can be explicitly up-converted
+stream) -- plus an optional ``error`` field on span records.  Version 3
+(the ``repro.obs.tracing`` layer) adds optional causal identity to span
+records -- ``trace_id``/``span_id``/``parent_id`` hex ids and a
+wall-clock ``start`` stamp -- so a serve-tier manifest carries the full
+request span tree across the process-pool boundary.  Older manifests
+still validate as their own version and can be explicitly up-converted
 with :func:`upgrade_manifest`.
 """
 
@@ -32,12 +37,17 @@ from typing import Any, Iterable, Mapping
 from repro.obs.registry import Snapshot
 from repro.obs.span import SpanLog
 
-MANIFEST_VERSION = 2
-MANIFEST_SCHEMA = "repro.obs.manifest/v2"
+MANIFEST_VERSION = 3
+MANIFEST_SCHEMA = "repro.obs.manifest/v3"
+MANIFEST_SCHEMA_V2 = "repro.obs.manifest/v2"
 MANIFEST_SCHEMA_V1 = "repro.obs.manifest/v1"
 
-_SCHEMA_FILES = {1: "manifest_schema.json", 2: "manifest_schema_v2.json"}
-_SCHEMA_NAMES = {1: MANIFEST_SCHEMA_V1, 2: MANIFEST_SCHEMA}
+_SCHEMA_FILES = {
+    1: "manifest_schema.json",
+    2: "manifest_schema_v2.json",
+    3: "manifest_schema_v3.json",
+}
+_SCHEMA_NAMES = {1: MANIFEST_SCHEMA_V1, 2: MANIFEST_SCHEMA_V2, 3: MANIFEST_SCHEMA}
 
 _SCALAR = (str, int, float, bool, type(None))
 
@@ -65,14 +75,16 @@ def load_schema(version: int = MANIFEST_VERSION) -> dict[str, Any]:
 def upgrade_manifest(manifest: Mapping[str, Any]) -> dict[str, Any]:
     """Up-convert a manifest to the current version (validated).
 
-    Version 1 manifests become version 2 by re-stamping the version and
-    schema fields: every v1 construct is legal v2, and the v2-only
-    sections (``timeline``, ``events``) are simply absent.  A manifest
-    already at the current version is returned as a validated copy.
+    Versions 1 and 2 become version 3 by re-stamping the version and
+    schema fields: every older construct is legal v3 -- the v2 sections
+    (``timeline``, ``events``) and the v3 span identity fields are all
+    optional, so an upgraded manifest simply lacks the ones its producer
+    predates.  A manifest already at the current version is returned as
+    a validated copy.
     """
     upgraded = dict(manifest)
     version = upgraded.get("manifest_version")
-    if version == 1:
+    if version in (1, 2):
         upgraded["manifest_version"] = MANIFEST_VERSION
         upgraded["schema"] = MANIFEST_SCHEMA
     elif version != MANIFEST_VERSION:
@@ -289,6 +301,8 @@ def _validate_structurally(manifest: Mapping[str, Any]) -> None:
         _fail("spans", "must be an array")
     span_keys = {"name", "wall_seconds", "depth", "metrics"}
     span_optional = {"error"} if version >= 2 else set()
+    if version >= 3:
+        span_optional |= {"trace_id", "span_id", "parent_id", "start"}
     for index, record in enumerate(spans):
         path = f"spans[{index}]"
         if not isinstance(record, dict):
@@ -301,6 +315,19 @@ def _validate_structurally(manifest: Mapping[str, Any]) -> None:
             not isinstance(record["error"], str) or not record["error"]
         ):
             _fail(f"{path}.error", "must be a non-empty string")
+        for id_field in ("trace_id", "span_id", "parent_id"):
+            if id_field in record:
+                value = record[id_field]
+                if not isinstance(value, str) or not value or set(value) - set(
+                    "0123456789abcdef"
+                ):
+                    _fail(f"{path}.{id_field}", "must be a lowercase hex string")
+        if "start" in record and (
+            isinstance(record["start"], bool)
+            or not isinstance(record["start"], (int, float))
+            or record["start"] < 0
+        ):
+            _fail(f"{path}.start", "must be a non-negative number")
         if not isinstance(record["name"], str) or not record["name"]:
             _fail(f"{path}.name", "must be a non-empty string")
         if isinstance(record["wall_seconds"], bool) or not isinstance(

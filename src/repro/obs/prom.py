@@ -1,0 +1,175 @@
+"""Prometheus text exposition for :class:`~repro.obs.registry.Snapshot`.
+
+``GET /metrics`` has so far returned an ad-hoc JSON tree that nothing
+standard can scrape.  This module renders the same snapshot in the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4), stdlib-only:
+
+* dotted metric names map to ``_``-joined sample names under a
+  namespace prefix (``serve.jobs.completed`` ->
+  ``repro_serve_jobs_completed``);
+* counters and gauges emit one sample each with the matching ``# TYPE``;
+* histograms emit in ``summary`` style: one ``{quantile="..."}`` sample
+  per requested quantile (nearest-rank over the sparse value->count
+  buckets, matching :func:`~repro.obs.registry.histogram_quantiles`)
+  plus ``_count`` and ``_sum`` samples.
+
+:func:`parse_prometheus` is the deliberately minimal inverse -- enough
+to round-trip what :func:`render_prometheus` produces -- used by the
+round-trip test and the CI obs-smoke scrape validator.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+from repro.obs.registry import COUNTER, HISTOGRAM, Snapshot, histogram_quantiles
+
+#: Quantiles rendered for histogram metrics, in emission order.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+
+class PrometheusParseError(ValueError):
+    """A line the minimal text-format parser could not understand."""
+
+
+def metric_name(dotted: str, namespace: str = "repro") -> str:
+    """``serve.jobs.completed`` -> ``repro_serve_jobs_completed``."""
+    joined = dotted.replace(".", "_").replace("-", "_")
+    joined = _NAME_OK.sub("_", joined)
+    if namespace:
+        joined = f"{namespace}_{joined}"
+    if joined and joined[0].isdigit():
+        joined = "_" + joined
+    return joined
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if math.isnan(number):
+        return "NaN"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_labels(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        '{}="{}"'.format(
+            key, str(value).replace("\\", "\\\\").replace('"', '\\"')
+        )
+        for key, value in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
+
+
+def render_prometheus(
+    snapshot: Snapshot,
+    *,
+    namespace: str = "repro",
+    labels: Mapping[str, str] | None = None,
+    quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+) -> str:
+    """Render a registry snapshot as Prometheus text exposition.
+
+    ``labels`` are constant labels stamped on every sample (e.g.
+    ``{"instance": "serve-0"}``).  Output ends with a newline, as the
+    format requires.
+    """
+    base = dict(labels or {})
+    lines: list[str] = []
+    for dotted in sorted(snapshot.flat()):
+        kind = snapshot.kind(dotted)
+        value = snapshot.get(dotted)
+        name = metric_name(dotted, namespace)
+        lines.append(f"# HELP {name} {dotted}")
+        if kind == HISTOGRAM:
+            lines.append(f"# TYPE {name} summary")
+            counts: Mapping[Any, int] = value if isinstance(value, Mapping) else {}
+            quants = histogram_quantiles(counts, quantiles)
+            total = sum(counts.values())
+            total_sum = sum(float(k) * int(v) for k, v in counts.items())
+            for q in quantiles:
+                sample_labels = dict(base)
+                sample_labels["quantile"] = _format_value(q)
+                rendered = quants.get(f"p{q * 100:g}", float("nan"))
+                lines.append(
+                    f"{name}{_format_labels(sample_labels)} "
+                    f"{_format_value(rendered)}"
+                )
+            lines.append(f"{name}_count{_format_labels(base)} {total}")
+            lines.append(
+                f"{name}_sum{_format_labels(base)} {_format_value(total_sum)}"
+            )
+        else:
+            prom_type = "counter" if kind == COUNTER else "gauge"
+            lines.append(f"# TYPE {name} {prom_type}")
+            lines.append(f"{name}{_format_labels(base)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, Any]:
+    """Parse text exposition back into structured form (round-trip helper).
+
+    Returns ``{"types": {name: type}, "samples": [(name, labels, value)]}``.
+    Only the subset :func:`render_prometheus` emits is supported;
+    malformed sample lines raise :class:`PrometheusParseError`.
+    """
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3].strip()
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise PrometheusParseError(f"unparseable sample line: {line!r}")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for pair in _LABEL.finditer(match.group("labels")):
+                labels[pair.group("key")] = (
+                    pair.group("value").replace('\\"', '"').replace("\\\\", "\\")
+                )
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            try:
+                value = float(value_text)
+            except ValueError as exc:
+                raise PrometheusParseError(
+                    f"bad sample value in line: {line!r}"
+                ) from exc
+        samples.append((match.group("name"), labels, value))
+    return {"types": types, "samples": samples}
+
+
+def samples_by_name(parsed: Mapping[str, Any]) -> dict[str, list[tuple[dict, float]]]:
+    """Group parsed samples by metric name (scrape-assert convenience)."""
+    grouped: dict[str, list[tuple[dict, float]]] = {}
+    for name, labels, value in parsed["samples"]:
+        grouped.setdefault(name, []).append((labels, value))
+    return grouped

@@ -42,6 +42,15 @@ class SpanRecord:
     #: Exception summary when the span body raised (``None`` for clean
     #: exits).  A failed region still accounts for its time and work.
     error: str | None = None
+    #: Causal identity (set by :mod:`repro.obs.tracing`; ``None`` for
+    #: plain registry spans).  Hex strings; ``parent_id`` is ``None``
+    #: for trace roots.
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
+    #: Wall-clock start stamp (``time.time()``), letting exporters lay
+    #: spans out on a real axis instead of packing them sequentially.
+    start: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe form used by run manifests."""
@@ -60,6 +69,14 @@ class SpanRecord:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        if self.start is not None:
+            out["start"] = round(self.start, 6)
         return out
 
 

@@ -81,6 +81,7 @@ class Timeline:
         "events",
         "windows",
         "region_bytes",
+        "on_window",
         "_registry",
         "_mshr",
         "_clock",
@@ -119,6 +120,13 @@ class Timeline:
         self._heat_access: dict[int, int] = {}
         self._heat_forwarded: dict[int, int] = {}
         self.windows: dict[str, list] = {name: [] for name in WINDOW_SERIES}
+        #: Optional live-streaming hook: called once per *closed* window
+        #: with ``{"index": i, <series name>: value, ...}``.  Paid only
+        #: at window boundaries (never per reference), so the disabled
+        #: and non-streaming costs are both unchanged.  The callback
+        #: must never raise; the serve tier's forwarder swallows its own
+        #: queue-full conditions.
+        self.on_window: Callable[[dict[str, Any]], None] | None = None
 
     # ------------------------------------------------------------------
     def tick(self, address: int) -> None:
@@ -167,6 +175,18 @@ class Timeline:
         series["stall_slots"].append(stalls)
         series["chases"].append(int(chases))
         series["mshr_occupancy"].append(occupancy)
+        if self.on_window is not None:
+            index = len(series["refs"]) - 1
+            self.on_window({
+                "index": index,
+                "refs": refs,
+                "cycles": series["cycles"][index],
+                "l1_misses": series["l1_misses"][index],
+                "miss_rate": series["miss_rate"][index],
+                "stall_slots": stalls,
+                "chases": series["chases"][index],
+                "mshr_occupancy": occupancy,
+            })
 
     # ------------------------------------------------------------------
     @property

@@ -5,9 +5,14 @@ JSON API (``python -m repro serve``) that accepts simulation cells,
 dedupes them against the content-hashed artifact store, coalesces
 identical in-flight requests, schedules cache-aware (warm replays before
 cold captures), executes on a crash-tolerant process pool, and answers
-with the same schema-validated ``repro.obs.manifest/v2`` documents the
-batch CLI emits.  ``python -m repro serve.bench`` is the load generator
-that pins service throughput in ``benchmarks/BENCH_PR5.json``.
+with the same schema-validated ``repro.obs.manifest/v3`` documents the
+batch CLI emits -- since PR 9 their span lists carry the request's full
+causal trace (HTTP admission through worker-side replay), jobs stream
+live telemetry over ``GET /jobs/<id>/stream``, and the registry renders
+Prometheus text exposition at ``GET /metrics?format=prometheus``.
+``python -m repro serve.bench`` is the load generator that pins service
+throughput in ``benchmarks/BENCH_PR5.json`` (latency quantiles since
+``BENCH_PR9.json``).
 """
 
 from repro.serve.http import HttpServer, serve_main

@@ -18,7 +18,9 @@ The run fails (exit 1) unless (a) warm mean latency is at least
 ``--min-speedup`` times better than cold, and (b) every warm cell's
 simulated metric tree is bit-identical to its cold counterpart -- the
 cache must be invisible in the results.  ``--out`` writes the pinned
-numbers (``benchmarks/BENCH_PR5.json`` in-repo).
+numbers (``benchmarks/BENCH_PR5.json`` in-repo; since PR 9
+``benchmarks/BENCH_PR9.json`` adds per-request latency histograms and
+p50/p95/p99 per pass).
 """
 
 from __future__ import annotations
@@ -34,6 +36,8 @@ from typing import Any
 
 from repro.apps import FIGURE5_APPS
 from repro.experiments.config import APP_SEEDS, line_sizes_for
+from repro.obs import histogram_quantiles
+from repro.obs.registry import Histogram
 from repro.serve.http import HttpServer
 from repro.serve.service import SimulationService
 
@@ -199,12 +203,27 @@ async def _coalescing_probe(
     }
 
 
-def _stats(latencies: list[float]) -> dict[str, float]:
-    ordered = sorted(latencies)
+def _stats(latencies: list[float]) -> dict[str, Any]:
+    """Per-pass latency digest: a sparse ms histogram and its quantiles.
+
+    The same :class:`~repro.obs.registry.Histogram` /
+    :func:`~repro.obs.histogram_quantiles` machinery the service uses
+    live, so bench numbers and ``/metrics`` quantiles are derived
+    identically.
+    """
+    hist = Histogram("bench.latency_ms")
+    for ms in latencies:
+        hist.observe(max(0, round(ms)))
+    quants = histogram_quantiles(hist.counts, (0.5, 0.95, 0.99))
     return {
-        "mean_ms": round(statistics.fmean(ordered), 3),
-        "p50_ms": round(ordered[len(ordered) // 2], 3),
-        "max_ms": round(ordered[-1], 3),
+        "mean_ms": round(statistics.fmean(latencies), 3),
+        "p50_ms": quants["p50"],
+        "p95_ms": quants["p95"],
+        "p99_ms": quants["p99"],
+        "max_ms": round(max(latencies), 3),
+        "histogram_ms": {
+            str(key): count for key, count in sorted(hist.counts.items())
+        },
     }
 
 

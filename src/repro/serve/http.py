@@ -4,22 +4,32 @@ A deliberately small HTTP/1.1 server (``asyncio.start_server`` plus a
 hand-rolled request parser -- the standard library has no async HTTP
 server) exposing the JSON API:
 
-====== =================  ==============================================
-POST   ``/jobs``          submit a job spec; ``200`` when served warm
-                          from the cache (body carries the manifest),
-                          ``202`` when queued or coalesced, ``400`` on a
-                          bad spec, ``429 + Retry-After`` under
-                          backpressure, ``503`` while draining.
-GET    ``/jobs``          list known jobs (no manifests).
-GET    ``/jobs/<id>``     job status; terminal jobs include the
-                          schema-validated ``/v2`` manifest.  Optional
-                          ``?wait=SECONDS`` long-polls for completion.
-GET    ``/metrics``       live registry snapshot + derived p50/p99.
-GET    ``/healthz``       liveness and queue headroom.
-====== =================  ==============================================
+======= ====================== ==========================================
+POST    ``/jobs``              submit a job spec; ``200`` when served
+                               warm from the cache (body carries the
+                               manifest), ``202`` when queued or
+                               coalesced, ``400`` on a bad spec,
+                               ``429 + Retry-After`` under backpressure,
+                               ``503`` while draining.
+GET     ``/jobs``              list known jobs (no manifests).
+GET     ``/jobs/<id>``         job status; terminal jobs include the
+                               schema-validated ``/v3`` manifest (spans
+                               carry the request's causal trace).
+                               Optional ``?wait=SECONDS`` long-polls.
+GET     ``/jobs/<id>/stream``  server-sent events: state transitions
+                               plus live per-window timeline deltas
+                               while the simulation runs; ends with an
+                               ``end`` event carrying drop accounting.
+GET     ``/metrics``           live registry snapshot + derived p50/p99;
+                               ``?format=prometheus`` renders text
+                               exposition format instead.
+GET     ``/healthz``           liveness and queue headroom.
+======= ====================== ==========================================
 
-Connections are keep-alive; bodies are JSON both ways.  ``SIGTERM`` and
-``SIGINT`` trigger a graceful drain: in-flight jobs finish, new
+Connections are keep-alive; bodies are JSON both ways, except the SSE
+stream (``text/event-stream``, one connection per consumer, closed at
+job completion) and the Prometheus exposition (plain text).  ``SIGTERM``
+and ``SIGINT`` trigger a graceful drain: in-flight jobs finish, new
 submissions get ``503``, then the loop exits.
 """
 
@@ -32,7 +42,8 @@ import signal
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
-from repro.core.debug import enable_progress_logging, get_logger
+from repro.core.debug import get_logger
+from repro.obs.logging import configure_logging
 from repro.serve.protocol import ProtocolError
 from repro.serve.scheduler import QueueFull
 from repro.serve.service import ServiceClosed, SimulationService
@@ -45,6 +56,8 @@ MAX_BODY_BYTES = 1 << 20
 READ_TIMEOUT = 30.0
 #: Cap on ``?wait=`` long-polls so clients cannot pin connections.
 MAX_WAIT_SECONDS = 30.0
+#: SSE keep-alive comment cadence while a job is quiet.
+SSE_HEARTBEAT_SECONDS = 15.0
 
 
 class _HttpError(Exception):
@@ -67,18 +80,39 @@ _REASONS = {
 }
 
 
+class _Raw:
+    """A non-JSON response body (Prometheus text exposition)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
 def _response(
-    status: int, body: dict[str, Any], headers: dict[str, str] | None = None
+    status: int,
+    body: "dict[str, Any] | _Raw",
+    headers: dict[str, str] | None = None,
 ) -> bytes:
-    payload = json.dumps(body).encode("utf-8")
+    if isinstance(body, _Raw):
+        payload = body.text.encode("utf-8")
+        content_type = body.content_type
+    else:
+        payload = json.dumps(body).encode("utf-8")
+        content_type = "application/json"
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(payload)}",
     ]
     for name, value in (headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + payload
+
+
+def _sse_event(payload: dict[str, Any]) -> bytes:
+    return f"data: {json.dumps(payload)}\n\n".encode("utf-8")
 
 
 class HttpServer:
@@ -192,6 +226,16 @@ class HttpServer:
             await writer.drain()
             return False
 
+        # The SSE stream owns the connection: it writes its own head and
+        # events until the job completes, then closes.
+        stream_path = urlsplit(target).path.rstrip("/")
+        if method == "GET" and stream_path.startswith("/jobs/") and (
+            stream_path.endswith("/stream")
+        ):
+            job_id = stream_path[len("/jobs/"):-len("/stream")]
+            await self._stream_job(job_id, writer)
+            return False
+
         try:
             status, payload, extra = await self._dispatch(method, target, body)
         except _HttpError as exc:
@@ -223,6 +267,18 @@ class HttpServer:
             return 200, self.service.healthz(), {}
         if path == "/metrics":
             self._require(method, "GET")
+            fmt = query.get("format", ["json"])[0]
+            if fmt == "prometheus":
+                return (
+                    200,
+                    _Raw(
+                        self.service.prometheus_payload(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    ),
+                    {},
+                )
+            if fmt != "json":
+                raise _HttpError(400, f"unknown metrics format {fmt!r}")
             return 200, self.service.metrics_payload(), {}
         if path == "/jobs":
             if method == "POST":
@@ -284,6 +340,68 @@ class HttpServer:
             described["manifest"] = job.manifest
         return 200, described, {}
 
+    async def _stream_job(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve ``GET /jobs/<id>/stream`` as server-sent events.
+
+        The subscriber gets an initial ``state`` event, then everything
+        the job publishes (state transitions, live timeline windows)
+        until its terminal sentinel, then one ``end`` event carrying the
+        job's drop count.  Quiet stretches are bridged with comment
+        heartbeats so proxies don't reap the connection.
+        """
+        job = self.service.table.get(job_id)
+        if job is None:
+            writer.write(
+                _response(
+                    404,
+                    {"error": f"unknown job {job_id!r}"},
+                    {"Connection": "close"},
+                )
+            )
+            await writer.drain()
+            return
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("ascii")
+        )
+        events = job.subscribe()
+        try:
+            initial: dict[str, Any] = {
+                "event": "state",
+                "state": job.state,
+                "job": job.id,
+            }
+            if job.trace_id is not None:
+                initial["trace_id"] = job.trace_id
+            writer.write(_sse_event(initial))
+            await writer.drain()
+            while not job.finished or not events.empty():
+                try:
+                    event = await asyncio.wait_for(
+                        events.get(), SSE_HEARTBEAT_SECONDS
+                    )
+                except asyncio.TimeoutError:
+                    writer.write(b": heartbeat\n\n")
+                    await writer.drain()
+                    continue
+                if event is None:
+                    break
+                writer.write(_sse_event(event))
+                await writer.drain()
+            writer.write(
+                _sse_event({"event": "end", "dropped": job.stream_dropped})
+            )
+            await writer.drain()
+        finally:
+            job.unsubscribe(events)
+
 
 # ----------------------------------------------------------------------
 async def _serve(args: argparse.Namespace) -> int:
@@ -316,7 +434,7 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro serve",
         description="Long-lived simulation service over the trace/replay "
-        "engine (submit cells over HTTP, results are /v2 run manifests).",
+        "engine (submit cells over HTTP, results are /v3 run manifests).",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8321)
@@ -348,6 +466,11 @@ def serve_main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress progress logging"
     )
     parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="structured-log level (DEBUG/INFO/...; also via "
+             "REPRO_LOG_LEVEL; default INFO unless --quiet)",
+    )
+    parser.add_argument(
         "--no-batch", dest="batch", action="store_false", default=True,
         help="run every job individually instead of folding queued jobs "
              "that share a reference stream into one batch",
@@ -360,5 +483,8 @@ def serve_main(argv: list[str] | None = None) -> int:
     if args.job_timeout <= 0:
         parser.error("--job-timeout must be > 0")
     if not args.quiet:
-        enable_progress_logging()
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            parser.error(str(exc))
     return asyncio.run(_serve(args))

@@ -11,6 +11,14 @@ The :class:`JobTable` retains every live job plus a bounded history of
 finished ones, evicting the oldest finished jobs first so a long-lived
 service cannot grow without bound while ``GET /jobs/<id>`` keeps working
 for recently completed work.
+
+Since PR 9 a job is also a broadcast hub: ``GET /jobs/<id>/stream``
+subscribers each get a bounded :class:`asyncio.Queue` the job publishes
+its state transitions and live timeline windows into.  A slow consumer
+never blocks the publisher -- events that don't fit are dropped and
+counted (``stream_dropped``), except the terminal sentinel, which
+displaces the oldest queued event so every subscriber always observes
+the end of the stream.
 """
 
 from __future__ import annotations
@@ -32,6 +40,9 @@ FAILED = "failed"
 
 _TERMINAL = (DONE, FAILED)
 
+#: Per-subscriber stream queue bound; beyond it, events drop (counted).
+STREAM_QUEUE_LIMIT = 256
+
 
 @dataclass
 class Job:
@@ -45,7 +56,7 @@ class Job:
     #: *submission* outcome of duplicate requests.
     how: str | None = None
     error: str | None = None
-    #: Schema-validated /v2 run manifest, present once terminal.
+    #: Schema-validated /v3 run manifest, present once terminal.
     manifest: dict[str, Any] | None = None
     submitted_at: float = field(default_factory=time.monotonic)
     started_at: float | None = None
@@ -54,7 +65,21 @@ class Job:
     subscribers: int = 1
     #: Worker attempts consumed (crash recovery retries increment it).
     attempts: int = 0
+    #: Request trace id (set by the service when tracing the job).
+    trace_id: str | None = None
+    #: The service-side Tracer assembling this job's span tree.
+    tracer: Any = field(default=None, repr=False)
+    #: The open ``serve.request`` root span (closed at completion).
+    root_span: Any = field(default=None, repr=False)
+    #: Wall-clock submission stamp (``time.time()``; ``submitted_at``
+    #: is monotonic and useless for cross-process span layout).
+    submitted_wall: float = field(default_factory=time.time)
+    #: Stream accounting: events published / events dropped on full
+    #: subscriber queues.
+    stream_events: int = 0
+    stream_dropped: int = 0
     _done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+    _watchers: list = field(default_factory=list, repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -78,11 +103,19 @@ class Job:
         except asyncio.TimeoutError:
             return False
 
+    def start(self) -> None:
+        """Transition to ``running`` (called by the scheduler's pop)."""
+        self.state = RUNNING
+        self.started_at = time.monotonic()
+        self.publish({"event": "state", "state": RUNNING})
+
     def complete(self, how: str, manifest: dict[str, Any]) -> None:
         self.state = DONE
         self.how = how
         self.manifest = manifest
         self.finished_at = time.monotonic()
+        self.publish({"event": "state", "state": DONE, "how": how})
+        self._close_stream()
         self._done.set()
 
     def fail(self, error: str, manifest: dict[str, Any] | None = None) -> None:
@@ -90,7 +123,58 @@ class Job:
         self.error = error
         self.manifest = manifest
         self.finished_at = time.monotonic()
+        self.publish({"event": "state", "state": FAILED, "error": error})
+        self._close_stream()
         self._done.set()
+
+    # -- live streaming ------------------------------------------------
+    def subscribe(self, maxsize: int = STREAM_QUEUE_LIMIT) -> asyncio.Queue:
+        """A bounded queue this job's events will be published into."""
+        queue: asyncio.Queue = asyncio.Queue(maxsize=maxsize)
+        self._watchers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        try:
+            self._watchers.remove(queue)
+        except ValueError:
+            pass
+
+    def publish(self, event: dict[str, Any]) -> None:
+        """Broadcast ``event`` to every subscriber; drop, never block.
+
+        Called from the event loop only (state transitions and the
+        telemetry forwarder both live there).
+        """
+        if not self._watchers:
+            return
+        self.stream_events += 1
+        for queue in self._watchers:
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                self.stream_dropped += 1
+
+    def _close_stream(self) -> None:
+        """Deliver the terminal sentinel to every subscriber, always.
+
+        Unlike ordinary events the sentinel may displace the oldest
+        queued event on a full queue -- a slow consumer loses data (and
+        the drop is counted) but always learns the stream ended.
+        """
+        for queue in self._watchers:
+            try:
+                queue.put_nowait(None)
+            except asyncio.QueueFull:
+                try:
+                    queue.get_nowait()
+                    self.stream_dropped += 1
+                except asyncio.QueueEmpty:  # pragma: no cover - races only
+                    pass
+                try:
+                    queue.put_nowait(None)
+                except asyncio.QueueFull:  # pragma: no cover - races only
+                    pass
 
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, Any]:
@@ -109,6 +193,13 @@ class Job:
             out["error"] = self.error
         if self.latency_seconds is not None:
             out["latency_seconds"] = round(self.latency_seconds, 6)
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.stream_events or self.stream_dropped:
+            out["stream"] = {
+                "events": self.stream_events,
+                "dropped": self.stream_dropped,
+            }
         return out
 
 
@@ -121,6 +212,23 @@ class JobTable:
         self.history_limit = history_limit
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._ids = itertools.count(1)
+        #: Stream accounting carried over from evicted jobs, so the
+        #: service's cumulative counters survive history eviction.
+        self.evicted_stream_events = 0
+        self.evicted_stream_dropped = 0
+
+    # -- stream accounting ---------------------------------------------
+    @property
+    def stream_events_total(self) -> int:
+        return self.evicted_stream_events + sum(
+            job.stream_events for job in self._jobs.values()
+        )
+
+    @property
+    def stream_dropped_total(self) -> int:
+        return self.evicted_stream_dropped + sum(
+            job.stream_dropped for job in self._jobs.values()
+        )
 
     def create(self, spec: JobSpec) -> Job:
         job = Job(id=f"job-{next(self._ids)}", spec=spec)
@@ -148,4 +256,6 @@ class JobTable:
             for job_id, job in self._jobs.items()
             if job.finished
         ][:excess]:
-            del self._jobs[job_id]
+            evicted = self._jobs.pop(job_id)
+            self.evicted_stream_events += evicted.stream_events
+            self.evicted_stream_dropped += evicted.stream_dropped

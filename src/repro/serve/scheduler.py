@@ -31,9 +31,7 @@ scheduler.
 from __future__ import annotations
 
 import asyncio
-import time
-
-from repro.serve.jobs import RUNNING, Job
+from repro.serve.jobs import Job
 from repro.trace.store import ArtifactStore
 
 
@@ -161,8 +159,9 @@ class Scheduler:
 
     def _start(self, index: int) -> Job:
         job, _ = self._queue.pop(index)
-        job.state = RUNNING
-        job.started_at = time.monotonic()
+        # Job.start() owns the transition so stream subscribers see the
+        # queued -> running edge the moment the scheduler hands it out.
+        job.start()
         return job
 
     def _is_warm(self, trace_key: str) -> bool:

@@ -5,9 +5,20 @@
 cells straight from the artifact store (O(ms), no worker round-trip),
 coalesces identical in-flight requests, and feeds everything else
 through the cache-aware scheduler into the worker pool.  Every finished
-job carries a schema-validated ``repro.obs.manifest/v2`` run manifest --
+job carries a schema-validated ``repro.obs.manifest/v3`` run manifest --
 the same artifact format the batch CLI emits -- so service clients and
 batch pipelines consume identical documents.
+
+Since PR 9 every job is traced end to end: admission opens a
+``serve.request`` root span on a per-job :class:`~repro.obs.Tracer`,
+the probe / queue wait / coalesce joins / worker round-trip each record
+under it, the worker ships its own spans back across the pool boundary
+(see :mod:`repro.serve.workers`), and the finished manifest's ``spans``
+list is the assembled causal tree -- exportable to Perfetto via the
+existing ``obs export`` tooling.  Sampled cells additionally stream
+their timeline windows live: workers push per-window dicts onto the
+pool's telemetry queue and :meth:`_forward_telemetry` fans them out to
+``GET /jobs/<id>/stream`` subscribers.
 
 Instrumentation is a live :class:`repro.obs.Registry`:
 
@@ -20,22 +31,33 @@ Instrumentation is a live :class:`repro.obs.Registry`:
 ``serve.cache.{hit,miss}``               warm-probe outcomes (counters)
 ``serve.jobs.batch_folded``              jobs folded into batches (counter)
 ``serve.workers.restarts``               pool rebuilds (gauge, live)
+``serve.stream.{events,dropped}``        SSE fan-out accounting (counters)
 ``serve.latency.<how>_ms``               per-outcome latency histograms
 ======================================  ================================
 
 ``GET /metrics`` snapshots the registry and derives p50/p99 from the
-latency histograms via :func:`repro.obs.histogram_quantiles`.
+latency histograms via :func:`repro.obs.histogram_quantiles`;
+``GET /metrics?format=prometheus`` renders the same snapshot in text
+exposition format via :func:`repro.obs.render_prometheus`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import queue as _queue
 import time
 from typing import Any
 
 from repro.core.debug import get_logger
-from repro.obs import GAUGE, Registry, build_manifest, cell, histogram_quantiles
-from repro.obs.span import SpanRecord
+from repro.obs import (
+    GAUGE,
+    Registry,
+    Tracer,
+    build_manifest,
+    cell,
+    histogram_quantiles,
+    render_prometheus,
+)
 from repro.serve.jobs import Job, JobTable
 from repro.serve.protocol import JobSpec
 from repro.serve.scheduler import QueueFull, Scheduler
@@ -87,6 +109,7 @@ class SimulationService:
         self.started_at = time.time()
         self._draining = False
         self._consumers: list[asyncio.Task] = []
+        self._forwarder: asyncio.Task | None = None
         #: trace key -> content hash, learned on first warm probe so
         #: repeat probes skip re-reading the trace bytes.
         self._trace_hashes: dict[str, str] = {}
@@ -97,6 +120,14 @@ class SimulationService:
             "serve.jobs.inflight", lambda: self.scheduler.inflight, GAUGE
         )
         self.obs.bind("serve.workers.restarts", lambda: self.pool.restarts, GAUGE)
+        # Stream totals are monotonic (the table folds evicted jobs'
+        # counts in), so they bind as counters despite being derived.
+        self.obs.bind(
+            "serve.stream.events", lambda: self.table.stream_events_total
+        )
+        self.obs.bind(
+            "serve.stream.dropped", lambda: self.table.stream_dropped_total
+        )
         for name in (
             "serve.jobs.submitted",
             "serve.jobs.coalesced",
@@ -137,9 +168,13 @@ class SimulationService:
                 clean = False
                 break
             await asyncio.sleep(0.02)
-        for task in self._consumers:
+        tasks = list(self._consumers)
+        if self._forwarder is not None:
+            tasks.append(self._forwarder)
+            self._forwarder = None
+        for task in tasks:
             task.cancel()
-        for task in self._consumers:
+        for task in tasks:
             try:
                 await task
             except asyncio.CancelledError:
@@ -168,33 +203,63 @@ class SimulationService:
         existing = self.scheduler.coalesce(spec.job_key)
         if existing is not None:
             self.obs.counter("serve.jobs.coalesced").inc()
+            self._record_join(existing)
             return existing, "coalesced"
-        submitted = time.monotonic()
+        tracer = Tracer()
+        root = tracer.begin("serve.request")
+        probe_started = time.perf_counter()
         warm = await asyncio.to_thread(self._warm_probe, spec)
+        tracer.record(
+            "serve.probe",
+            time.perf_counter() - probe_started,
+            metrics={"hit": 1 if warm is not None else 0},
+        )
         if warm is not None:
-            manifest, how = warm
             self.obs.counter("serve.cache.hit").inc()
             job = self.table.create(spec)
             job.attempts = 0
-            job.complete(how, manifest)
-            self._observe_latency(how, time.monotonic() - submitted)
+            self._adopt(job, tracer, root)
+            tracer.end(root)
+            manifest = self._success_manifest(
+                spec, warm, "cached", tracer=tracer
+            )
+            job.complete("cached", manifest)
+            self._observe_latency("cached", root.wall_seconds)
             return job, "cached"
         self.obs.counter("serve.cache.miss").inc()
+
+        def _factory() -> Job:
+            job = self.table.create(spec)
+            self._adopt(job, tracer, root)
+            return job
+
         try:
-            job, outcome = self.scheduler.submit(
-                lambda: self.table.create(spec), spec.job_key
-            )
+            job, outcome = self.scheduler.submit(_factory, spec.job_key)
         except QueueFull:
             self.obs.counter("serve.jobs.rejected").inc()
             raise
-        self.obs.counter(
-            "serve.jobs.coalesced"
-            if outcome == "coalesced"
-            else "serve.jobs.submitted"
-        ).inc()
+        if outcome == "coalesced":
+            self.obs.counter("serve.jobs.coalesced").inc()
+            self._record_join(job)
+        else:
+            self.obs.counter("serve.jobs.submitted").inc()
         return job, outcome
 
-    def _warm_probe(self, spec: JobSpec) -> tuple[dict, str] | None:
+    def _adopt(self, job: Job, tracer: Tracer, root) -> None:
+        job.tracer = tracer
+        job.trace_id = tracer.trace_id
+        job.root_span = root
+
+    def _record_join(self, job: Job) -> None:
+        """A zero-duration mark on the host job: one more rider attached."""
+        if job.tracer is not None and not job.finished:
+            job.tracer.record(
+                "serve.coalesce.join",
+                0.0,
+                metrics={"subscribers": job.subscribers},
+            )
+
+    def _warm_probe(self, spec: JobSpec):
         """Serve a fully cached cell without touching the worker tier.
 
         Runs in a thread (manifest rows and result JSON come off disk).
@@ -202,7 +267,8 @@ class SimulationService:
         manifest via :meth:`~repro.trace.store.ArtifactStore.
         content_hash_for` -- an O(1) row lookup, falling back to a
         two-seek footer read -- so the probe never decodes chunk data.
-        Returns ``(manifest, "cached")`` or None on any miss.
+        Returns the cached :class:`~repro.apps.base.AppResult` or None
+        on any miss.
         """
         task = spec.task()
         trace_key = task.key()
@@ -212,14 +278,9 @@ class SimulationService:
             if content_hash is None:
                 return None
             self._trace_hashes[trace_key] = content_hash
-        result = self.store.load_result(
+        return self.store.load_result(
             content_hash, config_fingerprint(task.config())
         )
-        if result is None:
-            return None
-        record = SpanRecord(name=f"serve.job.{spec.cell_id}", wall_seconds=0.0)
-        manifest = self._success_manifest(spec, result, "cached", record)
-        return manifest, "cached"
 
     # -- execution ------------------------------------------------------
     async def _consume(self) -> None:
@@ -245,28 +306,55 @@ class SimulationService:
                         job.fail("internal error")
                     self.scheduler.finished(job, captured=False)
 
+    def _queue_wait(self, job: Job) -> None:
+        """Record the admission-to-pop interval on the job's trace."""
+        if job.tracer is None or job.started_at is None:
+            return
+        job.tracer.record(
+            "serve.queue.wait",
+            max(0.0, job.started_at - job.submitted_at),
+            start=job.submitted_wall,
+        )
+
+    def _stream_token(self, job: Job) -> str | None:
+        """The telemetry routing token -- only sampled cells stream."""
+        if job.spec.timeline_interval > 0:
+            self._ensure_forwarder()
+            return job.id
+        return None
+
     async def _run_job(self, job: Job) -> None:
         spec = job.spec
-        record = SpanRecord(name=f"serve.job.{spec.cell_id}", wall_seconds=0.0)
-        started = time.perf_counter()
+        tracer = job.tracer
+        self._queue_wait(job)
         try:
-            result, how, attempts = await self.pool.run(spec.task())
+            if tracer is not None:
+                with tracer.span("serve.execute") as exec_rec:
+                    ctx = tracer.current().to_wire()
+                    result, how, spans, attempts = await self.pool.run(
+                        spec.task(), ctx=ctx, token=self._stream_token(job)
+                    )
+                tracer.absorb(spans, depth_offset=exec_rec.depth + 1)
+            else:
+                result, how, spans, attempts = await self.pool.run(spec.task())
         except Exception as exc:
-            record.wall_seconds = time.perf_counter() - started
             detail = str(exc)
-            record.error = (
+            error = (
                 f"{type(exc).__name__}: {detail}" if detail else type(exc).__name__
             )
             if isinstance(exc, JobTimeout):
                 self.obs.counter("serve.jobs.timeouts").inc()
             self.obs.counter("serve.jobs.failed").inc()
-            _log.warning("job %s (%s) failed: %s", job.id, spec.cell_id, record.error)
-            job.fail(record.error, self._failure_manifest(spec, record))
+            _log.warning("job %s (%s) failed: %s", job.id, spec.cell_id, error)
+            if tracer is not None:
+                tracer.end(job.root_span, error=error)
+            job.fail(error, self._failure_manifest(spec, error, tracer=tracer))
             self.scheduler.finished(job, captured=False)
             return
-        record.wall_seconds = time.perf_counter() - started
         job.attempts = attempts
-        manifest = self._success_manifest(spec, result, how, record)
+        if tracer is not None:
+            tracer.end(job.root_span)
+        manifest = self._success_manifest(spec, result, how, tracer=tracer)
         job.complete(how, manifest)
         self.obs.counter("serve.jobs.completed").inc()
         self._observe_latency(how, job.latency_seconds or 0.0)
@@ -277,17 +365,39 @@ class SimulationService:
 
         The worker returns per-cell outcome tuples, so each folded job
         completes or fails on its own terms; only a whole-batch failure
-        (timeout, exhausted pool retries) fails every member.
+        (timeout, exhausted pool retries) fails every member.  Each
+        traced member gets its own ``serve.execute`` span bracketing the
+        shared round-trip, with its worker-side spans spliced under it.
         """
         by_task = {job.spec.task(): job for job in jobs}
         tasks = list(by_task)
         if len(jobs) > 1:
             self.obs.counter("serve.jobs.batch_folded").inc(len(jobs) - 1)
-        started = time.perf_counter()
+        ctxs: dict[Any, dict] = {}
+        tokens: dict[Any, str] = {}
+        exec_recs: dict[Any, Any] = {}
+        for task, job in by_task.items():
+            self._queue_wait(job)
+            if job.tracer is None:
+                continue
+            exec_recs[task] = job.tracer.begin("serve.execute")
+            ctxs[task] = job.tracer.current().to_wire()
+            token = self._stream_token(job)
+            if token is not None:
+                tokens[task] = token
+
+        def _close_exec(task, error: str | None = None) -> None:
+            job = by_task[task]
+            rec = exec_recs.pop(task, None)
+            if rec is None or job.tracer is None:
+                return
+            job.tracer.end(rec, error=error)
+
         try:
-            outcomes, attempts = await self.pool.run_batch(tasks)
+            outcomes, attempts = await self.pool.run_batch(
+                tasks, ctxs=ctxs or None, tokens=tokens or None
+            )
         except Exception as exc:
-            elapsed = time.perf_counter() - started
             detail = str(exc)
             error = (
                 f"{type(exc).__name__}: {detail}" if detail else type(exc).__name__
@@ -295,33 +405,39 @@ class SimulationService:
             if isinstance(exc, JobTimeout):
                 self.obs.counter("serve.jobs.timeouts").inc()
             _log.warning("batch of %d jobs failed: %s", len(jobs), error)
-            for job in jobs:
-                record = SpanRecord(
-                    name=f"serve.job.{job.spec.cell_id}", wall_seconds=elapsed
-                )
-                record.error = error
+            for task, job in by_task.items():
+                _close_exec(task, error=error)
+                if job.tracer is not None:
+                    job.tracer.end(job.root_span, error=error)
                 self.obs.counter("serve.jobs.failed").inc()
-                job.fail(error, self._failure_manifest(job.spec, record))
+                job.fail(
+                    error,
+                    self._failure_manifest(job.spec, error, tracer=job.tracer),
+                )
                 self.scheduler.finished(job, captured=False)
             return
-        elapsed = time.perf_counter() - started
-        for task, result, how, engine, error in outcomes:
+        for task, result, how, engine, error, spans in outcomes:
             job = by_task[task]
-            record = SpanRecord(
-                name=f"serve.job.{job.spec.cell_id}", wall_seconds=elapsed
-            )
+            if job.tracer is not None:
+                rec = exec_recs.get(task)
+                offset = rec.depth + 1 if rec is not None else 1
+                _close_exec(task, error=error)
+                job.tracer.absorb(spans, depth_offset=offset)
+                job.tracer.end(job.root_span, error=error)
             if error is not None:
-                record.error = error
                 self.obs.counter("serve.jobs.failed").inc()
                 _log.warning(
                     "job %s (%s) failed: %s", job.id, job.spec.cell_id, error
                 )
-                job.fail(error, self._failure_manifest(job.spec, record))
+                job.fail(
+                    error,
+                    self._failure_manifest(job.spec, error, tracer=job.tracer),
+                )
                 self.scheduler.finished(job, captured=False)
                 continue
             job.attempts = attempts
             manifest = self._success_manifest(
-                job.spec, result, how, record, engine=engine
+                job.spec, result, how, tracer=job.tracer, engine=engine
             )
             job.complete(how, manifest)
             self.obs.counter("serve.jobs.completed").inc()
@@ -334,6 +450,41 @@ class SimulationService:
         self.obs.histogram(f"serve.latency.{how}_ms").observe(
             max(0, round(seconds * 1000))
         )
+
+    # -- live telemetry -------------------------------------------------
+    def _ensure_forwarder(self) -> None:
+        """Start the telemetry drain loop once a sampled cell shows up."""
+        if self._forwarder is not None and not self._forwarder.done():
+            return
+        self.pool.telemetry_queue()
+        self._forwarder = asyncio.create_task(
+            self._forward_telemetry(), name="serve-telemetry"
+        )
+
+    async def _forward_telemetry(self) -> None:
+        """Drain worker window events into their jobs' SSE subscribers.
+
+        Runs as one long-lived task: blocking ``get`` calls happen on a
+        thread (0.5s timeout, so cancellation is prompt), and each
+        ``(token, window)`` tuple is published to the job it belongs to.
+        Events for evicted or already-finished jobs drop silently --
+        late windows from an abandoned (timed-out) cell have nowhere
+        meaningful to go.
+        """
+        telemetry = self.pool.telemetry_queue()
+        while True:
+            try:
+                item = await asyncio.to_thread(telemetry.get, True, 0.5)
+            except _queue.Empty:
+                continue
+            except (OSError, EOFError):  # pragma: no cover - manager gone
+                return
+            if item is None:  # pragma: no cover - explicit shutdown poke
+                return
+            token, window = item
+            job = self.table.get(token)
+            if job is not None and not job.finished:
+                job.publish({"event": "window", **window})
 
     # -- manifests ------------------------------------------------------
     def _run_section(self, spec: JobSpec) -> dict[str, Any]:
@@ -357,14 +508,26 @@ class SimulationService:
             )
         return section
 
+    def _finish_trace(self, tracer: Tracer | None) -> tuple[list[dict], float]:
+        """Close a job's root span; returns (span dicts, request wall)."""
+        if tracer is None:
+            return [], 0.0
+        # The root may already be closed (cached path ends it inline).
+        for record in tracer.records:
+            if getattr(record, "name", None) == "serve.request":
+                return tracer.to_list(), record.wall_seconds
+        return tracer.to_list(), 0.0
+
     def _success_manifest(
         self,
         spec: JobSpec,
         result,
         how: str,
-        record: SpanRecord,
+        *,
+        tracer: Tracer | None = None,
         engine: str | None = None,
     ) -> dict[str, Any]:
+        spans, wall = self._finish_trace(tracer)
         stats = result.stats
         entry = cell(
             spec.cell_id,
@@ -398,25 +561,40 @@ class SimulationService:
             run=self._run_section(spec),
             seeds={spec.app: spec.seed},
             metrics=stats.to_snapshot(),
-            spans=[record.to_dict()],
+            spans=spans,
             cells=[entry],
             summary={
                 "how": how,
-                "wall_seconds": round(record.wall_seconds, 6),
+                "wall_seconds": round(wall, 6),
+                **(
+                    {"trace_id": tracer.trace_id} if tracer is not None else {}
+                ),
                 **({"engine": engine} if engine is not None else {}),
             },
             timeline=timeline,
         )
 
-    def _failure_manifest(self, spec: JobSpec, record: SpanRecord) -> dict[str, Any]:
+    def _failure_manifest(
+        self,
+        spec: JobSpec,
+        error: str,
+        *,
+        tracer: Tracer | None = None,
+    ) -> dict[str, Any]:
+        spans, _ = self._finish_trace(tracer)
         return build_manifest(
             f"serve/{spec.cell_id}",
             run=self._run_section(spec),
             seeds={spec.app: spec.seed},
             metrics={},
-            spans=[record.to_dict()],
+            spans=spans,
             cells=[],
-            summary={"error": record.error or "unknown"},
+            summary={
+                "error": error,
+                **(
+                    {"trace_id": tracer.trace_id} if tracer is not None else {}
+                ),
+            },
         )
 
     # -- observability --------------------------------------------------
@@ -441,6 +619,10 @@ class SimulationService:
             "latency": latency,
             "jobs_by_state": states,
         }
+
+    def prometheus_payload(self) -> str:
+        """The ``GET /metrics?format=prometheus`` body (text exposition)."""
+        return render_prometheus(self.obs.snapshot())
 
     def healthz(self) -> dict[str, Any]:
         return {

@@ -15,6 +15,21 @@ Two executor kinds:
   simulation cells share no mutable state, so threads are correct, just
   GIL-bound.
 
+Observability (PR 9) crosses the pool boundary in both directions:
+
+* *into* the worker, a serialized :class:`~repro.obs.tracing.SpanContext`
+  per cell.  The worker builds a child :class:`~repro.obs.tracing.Tracer`
+  from it, wraps the cell in a ``worker.execute`` span, and ships the
+  completed span dicts back in the return value, where the service
+  splices them under its ``serve.execute`` span;
+* *out of* the worker, live timeline windows.  Cells with sampling
+  enabled push ``(token, window_dict)`` tuples onto a bounded telemetry
+  queue (a ``Manager().Queue`` proxy for process pools -- a plain
+  ``multiprocessing.Queue`` is not picklable as a task argument -- or a
+  ``queue.Queue`` for thread pools) which the service drains into SSE
+  subscribers.  Pushes never block and never raise: a full queue or a
+  torn-down manager just drops the window.
+
 Robustness contract:
 
 * A worker exception fails that job only; the pool keeps serving.
@@ -30,64 +45,160 @@ Robustness contract:
 from __future__ import annotations
 
 import asyncio
+import logging
+import multiprocessing
+import queue
 from concurrent.futures import (
     BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from typing import Any
 
 from repro.apps.base import AppResult
 from repro.core.debug import get_logger
+from repro.obs.logging import (
+    ROOT_LOGGER_NAME,
+    AtomicLineHandler,
+    trace_context,
+    worker_init,
+)
+from repro.obs.tracing import SpanContext, Tracer
 from repro.trace.batch import run_batch_group
 from repro.trace.store import ArtifactStore
 from repro.trace.sweep import SweepTask, run_task
 
 _log = get_logger("serve.workers")
 
+#: Bound on the shared worker->service telemetry queue.  Sized for
+#: bursts (every sampled cell in a batch closing windows at once);
+#: overflow drops windows at the source, never blocks a simulation.
+TELEMETRY_QUEUE_LIMIT = 1024
+
 
 class JobTimeout(Exception):
     """A job exceeded the per-job wall-clock budget."""
 
 
-def _execute(task: SweepTask, store_root: str) -> tuple[AppResult, str]:
+def _window_pusher(telemetry: Any, token: str):
+    """A drop-never-block callback pushing ``(token, window)`` tuples.
+
+    Best-effort by design: a full queue (slow service loop) or a dead
+    manager (service shutting down mid-job) silently drops the window
+    -- live telemetry must never fail or stall a simulation.
+    """
+
+    def push(window: dict) -> None:
+        try:
+            telemetry.put_nowait((token, window))
+        except (queue.Full, OSError, EOFError):
+            pass
+
+    return push
+
+
+def _execute(
+    task: SweepTask,
+    store_root: str,
+    ctx: dict | None = None,
+    telemetry: Any = None,
+    token: str | None = None,
+) -> tuple[AppResult, str, list[dict] | None]:
     """Pool entry point (module-level, hence picklable).
 
     Cold cells take the store's capture lock so concurrent *processes*
     (multiple serve instances, or serve next to a batch sweep, sharing
     one ``--trace-dir``) never duplicate a capture: the loser of the
     race waits, then finds the trace warm and replays.
+
+    With ``ctx`` set the cell runs under a child tracer joined to the
+    service's trace; the third element of the return value carries the
+    completed span dicts (``None`` when untraced).
     """
     store = ArtifactStore(store_root)
     key = task.key()
-    if not store.has_trace(key):
-        with store.capture_lock(key):
-            result, how = run_task(task, store)
-    else:
-        result, how = run_task(task, store)
-    return result, how
+    tracer = Tracer(parent=SpanContext.from_wire(ctx)) if ctx is not None else None
+    on_window = (
+        _window_pusher(telemetry, token)
+        if telemetry is not None and token is not None
+        else None
+    )
+
+    def _run() -> tuple[AppResult, str]:
+        if not store.has_trace(key):
+            with store.capture_lock(key):
+                return run_task(task, store, tracer=tracer, on_window=on_window)
+        return run_task(task, store, tracer=tracer, on_window=on_window)
+
+    if tracer is None:
+        result, how = _run()
+        return result, how, None
+    with trace_context(tracer.trace_id):
+        with tracer.span("worker.execute"):
+            result, how = _run()
+    return result, how, tracer.to_list()
 
 
 def _execute_batch(
-    tasks: list[SweepTask], store_root: str
-) -> list[tuple[SweepTask, AppResult | None, str, str, str | None]]:
+    tasks: list[SweepTask],
+    store_root: str,
+    ctxs: dict[SweepTask, dict] | None = None,
+    telemetry: Any = None,
+    tokens: dict[SweepTask, str] | None = None,
+) -> list[tuple[SweepTask, AppResult | None, str, str, str | None, list[dict] | None]]:
     """Pool entry point for a trace-sharing batch group (picklable).
 
     Same capture-lock discipline as :func:`_execute`, with the whole
     group behind one lock: the stream is captured (or loaded) once and
     every config replays against the shared decoded stream.  Returns
-    plain-data ``(task, result, how, engine, error_message)`` tuples --
-    per-cell failures come back as data rather than a raised exception,
-    because the jobs folded into a batch must fail individually on the
-    service side, not collectively.
+    plain-data ``(task, result, how, engine, error_message, spans)``
+    tuples -- per-cell failures come back as data rather than a raised
+    exception, because the jobs folded into a batch must fail
+    individually on the service side, not collectively.
+
+    ``ctxs``/``tokens`` are per-task maps (tasks are frozen dataclasses,
+    hence hashable and stable across the pickle boundary).  Each traced
+    cell gets its own child tracer with a ``worker.execute`` root span
+    bracketing the shared group run.
     """
     store = ArtifactStore(store_root)
     key = tasks[0].key()
-    if not store.has_trace(key):
-        with store.capture_lock(key):
-            outcomes = run_batch_group(tasks, store, collect_errors=True)
-    else:
-        outcomes = run_batch_group(tasks, store, collect_errors=True)
+    tracers: dict[SweepTask, Tracer] = {}
+    roots: dict[SweepTask, Any] = {}
+    if ctxs:
+        for task, wire in ctxs.items():
+            tracer = Tracer(parent=SpanContext.from_wire(wire))
+            tracers[task] = tracer
+            roots[task] = tracer.begin("worker.execute")
+
+    on_window = None
+    if telemetry is not None and tokens:
+        pushers = {
+            task: _window_pusher(telemetry, token)
+            for task, token in tokens.items()
+        }
+
+        def on_window(task: SweepTask, window: dict) -> None:
+            push = pushers.get(task)
+            if push is not None:
+                push(window)
+
+    try:
+        if not store.has_trace(key):
+            with store.capture_lock(key):
+                outcomes = run_batch_group(
+                    tasks, store, collect_errors=True,
+                    tracers=tracers or None, on_window=on_window,
+                )
+        else:
+            outcomes = run_batch_group(
+                tasks, store, collect_errors=True,
+                tracers=tracers or None, on_window=on_window,
+            )
+    finally:
+        for task, tracer in tracers.items():
+            tracer.end(roots[task])
     return [
         (
             outcome.task,
@@ -95,6 +206,7 @@ def _execute_batch(
             outcome.how,
             outcome.engine,
             outcome.error.message if outcome.error is not None else None,
+            tracers[outcome.task].to_list() if outcome.task in tracers else None,
         )
         for outcome in outcomes
     ]
@@ -122,6 +234,8 @@ class WorkerPool:
         self.max_retries = max_retries
         #: Pool rebuilds after worker crashes (exported as a metric).
         self.restarts = 0
+        self._telemetry: Any = None
+        self._manager: Any = None
         self._pool = self._make_pool()
 
     def _make_pool(self):
@@ -129,17 +243,63 @@ class WorkerPool:
             return ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-serve"
             )
+        # Spawned workers inherit nothing from the parent logger tree;
+        # repeat the structured-logging setup there iff the parent has
+        # it, so worker log lines match (and never tear).
+        logger = logging.getLogger(ROOT_LOGGER_NAME)
+        if any(isinstance(h, AtomicLineHandler) for h in logger.handlers):
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=worker_init,
+                initargs=(logger.getEffectiveLevel(),),
+            )
         return ProcessPoolExecutor(max_workers=self.workers)
 
-    def _submit(self, task: SweepTask) -> Future:
-        return self._pool.submit(_execute, task, self.store_root)
+    # -- live telemetry -------------------------------------------------
+    def telemetry_queue(self) -> Any:
+        """The shared worker->service window queue (created on demand).
 
-    def _submit_batch(self, tasks: list[SweepTask]) -> Future:
-        return self._pool.submit(_execute_batch, tasks, self.store_root)
+        Thread pools use a plain :class:`queue.Queue`; process pools a
+        ``Manager().Queue`` proxy, the only stdlib queue that can ride
+        along as a *task argument* through an executor's pickle step.
+        Both are lazy: a service that never streams pays nothing.
+        """
+        if self._telemetry is None:
+            if self.mode == "thread":
+                self._telemetry = queue.Queue(maxsize=TELEMETRY_QUEUE_LIMIT)
+            else:
+                self._manager = multiprocessing.Manager()
+                self._telemetry = self._manager.Queue(TELEMETRY_QUEUE_LIMIT)
+        return self._telemetry
+
+    def _submit(
+        self, task: SweepTask, ctx: dict | None, token: str | None
+    ) -> Future:
+        telemetry = self._telemetry if token is not None else None
+        return self._pool.submit(
+            _execute, task, self.store_root, ctx, telemetry, token
+        )
+
+    def _submit_batch(
+        self,
+        tasks: list[SweepTask],
+        ctxs: dict[SweepTask, dict] | None,
+        tokens: dict[SweepTask, str] | None,
+    ) -> Future:
+        telemetry = self._telemetry if tokens else None
+        return self._pool.submit(
+            _execute_batch, tasks, self.store_root, ctxs, telemetry, tokens
+        )
 
     # ------------------------------------------------------------------
-    async def run(self, task: SweepTask) -> tuple[AppResult, str, int]:
-        """Execute one cell; returns ``(result, how, attempts)``.
+    async def run(
+        self,
+        task: SweepTask,
+        *,
+        ctx: dict | None = None,
+        token: str | None = None,
+    ) -> tuple[AppResult, str, list[dict] | None, int]:
+        """Execute one cell; returns ``(result, how, spans, attempts)``.
 
         Raises :class:`JobTimeout` on budget overrun and re-raises the
         worker's own exception for genuine simulation failures.  Pool
@@ -150,11 +310,11 @@ class WorkerPool:
         while True:
             attempts += 1
             try:
-                future = self._submit(task)
-                result, how = await asyncio.wait_for(
+                future = self._submit(task, ctx, token)
+                result, how, spans = await asyncio.wait_for(
                     asyncio.wrap_future(future), self.job_timeout
                 )
-                return result, how, attempts
+                return result, how, spans, attempts
             except asyncio.TimeoutError:
                 future.cancel()
                 raise JobTimeout(
@@ -177,8 +337,20 @@ class WorkerPool:
                     raise
 
     async def run_batch(
-        self, tasks: list[SweepTask]
-    ) -> tuple[list[tuple[SweepTask, AppResult | None, str, str, str | None]], int]:
+        self,
+        tasks: list[SweepTask],
+        *,
+        ctxs: dict[SweepTask, dict] | None = None,
+        tokens: dict[SweepTask, str] | None = None,
+    ) -> tuple[
+        list[
+            tuple[
+                SweepTask, AppResult | None, str, str, str | None,
+                list[dict] | None,
+            ]
+        ],
+        int,
+    ]:
         """Execute one trace-sharing group; returns ``(outcomes, attempts)``.
 
         ``outcomes`` mirrors :func:`_execute_batch`'s tuples, so per-cell
@@ -190,7 +362,7 @@ class WorkerPool:
         while True:
             attempts += 1
             try:
-                future = self._submit_batch(tasks)
+                future = self._submit_batch(tasks, ctxs, tokens)
                 outcomes = await asyncio.wait_for(
                     asyncio.wrap_future(future), self.job_timeout
                 )
@@ -221,3 +393,7 @@ class WorkerPool:
 
     def shutdown(self, wait: bool = True) -> None:
         self._pool.shutdown(wait=wait, cancel_futures=not wait)
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+            self._telemetry = None

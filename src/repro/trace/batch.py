@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import time as _time
 from dataclasses import dataclass
 
 from repro.apps.base import AppResult
@@ -63,6 +64,7 @@ from repro.trace.kernels import (
     specializable,
 )
 from repro.trace.replay import (
+    MAX_CHUNK_SPANS,
     ReplaySession,
     SidecarError,
     _decode_chunks,
@@ -123,11 +125,16 @@ def replay_engine(trace: Trace, config: MachineConfig) -> tuple[AppResult, str]:
     return replay_trace(trace, config), BATCH_GENERAL
 
 
-def _session_for(trace: Trace, config: MachineConfig):
-    """Build the best chunk-consuming session for ``config``."""
+def _session_for(trace: Trace, config: MachineConfig, on_window=None):
+    """Build the best chunk-consuming session for ``config``.
+
+    ``on_window`` only reaches the general session: the specializer's
+    feature matrix requires ``timeline_interval == 0``, so a config
+    with windows to stream always takes the general path anyway.
+    """
     if specializable(config):
         return SpecializedSession(trace, config), BATCH_SPECIALIZED
-    return ReplaySession(trace, config), BATCH_GENERAL
+    return ReplaySession(trace, config, on_window=on_window), BATCH_GENERAL
 
 
 def group_by_trace(tasks) -> dict[str, list]:
@@ -143,6 +150,9 @@ def run_batch_group(
     store: ArtifactStore | None = None,
     traces: dict[str, Trace] | None = None,
     collect_errors: bool = False,
+    *,
+    tracers=None,
+    on_window=None,
 ) -> list[BatchOutcome]:
     """Execute one trace-sharing group of cells; one decode, N configs.
 
@@ -168,6 +178,14 @@ def run_batch_group(
     raises :class:`BatchCellError`; with ``collect_errors=True`` (the
     serve tier) each failure becomes an error outcome and the remaining
     cells still run.
+
+    ``tracers`` (``{task: Tracer}``), when given, records each cell's
+    phases as spans into that cell's causal tree -- capture, cache
+    probe, the shared drive (one ``replay.run`` span per cell with
+    capped per-chunk children), result writes.  ``on_window`` is called
+    as ``on_window(task, window_dict)`` for every timeline window a
+    cell's session closes while the drive runs.  Both default to
+    ``None`` and add nothing to the chunk loop when absent.
     """
     # Deferred import: sweep imports this module for its batch path.
     from repro.trace.sweep import run_task
@@ -198,14 +216,27 @@ def run_batch_group(
             task, None, "failed", SEQUENTIAL, error=error
         )
 
-    #: (position, task, fingerprint, session, engine) per replay cell.
+    def _tracer(task):
+        return tracers.get(task) if tracers is not None else None
+
+    def _window_cb(task):
+        if on_window is None:
+            return None
+        return lambda window, _task=task: on_window(_task, window)
+
+    #: (position, task, fingerprint, session, engine, tracer) per
+    #: replay cell.
     pending: list[tuple] = []
     for position, task in enumerate(tasks):
         try:
+            tracer = _tracer(task)
             config = task.config()
             if config.events_capacity > 0:
                 # Direct re-capture; never touches the shared stream.
-                result, how = run_task(task, store, traces)
+                result, how = run_task(
+                    task, store, traces,
+                    tracer=tracer, on_window=_window_cb(task),
+                )
                 outcomes[position] = BatchOutcome(
                     task, result, how, SEQUENTIAL
                 )
@@ -219,7 +250,10 @@ def run_batch_group(
             if trace is None:
                 # First cold cell captures for the whole group; its own
                 # direct result answers this cell.
-                result, how = run_task(task, store, traces)
+                result, how = run_task(
+                    task, store, traces,
+                    tracer=tracer, on_window=_window_cb(task),
+                )
                 trace = traces.get(key)
                 outcomes[position] = BatchOutcome(
                     task, result, how, SEQUENTIAL
@@ -227,14 +261,24 @@ def run_batch_group(
                 continue
             fingerprint = config_fingerprint(config)
             if store is not None:
-                cached = store.load_result(trace.content_hash, fingerprint)
+                if tracer is None:
+                    cached = store.load_result(trace.content_hash, fingerprint)
+                else:
+                    with tracer.span("store.result_probe"):
+                        cached = store.load_result(
+                            trace.content_hash, fingerprint
+                        )
                 if cached is not None:
                     outcomes[position] = BatchOutcome(
                         task, cached, "cached", SEQUENTIAL
                     )
                     continue
-            session, engine = _session_for(trace, config)
-            pending.append((position, task, fingerprint, session, engine))
+            session, engine = _session_for(
+                trace, config, on_window=_window_cb(task)
+            )
+            pending.append(
+                (position, task, fingerprint, session, engine, tracer)
+            )
         except Exception as exc:
             fail(position, task, exc)
 
@@ -252,15 +296,40 @@ def run_batch_group(
 def _drive_pending(trace, pending, outcomes, store, fail) -> None:
     """Stream the trace's chunks through every pending session."""
     live = list(pending)
+    # Traced cells get one open `replay.run` span spanning the whole
+    # drive, with capped per-chunk child records; untraced cells pay a
+    # single `is None` check per (session, chunk).
+    open_spans: dict[int, tuple] = {}
+    chunk_tallies: dict[int, list] = {}
+    for entry in live:
+        position, tracer = entry[0], entry[5]
+        if tracer is not None:
+            open_spans[position] = (tracer, tracer.begin("replay.run"))
+            chunk_tallies[position] = [0, 0, 0.0]  # chunks, entries, secs
 
     def feed(chunks) -> None:
         nonlocal live
-        for chunk in chunks:
+        for index, chunk in enumerate(chunks):
             kept = []
             for entry in live:
-                position, task, _fingerprint, session, _engine = entry
+                position, task, _fingerprint, session, _engine, tracer = entry
                 try:
-                    session.run_chunk(chunk)
+                    if tracer is None:
+                        session.run_chunk(chunk)
+                    else:
+                        started = _time.perf_counter()
+                        session.run_chunk(chunk)
+                        seconds = _time.perf_counter() - started
+                        tally = chunk_tallies[position]
+                        tally[0] += 1
+                        tally[1] += chunk.n
+                        tally[2] += seconds
+                        if tally[0] <= MAX_CHUNK_SPANS:
+                            tracer.record(
+                                f"replay.chunk[{index}]",
+                                seconds,
+                                metrics={"entries": chunk.n},
+                            )
                 except Exception as exc:
                     fail(position, task, exc)
                 else:
@@ -269,34 +338,58 @@ def _drive_pending(trace, pending, outcomes, store, fail) -> None:
             if not live:
                 return
 
+    decode_failed = False
     try:
         try:
-            feed(iter_resolved_chunks(trace))
-        except SidecarError:
-            # The sidecar went bad after chunks were already consumed:
-            # drop it, rewind every surviving session, and re-run the
-            # stream from the raw columns (which rewrites the sidecar).
-            path = getattr(trace, "_resolved_path", None)
-            if path is not None:
-                with contextlib.suppress(OSError):
-                    path.unlink()
-            for entry in live:
-                entry[3].reset()
-            feed(_decode_chunks(trace, path))
-    except BatchCellError:
-        raise
-    except Exception as exc:
-        # The shared decode itself failed; every session still riding
-        # it loses its stream mid-flight and cannot produce a result.
-        for position, task, _fingerprint, _session, _engine in live:
-            fail(position, task, exc)
+            try:
+                feed(iter_resolved_chunks(trace))
+            except SidecarError:
+                # The sidecar went bad after chunks were already
+                # consumed: drop it, rewind every surviving session, and
+                # re-run the stream from the raw columns (which rewrites
+                # the sidecar).
+                path = getattr(trace, "_resolved_path", None)
+                if path is not None:
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+                for entry in live:
+                    entry[3].reset()
+                feed(_decode_chunks(trace, path))
+        except BatchCellError:
+            raise
+        except Exception as exc:
+            # The shared decode itself failed; every session still
+            # riding it loses its stream mid-flight and cannot produce
+            # a result.
+            for position, task, _fingerprint, _session, _engine, _t in live:
+                fail(position, task, exc)
+            decode_failed = True
+    finally:
+        # Close every traced cell's drive span -- also on the raising
+        # paths, so a worker's partial trace still assembles into a
+        # well-formed tree.
+        for position, (tracer, record) in open_spans.items():
+            tally = chunk_tallies[position]
+            tracer.record(
+                "replay.chunks",
+                tally[2],
+                metrics={"chunks": tally[0], "entries": tally[1]},
+            )
+            tracer.end(record)
+    if decode_failed:
         return
 
-    for position, task, fingerprint, session, engine in live:
+    for position, task, fingerprint, session, engine, tracer in live:
         try:
             result = session.finish()
             if store is not None:
-                store.save_result(trace.content_hash, fingerprint, result)
+                if tracer is None:
+                    store.save_result(trace.content_hash, fingerprint, result)
+                else:
+                    with tracer.span("store.result_write"):
+                        store.save_result(
+                            trace.content_hash, fingerprint, result
+                        )
         except Exception as exc:
             fail(position, task, exc)
         else:

@@ -395,16 +395,19 @@ def capture_trace(
     config: MachineConfig,
     scale: float = 1.0,
     seed: int = 1,
+    on_window=None,
 ) -> tuple[Trace, AppResult]:
     """Run ``app`` once with recording on; return ``(trace, result)``.
 
     The returned result is the ordinary direct-run outcome for
     ``config`` (recording is passive), so the capturing run doubles as
-    the first cell of any sweep.
+    the first cell of any sweep.  ``on_window`` streams timeline
+    windows live when ``config`` samples them (see
+    :meth:`repro.apps.base.Application.run`).
     """
     application = get_application(app, scale=scale, seed=seed)
     recorder = TraceRecorder()
-    result = application.run(variant, config, observer=recorder)
+    result = application.run(variant, config, observer=recorder, on_window=on_window)
     chunks, stream_sha = recorder.finish()
     trace = Trace(
         app=app,

@@ -51,6 +51,7 @@ import itertools
 import marshal
 import os
 import sys
+import time as _time
 from array import array
 from typing import Iterable, Iterator
 
@@ -616,19 +617,32 @@ def iter_resolved_chunks(trace: Trace) -> Iterator[ResolvedChunk]:
     yield from _decode_chunks(trace, sidecar)
 
 
-def drive_sessions(trace: Trace, sessions: Iterable) -> None:
+def drive_sessions(trace: Trace, sessions: Iterable, on_chunk=None) -> None:
     """Feed every resolved chunk to every session, in stream order.
 
     Each chunk is decoded (or sidecar-served) exactly once however many
     sessions ride along -- this is the batch engine's decode-once loop.
     A sidecar that goes bad mid-stream is unlinked, every session is
-    reset, and the whole stream re-runs from the raw columns.
+    reset, and the whole stream re-runs from the raw columns (the
+    ``on_chunk`` hook restarts at index 0 with the sessions).
+
+    ``on_chunk(index, entries, seconds)``, when given, is called after
+    each chunk has been run through every session -- the tracing layer's
+    per-chunk replay spans.  ``None`` (the default) adds nothing to the
+    loop.
     """
     sessions = list(sessions)
     try:
-        for chunk in iter_resolved_chunks(trace):
-            for session in sessions:
-                session.run_chunk(chunk)
+        if on_chunk is None:
+            for chunk in iter_resolved_chunks(trace):
+                for session in sessions:
+                    session.run_chunk(chunk)
+        else:
+            for index, chunk in enumerate(iter_resolved_chunks(trace)):
+                started = _time.perf_counter()
+                for session in sessions:
+                    session.run_chunk(chunk)
+                on_chunk(index, chunk.n, _time.perf_counter() - started)
     except SidecarError:
         path = getattr(trace, "_resolved_path", None)
         if path is not None:
@@ -636,9 +650,16 @@ def drive_sessions(trace: Trace, sessions: Iterable) -> None:
                 path.unlink()
         for session in sessions:
             session.reset()
-        for chunk in _decode_chunks(trace, path):
-            for session in sessions:
-                session.run_chunk(chunk)
+        if on_chunk is None:
+            for chunk in _decode_chunks(trace, path):
+                for session in sessions:
+                    session.run_chunk(chunk)
+        else:
+            for index, chunk in enumerate(_decode_chunks(trace, path)):
+                started = _time.perf_counter()
+                for session in sessions:
+                    session.run_chunk(chunk)
+                on_chunk(index, chunk.n, _time.perf_counter() - started)
 
 
 def resolved_stream(trace: Trace) -> list[tuple]:
@@ -707,10 +728,20 @@ class ReplaySession:
     for a sidecar that went bad after chunks were already consumed.
     """
 
-    def __init__(self, trace: Trace, config: MachineConfig) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        config: MachineConfig,
+        *,
+        on_window=None,
+    ) -> None:
         check_line_size(trace, config)
         self.trace = trace
         self.config = config
+        #: Live streaming hook handed to the session's Timeline (see
+        #: :attr:`repro.obs.timeline.Timeline.on_window`); inert unless
+        #: the config samples a timeline.
+        self.on_window = on_window
         self._build()
 
     def reset(self) -> None:
@@ -856,6 +887,7 @@ class ReplaySession:
                 mshr=hierarchy.mshr,
                 clock=lambda: timing.cycle,
             )
+            self.timeline.on_window = self.on_window
 
     def run_chunk(self, chunk: ResolvedChunk) -> None:
         kinds = chunk.kinds
@@ -927,14 +959,53 @@ class ReplaySession:
         )
 
 
-def replay_trace(trace: Trace, config: MachineConfig) -> AppResult:
+#: Per-replay cap on chunk spans recorded into a tracer, so a large
+#: trace doesn't flood the manifest; the ``replay.chunks`` summary span
+#: always carries the full totals.
+MAX_CHUNK_SPANS = 32
+
+
+def replay_trace(
+    trace: Trace,
+    config: MachineConfig,
+    *,
+    tracer=None,
+    on_window=None,
+) -> AppResult:
     """Replay ``trace`` against ``config``; stats match a direct run.
 
     Returns an :class:`AppResult` whose config-dependent stats come from
     driving ``config``'s hierarchy/timing/speculator with the resolved
     chunks, whose config-invariant stats come from the capture, and
     whose checksum/extras come from the captured application run.
+
+    ``tracer`` (a :class:`repro.obs.tracing.Tracer`) records one span
+    per resolved chunk (capped at :data:`MAX_CHUNK_SPANS`) plus a
+    summary span; ``on_window`` streams the timeline sampler's
+    per-window deltas while the replay runs.  Both default to ``None``
+    and add nothing to the replay loop when absent.
     """
-    session = ReplaySession(trace, config)
-    drive_sessions(trace, [session])
+    session = ReplaySession(trace, config, on_window=on_window)
+    if tracer is None:
+        drive_sessions(trace, [session])
+    else:
+        totals = [0, 0, 0.0]  # chunks, entries, seconds
+
+        def _on_chunk(index: int, entries: int, seconds: float) -> None:
+            totals[0] += 1
+            totals[1] += entries
+            totals[2] += seconds
+            if totals[0] <= MAX_CHUNK_SPANS:
+                tracer.record(
+                    f"replay.chunk[{index}]",
+                    seconds,
+                    metrics={"entries": entries},
+                )
+
+        drive_sessions(trace, [session], on_chunk=_on_chunk)
+        tracer.record(
+            "replay.chunks",
+            totals[2],
+            metrics={"chunks": totals[0], "entries": totals[1]},
+        )
     return session.finish()

@@ -24,13 +24,16 @@ parallel).
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Iterable
 
 from repro.apps import APPLICATIONS
 from repro.apps.base import AppResult, Variant
 from repro.core.debug import get_logger
+from repro.obs.logging import log_event
 from repro.obs.registry import EMPTY, Snapshot
 from repro.trace.batch import (
     SEQUENTIAL,
@@ -137,6 +140,9 @@ def run_task(
     task: SweepTask,
     store: ArtifactStore | None = None,
     traces: dict[str, Trace] | None = None,
+    *,
+    tracer=None,
+    on_window=None,
 ) -> tuple[AppResult, str]:
     """Obtain one cell's result; returns ``(result, how)``.
 
@@ -144,29 +150,46 @@ def run_task(
     diagnostics for progress logging and the tests.  ``traces`` is an
     optional in-process trace cache (keyed like the store) consulted
     before, and populated after, any store access.
+
+    ``tracer`` (:class:`repro.obs.tracing.Tracer`), when given, records
+    spans for the cell's phases -- trace load, capture, store writes,
+    replay with per-chunk children -- into the caller's causal tree.
+    ``on_window`` streams timeline windows live (capture and replay
+    alike).  Both default to ``None`` and leave the sweep hot path
+    bit-for-bit unchanged.
     """
+    span = tracer.span if tracer is not None else (lambda name: nullcontext())
     config = task.config()
     key = task.key()
     trace = traces.get(key) if traces is not None else None
     if trace is None and store is not None:
-        trace = store.load_trace(key)
+        with span("trace.load"):
+            trace = store.load_trace(key)
     if trace is None:
-        trace, result = capture_trace(
-            task.app, Variant(task.variant), config, task.scale, task.seed
-        )
+        with span("trace.capture"):
+            trace, result = capture_trace(
+                task.app,
+                Variant(task.variant),
+                config,
+                task.scale,
+                task.seed,
+                on_window=on_window,
+            )
         if traces is not None:
             traces[key] = trace
         if store is not None:
-            store.save_trace(key, trace)
-            store.save_result(
-                trace.content_hash, config_fingerprint(config), result
-            )
+            with span("store.trace_write"):
+                store.save_trace(key, trace)
+                store.save_result(
+                    trace.content_hash, config_fingerprint(config), result
+                )
         return result, "captured"
     if traces is not None and key not in traces:
         traces[key] = trace
     fingerprint = config_fingerprint(config)
     if store is not None:
-        cached = store.load_result(trace.content_hash, fingerprint)
+        with span("store.result_probe"):
+            cached = store.load_result(trace.content_hash, fingerprint)
         if cached is not None:
             return cached, "cached"
     if config.events_capacity > 0:
@@ -177,15 +200,25 @@ def run_task(
         # therefore always run direct, even when a trace is warm --
         # their results still persist under their own config
         # fingerprint, so the re-run happens once.
-        _, result = capture_trace(
-            task.app, Variant(task.variant), config, task.scale, task.seed
-        )
+        with span("trace.capture"):
+            _, result = capture_trace(
+                task.app,
+                Variant(task.variant),
+                config,
+                task.scale,
+                task.seed,
+                on_window=on_window,
+            )
         how = "captured"
     else:
-        result = replay_trace(trace, config)
+        with span("replay.run"):
+            result = replay_trace(
+                trace, config, tracer=tracer, on_window=on_window
+            )
         how = "replayed"
     if store is not None:
-        store.save_result(trace.content_hash, fingerprint, result)
+        with span("store.result_write"):
+            store.save_result(trace.content_hash, fingerprint, result)
     return result, how
 
 
@@ -387,17 +420,15 @@ def log_progress(
     tags the line with the group the cell ran in, and ``engine`` with
     the replay engine that produced it.
     """
-    detail = ""
+    fields = {
+        "how": how,
+        "app": task.app,
+        "variant": task.variant,
+        "line_size": task.line_size,
+        "cycles": round(result.stats.cycles),
+    }
     if engine and engine != SEQUENTIAL:
-        detail += f" engine={engine}"
+        fields["engine"] = engine
     if batch:
-        detail += f" batch={batch}"
-    _log.info(
-        "  %-8s %-10s %-4s line=%-3d cycles=%12.0f%s",
-        how,
-        task.app,
-        task.variant,
-        task.line_size,
-        result.stats.cycles,
-        detail,
-    )
+        fields["batch"] = batch
+    log_event(_log, logging.INFO, "cell complete", **fields)

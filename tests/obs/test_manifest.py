@@ -12,6 +12,7 @@ from repro.obs import Registry
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     MANIFEST_SCHEMA_V1,
+    MANIFEST_SCHEMA_V2,
     MANIFEST_VERSION,
     ManifestError,
     _validate_structurally,
@@ -57,11 +58,11 @@ class TestSchema:
     def test_rejects_unknown_version(self):
         with pytest.raises(ManifestError):
             _validate_structurally(
-                _minimal_manifest(manifest_version=3, schema="repro.obs.manifest/v3")
+                _minimal_manifest(manifest_version=4, schema="repro.obs.manifest/v4")
             )
         with pytest.raises(ManifestError):
             validate_manifest(
-                _minimal_manifest(manifest_version=3, schema="repro.obs.manifest/v3")
+                _minimal_manifest(manifest_version=4, schema="repro.obs.manifest/v4")
             )
 
     def test_rejects_version_schema_mismatch(self):
@@ -200,6 +201,86 @@ class TestSchemaMigration:
         }
         with pytest.raises(ManifestError):
             _validate_structurally(bad)
+
+
+def _v2_manifest():
+    """A hand-built v2 manifest, as written by PRs 4-8."""
+    return _minimal_manifest(manifest_version=2, schema=MANIFEST_SCHEMA_V2)
+
+
+def _traced_span(**overrides):
+    span = {
+        "name": "serve.request",
+        "wall_seconds": 0.5,
+        "depth": 0,
+        "metrics": {},
+        "trace_id": "a1b2c3d4e5f60718",
+        "span_id": "0abc1234",
+        "parent_id": "feedc0de",
+        "start": 1723100000.25,
+    }
+    span.update(overrides)
+    return span
+
+
+class TestV3Migration:
+    """Version 2 manifests stay valid after the /v3 bump; v3 adds
+    span identity fields (trace_id/span_id/parent_id/start)."""
+
+    def test_v2_still_validates(self):
+        manifest = _v2_manifest()
+        validate_manifest(manifest)
+        _validate_structurally(manifest)
+
+    def test_v2_rejects_span_identity_fields(self):
+        bad = _v2_manifest()
+        bad["spans"] = [_traced_span()]
+        with pytest.raises(ManifestError):
+            _validate_structurally(bad)
+
+    def test_upgrade_v2_restamps_to_current(self):
+        upgraded = upgrade_manifest(_v2_manifest())
+        assert upgraded["manifest_version"] == MANIFEST_VERSION
+        assert upgraded["schema"] == MANIFEST_SCHEMA
+        validate_manifest(upgraded)
+
+    def test_v3_schema_file_pins_v3(self):
+        schema = load_schema(3)
+        assert schema["properties"]["manifest_version"]["const"] == 3
+        assert schema["properties"]["schema"]["const"] == MANIFEST_SCHEMA
+
+    def test_v3_span_identity_accepted(self):
+        manifest = _minimal_manifest()
+        manifest["spans"] = [_traced_span()]
+        validate_manifest(manifest)
+        _validate_structurally(manifest)
+
+    def test_v3_identity_fields_are_optional(self):
+        manifest = _minimal_manifest()
+        manifest["spans"] = [
+            {"name": "s", "wall_seconds": 0.1, "depth": 0, "metrics": {}}
+        ]
+        validate_manifest(manifest)
+        _validate_structurally(manifest)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("trace_id", "NOTHEX"),
+            ("trace_id", ""),
+            ("span_id", "UPPER123"),
+            ("parent_id", 7),
+            ("start", -1.0),
+            ("start", "noon"),
+        ],
+    )
+    def test_v3_rejects_malformed_identity(self, field, value):
+        bad = _minimal_manifest()
+        bad["spans"] = [_traced_span(**{field: value})]
+        with pytest.raises(ManifestError):
+            _validate_structurally(bad)
+        with pytest.raises(ManifestError):
+            validate_manifest(bad)
 
 
 class TestEveryArtifactEmitsAValidManifest:

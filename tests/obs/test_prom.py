@@ -1,0 +1,136 @@
+"""Prometheus text exposition: rendering, parsing, round trips."""
+
+import math
+
+import pytest
+
+from repro.obs.prom import (
+    PrometheusParseError,
+    metric_name,
+    parse_prometheus,
+    render_prometheus,
+    samples_by_name,
+)
+from repro.obs.registry import GAUGE, Registry
+
+
+def _registry() -> Registry:
+    registry = Registry()
+    registry.counter("serve.jobs.completed").inc(7)
+    registry.gauge("serve.queue.depth").set(3)
+    hist = registry.histogram("serve.latency.cached_ms")
+    for value, count in ((1, 50), (5, 40), (120, 10)):
+        hist.observe(value, count)
+    return registry
+
+
+class TestMetricNames:
+    def test_dotted_to_underscored_with_namespace(self):
+        assert (
+            metric_name("serve.jobs.completed")
+            == "repro_serve_jobs_completed"
+        )
+
+    def test_hostile_characters_sanitized(self):
+        name = metric_name("a.b-c.d e")
+        assert name == "repro_a_b_c_d_e"
+
+    def test_leading_digit_guard(self):
+        assert metric_name("9lives", namespace="").startswith("_")
+
+
+class TestRender:
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(_registry().snapshot())
+        assert "# TYPE repro_serve_jobs_completed counter" in text
+        assert "repro_serve_jobs_completed 7" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 3" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_as_summary(self):
+        text = render_prometheus(_registry().snapshot())
+        assert "# TYPE repro_serve_latency_cached_ms summary" in text
+        assert 'quantile="0.5"' in text
+        assert "repro_serve_latency_cached_ms_count 100" in text
+        # sum = 1*50 + 5*40 + 120*10
+        assert "repro_serve_latency_cached_ms_sum 1450" in text
+
+    def test_constant_labels_stamped_everywhere(self):
+        text = render_prometheus(
+            _registry().snapshot(), labels={"instance": "serve-0"}
+        )
+        parsed = parse_prometheus(text)
+        assert all(
+            labels.get("instance") == "serve-0"
+            for _, labels, _ in parsed["samples"]
+        )
+
+    def test_bound_metrics_render(self):
+        registry = Registry()
+        registry.bind("sched.depth", lambda: 11, GAUGE)
+        text = render_prometheus(registry.snapshot())
+        assert "repro_sched_depth 11" in text
+
+
+class TestRoundTrip:
+    def test_render_parse_round_trip(self):
+        registry = _registry()
+        text = render_prometheus(registry.snapshot())
+        parsed = parse_prometheus(text)
+        assert parsed["types"]["repro_serve_jobs_completed"] == "counter"
+        assert parsed["types"]["repro_serve_queue_depth"] == "gauge"
+        assert parsed["types"]["repro_serve_latency_cached_ms"] == "summary"
+        grouped = samples_by_name(parsed)
+        assert grouped["repro_serve_jobs_completed"][0][1] == 7.0
+        assert grouped["repro_serve_queue_depth"][0][1] == 3.0
+        count = grouped["repro_serve_latency_cached_ms_count"][0][1]
+        assert count == 100.0
+        quantiles = {
+            labels["quantile"]: value
+            for labels, value in grouped["repro_serve_latency_cached_ms"]
+        }
+        # rank 50 of 100 lands inside the first bucket (cumulative 50)
+        assert quantiles["0.5"] == 1.0
+        assert quantiles["0.99"] == 120.0
+
+    def test_empty_histogram_quantiles_are_nan(self):
+        registry = Registry()
+        registry.histogram("serve.latency.captured_ms")
+        text = render_prometheus(registry.snapshot())
+        parsed = parse_prometheus(text)
+        values = [
+            value
+            for name, labels, value in parsed["samples"]
+            if name == "repro_serve_latency_captured_ms"
+        ]
+        assert values and all(math.isnan(v) for v in values)
+
+    def test_label_escaping_round_trips(self):
+        registry = Registry()
+        registry.counter("c").inc()
+        text = render_prometheus(
+            registry.snapshot(), labels={"path": 'a"b\\c'}
+        )
+        parsed = parse_prometheus(text)
+        name, labels, value = parsed["samples"][0]
+        assert labels["path"] == 'a"b\\c'
+
+
+class TestParser:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("this is { not a sample\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("metric_name twelve\n")
+
+    def test_ignores_comments_and_blanks(self):
+        parsed = parse_prometheus("\n# just a comment\n\nm 1\n")
+        assert parsed["samples"] == [("m", {}, 1.0)]
+
+    def test_infinities(self):
+        parsed = parse_prometheus("a +Inf\nb -Inf\n")
+        values = [value for _, _, value in parsed["samples"]]
+        assert values[0] == float("inf") and values[1] == float("-inf")

@@ -212,3 +212,60 @@ class TestHistogramQuantiles:
             histogram_quantiles({1: 1}, (0.0,))
         with pytest.raises(ValueError):
             histogram_quantiles({1: 1}, (1.5,))
+
+
+class TestQuantileEdgeCases:
+    """PR 9 hardening: the shapes the Prometheus renderer feeds in."""
+
+    def test_empty_after_zero_count_filtering(self):
+        # Every bucket zero or negative: indistinguishable from empty.
+        assert histogram_quantiles({1: 0, 5: 0, 9: -2}) == {}
+
+    def test_single_bucket_all_quantiles_collapse(self):
+        out = histogram_quantiles({42: 1000}, (0.5, 0.9, 0.95, 0.99, 1.0))
+        assert out == {
+            "p50": 42.0, "p90": 42.0, "p95": 42.0, "p99": 42.0, "p100": 42.0
+        }
+
+    def test_all_equal_values_split_across_buckets(self):
+        # JSON round trips can split one logical value over int and
+        # string keys; quantiles must still collapse to that value.
+        out = histogram_quantiles({7: 3, "7.0": 5}, (0.5, 0.99))
+        assert out == {"p50": 7.0, "p99": 7.0}
+
+    def test_quantile_label_formatting(self):
+        out = histogram_quantiles({1: 1, 2: 1}, (0.25, 0.999))
+        assert set(out) == {"p25", "p99.9"}
+
+
+class TestGaugeOnlyDiff:
+    """Snapshot.diff over registries whose leaves are all gauges."""
+
+    def test_registry_diff_with_only_gauges(self):
+        registry = Registry()
+        registry.gauge("pool.depth").set(3)
+        registry.gauge("pool.peak").set(9)
+        before = registry.snapshot()
+        registry.gauge("pool.depth").set(1)
+        registry.gauge("pool.peak").set(12)
+        delta = registry.snapshot().diff(before)
+        # Gauges are levels, not rates: diff keeps the current reading.
+        assert delta["pool.depth"] == 1
+        assert delta["pool.peak"] == 12
+
+    def test_gauge_only_diff_preserves_kinds(self):
+        older = Snapshot({"g1": 5, "g2": 7}, {"g1": GAUGE, "g2": GAUGE})
+        newer = Snapshot({"g1": 2, "g2": 7}, {"g1": GAUGE, "g2": GAUGE})
+        delta = newer.diff(older)
+        assert delta.kind("g1") == GAUGE and delta.kind("g2") == GAUGE
+        assert dict(delta.flat()) == {"g1": 2, "g2": 7}
+
+    def test_bound_gauge_leaves_diff_cleanly(self):
+        depth = {"value": 4}
+        registry = Registry()
+        registry.bind("sched.depth", lambda: depth["value"], GAUGE)
+        before = registry.snapshot()
+        depth["value"] = 6
+        delta = registry.snapshot().diff(before)
+        assert delta["sched.depth"] == 6
+        assert delta.nonzero().flat() == {"sched.depth": 6}

@@ -1,10 +1,13 @@
-"""The HTTP front end: routing, status codes, backpressure, long-poll."""
+"""The HTTP front end: routing, status codes, backpressure, long-poll,
+server-sent-event streaming, and Prometheus exposition."""
 
 import asyncio
 import json
 import threading
+import time
 
 from repro.obs import validate_manifest
+from repro.obs.prom import parse_prometheus
 from repro.serve import HttpServer, SimulationService
 
 SCALE = 0.05
@@ -225,6 +228,167 @@ class TestBackpressure:
             assert headers.get("retry-after") == "5"
             status, body, _ = await _request(port, "GET", "/healthz")
             assert body["status"] == "draining"
+
+        _run(scenario, tmp_path)
+
+
+async def _read_sse(port, path, limit=200):
+    """Consume an SSE stream until its ``end`` event; returns the events."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    events = []
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        status = int((await reader.readline()).split(b" ", 2)[1])
+        while (await reader.readline()) not in (b"\r\n", b"\n", b""):
+            pass
+        if status != 200:
+            return status, events
+        while len(events) < limit:
+            line = await asyncio.wait_for(reader.readline(), 30.0)
+            if not line:
+                break
+            if not line.startswith(b"data: "):
+                continue  # comment heartbeats, blank separators
+            event = json.loads(line[len(b"data: "):])
+            events.append(event)
+            if event.get("event") == "end":
+                break
+        return status, events
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TestStreaming:
+    def test_timeline_job_streams_windows_live(self, tmp_path, monkeypatch):
+        # Pace the cell so windows drain to subscribers while it is
+        # still running: the acceptance bar is >= 2 window events
+        # observed strictly before the job's terminal state event.
+        import repro.serve.workers as workers_mod
+
+        real_run_task = workers_mod.run_task
+
+        def _paced(task, store, tracer=None, on_window=None):
+            paced = None
+            if on_window is not None:
+                def paced(window, _push=on_window):
+                    _push(window)
+                    time.sleep(0.02)
+            return real_run_task(task, store, tracer=tracer, on_window=paced)
+
+        monkeypatch.setattr(workers_mod, "run_task", _paced)
+
+        async def scenario(port, service):
+            status, body, _ = await _request(
+                port, "POST", "/jobs", _payload(timeline_interval=100)
+            )
+            assert status == 202
+            job_id = body["id"]
+            status, events = await _read_sse(port, f"/jobs/{job_id}/stream")
+            assert status == 200
+            assert events[0]["event"] == "state"
+            done_at = next(
+                i for i, e in enumerate(events)
+                if e["event"] == "state" and e.get("state") == "done"
+            )
+            windows_before_done = sum(
+                1 for e in events[:done_at] if e["event"] == "window"
+            )
+            assert windows_before_done >= 2
+            assert events[-1]["event"] == "end"
+            assert isinstance(events[-1]["dropped"], int)
+            # Window payloads carry the timeline series.
+            window = next(e for e in events if e["event"] == "window")
+            assert {"refs", "cycles", "miss_rate"} <= set(window)
+
+        _run(scenario, tmp_path)
+
+    def test_stream_after_completion_still_terminates(self, tmp_path):
+        async def scenario(port, service):
+            status, body, _ = await _request(
+                port, "POST", "/jobs", _payload(timeline_interval=100)
+            )
+            job_id = body["id"]
+            status, body, _ = await _request(
+                port, "GET", f"/jobs/{job_id}?wait=30"
+            )
+            assert body["state"] == "done"
+            # A late subscriber gets state + end, never hangs.
+            status, events = await _read_sse(port, f"/jobs/{job_id}/stream")
+            assert status == 200
+            assert events[0] == {
+                "event": "state", "state": "done", "job": job_id,
+                "trace_id": events[0]["trace_id"],
+            }
+            assert events[-1]["event"] == "end"
+
+        _run(scenario, tmp_path)
+
+    def test_stream_unknown_job_is_404(self, tmp_path):
+        async def scenario(port, service):
+            status, events = await _read_sse(port, "/jobs/job-999/stream")
+            assert status == 404
+            assert events == []
+
+        _run(scenario, tmp_path)
+
+
+class TestPrometheus:
+    def test_metrics_prometheus_round_trip(self, tmp_path):
+        async def scenario(port, service):
+            status, body, _ = await _request(port, "POST", "/jobs", _payload())
+            job_id = body["id"]
+            status, body, _ = await _request(
+                port, "GET", f"/jobs/{job_id}?wait=30"
+            )
+            assert body["state"] == "done"
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(
+                    b"GET /metrics?format=prometheus HTTP/1.1\r\n"
+                    b"Host: x\r\nConnection: close\r\n\r\n"
+                )
+                await writer.drain()
+                status = int((await reader.readline()).split(b" ", 2)[1])
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode().partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                text = (
+                    await reader.readexactly(int(headers["content-length"]))
+                ).decode()
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            parsed = parse_prometheus(text)
+            names = {name for name, _, _ in parsed["samples"]}
+            assert "repro_serve_jobs_completed" in names
+            completed = [
+                value for name, _, value in parsed["samples"]
+                if name == "repro_serve_jobs_completed"
+            ]
+            assert completed == [1.0]
+
+        _run(scenario, tmp_path)
+
+    def test_metrics_unknown_format_is_400(self, tmp_path):
+        async def scenario(port, service):
+            status, body, _ = await _request(
+                port, "GET", "/metrics?format=xml"
+            )
+            assert status == 400
+            assert "format" in body["error"]
 
         _run(scenario, tmp_path)
 

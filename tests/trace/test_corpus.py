@@ -320,6 +320,12 @@ class TestCorpusCli:
         summary = json.loads(capsys.readouterr().out)
         assert summary["traces"] == 1
         assert summary["format_versions"] == {str(FORMAT_VERSION): 1}
+        assert len(summary["entries"]) == 1
+        entry = summary["entries"][0]
+        assert entry["key"] == _key()
+        digest = entry["stream_digest"]
+        assert isinstance(digest, str) and len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
 
     def test_gc_subcommand(self, tmp_path, captured, capsys):
         from repro.__main__ import main
