@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Adaptive-relocation benchmark: the static-vs-adaptive headline matrix.
+
+Runs the full ``python -m repro adapt`` matrix (static-never /
+static-once / one arm per policy, both phase apps, 128-byte lines) at
+scale 1.0 and writes the result to ``BENCH_PR10.json`` next to this
+file (override with ``--out``).
+
+The pinned numbers are *simulated* cycles, so they are bit-exact across
+machines: re-running with ``--baseline BENCH_PR10.json`` gates every
+cell's cycles and checksum against the pin and fails on any drift.
+The headline claims the gate enforces:
+
+1. **Adaptive beats static-once under phase change.**  At least one
+   adaptive arm finishes in fewer cycles than the app's own one-shot
+   optimizer (``mst_phase``: threshold and hysteresis both win; the
+   epsilon-greedy arm pays an honest exploration tax and loses).
+2. **Relocation never changes results.**  Every arm of an app computes
+   the identical checksum.
+3. **Do-no-harm on self-healing workloads.**  ``health_phase``'s
+   periodic linearizer already recovers from the flip; every adaptive
+   arm must tie static-once exactly (zero decisions, zero cost).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_adapt.py [--scale S]
+        [--out FILE] [--baseline FILE] [--quiet] [--note KEY=VALUE ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.adapt import experiment as adapt_experiment
+from repro.adapt.config import POLICIES
+from repro.adapt.experiment import STATIC_ONCE
+from repro.experiments import ExperimentRunner
+
+DEFAULT_OUT = Path(__file__).parent / "BENCH_PR10.json"
+
+
+def bench_matrix(scale: float, verbose: bool = True) -> dict:
+    """Run the policy matrix and distill the pinnable report."""
+    runner = ExperimentRunner(scale=scale)
+    started = time.perf_counter()
+    result = adapt_experiment.run(runner, scale=scale, policies=POLICIES)
+    seconds = time.perf_counter() - started
+    if verbose:
+        print(result.render(), file=sys.stderr)
+    cells: dict[str, dict] = {}
+    for cell in result.cells:
+        cells.setdefault(cell.app, {})[cell.arm] = {
+            "cycles": cell.cycles,
+            "l1_misses": cell.l1_misses,
+            "normalized_cycles": round(cell.normalized_cycles, 6),
+            "decisions": cell.decisions,
+            "cost_cycles": cell.cost_cycles,
+            "benefit_cycles": cell.benefit_cycles,
+            "checksum": cell.checksum,
+        }
+    return {
+        "scale": scale,
+        "line_size": adapt_experiment.LINE_SIZE,
+        "policies": list(POLICIES),
+        "seconds": round(seconds, 3),
+        "checksums_equal": result.checksums_equal,
+        "adaptive_wins": [list(win) for win in result.adaptive_wins],
+        "cells": cells,
+    }
+
+
+def check_headline(matrix: dict) -> list[str]:
+    """The claims this benchmark exists to defend."""
+    failures: list[str] = []
+    if not matrix["checksums_equal"]:
+        failures.append("checksums differ across arms: relocation changed results")
+    if not matrix["adaptive_wins"]:
+        failures.append("no adaptive arm beat static-once anywhere")
+    for arm in POLICIES:
+        adaptive = matrix["cells"]["health_phase"][arm]
+        static = matrix["cells"]["health_phase"][STATIC_ONCE]
+        if adaptive["cycles"] != static["cycles"] or adaptive["decisions"]:
+            failures.append(
+                f"health_phase/{arm} did not tie static-once "
+                f"({adaptive['cycles']} vs {static['cycles']}, "
+                f"{adaptive['decisions']} decisions)"
+            )
+    return failures
+
+
+def check_bit_identical(matrix: dict, baseline_path: Path) -> list[str]:
+    """Every cell's simulated cycles and checksum vs the pin."""
+    pinned = json.loads(baseline_path.read_text())["matrix"]
+    if matrix["scale"] != pinned["scale"]:
+        return []
+    failures = []
+    for app, arms in pinned["cells"].items():
+        for arm, expected in arms.items():
+            got = matrix["cells"][app][arm]
+            for key in ("cycles", "checksum", "decisions"):
+                if got[key] != expected[key]:
+                    failures.append(
+                        f"{app}/{arm} {key} moved: "
+                        f"{got[key]} != pinned {expected[key]}"
+                    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale (default 1.0; the pin gate "
+                             "only applies at the pinned scale)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT), metavar="FILE",
+                        help="output JSON path (default BENCH_PR10.json "
+                             "next to this script)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="pinned benchmark JSON to gate bit-identity "
+                             "against (e.g. BENCH_PR10.json)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the matrix table on stderr")
+    parser.add_argument("--note", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="embed a measurement-context note in the "
+                             "report (repeatable)")
+    args = parser.parse_args(argv)
+
+    report: dict = {
+        "bench": "adaptive relocation",
+        "python": sys.version.split()[0],
+    }
+    notes = dict(note.split("=", 1) for note in args.note if "=" in note)
+    if notes:
+        report["notes"] = notes
+
+    print(f"== adaptive relocation matrix (scale {args.scale}) ==",
+          file=sys.stderr)
+    matrix = bench_matrix(args.scale, verbose=not args.quiet)
+    report["matrix"] = matrix
+
+    failures = check_headline(matrix)
+    if args.baseline:
+        failures += check_bit_identical(matrix, Path(args.baseline))
+    report["headline_ok"] = not failures
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}", file=sys.stderr)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

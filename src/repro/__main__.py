@@ -90,6 +90,8 @@ import json
 import sys
 import time
 
+from repro.adapt import experiment as adapt_experiment
+from repro.adapt.config import POLICIES
 from repro.cache.misspath import KNOB_MECHANISMS, MECHANISMS
 from repro.experiments import ExperimentRunner
 from repro.experiments import (
@@ -107,7 +109,9 @@ from repro.obs import Registry
 DEFAULT_TRACE_DIR = "results/trace-cache"
 
 _PAPER_ARTIFACTS = ("table1", "figure5", "figure6", "figure7", "figure10")
-_ALL = _PAPER_ARTIFACTS + ("misspath", "ablations", "false-sharing", "out-of-core")
+_ALL = _PAPER_ARTIFACTS + (
+    "misspath", "adapt", "ablations", "false-sharing", "out-of-core"
+)
 
 #: First-word subcommands (everything else is an artifact list).
 _SUBCOMMANDS = ("timeline", "serve", "serve.bench", "corpus")
@@ -120,16 +124,30 @@ class _CLIError(Exception):
 def _run_extension(name: str) -> str:
     if name == "false-sharing":
         from repro.smp import run_false_sharing_experiment
+        from repro.smp.false_sharing import run_adaptive_false_sharing
 
         before, after = run_false_sharing_experiment()
-        return (
-            "False sharing (Section 2.2 extension)\n"
+        triple = run_adaptive_false_sharing()
+        lines = [
+            "False sharing (Section 2.2 extension)",
             f"  {before.label:32s} cycles={before.cycles:12.0f} "
-            f"coherence misses={before.coherence_misses}\n"
+            f"coherence misses={before.coherence_misses}",
             f"  {after.label:32s} cycles={after.cycles:12.0f} "
-            f"coherence misses={after.coherence_misses}\n"
-            f"  speedup: {before.cycles / after.cycles:.2f}x"
+            f"coherence misses={after.coherence_misses}",
+            f"  speedup: {before.cycles / after.cycles:.2f}x",
+            "  adaptive segregation (repro.adapt policy feedback):",
+        ]
+        for result in (triple.never, triple.once, triple.adaptive):
+            lines.append(
+                f"  {result.label:32s} cycles={result.cycles:12.0f} "
+                f"coherence misses={result.coherence_misses}"
+            )
+        lines.append(
+            f"  trigger round: {triple.trigger_round}, segregation cost: "
+            f"{triple.segregation_cost:.0f} cycles, checksums equal: "
+            f"{triple.checksums_equal}"
         )
+        return "\n".join(lines)
     from repro.vm import run_out_of_core_experiment
 
     scattered, linearized = run_out_of_core_experiment()
@@ -154,8 +172,10 @@ def _extension_manifest(name: str, scale: float) -> dict:
 
     if name == "false-sharing":
         from repro.smp import run_false_sharing_experiment
+        from repro.smp.false_sharing import run_adaptive_false_sharing
 
         before, after = run_false_sharing_experiment()
+        triple = run_adaptive_false_sharing()
         cells = [
             cell(
                 result.label,
@@ -164,9 +184,20 @@ def _extension_manifest(name: str, scale: float) -> dict:
                     "coherence_misses": result.coherence_misses,
                 },
             )
-            for result in (before, after)
+            for result in (
+                before, after, triple.never, triple.once, triple.adaptive
+            )
         ]
-        summary = {"speedup": before.cycles / after.cycles}
+        summary = {
+            "speedup": before.cycles / after.cycles,
+            "adaptive_trigger_round": float(
+                -1 if triple.trigger_round is None else triple.trigger_round
+            ),
+            "adaptive_segregation_cost": triple.segregation_cost,
+            "adaptive_checksums_equal": (
+                1.0 if triple.checksums_equal else 0.0
+            ),
+        }
     else:
         from repro.vm import run_out_of_core_experiment
 
@@ -565,6 +596,18 @@ def _artifacts_main(argv: list[str]) -> int:
              "(default 4096; requires --events)",
     )
     parser.add_argument(
+        "--adapt-policy", default=None, metavar="NAME",
+        help="narrow the adapt artifact's policy matrix to one policy "
+             f"({', '.join(POLICIES)}; default: all of them; requires "
+             "the adapt artifact)",
+    )
+    parser.add_argument(
+        "--heatmap-region", type=int, default=None, metavar="BYTES",
+        help="heatmap region granularity in bytes for timeline/adapt "
+             "sampling (power of two; default 65536; requires "
+             "--timeline or the adapt artifact)",
+    )
+    parser.add_argument(
         "--mechanism", default=None, metavar="NAME",
         help="L1 miss-path mechanism for every cell "
              f"({', '.join(MECHANISMS)}; default none).  With the "
@@ -639,6 +682,31 @@ def _artifacts_main(argv: list[str]) -> int:
             f"unknown artifact(s) or subcommand {unknown}; artifacts: "
             f"{list(_ALL)}; subcommands: {list(_SUBCOMMANDS)}"
         )
+    if args.adapt_policy is not None:
+        if args.adapt_policy not in POLICIES:
+            parser.error(
+                f"unknown --adapt-policy {args.adapt_policy!r}; "
+                f"choose from {list(POLICIES)}"
+            )
+        if "adapt" not in artifacts:
+            parser.error(
+                "--adapt-policy only makes sense with the adapt artifact"
+            )
+    from repro.adapt.config import DEFAULT_HEATMAP_REGION
+
+    heatmap_region = DEFAULT_HEATMAP_REGION
+    if args.heatmap_region is not None:
+        value = args.heatmap_region
+        if value < 1 or value & (value - 1):
+            parser.error(
+                f"--heatmap-region must be a power of two, got {value}"
+            )
+        if not args.timeline and "adapt" not in artifacts:
+            parser.error(
+                "--heatmap-region only makes sense with --timeline or "
+                "the adapt artifact"
+            )
+        heatmap_region = value
 
     profiler = None
     if args.profile:
@@ -657,10 +725,18 @@ def _artifacts_main(argv: list[str]) -> int:
         events_capacity=events_capacity if args.events else 0,
         mechanism=mechanism,
         batch=batch,
+        heatmap_region=heatmap_region,
+        adapt_policy=args.adapt_policy,
         **misspath_knobs,
     )
     runner.prime(
-        specs_for_artifacts(artifacts, args.scale, mechanism, **misspath_knobs)
+        specs_for_artifacts(
+            artifacts,
+            args.scale,
+            mechanism,
+            adapt_policy=args.adapt_policy,
+            **misspath_knobs,
+        )
     )
     modules = {
         "table1": table1,
@@ -669,6 +745,7 @@ def _artifacts_main(argv: list[str]) -> int:
         "figure7": figure7,
         "figure10": figure10,
         "misspath": misspath,
+        "adapt": adapt_experiment,
     }
     emit_json = args.format == "json"
     manifests: dict[str, dict] = {}

@@ -1,0 +1,35 @@
+"""Online, feedback-driven relocation policies (DESIGN.md §5j).
+
+The subsystem turns the timeline's live per-window feedback into
+mid-run relocation decisions executed through the forwarding-safe
+primitives:
+
+- :mod:`repro.adapt.config` — ``AdaptConfig``, nested in
+  ``MachineConfig`` and hence in every config fingerprint;
+- :mod:`repro.adapt.profile` — decayed per-region heat model;
+- :mod:`repro.adapt.policy` — threshold / hysteresis / epsilon-greedy
+  policies emitting auditable ``RelocationDecision``s;
+- :mod:`repro.adapt.engine` — the on_window driver with its
+  cost/benefit ledger;
+- :mod:`repro.adapt.experiment` — the ``python -m repro adapt``
+  static-never vs static-once vs adaptive headline matrix.
+"""
+
+from repro.adapt.config import POLICIES, AdaptConfig
+from repro.adapt.policy import (
+    Policy,
+    RelocationDecision,
+    WindowFeedback,
+    make_policy,
+)
+from repro.adapt.profile import HeatProfile
+
+__all__ = [
+    "AdaptConfig",
+    "POLICIES",
+    "Policy",
+    "RelocationDecision",
+    "WindowFeedback",
+    "make_policy",
+    "HeatProfile",
+]

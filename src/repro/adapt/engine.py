@@ -1,0 +1,369 @@
+"""The adaptive relocation engine: profile -> policy -> safe relocation.
+
+``AdaptEngine`` hangs off the machine's timeline ``on_window`` hook.
+Every closed window it folds the heatmap into a decayed profile, asks
+its policy whether the window looks bad enough to act, and — when the
+policy fires — executes one registered layout action (re-linearization,
+hot-object copying, or coloring-aware placement) *through the machine's
+timed operations*, so the relocation's cost shows up in the simulation
+exactly like the paper's instruction overhead.
+
+Safety comes for free from memory forwarding: applications register
+candidate actions up front and keep running with whatever pointers they
+hold; any pointer made stale by an engine relocation chases its
+forwarding chain to the new location (the entire point of the paper).
+
+Replay parity: the engine issues machine operations only from inside
+``on_window`` of a *full* window (``refs == interval``).  Capture ticks
+the timeline after each reference and the trace records engine
+references in stream order, so a replay reproduces the same window
+boundaries and re-executes the identical relocations — adaptive cells
+replay bit-exact under their own policy-fingerprinted trace key.  The
+trailing partial window flushed by ``finish()`` never executes
+decisions, so no machine operation can occur after the final sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.adapt.config import AdaptConfig
+from repro.adapt.policy import (
+    Policy,
+    RelocationDecision,
+    WindowFeedback,
+    make_policy,
+)
+from repro.adapt.profile import HeatProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.machine import Machine
+    from repro.mem.pool import RelocationPool
+
+
+@dataclass
+class LedgerEntry:
+    """Cost/benefit accounting for one executed decision.
+
+    ``cost_cycles`` is the simulated-cycle delta spent executing the
+    relocation.  The benefit settles one full window later:
+    ``benefit_cycles`` is the stall-slot reduction of the following
+    window relative to the triggering window, scaled to that window's
+    references — stall slots saved are cycles not spent stalled.
+    """
+
+    decision: int
+    window: int
+    candidate: str
+    cost_cycles: float
+    stall_rate_before: float
+    stall_rate_after: float | None = None
+    benefit_cycles: float | None = None
+    settled: bool = False
+
+    @property
+    def net_cycles(self) -> float:
+        return (self.benefit_cycles or 0.0) - self.cost_cycles
+
+
+@dataclass
+class _Asset:
+    """One registered candidate layout action."""
+
+    action: str
+    target: str
+    execute: Callable[["AdaptEngine"], None]
+
+    @property
+    def candidate(self) -> str:
+        return f"{self.action}:{self.target}"
+
+
+class AdaptEngine:
+    """Online feedback-driven relocation driver for one machine run."""
+
+    def __init__(self, machine: "Machine", config: AdaptConfig) -> None:
+        self.machine = machine
+        self.config = config
+        self.policy: Policy = make_policy(config)
+        self.profile = HeatProfile(config.decay)
+        self.decisions: list[RelocationDecision] = []
+        self.ledger: list[LedgerEntry] = []
+        self.counters: dict[str, float] = {
+            "windows": 0,
+            "decisions": 0,
+            "cost_cycles": 0.0,
+            "benefit_cycles": 0.0,
+            "settled": 0,
+            "skipped_cooldown": 0,
+            "skipped_relocation": 0,
+        }
+        self._assets: dict[str, _Asset] = {}
+        self._pool: "RelocationPool | None" = None
+        self._busy = False
+        self._cooldown_left = 0
+        self._pending: LedgerEntry | None = None
+        self._seen_relocated = machine.relocation_stats.words_relocated
+
+    # -- wiring --------------------------------------------------------
+    def install(self) -> None:
+        """Attach to the machine's timeline (called by ``Machine``)."""
+        timeline = self.machine.timeline
+        assert timeline is not None, "adapt engine requires a timeline"
+        timeline.add_on_window(self.on_window)
+
+    # -- candidate registration (pure bookkeeping, no machine ops) -----
+    def register_list(
+        self, name: str, head_handle: int, next_offset: int, node_bytes: int
+    ) -> None:
+        """Register one linked list for on-demand re-linearization."""
+        self.register_lists(name, [head_handle], next_offset, node_bytes)
+
+    def register_lists(
+        self,
+        name: str,
+        head_handles: list[int],
+        next_offset: int,
+        node_bytes: int,
+    ) -> None:
+        """Register a group of linked lists re-linearized as one action."""
+        handles = list(head_handles)
+
+        def execute(engine: "AdaptEngine") -> None:
+            from repro.core.relocate import list_linearize
+
+            pool = engine._ensure_pool()
+            for handle in handles:
+                list_linearize(
+                    engine.machine, handle, next_offset, node_bytes, pool
+                )
+
+        self._add(_Asset("relinearize", name, execute))
+
+    def register_objects(
+        self,
+        name: str,
+        objects: list[tuple[int, int]],
+        slots: list[int] | None = None,
+    ) -> None:
+        """Register ``(address, nbytes)`` objects for hot-first copying.
+
+        ``slots``, when given, is a parallel list of pointer-cell
+        addresses: after relocating object ``i`` the engine stores the
+        new address into ``slots[i]`` (0 entries are skipped), repairing
+        the principal pointer the way a real optimizer would.  Pointers
+        *not* repaired stay safe regardless — they chase the forwarding
+        chain — but each chase is a timed access, so repair is what
+        makes copying profitable rather than merely correct.
+        """
+        paired = list(
+            zip(objects, slots if slots is not None else [0] * len(objects))
+        )
+
+        def execute(engine: "AdaptEngine") -> None:
+            from repro.core.relocate import relocate
+
+            machine = engine.machine
+            pool = engine._ensure_pool()
+            shift = machine.timeline.region_shift
+            profile = engine.profile
+            # Pack the hottest objects first so they land adjacent at the
+            # front of the pool (ties broken by address for determinism).
+            ordered = sorted(
+                paired,
+                key=lambda it: (-profile.heat_of(it[0][0], shift), it[0][0]),
+            )
+            for (address, nbytes), slot in ordered:
+                target = pool.allocate(nbytes)
+                relocate(machine, address, target, (nbytes + 7) // 8)
+                if slot:
+                    machine.store(slot, target)
+            machine.note_optimizer_invocation()
+
+        self._add(_Asset("copy", name, execute))
+
+    def register_recolor(
+        self,
+        name: str,
+        objects: list[tuple[int, int]],
+        colors: int = 4,
+        slots: list[int] | None = None,
+    ) -> None:
+        """Register objects for coloring-aware (conflict-avoiding) placement.
+
+        ``slots`` repairs principal pointers after the recolor, exactly
+        as in :meth:`register_objects`.
+        """
+        items = list(objects)
+        cells = list(slots) if slots is not None else [0] * len(items)
+
+        def execute(engine: "AdaptEngine") -> None:
+            from repro.opts.coloring import ColoredAllocator, recolor
+
+            machine = engine.machine
+            hierarchy = machine.config.hierarchy
+            num_sets = hierarchy.l1_size // (
+                hierarchy.line_size * hierarchy.l1_assoc
+            )
+            ncolors = colors
+            while ncolors > 1 and num_sets % ncolors:
+                ncolors //= 2
+            span = hierarchy.line_size * num_sets
+            total = sum(nbytes for _, nbytes in items)
+            pool = machine.create_pool(
+                max(4 * span, 2 * total + 2 * span), f"adapt.recolor.{name}"
+            )
+            allocator = ColoredAllocator(
+                pool, hierarchy.line_size, num_sets, ncolors
+            )
+            new_addresses = recolor(machine, items, allocator)
+            for slot, target in zip(cells, new_addresses):
+                if slot:
+                    machine.store(slot, target)
+
+        self._add(_Asset("recolor", name, execute))
+
+    def _add(self, asset: _Asset) -> None:
+        if asset.candidate in self._assets:
+            raise ValueError(f"duplicate adapt candidate {asset.candidate!r}")
+        self._assets[asset.candidate] = asset
+
+    @property
+    def candidates(self) -> list[str]:
+        """Candidate ids in registration (priority) order."""
+        return list(self._assets)
+
+    # -- per-window driver ---------------------------------------------
+    def on_window(self, window: dict[str, Any]) -> None:
+        timeline = self.machine.timeline
+        access, forwarded = timeline.heat_snapshot()
+        self.profile.fold(access, forwarded)
+        self.counters["windows"] += 1
+        refs = window["refs"]
+        stall_rate = window["stall_slots"] / refs if refs else 0.0
+        full = refs >= timeline.interval
+        if full:
+            self._settle(stall_rate, refs)
+        if not full:
+            # Trailing partial window (finish() flush): observe only.
+            # Executing here would issue machine operations after the
+            # final sample and break capture/replay window parity.
+            return
+        if self._busy or not self._assets:
+            return
+        relocated = self.machine.relocation_stats.words_relocated
+        if relocated != self._seen_relocated:
+            # Relocation traffic (an application optimizer, or our own
+            # previous action) dominated this window; its miss spike is
+            # self-inflicted noise, not workload behaviour.  Never
+            # trigger on it.
+            self._seen_relocated = relocated
+            self.counters["skipped_relocation"] += 1
+            return
+        if self.counters["decisions"] >= self.config.max_actions:
+            return
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            self.counters["skipped_cooldown"] += 1
+            return
+        feedback = WindowFeedback(
+            index=window["index"],
+            refs=refs,
+            miss_rate=window["miss_rate"],
+            chase_rate=window["chases"] / refs if refs else 0.0,
+            stall_rate=stall_rate,
+        )
+        reason = self.policy.observe(feedback)
+        if reason is None:
+            return
+        candidate = self.policy.choose(self.candidates)
+        self._execute(candidate, feedback, reason)
+
+    def _settle(self, stall_rate: float, refs: int) -> None:
+        entry = self._pending
+        if entry is None:
+            return
+        self._pending = None
+        entry.stall_rate_after = stall_rate
+        entry.benefit_cycles = (entry.stall_rate_before - stall_rate) * refs
+        entry.settled = True
+        self.counters["settled"] += 1
+        self.counters["benefit_cycles"] += entry.benefit_cycles
+        self.policy.reward(entry.candidate, entry.net_cycles)
+
+    def _execute(
+        self, candidate: str, feedback: WindowFeedback, reason: str
+    ) -> None:
+        asset = self._assets[candidate]
+        machine = self.machine
+        self._busy = True
+        start_cycle = machine.timing.cycle
+        try:
+            asset.execute(self)
+        finally:
+            self._busy = False
+        cost = machine.timing.cycle - start_cycle
+        decision = RelocationDecision(
+            index=len(self.decisions),
+            window=feedback.index,
+            policy=self.policy.name,
+            action=asset.action,
+            target=asset.target,
+            reason=reason,
+            trigger=feedback.trigger_metrics(),
+        )
+        self.decisions.append(decision)
+        entry = LedgerEntry(
+            decision=decision.index,
+            window=feedback.index,
+            candidate=candidate,
+            cost_cycles=cost,
+            stall_rate_before=feedback.stall_rate,
+        )
+        self.ledger.append(entry)
+        self._pending = entry
+        self.counters["decisions"] += 1
+        self.counters["cost_cycles"] += cost
+        self._cooldown_left = self.config.cooldown
+        events = machine.events
+        if events is not None:
+            events.emit(
+                "adapt.decision",
+                index=decision.index,
+                window=decision.window,
+                policy=decision.policy,
+                action=decision.action,
+                target=decision.target,
+                reason=reason,
+                cost_cycles=cost,
+                miss_rate=feedback.miss_rate,
+                chase_rate=feedback.chase_rate,
+                stall_rate=feedback.stall_rate,
+            )
+
+    def _ensure_pool(self) -> "RelocationPool":
+        if self._pool is None:
+            self._pool = self.machine.create_pool(
+                self.config.pool_bytes, "adapt"
+            )
+        return self._pool
+
+    # -- export --------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-safe audit record carried in ``AppResult.extras['adapt']``.
+
+        ``counters`` reconcile with the event stream by construction:
+        ``counters['decisions'] == len(decisions)`` and one
+        ``adapt.decision`` event is emitted per decision (when the
+        machine has an event log).
+        """
+        return {
+            "policy": self.policy.name,
+            "config": asdict(self.config),
+            "candidates": self.candidates,
+            "counters": dict(self.counters),
+            "decisions": [asdict(decision) for decision in self.decisions],
+            "ledger": [asdict(entry) for entry in self.ledger],
+            "profile": self.profile.to_payload(),
+        }

@@ -1,0 +1,165 @@
+"""Pluggable relocation policies.
+
+A policy sees one :class:`WindowFeedback` per completed timeline window
+and answers two questions: *should we relocate now* (``observe``) and
+*which candidate layout action* (``choose``).  Executed decisions are
+reported back through ``reward`` once their benefit settles, which only
+the epsilon-greedy bandit uses.
+
+Policies are deliberately machine-free: they never touch the simulated
+heap, so they can also drive relocation outside the engine (the SMP
+false-sharing experiment feeds them per-round coherence feedback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adapt.config import POLICIES, AdaptConfig
+from repro.runtime.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class WindowFeedback:
+    """Per-window signal the engine distills from the timeline."""
+
+    index: int
+    refs: int
+    miss_rate: float
+    chase_rate: float
+    stall_rate: float
+
+    def trigger_metrics(self) -> dict[str, float]:
+        """The metrics a decision records as its trigger context."""
+        return {
+            "miss_rate": self.miss_rate,
+            "chase_rate": self.chase_rate,
+            "stall_rate": self.stall_rate,
+        }
+
+
+@dataclass(frozen=True)
+class RelocationDecision:
+    """One executed relocation, in full auditable form."""
+
+    index: int
+    window: int
+    policy: str
+    action: str
+    target: str
+    reason: str
+    trigger: dict[str, float] = field(hash=False)
+
+    @property
+    def candidate(self) -> str:
+        return f"{self.action}:{self.target}"
+
+
+class Policy:
+    """Base policy: trigger logic lives in subclasses; default candidate
+    choice is the first (registration-priority) candidate."""
+
+    name = "base"
+
+    def __init__(self, config: AdaptConfig) -> None:
+        self.config = config
+
+    def observe(self, feedback: WindowFeedback) -> str | None:
+        """Return a human-readable trigger reason, or ``None`` to hold."""
+        raise NotImplementedError
+
+    def choose(self, candidates: list[str]) -> str:
+        """Pick one candidate id (``action:target``) from a sorted list."""
+        return candidates[0]
+
+    def reward(self, candidate: str, value: float) -> None:
+        """Feed back the settled net benefit (cycles) of a decision."""
+
+
+class ThresholdPolicy(Policy):
+    """Fire the moment a window crosses either threshold."""
+
+    name = "threshold"
+
+    def observe(self, feedback: WindowFeedback) -> str | None:
+        cfg = self.config
+        if feedback.miss_rate > cfg.miss_rate_threshold:
+            return (
+                f"miss_rate {feedback.miss_rate:.4f} > "
+                f"{cfg.miss_rate_threshold:.4f}"
+            )
+        if feedback.chase_rate > cfg.chase_rate_threshold:
+            return (
+                f"chase_rate {feedback.chase_rate:.4f} > "
+                f"{cfg.chase_rate_threshold:.4f}"
+            )
+        return None
+
+
+class HysteresisPolicy(ThresholdPolicy):
+    """Require ``patience`` consecutive bad windows before firing."""
+
+    name = "hysteresis"
+
+    def __init__(self, config: AdaptConfig) -> None:
+        super().__init__(config)
+        self._bad_windows = 0
+
+    def observe(self, feedback: WindowFeedback) -> str | None:
+        reason = super().observe(feedback)
+        if reason is None:
+            self._bad_windows = 0
+            return None
+        self._bad_windows += 1
+        if self._bad_windows < self.config.patience:
+            return None
+        self._bad_windows = 0
+        return f"{reason} for {self.config.patience} consecutive windows"
+
+
+class EpsilonGreedyPolicy(ThresholdPolicy):
+    """Threshold trigger + epsilon-greedy bandit over candidate layouts.
+
+    Each candidate is tried once before exploitation begins; after that,
+    with probability ``epsilon`` a uniform-random candidate is explored,
+    otherwise the best observed mean reward wins (ties by name).
+    """
+
+    name = "epsilon_greedy"
+
+    def __init__(self, config: AdaptConfig) -> None:
+        super().__init__(config)
+        self._rng = DeterministicRNG(config.seed or 1)
+        self._counts: dict[str, int] = {}
+        self._values: dict[str, float] = {}
+
+    def choose(self, candidates: list[str]) -> str:
+        untried = [c for c in candidates if c not in self._counts]
+        if untried:
+            pick = untried[0]
+        elif self._rng.chance(self.config.epsilon):
+            pick = candidates[self._rng.randint(len(candidates))]
+        else:
+            pick = max(
+                candidates,
+                key=lambda c: (self._values.get(c, 0.0), c),
+            )
+        self._counts[pick] = self._counts.get(pick, 0) + 1
+        return pick
+
+    def reward(self, candidate: str, value: float) -> None:
+        count = self._counts.get(candidate, 1)
+        mean = self._values.get(candidate, 0.0)
+        self._values[candidate] = mean + (value - mean) / count
+
+
+_POLICY_CLASSES: dict[str, type[Policy]] = {
+    cls.name: cls
+    for cls in (ThresholdPolicy, HysteresisPolicy, EpsilonGreedyPolicy)
+}
+assert set(_POLICY_CLASSES) == set(POLICIES)
+
+
+def make_policy(config: AdaptConfig) -> Policy:
+    """Instantiate the policy named by ``config.policy``."""
+    return _POLICY_CLASSES[config.policy](config)

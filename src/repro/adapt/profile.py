@@ -1,0 +1,88 @@
+"""Decaying per-region heat model folded from timeline windows.
+
+The timeline keeps *cumulative* per-region access/forwarded counts; the
+profile diffs those against its last snapshot every window and folds the
+deltas into exponentially decayed heat values.  Decay keeps the profile
+phase-sensitive: a traversal-order flip shifts which regions are hot
+within a few windows instead of being drowned by history.
+"""
+
+from __future__ import annotations
+
+
+class HeatProfile:
+    """Exponentially decayed per-region access heat."""
+
+    __slots__ = ("decay", "heat", "forwarded_heat", "_seen_access", "_seen_forwarded")
+
+    def __init__(self, decay: float) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.decay = decay
+        #: region id -> decayed access heat
+        self.heat: dict[int, float] = {}
+        #: region id -> decayed forwarded-access heat
+        self.forwarded_heat: dict[int, float] = {}
+        self._seen_access: dict[int, int] = {}
+        self._seen_forwarded: dict[int, int] = {}
+
+    def fold(
+        self, access: dict[int, int], forwarded: dict[int, int]
+    ) -> tuple[int, int]:
+        """Fold cumulative timeline heat into the decayed model.
+
+        Returns ``(access_delta, forwarded_delta)`` — total new events
+        since the previous fold.
+        """
+        decay = self.decay
+        heat = self.heat
+        if decay < 1.0:
+            for region in heat:
+                heat[region] *= decay
+        total_access = 0
+        seen = self._seen_access
+        for region, count in access.items():
+            delta = count - seen.get(region, 0)
+            if delta:
+                seen[region] = count
+                heat[region] = heat.get(region, 0.0) + delta
+                total_access += delta
+        fheat = self.forwarded_heat
+        if decay < 1.0:
+            for region in fheat:
+                fheat[region] *= decay
+        total_forwarded = 0
+        fseen = self._seen_forwarded
+        for region, count in forwarded.items():
+            delta = count - fseen.get(region, 0)
+            if delta:
+                fseen[region] = count
+                fheat[region] = fheat.get(region, 0.0) + delta
+                total_forwarded += delta
+        return total_access, total_forwarded
+
+    def hottest(self, n: int = 1) -> list[int]:
+        """The ``n`` hottest region ids, hottest first (ties by id)."""
+        return sorted(self.heat, key=lambda r: (-self.heat[r], r))[:n]
+
+    def heat_of(self, address: int, region_shift: int) -> float:
+        """Decayed heat of the region containing ``address``."""
+        return self.heat.get(address >> region_shift, 0.0)
+
+    def chase_fraction(self) -> float:
+        """Forwarded share of decayed heat (0 when cold)."""
+        total = sum(self.heat.values())
+        if total <= 0.0:
+            return 0.0
+        return sum(self.forwarded_heat.values()) / total
+
+    def to_payload(self) -> dict:
+        """JSON-safe summary (top regions only; full maps can be huge)."""
+        top = self.hottest(8)
+        return {
+            "regions": len(self.heat),
+            "chase_fraction": self.chase_fraction(),
+            "hottest": [
+                {"region": region, "heat": self.heat[region]} for region in top
+            ],
+        }

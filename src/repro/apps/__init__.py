@@ -17,6 +17,7 @@ from repro.apps.compress import Compress
 from repro.apps.eqntott import Eqntott
 from repro.apps.health import Health
 from repro.apps.mst import MST
+from repro.apps.phased import HealthPhase, MSTPhase
 from repro.apps.radiosity import Radiosity
 from repro.apps.smv import SMV
 from repro.apps.vis import VIS
@@ -24,6 +25,11 @@ from repro.apps.vis import VIS
 #: The seven applications of Figures 5-7 (SMV is evaluated separately in
 #: Figure 10, as in the paper).
 FIGURE5_APPS = ("health", "mst", "radiosity", "vis", "eqntott", "bh", "compress")
+
+#: Phase-changing inputs for the adaptive-relocation experiment
+#: (``python -m repro adapt``); deliberately *not* in FIGURE5_APPS so the
+#: paper-figure manifests are untouched.
+PHASE_APPS = ("mst_phase", "health_phase")
 
 __all__ = [
     "APPLICATIONS",
@@ -34,7 +40,10 @@ __all__ = [
     "Eqntott",
     "FIGURE5_APPS",
     "Health",
+    "HealthPhase",
     "MST",
+    "MSTPhase",
+    "PHASE_APPS",
     "Radiosity",
     "SMV",
     "VIS",

@@ -138,12 +138,19 @@ class Application(ABC):
         machine = Machine(config or MachineConfig())
         machine.observer = observer
         if on_window is not None and machine.timeline is not None:
-            machine.timeline.on_window = on_window
+            # Chain (never clobber): the adaptive engine may already be
+            # listening on the same timeline.
+            machine.timeline.add_on_window(on_window)
         checksum, extras = self.execute(machine, variant)
         timeline = None
         if machine.timeline is not None:
             machine.timeline.finish()
             timeline = machine.timeline.to_payload()
+        if machine.adapt is not None:
+            # Merged after finish() so the payload includes any window
+            # closed by the trailing flush; rides extras so it persists
+            # in captured traces and survives replay byte-for-byte.
+            extras = {**extras, "adapt": machine.adapt.to_payload()}
         return AppResult(
             app=self.name,
             variant=variant,

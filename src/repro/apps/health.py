@@ -99,7 +99,9 @@ class Health(Application):
             village, _is_leaf = state.villages[rng.randint(len(state.villages))]
             state.new_patient(village, "waiting")
 
-        for _ in range(steps):
+        self._before_steps(machine, state, root)
+        for step in range(steps):
+            self._phase_hook(machine, state, step, steps)
             self._step_village(machine, state, root, parent=NULL)
 
         checksum = (
@@ -115,6 +117,16 @@ class Health(Application):
         return checksum, extras
 
     # ------------------------------------------------------------------
+    def _before_steps(
+        self, machine: Machine, state: "_SimState", root: int
+    ) -> None:
+        """Subclass hook between setup and the simulation loop."""
+
+    def _phase_hook(
+        self, machine: Machine, state: "_SimState", step: int, steps: int
+    ) -> None:
+        """Subclass hook at the top of each simulation step."""
+
     def _build_tree(self, machine: Machine, depth: int, state: "_SimState") -> int:
         village = VILLAGE.alloc(machine)
         VILLAGE.write(machine, village, "id", state.next_village_id())

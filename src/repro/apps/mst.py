@@ -82,9 +82,21 @@ class MST(Application):
                     linearized += moved
                 node = VERTEX.read(machine, node, "next")
 
+        self._before_solve(machine, variant, head_handle, count)
         weight = self._prim(machine, variant, head_handle, count)
         checksum = weight * 31 + count
         return checksum, {"mst_weight": weight, "nodes_linearized": linearized}
+
+    # ------------------------------------------------------------------
+    def _before_solve(
+        self, machine: Machine, variant: Variant, head_handle: int, count: int
+    ) -> None:
+        """Subclass hook between graph construction and the solve phase."""
+
+    def _phase_hook(
+        self, machine: Machine, head_handle: int, count: int, iteration: int
+    ) -> None:
+        """Subclass hook at the top of each blue-rule iteration."""
 
     # ------------------------------------------------------------------
     def _bucket_handle(self, machine: Machine, vertex: int, bucket: int) -> int:
@@ -160,7 +172,8 @@ class MST(Application):
         VERTEX.write(m, start, "intree", 1)
         last_added_id = VERTEX.read(m, start, "id")
         total_weight = 0
-        for _ in range(count - 1):
+        for iteration in range(count - 1):
+            self._phase_hook(m, head_handle, count, iteration)
             best_vertex = NULL
             best_dist = _MAX_DIST
             vertex = m.load(head_handle)

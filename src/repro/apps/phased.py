@@ -1,0 +1,187 @@
+"""Phase-changing variants of ``mst`` and ``health``.
+
+Static layout optimization (the paper's one-shot linearization) bakes in
+whatever traversal order existed when it ran.  These subclasses flip the
+traversal order mid-run — a deterministic, seeded permutation of the hot
+linked lists — so a once-optimized layout goes stale halfway through and
+only an *adaptive* optimizer (``repro.adapt``) can recover the locality.
+
+The flip is **position-keyed**, never address-keyed: it walks the list,
+shuffles positions with a dedicated :class:`DeterministicRNG`, and
+relinks ``next`` pointers through the machine's timed operations.  The
+logical operation sequence therefore depends only on list *contents*
+(identical across variants and across adaptive/non-adaptive runs, since
+relocation never changes logical order), which keeps checksums equal
+across every variant — an invariant the app-level tests pin.
+
+When an adaptive engine is present, both apps register their hot
+structures as candidate layout actions: re-linearization of the flipped
+lists (the recovery lever), plus hot-object copying and coloring-aware
+placement so the epsilon-greedy policy has a real layout search space.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Variant, register
+from repro.apps.health import PATIENT, VILLAGE, Health, _SimState
+from repro.apps.mst import MST, VERTEX
+from repro.core.machine import NULL, Machine
+from repro.runtime.rng import DeterministicRNG
+
+#: Seed whitener for the flip RNG streams (distinct from the build RNG).
+_FLIP_SALT = 0x9E3779B97F4A7C15
+
+
+def permute_list(
+    machine: Machine, head_handle: int, next_offset: int, rng: DeterministicRNG
+) -> int:
+    """Relink a singly linked list into a seeded random position order.
+
+    Walks via timed loads, Fisher-Yates shuffles the *positions*, then
+    rewrites the head and every ``next`` pointer via timed stores.  RNG
+    consumption depends only on the node count, so the permutation is
+    identical across layout variants.  Returns the node count.
+    """
+    nodes: list[int] = []
+    node = machine.load(head_handle)
+    while node != NULL:
+        nodes.append(node)
+        node = machine.load(node + next_offset)
+    n = len(nodes)
+    if n < 2:
+        return n
+    order = list(range(n))
+    for i in range(n - 1, 0, -1):
+        j = rng.randint(i + 1)
+        order[i], order[j] = order[j], order[i]
+    machine.store(head_handle, nodes[order[0]])
+    for pos in range(n - 1):
+        machine.store(nodes[order[pos]] + next_offset, nodes[order[pos + 1]])
+    machine.store(nodes[order[-1]] + next_offset, NULL)
+    return n
+
+
+@register
+class MSTPhase(MST):
+    """``mst`` with a mid-solve traversal-order flip."""
+
+    name = "mst_phase"
+    description = "mst with a mid-solve vertex-list order flip (phase change)"
+    optimization = "list linearization; goes stale at the phase boundary"
+
+    #: Fraction of the blue-rule iterations after which the flip fires.
+    #: Early enough that most of the solve runs on the flipped order --
+    #: the regime where a mid-run re-linearization can pay for itself.
+    PHASE_AT = 0.25
+
+    def flip_iteration(self, count: int) -> int:
+        """The (deterministic) solve iteration at which the flip fires."""
+        return max(1, int((count - 1) * self.PHASE_AT))
+
+    def execute(self, machine: Machine, variant: Variant) -> tuple[int, dict]:
+        self._flipped = False
+        self._phase_record: dict = {}
+        checksum, extras = super().execute(machine, variant)
+        extras["phase"] = dict(self._phase_record)
+        return checksum, extras
+
+    def _before_solve(
+        self, machine: Machine, variant: Variant, head_handle: int, count: int
+    ) -> None:
+        if machine.adapt is None:
+            return
+        engine = machine.adapt
+        # Priority order: re-linearizing the vertex list is the lever
+        # that directly repairs the flip; copy/recolor of the adjacency
+        # arrays are alternative candidates for the bandit to explore.
+        engine.register_list(
+            "vertices", head_handle, VERTEX.offset("next"), VERTEX.size
+        )
+        objects: list[tuple[int, int]] = []
+        slots: list[int] = []
+        node = machine.load(head_handle)
+        while node != NULL:
+            objects.append(
+                (VERTEX.read(machine, node, "adj"), self.BUCKETS_PER_VERTEX * 8)
+            )
+            # The vertex's ``adj`` field is the principal pointer into
+            # the bucket array; repairing it after a copy/recolor keeps
+            # those actions profitable instead of chase-bound.
+            slots.append(node + VERTEX.offset("adj"))
+            node = VERTEX.read(machine, node, "next")
+        engine.register_objects("adjacency", objects, slots=slots)
+        engine.register_recolor("adjacency", objects, slots=slots)
+
+    def _phase_hook(
+        self, machine: Machine, head_handle: int, count: int, iteration: int
+    ) -> None:
+        if self._flipped or iteration != self.flip_iteration(count):
+            return
+        self._flipped = True
+        rng = DeterministicRNG((self.seed * 2654435761) ^ _FLIP_SALT)
+        moved = permute_list(machine, head_handle, VERTEX.offset("next"), rng)
+        self._phase_record = {
+            "iteration": iteration,
+            "vertices_permuted": moved,
+        }
+
+
+@register
+class HealthPhase(Health):
+    """``health`` with a mid-simulation patient-list order flip."""
+
+    name = "health_phase"
+    description = "health with a mid-run patient-list order flip (phase change)"
+    optimization = "periodic list linearization; disrupted at the phase boundary"
+
+    #: Fraction of the simulation steps after which the flip fires.
+    PHASE_AT = 0.5
+
+    def flip_step(self, steps: int) -> int:
+        """The (deterministic) simulation step at which the flip fires."""
+        return max(1, int(steps * self.PHASE_AT))
+
+    def execute(self, machine: Machine, variant: Variant) -> tuple[int, dict]:
+        self._flipped = False
+        self._phase_record: dict = {}
+        checksum, extras = super().execute(machine, variant)
+        extras["phase"] = dict(self._phase_record)
+        return checksum, extras
+
+    def _before_steps(
+        self, machine: Machine, state: _SimState, root: int
+    ) -> None:
+        if machine.adapt is None:
+            return
+        engine = machine.adapt
+        handles: list[int] = []
+        for village, _is_leaf in state.villages:
+            handles.append(state.list_handle(village, "waiting"))
+            handles.append(state.list_handle(village, "inside"))
+        engine.register_lists(
+            "patients", handles, PATIENT.offset("next"), PATIENT.size
+        )
+        objects = [(village, VILLAGE.size) for village, _is_leaf in state.villages]
+        engine.register_objects("villages", objects)
+        engine.register_recolor("villages", objects)
+
+    def _phase_hook(
+        self, machine: Machine, state: _SimState, step: int, steps: int
+    ) -> None:
+        if self._flipped or step != self.flip_step(steps):
+            return
+        self._flipped = True
+        rng = DeterministicRNG((self.seed * 2654435761) ^ _FLIP_SALT)
+        moved = 0
+        for village, _is_leaf in state.villages:
+            for which in ("waiting", "inside"):
+                moved += permute_list(
+                    machine,
+                    state.list_handle(village, which),
+                    PATIENT.offset("next"),
+                    rng,
+                )
+        self._phase_record = {"step": step, "patients_permuted": moved}
+
+
+__all__ = ["MSTPhase", "HealthPhase", "permute_list"]

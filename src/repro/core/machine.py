@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Protocol
 
+from repro.adapt.config import AdaptConfig
 from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.core.errors import DoubleFreeError, MemoryAccessError
 from repro.core.forwarding import ForwardingEngine
@@ -129,6 +130,23 @@ class MachineConfig:
     #: path, because the fused kernels inline the cache internals some
     #: events come from (L2 inclusion victims).
     events_capacity: int = 0
+    #: Heatmap region granularity (bytes, power of two) for the timeline
+    #: sampler and the adaptive profile; the default matches the
+    #: timeline's historical fixed 64 KB regions.
+    heatmap_region_bytes: int = 64 * 1024
+    #: Online adaptive relocation policy (:class:`repro.adapt.AdaptConfig`);
+    #: ``None`` (the default) disables the engine entirely.  Configuring
+    #: it implies a timeline (using ``adapt.interval`` as the window
+    #: width when ``timeline_interval`` is 0) and forces the general
+    #: reference path, mirroring the events gate.
+    adapt: AdaptConfig | None = None
+
+    def __post_init__(self) -> None:
+        region = self.heatmap_region_bytes
+        if region < 1 or region & (region - 1):
+            raise ValueError(
+                f"heatmap_region_bytes must be a power of two, got {region}"
+            )
 
     @property
     def memory_size(self) -> int:
@@ -183,6 +201,7 @@ class Machine:
         "_registry",
         "events",
         "timeline",
+        "adapt",
     )
 
     def __init__(self, config: MachineConfig | None = None) -> None:
@@ -245,18 +264,35 @@ class Machine:
             # general path so no event is lost.
             self._fast_enabled = False
         self.timeline = None
-        if cfg.timeline_interval > 0:
+        self.adapt = None
+        # The adaptive engine feeds off timeline windows: configuring it
+        # implies a timeline (at ``adapt.interval`` when no explicit
+        # ``timeline_interval`` is set).
+        interval = cfg.timeline_interval
+        if interval == 0 and cfg.adapt is not None:
+            interval = cfg.adapt.interval
+        if interval > 0:
             from repro.obs.timeline import Timeline
 
             timing = self.timing
             self.timeline = Timeline(
-                cfg.timeline_interval,
+                interval,
                 self.metrics,
                 mshr=self.hierarchy.mshr,
                 clock=lambda: timing.cycle,
                 events=self.events,
+                region_bytes=cfg.heatmap_region_bytes,
             )
             self._wrap_references_with_timeline()
+        if cfg.adapt is not None:
+            from repro.adapt.engine import AdaptEngine
+
+            self.adapt = AdaptEngine(self, cfg.adapt)
+            self.adapt.install()
+            # Engine relocations interleave with application references;
+            # stay on the (bit-identical) general path so every
+            # forwarding corner case runs the reference implementation.
+            self._fast_enabled = False
 
     def _wrap_references_with_timeline(self) -> None:
         """Interpose the timeline sampler on ``load``/``store``.

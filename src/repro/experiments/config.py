@@ -34,6 +34,10 @@ APP_SEEDS = {
     "bh": 17,
     "compress": 23,
     "smv": 29,
+    # Phase-changing inputs for the adaptive experiment: same seeds as
+    # their parents so the pre-flip workload is identical.
+    "mst_phase": 3,
+    "health_phase": 7,
 }
 
 

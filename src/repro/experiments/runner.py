@@ -22,6 +22,7 @@ import tempfile
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.adapt.config import DEFAULT_HEATMAP_REGION, AdaptConfig
 from repro.apps.base import AppResult, Variant
 from repro.core.debug import enable_progress_logging, get_logger
 from repro.experiments.config import APP_SEEDS
@@ -62,6 +63,11 @@ class RunSpec:
     mc_entries: int = 8
     sb_count: int = 4
     sb_depth: int = 4
+    #: Adaptive relocation policy config (``None`` = no engine); flows
+    #: into the cell's workload identity via the sweep task.
+    adapt: AdaptConfig | None = None
+    #: Heatmap region granularity (bytes) for timeline/adapt sampling.
+    heatmap_region: int = DEFAULT_HEATMAP_REGION
 
     @classmethod
     def make(
@@ -77,6 +83,8 @@ class RunSpec:
         mc_entries: int = 8,
         sb_count: int = 4,
         sb_depth: int = 4,
+        adapt: AdaptConfig | None = None,
+        heatmap_region: int = DEFAULT_HEATMAP_REGION,
     ) -> "RunSpec":
         """Build a spec with the app's canonical seed resolved."""
         return cls(
@@ -92,6 +100,8 @@ class RunSpec:
             mc_entries,
             sb_count,
             sb_depth,
+            adapt,
+            heatmap_region,
         )
 
     def task(self) -> SweepTask:
@@ -108,6 +118,8 @@ class RunSpec:
             mc_entries=self.mc_entries,
             sb_count=self.sb_count,
             sb_depth=self.sb_depth,
+            adapt=self.adapt,
+            heatmap_region=self.heatmap_region,
         )
 
     @property
@@ -115,7 +127,9 @@ class RunSpec:
         """Human-readable cell identity used to key timeline sections."""
         base = f"{self.app}/{self.line_size}B/{self.variant.value}"
         if self.mechanism != "none":
-            return f"{base}/{self.mechanism}"
+            base = f"{base}/{self.mechanism}"
+        if self.adapt is not None:
+            base = f"{base}/{self.adapt.policy}"
         return base
 
 
@@ -165,6 +179,8 @@ class ExperimentRunner:
         sb_count: int = 4,
         sb_depth: int = 4,
         batch: bool = True,
+        heatmap_region: int = DEFAULT_HEATMAP_REGION,
+        adapt_policy: str | None = None,
     ) -> None:
         self.scale = scale
         self.verbose = verbose
@@ -173,6 +189,13 @@ class ExperimentRunner:
         #: Timeline sampling knobs applied to every run (0 = off).
         self.timeline_interval = timeline_interval
         self.events_capacity = events_capacity
+        #: Heatmap region granularity applied to every run.
+        self.heatmap_region = heatmap_region
+        #: CLI narrowing for the adapt experiment (``None`` = full
+        #: policy matrix); recorded in the manifest when set.  Explicit
+        #: specs carry their own :class:`AdaptConfig` -- this is not a
+        #: per-run override.
+        self.adapt_policy = adapt_policy
         #: Miss-path mechanism applied to runs built via :meth:`run`
         #: ("none" = baseline hierarchy).  Explicit specs handed to
         #: :meth:`run_spec`/:meth:`prime` keep their own mechanism --
@@ -185,6 +208,9 @@ class ExperimentRunner:
         self.sb_depth = sb_depth
         #: Per-cell timeline payloads keyed by ``RunSpec.cell_id``.
         self.timelines: dict[str, dict] = {}
+        #: Per-cell adaptive-engine payloads (decisions, ledger,
+        #: counters) keyed by ``RunSpec.cell_id``.
+        self.adapt_payloads: dict[str, dict] = {}
         self._log = get_logger("experiments")
         if verbose:
             enable_progress_logging()
@@ -205,10 +231,11 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     def _with_knobs(self, spec: RunSpec) -> RunSpec:
-        """Apply this runner's timeline/events knobs to a spec."""
+        """Apply this runner's timeline/events/heatmap knobs to a spec."""
         if (
             spec.timeline_interval == self.timeline_interval
             and spec.events_capacity == self.events_capacity
+            and spec.heatmap_region == self.heatmap_region
         ):
             return spec
         from dataclasses import replace
@@ -217,6 +244,7 @@ class ExperimentRunner:
             spec,
             timeline_interval=self.timeline_interval,
             events_capacity=self.events_capacity,
+            heatmap_region=self.heatmap_region,
         )
 
     def _record(
@@ -229,6 +257,15 @@ class ExperimentRunner:
         self.obs.absorb(result.stats.to_snapshot())
         if result.timeline is not None:
             self.timelines[spec.cell_id] = result.timeline
+        adapt_payload = result.extras.get("adapt")
+        if adapt_payload:
+            # Adaptive cells surface their engine counters in the
+            # manifest's metric tree under ``adapt.*`` (the /v3 schema
+            # forbids new top-level sections); the full per-decision
+            # audit trail rides the experiment's own cells/summary.
+            for name, value in sorted(adapt_payload["counters"].items()):
+                self.obs.counter(f"adapt.{name}").inc(value)
+            self.adapt_payloads[spec.cell_id] = adapt_payload
 
     def run(self, app: str, variant: Variant, line_size: int) -> AppResult:
         return self.run_spec(
@@ -406,6 +443,11 @@ class ExperimentRunner:
                 sb_count=self.sb_count,
                 sb_depth=self.sb_depth,
             )
+        if self.heatmap_region != DEFAULT_HEATMAP_REGION:
+            # Same gate style: default-region runs stay byte-identical.
+            run_section["heatmap_region_bytes"] = self.heatmap_region
+        if self.adapt_policy is not None:
+            run_section["adapt_policy"] = self.adapt_policy
         return build_manifest(
             artifact,
             run=run_section,
@@ -453,6 +495,7 @@ def specs_for_artifacts(
     mc_entries: int = 8,
     sb_count: int = 4,
     sb_depth: int = 4,
+    adapt_policy: str | None = None,
 ) -> list[RunSpec]:
     """The union run matrix behind the named paper artifacts.
 
@@ -463,7 +506,8 @@ def specs_for_artifacts(
     artifact instead expands its own mechanism matrix -- the full zoo,
     or ``("none", mechanism)`` when one was requested.
     """
-    from repro.apps import APPLICATIONS, FIGURE5_APPS
+    from repro.apps import FIGURE5_APPS
+    from repro.adapt import experiment as adapt_experiment
     from repro.experiments import figure7, figure10, misspath, table1
     from repro.experiments.config import FIGURE7_LINE_SIZE, line_sizes_for
 
@@ -485,10 +529,15 @@ def specs_for_artifacts(
                 sb_count=sb_count,
                 sb_depth=sb_depth,
             )
+        elif artifact == "adapt":
+            specs += adapt_experiment.specs(
+                scale,
+                policies=adapt_experiment.policy_matrix(adapt_policy),
+            )
         elif artifact == "table1":
             specs += [
                 RunSpec.make(app, Variant.L, table1.LINE_SIZE, scale, **knobs)
-                for app in sorted(APPLICATIONS)
+                for app in table1.TABLE1_APPS
             ]
         elif artifact in ("figure5", "figure6"):
             specs += [

@@ -129,6 +129,42 @@ class Timeline:
         self.on_window: Callable[[dict[str, Any]], None] | None = None
 
     # ------------------------------------------------------------------
+    def add_on_window(self, callback: Callable[[dict[str, Any]], None]) -> None:
+        """Chain ``callback`` after any existing :attr:`on_window` hook.
+
+        Multiple consumers (the adaptive engine, the serve tier's SSE
+        forwarder, an application-supplied streamer) can all observe the
+        same windows; each sees the identical window dict, in the order
+        the hooks were added.
+        """
+        existing = self.on_window
+        if existing is None:
+            self.on_window = callback
+            return
+
+        def chained(
+            window: dict[str, Any],
+            _first: Callable[[dict[str, Any]], None] = existing,
+            _second: Callable[[dict[str, Any]], None] = callback,
+        ) -> None:
+            _first(window)
+            _second(window)
+
+        self.on_window = chained
+
+    @property
+    def region_shift(self) -> int:
+        """log2 of the heatmap region size (address -> region id shift)."""
+        return self._region_shift
+
+    def heat_snapshot(self) -> tuple[dict[int, int], dict[int, int]]:
+        """The live cumulative ``(access, forwarded)`` heat maps.
+
+        Returned by reference (not copied): callers diff against their
+        own previous snapshot and must not mutate them.
+        """
+        return self._heat_access, self._heat_forwarded
+
     def tick(self, address: int) -> None:
         """Count one data reference at ``address``; sample on boundary."""
         region = address >> self._region_shift

@@ -21,6 +21,15 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 
+from repro.adapt.config import (
+    DEFAULT_HEATMAP_REGION,
+    MAX_COOLDOWN,
+    MAX_INTERVAL,
+    MAX_PATIENCE,
+    MIN_INTERVAL,
+    POLICIES,
+    AdaptConfig,
+)
 from repro.apps import APPLICATIONS
 from repro.apps.base import Variant
 from repro.cache.misspath import KNOB_MECHANISMS, MECHANISMS
@@ -41,6 +50,14 @@ _FIELDS = {
     "mc_entries",
     "sb_count",
     "sb_depth",
+    "adapt_policy",
+    "adapt_interval",
+    "adapt_miss_rate_threshold",
+    "adapt_chase_rate_threshold",
+    "adapt_patience",
+    "adapt_cooldown",
+    "adapt_epsilon",
+    "heatmap_region",
 }
 
 _REQUIRED = {"app", "variant", "line_size"}
@@ -60,6 +77,18 @@ _MISSPATH_DEFAULTS = {
     "mc_entries": 8,
     "sb_count": 4,
     "sb_depth": 4,
+}
+
+#: Adaptive-engine knob defaults (mirroring :class:`AdaptConfig`); each
+#: knob is rejected without ``adapt_policy`` and pinned to its default
+#: otherwise, for the same key-stability reason as the misspath knobs.
+_ADAPT_DEFAULTS = {
+    "adapt_interval": 2048,
+    "adapt_miss_rate_threshold": 0.08,
+    "adapt_chase_rate_threshold": 0.02,
+    "adapt_patience": 2,
+    "adapt_cooldown": 4,
+    "adapt_epsilon": 0.1,
 }
 
 
@@ -87,6 +116,14 @@ class JobSpec:
     mc_entries: int = 8
     sb_count: int = 4
     sb_depth: int = 4
+    adapt_policy: str | None = None
+    adapt_interval: int = 2048
+    adapt_miss_rate_threshold: float = 0.08
+    adapt_chase_rate_threshold: float = 0.02
+    adapt_patience: int = 2
+    adapt_cooldown: int = 4
+    adapt_epsilon: float = 0.1
+    heatmap_region: int = DEFAULT_HEATMAP_REGION
 
     @classmethod
     def from_payload(cls, payload: object) -> "JobSpec":
@@ -170,6 +207,84 @@ class JobSpec:
                     f"got {value!r}",
                 )
             misspath_knobs[knob] = value
+
+        adapt_policy = payload.get("adapt_policy")
+        if adapt_policy is not None and (
+            not isinstance(adapt_policy, str) or adapt_policy not in POLICIES
+        ):
+            _fail(
+                "adapt_policy",
+                f"unknown policy {adapt_policy!r}; known: {list(POLICIES)}",
+            )
+        adapt_knobs = dict(_ADAPT_DEFAULTS)
+        for knob in _ADAPT_DEFAULTS:
+            if knob not in payload:
+                continue
+            if adapt_policy is None:
+                _fail(knob, "only meaningful with adapt_policy set")
+            value = payload[knob]
+            if knob == "adapt_interval":
+                if (
+                    isinstance(value, bool)
+                    or not isinstance(value, int)
+                    or not MIN_INTERVAL <= value <= MAX_INTERVAL
+                ):
+                    _fail(
+                        knob,
+                        f"must be an integer in [{MIN_INTERVAL}, "
+                        f"{MAX_INTERVAL}], got {value!r}",
+                    )
+            elif knob in ("adapt_patience", "adapt_cooldown"):
+                bound = MAX_PATIENCE if knob == "adapt_patience" else MAX_COOLDOWN
+                floor = 1 if knob == "adapt_patience" else 0
+                if (
+                    isinstance(value, bool)
+                    or not isinstance(value, int)
+                    or not floor <= value <= bound
+                ):
+                    _fail(
+                        knob,
+                        f"must be an integer in [{floor}, {bound}], "
+                        f"got {value!r}",
+                    )
+            elif knob == "adapt_epsilon":
+                if (
+                    isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    or not 0.0 <= value <= 1.0
+                ):
+                    _fail(knob, f"must be a number in [0, 1], got {value!r}")
+                value = float(value)
+            else:  # the two rate thresholds
+                if (
+                    isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    or not 0.0 < value <= 1.0
+                ):
+                    _fail(knob, f"must be a number in (0, 1], got {value!r}")
+                value = float(value)
+            adapt_knobs[knob] = value
+
+        heatmap_region = payload.get("heatmap_region", DEFAULT_HEATMAP_REGION)
+        if heatmap_region != DEFAULT_HEATMAP_REGION:
+            if (
+                isinstance(heatmap_region, bool)
+                or not isinstance(heatmap_region, int)
+                or heatmap_region < 1024
+                or heatmap_region > (1 << 30)
+                or heatmap_region & (heatmap_region - 1)
+            ):
+                _fail(
+                    "heatmap_region",
+                    "must be a power-of-two int in [1024, 2**30], "
+                    f"got {heatmap_region!r}",
+                )
+            if payload.get("timeline_interval", 0) == 0 and adapt_policy is None:
+                _fail(
+                    "heatmap_region",
+                    "only meaningful with timeline_interval or adapt_policy",
+                )
+
         return cls(
             app=app,
             variant=variant,
@@ -179,7 +294,10 @@ class JobSpec:
             timeline_interval=payload.get("timeline_interval", 0),
             events_capacity=payload.get("events_capacity", 0),
             mechanism=mechanism,
+            adapt_policy=adapt_policy,
+            heatmap_region=heatmap_region,
             **misspath_knobs,
+            **adapt_knobs,
         )
 
     # ------------------------------------------------------------------
@@ -199,7 +317,9 @@ class JobSpec:
         """Human-readable cell identity (matches RunSpec.cell_id)."""
         base = f"{self.app}/{self.line_size}B/{self.variant}"
         if self.mechanism != "none":
-            return f"{base}/{self.mechanism}"
+            base = f"{base}/{self.mechanism}"
+        if self.adapt_policy is not None:
+            base = f"{base}/{self.adapt_policy}"
         return base
 
     def task(self) -> SweepTask:
@@ -217,6 +337,23 @@ class JobSpec:
             mc_entries=self.mc_entries,
             sb_count=self.sb_count,
             sb_depth=self.sb_depth,
+            adapt=self.adapt_config(),
+            heatmap_region=self.heatmap_region,
+        )
+
+    def adapt_config(self) -> "AdaptConfig | None":
+        """The engine config this spec resolves to (None when off)."""
+        if self.adapt_policy is None:
+            return None
+        return AdaptConfig(
+            policy=self.adapt_policy,
+            interval=self.adapt_interval,
+            miss_rate_threshold=self.adapt_miss_rate_threshold,
+            chase_rate_threshold=self.adapt_chase_rate_threshold,
+            patience=self.adapt_patience,
+            cooldown=self.adapt_cooldown,
+            epsilon=self.adapt_epsilon,
+            seed=self.seed,
         )
 
     def to_dict(self) -> dict:

@@ -58,6 +58,7 @@ from repro.obs import (
     histogram_quantiles,
     render_prometheus,
 )
+from repro.adapt.config import DEFAULT_HEATMAP_REGION
 from repro.serve.jobs import Job, JobTable
 from repro.serve.protocol import JobSpec
 from repro.serve.scheduler import QueueFull, Scheduler
@@ -506,6 +507,18 @@ class SimulationService:
                 sb_count=spec.sb_count,
                 sb_depth=spec.sb_depth,
             )
+        if spec.adapt_policy is not None:
+            section.update(
+                adapt_policy=spec.adapt_policy,
+                adapt_interval=spec.adapt_interval,
+                adapt_miss_rate_threshold=spec.adapt_miss_rate_threshold,
+                adapt_chase_rate_threshold=spec.adapt_chase_rate_threshold,
+                adapt_patience=spec.adapt_patience,
+                adapt_cooldown=spec.adapt_cooldown,
+                adapt_epsilon=spec.adapt_epsilon,
+            )
+        if spec.heatmap_region != DEFAULT_HEATMAP_REGION:
+            section["heatmap_region"] = spec.heatmap_region
         return section
 
     def _finish_trace(self, tracer: Tracer | None) -> tuple[list[dict], float]:
@@ -529,6 +542,7 @@ class SimulationService:
     ) -> dict[str, Any]:
         spans, wall = self._finish_trace(tracer)
         stats = result.stats
+        adapt = getattr(result, "extras", {}).get("adapt")
         entry = cell(
             spec.cell_id,
             labels={
@@ -540,9 +554,31 @@ class SimulationService:
                     if spec.mechanism != "none"
                     else {}
                 ),
+                **(
+                    {"policy": spec.adapt_policy}
+                    if spec.adapt_policy is not None
+                    else {}
+                ),
             },
             checksum=result.checksum,
-            values={"cycles": stats.cycles},
+            values={
+                "cycles": stats.cycles,
+                # Adaptive cells are auditable over HTTP too: the
+                # engine's counters reconcile with its decisions list
+                # and adapt.decision events by construction.
+                **(
+                    {
+                        "adapt_decisions": adapt["counters"]["decisions"],
+                        "adapt_windows": adapt["counters"]["windows"],
+                        "adapt_cost_cycles": adapt["counters"]["cost_cycles"],
+                        "adapt_benefit_cycles": (
+                            adapt["counters"]["benefit_cycles"]
+                        ),
+                    }
+                    if adapt is not None
+                    else {}
+                ),
+            },
         )
         timeline = None
         if result.timeline is not None:

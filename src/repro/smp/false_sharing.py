@@ -64,23 +64,32 @@ def _segregate_by_owner(machine: SMPMachine, records: list[list[int]]) -> list[l
     return relocated
 
 
-def _pingpong(machine: SMPMachine, records: list[list[int]], rounds: int) -> int:
-    """Each CPU repeatedly increments its own counters -- no true
-    sharing at all.  CPUs proceed in lockstep rounds, the worst case for
-    line ping-ponging."""
-    checksum = 0
+def _pingpong_round(machine: SMPMachine, records: list[list[int]]) -> None:
+    """One lockstep round: every CPU increments each of its counters."""
     per_cpu = len(records[0])
-    for _ in range(rounds):
-        for index in range(per_cpu):
-            for cpu in range(machine.cpus):
-                address = records[cpu][index]
-                value = machine.load(cpu, address) + 1
-                machine.store(cpu, address, value)
-                machine.compute(cpu, 2.0)
+    for index in range(per_cpu):
+        for cpu in range(machine.cpus):
+            address = records[cpu][index]
+            value = machine.load(cpu, address) + 1
+            machine.store(cpu, address, value)
+            machine.compute(cpu, 2.0)
+
+
+def _checksum(machine: SMPMachine, records: list[list[int]]) -> int:
+    checksum = 0
     for cpu in range(machine.cpus):
         for address in records[cpu]:
             checksum += machine.load(cpu, address)
     return checksum
+
+
+def _pingpong(machine: SMPMachine, records: list[list[int]], rounds: int) -> int:
+    """Each CPU repeatedly increments its own counters -- no true
+    sharing at all.  CPUs proceed in lockstep rounds, the worst case for
+    line ping-ponging."""
+    for _ in range(rounds):
+        _pingpong_round(machine, records)
+    return _checksum(machine, records)
 
 
 def run_false_sharing_experiment(
@@ -124,6 +133,127 @@ def run_false_sharing_experiment(
     return unoptimized, optimized
 
 
+@dataclass
+class AdaptiveFalseSharingResult:
+    """The never / once / adaptive triple under one ping-pong workload."""
+
+    never: FalseSharingResult
+    once: FalseSharingResult
+    adaptive: FalseSharingResult
+    #: Round at which the adaptive arm's policy fired (None = never).
+    trigger_round: int | None
+    #: Simulated cycles the adaptive arm spent executing the relocation.
+    segregation_cost: float
+    policy: str
+
+    @property
+    def checksums_equal(self) -> bool:
+        return (
+            self.never.checksum
+            == self.once.checksum
+            == self.adaptive.checksum
+        )
+
+
+def run_adaptive_false_sharing(
+    cpus: int = 4,
+    per_cpu_records: int = 32,
+    rounds: int = 40,
+    policy: str = "hysteresis",
+) -> AdaptiveFalseSharingResult:
+    """Never / once / adaptive segregation under the ping-pong workload.
+
+    The adaptive arm starts on the interleaved (false-sharing) layout
+    and feeds each round's coherence-miss rate to a
+    :mod:`repro.adapt.policy` policy as per-window feedback; when the
+    policy fires, it runs :func:`_segregate_by_owner` *mid-run* and the
+    remaining rounds use the relocated records.  Forwarding makes the
+    mid-run switch safe by construction — any access through a stale
+    address would merely chase — and the checksum triple proves no arm
+    changed the computation.
+    """
+    from repro.adapt.config import AdaptConfig
+    from repro.adapt.policy import WindowFeedback, make_policy
+    from repro.smp.coherence import CoherenceConfig
+    from repro.smp.machine import SMPConfig
+
+    def make_machine() -> SMPMachine:
+        return SMPMachine(SMPConfig(coherence=CoherenceConfig(cpus=cpus)))
+
+    never_machine = make_machine()
+    records = _build_interleaved_records(never_machine, per_cpu_records)
+    never_checksum = _pingpong(never_machine, records, rounds)
+    never = FalseSharingResult(
+        label="static-never (interleaved)",
+        cycles=never_machine.max_cycles,
+        coherence_misses=never_machine.coherence_misses(),
+        total_misses=never_machine.system.total_misses(),
+        checksum=never_checksum,
+    )
+
+    once_machine = make_machine()
+    records = _build_interleaved_records(once_machine, per_cpu_records)
+    segregated = _segregate_by_owner(once_machine, records)
+    once_checksum = _pingpong(once_machine, segregated, rounds)
+    once = FalseSharingResult(
+        label="static-once (pre-segregated)",
+        cycles=once_machine.max_cycles,
+        coherence_misses=once_machine.coherence_misses(),
+        total_misses=once_machine.system.total_misses(),
+        checksum=once_checksum,
+    )
+
+    # Adaptive: per-round coherence feedback drives a repro.adapt policy.
+    engine = make_policy(
+        AdaptConfig(
+            policy=policy,
+            miss_rate_threshold=0.2,
+            chase_rate_threshold=0.02,
+            patience=2,
+            cooldown=4,
+        )
+    )
+    adaptive_machine = make_machine()
+    records = _build_interleaved_records(adaptive_machine, per_cpu_records)
+    live = records
+    accesses_per_round = cpus * per_cpu_records * 2
+    trigger_round: int | None = None
+    segregation_cost = 0.0
+    seen_coherence = adaptive_machine.coherence_misses()
+    for round_index in range(rounds):
+        _pingpong_round(adaptive_machine, live)
+        coherence = adaptive_machine.coherence_misses()
+        feedback = WindowFeedback(
+            index=round_index,
+            refs=accesses_per_round,
+            miss_rate=(coherence - seen_coherence) / accesses_per_round,
+            chase_rate=0.0,
+            stall_rate=0.0,
+        )
+        seen_coherence = coherence
+        if trigger_round is None and engine.observe(feedback) is not None:
+            trigger_round = round_index
+            start = adaptive_machine.max_cycles
+            live = _segregate_by_owner(adaptive_machine, live)
+            segregation_cost = adaptive_machine.max_cycles - start
+    adaptive_checksum = _checksum(adaptive_machine, live)
+    adaptive = FalseSharingResult(
+        label=f"adaptive ({policy})",
+        cycles=adaptive_machine.max_cycles,
+        coherence_misses=adaptive_machine.coherence_misses(),
+        total_misses=adaptive_machine.system.total_misses(),
+        checksum=adaptive_checksum,
+    )
+    return AdaptiveFalseSharingResult(
+        never=never,
+        once=once,
+        adaptive=adaptive,
+        trigger_round=trigger_round,
+        segregation_cost=segregation_cost,
+        policy=policy,
+    )
+
+
 def main() -> None:  # pragma: no cover - CLI entry
     before, after = run_false_sharing_experiment()
     for result in (before, after):
@@ -132,6 +262,17 @@ def main() -> None:  # pragma: no cover - CLI entry
             f"coherence misses={result.coherence_misses:6d}"
         )
     print(f"speedup: {before.cycles / after.cycles:.2f}x")
+    triple = run_adaptive_false_sharing()
+    for result in (triple.never, triple.once, triple.adaptive):
+        print(
+            f"{result.label:32s} cycles={result.cycles:10.0f} "
+            f"coherence misses={result.coherence_misses:6d}"
+        )
+    print(
+        f"adaptive trigger round: {triple.trigger_round}, "
+        f"segregation cost: {triple.segregation_cost:.0f} cycles, "
+        f"checksums equal: {triple.checksums_equal}"
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

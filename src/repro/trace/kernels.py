@@ -117,17 +117,19 @@ class SpecializationError(Exception):
 def specializable(config: MachineConfig) -> bool:
     """True iff ``config`` is covered by the specialized kernel.
 
-    The three exclusions are exactly the features whose accounting
-    lives outside the fused reference kernel: timeline sampling (per
+    The exclusions are exactly the features whose accounting lives
+    outside the fused reference kernel: timeline sampling (per
     reference tick hooks), the discrete event log (events cells run
-    direct anyway -- replay cannot reproduce the event stream), and the
+    direct anyway -- replay cannot reproduce the event stream), the
     L1 miss-path mechanisms (the fused kernel itself gates off to the
-    layered path for those).
+    layered path for those), and adaptive relocation (which implies a
+    timeline and runs the general path by design).
     """
     return (
         config.timeline_interval == 0
         and config.events_capacity == 0
         and config.hierarchy.mechanism == "none"
+        and config.adapt is None
     )
 
 

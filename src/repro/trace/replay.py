@@ -872,7 +872,15 @@ class ReplaySession:
         # (which replay maintains bit-exactly), so a replayed run's
         # window series is identical to the direct run's.
         self.timeline = None
-        if config.timeline_interval > 0:
+        # Adaptive configs imply a timeline at adapt.interval (mirroring
+        # Machine.__init__): the engine's references are already baked
+        # into the captured stream, so replay only reproduces the window
+        # series -- same boundaries, because the stream preserves tick
+        # order.
+        interval = config.timeline_interval
+        if interval == 0 and config.adapt is not None:
+            interval = config.adapt.interval
+        if interval > 0:
             from repro.obs.registry import Registry
             from repro.obs.timeline import Timeline
 
@@ -882,10 +890,11 @@ class ReplaySession:
             load_latency.register_metrics(registry, "ref.load")
             store_latency.register_metrics(registry, "ref.store")
             self.timeline = Timeline(
-                config.timeline_interval,
+                interval,
                 registry,
                 mshr=hierarchy.mshr,
                 clock=lambda: timing.cycle,
+                region_bytes=config.heatmap_region_bytes,
             )
             self.timeline.on_window = self.on_window
 

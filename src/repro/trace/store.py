@@ -106,24 +106,32 @@ def trace_key(
     scale: float,
     seed: int,
     line_size: int | None,
+    adapt: str | None = None,
 ) -> str:
     """Stable identity of a captured stream (hex digest).
 
     ``line_size`` must be the capture line size for line-size-sensitive
     apps and ``None`` otherwise (their streams are line-size-invariant).
+
+    ``adapt`` is the config fingerprint of an adaptive cell (``None``
+    for plain cells, which keeps every pre-existing key unchanged).  An
+    adaptive run's engine issues its own references, so the stream is a
+    function of the *entire* machine config, not just the workload
+    identity — each adaptive config gets a private stream that replays
+    only under the exact capture config.
     """
-    identity = json.dumps(
-        {
-            "format": FORMAT_VERSION,
-            "app": app,
-            "variant": variant,
-            "scale": scale,
-            "seed": seed,
-            "line_size": line_size,
-        },
-        sort_keys=True,
-    )
-    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+    identity: dict = {
+        "format": FORMAT_VERSION,
+        "app": app,
+        "variant": variant,
+        "scale": scale,
+        "seed": seed,
+        "line_size": line_size,
+    }
+    if adapt is not None:
+        identity["adapt"] = adapt
+    canonical = json.dumps(identity, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def config_fingerprint(config: MachineConfig) -> str:

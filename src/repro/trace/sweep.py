@@ -30,6 +30,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.adapt.config import DEFAULT_HEATMAP_REGION, AdaptConfig
 from repro.apps import APPLICATIONS
 from repro.apps.base import AppResult, Variant
 from repro.core.debug import get_logger
@@ -95,12 +96,33 @@ class SweepTask:
     mc_entries: int = 8
     sb_count: int = 4
     sb_depth: int = 4
+    #: Adaptive relocation policy (:class:`repro.adapt.AdaptConfig`) or
+    #: ``None``.  Unlike every knob above, adapt is *workload identity*:
+    #: the engine issues its own references, so the trace key folds in
+    #: the full config fingerprint (see :func:`repro.trace.store.trace_key`)
+    #: and each adaptive config captures/replays its own private stream.
+    adapt: "AdaptConfig | None" = None
+    #: Heatmap region granularity (bytes); machine config, not workload
+    #: identity for plain cells (the sampler never issues references).
+    heatmap_region: int = DEFAULT_HEATMAP_REGION
 
     def key(self) -> str:
         """Trace key this cell's stream lives under."""
         sensitive = APPLICATIONS[self.app].stream_depends_on_line_size(
             Variant(self.variant)
         )
+        if self.adapt is not None:
+            # Engine references depend on the whole config; pin the
+            # stream to it (line size included -- it shifts window
+            # contents and hence decision points).
+            return trace_key(
+                self.app,
+                self.variant,
+                self.scale,
+                self.seed,
+                self.line_size,
+                adapt=config_fingerprint(self.config()),
+            )
         return trace_key(
             self.app,
             self.variant,
@@ -133,6 +155,10 @@ class SweepTask:
                     sb_depth=self.sb_depth,
                 ),
             )
+        if self.heatmap_region != DEFAULT_HEATMAP_REGION:
+            config = replace(config, heatmap_region_bytes=self.heatmap_region)
+        if self.adapt is not None:
+            config = replace(config, adapt=self.adapt)
         return config
 
 

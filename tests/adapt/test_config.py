@@ -1,0 +1,89 @@
+"""AdaptConfig: validated frozen leaf, distinct fingerprints per knob."""
+
+import dataclasses
+
+import pytest
+
+from repro.adapt.config import POLICIES, AdaptConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = AdaptConfig()
+        assert config.policy in POLICIES
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown adapt policy"):
+            AdaptConfig(policy="oracle")
+
+    @pytest.mark.parametrize("bad", [0, 63, 1 << 21])
+    def test_interval_bounds(self, bad):
+        with pytest.raises(ValueError, match="interval"):
+            AdaptConfig(interval=bad)
+
+    @pytest.mark.parametrize(
+        "field", ["miss_rate_threshold", "chase_rate_threshold"]
+    )
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_threshold_bounds(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            AdaptConfig(**{field: bad})
+
+    @pytest.mark.parametrize("bad", [0.0, 1.01])
+    def test_decay_bounds(self, bad):
+        with pytest.raises(ValueError, match="decay"):
+            AdaptConfig(decay=bad)
+
+    @pytest.mark.parametrize("bad", [0, 65])
+    def test_patience_bounds(self, bad):
+        with pytest.raises(ValueError, match="patience"):
+            AdaptConfig(patience=bad)
+
+    @pytest.mark.parametrize("bad", [-1, 1025])
+    def test_cooldown_bounds(self, bad):
+        with pytest.raises(ValueError, match="cooldown"):
+            AdaptConfig(cooldown=bad)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_epsilon_bounds(self, bad):
+        with pytest.raises(ValueError, match="epsilon"):
+            AdaptConfig(epsilon=bad)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            AdaptConfig(seed=-1)
+
+    def test_tiny_pool_rejected(self):
+        with pytest.raises(ValueError, match="pool_bytes"):
+            AdaptConfig(pool_bytes=1024)
+
+    @pytest.mark.parametrize("bad", [0, 257])
+    def test_max_actions_bounds(self, bad):
+        with pytest.raises(ValueError, match="max_actions"):
+            AdaptConfig(max_actions=bad)
+
+
+class TestIdentity:
+    def test_frozen(self):
+        config = AdaptConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.interval = 4096
+
+    def test_asdict_round_trips_every_knob(self):
+        """The cache fingerprint flows through ``asdict``: any knob
+        change must be visible there or cached results would alias."""
+        base = dataclasses.asdict(AdaptConfig())
+        for field, value in [
+            ("policy", "threshold"),
+            ("interval", 4096),
+            ("miss_rate_threshold", 0.5),
+            ("chase_rate_threshold", 0.5),
+            ("decay", 0.9),
+            ("patience", 3),
+            ("cooldown", 7),
+            ("epsilon", 0.25),
+            ("seed", 99),
+            ("max_actions", 2),
+        ]:
+            changed = dataclasses.asdict(AdaptConfig(**{field: value}))
+            assert changed != base, field

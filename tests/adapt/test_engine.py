@@ -1,0 +1,237 @@
+"""AdaptEngine: window driver, guards, audit trail, end-to-end runs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.adapt.config import AdaptConfig
+from repro.apps import get_application
+from repro.apps.base import Variant
+from repro.experiments.config import APP_SEEDS, experiment_config
+
+#: Huge window so real setup traffic never closes a window on its own;
+#: every window in the synthetic tests is fed to ``on_window`` by hand.
+INTERVAL = 1 << 20
+
+
+def make_engine(**overrides):
+    knobs = dict(
+        policy="threshold",
+        interval=INTERVAL,
+        miss_rate_threshold=0.5,
+        chase_rate_threshold=0.5,
+        cooldown=0,
+        max_actions=8,
+    )
+    knobs.update(overrides)
+    machine = Machine(MachineConfig(adapt=AdaptConfig(**knobs)))
+    return machine, machine.adapt
+
+
+def register_counters(machine, engine, count=8):
+    """A registered copy candidate over real heap objects."""
+    objects = []
+    for value in range(count):
+        address = machine.malloc(32)
+        machine.store(address, value)
+        objects.append((address, 32))
+    engine.register_objects("counters", objects)
+    return objects
+
+
+def window(index, refs=INTERVAL, miss_rate=0.9, chases=0, stall_slots=0):
+    return {
+        "index": index,
+        "refs": refs,
+        "miss_rate": miss_rate,
+        "chases": chases,
+        "stall_slots": stall_slots,
+    }
+
+
+class TestWindowDriver:
+    def test_bad_full_window_executes_one_decision(self):
+        machine, engine = make_engine()
+        register_counters(machine, engine)
+        engine.on_window(window(0))
+        assert len(engine.decisions) == 1
+        decision = engine.decisions[0]
+        assert decision.action == "copy" and decision.target == "counters"
+        assert decision.trigger["miss_rate"] == 0.9
+        assert engine.counters["cost_cycles"] > 0
+
+    def test_quiet_window_holds(self):
+        machine, engine = make_engine()
+        register_counters(machine, engine)
+        engine.on_window(window(0, miss_rate=0.1))
+        assert engine.decisions == []
+
+    def test_partial_trailing_window_never_executes(self):
+        """finish() flushes a short window; executing machine operations
+        there would break capture/replay window parity."""
+        machine, engine = make_engine()
+        register_counters(machine, engine)
+        engine.on_window(window(0, refs=INTERVAL - 1, miss_rate=0.9))
+        assert engine.decisions == []
+        assert engine.counters["windows"] == 1
+
+    def test_no_registered_assets_no_decision(self):
+        machine, engine = make_engine()
+        engine.on_window(window(0))
+        assert engine.decisions == []
+
+    def test_post_decision_window_skipped_as_relocation_noise(self):
+        """The engine's own relocation dominates the next window; its
+        miss spike must never re-trigger."""
+        machine, engine = make_engine()
+        register_counters(machine, engine)
+        engine.on_window(window(0))
+        engine.on_window(window(1))
+        assert len(engine.decisions) == 1
+        assert engine.counters["skipped_relocation"] == 1
+
+    def test_cooldown_spaces_decisions(self):
+        machine, engine = make_engine(cooldown=2)
+        register_counters(machine, engine)
+        for index in range(6):
+            engine.on_window(window(index))
+        # w0 decides; w1 is relocation noise; w2/w3 cool down; w4
+        # decides; w5 is relocation noise again.
+        assert [d.window for d in engine.decisions] == [0, 4]
+        assert engine.counters["skipped_cooldown"] == 2
+        assert engine.counters["skipped_relocation"] == 2
+
+    def test_max_actions_caps_decisions(self):
+        machine, engine = make_engine(max_actions=1)
+        register_counters(machine, engine)
+        for index in range(6):
+            engine.on_window(window(index))
+        assert len(engine.decisions) == 1
+
+    def test_benefit_settles_one_window_later(self):
+        machine, engine = make_engine(max_actions=1)
+        register_counters(machine, engine)
+        engine.on_window(window(0, stall_slots=INTERVAL // 2))
+        assert engine.counters["settled"] == 0
+        engine.on_window(window(1, stall_slots=0))
+        assert engine.counters["settled"] == 1
+        entry = engine.ledger[0]
+        assert entry.settled
+        assert entry.stall_rate_before == 0.5
+        assert entry.stall_rate_after == 0.0
+        assert entry.benefit_cycles == pytest.approx(0.5 * INTERVAL)
+
+    def test_duplicate_candidate_rejected(self):
+        machine, engine = make_engine()
+        register_counters(machine, engine)
+        with pytest.raises(ValueError, match="duplicate adapt candidate"):
+            register_counters(machine, engine)
+
+    def test_copy_preserves_values_and_repairs_slots(self):
+        machine, engine = make_engine()
+        slots = []
+        objects = []
+        for value in range(4):
+            slot = machine.malloc(8)
+            address = machine.malloc(32)
+            machine.store(address, value * 7)
+            machine.store(slot, address)
+            slots.append(slot)
+            objects.append((address, 32))
+        engine.register_objects("cells", objects, slots=slots)
+        engine.on_window(window(0))
+        assert len(engine.decisions) == 1
+        for index, (old, _) in enumerate(objects):
+            repaired = machine.load(slots[index])
+            assert repaired != old  # slot now holds the new address
+            assert machine.load(repaired) == index * 7
+            assert machine.load(old) == index * 7  # stale pointer chases
+
+
+SCALE = 0.4
+LINE = 128
+
+
+@pytest.fixture(scope="module")
+def adaptive_run():
+    """One real adaptive phase-app run (module-scoped; ~0.3s)."""
+    config = replace(
+        experiment_config(LINE),
+        adapt=AdaptConfig(
+            policy="hysteresis",
+            interval=1024,
+            miss_rate_threshold=0.62,
+            chase_rate_threshold=0.02,
+            patience=2,
+            cooldown=4,
+            max_actions=4,
+            seed=1,
+        ),
+        events_capacity=4096,
+    )
+    app = get_application(
+        "mst_phase", scale=SCALE, seed=APP_SEEDS.get("mst_phase", 1)
+    )
+    return app.run(Variant.L, config)
+
+
+class TestEndToEnd:
+    def test_decisions_fired(self, adaptive_run):
+        payload = adaptive_run.extras["adapt"]
+        assert payload["policy"] == "hysteresis"
+        assert payload["counters"]["decisions"] >= 1
+
+    def test_counters_reconcile_with_events_and_ledger(self, adaptive_run):
+        """The acceptance contract: every RelocationDecision appears as
+        an adapt.decision event, a ledger entry, and a counter tick."""
+        payload = adaptive_run.extras["adapt"]
+        decisions = payload["counters"]["decisions"]
+        assert decisions == len(payload["decisions"])
+        assert decisions == len(payload["ledger"])
+        events = adaptive_run.timeline["events"]
+        assert events["counts"]["adapt.decision"] == decisions
+        records = [
+            r for r in events["records"] if r["kind"] == "adapt.decision"
+        ]
+        for record, decision in zip(records, payload["decisions"]):
+            assert record["args"]["window"] == decision["window"]
+            assert record["args"]["action"] == decision["action"]
+
+    def test_every_decision_carries_trigger_and_cost(self, adaptive_run):
+        payload = adaptive_run.extras["adapt"]
+        for decision, entry in zip(payload["decisions"], payload["ledger"]):
+            assert set(decision["trigger"]) == {
+                "miss_rate",
+                "chase_rate",
+                "stall_rate",
+            }
+            assert entry["window"] == decision["window"]
+            assert entry["cost_cycles"] > 0
+
+    def test_app_optimizer_windows_skipped(self, adaptive_run):
+        """The L variant's own linearization pass must not trigger the
+        engine: its miss spike is relocation traffic, not phase change."""
+        payload = adaptive_run.extras["adapt"]
+        assert payload["counters"]["skipped_relocation"] >= 1
+
+    def test_checksum_matches_static_arms(self, adaptive_run):
+        app = get_application(
+            "mst_phase", scale=SCALE, seed=APP_SEEDS.get("mst_phase", 1)
+        )
+        static = app.run(Variant.L, experiment_config(LINE))
+        unopt = app.run(Variant.N, experiment_config(LINE))
+        assert adaptive_run.checksum == static.checksum == unopt.checksum
+
+    def test_zero_cost_when_off(self):
+        """No adapt config: no engine, no payload, fast path eligible."""
+        from repro.trace.kernels import specializable
+
+        config = experiment_config(LINE)
+        assert config.adapt is None
+        assert specializable(config)
+        app = get_application(
+            "mst_phase", scale=0.1, seed=APP_SEEDS.get("mst_phase", 1)
+        )
+        result = app.run(Variant.L, config)
+        assert "adapt" not in result.extras

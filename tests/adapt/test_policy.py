@@ -1,0 +1,120 @@
+"""Relocation policies: trigger logic, patience, bandit determinism."""
+
+import pytest
+
+from repro.adapt.config import POLICIES, AdaptConfig
+from repro.adapt.policy import WindowFeedback, make_policy
+
+CANDIDATES = ["relinearize:lists", "copy:objects", "recolor:objects"]
+
+
+def feedback(index=0, miss_rate=0.0, chase_rate=0.0, stall_rate=0.0):
+    return WindowFeedback(
+        index=index,
+        refs=1024,
+        miss_rate=miss_rate,
+        chase_rate=chase_rate,
+        stall_rate=stall_rate,
+    )
+
+
+def config(policy, **overrides):
+    knobs = dict(
+        policy=policy,
+        miss_rate_threshold=0.1,
+        chase_rate_threshold=0.05,
+        patience=3,
+    )
+    knobs.update(overrides)
+    return AdaptConfig(**knobs)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", POLICIES)
+    def test_every_policy_constructs(self, name):
+        assert make_policy(config(name)).name == name
+
+
+class TestThreshold:
+    def test_quiet_window_holds(self):
+        policy = make_policy(config("threshold"))
+        assert policy.observe(feedback(miss_rate=0.09)) is None
+
+    def test_miss_rate_crossing_fires_with_reason(self):
+        policy = make_policy(config("threshold"))
+        reason = policy.observe(feedback(miss_rate=0.2))
+        assert reason is not None and "miss_rate" in reason
+
+    def test_chase_rate_crossing_fires(self):
+        policy = make_policy(config("threshold"))
+        reason = policy.observe(feedback(chase_rate=0.06))
+        assert reason is not None and "chase_rate" in reason
+
+    def test_chooses_first_registered_candidate(self):
+        policy = make_policy(config("threshold"))
+        assert policy.choose(CANDIDATES) == "relinearize:lists"
+
+
+class TestHysteresis:
+    def test_needs_patience_consecutive_bad_windows(self):
+        policy = make_policy(config("hysteresis"))
+        assert policy.observe(feedback(0, miss_rate=0.2)) is None
+        assert policy.observe(feedback(1, miss_rate=0.2)) is None
+        reason = policy.observe(feedback(2, miss_rate=0.2))
+        assert reason is not None and "3 consecutive" in reason
+
+    def test_good_window_resets_the_streak(self):
+        policy = make_policy(config("hysteresis"))
+        policy.observe(feedback(0, miss_rate=0.2))
+        policy.observe(feedback(1, miss_rate=0.2))
+        assert policy.observe(feedback(2, miss_rate=0.0)) is None
+        assert policy.observe(feedback(3, miss_rate=0.2)) is None
+        assert policy.observe(feedback(4, miss_rate=0.2)) is None
+        assert policy.observe(feedback(5, miss_rate=0.2)) is not None
+
+    def test_streak_resets_after_firing(self):
+        policy = make_policy(config("hysteresis", patience=2))
+        policy.observe(feedback(0, miss_rate=0.2))
+        assert policy.observe(feedback(1, miss_rate=0.2)) is not None
+        assert policy.observe(feedback(2, miss_rate=0.2)) is None
+
+
+class TestEpsilonGreedy:
+    def test_tries_every_candidate_before_exploiting(self):
+        policy = make_policy(config("epsilon_greedy", epsilon=0.0))
+        picks = [policy.choose(CANDIDATES) for _ in range(3)]
+        assert sorted(picks) == sorted(CANDIDATES)
+
+    def test_exploits_best_observed_reward(self):
+        policy = make_policy(config("epsilon_greedy", epsilon=0.0))
+        for _ in range(3):
+            policy.choose(CANDIDATES)
+        policy.reward("copy:objects", 500.0)
+        policy.reward("relinearize:lists", -100.0)
+        policy.reward("recolor:objects", 10.0)
+        assert policy.choose(CANDIDATES) == "copy:objects"
+
+    def test_same_seed_same_choices(self):
+        def trajectory(seed):
+            policy = make_policy(
+                config("epsilon_greedy", epsilon=0.5, seed=seed)
+            )
+            picks = []
+            for step in range(20):
+                pick = policy.choose(CANDIDATES)
+                picks.append(pick)
+                policy.reward(pick, float(step % 3))
+            return picks
+
+        assert trajectory(7) == trajectory(7)
+
+    def test_different_seeds_can_diverge(self):
+        def trajectory(seed):
+            policy = make_policy(
+                config("epsilon_greedy", epsilon=0.9, seed=seed)
+            )
+            return [policy.choose(CANDIDATES) for _ in range(40)]
+
+        assert any(
+            trajectory(1) != trajectory(seed) for seed in (2, 3, 4, 5)
+        )

@@ -1,0 +1,78 @@
+"""HeatProfile: cumulative-counter diffing under exponential decay."""
+
+import pytest
+
+from repro.adapt.profile import HeatProfile
+
+
+class TestFold:
+    def test_first_fold_is_raw_delta(self):
+        profile = HeatProfile(decay=0.5)
+        access, forwarded = profile.fold({1: 10, 2: 4}, {1: 2})
+        assert (access, forwarded) == (14, 2)
+        assert profile.heat == {1: 10.0, 2: 4.0}
+        assert profile.forwarded_heat == {1: 2.0}
+
+    def test_counters_are_cumulative_not_per_window(self):
+        """The timeline reports running totals; the profile must diff."""
+        profile = HeatProfile(decay=1.0)
+        profile.fold({1: 10}, {})
+        access, _ = profile.fold({1: 15}, {})
+        assert access == 5
+        assert profile.heat[1] == 15.0
+
+    def test_decay_halves_old_heat(self):
+        profile = HeatProfile(decay=0.5)
+        profile.fold({1: 8}, {})
+        profile.fold({1: 8, 2: 6}, {})  # region 1 idle this window
+        assert profile.heat[1] == 4.0
+        assert profile.heat[2] == 6.0
+
+    def test_phase_shift_flips_hottest_within_windows(self):
+        """Decay is what makes the profile phase-sensitive: after a
+        shift the new hot region overtakes history in a few folds."""
+        profile = HeatProfile(decay=0.5)
+        total = 0
+        for _ in range(10):  # long region-1 phase
+            total += 100
+            profile.fold({1: total}, {})
+        assert profile.hottest(1) == [1]
+        hot2 = 0
+        for _ in range(3):  # short region-2 phase
+            hot2 += 100
+            profile.fold({1: total, 2: hot2}, {})
+        assert profile.hottest(1) == [2]
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5])
+    def test_bad_decay_rejected(self, bad):
+        with pytest.raises(ValueError, match="decay"):
+            HeatProfile(decay=bad)
+
+
+class TestQueries:
+    def test_hottest_orders_by_heat_then_id(self):
+        profile = HeatProfile(decay=1.0)
+        profile.fold({3: 5, 1: 9, 2: 5}, {})
+        assert profile.hottest(3) == [1, 2, 3]
+
+    def test_heat_of_maps_address_to_region(self):
+        profile = HeatProfile(decay=1.0)
+        profile.fold({2: 7}, {})
+        shift = 16  # 64KB regions
+        assert profile.heat_of(2 << 16, shift) == 7.0
+        assert profile.heat_of((2 << 16) + 100, shift) == 7.0
+        assert profile.heat_of(3 << 16, shift) == 0.0
+
+    def test_chase_fraction(self):
+        profile = HeatProfile(decay=1.0)
+        assert profile.chase_fraction() == 0.0
+        profile.fold({1: 10}, {1: 5})
+        assert profile.chase_fraction() == 0.5
+
+    def test_payload_shape(self):
+        profile = HeatProfile(decay=1.0)
+        profile.fold({r: r + 1 for r in range(12)}, {})
+        payload = profile.to_payload()
+        assert payload["regions"] == 12
+        assert len(payload["hottest"]) == 8  # top regions only
+        assert payload["hottest"][0]["region"] == 11

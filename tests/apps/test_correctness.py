@@ -84,10 +84,11 @@ class TestDeterminism:
 
 
 class TestRegistry:
-    def test_all_eight_applications_registered(self):
+    def test_all_applications_registered(self):
         assert set(_app_names) == {
             "bh", "compress", "eqntott", "health", "mst",
             "radiosity", "smv", "vis",
+            "health_phase", "mst_phase",
         }
 
     def test_unknown_application_rejected(self):

@@ -1,0 +1,136 @@
+"""Phase-changing app variants: deterministic flips, checksum safety."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import Machine
+from repro.adapt.config import AdaptConfig
+from repro.apps import get_application
+from repro.apps.phased import HealthPhase, MSTPhase, permute_list
+from repro.apps.base import Variant
+from repro.core.machine import NULL
+from repro.experiments.config import APP_SEEDS, experiment_config
+from repro.runtime.rng import DeterministicRNG
+
+SCALE = 0.2
+
+
+def run_app(name, variant, seed=None, adapt=None, scale=SCALE):
+    config = experiment_config(32)
+    if adapt is not None:
+        config = replace(config, adapt=adapt)
+    app = get_application(
+        name, scale=scale, seed=seed if seed is not None else APP_SEEDS[name]
+    )
+    return app.run(variant, config)
+
+
+class TestPermuteList:
+    def _build(self, machine, values):
+        head = machine.malloc(8)
+        previous = head
+        nodes = []
+        for value in values:
+            node = machine.malloc(16)
+            machine.store(node, value)
+            machine.store(previous, node)
+            previous = node + 8
+            nodes.append(node)
+        machine.store(previous, NULL)
+        return head
+
+    def _contents(self, machine, head):
+        out = []
+        node = machine.load(head)
+        while node != NULL:
+            out.append(machine.load(node))
+            node = machine.load(node + 8)
+        return out
+
+    def test_permutation_preserves_contents(self):
+        machine = Machine()
+        head = self._build(machine, list(range(10)))
+        moved = permute_list(machine, head, 8, DeterministicRNG(42))
+        assert moved == 10
+        permuted = self._contents(machine, head)
+        assert sorted(permuted) == list(range(10))
+        assert permuted != list(range(10))  # it really shuffled
+
+    def test_same_seed_same_order(self):
+        orders = []
+        for _ in range(2):
+            machine = Machine()
+            head = self._build(machine, list(range(12)))
+            permute_list(machine, head, 8, DeterministicRNG(7))
+            orders.append(self._contents(machine, head))
+        assert orders[0] == orders[1]
+
+    def test_short_lists_untouched(self):
+        machine = Machine()
+        head = self._build(machine, [5])
+        assert permute_list(machine, head, 8, DeterministicRNG(1)) == 1
+        assert self._contents(machine, head) == [5]
+
+
+class TestPhaseBoundary:
+    def test_mst_flip_iteration_deterministic(self):
+        assert MSTPhase.PHASE_AT == 0.25
+        app = get_application("mst_phase", scale=SCALE, seed=3)
+        assert app.flip_iteration(100) == app.flip_iteration(100) == 24
+
+    def test_health_flip_step_deterministic(self):
+        app = get_application("health_phase", scale=SCALE, seed=3)
+        assert app.flip_step(200) == 100
+
+    @pytest.mark.parametrize("name", ["mst_phase", "health_phase"])
+    def test_flip_recorded_in_extras(self, name):
+        result = run_app(name, Variant.N)
+        phase = result.extras["phase"]
+        assert phase  # the flip fired
+        assert sum(v for k, v in phase.items() if k.endswith("permuted")) > 1
+
+    @pytest.mark.parametrize("name", ["mst_phase", "health_phase"])
+    def test_same_seed_bit_identical(self, name):
+        a = run_app(name, Variant.N, seed=11)
+        b = run_app(name, Variant.N, seed=11)
+        assert a.checksum == b.checksum
+        assert a.stats.cycles == b.stats.cycles
+        assert a.extras["phase"] == b.extras["phase"]
+
+    @pytest.mark.parametrize("name", ["mst_phase", "health_phase"])
+    def test_different_seed_different_work(self, name):
+        a = run_app(name, Variant.N, seed=11)
+        b = run_app(name, Variant.N, seed=12)
+        assert a.checksum != b.checksum
+
+
+class TestChecksumSafety:
+    @pytest.mark.parametrize("name", ["mst_phase", "health_phase"])
+    def test_all_arms_agree(self, name):
+        """N, L, and L+engine all compute the same answer: neither the
+        flip nor any engine relocation may change logical order."""
+        adapt = AdaptConfig(
+            policy="threshold",
+            interval=512,
+            miss_rate_threshold=0.62,
+            chase_rate_threshold=0.02,
+            cooldown=4,
+            max_actions=4,
+        )
+        checksums = {
+            run_app(name, Variant.N).checksum,
+            run_app(name, Variant.L).checksum,
+            run_app(name, Variant.L, adapt=adapt).checksum,
+        }
+        assert len(checksums) == 1
+
+    def test_adaptive_run_registers_candidates(self):
+        adapt = AdaptConfig(policy="hysteresis", interval=1024)
+        result = run_app("mst_phase", Variant.L, adapt=adapt)
+        payload = result.extras["adapt"]
+        assert payload["candidates"] == [
+            "relinearize:vertices",
+            "copy:adjacency",
+            "recolor:adjacency",
+        ]

@@ -228,3 +228,30 @@ class TestCLIErrorPaths:
             ])
         assert excinfo.value.code == 2
         assert "--sb-depth must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_adapt_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["adapt", "--adapt-policy", "oracle"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown --adapt-policy" in err
+        assert "hysteresis" in err
+
+    def test_adapt_policy_requires_adapt_artifact(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--adapt-policy", "hysteresis"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--adapt-policy only makes sense" in err
+
+    def test_heatmap_region_power_of_two_enforced(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["adapt", "--heatmap-region", "3000"])
+        assert excinfo.value.code == 2
+        assert "power of two" in capsys.readouterr().err
+
+    def test_heatmap_region_requires_timeline_or_adapt(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--scale", "0.1", "--heatmap-region", "4096"])
+        assert excinfo.value.code == 2
+        assert "--heatmap-region only makes sense" in capsys.readouterr().err

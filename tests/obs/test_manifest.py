@@ -311,13 +311,15 @@ class TestEveryArtifactEmitsAValidManifest:
         span_names = {record["name"] for record in manifest["spans"]}
         assert "ablations.hop_limit" in span_names
 
-    @pytest.mark.parametrize("name", ["false-sharing", "out-of-core"])
-    def test_extension(self, name):
+    @pytest.mark.parametrize(
+        "name,cells", [("false-sharing", 5), ("out-of-core", 2)]
+    )
+    def test_extension(self, name, cells):
         from repro.__main__ import _extension_manifest
 
         manifest = _extension_manifest(name, 1.0)
         validate_manifest(manifest)
-        assert len(manifest["cells"]) == 2
+        assert len(manifest["cells"]) == cells
         assert manifest["summary"]["speedup"] > 0
 
     def test_runner_manifest_reflects_simulation_work(self, runner):

@@ -1,0 +1,152 @@
+"""Copying and coloring under full Machine runs (not unit level).
+
+The satellite contract: after a mid-run relocation, every stale pointer
+chases to the new location, and a relocated run stays bit-exact with an
+unoptimized run — same logical operation counts, same values — modulo
+the expected miss-count deltas the new layout exists to produce.
+"""
+
+from repro import Machine, MachineConfig
+from repro.cache.hierarchy import HierarchyConfig
+from repro.core.relocate import relocate
+from repro.opts.coloring import ColoredAllocator, recolor
+
+WORDS = 4  # per object
+COUNT = 32
+
+
+def build_objects(machine):
+    """A pointer table over heap objects, as an app would hold them."""
+    table = machine.malloc(COUNT * 8)
+    for index in range(COUNT):
+        address = machine.malloc(WORDS * 8)
+        for word in range(WORDS):
+            machine.store(address + word * 8, index * 100 + word)
+        machine.store(table + index * 8, address)
+    return table
+
+
+def traverse(machine, table):
+    """Pointer-chasing read of every object word, via the table."""
+    total = 0
+    for index in range(COUNT):
+        address = machine.load(table + index * 8)
+        for word in range(WORDS):
+            total += machine.load(address + word * 8)
+    return total
+
+
+class TestCopyingFullMachine:
+    def test_stale_pointers_chase_and_repair_restores_parity(self):
+        unopt = Machine()
+        table_u = build_objects(unopt)
+        expected = traverse(unopt, table_u)
+
+        opt = Machine()
+        table_o = build_objects(opt)
+        assert traverse(opt, table_o) == expected
+        # Mid-run relocation of every object; the table still holds the
+        # old addresses (deliberately stale).
+        pool = opt.create_pool(1 << 16)
+        old = [opt.load(table_o + i * 8) for i in range(COUNT)]
+        new = []
+        for address in old:
+            target = pool.allocate(WORDS * 8)
+            relocate(opt, address, target, WORDS)
+            new.append(target)
+        assert opt.stats().relocation.words_relocated >= COUNT * WORDS
+
+        # Every stale pointer chases to the new location: identical sum,
+        # and exactly one forwarded load per stale object dereference.
+        forwarded_before = opt.stats().loads.forwarded
+        assert traverse(opt, table_o) == expected
+        chased = opt.stats().loads.forwarded - forwarded_before
+        assert chased == COUNT * WORDS
+
+        # Repair the principal pointers; the chases disappear entirely.
+        for index, target in enumerate(new):
+            opt.store(table_o + index * 8, target)
+        forwarded_before = opt.stats().loads.forwarded
+        assert traverse(opt, table_o) == expected
+        assert opt.stats().loads.forwarded == forwarded_before
+
+    def test_logical_operation_counts_bit_exact(self):
+        """Same traversal, relocated or not: identical logical loads;
+        only the layout (and hence misses) may differ."""
+        unopt = Machine()
+        table_u = build_objects(unopt)
+        before_u = unopt.stats().loads.count
+        traverse(unopt, table_u)
+        loads_u = unopt.stats().loads.count - before_u
+
+        opt = Machine()
+        table_o = build_objects(opt)
+        pool = opt.create_pool(1 << 16)
+        for index in range(COUNT):
+            address = opt.load(table_o + index * 8)
+            target = pool.allocate(WORDS * 8)
+            relocate(opt, address, target, WORDS)
+            opt.store(table_o + index * 8, target)
+        before_o = opt.stats().loads.count
+        traverse(opt, table_o)
+        loads_o = opt.stats().loads.count - before_o
+        assert loads_o == loads_u
+        assert unopt.stats().loads.forwarded == 0  # never relocated
+
+
+class TestColoringFullMachine:
+    def test_midrun_recolor_is_safe_and_removes_thrash(self):
+        """Two conflicting hot blocks recolored *mid-run*: the hot loop
+        keeps its stale pointers, every access chases correctly, and the
+        conflict misses disappear."""
+        config = MachineConfig(
+            hierarchy=HierarchyConfig(l1_size=1024, l1_assoc=1, line_size=32)
+        )
+        machine = Machine(config)
+        num_sets = 1024 // 32
+        a = machine.heap.allocate(32, align=1024)
+        b = machine.heap.allocate(32, align=1024)
+        assert (a // 32) % num_sets == (b // 32) % num_sets
+        machine.store(a, 111)
+        machine.store(b, 222)
+
+        def hot_loop(x, y):
+            before = machine.stats().l1_load_misses_full
+            total = 0
+            for _ in range(50):
+                total += machine.load(x)
+                total += machine.load(y)
+                machine.execute(400)
+            return total, machine.stats().l1_load_misses_full - before
+
+        thrash_total, thrash_misses = hot_loop(a, b)
+        assert thrash_total == 50 * (111 + 222)
+        assert thrash_misses > 50  # nearly every access conflicted
+
+        allocator = ColoredAllocator(
+            machine.create_pool(1 << 16), 32, num_sets, colors=2
+        )
+        new_a, new_b = recolor(machine, [(a, 32), (b, 32)], allocator)
+        assert allocator.color_of(new_a) != allocator.color_of(new_b)
+
+        # The loop still uses the OLD addresses: values via forwarding.
+        stale_total, _ = hot_loop(a, b)
+        assert stale_total == thrash_total
+        assert machine.stats().loads.forwarded >= 100
+
+        # Repaired addresses: bit-identical values, thrash gone.
+        repaired_total, repaired_misses = hot_loop(new_a, new_b)
+        assert repaired_total == thrash_total
+        assert repaired_misses <= 4
+
+    def test_recolor_store_through_stale_pointer_stays_coherent(self):
+        machine = Machine()
+        address = machine.malloc(32)
+        machine.store(address, 5)
+        allocator = ColoredAllocator(
+            machine.create_pool(1 << 18), 32, 128, colors=4
+        )
+        (fresh,) = recolor(machine, [(address, 32)], allocator)
+        machine.store(address, 42)  # write through the stale pointer
+        assert machine.load(fresh) == 42
+        assert machine.stats().stores.forwarded >= 1

@@ -85,6 +85,61 @@ class TestValidation:
                 _payload(mechanism="victim_cache", vc_entries=bad)
             )
 
+    def test_unknown_adapt_policy_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown policy"):
+            JobSpec.from_payload(_payload(adapt_policy="oracle"))
+
+    def test_adapt_knob_without_policy_rejected(self):
+        with pytest.raises(ProtocolError, match="only meaningful"):
+            JobSpec.from_payload(_payload(adapt_interval=1024))
+        with pytest.raises(ProtocolError, match="only meaningful"):
+            JobSpec.from_payload(_payload(adapt_epsilon=0.5))
+
+    @pytest.mark.parametrize("bad", [0, 63, 1 << 21, "1024", True, 1.5])
+    def test_out_of_range_adapt_interval_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="adapt_interval"):
+            JobSpec.from_payload(
+                _payload(adapt_policy="hysteresis", adapt_interval=bad)
+            )
+
+    @pytest.mark.parametrize("bad", [0, 65, True, "2"])
+    def test_out_of_range_adapt_patience_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="adapt_patience"):
+            JobSpec.from_payload(
+                _payload(adapt_policy="hysteresis", adapt_patience=bad)
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5, "high", True])
+    def test_out_of_range_adapt_threshold_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="adapt_miss_rate_threshold"):
+            JobSpec.from_payload(
+                _payload(
+                    adapt_policy="hysteresis", adapt_miss_rate_threshold=bad
+                )
+            )
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, "greedy", True])
+    def test_out_of_range_adapt_epsilon_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="adapt_epsilon"):
+            JobSpec.from_payload(
+                _payload(adapt_policy="epsilon_greedy", adapt_epsilon=bad)
+            )
+
+    @pytest.mark.parametrize("bad", [100, 3000, 1 << 31, "64K", True])
+    def test_bad_heatmap_region_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="heatmap_region"):
+            JobSpec.from_payload(
+                _payload(adapt_policy="hysteresis", heatmap_region=bad)
+            )
+
+    def test_heatmap_region_requires_timeline_or_adapt(self):
+        with pytest.raises(ProtocolError, match="only meaningful"):
+            JobSpec.from_payload(_payload(heatmap_region=4096))
+        spec = JobSpec.from_payload(
+            _payload(timeline_interval=1000, heatmap_region=4096)
+        )
+        assert spec.heatmap_region == 4096
+
 
 class TestIdentity:
     def test_job_key_is_deterministic(self):
@@ -137,3 +192,45 @@ class TestIdentity:
         assert task.mechanism == "combined"
         assert (task.vc_entries, task.sb_count) == (4, 2)
         assert task.sb_depth == 4  # pinned default
+
+    def test_adapt_policy_separates_job_keys_and_cell_id(self):
+        base = JobSpec.from_payload(_payload())
+        adaptive = JobSpec.from_payload(_payload(adapt_policy="hysteresis"))
+        assert adaptive.job_key != base.job_key
+        assert adaptive.cell_id == "health/32B/N/hysteresis"
+        assert base.cell_id == "health/32B/N"
+        tuned = JobSpec.from_payload(
+            _payload(adapt_policy="hysteresis", adapt_interval=4096)
+        )
+        assert tuned.job_key != adaptive.job_key
+
+    def test_adapt_knobs_pin_to_defaults_without_aliasing(self):
+        explicit = JobSpec.from_payload(
+            _payload(adapt_policy="hysteresis", adapt_interval=2048)
+        )
+        implicit = JobSpec.from_payload(_payload(adapt_policy="hysteresis"))
+        assert explicit.job_key == implicit.job_key
+
+    def test_adapt_config_travels_into_task(self):
+        spec = JobSpec.from_payload(
+            _payload(
+                adapt_policy="epsilon_greedy",
+                adapt_epsilon=0.25,
+                adapt_interval=1024,
+                seed=9,
+            )
+        )
+        task = spec.task()
+        assert task.adapt is not None
+        assert task.adapt.policy == "epsilon_greedy"
+        assert task.adapt.epsilon == 0.25
+        assert task.adapt.interval == 1024
+        assert task.adapt.seed == 9  # engine RNG follows the job seed
+        plain = JobSpec.from_payload(_payload()).task()
+        assert plain.adapt is None
+
+    def test_heatmap_region_travels_into_task(self):
+        spec = JobSpec.from_payload(
+            _payload(timeline_interval=500, heatmap_region=8192)
+        )
+        assert spec.task().heatmap_region == 8192

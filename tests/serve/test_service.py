@@ -325,3 +325,91 @@ class TestBatchFold:
                 await service.drain(timeout=10.0)
 
         asyncio.run(scenario())
+
+
+class TestAdaptiveJobs:
+    """Adaptive cells served over the job API stay fully auditable."""
+
+    @staticmethod
+    def _adaptive_payload(**overrides):
+        payload = {
+            "app": "mst_phase",
+            "variant": "L",
+            "line_size": 128,
+            "scale": 0.4,
+            "seed": 3,
+            "adapt_policy": "hysteresis",
+            "adapt_interval": 1024,
+            "adapt_miss_rate_threshold": 0.62,
+            "adapt_chase_rate_threshold": 0.02,
+            "adapt_patience": 2,
+            "adapt_cooldown": 4,
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_manifest_carries_policy_and_audit_counters(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path)
+            await service.start()
+            try:
+                job, _ = await _submit_and_wait(
+                    service, self._adaptive_payload()
+                )
+                assert job.state == DONE
+                manifest = job.manifest
+                validate_manifest(manifest)
+                run = manifest["run"]
+                assert run["adapt_policy"] == "hysteresis"
+                assert run["adapt_interval"] == 1024
+                entry = manifest["cells"][0]
+                assert entry["id"] == "mst_phase/128B/L/hysteresis"
+                assert entry["labels"]["policy"] == "hysteresis"
+                # At this scale hysteresis fires exactly one decision;
+                # the cell values expose the engine's audit counters.
+                values = entry["values"]
+                assert values["adapt_decisions"] >= 1
+                assert values["adapt_windows"] > 0
+                assert values["adapt_cost_cycles"] > 0
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+    def test_warm_replay_preserves_audit_counters(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path)
+            await service.start()
+            try:
+                cold, _ = await _submit_and_wait(
+                    service, self._adaptive_payload()
+                )
+                warm, outcome = await service.submit(
+                    self._adaptive_payload()
+                )
+                assert outcome == "cached"
+                cold_values = cold.manifest["cells"][0]["values"]
+                warm_values = warm.manifest["cells"][0]["values"]
+                assert warm_values == cold_values
+                assert warm_values["adapt_decisions"] >= 1
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())
+
+    def test_plain_job_has_no_adapt_values(self, tmp_path):
+        async def scenario():
+            service = _service(tmp_path)
+            await service.start()
+            try:
+                job, _ = await _submit_and_wait(service, _payload())
+                entry = job.manifest["cells"][0]
+                assert "policy" not in entry["labels"]
+                assert not any(
+                    key.startswith("adapt_") for key in entry["values"]
+                )
+                assert "adapt_policy" not in job.manifest["run"]
+            finally:
+                await service.drain(timeout=10.0)
+
+        asyncio.run(scenario())

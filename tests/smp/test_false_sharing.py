@@ -79,3 +79,40 @@ class TestFalseSharingExperiment:
         four = run_false_sharing_experiment(cpus=4, per_cpu_records=8, rounds=5)
         # More CPUs contending for the same lines -> more ping-ponging.
         assert four[0].coherence_misses > two[0].coherence_misses
+
+
+class TestAdaptiveFalseSharing:
+    @pytest.fixture(scope="class")
+    def triple(self):
+        from repro.smp.false_sharing import run_adaptive_false_sharing
+
+        return run_adaptive_false_sharing(
+            cpus=2, per_cpu_records=16, rounds=20, policy="hysteresis"
+        )
+
+    def test_checksums_identical_across_arms(self, triple):
+        assert triple.checksums_equal
+
+    def test_policy_triggers_on_coherence_feedback(self, triple):
+        """The first rounds' ping-pong miss rate crosses the threshold
+        within the policy's patience."""
+        assert triple.trigger_round is not None
+        assert triple.trigger_round <= 3
+        assert triple.segregation_cost > 0
+
+    def test_adaptive_lands_between_static_arms(self, triple):
+        """Adaptive pays for the bad pre-trigger rounds plus the
+        relocation itself, then runs at static-once speed."""
+        assert triple.once.cycles < triple.adaptive.cycles
+        assert triple.adaptive.cycles < triple.never.cycles
+        assert triple.once.coherence_misses <= triple.adaptive.coherence_misses
+        assert triple.adaptive.coherence_misses < triple.never.coherence_misses
+
+    def test_threshold_policy_fires_immediately(self):
+        from repro.smp.false_sharing import run_adaptive_false_sharing
+
+        triple = run_adaptive_false_sharing(
+            cpus=2, per_cpu_records=16, rounds=10, policy="threshold"
+        )
+        assert triple.trigger_round == 0
+        assert triple.checksums_equal

@@ -102,6 +102,76 @@ def test_in_process_trace_cache_skips_store(tmp_path):
     assert how == "replayed"
 
 
+def _adapt_task(scale=0.4, **overrides):
+    from repro.adapt.config import AdaptConfig
+
+    knobs = dict(
+        policy="hysteresis",
+        interval=1024,
+        miss_rate_threshold=0.62,
+        chase_rate_threshold=0.02,
+        patience=2,
+        cooldown=4,
+        max_actions=4,
+        seed=1,
+    )
+    knobs.update(overrides)
+    return SweepTask(
+        "mst_phase", "L", 128, scale, 1, adapt=AdaptConfig(**knobs)
+    )
+
+
+def test_adapt_config_is_workload_identity():
+    """The engine issues its own references, so adaptive cells never
+    share a stream — with plain cells or with other adaptive configs."""
+    plain = SweepTask("mst_phase", "L", 128, SCALE, 1)
+    adaptive = _adapt_task(scale=SCALE)
+    assert adaptive.key() != plain.key()
+    other_policy = _adapt_task(scale=SCALE, policy="threshold")
+    assert other_policy.key() != adaptive.key()
+    other_threshold = _adapt_task(scale=SCALE, miss_rate_threshold=0.5)
+    assert other_threshold.key() != adaptive.key()
+
+
+def test_adapt_cell_never_specializes():
+    from repro.trace.kernels import specializable
+
+    assert specializable(SweepTask("mst", "N", 64, SCALE, 1).config())
+    assert not specializable(_adapt_task().config())
+
+
+def test_adapt_cell_capture_replay_bit_exact():
+    """A replayed adaptive cell re-executes the same decisions and lands
+    on identical stats — window parity holds across the trace boundary."""
+    traces = {}
+    task = _adapt_task()
+    captured, how = run_task(task, store=None, traces=traces)
+    assert how == "captured"
+    assert captured.extras["adapt"]["counters"]["decisions"] >= 1
+    replayed, how = run_task(task, store=None, traces=traces)
+    assert how == "replayed"
+    assert replayed.checksum == captured.checksum
+    assert replayed.stats.dump() == captured.stats.dump()
+    assert (
+        replayed.extras["adapt"]["decisions"]
+        == captured.extras["adapt"]["decisions"]
+    )
+
+
+def test_heatmap_region_changes_fingerprint_not_trace_key():
+    from repro.trace.store import config_fingerprint
+
+    base = SweepTask("mst", "N", 64, SCALE, 1, timeline_interval=1000)
+    fine = SweepTask(
+        "mst", "N", 64, SCALE, 1, timeline_interval=1000, heatmap_region=4096
+    )
+    assert fine.key() == base.key()
+    assert config_fingerprint(fine.config()) != config_fingerprint(
+        base.config()
+    )
+    assert fine.config().heatmap_region_bytes == 4096
+
+
 def test_execute_sweep_serial(tmp_path):
     store = ArtifactStore(tmp_path)
     tasks = _tiny_matrix()
